@@ -1,0 +1,102 @@
+//===- bench/Harness.h - Shared experiment harness -------------*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the figure harnesses: record every PBBS benchmark
+/// once, simulate it under MESI and WARDen on a given machine, and print
+/// paper-style rows. Each figure binary selects which columns to show.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_BENCH_HARNESS_H
+#define WARDEN_BENCH_HARNESS_H
+
+#include "src/core/WardenSystem.h"
+#include "src/pbbs/Pbbs.h"
+#include "src/support/Summary.h"
+#include "src/support/Table.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace warden {
+namespace bench {
+
+/// One benchmark's results under a machine configuration.
+struct SuiteRow {
+  std::string Name;
+  bool Verified = false;
+  ProtocolComparison Cmp;
+};
+
+/// Records and simulates the whole suite (or \p Only if non-empty).
+inline std::vector<SuiteRow>
+runSuite(const MachineConfig &Machine,
+         const std::vector<std::string> &Only = {},
+         const RtOptions &Options = RtOptions(), double ScaleFactor = 1.0) {
+  std::vector<SuiteRow> Rows;
+  for (const pbbs::Benchmark &B : pbbs::allBenchmarks()) {
+    if (!Only.empty()) {
+      bool Selected = false;
+      for (const std::string &Name : Only)
+        Selected |= (Name == B.Name);
+      if (!Selected)
+        continue;
+    }
+    auto Scale = static_cast<std::size_t>(
+        static_cast<double>(B.DefaultScale) * ScaleFactor);
+    pbbs::Recorded R = B.Record(std::max<std::size_t>(Scale, 4), Options);
+    SuiteRow Row;
+    Row.Name = B.Name;
+    Row.Verified = R.Verified;
+    Row.Cmp = WardenSystem::compare(R.Graph, Machine);
+    Rows.push_back(std::move(Row));
+    std::fflush(stdout);
+  }
+  return Rows;
+}
+
+/// Figure 7a/8a/12a style: normalized speedup per benchmark plus MEAN.
+inline void printPerformance(const char *Caption,
+                             const std::vector<SuiteRow> &Rows) {
+  Table T;
+  T.setHeader({"Benchmark", "MESI cycles", "WARDen cycles", "Speedup",
+               "Verified"});
+  Summary Speedups;
+  for (const SuiteRow &Row : Rows) {
+    double S = Row.Cmp.speedup();
+    Speedups.add(S);
+    T.addRow({Row.Name, Table::fmt(Row.Cmp.Mesi.Makespan),
+              Table::fmt(Row.Cmp.Warden.Makespan),
+              Table::fmt(S, 2) + "x", Row.Verified ? "yes" : "NO"});
+  }
+  T.addRow({"MEAN", "-", "-", Table::fmt(Speedups.mean(), 2) + "x", "-"});
+  std::printf("%s\n%s\n", Caption, T.render().c_str());
+}
+
+/// Figure 7b/8b/12b style: percent energy savings per benchmark plus MEAN.
+inline void printEnergy(const char *Caption,
+                        const std::vector<SuiteRow> &Rows) {
+  Table T;
+  T.setHeader({"Benchmark", "Interconnect savings", "Total processor savings"});
+  Summary Net;
+  Summary TotalEnergy;
+  for (const SuiteRow &Row : Rows) {
+    double N = Row.Cmp.interconnectEnergySavings();
+    double P = Row.Cmp.totalEnergySavings();
+    Net.add(N);
+    TotalEnergy.add(P);
+    T.addRow({Row.Name, Table::pct(N), Table::pct(P)});
+  }
+  T.addRow({"MEAN", Table::pct(Net.mean()), Table::pct(TotalEnergy.mean())});
+  std::printf("%s\n%s\n", Caption, T.render().c_str());
+}
+
+} // namespace bench
+} // namespace warden
+
+#endif // WARDEN_BENCH_HARNESS_H

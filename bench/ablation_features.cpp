@@ -1,0 +1,91 @@
+//===- bench/ablation_features.cpp - Protocol feature ablations ---------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablates the WARDen design choices Section 5 calls out, on a
+/// representative subset of the suite (dual socket):
+///
+///  * GetS-returns-Exclusive (Section 5.1): without it, a read copy inside
+///    a region needs a later upgrade request before it can be written.
+///  * Proactive fork flush (Section 5.3): without it, single-holder
+///    reconciles keep the private copy, so freshly spawned tasks downgrade
+///    the parent's cache exactly like MESI.
+///  * Reconciliation cost sensitivity: the synchronous per-merged-block
+///    charge swept over 0..32 cycles.
+///  * The write-destination discipline (DESIGN.md): with it off, the
+///    runtime is strictly page-conservative as in the paper's Section 4.2.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+using namespace warden;
+using namespace warden::bench;
+
+namespace {
+
+const std::vector<std::string> Subset = {"primes", "msort", "tokens",
+                                         "palindrome"};
+
+double meanSpeedup(const std::vector<SuiteRow> &Rows) {
+  Summary S;
+  for (const SuiteRow &Row : Rows)
+    S.add(Row.Cmp.speedup());
+  return S.mean();
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Ablation: WARDen design choices (dual socket; "
+              "primes/msort/tokens/palindrome mean speedup) ===\n\n");
+
+  Table T;
+  T.setHeader({"Configuration", "Mean speedup"});
+
+  {
+    MachineConfig Config = MachineConfig::dualSocket();
+    T.addRow({"full WARDen (defaults)",
+              Table::fmt(meanSpeedup(runSuite(Config, Subset)), 3) + "x"});
+  }
+  {
+    MachineConfig Config = MachineConfig::dualSocket();
+    Config.Features.GetSReturnsExclusive = false;
+    T.addRow({"no GetS-returns-Exclusive",
+              Table::fmt(meanSpeedup(runSuite(Config, Subset)), 3) + "x"});
+  }
+  {
+    MachineConfig Config = MachineConfig::dualSocket();
+    Config.Features.ProactiveForkFlush = false;
+    T.addRow({"no proactive fork flush",
+              Table::fmt(meanSpeedup(runSuite(Config, Subset)), 3) + "x"});
+  }
+  for (Cycles Cost : {Cycles(0), Cycles(8), Cycles(32)}) {
+    MachineConfig Config = MachineConfig::dualSocket();
+    Config.Features.ReconcileCostPerBlock = Cost;
+    T.addRow({"reconcile cost " + std::to_string(Cost) + " cyc/block",
+              Table::fmt(meanSpeedup(runSuite(Config, Subset)), 3) + "x"});
+  }
+  {
+    MachineConfig Config = MachineConfig::dualSocket();
+    RtOptions Options;
+    Options.KeepWriteDestinations = false;
+    T.addRow({"page-conservative runtime (no write-destination regions)",
+              Table::fmt(meanSpeedup(runSuite(Config, Subset, Options)), 3) +
+                  "x"});
+  }
+  {
+    MachineConfig Config = MachineConfig::dualSocket();
+    RtOptions Options;
+    Options.InjectSchedulerTraffic = false;
+    T.addRow({"no injected scheduler traffic",
+              Table::fmt(meanSpeedup(runSuite(Config, Subset, Options)), 3) +
+                  "x"});
+  }
+
+  std::printf("%s", T.render().c_str());
+  return 0;
+}

@@ -1,0 +1,40 @@
+//===- bench/fig11_ipc.cpp - Figure 11: IPC improvement ----------------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Figure 11: the percentage IPC improvement WARDen produces on
+/// the dual-socket machine. Benchmarks whose speedup comes from executing
+/// fewer busy-wait instructions (the paper's ray analysis) can show an IPC
+/// *decrease* despite a speedup, because instructions shrink along with
+/// cycles.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+using namespace warden;
+using namespace warden::bench;
+
+int main() {
+  std::printf("=== Figure 11: percentage IPC improvement (dual socket) ===\n\n");
+  std::vector<SuiteRow> Rows = runSuite(MachineConfig::dualSocket());
+
+  Table T;
+  T.setHeader({"Benchmark", "MESI IPC", "WARDen IPC", "IPC improvement",
+               "Speedup", "Instr ratio"});
+  for (const SuiteRow &Row : Rows) {
+    double InstrRatio = static_cast<double>(Row.Cmp.Warden.Instructions) /
+                        static_cast<double>(Row.Cmp.Mesi.Instructions);
+    T.addRow({Row.Name, Table::fmt(Row.Cmp.Mesi.ipc(), 2),
+              Table::fmt(Row.Cmp.Warden.ipc(), 2),
+              Table::fmt(Row.Cmp.ipcImprovementPct(), 1) + "%",
+              Table::fmt(Row.Cmp.speedup(), 2) + "x",
+              Table::fmt(InstrRatio, 3)});
+  }
+  std::printf("Figure 11. Percentage IPC improvement.\n%s",
+              T.render().c_str());
+  return 0;
+}

@@ -1,0 +1,42 @@
+//===- bench/manysocket_scaling.cpp - Section 7.3: many sockets ---------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 7.3's "many sockets" projection: WARDen's advantage should grow
+/// with socket count as interconnect latencies climb. Sweeps 1, 2, and 4
+/// sockets over a subset of the suite and reports the mean speedup per
+/// machine — the quantitative form of Figure 1's "acceleration increases
+/// with hardware scale" arrow.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+using namespace warden;
+using namespace warden::bench;
+
+int main() {
+  std::printf("=== Section 7.3: speedup growth with socket count ===\n\n");
+
+  const std::vector<std::string> Subset = {"dedup", "msort", "primes",
+                                           "tokens"};
+  Table T;
+  T.setHeader({"Machine", "Mean speedup", "Mean interconnect savings"});
+  for (unsigned Sockets : {1u, 2u, 4u}) {
+    MachineConfig Config = MachineConfig::manySocket(Sockets);
+    std::vector<SuiteRow> Rows = runSuite(Config, Subset);
+    Summary Speed;
+    Summary Net;
+    for (const SuiteRow &Row : Rows) {
+      Speed.add(Row.Cmp.speedup());
+      Net.add(Row.Cmp.interconnectEnergySavings());
+    }
+    T.addRow({Config.describe(), Table::fmt(Speed.mean(), 3) + "x",
+              Table::pct(Net.mean())});
+  }
+  std::printf("%s", T.render().c_str());
+  return 0;
+}

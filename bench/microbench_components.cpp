@@ -1,0 +1,101 @@
+//===- bench/microbench_components.cpp - Component microbenchmarks ------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Google-benchmark microbenchmarks of the simulator's hot components:
+/// cache array lookups, region table lookups at several occupancies, the
+/// coherence controller's hit and miss paths, and phase-1 recording
+/// throughput. These guard the simulator's own performance (a full figure
+/// harness replays tens of millions of accesses).
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/coherence/CoherenceController.h"
+#include "src/coherence/RegionTable.h"
+#include "src/mem/CacheArray.h"
+#include "src/rt/Stdlib.h"
+#include "src/support/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace warden;
+
+static void BM_CacheArrayLookupHit(benchmark::State &State) {
+  CacheArray Cache(CacheGeometry(32 * 1024, 8, 64));
+  for (Addr Block = 0; Block < 16 * 1024; Block += 64)
+    Cache.insert(Block, LineState::Shared);
+  Rng Random(1);
+  for (auto _ : State) {
+    Addr Block = (Random.nextBelow(256)) * 64;
+    benchmark::DoNotOptimize(Cache.lookup(Block));
+  }
+}
+BENCHMARK(BM_CacheArrayLookupHit);
+
+static void BM_CacheArrayInsertEvict(benchmark::State &State) {
+  CacheArray Cache(CacheGeometry(32 * 1024, 8, 64));
+  Addr Next = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Cache.insert(Next, LineState::Modified));
+    Next += 64;
+  }
+}
+BENCHMARK(BM_CacheArrayInsertEvict);
+
+static void BM_RegionTableLookup(benchmark::State &State) {
+  unsigned Regions = static_cast<unsigned>(State.range(0));
+  RegionTable Regions_(Regions);
+  for (unsigned I = 0; I < Regions; ++I)
+    Regions_.add(I, Addr(I) * 8192, Addr(I) * 8192 + 4096);
+  Rng Random(2);
+  for (auto _ : State) {
+    Addr Address = Random.nextBelow(Regions * 8192);
+    benchmark::DoNotOptimize(Regions_.lookup(Address));
+  }
+}
+BENCHMARK(BM_RegionTableLookup)->Arg(16)->Arg(128)->Arg(1024);
+
+static void BM_ControllerL1Hit(benchmark::State &State) {
+  CoherenceController Controller(MachineConfig::dualSocket());
+  Controller.access(0, 0x1000, 8, AccessType::Store);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        Controller.access(0, 0x1000, 8, AccessType::Load));
+}
+BENCHMARK(BM_ControllerL1Hit);
+
+static void BM_ControllerColdMiss(benchmark::State &State) {
+  CoherenceController Controller(MachineConfig::dualSocket());
+  Addr Next = 0x100000;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Controller.access(0, Next, 8, AccessType::Load));
+    Next += 64;
+  }
+}
+BENCHMARK(BM_ControllerColdMiss);
+
+static void BM_ControllerPingPong(benchmark::State &State) {
+  CoherenceController Controller(MachineConfig::dualSocket());
+  unsigned I = 0;
+  for (auto _ : State) {
+    CoreId Core = (I++ % 2) ? 0 : 13;
+    benchmark::DoNotOptimize(
+        Controller.access(Core, 0x2000, 8, AccessType::Rmw));
+  }
+}
+BENCHMARK(BM_ControllerPingPong);
+
+static void BM_Phase1Recording(benchmark::State &State) {
+  for (auto _ : State) {
+    Runtime Rt;
+    SimArray<int> Out = stdlib::tabulate<int>(
+        Rt, 4096, [](std::size_t I) { return static_cast<int>(I); }, 64);
+    benchmark::DoNotOptimize(Out.peek(1));
+    TaskGraph Graph = Rt.finish();
+    benchmark::DoNotOptimize(Graph.size());
+  }
+}
+BENCHMARK(BM_Phase1Recording);

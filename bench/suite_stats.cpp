@@ -1,0 +1,55 @@
+//===- bench/suite_stats.cpp - Detailed per-benchmark statistics -----------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostic companion to the figure harnesses: detailed coherence and
+/// energy statistics for every benchmark under both protocols on the
+/// dual-socket machine. Not a paper figure, but the raw numbers behind
+/// Figures 8-11; useful when validating the reproduction's behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+using namespace warden;
+using namespace warden::bench;
+
+static void printRun(const char *Name, const RunResult &R) {
+  const CoherenceStats &C = R.Coherence;
+  std::printf(
+      "  %-7s cyc=%-9llu instr=%-9llu ipc=%.2f L1=%llu L2=%llu LLC=%llu "
+      "dram=%llu\n"
+      "          inv=%-7llu down=%-7llu c2c=%-6llu wb=%-6llu "
+      "msgs(i/x)=%llu/%llu data(i/x)=%llu/%llu\n"
+      "          wardAcc=%.1f%% grants=%llu recBlocks=%llu recWb=%llu "
+      "steals=%llu regionsPeak=%u energy(net)=%.0fnJ energy(tot)=%.0fnJ\n",
+      Name, (unsigned long long)R.Makespan, (unsigned long long)R.Instructions,
+      R.ipc(), (unsigned long long)C.L1Hits, (unsigned long long)C.L2Hits,
+      (unsigned long long)C.LlcServes, (unsigned long long)C.DramAccesses,
+      (unsigned long long)C.Invalidations, (unsigned long long)C.Downgrades,
+      (unsigned long long)C.CacheToCache, (unsigned long long)C.Writebacks,
+      (unsigned long long)C.MsgsIntraSocket,
+      (unsigned long long)(C.MsgsInterSocket + C.MsgsRemote),
+      (unsigned long long)C.DataIntraSocket,
+      (unsigned long long)(C.DataInterSocket + C.DataRemote),
+      100.0 * R.wardCoverage(), (unsigned long long)C.WardGrants,
+      (unsigned long long)C.ReconciledBlocks,
+      (unsigned long long)C.ReconcileWritebacks,
+      (unsigned long long)R.Sched.Steals, R.PeakRegions,
+      R.Energy.interconnectNJ(), R.Energy.totalProcessorNJ());
+}
+
+int main() {
+  std::printf("=== Detailed suite statistics (dual socket) ===\n");
+  std::vector<SuiteRow> Rows = runSuite(MachineConfig::dualSocket());
+  for (const SuiteRow &Row : Rows) {
+    std::printf("%s  (speedup %.2fx, verified=%s)\n", Row.Name.c_str(),
+                Row.Cmp.speedup(), Row.Verified ? "yes" : "NO");
+    printRun("MESI", Row.Cmp.Mesi);
+    printRun("WARDen", Row.Cmp.Warden);
+  }
+  return 0;
+}

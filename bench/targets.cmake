@@ -1,0 +1,31 @@
+# Benchmark / experiment harness binaries. Each paper table or figure has
+# one binary; all land directly in <build>/bench so that
+#   for b in build/bench/*; do $b; done
+# runs the full evaluation.
+set(WARDEN_BENCH_DIR ${CMAKE_BINARY_DIR}/bench)
+
+function(warden_bench NAME)
+  add_executable(${NAME} ${CMAKE_CURRENT_SOURCE_DIR}/bench/${NAME}.cpp)
+  target_link_libraries(${NAME} PRIVATE warden)
+  set_target_properties(${NAME} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${WARDEN_BENCH_DIR})
+endfunction()
+
+function(warden_gbench NAME)
+  add_executable(${NAME} ${CMAKE_CURRENT_SOURCE_DIR}/bench/${NAME}.cpp)
+  target_link_libraries(${NAME} PRIVATE warden benchmark::benchmark benchmark::benchmark_main)
+  set_target_properties(${NAME} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${WARDEN_BENCH_DIR})
+endfunction()
+
+warden_bench(table1_validation)
+warden_bench(table2_config)
+warden_bench(fig7_single_socket)
+warden_bench(fig8_dual_socket)
+warden_bench(fig9_inv_down)
+warden_bench(fig10_breakdown)
+warden_bench(fig11_ipc)
+warden_bench(fig12_disaggregated)
+warden_bench(ablation_features)
+warden_bench(ablation_region_table)
+warden_bench(manysocket_scaling)
+warden_bench(suite_stats)
+warden_gbench(microbench_components)

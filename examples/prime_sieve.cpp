@@ -1,0 +1,85 @@
+//===- examples/prime_sieve.cpp - Figure 4's sieve, end to end ---------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's flagship example (Figure 4): a recursive parallel prime
+/// sieve whose flags array is one big WARD region — the only races on it
+/// are benign same-value write-write races at indices with several prime
+/// factors. This example records the sieve, verifies it, and shows how the
+/// WARD region shows up in the protocol statistics on each machine.
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/core/WardenSystem.h"
+#include "src/rt/Stdlib.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace warden;
+
+namespace {
+
+SimArray<std::uint8_t> sieveUpto(Runtime &Rt, std::int64_t N) {
+  auto Flags = stdlib::tabulate<std::uint8_t>(
+      Rt, static_cast<std::size_t>(N + 1),
+      [](std::size_t I) { return static_cast<std::uint8_t>(I >= 2); }, 1024);
+  if (N >= 4) {
+    auto Sqrt = static_cast<std::int64_t>(std::sqrt(double(N)));
+    auto SqrtFlags = sieveUpto(Rt, Sqrt);
+    // flags is a WARD region for the whole marking phase.
+    Runtime::WriteOnlyScope Scope(Rt, Flags.addr(), Flags.bytes());
+    Rt.parallelFor(2, Sqrt + 1, 1, [&](std::int64_t P) {
+      if (SqrtFlags.get(std::size_t(P)))
+        Rt.parallelFor(2, N / P + 1, 2048,
+                       [&](std::int64_t M) { Flags.set(std::size_t(P * M), 0); });
+    });
+  }
+  return Flags;
+}
+
+} // namespace
+
+int main() {
+  constexpr std::int64_t N = 200000;
+
+  std::printf("Recording prime_sieve_upto(%lld)...\n",
+              static_cast<long long>(N));
+  std::uint64_t Primes = 0;
+  Runtime Rt;
+  SimArray<std::uint8_t> Flags = sieveUpto(Rt, N);
+  for (std::int64_t I = 0; I <= N; ++I)
+    Primes += Flags.peek(std::size_t(I));
+  TaskGraph Graph = Rt.finish();
+  std::printf("  %llu primes <= %lld; %zu strands, %llu instructions\n",
+              (unsigned long long)Primes, (long long)N, Graph.size(),
+              (unsigned long long)Graph.totalInstructions());
+  if (!Rt.raceViolations().empty()) {
+    std::printf("  WARD discipline violated?! (unexpected)\n");
+    return 1;
+  }
+
+  for (const MachineConfig &Machine :
+       {MachineConfig::singleSocket(), MachineConfig::dualSocket(),
+        MachineConfig::disaggregated()}) {
+    ProtocolComparison Cmp = WardenSystem::compare(Graph, Machine);
+    std::printf("\n%s:\n", Machine.describe().c_str());
+    std::printf("  MESI   : %9llu cycles, %llu invalidations, %llu "
+                "downgrades\n",
+                (unsigned long long)Cmp.Mesi.Makespan,
+                (unsigned long long)Cmp.Mesi.Coherence.Invalidations,
+                (unsigned long long)Cmp.Mesi.Coherence.Downgrades);
+    std::printf("  WARDen : %9llu cycles, %llu invalidations, %llu "
+                "downgrades (%.1f%% of accesses in WARD regions)\n",
+                (unsigned long long)Cmp.Warden.Makespan,
+                (unsigned long long)Cmp.Warden.Coherence.Invalidations,
+                (unsigned long long)Cmp.Warden.Coherence.Downgrades,
+                100.0 * Cmp.Warden.wardCoverage());
+    std::printf("  speedup %.2fx, interconnect energy savings %.1f%%\n",
+                Cmp.speedup(), 100.0 * Cmp.interconnectEnergySavings());
+  }
+  return 0;
+}

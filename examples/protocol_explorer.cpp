@@ -1,0 +1,85 @@
+//===- examples/protocol_explorer.cpp - Watching the directory FSA -----------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A guided tour of the coherence controller at the level of Figure 5:
+/// drives single accesses against the directory and prints the state
+/// transitions, first under plain MESI and then with a WARD region active.
+/// Useful for understanding exactly which events the WARD state removes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/coherence/CoherenceController.h"
+
+#include <cstdio>
+
+using namespace warden;
+
+namespace {
+
+void show(const CoherenceController &C, Addr Block, const char *What) {
+  const DirEntry *Entry = C.directoryEntry(Block);
+  std::printf("  %-38s dir=%s sharers=%u inv=%llu down=%llu\n", What,
+              Entry ? dirStateName(Entry->State) : "-",
+              Entry ? Entry->Sharers.count() +
+                          (Entry->Owner != InvalidCore ? 1u : 0u)
+                    : 0u,
+              (unsigned long long)C.stats().Invalidations,
+              (unsigned long long)C.stats().Downgrades);
+}
+
+} // namespace
+
+int main() {
+  constexpr Addr Block = 0x10000;
+
+  std::printf("--- MESI: the classic sharing penalties (Figure 5, red) ---\n");
+  {
+    MachineConfig Config = MachineConfig::dualSocket();
+    Config.Protocol = ProtocolKind::Mesi;
+    CoherenceController C(Config);
+    C.access(0, Block, 8, AccessType::Load);
+    show(C, Block, "core 0 load (cold)        -> E");
+    C.access(0, Block, 8, AccessType::Store);
+    show(C, Block, "core 0 store (silent E->M)");
+    C.access(1, Block, 8, AccessType::Load);
+    show(C, Block, "core 1 load: DOWNGRADES core 0");
+    C.access(2, Block, 8, AccessType::Store);
+    show(C, Block, "core 2 store: INVALIDATES 0 and 1");
+    C.access(12, Block, 8, AccessType::Load);
+    show(C, Block, "core 12 (other socket) load: downgrade");
+  }
+
+  std::printf("\n--- WARDen: the same accesses inside a WARD region ---\n");
+  {
+    MachineConfig Config = MachineConfig::dualSocket();
+    Config.Protocol = ProtocolKind::Warden;
+    CoherenceController C(Config);
+    C.addRegion(/*Id=*/0, Block, Block + 4096);
+    C.access(0, Block, 8, AccessType::Load);
+    show(C, Block, "core 0 load  -> W (exclusive-like)");
+    C.access(0, Block, 8, AccessType::Store);
+    show(C, Block, "core 0 store (local, silent)");
+    C.access(1, Block, 8, AccessType::Load);
+    show(C, Block, "core 1 load: nobody bothered");
+    C.access(2, Block, 8, AccessType::Store);
+    show(C, Block, "core 2 store: nobody bothered");
+    C.access(12, Block, 8, AccessType::Store);
+    show(C, Block, "core 12 store: nobody bothered");
+    Cycles Cost = C.removeRegion(0, /*Remover=*/0);
+    std::printf("  remove region: reconciliation merged %llu block(s), "
+                "%llu write-backs, %llu cycles\n",
+                (unsigned long long)C.stats().ReconciledBlocks,
+                (unsigned long long)C.stats().ReconcileWritebacks,
+                (unsigned long long)Cost);
+    show(C, Block, "after reconciliation");
+  }
+
+  std::printf("\nWARDen removed every invalidation and downgrade while the "
+              "region was active;\nreconciliation merged the concurrent "
+              "updates in one pass (Section 5.2).\n");
+  return 0;
+}

@@ -1,0 +1,587 @@
+//===- coherence/CoherenceController.cpp - MESI + WARDen engine -----------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/coherence/CoherenceController.h"
+
+#include <cassert>
+
+using namespace warden;
+
+const char *warden::dirStateName(DirState State) {
+  switch (State) {
+  case DirState::Invalid:
+    return "I";
+  case DirState::Shared:
+    return "S";
+  case DirState::Exclusive:
+    return "E";
+  case DirState::Modified:
+    return "M";
+  case DirState::Ward:
+    return "W";
+  }
+  return "?";
+}
+
+CoherenceController::CoherenceController(const MachineConfig &Config)
+    : Config(Config), Latency(this->Config),
+      Regions(Config.Features.RegionTableCapacity) {
+  CacheGeometry L1Geometry(static_cast<std::uint64_t>(Config.L1SizeKB) * 1024,
+                           Config.L1Assoc, Config.BlockSize);
+  CacheGeometry L2Geometry(static_cast<std::uint64_t>(Config.L2SizeKB) * 1024,
+                           Config.L2Assoc, Config.BlockSize);
+  Private.reserve(Config.totalCores());
+  for (unsigned I = 0; I < Config.totalCores(); ++I)
+    Private.emplace_back(L1Geometry, L2Geometry);
+
+  CacheGeometry LlcGeometry(Config.l3SizeBytes(), Config.L3Assoc,
+                            Config.BlockSize);
+  Llc.reserve(Config.NumSockets);
+  for (unsigned I = 0; I < Config.NumSockets; ++I)
+    Llc.emplace_back(LlcGeometry);
+}
+
+SocketId CoherenceController::homeOf(Addr Block, CoreId Requester) {
+  if (Config.NumSockets == 1)
+    return 0;
+  Addr Page = Block >> 12;
+  auto [It, Inserted] = PageHome.try_emplace(Page, Config.socketOf(Requester));
+  (void)Inserted;
+  return It->second;
+}
+
+SocketId CoherenceController::homeOfExisting(Addr Block) const {
+  if (Config.NumSockets == 1)
+    return 0;
+  auto It = PageHome.find(Block >> 12);
+  assert(It != PageHome.end() && "block was never touched");
+  return It->second;
+}
+
+void CoherenceController::noteMsg(SocketId From, SocketId To) {
+  if (From == To)
+    ++Stats.MsgsIntraSocket;
+  else if (Config.Disaggregated)
+    ++Stats.MsgsRemote;
+  else
+    ++Stats.MsgsInterSocket;
+}
+
+void CoherenceController::noteData(SocketId From, SocketId To) {
+  if (From == To)
+    ++Stats.DataIntraSocket;
+  else if (Config.Disaggregated)
+    ++Stats.DataRemote;
+  else
+    ++Stats.DataInterSocket;
+}
+
+Cycles CoherenceController::llcData(Addr Block, SocketId Home) {
+  if (Llc[Home].lookup(Block)) {
+    ++Stats.LlcServes;
+    return 0;
+  }
+  ++Stats.DramAccesses;
+  std::optional<EvictedLine> Victim = Llc[Home].insert(Block, LineState::Shared);
+  if (Victim && Victim->State == LineState::Modified)
+    ++Stats.DramWritebacks;
+  return Latency.dram();
+}
+
+void CoherenceController::writebackToLlc(Addr Block, SocketId Home) {
+  if (CacheLine *Line = Llc[Home].lookup(Block)) {
+    Line->State = LineState::Modified;
+    return;
+  }
+  std::optional<EvictedLine> Victim =
+      Llc[Home].insert(Block, LineState::Modified);
+  if (Victim && Victim->State == LineState::Modified)
+    ++Stats.DramWritebacks;
+}
+
+void CoherenceController::fillPrivate(CoreId Core, Addr Block,
+                                      LineState State) {
+  std::optional<EvictedLine> Victim = Private[Core].fill(Block, State);
+  if (Victim)
+    handleEviction(Core, *Victim);
+}
+
+void CoherenceController::handleEviction(CoreId Core,
+                                         const EvictedLine &Victim) {
+  ++Stats.Evictions;
+  SocketId Home = homeOfExisting(Victim.Block);
+  SocketId CoreSocket = Config.socketOf(Core);
+  auto It = Dir.find(Victim.Block);
+  assert(It != Dir.end() && "evicting a block the directory never saw");
+  DirEntry &Entry = It->second;
+
+  // Every eviction notifies the home directory so sharer/owner information
+  // stays precise (Put messages in the MESI vocabulary).
+  noteMsg(CoreSocket, Home);
+
+  switch (Victim.State) {
+  case LineState::Shared:
+    assert(Entry.State == DirState::Shared || Entry.State == DirState::Ward);
+    Entry.Sharers.clear(Core);
+    if (Entry.State == DirState::Shared && Entry.Sharers.empty())
+      Entry.State = DirState::Invalid;
+    break;
+  case LineState::Exclusive:
+    assert(Entry.Owner == Core && "eviction by non-owner");
+    Entry = DirEntry();
+    break;
+  case LineState::Modified:
+    assert(Entry.Owner == Core && "eviction by non-owner");
+    writebackToLlc(Victim.Block, Home);
+    noteData(CoreSocket, Home);
+    ++Stats.Writebacks;
+    Entry = DirEntry();
+    break;
+  case LineState::Ward:
+    // Eager reconciliation of the evicted copy (Section 5.3: eviction
+    // before the region ends overlaps the reconciliation cost).
+    assert(Entry.State == DirState::Ward && "Ward line without W entry");
+    if (Victim.Dirty.any()) {
+      writebackToLlc(Victim.Block, Home);
+      noteData(CoreSocket, Home);
+      ++Stats.Writebacks;
+      ++Stats.ReconcileWritebacks;
+    }
+    Entry.Sharers.clear(Core);
+    break;
+  case LineState::Invalid:
+    assert(false && "invalid line reported as victim");
+    break;
+  }
+}
+
+Cycles CoherenceController::access(CoreId Core, Addr Address, unsigned Size,
+                                   AccessType Type) {
+  assert(Core < Config.totalCores() && "core id out of range");
+  assert(Size > 0 && "empty access");
+  switch (Type) {
+  case AccessType::Load:
+    ++Stats.Loads;
+    break;
+  case AccessType::Store:
+    ++Stats.Stores;
+    break;
+  case AccessType::Rmw:
+    ++Stats.Rmws;
+    break;
+  }
+
+  Cycles Total = 0;
+  Addr Current = Address;
+  unsigned Remaining = Size;
+  while (Remaining > 0) {
+    Addr Block = Current & ~(Addr(Config.BlockSize) - 1);
+    unsigned Offset = static_cast<unsigned>(Current - Block);
+    unsigned Chunk = std::min(Remaining, Config.BlockSize - Offset);
+    Total += accessBlock(Core, Block, Offset, Chunk, Type);
+    Current += Chunk;
+    Remaining -= Chunk;
+  }
+  return Total;
+}
+
+Cycles CoherenceController::accessBlock(CoreId Core, Addr Block,
+                                        unsigned Offset, unsigned Size,
+                                        AccessType Type) {
+  if (Regions.lookup(Block) != InvalidRegion)
+    ++Stats.WardRegionAccesses;
+
+  ++Stats.L1Accesses;
+  unsigned Level = Private[Core].hitLevel(Block);
+  if (Level != 1)
+    ++Stats.L2Accesses;
+
+  Cycles Lat = 0;
+  bool NeedMiss = (Level == 0);
+  if (!NeedMiss) {
+    CacheLine *Line = Private[Core].line(Block);
+    assert(Line && "hit without a line");
+    if (Type == AccessType::Load) {
+      Lat = (Level == 1) ? Latency.l1Hit() : Latency.l2Hit();
+      ++(Level == 1 ? Stats.L1Hits : Stats.L2Hits);
+    } else {
+      switch (Line->State) {
+      case LineState::Exclusive:
+        Line->State = LineState::Modified; // Silent E->M upgrade.
+        [[fallthrough]];
+      case LineState::Modified:
+      case LineState::Ward:
+        Lat = (Level == 1) ? Latency.l1Hit() : Latency.l2Hit();
+        ++(Level == 1 ? Stats.L1Hits : Stats.L2Hits);
+        break;
+      case LineState::Shared:
+        NeedMiss = true; // Write to a read copy requires an upgrade.
+        break;
+      case LineState::Invalid:
+        assert(false && "invalid resident line");
+        break;
+      }
+    }
+  }
+
+  if (NeedMiss)
+    Lat = missPath(Core, Block, Offset, Size, Type);
+
+  if (Type != AccessType::Load) {
+    CacheLine *Line = Private[Core].line(Block);
+    assert(Line && "store completed without a resident line");
+    assert((Line->State == LineState::Modified ||
+            Line->State == LineState::Ward) &&
+           "store completed without write permission");
+    Line->Dirty.markWritten(Offset, Size);
+  }
+  return Lat;
+}
+
+Cycles CoherenceController::missPath(CoreId Core, Addr Block, unsigned Offset,
+                                     unsigned Size, AccessType Type) {
+  SocketId Home = homeOf(Block, Core);
+  Cycles Lat = Latency.toHome(Core, Home);
+  noteMsg(Config.socketOf(Core), Home);
+  ++Stats.L3Accesses;
+
+  DirEntry &Entry = Dir[Block];
+
+  if (Config.Protocol == ProtocolKind::Warden) {
+    RegionId Region = Regions.lookup(Block);
+    if (Region != InvalidRegion)
+      return Lat + wardPath(Core, Block, Offset, Size, Type, Entry, Region);
+  }
+
+  assert(Entry.State != DirState::Ward &&
+         "W entry outside an active region reached the MESI path");
+  if (Type == AccessType::Load)
+    return Lat + mesiLoadPath(Core, Block, Entry);
+  return Lat + mesiStorePath(Core, Block, Entry);
+}
+
+Cycles CoherenceController::wardPath(CoreId Core, Addr Block, unsigned Offset,
+                                     unsigned Size, AccessType Type,
+                                     DirEntry &Entry, RegionId Region) {
+  (void)Offset;
+  (void)Size;
+  ++Stats.WardGrants;
+  if (Entry.State != DirState::Ward)
+    enterWardState(Block, Entry, Region);
+
+  SocketId Home = homeOf(Block, Core);
+  Cycles Lat = 0;
+
+  if (Private[Core].line(Block)) {
+    // In-place upgrade: the core already holds a read copy inside the
+    // region (possible when GetS does not return exclusive copies). The
+    // directory grants write permission without touching anyone else.
+    assert(Type != AccessType::Load && "load missed despite resident line");
+    Private[Core].setState(Block, LineState::Ward);
+    noteMsg(Home, Config.socketOf(Core)); // Permission ack.
+  } else {
+    Lat += llcData(Block, Home);
+    noteData(Home, Config.socketOf(Core));
+    LineState FillState =
+        (Type == AccessType::Load && !Config.Features.GetSReturnsExclusive)
+            ? LineState::Shared
+            : LineState::Ward;
+    fillPrivate(Core, Block, FillState);
+  }
+  Entry.Sharers.set(Core);
+  return Lat;
+}
+
+void CoherenceController::enterWardState(Addr Block, DirEntry &Entry,
+                                         RegionId Region) {
+  switch (Entry.State) {
+  case DirState::Invalid:
+    Entry.Sharers.clearAll();
+    break;
+  case DirState::Shared:
+    // Existing read copies become Ward members; they keep their data.
+    Entry.Sharers.forEach([&](CoreId Sharer) {
+      Private[Sharer].setState(Block, LineState::Ward);
+    });
+    break;
+  case DirState::Exclusive:
+  case DirState::Modified: {
+    // The owner's copy (and its dirty bytes) become the first Ward member.
+    CoreId Owner = Entry.Owner;
+    CacheLine *Line = Private[Owner].line(Block);
+    assert(Line && "directory owner without a resident line");
+    Line->State = LineState::Ward;
+    Entry.Sharers.clearAll();
+    Entry.Sharers.set(Owner);
+    break;
+  }
+  case DirState::Ward:
+    assert(false && "re-entering Ward state");
+    break;
+  }
+  Entry.State = DirState::Ward;
+  Entry.Owner = InvalidCore;
+  Entry.Region = Region;
+}
+
+Cycles CoherenceController::mesiLoadPath(CoreId Core, Addr Block,
+                                         DirEntry &Entry) {
+  SocketId Home = homeOf(Block, Core);
+  SocketId CoreSocket = Config.socketOf(Core);
+  Cycles Lat = 0;
+
+  switch (Entry.State) {
+  case DirState::Invalid:
+    Lat += llcData(Block, Home);
+    noteData(Home, CoreSocket);
+    fillPrivate(Core, Block, LineState::Exclusive);
+    Entry.State = DirState::Exclusive;
+    Entry.Owner = Core;
+    break;
+  case DirState::Shared:
+    Lat += llcData(Block, Home);
+    noteData(Home, CoreSocket);
+    fillPrivate(Core, Block, LineState::Shared);
+    Entry.Sharers.set(Core);
+    break;
+  case DirState::Exclusive:
+  case DirState::Modified: {
+    CoreId Owner = Entry.Owner;
+    assert(Owner != Core && "owner missed on its own block");
+    CacheLine *OwnerLine = Private[Owner].line(Block);
+    assert(OwnerLine && "directory owner without a resident line");
+    // Fwd-GetS: the owner is downgraded and supplies the data.
+    ++Stats.Downgrades;
+    ++Stats.CacheToCache;
+    noteMsg(Home, Config.socketOf(Owner));
+    if (OwnerLine->State == LineState::Modified) {
+      writebackToLlc(Block, Home);
+      noteData(Config.socketOf(Owner), Home);
+      ++Stats.Writebacks;
+    }
+    Private[Owner].setState(Block, LineState::Shared);
+    Lat += Latency.forwardAndSupply(Home, Owner, Core);
+    noteData(Config.socketOf(Owner), CoreSocket);
+    fillPrivate(Core, Block, LineState::Shared);
+    Entry.State = DirState::Shared;
+    Entry.Owner = InvalidCore;
+    Entry.Sharers.clearAll();
+    Entry.Sharers.set(Owner);
+    Entry.Sharers.set(Core);
+    break;
+  }
+  case DirState::Ward:
+    assert(false && "Ward entry in MESI load path");
+    break;
+  }
+  return Lat;
+}
+
+Cycles CoherenceController::mesiStorePath(CoreId Core, Addr Block,
+                                          DirEntry &Entry) {
+  SocketId Home = homeOf(Block, Core);
+  SocketId CoreSocket = Config.socketOf(Core);
+  Cycles Lat = 0;
+
+  switch (Entry.State) {
+  case DirState::Invalid:
+    Lat += llcData(Block, Home);
+    noteData(Home, CoreSocket);
+    fillPrivate(Core, Block, LineState::Modified);
+    Entry.State = DirState::Modified;
+    Entry.Owner = Core;
+    break;
+  case DirState::Shared: {
+    bool HadCopy = Entry.Sharers.test(Core);
+    Cycles InvLat = 0;
+    Entry.Sharers.forEach([&](CoreId Sharer) {
+      if (Sharer == Core)
+        return;
+      ++Stats.Invalidations;
+      Private[Sharer].invalidate(Block);
+      noteMsg(Home, Config.socketOf(Sharer));             // Inv
+      noteMsg(Config.socketOf(Sharer), Home);             // Inv-Ack
+      InvLat = std::max(InvLat, Latency.invalidate(Home, Sharer));
+    });
+    Lat += InvLat;
+    if (HadCopy) {
+      Private[Core].setState(Block, LineState::Modified);
+      noteMsg(Home, CoreSocket); // Upgrade ack.
+    } else {
+      Lat += llcData(Block, Home);
+      noteData(Home, CoreSocket);
+      fillPrivate(Core, Block, LineState::Modified);
+    }
+    Entry.State = DirState::Modified;
+    Entry.Owner = Core;
+    Entry.Sharers.clearAll();
+    break;
+  }
+  case DirState::Exclusive:
+  case DirState::Modified: {
+    CoreId Owner = Entry.Owner;
+    assert(Owner != Core && "owner missed on its own block");
+    // Fwd-GetM: the owner's copy is invalidated and the data (if dirty)
+    // travels cache-to-cache to the requester.
+    ++Stats.Invalidations;
+    ++Stats.CacheToCache;
+    noteMsg(Home, Config.socketOf(Owner));
+    [[maybe_unused]] std::optional<EvictedLine> Old =
+        Private[Owner].invalidate(Block);
+    assert(Old && "directory owner without a resident line");
+    Lat += Latency.forwardAndSupply(Home, Owner, Core);
+    noteData(Config.socketOf(Owner), CoreSocket);
+    fillPrivate(Core, Block, LineState::Modified);
+    Entry.State = DirState::Modified;
+    Entry.Owner = Core;
+    Entry.Sharers.clearAll();
+    break;
+  }
+  case DirState::Ward:
+    assert(false && "Ward entry in MESI store path");
+    break;
+  }
+  return Lat;
+}
+
+Cycles CoherenceController::addRegion(RegionId Id, Addr Start, Addr End) {
+  ++Stats.RegionsAdded;
+  if (!Regions.add(Id, Start, End)) {
+    ++Stats.RegionOverflows;
+    return 0;
+  }
+  // The "Add Region" instruction itself (Section 6.1: two new instructions
+  // with minimal impact). The baseline MESI binary does not execute it.
+  return Config.Protocol == ProtocolKind::Warden ? 2 : 0;
+}
+
+Cycles CoherenceController::removeRegion(RegionId Id, CoreId Remover) {
+  ++Stats.RegionsRemoved;
+  std::optional<WardRegion> Region = Regions.remove(Id);
+  if (!Region)
+    return 0; // Never tracked (table overflow): nothing to reconcile.
+  if (Config.Protocol != ProtocolKind::Warden)
+    return 0;
+
+  (void)Remover;
+  Cycles Cost = 2; // The "Remove Region" instruction.
+  for (Addr Block = Region->Start; Block < Region->End;
+       Block += Config.BlockSize) {
+    auto It = Dir.find(Block);
+    if (It == Dir.end() || It->second.State != DirState::Ward)
+      continue;
+    Cost += reconcileBlock(Block, It->second);
+  }
+  return Cost;
+}
+
+Cycles CoherenceController::reconcileBlock(Addr Block, DirEntry &Entry) {
+  SocketId Home = homeOfExisting(Block);
+  ++Stats.ReconciledBlocks;
+  unsigned Holders = Entry.Sharers.count();
+
+  if (Holders == 0) {
+    // All copies were already evicted (and eagerly reconciled).
+    Entry = DirEntry();
+    return 0;
+  }
+
+  if (Holders == 1) {
+    ++Stats.SingleHolderReconciles;
+    CoreId Holder = Entry.Sharers.first();
+    CacheLine *Line = Private[Holder].line(Block);
+    assert(Line && "tracked holder without a resident line");
+    bool WasDirty = Line->Dirty.any();
+    if (Config.Features.ProactiveForkFlush) {
+      // Write dirty sectors back and downgrade the copy in place: the next
+      // reader (often a freshly forked task on another core) hits the
+      // shared cache instead of downgrading this private cache.
+      if (WasDirty) {
+        writebackToLlc(Block, Home);
+        noteData(Config.socketOf(Holder), Home);
+        ++Stats.ReconcileWritebacks;
+      }
+      Private[Holder].setState(Block, LineState::Shared);
+      Entry.State = DirState::Shared;
+      Entry.Owner = InvalidCore;
+      Entry.Region = InvalidRegion;
+    } else {
+      // Paper Section 5.2's "no sharing" conversion: keep the private copy
+      // and just restore a MESI state.
+      Private[Holder].setState(Block, WasDirty ? LineState::Modified
+                                               : LineState::Exclusive);
+      Entry.State = WasDirty ? DirState::Modified : DirState::Exclusive;
+      Entry.Owner = Holder;
+      Entry.Sharers.clearAll();
+      Entry.Region = InvalidRegion;
+    }
+    // A single-holder reconcile is an ordinary background write-back: the
+    // directory repoints the state and the data drains off the critical
+    // path, so no synchronous cost is charged (Section 6.1 measures the
+    // reconciliation delay as trivial).
+    return 0;
+  }
+
+  // Multiple holders: merge dirty sectors in directory arrival order (core
+  // id order here; the WARD property licenses any order) and flush all
+  // copies.
+  SectorMask Merged;
+  bool TrueSharing = false;
+  Entry.Sharers.forEach([&](CoreId Holder) {
+    CacheLine *Line = Private[Holder].line(Block);
+    assert(Line && "tracked holder without a resident line");
+    if (Line->Dirty.any()) {
+      if (Merged.overlaps(Line->Dirty))
+        TrueSharing = true;
+      Merged.merge(Line->Dirty);
+      writebackToLlc(Block, Home);
+      noteData(Config.socketOf(Holder), Home);
+      ++Stats.ReconcileWritebacks;
+    }
+    Private[Holder].invalidate(Block);
+    noteMsg(Home, Config.socketOf(Holder));
+  });
+  if (TrueSharing)
+    ++Stats.TrueSharingReconciles;
+  else
+    ++Stats.FalseSharingReconciles;
+  Entry = DirEntry();
+  return Config.Features.ReconcileCostPerBlock;
+}
+
+void CoherenceController::drainDirtyData() {
+  for (CoreId Core = 0; Core < Config.totalCores(); ++Core) {
+    SocketId CoreSocket = Config.socketOf(Core);
+    Private[Core].forEachValidLine([&](CacheLine &Line) {
+      if (!Line.dirty())
+        return;
+      SocketId Home = homeOfExisting(Line.Block);
+      writebackToLlc(Line.Block, Home);
+      noteMsg(CoreSocket, Home);
+      noteData(CoreSocket, Home);
+      ++Stats.Writebacks;
+      Line.Dirty.clear();
+      Line.State = LineState::Shared;
+    });
+  }
+  for (CacheArray &Slice : Llc)
+    Slice.forEachValidLine([&](CacheLine &Line) {
+      if (Line.State != LineState::Modified)
+        return;
+      ++Stats.DramWritebacks;
+      Line.State = LineState::Shared;
+    });
+}
+
+const DirEntry *CoherenceController::directoryEntry(Addr Block) const {
+  auto It = Dir.find(Block);
+  return It == Dir.end() ? nullptr : &It->second;
+}
+
+const CacheLine *CoherenceController::privateLine(CoreId Core,
+                                                  Addr Block) const {
+  return Private[Core].line(Block);
+}

@@ -1,0 +1,56 @@
+//===- coherence/Directory.h - Full-map directory state -------*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Directory bookkeeping per cache block. The reproduction uses a "perfect"
+/// (unbounded, precise) full-map directory: entries are kept for every
+/// block that has ever been requested, and private caches notify the
+/// directory on every eviction, so owner/sharer information is exact. LLC
+/// data-array capacity is modeled separately (it affects DRAM traffic, not
+/// directory precision). This is the standard simplification when the
+/// study's focus is the protocol, not directory sizing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_COHERENCE_DIRECTORY_H
+#define WARDEN_COHERENCE_DIRECTORY_H
+
+#include "src/support/CoreMask.h"
+#include "src/support/Types.h"
+
+#include <unordered_map>
+
+namespace warden {
+
+/// Directory-visible state of a block (Figure 5's FSA states).
+enum class DirState : std::uint8_t {
+  Invalid,   ///< No private copies; memory/LLC is authoritative.
+  Shared,    ///< One or more clean read copies; LLC has data.
+  Exclusive, ///< Single owner, clean (may silently upgrade to Modified).
+  Modified,  ///< Single owner, dirty.
+  Ward,      ///< Coherence disabled: copies tracked only for reconciliation.
+};
+
+/// Returns a printable name for \p State.
+const char *dirStateName(DirState State);
+
+/// One block's directory entry.
+struct DirEntry {
+  DirState State = DirState::Invalid;
+  /// Owner core when Exclusive/Modified.
+  CoreId Owner = InvalidCore;
+  /// Sharer set when Shared; copy-holder set when Ward.
+  CoreMask Sharers;
+  /// Active region the block belongs to when Ward.
+  RegionId Region = InvalidRegion;
+};
+
+/// The directory: block-aligned address -> entry.
+using Directory = std::unordered_map<Addr, DirEntry>;
+
+} // namespace warden
+
+#endif // WARDEN_COHERENCE_DIRECTORY_H

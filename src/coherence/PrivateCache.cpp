@@ -1,0 +1,58 @@
+//===- coherence/PrivateCache.cpp - Per-core L1+L2 hierarchy --------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/coherence/PrivateCache.h"
+
+#include <cassert>
+
+using namespace warden;
+
+PrivateCache::PrivateCache(const CacheGeometry &L1Geometry,
+                           const CacheGeometry &L2Geometry)
+    : L1(L1Geometry), L2(L2Geometry) {}
+
+unsigned PrivateCache::hitLevel(Addr Block) {
+  if (L1.lookup(Block)) {
+    // Keep the L2 copy's recency in step so inclusion victims are cold.
+    L2.lookup(Block);
+    return 1;
+  }
+  if (L2.lookup(Block)) {
+    // Refill the L1; its victim is silently dropped (data remains in L2).
+    if (!L1.probe(Block))
+      L1.insert(Block, LineState::Shared);
+    return 2;
+  }
+  return 0;
+}
+
+CacheLine *PrivateCache::line(Addr Block) { return L2.probe(Block); }
+
+const CacheLine *PrivateCache::line(Addr Block) const {
+  return L2.probe(Block);
+}
+
+std::optional<EvictedLine> PrivateCache::fill(Addr Block, LineState State) {
+  assert(!L2.probe(Block) && "filling an already-resident block");
+  std::optional<EvictedLine> Victim = L2.insert(Block, State);
+  if (Victim)
+    L1.invalidate(Victim->Block); // Preserve inclusion.
+  L1.insert(Block, LineState::Shared);
+  return Victim;
+}
+
+std::optional<EvictedLine> PrivateCache::invalidate(Addr Block) {
+  L1.invalidate(Block);
+  return L2.invalidate(Block);
+}
+
+void PrivateCache::setState(Addr Block, LineState State) {
+  CacheLine *Line = L2.probe(Block);
+  assert(Line && "setState on absent block");
+  Line->State = State;
+  if (State != LineState::Modified && State != LineState::Ward)
+    Line->Dirty.clear();
+}

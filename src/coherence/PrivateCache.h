@@ -1,0 +1,70 @@
+//===- coherence/PrivateCache.h - Per-core L1+L2 hierarchy ----*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The private cache hierarchy of one core: an inclusive L1/L2 pair. The
+/// authoritative coherence state of a block lives in the L2 line; the L1
+/// array exists to distinguish L1-hit from L2-hit latency. Section 5.1 is
+/// explicit that WARDen leaves private caches unmodified — from their
+/// perspective a WARD block simply appears private — so this class is
+/// protocol-agnostic and manipulated entirely by the coherence controller.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_COHERENCE_PRIVATECACHE_H
+#define WARDEN_COHERENCE_PRIVATECACHE_H
+
+#include "src/mem/CacheArray.h"
+
+#include <optional>
+#include <vector>
+
+namespace warden {
+
+/// One core's private L1+L2.
+class PrivateCache {
+public:
+  PrivateCache(const CacheGeometry &L1Geometry,
+               const CacheGeometry &L2Geometry);
+
+  /// Probes for \p Block, updating recency. Returns 1 for an L1 hit, 2 for
+  /// an L2 hit (the L1 is refilled from the L2 as a side effect), or 0 for
+  /// a miss.
+  unsigned hitLevel(Addr Block);
+
+  /// Returns the authoritative (L2) line for \p Block, or nullptr.
+  CacheLine *line(Addr Block);
+  const CacheLine *line(Addr Block) const;
+
+  /// Fills \p Block in state \p State into both levels. Returns the L2
+  /// victim, if a valid line was displaced, so the controller can write it
+  /// back / notify the directory. The L1 copy of the victim is dropped to
+  /// preserve inclusion.
+  std::optional<EvictedLine> fill(Addr Block, LineState State);
+
+  /// Removes \p Block from both levels; returns the prior line contents if
+  /// it was present.
+  std::optional<EvictedLine> invalidate(Addr Block);
+
+  /// Changes the state of a resident block (e.g. downgrade M->S).
+  void setState(Addr Block, LineState State);
+
+  std::size_t residentBlocks() const { return L2.validLineCount(); }
+
+  /// Calls \p Fn for every valid (authoritative) line. Used by the
+  /// end-of-run drain and by tests.
+  template <typename FnT> void forEachValidLine(FnT Fn) {
+    L2.forEachValidLine(Fn);
+  }
+
+private:
+  CacheArray L1;
+  CacheArray L2;
+};
+
+} // namespace warden
+
+#endif // WARDEN_COHERENCE_PRIVATECACHE_H

@@ -1,0 +1,64 @@
+//===- coherence/RegionTable.cpp - Active WARD region tracking ------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/coherence/RegionTable.h"
+
+#include <cassert>
+
+using namespace warden;
+
+bool RegionTable::add(RegionId Id, Addr Start, Addr End) {
+  assert(Start < End && "empty region");
+  assert(!ById.count(Id) && "region id already active");
+  if (full())
+    return false;
+
+  // Reject overlap with the nearest neighbours.
+  auto Next = ByStart.lower_bound(Start);
+  if (Next != ByStart.end() && Next->first < End)
+    return false;
+  if (Next != ByStart.begin()) {
+    auto Prev = std::prev(Next);
+    if (Prev->second.first > Start)
+      return false;
+  }
+
+  ByStart.emplace(Start, std::make_pair(End, Id));
+  ById.emplace(Id, Start);
+  Peak = std::max(Peak, size());
+  return true;
+}
+
+std::optional<WardRegion> RegionTable::remove(RegionId Id) {
+  auto It = ById.find(Id);
+  if (It == ById.end())
+    return std::nullopt;
+  auto StartIt = ByStart.find(It->second);
+  assert(StartIt != ByStart.end() && "table maps out of sync");
+  WardRegion Region{StartIt->first, StartIt->second.first};
+  ByStart.erase(StartIt);
+  ById.erase(It);
+  return Region;
+}
+
+RegionId RegionTable::lookup(Addr Address) const {
+  auto It = ByStart.upper_bound(Address);
+  if (It == ByStart.begin())
+    return InvalidRegion;
+  --It;
+  if (Address < It->second.first)
+    return It->second.second;
+  return InvalidRegion;
+}
+
+std::optional<WardRegion> RegionTable::get(RegionId Id) const {
+  auto It = ById.find(Id);
+  if (It == ById.end())
+    return std::nullopt;
+  auto StartIt = ByStart.find(It->second);
+  assert(StartIt != ByStart.end() && "table maps out of sync");
+  return WardRegion{StartIt->first, StartIt->second.first};
+}

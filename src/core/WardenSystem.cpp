@@ -1,0 +1,85 @@
+//===- core/WardenSystem.cpp - End-to-end simulation facade ---------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/WardenSystem.h"
+
+#include "src/coherence/CoherenceController.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+using namespace warden;
+
+TaskGraph WardenSystem::record(const std::function<void(Runtime &)> &Program,
+                               RtOptions Options) {
+  Runtime Rt(Options);
+  Program(Rt);
+  assert(Rt.raceViolations().empty() &&
+         "program violates the WARD discipline; see Runtime::raceViolations");
+  return Rt.finish();
+}
+
+RunResult WardenSystem::simulate(const TaskGraph &Graph,
+                                 const MachineConfig &Config,
+                                 std::uint64_t Seed) {
+  CoherenceController Controller(Config);
+  Replayer Replay(Graph, Controller, Seed);
+  ReplayResult Timing = Replay.run();
+  Controller.drainDirtyData();
+
+  RunResult Result;
+  Result.Protocol = Config.Protocol;
+  Result.Makespan = Timing.Makespan;
+  Result.Sched = Timing.Sched;
+  Result.Instructions = Timing.Sched.Instructions;
+  Result.Coherence = Controller.stats();
+  Result.PeakRegions = Controller.regionTable().peakOccupancy();
+
+  EnergyEvents Events;
+  Events.Instructions = Result.Instructions;
+  Events.L1Accesses = Result.Coherence.L1Accesses;
+  Events.L2Accesses = Result.Coherence.L2Accesses;
+  Events.L3Accesses = Result.Coherence.L3Accesses;
+  Events.DramAccesses =
+      Result.Coherence.DramAccesses + Result.Coherence.DramWritebacks;
+  Events.MsgsIntraSocket = Result.Coherence.MsgsIntraSocket;
+  Events.MsgsInterSocket = Result.Coherence.MsgsInterSocket;
+  Events.MsgsRemote = Result.Coherence.MsgsRemote;
+  Events.DataIntraSocket = Result.Coherence.DataIntraSocket;
+  Events.DataInterSocket = Result.Coherence.DataInterSocket;
+  Events.DataRemote = Result.Coherence.DataRemote;
+
+  EnergyModel Model(Config);
+  Result.Energy = Model.compute(Events, Result.Makespan);
+  return Result;
+}
+
+RunResult WardenSystem::simulateMedian(const TaskGraph &Graph,
+                                       const MachineConfig &Config,
+                                       unsigned Repeats) {
+  assert(Repeats > 0 && "need at least one run");
+  std::vector<RunResult> Runs;
+  Runs.reserve(Repeats);
+  for (unsigned I = 0; I < Repeats; ++I)
+    Runs.push_back(simulate(Graph, Config, 0x5eed + 0x1111ULL * I));
+  std::sort(Runs.begin(), Runs.end(),
+            [](const RunResult &A, const RunResult &B) {
+              return A.Makespan < B.Makespan;
+            });
+  return Runs[Runs.size() / 2];
+}
+
+ProtocolComparison WardenSystem::compare(const TaskGraph &Graph,
+                                         MachineConfig Config,
+                                         unsigned Repeats) {
+  ProtocolComparison Comparison;
+  Config.Protocol = ProtocolKind::Mesi;
+  Comparison.Mesi = simulateMedian(Graph, Config, Repeats);
+  Config.Protocol = ProtocolKind::Warden;
+  Comparison.Warden = simulateMedian(Graph, Config, Repeats);
+  return Comparison;
+}

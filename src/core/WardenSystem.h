@@ -1,0 +1,136 @@
+//===- core/WardenSystem.h - End-to-end simulation facade -----*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level public API: record a program once (phase 1), simulate the
+/// recorded TaskGraph under a machine configuration and protocol (phase 2),
+/// and compare MESI against WARDen on identical traces — which is exactly
+/// the paper's experimental method (same binary, two protocols).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_CORE_WARDENSYSTEM_H
+#define WARDEN_CORE_WARDENSYSTEM_H
+
+#include "src/coherence/CoherenceStats.h"
+#include "src/machine/EnergyModel.h"
+#include "src/machine/MachineConfig.h"
+#include "src/rt/Runtime.h"
+#include "src/sched/Replay.h"
+#include "src/trace/TaskGraph.h"
+
+#include <functional>
+
+namespace warden {
+
+/// Complete outcome of one timed simulation.
+struct RunResult {
+  ProtocolKind Protocol = ProtocolKind::Mesi;
+  Cycles Makespan = 0;
+  std::uint64_t Instructions = 0;
+  CoherenceStats Coherence;
+  SchedulerStats Sched;
+  EnergyBreakdown Energy;
+  unsigned PeakRegions = 0;
+
+  /// Aggregate instructions-per-cycle over the whole machine run.
+  double ipc() const {
+    return Makespan == 0
+               ? 0.0
+               : static_cast<double>(Instructions) /
+                     static_cast<double>(Makespan);
+  }
+
+  /// Fraction of demand accesses that fell inside an active WARD region
+  /// (the Section 7.2 coverage statistic).
+  double wardCoverage() const {
+    std::uint64_t All = Coherence.accesses();
+    return All == 0 ? 0.0
+                    : static_cast<double>(Coherence.WardRegionAccesses) /
+                          static_cast<double>(All);
+  }
+};
+
+/// MESI-vs-WARDen comparison on identical recorded traces.
+struct ProtocolComparison {
+  RunResult Mesi;
+  RunResult Warden;
+
+  double speedup() const {
+    return Warden.Makespan == 0
+               ? 0.0
+               : static_cast<double>(Mesi.Makespan) /
+                     static_cast<double>(Warden.Makespan);
+  }
+
+  /// Fractional savings (positive = WARDen cheaper).
+  double totalEnergySavings() const {
+    double Base = Mesi.Energy.totalProcessorNJ();
+    return Base == 0 ? 0.0
+                     : 1.0 - Warden.Energy.totalProcessorNJ() / Base;
+  }
+
+  double interconnectEnergySavings() const {
+    double Base = Mesi.Energy.interconnectNJ();
+    return Base == 0 ? 0.0 : 1.0 - Warden.Energy.interconnectNJ() / Base;
+  }
+
+  /// Figure 9's metric: invalidations + downgrades avoided per thousand
+  /// executed instructions.
+  double invDownReducedPerKiloInstr() const {
+    double Reduced = static_cast<double>(Mesi.Coherence.invPlusDown()) -
+                     static_cast<double>(Warden.Coherence.invPlusDown());
+    std::uint64_t Instr = Mesi.Instructions;
+    return Instr == 0 ? 0.0 : 1000.0 * Reduced / static_cast<double>(Instr);
+  }
+
+  /// Figure 10's split: share of the reduction owed to downgrades.
+  double downgradeShareOfReduction() const {
+    double Down = static_cast<double>(Mesi.Coherence.Downgrades) -
+                  static_cast<double>(Warden.Coherence.Downgrades);
+    double Inv = static_cast<double>(Mesi.Coherence.Invalidations) -
+                 static_cast<double>(Warden.Coherence.Invalidations);
+    double Sum = Down + Inv;
+    return Sum == 0 ? 0.0 : Down / Sum;
+  }
+
+  /// Figure 11's metric: percent IPC improvement under WARDen.
+  double ipcImprovementPct() const {
+    double Base = Mesi.ipc();
+    return Base == 0 ? 0.0 : 100.0 * (Warden.ipc() / Base - 1.0);
+  }
+};
+
+/// Top-level driver.
+class WardenSystem {
+public:
+  /// Phase 1: records \p Program into a TaskGraph using runtime options
+  /// \p Options. Asserts the WARD discipline held (no checker violations).
+  static TaskGraph record(const std::function<void(Runtime &)> &Program,
+                          RtOptions Options = RtOptions());
+
+  /// Phase 2: simulates \p Graph on \p Config and returns results.
+  static RunResult simulate(const TaskGraph &Graph,
+                            const MachineConfig &Config,
+                            std::uint64_t Seed = 0x5eed);
+
+  /// Simulates under \p Repeats different scheduler seeds and returns the
+  /// run with the median makespan; damps work-stealing schedule noise the
+  /// same way the paper averages repeated runs.
+  static RunResult simulateMedian(const TaskGraph &Graph,
+                                  const MachineConfig &Config,
+                                  unsigned Repeats = 3);
+
+  /// Runs both protocols on the same graph and machine (median of
+  /// \p Repeats seeds each).
+  static ProtocolComparison compare(const TaskGraph &Graph,
+                                    MachineConfig Config,
+                                    unsigned Repeats = 3);
+};
+
+} // namespace warden
+
+#endif // WARDEN_CORE_WARDENSYSTEM_H

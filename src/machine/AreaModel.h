@@ -1,0 +1,73 @@
+//===- machine/AreaModel.h - Section 6.1 hardware cost model --*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An analytical (CACTI-flavoured) area model for WARDen's hardware
+/// additions, reproducing Section 6.1's feasibility numbers: byte
+/// sectoring adds one write bit per eight data bits (the paper estimates a
+/// 7.9% cache area overhead on 64-byte blocks once tags, state, sharer
+/// masks, and SECDED overheads are accounted for), and the region CAM
+/// (16 bytes per region, 1024 regions) costs under 0.05% additional area.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_MACHINE_AREAMODEL_H
+#define WARDEN_MACHINE_AREAMODEL_H
+
+#include "src/machine/MachineConfig.h"
+
+#include <cstdint>
+
+namespace warden {
+
+/// Per-line metadata breakdown of a cache, in bits.
+struct CacheLineBits {
+  unsigned DataBits = 0;
+  unsigned TagBits = 0;
+  unsigned StateBits = 0;
+  unsigned SharerBits = 0;   ///< LLC directory sharer mask (0 for private).
+  unsigned SecdedBits = 0;   ///< Error-correction overhead.
+  unsigned SectorBits = 0;   ///< WARDen's per-byte write flags.
+
+  unsigned baselineBits() const {
+    return DataBits + TagBits + StateBits + SharerBits + SecdedBits;
+  }
+  unsigned wardenBits() const { return baselineBits() + SectorBits; }
+};
+
+/// Aggregate area-cost estimates for the WARDen additions.
+struct AreaEstimate {
+  /// Fractional cache-area increase from byte sectoring across the whole
+  /// cache hierarchy (paper: 7.9%).
+  double SectoringOverhead = 0;
+  /// Fractional area of the region-tracking CAM relative to total cache
+  /// area (paper: < 0.05% for 1024 regions).
+  double RegionCamOverhead = 0;
+  /// Bytes of CAM storage (16 bytes per region).
+  std::uint64_t RegionCamBytes = 0;
+};
+
+/// Analytical area model over a machine configuration.
+class AreaModel {
+public:
+  explicit AreaModel(const MachineConfig &Config) : Config(Config) {}
+
+  /// Metadata layout of one line of a cache with \p CacheCapacityBytes of
+  /// data, \p Sectored per WARDen, and \p IsShared when it carries the LLC
+  /// directory sharer mask.
+  CacheLineBits lineBits(std::uint64_t CacheCapacityBytes, bool Sectored,
+                         bool IsShared) const;
+
+  /// Full-machine estimate.
+  AreaEstimate estimate() const;
+
+private:
+  const MachineConfig &Config;
+};
+
+} // namespace warden
+
+#endif // WARDEN_MACHINE_AREAMODEL_H

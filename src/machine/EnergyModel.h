@@ -1,0 +1,102 @@
+//===- machine/EnergyModel.h - Event-based energy accounting --*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// McPAT-style event-based energy accounting. The paper reports two energy
+/// quantities per benchmark (Figures 7b/8b/12b): "Total Processor" energy
+/// (core dynamic + cache dynamic + static leakage over the execution time)
+/// and "Interconnect" energy (coherence messages and data transfers by link
+/// class). Per-event energies are of the magnitude produced by CACTI /
+/// McPAT for a 14 nm Xeon-class part; only *relative* savings matter for
+/// the reproduction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_MACHINE_ENERGYMODEL_H
+#define WARDEN_MACHINE_ENERGYMODEL_H
+
+#include "src/machine/MachineConfig.h"
+#include "src/support/Types.h"
+
+#include <cstdint>
+
+namespace warden {
+
+/// Raw event counts consumed by the energy model. Populated from
+/// CoherenceStats and scheduler statistics at the end of a run.
+struct EnergyEvents {
+  std::uint64_t Instructions = 0;
+  std::uint64_t L1Accesses = 0;
+  std::uint64_t L2Accesses = 0;
+  std::uint64_t L3Accesses = 0;
+  std::uint64_t DramAccesses = 0;
+  /// Control messages (requests, acks, invalidations) by link class.
+  std::uint64_t MsgsIntraSocket = 0;
+  std::uint64_t MsgsInterSocket = 0;
+  std::uint64_t MsgsRemote = 0;
+  /// Full cache-block data transfers by link class.
+  std::uint64_t DataIntraSocket = 0;
+  std::uint64_t DataInterSocket = 0;
+  std::uint64_t DataRemote = 0;
+};
+
+/// Energy totals in nanojoules, split the way the paper plots them.
+struct EnergyBreakdown {
+  double CoreDynamicNJ = 0;
+  double CacheDynamicNJ = 0;
+  double StaticNJ = 0;
+  double InterconnectNJ = 0;
+  double DramNJ = 0;
+
+  /// "Total Processor" series of Figures 7b/8b: everything the package
+  /// consumes, including its interconnect.
+  double totalProcessorNJ() const {
+    return CoreDynamicNJ + CacheDynamicNJ + StaticNJ + InterconnectNJ +
+           DramNJ;
+  }
+
+  /// "Interconnect" / "Network" series.
+  double interconnectNJ() const { return InterconnectNJ; }
+};
+
+/// Converts event counts plus execution time into an energy breakdown.
+class EnergyModel {
+public:
+  explicit EnergyModel(const MachineConfig &Config) : Config(Config) {}
+
+  EnergyBreakdown compute(const EnergyEvents &Events, Cycles Elapsed) const;
+
+  // Per-event energies (nanojoules). Public so tests and ablations can
+  // reason about them.
+  static constexpr double InstructionNJ = 0.15;
+  static constexpr double L1AccessNJ = 0.05;
+  static constexpr double L2AccessNJ = 0.25;
+  static constexpr double L3AccessNJ = 1.1;
+  static constexpr double DramAccessNJ = 20.0;
+  static constexpr double MsgIntraNJ = 0.12;
+  static constexpr double MsgInterNJ = 2.8;
+  static constexpr double MsgRemoteNJ = 28.0;
+  static constexpr double DataIntraNJ = 0.9;
+  static constexpr double DataInterNJ = 16.0;
+  static constexpr double DataRemoteNJ = 160.0;
+  /// Static (leakage + uncore idle) power per core, watts.
+  static constexpr double StaticWattsPerCore = 1.1;
+  /// Static power of the on-chip interconnect (routers, link clocking) per
+  /// socket, watts. Burned for the whole execution, so faster runs save it
+  /// — a large share of McPAT's NoC energy.
+  static constexpr double NetworkStaticWattsPerSocket = 1.6;
+  /// Static power per inter-socket (QPI/UPI-style) link, watts.
+  static constexpr double InterSocketLinkWatts = 2.2;
+  /// Static power per inter-node link of a disaggregated system, watts.
+  static constexpr double RemoteLinkWatts = 9.0;
+
+private:
+  const MachineConfig &Config;
+};
+
+} // namespace warden
+
+#endif // WARDEN_MACHINE_ENERGYMODEL_H

@@ -1,0 +1,54 @@
+//===- machine/MachineConfig.cpp - Simulated machine parameters -----------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/machine/MachineConfig.h"
+
+#include <cstdio>
+
+using namespace warden;
+
+const char *warden::protocolName(ProtocolKind Protocol) {
+  switch (Protocol) {
+  case ProtocolKind::Mesi:
+    return "MESI";
+  case ProtocolKind::Warden:
+    return "WARDen";
+  }
+  return "unknown";
+}
+
+MachineConfig MachineConfig::singleSocket() {
+  MachineConfig Config;
+  Config.NumSockets = 1;
+  return Config;
+}
+
+MachineConfig MachineConfig::dualSocket() {
+  MachineConfig Config;
+  Config.NumSockets = 2;
+  return Config;
+}
+
+MachineConfig MachineConfig::disaggregated() {
+  MachineConfig Config;
+  Config.NumSockets = 2;
+  Config.Disaggregated = true;
+  return Config;
+}
+
+MachineConfig MachineConfig::manySocket(unsigned Sockets) {
+  MachineConfig Config;
+  Config.NumSockets = Sockets;
+  return Config;
+}
+
+std::string MachineConfig::describe() const {
+  char Buffer[128];
+  std::snprintf(Buffer, sizeof(Buffer), "%s%u-socket (%u cores)",
+                Disaggregated ? "disaggregated " : "", NumSockets,
+                totalCores());
+  return Buffer;
+}

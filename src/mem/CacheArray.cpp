@@ -1,0 +1,97 @@
+//===- mem/CacheArray.cpp - LRU set-associative cache array ---------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/mem/CacheArray.h"
+
+#include <cassert>
+
+using namespace warden;
+
+const char *warden::lineStateName(LineState State) {
+  switch (State) {
+  case LineState::Invalid:
+    return "I";
+  case LineState::Shared:
+    return "S";
+  case LineState::Exclusive:
+    return "E";
+  case LineState::Modified:
+    return "M";
+  case LineState::Ward:
+    return "W";
+  }
+  return "?";
+}
+
+CacheArray::CacheArray(const CacheGeometry &Geometry)
+    : Geometry(Geometry),
+      Lines(static_cast<std::size_t>(Geometry.NumSets) * Geometry.Assoc) {}
+
+CacheLine *CacheArray::lookup(Addr BlockAddress) {
+  CacheLine *Line = probe(BlockAddress);
+  if (Line)
+    Line->LruStamp = NextStamp++;
+  return Line;
+}
+
+CacheLine *CacheArray::probe(Addr BlockAddress) {
+  assert(Geometry.blockAddr(BlockAddress) == BlockAddress &&
+         "address must be block-aligned");
+  CacheLine *Set = setBegin(Geometry.setIndex(BlockAddress));
+  for (unsigned Way = 0; Way < Geometry.Assoc; ++Way)
+    if (Set[Way].valid() && Set[Way].Block == BlockAddress)
+      return &Set[Way];
+  return nullptr;
+}
+
+const CacheLine *CacheArray::probe(Addr BlockAddress) const {
+  return const_cast<CacheArray *>(this)->probe(BlockAddress);
+}
+
+std::optional<EvictedLine> CacheArray::insert(Addr BlockAddress,
+                                              LineState State) {
+  assert(State != LineState::Invalid && "cannot insert an invalid line");
+  assert(!probe(BlockAddress) && "block already present");
+  CacheLine *Set = setBegin(Geometry.setIndex(BlockAddress));
+
+  CacheLine *Victim = &Set[0];
+  for (unsigned Way = 0; Way < Geometry.Assoc; ++Way) {
+    if (!Set[Way].valid()) {
+      Victim = &Set[Way];
+      break;
+    }
+    if (Set[Way].LruStamp < Victim->LruStamp)
+      Victim = &Set[Way];
+  }
+
+  std::optional<EvictedLine> Displaced;
+  if (Victim->valid())
+    Displaced = EvictedLine{Victim->Block, Victim->State, Victim->Dirty};
+
+  Victim->Block = BlockAddress;
+  Victim->State = State;
+  Victim->Dirty.clear();
+  Victim->LruStamp = NextStamp++;
+  return Displaced;
+}
+
+std::optional<EvictedLine> CacheArray::invalidate(Addr BlockAddress) {
+  CacheLine *Line = probe(BlockAddress);
+  if (!Line)
+    return std::nullopt;
+  EvictedLine Old{Line->Block, Line->State, Line->Dirty};
+  Line->State = LineState::Invalid;
+  Line->Dirty.clear();
+  return Old;
+}
+
+std::size_t CacheArray::validLineCount() const {
+  std::size_t Count = 0;
+  for (const CacheLine &Line : Lines)
+    if (Line.valid())
+      ++Count;
+  return Count;
+}

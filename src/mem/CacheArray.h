@@ -1,0 +1,117 @@
+//===- mem/CacheArray.h - LRU set-associative cache array -----*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A protocol-agnostic set-associative cache array with LRU replacement.
+/// Each line stores a local coherence state, the WARD flag, and a
+/// byte-granularity dirty sector mask (Section 6.1's sectored caches). The
+/// coherence controller layers MESI/WARDen semantics on top.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_MEM_CACHEARRAY_H
+#define WARDEN_MEM_CACHEARRAY_H
+
+#include "src/mem/CacheGeometry.h"
+#include "src/mem/SectorMask.h"
+#include "src/support/Types.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace warden {
+
+/// Local (per-cache) state of a line. Private caches use the full MESI
+/// vocabulary plus Ward; the LLC data array only uses Invalid/Shared/
+/// Modified (present-clean / present-dirty).
+enum class LineState : std::uint8_t {
+  Invalid,
+  Shared,
+  Exclusive,
+  Modified,
+  /// Held under an active WARD region: the core may read and write freely
+  /// without generating coherence traffic; dirty bytes are tracked in the
+  /// sector mask for reconciliation.
+  Ward,
+};
+
+/// Returns a printable name for \p State.
+const char *lineStateName(LineState State);
+
+/// One cache line's bookkeeping.
+struct CacheLine {
+  Addr Block = 0;               ///< Block-aligned address; valid lines only.
+  LineState State = LineState::Invalid;
+  SectorMask Dirty;             ///< Bytes written while Modified/Ward.
+  std::uint64_t LruStamp = 0;   ///< Monotonic recency stamp.
+
+  bool valid() const { return State != LineState::Invalid; }
+  bool dirty() const {
+    return State == LineState::Modified ||
+           (State == LineState::Ward && Dirty.any());
+  }
+};
+
+/// A victim line returned from insert() when a valid line was displaced.
+struct EvictedLine {
+  Addr Block = 0;
+  LineState State = LineState::Invalid;
+  SectorMask Dirty;
+};
+
+/// Set-associative, LRU-replaced cache array.
+class CacheArray {
+public:
+  explicit CacheArray(const CacheGeometry &Geometry);
+
+  const CacheGeometry &geometry() const { return Geometry; }
+
+  /// Finds the line holding \p BlockAddress, updating recency. Returns
+  /// nullptr on miss. \p BlockAddress must be block-aligned.
+  CacheLine *lookup(Addr BlockAddress);
+
+  /// Finds the line holding \p BlockAddress without updating recency.
+  CacheLine *probe(Addr BlockAddress);
+  const CacheLine *probe(Addr BlockAddress) const;
+
+  /// Allocates a line for \p BlockAddress in state \p State, evicting the
+  /// LRU valid line of the set if necessary. Returns the displaced line's
+  /// data if one was displaced so the caller can write it back / notify the
+  /// directory. \p BlockAddress must not already be present.
+  std::optional<EvictedLine> insert(Addr BlockAddress, LineState State);
+
+  /// Invalidates the line holding \p BlockAddress if present; returns its
+  /// pre-invalidation contents, or std::nullopt if absent.
+  std::optional<EvictedLine> invalidate(Addr BlockAddress);
+
+  /// Number of currently valid lines.
+  std::size_t validLineCount() const;
+
+  /// Calls \p Fn(CacheLine&) for every valid line. Used only by tests and
+  /// whole-cache statistics; protocol paths use per-block probes.
+  template <typename FnT> void forEachValidLine(FnT Fn) {
+    for (CacheLine &Line : Lines)
+      if (Line.valid())
+        Fn(Line);
+  }
+
+private:
+  CacheLine *setBegin(unsigned SetIndex) {
+    return &Lines[static_cast<std::size_t>(SetIndex) * Geometry.Assoc];
+  }
+  const CacheLine *setBegin(unsigned SetIndex) const {
+    return &Lines[static_cast<std::size_t>(SetIndex) * Geometry.Assoc];
+  }
+
+  CacheGeometry Geometry;
+  std::vector<CacheLine> Lines;
+  std::uint64_t NextStamp = 1;
+};
+
+} // namespace warden
+
+#endif // WARDEN_MEM_CACHEARRAY_H

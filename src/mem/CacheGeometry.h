@@ -1,0 +1,59 @@
+//===- mem/CacheGeometry.h - Set-associative cache geometry ---*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Geometry (sets/ways/block size) of a set-associative cache and the
+/// address arithmetic over it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_MEM_CACHEGEOMETRY_H
+#define WARDEN_MEM_CACHEGEOMETRY_H
+
+#include "src/support/Types.h"
+
+#include <cassert>
+
+namespace warden {
+
+/// Describes a set-associative cache and maps addresses to sets/tags.
+struct CacheGeometry {
+  unsigned NumSets = 0;
+  unsigned Assoc = 0;
+  unsigned BlockSize = 64;
+
+  CacheGeometry() = default;
+
+  CacheGeometry(std::uint64_t SizeBytes, unsigned Assoc, unsigned BlockSize)
+      : Assoc(Assoc), BlockSize(BlockSize) {
+    assert(isPowerOf2(BlockSize) && "block size must be a power of two");
+    assert(SizeBytes % (static_cast<std::uint64_t>(Assoc) * BlockSize) == 0 &&
+           "size must be divisible by way size");
+    NumSets = static_cast<unsigned>(SizeBytes / Assoc / BlockSize);
+    assert(NumSets > 0 && "cache must have at least one set");
+  }
+
+  std::uint64_t sizeBytes() const {
+    return static_cast<std::uint64_t>(NumSets) * Assoc * BlockSize;
+  }
+
+  /// Block-aligned address containing \p Address.
+  Addr blockAddr(Addr Address) const { return Address & ~(Addr(BlockSize) - 1); }
+
+  /// Byte offset of \p Address within its block.
+  unsigned blockOffset(Addr Address) const {
+    return static_cast<unsigned>(Address & (BlockSize - 1));
+  }
+
+  /// Set index for a block-aligned address.
+  unsigned setIndex(Addr BlockAddress) const {
+    return static_cast<unsigned>((BlockAddress / BlockSize) % NumSets);
+  }
+};
+
+} // namespace warden
+
+#endif // WARDEN_MEM_CACHEGEOMETRY_H

@@ -1,0 +1,77 @@
+//===- mem/SectorMask.h - Byte-granularity dirty sector masks -*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-granularity write ("sector") masks for cache blocks. Section 6.1:
+/// sectored caches add one bit per eight data bits so reconciliation can
+/// tell which bytes of a WARD block each private copy mutated. With 64-byte
+/// blocks the mask is exactly one 64-bit word.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_MEM_SECTORMASK_H
+#define WARDEN_MEM_SECTORMASK_H
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace warden {
+
+/// Dirty-byte mask for one cache block (up to 64 bytes).
+class SectorMask {
+public:
+  static constexpr unsigned MaxBytes = 64;
+
+  SectorMask() = default;
+
+  /// Marks bytes [Offset, Offset + Size) as written.
+  void markWritten(unsigned Offset, unsigned Size) {
+    assert(Offset + Size <= MaxBytes && "write beyond block");
+    assert(Size > 0 && "empty write");
+    Bits |= rangeMask(Offset, Size);
+  }
+
+  /// Returns true if any byte in [Offset, Offset + Size) is dirty.
+  bool anyWritten(unsigned Offset, unsigned Size) const {
+    assert(Offset + Size <= MaxBytes && "probe beyond block");
+    return (Bits & rangeMask(Offset, Size)) != 0;
+  }
+
+  bool any() const { return Bits != 0; }
+
+  unsigned count() const { return std::popcount(Bits); }
+
+  void clear() { Bits = 0; }
+
+  /// Returns true if this mask overlaps \p Other — i.e. two private copies
+  /// wrote at least one common byte, which is the "true sharing" case of
+  /// Section 5.2's reconciliation taxonomy.
+  bool overlaps(const SectorMask &Other) const {
+    return (Bits & Other.Bits) != 0;
+  }
+
+  /// Merges \p Other's dirty bytes into this mask (used as blocks are
+  /// reconciled back to the shared cache).
+  void merge(const SectorMask &Other) { Bits |= Other.Bits; }
+
+  std::uint64_t raw() const { return Bits; }
+
+  bool operator==(const SectorMask &Other) const = default;
+
+private:
+  static std::uint64_t rangeMask(unsigned Offset, unsigned Size) {
+    std::uint64_t Width =
+        Size >= 64 ? ~0ULL : ((1ULL << Size) - 1);
+    return Width << Offset;
+  }
+
+  std::uint64_t Bits = 0;
+};
+
+} // namespace warden
+
+#endif // WARDEN_MEM_SECTORMASK_H

@@ -1,0 +1,56 @@
+//===- pbbs/Dedup.cpp - dedup benchmark --------------------------------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// dedup: count the distinct values of an array with heavy duplication.
+/// Sort, then flag group boundaries and sum them — the PBBS
+/// "removeDuplicates" structure expressed with the suite's own sort.
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/pbbs/Pbbs.h"
+
+#include "src/pbbs/Inputs.h"
+#include "src/pbbs/Sort.h"
+#include "src/rt/Stdlib.h"
+
+#include <unordered_set>
+
+using namespace warden;
+using namespace warden::pbbs;
+
+Recorded pbbs::recordDedup(std::size_t Scale, const RtOptions &Options) {
+  Runtime Rt(Options);
+  // A value range of half the element count gives roughly 43% duplication.
+  SimArray<std::uint32_t> In = randomArray<std::uint32_t>(
+      Rt, Scale, /*Range=*/Scale / 2, /*Seed=*/0xded);
+
+  SimArray<std::uint32_t> Sorted =
+      mergeSort(Rt, In, [](std::uint32_t A, std::uint32_t B) { return A < B; },
+                /*Grain=*/128);
+
+  SimArray<std::uint32_t> Boundary = stdlib::tabulate<std::uint32_t>(
+      Rt, Sorted.size(),
+      [&](std::size_t I) {
+        if (I == 0)
+          return std::uint32_t(1);
+        return Sorted.get(I) != Sorted.get(I - 1) ? std::uint32_t(1)
+                                                  : std::uint32_t(0);
+      },
+      256);
+  std::uint32_t Distinct = stdlib::sum(Rt, Boundary, 256);
+
+  std::unordered_set<std::uint32_t> Reference;
+  for (std::size_t I = 0; I < In.size(); ++I)
+    Reference.insert(In.peek(I));
+
+  Recorded R;
+  R.Checksum = Distinct;
+  R.Verified =
+      (Reference.size() == Distinct) && Rt.raceViolations().empty();
+  R.Graph = Rt.finish();
+  return R;
+}

@@ -1,0 +1,76 @@
+//===- pbbs/Dmm.cpp - dmm benchmark ------------------------------------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// dmm: dense matrix multiply C = A x B. The inputs are shared read-only;
+/// B is first transposed (a parallel tabulate) for unit-stride access; the
+/// result C is a fresh write-only destination filled row-parallel.
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/pbbs/Pbbs.h"
+
+#include "src/pbbs/Inputs.h"
+#include "src/rt/Stdlib.h"
+
+#include <vector>
+
+using namespace warden;
+using namespace warden::pbbs;
+
+Recorded pbbs::recordDmm(std::size_t Scale, const RtOptions &Options) {
+  std::size_t N = Scale;
+  Runtime Rt(Options);
+  SimArray<std::int32_t> A = randomArray<std::int32_t>(
+      Rt, N * N, /*Range=*/100, /*Seed=*/0xa11a, static_cast<std::int64_t>(N));
+  SimArray<std::int32_t> B = randomArray<std::int32_t>(
+      Rt, N * N, /*Range=*/100, /*Seed=*/0xb22b, static_cast<std::int64_t>(N));
+
+  SimArray<std::int32_t> Bt = stdlib::tabulate<std::int32_t>(
+      Rt, N * N,
+      [&](std::size_t I) {
+        std::size_t Row = I / N;
+        std::size_t Col = I % N;
+        return B.get(Col * N + Row);
+      },
+      static_cast<std::int64_t>(N) / 2);
+
+  SimArray<std::int64_t> C = stdlib::tabulate<std::int64_t>(
+      Rt, N * N,
+      [&](std::size_t I) {
+        std::size_t Row = I / N;
+        std::size_t Col = I % N;
+        std::int64_t Acc = 0;
+        for (std::size_t K = 0; K < N; ++K) {
+          Acc += static_cast<std::int64_t>(A.get(Row * N + K)) *
+                 static_cast<std::int64_t>(Bt.get(Col * N + K));
+          Rt.work(1);
+        }
+        return Acc;
+      },
+      static_cast<std::int64_t>(N) / 4);
+
+  // Sequential reference.
+  bool Ok = true;
+  std::uint64_t Sum = 0;
+  std::vector<std::int64_t> Ref(N * N, 0);
+  for (std::size_t Row = 0; Row < N; ++Row)
+    for (std::size_t K = 0; K < N; ++K) {
+      std::int64_t AV = A.peek(Row * N + K);
+      for (std::size_t Col = 0; Col < N; ++Col)
+        Ref[Row * N + Col] += AV * B.peek(K * N + Col);
+    }
+  for (std::size_t I = 0; I < N * N; ++I) {
+    Ok &= (C.peek(I) == Ref[I]);
+    Sum += static_cast<std::uint64_t>(C.peek(I));
+  }
+
+  Recorded R;
+  R.Checksum = Sum;
+  R.Verified = Ok && Rt.raceViolations().empty();
+  R.Graph = Rt.finish();
+  return R;
+}

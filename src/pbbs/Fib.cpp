@@ -1,0 +1,61 @@
+//===- pbbs/Fib.cpp - fib benchmark ----------------------------------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Naive parallel Fibonacci: the canonical fork-join stress test. Almost no
+/// application memory traffic — its coherence behaviour is dominated by the
+/// scheduler's own fork frames — so, as in the paper, it sees event
+/// reductions but little speedup (Section 7.2's fib discussion).
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/pbbs/Pbbs.h"
+
+#include "src/rt/SimArray.h"
+
+using namespace warden;
+using namespace warden::pbbs;
+
+namespace {
+
+std::uint64_t fibSeq(unsigned N) {
+  return N < 2 ? N : fibSeq(N - 1) + fibSeq(N - 2);
+}
+
+/// Number of calls the sequential recursion performs (for work accounting).
+std::uint64_t fibCalls(unsigned N) {
+  return N < 2 ? 1 : 1 + fibCalls(N - 1) + fibCalls(N - 2);
+}
+
+std::uint64_t fibPar(Runtime &Rt, unsigned N, unsigned Cutoff) {
+  if (N < Cutoff) {
+    // The sequential base case: ~3 cycles per recursive call.
+    Rt.work(3 * fibCalls(N));
+    return fibSeq(N);
+  }
+  std::uint64_t A = 0;
+  std::uint64_t B = 0;
+  Rt.fork2([&] { A = fibPar(Rt, N - 1, Cutoff); },
+           [&] { B = fibPar(Rt, N - 2, Cutoff); });
+  Rt.work(4);
+  return A + B;
+}
+
+} // namespace
+
+Recorded pbbs::recordFib(std::size_t Scale, const RtOptions &Options) {
+  unsigned N = static_cast<unsigned>(Scale);
+  unsigned Cutoff = N > 12 ? N - 10 : 2;
+
+  Runtime Rt(Options);
+  std::uint64_t Value = fibPar(Rt, N, Cutoff);
+
+  Recorded R;
+  R.Checksum = Value;
+  R.Verified = (Value == fibSeq(N)) && Rt.raceViolations().empty();
+  R.Graph = Rt.finish();
+  return R;
+}

@@ -1,0 +1,77 @@
+//===- pbbs/Grep.cpp - grep benchmark ----------------------------------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// grep: find every position of a pattern in a text. Flags/scan/scatter
+/// pipeline: heavy read sharing of the text plus fresh output arrays per
+/// phase.
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/pbbs/Pbbs.h"
+
+#include "src/pbbs/Inputs.h"
+#include "src/rt/Stdlib.h"
+
+#include <string>
+
+using namespace warden;
+using namespace warden::pbbs;
+
+Recorded pbbs::recordGrep(std::size_t Scale, const RtOptions &Options) {
+  std::string Text = makeText(Scale, /*Seed=*/0x63e5);
+  // The pattern is a trigram drawn from the middle of the text so there are
+  // guaranteed matches.
+  std::string Pattern = Text.substr(Text.size() / 2, 3);
+
+  Runtime Rt(Options);
+  SimArray<char> SimText = importText(Rt, Text);
+  std::size_t Positions = Text.size() - Pattern.size() + 1;
+
+  SimArray<std::uint32_t> Flags = stdlib::tabulate<std::uint32_t>(
+      Rt, Positions,
+      [&](std::size_t I) {
+        for (std::size_t K = 0; K < Pattern.size(); ++K)
+          if (SimText.get(I + K) != Pattern[K])
+            return std::uint32_t(0);
+        return std::uint32_t(1);
+      },
+      512);
+
+  std::uint32_t Total = 0;
+  SimArray<std::uint32_t> Offsets = stdlib::scanExclusive(Rt, Flags, Total, 512);
+
+  SimArray<std::uint32_t> Matches =
+      Rt.allocArray<std::uint32_t>(std::max<std::uint32_t>(Total, 1));
+  {
+    Runtime::WriteOnlyScope Scope(Rt, Matches.addr(), Matches.bytes());
+    Rt.parallelFor(0, static_cast<std::int64_t>(Positions), 512,
+                   [&](std::int64_t I) {
+                     auto Index = static_cast<std::size_t>(I);
+                     if (Flags.get(Index))
+                       Matches.set(Offsets.get(Index),
+                                   static_cast<std::uint32_t>(Index));
+                   });
+  }
+
+  // Sequential reference.
+  std::uint64_t Expected = 0;
+  for (std::size_t I = 0; I < Positions; ++I)
+    if (Text.compare(I, Pattern.size(), Pattern) == 0)
+      ++Expected;
+
+  bool Ok = (Expected == Total);
+  for (std::uint32_t I = 0; Ok && I < Total; ++I) {
+    std::uint32_t Pos = Matches.peek(I);
+    Ok &= Text.compare(Pos, Pattern.size(), Pattern) == 0;
+  }
+
+  Recorded R;
+  R.Checksum = Total;
+  R.Verified = Ok && Rt.raceViolations().empty();
+  R.Graph = Rt.finish();
+  return R;
+}

@@ -1,0 +1,71 @@
+//===- pbbs/Inputs.cpp - Deterministic synthetic inputs -------------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/pbbs/Inputs.h"
+
+using namespace warden;
+using namespace warden::pbbs;
+
+void pbbs::fillRandomPoints(const SimArray<Point2> &Out, std::int32_t Range,
+                            std::uint64_t Seed) {
+  Rng Random(Seed);
+  for (std::size_t I = 0; I < Out.size(); ++I) {
+    Point2 P;
+    P.X = static_cast<std::int32_t>(
+        Random.nextBelow(static_cast<std::uint64_t>(Range)));
+    P.Y = static_cast<std::int32_t>(
+        Random.nextBelow(static_cast<std::uint64_t>(Range)));
+    Out.poke(I, P);
+  }
+}
+
+std::string pbbs::makeText(std::size_t Length, std::uint64_t Seed) {
+  Rng Random(Seed);
+  std::string Text;
+  Text.reserve(Length + 16);
+  std::size_t SinceNewline = 0;
+  while (Text.size() < Length) {
+    std::size_t WordLength = 1 + Random.nextBelow(10);
+    for (std::size_t I = 0; I < WordLength; ++I)
+      Text.push_back(static_cast<char>('a' + Random.nextBelow(26)));
+    if (SinceNewline > 60) {
+      Text.push_back('\n');
+      SinceNewline = 0;
+    } else {
+      Text.push_back(' ');
+      SinceNewline += WordLength + 1;
+    }
+  }
+  Text.resize(Length);
+  return Text;
+}
+
+SimArray<char> pbbs::uploadText(Runtime &Rt, const std::string &Text) {
+  SimArray<char> Out = Rt.allocArray<char>(Text.size());
+  for (std::size_t I = 0; I < Text.size(); ++I)
+    Out.poke(I, Text[I]);
+  return Out;
+}
+
+SimArray<char> pbbs::importText(Runtime &Rt, const std::string &Text) {
+  return stdlib::tabulate<char>(
+      Rt, Text.size(), [&](std::size_t I) { return Text[I]; }, 512);
+}
+
+SimArray<Point2> pbbs::randomPoints(Runtime &Rt, std::size_t Count,
+                                    std::int32_t Range, std::uint64_t Seed) {
+  return stdlib::tabulate<Point2>(
+      Rt, Count,
+      [=](std::size_t I) {
+        Point2 P;
+        P.X = static_cast<std::int32_t>(
+            hashMix(Seed + 2 * I) % static_cast<std::uint64_t>(Range));
+        P.Y = static_cast<std::int32_t>(
+            hashMix(Seed + 2 * I + 1) % static_cast<std::uint64_t>(Range));
+        return P;
+      },
+      256);
+}

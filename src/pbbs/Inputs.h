@@ -1,0 +1,91 @@
+//===- pbbs/Inputs.h - Deterministic synthetic inputs ----------*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic synthetic input generators standing in for the PBBS data
+/// sets (which ship inside the original artifact VM). Two styles:
+///
+///  * untimed pokes (fillRandom / uploadText) for data that would exist
+///    before the timed region;
+///  * timed generators (randomArray / randomPoints / importText) that
+///    materialise inputs through parallel tabulates, the way PBBS-ML
+///    benchmarks build their inputs functionally inside the program — the
+///    produced arrays are fresh heap data and therefore WARD regions while
+///    being written.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_PBBS_INPUTS_H
+#define WARDEN_PBBS_INPUTS_H
+
+#include "src/rt/SimArray.h"
+#include "src/rt/Stdlib.h"
+#include "src/support/Rng.h"
+
+#include <cstdint>
+#include <string>
+
+namespace warden {
+namespace pbbs {
+
+/// A 2-D point with integer coordinates.
+struct Point2 {
+  std::int32_t X = 0;
+  std::int32_t Y = 0;
+};
+
+/// Stateless mix function used by the timed generators.
+inline std::uint64_t hashMix(std::uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// Untimed fill of \p Out with pseudo-random values in [0, Range).
+template <typename T>
+void fillRandom(const SimArray<T> &Out, std::uint64_t Range,
+                std::uint64_t Seed) {
+  Rng Random(Seed);
+  for (std::size_t I = 0; I < Out.size(); ++I)
+    Out.poke(I, static_cast<T>(Random.nextBelow(Range)));
+}
+
+/// Untimed fill of \p Out with pseudo-random points in [0, Range)^2.
+void fillRandomPoints(const SimArray<Point2> &Out, std::int32_t Range,
+                      std::uint64_t Seed);
+
+/// Generates English-like text: lowercase words of 1-10 letters separated
+/// by spaces, with a newline roughly every 60 characters. Returns exactly
+/// \p Length characters.
+std::string makeText(std::size_t Length, std::uint64_t Seed);
+
+/// Untimed copy of a host string into simulated memory.
+SimArray<char> uploadText(Runtime &Rt, const std::string &Text);
+
+/// Timed copy of a host string into heap memory via a parallel tabulate.
+SimArray<char> importText(Runtime &Rt, const std::string &Text);
+
+/// Timed parallel generation of pseudo-random values in [0, Range).
+template <typename T>
+SimArray<T> randomArray(Runtime &Rt, std::size_t Count, std::uint64_t Range,
+                        std::uint64_t Seed, std::int64_t Grain = 256) {
+  return stdlib::tabulate<T>(
+      Rt, Count,
+      [=](std::size_t I) {
+        return static_cast<T>(hashMix(Seed + I) % Range);
+      },
+      Grain);
+}
+
+/// Timed parallel generation of pseudo-random points in [0, Range)^2.
+SimArray<Point2> randomPoints(Runtime &Rt, std::size_t Count,
+                              std::int32_t Range, std::uint64_t Seed);
+
+} // namespace pbbs
+} // namespace warden
+
+#endif // WARDEN_PBBS_INPUTS_H

@@ -1,0 +1,49 @@
+//===- pbbs/Msort.cpp - msort benchmark --------------------------------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// msort: parallel merge sort. Each recursion level writes fresh arrays on
+/// one set of cores and reads them on another during the merges — the
+/// producer/consumer pattern whose downgrades WARDen's join-time
+/// reconciliation removes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/pbbs/Pbbs.h"
+
+#include "src/pbbs/Inputs.h"
+#include "src/pbbs/Sort.h"
+
+using namespace warden;
+using namespace warden::pbbs;
+
+Recorded pbbs::recordMsort(std::size_t Scale, const RtOptions &Options) {
+  Runtime Rt(Options);
+  SimArray<std::uint32_t> In =
+      randomArray<std::uint32_t>(Rt, Scale, /*Range=*/1u << 30,
+                                 /*Seed=*/0x50f7);
+
+  SimArray<std::uint32_t> Sorted =
+      mergeSort(Rt, In, [](std::uint32_t A, std::uint32_t B) { return A < B; },
+                /*Grain=*/128);
+
+  bool Ok = Sorted.size() == In.size();
+  std::uint64_t SumIn = 0;
+  std::uint64_t SumOut = 0;
+  for (std::size_t I = 0; I < In.size(); ++I) {
+    SumIn += In.peek(I);
+    SumOut += Sorted.peek(I);
+    if (I > 0)
+      Ok &= Sorted.peek(I - 1) <= Sorted.peek(I);
+  }
+  Ok &= (SumIn == SumOut);
+
+  Recorded R;
+  R.Checksum = SumOut;
+  R.Verified = Ok && Rt.raceViolations().empty();
+  R.Graph = Rt.finish();
+  return R;
+}

@@ -1,0 +1,83 @@
+//===- pbbs/Nn.cpp - nn benchmark --------------------------------------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// nn: for each query point, the index of its nearest reference point.
+/// Reference points are shared read-only across every core; the result
+/// array is a fresh write-only destination.
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/pbbs/Pbbs.h"
+
+#include "src/pbbs/Inputs.h"
+#include "src/rt/Stdlib.h"
+
+#include <cstdlib>
+
+using namespace warden;
+using namespace warden::pbbs;
+
+namespace {
+
+std::int64_t dist2(const Point2 &A, const Point2 &B) {
+  std::int64_t DX = A.X - B.X;
+  std::int64_t DY = A.Y - B.Y;
+  return DX * DX + DY * DY;
+}
+
+} // namespace
+
+Recorded pbbs::recordNn(std::size_t Scale, const RtOptions &Options) {
+  std::size_t Queries = Scale;
+  std::size_t Refs = 2 * Scale;
+  Runtime Rt(Options);
+  SimArray<Point2> Q = randomPoints(Rt, Queries, /*Range=*/1 << 16,
+                                    /*Seed=*/0x4411);
+  SimArray<Point2> Ref = randomPoints(Rt, Refs, /*Range=*/1 << 16,
+                                      /*Seed=*/0x4422);
+
+  SimArray<std::uint32_t> Nearest = stdlib::tabulate<std::uint32_t>(
+      Rt, Queries,
+      [&](std::size_t I) {
+        Point2 Query = Q.get(I);
+        std::int64_t Best = -1;
+        std::uint32_t BestIdx = 0;
+        for (std::size_t J = 0; J < Refs; ++J) {
+          std::int64_t D = dist2(Query, Ref.get(J));
+          Rt.work(3);
+          if (Best < 0 || D < Best) {
+            Best = D;
+            BestIdx = static_cast<std::uint32_t>(J);
+          }
+        }
+        return BestIdx;
+      },
+      /*Grain=*/4);
+
+  bool Ok = true;
+  std::uint64_t Sum = 0;
+  for (std::size_t I = 0; I < Queries; ++I) {
+    Point2 Query = Q.peek(I);
+    std::int64_t Best = -1;
+    std::uint32_t BestIdx = 0;
+    for (std::size_t J = 0; J < Refs; ++J) {
+      std::int64_t D = dist2(Query, Ref.peek(J));
+      if (Best < 0 || D < Best) {
+        Best = D;
+        BestIdx = static_cast<std::uint32_t>(J);
+      }
+    }
+    Ok &= (Nearest.peek(I) == BestIdx);
+    Sum += BestIdx;
+  }
+
+  Recorded R;
+  R.Checksum = Sum;
+  R.Verified = Ok && Rt.raceViolations().empty();
+  R.Graph = Rt.finish();
+  return R;
+}

@@ -1,0 +1,105 @@
+//===- pbbs/Nqueens.cpp - nqueens benchmark -----------------------------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// nqueens: count the placements of N queens. The top board row is explored
+/// in parallel; each branch backtracks sequentially over a board array
+/// allocated in its own (WARD) heap, and the counts reduce up through the
+/// fork frames.
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/pbbs/Pbbs.h"
+
+#include "src/rt/Stdlib.h"
+
+#include <cstdlib>
+#include <vector>
+
+using namespace warden;
+using namespace warden::pbbs;
+
+namespace {
+
+/// Recorded sequential backtracking below the parallel prefix. The board
+/// lives in simulated memory so conflict checks generate real loads.
+std::uint64_t solveFrom(Runtime &Rt, const SimArray<std::int8_t> &Board,
+                        unsigned Row, unsigned N) {
+  if (Row == N)
+    return 1;
+  std::uint64_t Count = 0;
+  for (unsigned Col = 0; Col < N; ++Col) {
+    bool Valid = true;
+    for (unsigned Prev = 0; Prev < Row && Valid; ++Prev) {
+      std::int8_t C = Board.get(Prev);
+      Rt.work(2);
+      if (C == static_cast<std::int8_t>(Col) ||
+          static_cast<unsigned>(std::abs(int(C) - int(Col))) == Row - Prev)
+        Valid = false;
+    }
+    if (!Valid)
+      continue;
+    Board.set(Row, static_cast<std::int8_t>(Col));
+    Count += solveFrom(Rt, Board, Row + 1, N);
+  }
+  return Count;
+}
+
+std::uint64_t solveSeq(std::vector<int> &Board, unsigned Row, unsigned N) {
+  if (Row == N)
+    return 1;
+  std::uint64_t Count = 0;
+  for (unsigned Col = 0; Col < N; ++Col) {
+    bool Valid = true;
+    for (unsigned Prev = 0; Prev < Row && Valid; ++Prev)
+      if (Board[Prev] == static_cast<int>(Col) ||
+          static_cast<unsigned>(std::abs(Board[Prev] - int(Col))) ==
+              Row - Prev)
+        Valid = false;
+    if (!Valid)
+      continue;
+    Board[Row] = static_cast<int>(Col);
+    Count += solveSeq(Board, Row + 1, N);
+  }
+  return Count;
+}
+
+} // namespace
+
+Recorded pbbs::recordNqueens(std::size_t Scale, const RtOptions &Options) {
+  unsigned N = static_cast<unsigned>(Scale);
+  Runtime Rt(Options);
+
+  // Parallel over (col0, col1) prefixes; each leaf owns a fresh board.
+  std::uint64_t Total = stdlib::reduceRange<std::uint64_t>(
+      Rt, 0, static_cast<std::int64_t>(N) * N,
+      [&](std::int64_t Lo, std::int64_t Hi) {
+        std::uint64_t Count = 0;
+        for (std::int64_t Pair = Lo; Pair < Hi; ++Pair) {
+          unsigned Col0 = static_cast<unsigned>(Pair) / N;
+          unsigned Col1 = static_cast<unsigned>(Pair) % N;
+          if (Col0 == Col1 ||
+              (Col1 > Col0 ? Col1 - Col0 : Col0 - Col1) == 1)
+            continue;
+          SimArray<std::int8_t> Board = Rt.allocArray<std::int8_t>(N);
+          Board.set(0, static_cast<std::int8_t>(Col0));
+          Board.set(1, static_cast<std::int8_t>(Col1));
+          Count += solveFrom(Rt, Board, 2, N);
+        }
+        return Count;
+      },
+      [](std::uint64_t A, std::uint64_t B) { return A + B; },
+      /*Grain=*/1);
+
+  std::vector<int> Board(N, 0);
+  std::uint64_t Expected = solveSeq(Board, 0, N);
+
+  Recorded R;
+  R.Checksum = Total;
+  R.Verified = (Total == Expected) && Rt.raceViolations().empty();
+  R.Graph = Rt.finish();
+  return R;
+}

@@ -1,0 +1,82 @@
+//===- pbbs/Palindrome.cpp - palindrome benchmark ------------------------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// palindrome: for every center of a string, the radius of the longest odd
+/// palindrome around it; the result is the maximum radius. Dense shared
+/// reads of the text plus a fresh radii array, with planted palindromes so
+/// some centers do real expansion work.
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/pbbs/Pbbs.h"
+
+#include "src/pbbs/Inputs.h"
+#include "src/rt/Stdlib.h"
+
+#include <string>
+
+using namespace warden;
+using namespace warden::pbbs;
+
+namespace {
+
+/// Random text with mirrored segments planted every ~1000 characters.
+std::string makePalindromeText(std::size_t Length, std::uint64_t Seed) {
+  std::string Text = makeText(Length, Seed);
+  for (std::size_t Center = 500; Center + 120 < Length; Center += 1000)
+    for (std::size_t R = 1; R < 100; ++R)
+      Text[Center + R] = Text[Center - R];
+  return Text;
+}
+
+} // namespace
+
+Recorded pbbs::recordPalindrome(std::size_t Scale, const RtOptions &Options) {
+  std::string Text = makePalindromeText(Scale, /*Seed=*/0x9a11);
+  Runtime Rt(Options);
+  SimArray<char> SimText = importText(Rt, Text);
+  std::size_t N = Text.size();
+
+  SimArray<std::uint32_t> Radii = stdlib::tabulate<std::uint32_t>(
+      Rt, N,
+      [&](std::size_t Center) {
+        std::uint32_t R = 0;
+        while (Center >= R + 1 && Center + R + 1 < N &&
+               SimText.get(Center - R - 1) == SimText.get(Center + R + 1)) {
+          ++R;
+          Rt.work(2);
+        }
+        return R;
+      },
+      256);
+
+  std::uint32_t MaxRadius = stdlib::reduceRange<std::uint32_t>(
+      Rt, 0, static_cast<std::int64_t>(N),
+      [&](std::int64_t Lo, std::int64_t Hi) {
+        std::uint32_t Best = 0;
+        for (std::int64_t I = Lo; I < Hi; ++I)
+          Best = std::max(Best, Radii.get(static_cast<std::size_t>(I)));
+        return Best;
+      },
+      [](std::uint32_t A, std::uint32_t B) { return std::max(A, B); }, 256);
+
+  // Sequential reference.
+  std::uint32_t Expected = 0;
+  for (std::size_t Center = 0; Center < N; ++Center) {
+    std::uint32_t R = 0;
+    while (Center >= R + 1 && Center + R + 1 < N &&
+           Text[Center - R - 1] == Text[Center + R + 1])
+      ++R;
+    Expected = std::max(Expected, R);
+  }
+
+  Recorded R;
+  R.Checksum = MaxRadius;
+  R.Verified = (MaxRadius == Expected) && Rt.raceViolations().empty();
+  R.Graph = Rt.finish();
+  return R;
+}

@@ -1,0 +1,45 @@
+//===- pbbs/Pbbs.cpp - PBBS-style benchmark registry -----------------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/pbbs/Pbbs.h"
+
+using namespace warden;
+using namespace warden::pbbs;
+
+const std::vector<Benchmark> &pbbs::allBenchmarks() {
+  // Paper plotting order (Figures 7-11). Scales are tuned so each
+  // benchmark records a few hundred thousand trace events — enough to
+  // exercise the cache hierarchy, small enough that the whole suite
+  // simulates in minutes (the original runs took ~4 days in Sniper).
+  static const std::vector<Benchmark> Benchmarks = {
+      {"dedup", &recordDedup, /*DefaultScale=*/8192, /*TestScale=*/1024},
+      {"dmm", &recordDmm, /*DefaultScale=*/64, /*TestScale=*/12},
+      {"fib", &recordFib, /*DefaultScale=*/25, /*TestScale=*/16},
+      {"grep", &recordGrep, /*DefaultScale=*/65536, /*TestScale=*/4096},
+      {"make_array", &recordMakeArray, /*DefaultScale=*/65536,
+       /*TestScale=*/4096},
+      {"msort", &recordMsort, /*DefaultScale=*/12288, /*TestScale=*/1024},
+      {"nn", &recordNn, /*DefaultScale=*/192, /*TestScale=*/48},
+      {"nqueens", &recordNqueens, /*DefaultScale=*/9, /*TestScale=*/6},
+      {"palindrome", &recordPalindrome, /*DefaultScale=*/32768,
+       /*TestScale=*/4096},
+      {"primes", &recordPrimes, /*DefaultScale=*/100000, /*TestScale=*/4000},
+      {"quickhull", &recordQuickhull, /*DefaultScale=*/8192,
+       /*TestScale=*/512},
+      {"ray", &recordRay, /*DefaultScale=*/64, /*TestScale=*/16},
+      {"suffix_array", &recordSuffixArray, /*DefaultScale=*/1024,
+       /*TestScale=*/256},
+      {"tokens", &recordTokens, /*DefaultScale=*/65536, /*TestScale=*/4096},
+  };
+  return Benchmarks;
+}
+
+const Benchmark *pbbs::find(std::string_view Name) {
+  for (const Benchmark &B : allBenchmarks())
+    if (Name == B.Name)
+      return &B;
+  return nullptr;
+}

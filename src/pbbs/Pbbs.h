@@ -1,0 +1,76 @@
+//===- pbbs/Pbbs.h - PBBS-style benchmark registry -------------*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark suite used by the paper's evaluation (Section 7.1): the
+/// fourteen PBBS programs ported to the HLPL runtime, with the same names
+/// and parallel structure, plus deterministic synthetic inputs. Each
+/// benchmark records a TaskGraph (phase 1), self-verifies its computed
+/// output against a sequential reference, and is looked up by name from the
+/// figure harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_PBBS_PBBS_H
+#define WARDEN_PBBS_PBBS_H
+
+#include "src/rt/Runtime.h"
+#include "src/trace/TaskGraph.h"
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace warden {
+namespace pbbs {
+
+/// Outcome of recording one benchmark run.
+struct Recorded {
+  TaskGraph Graph;
+  /// True if the computed output matched the sequential reference.
+  bool Verified = false;
+  /// Benchmark-specific output digest (stable across runs).
+  std::uint64_t Checksum = 0;
+};
+
+/// Signature of a benchmark recorder. \p Scale is the problem size knob
+/// (elements, string length, matrix dimension, ... — see each kernel).
+using RecorderFn = Recorded (*)(std::size_t Scale, const RtOptions &Options);
+
+/// Registry entry for one benchmark.
+struct Benchmark {
+  const char *Name;
+  RecorderFn Record;
+  std::size_t DefaultScale; ///< Used by the figure harnesses.
+  std::size_t TestScale;    ///< Smaller size used by unit tests.
+};
+
+/// All fourteen benchmarks in the paper's plotting order.
+const std::vector<Benchmark> &allBenchmarks();
+
+/// Finds a benchmark by name, or nullptr.
+const Benchmark *find(std::string_view Name);
+
+// Individual recorders (one translation unit each).
+Recorded recordDedup(std::size_t Scale, const RtOptions &Options);
+Recorded recordDmm(std::size_t Scale, const RtOptions &Options);
+Recorded recordFib(std::size_t Scale, const RtOptions &Options);
+Recorded recordGrep(std::size_t Scale, const RtOptions &Options);
+Recorded recordMakeArray(std::size_t Scale, const RtOptions &Options);
+Recorded recordMsort(std::size_t Scale, const RtOptions &Options);
+Recorded recordNn(std::size_t Scale, const RtOptions &Options);
+Recorded recordNqueens(std::size_t Scale, const RtOptions &Options);
+Recorded recordPalindrome(std::size_t Scale, const RtOptions &Options);
+Recorded recordPrimes(std::size_t Scale, const RtOptions &Options);
+Recorded recordQuickhull(std::size_t Scale, const RtOptions &Options);
+Recorded recordRay(std::size_t Scale, const RtOptions &Options);
+Recorded recordSuffixArray(std::size_t Scale, const RtOptions &Options);
+Recorded recordTokens(std::size_t Scale, const RtOptions &Options);
+
+} // namespace pbbs
+} // namespace warden
+
+#endif // WARDEN_PBBS_PBBS_H

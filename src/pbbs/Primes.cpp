@@ -1,0 +1,85 @@
+//===- pbbs/Primes.cpp - primes benchmark -----------------------------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The recursive parallel prime sieve of the paper's Figure 4. The flags
+/// array is the canonical WARD region: the only races on it are benign
+/// write-write races (multiple threads storing the same `false` at indices
+/// with several prime factors), so it stays WARD-marked through the whole
+/// marking phase and reconciles once at the end.
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/pbbs/Pbbs.h"
+
+#include "src/rt/Stdlib.h"
+
+#include <cmath>
+#include <vector>
+
+using namespace warden;
+using namespace warden::pbbs;
+
+namespace {
+
+/// Figure 4's prime_sieve_upto, against the runtime API.
+SimArray<std::uint8_t> sieveUpto(Runtime &Rt, std::int64_t N) {
+  SimArray<std::uint8_t> Flags = stdlib::tabulate<std::uint8_t>(
+      Rt, static_cast<std::size_t>(N + 1),
+      [](std::size_t I) { return static_cast<std::uint8_t>(I >= 2); }, 1024);
+  if (N >= 4) {
+    auto Sqrt = static_cast<std::int64_t>(
+        std::floor(std::sqrt(static_cast<double>(N))));
+    SimArray<std::uint8_t> SqrtFlags = sieveUpto(Rt, Sqrt);
+    // flags is a WARD region throughout the marking phase (Figure 4).
+    Runtime::WriteOnlyScope Scope(Rt, Flags.addr(), Flags.bytes());
+    Rt.parallelFor(2, Sqrt + 1, 1, [&](std::int64_t P) {
+      if (!SqrtFlags.get(static_cast<std::size_t>(P)))
+        return;
+      // P is prime: mark its multiples composite.
+      Rt.parallelFor(2, N / P + 1, 2048, [&](std::int64_t M) {
+        Flags.set(static_cast<std::size_t>(P * M), 0);
+        Rt.work(1);
+      });
+    });
+  }
+  return Flags;
+}
+
+std::vector<bool> sieveReference(std::int64_t N) {
+  std::vector<bool> Flags(static_cast<std::size_t>(N + 1), true);
+  Flags[0] = false;
+  if (N >= 1)
+    Flags[1] = false;
+  for (std::int64_t P = 2; P * P <= N; ++P)
+    if (Flags[static_cast<std::size_t>(P)])
+      for (std::int64_t M = P * P; M <= N; M += P)
+        Flags[static_cast<std::size_t>(M)] = false;
+  return Flags;
+}
+
+} // namespace
+
+Recorded pbbs::recordPrimes(std::size_t Scale, const RtOptions &Options) {
+  auto N = static_cast<std::int64_t>(Scale);
+  Runtime Rt(Options);
+  SimArray<std::uint8_t> Flags = sieveUpto(Rt, N);
+
+  std::vector<bool> Reference = sieveReference(N);
+  bool Ok = true;
+  std::uint64_t Count = 0;
+  for (std::int64_t I = 0; I <= N; ++I) {
+    bool Mine = Flags.peek(static_cast<std::size_t>(I)) != 0;
+    Ok &= (Mine == Reference[static_cast<std::size_t>(I)]);
+    Count += Mine ? 1 : 0;
+  }
+
+  Recorded R;
+  R.Checksum = Count;
+  R.Verified = Ok && Rt.raceViolations().empty();
+  R.Graph = Rt.finish();
+  return R;
+}

@@ -1,0 +1,187 @@
+//===- pbbs/Quickhull.cpp - quickhull benchmark --------------------------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// quickhull: convex hull of a point set. Farthest-point reductions plus
+/// filter-based partitions that allocate fresh (WARD) candidate arrays at
+/// every recursion level — the allocation-heavy divide-and-conquer shape
+/// typical of functional PBBS codes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/pbbs/Pbbs.h"
+
+#include "src/pbbs/Inputs.h"
+#include "src/rt/Stdlib.h"
+
+#include <vector>
+
+using namespace warden;
+using namespace warden::pbbs;
+
+namespace {
+
+/// Twice the signed area of triangle (A, B, C); positive when C is left of
+/// the directed line A->B.
+std::int64_t cross(const Point2 &A, const Point2 &B, const Point2 &C) {
+  return static_cast<std::int64_t>(B.X - A.X) * (C.Y - A.Y) -
+         static_cast<std::int64_t>(B.Y - A.Y) * (C.X - A.X);
+}
+
+/// Counts hull vertices strictly left of A->B among Candidates (recursive
+/// half of quickhull). Counts the farthest point itself plus the two
+/// sub-problems.
+std::uint64_t hullSide(Runtime &Rt, const SimArray<Point2> &Candidates,
+                       std::size_t Count, Point2 A, Point2 B) {
+  if (Count == 0)
+    return 0;
+
+  // Farthest candidate from the line A->B.
+  struct Far {
+    std::int64_t Dist = -1;
+    Point2 P;
+  };
+  Far Farthest = stdlib::reduceRange<Far>(
+      Rt, 0, static_cast<std::int64_t>(Count),
+      [&](std::int64_t Lo, std::int64_t Hi) {
+        Far Best;
+        for (std::int64_t I = Lo; I < Hi; ++I) {
+          Point2 P = Candidates.get(static_cast<std::size_t>(I));
+          std::int64_t D = cross(A, B, P);
+          Rt.work(3);
+          if (D > Best.Dist) {
+            Best.Dist = D;
+            Best.P = P;
+          }
+        }
+        return Best;
+      },
+      [](Far X, Far Y) { return X.Dist >= Y.Dist ? X : Y; }, /*Grain=*/128);
+
+  Point2 P = Farthest.P;
+  std::size_t LeftCount = 0;
+  SimArray<Point2> Left = stdlib::filter<Point2>(
+      Rt, Candidates,
+      [&](Point2 Q) {
+        Rt.work(2);
+        return cross(A, P, Q) > 0;
+      },
+      LeftCount, /*Grain=*/128);
+  std::size_t RightCount = 0;
+  SimArray<Point2> Right = stdlib::filter<Point2>(
+      Rt, Candidates,
+      [&](Point2 Q) {
+        Rt.work(2);
+        return cross(P, B, Q) > 0;
+      },
+      RightCount, /*Grain=*/128);
+
+  std::uint64_t LeftHull = 0;
+  std::uint64_t RightHull = 0;
+  Rt.fork2([&] { LeftHull = hullSide(Rt, Left, LeftCount, A, P); },
+           [&] { RightHull = hullSide(Rt, Right, RightCount, P, B); });
+  return 1 + LeftHull + RightHull;
+}
+
+// --- Sequential reference (same arithmetic on host copies) ----------------
+
+std::uint64_t hullSideSeq(const std::vector<Point2> &Candidates, Point2 A,
+                          Point2 B) {
+  if (Candidates.empty())
+    return 0;
+  std::int64_t BestDist = -1;
+  Point2 P{};
+  for (const Point2 &Q : Candidates) {
+    std::int64_t D = cross(A, B, Q);
+    if (D > BestDist) {
+      BestDist = D;
+      P = Q;
+    }
+  }
+  std::vector<Point2> Left;
+  std::vector<Point2> Right;
+  for (const Point2 &Q : Candidates) {
+    if (cross(A, P, Q) > 0)
+      Left.push_back(Q);
+    if (cross(P, B, Q) > 0)
+      Right.push_back(Q);
+  }
+  return 1 + hullSideSeq(Left, A, P) + hullSideSeq(Right, P, B);
+}
+
+} // namespace
+
+Recorded pbbs::recordQuickhull(std::size_t Scale, const RtOptions &Options) {
+  Runtime Rt(Options);
+  SimArray<Point2> Points =
+      randomPoints(Rt, Scale, /*Range=*/1 << 18, /*Seed=*/0x9411);
+
+  // Extreme points in x (ties broken by y) seed the two hull halves.
+  auto MinMax = [](Point2 A, Point2 B, bool WantMin) {
+    bool ALess = A.X < B.X || (A.X == B.X && A.Y < B.Y);
+    return (ALess == WantMin) ? A : B;
+  };
+  Point2 MinPt = stdlib::reduceRange<Point2>(
+      Rt, 0, static_cast<std::int64_t>(Scale),
+      [&](std::int64_t Lo, std::int64_t Hi) {
+        Point2 Best = Points.get(static_cast<std::size_t>(Lo));
+        for (std::int64_t I = Lo + 1; I < Hi; ++I)
+          Best = MinMax(Best, Points.get(static_cast<std::size_t>(I)), true);
+        return Best;
+      },
+      [&](Point2 A, Point2 B) { return MinMax(A, B, true); }, 256);
+  Point2 MaxPt = stdlib::reduceRange<Point2>(
+      Rt, 0, static_cast<std::int64_t>(Scale),
+      [&](std::int64_t Lo, std::int64_t Hi) {
+        Point2 Best = Points.get(static_cast<std::size_t>(Lo));
+        for (std::int64_t I = Lo + 1; I < Hi; ++I)
+          Best = MinMax(Best, Points.get(static_cast<std::size_t>(I)), false);
+        return Best;
+      },
+      [&](Point2 A, Point2 B) { return MinMax(A, B, false); }, 256);
+
+  std::size_t UpperCount = 0;
+  SimArray<Point2> Upper = stdlib::filter<Point2>(
+      Rt, Points, [&](Point2 Q) { return cross(MinPt, MaxPt, Q) > 0; },
+      UpperCount, 128);
+  std::size_t LowerCount = 0;
+  SimArray<Point2> Lower = stdlib::filter<Point2>(
+      Rt, Points, [&](Point2 Q) { return cross(MaxPt, MinPt, Q) > 0; },
+      LowerCount, 128);
+
+  std::uint64_t UpperHull = 0;
+  std::uint64_t LowerHull = 0;
+  Rt.fork2([&] { UpperHull = hullSide(Rt, Upper, UpperCount, MinPt, MaxPt); },
+           [&] { LowerHull = hullSide(Rt, Lower, LowerCount, MaxPt, MinPt); });
+  std::uint64_t HullSize = 2 + UpperHull + LowerHull;
+
+  // Reference.
+  std::vector<Point2> Host(Scale);
+  for (std::size_t I = 0; I < Scale; ++I)
+    Host[I] = Points.peek(I);
+  Point2 RefMin = Host[0];
+  Point2 RefMax = Host[0];
+  for (const Point2 &Q : Host) {
+    RefMin = MinMax(RefMin, Q, true);
+    RefMax = MinMax(RefMax, Q, false);
+  }
+  std::vector<Point2> UpperRef;
+  std::vector<Point2> LowerRef;
+  for (const Point2 &Q : Host) {
+    if (cross(RefMin, RefMax, Q) > 0)
+      UpperRef.push_back(Q);
+    if (cross(RefMax, RefMin, Q) > 0)
+      LowerRef.push_back(Q);
+  }
+  std::uint64_t Expected = 2 + hullSideSeq(UpperRef, RefMin, RefMax) +
+                           hullSideSeq(LowerRef, RefMax, RefMin);
+
+  Recorded R;
+  R.Checksum = HullSize;
+  R.Verified = (HullSize == Expected) && Rt.raceViolations().empty();
+  R.Graph = Rt.finish();
+  return R;
+}

@@ -1,0 +1,108 @@
+//===- pbbs/Ray.cpp - ray benchmark --------------------------------------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ray: orthographic ray casting of a triangle soup onto a framebuffer.
+/// Every pixel tests every triangle (shared read-only geometry) and writes
+/// the nearest hit's id into a fresh framebuffer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/pbbs/Pbbs.h"
+
+#include "src/pbbs/Inputs.h"
+#include "src/rt/Stdlib.h"
+
+using namespace warden;
+using namespace warden::pbbs;
+
+namespace {
+
+/// Screen-space triangle with a depth.
+struct Triangle {
+  std::int32_t X0, Y0, X1, Y1, X2, Y2;
+  std::int32_t Z;
+};
+
+std::int64_t edge(std::int64_t AX, std::int64_t AY, std::int64_t BX,
+                  std::int64_t BY, std::int64_t PX, std::int64_t PY) {
+  return (BX - AX) * (PY - AY) - (BY - AY) * (PX - AX);
+}
+
+bool hits(const Triangle &T, std::int32_t PX, std::int32_t PY) {
+  std::int64_t E0 = edge(T.X0, T.Y0, T.X1, T.Y1, PX, PY);
+  std::int64_t E1 = edge(T.X1, T.Y1, T.X2, T.Y2, PX, PY);
+  std::int64_t E2 = edge(T.X2, T.Y2, T.X0, T.Y0, PX, PY);
+  return (E0 >= 0 && E1 >= 0 && E2 >= 0) || (E0 <= 0 && E1 <= 0 && E2 <= 0);
+}
+
+} // namespace
+
+Recorded pbbs::recordRay(std::size_t Scale, const RtOptions &Options) {
+  std::size_t Width = Scale;
+  std::size_t Height = Scale;
+  std::size_t NumTriangles = 32;
+
+  Runtime Rt(Options);
+  SimArray<Triangle> Tris = Rt.allocArray<Triangle>(NumTriangles);
+  Rng Random(0x7a71);
+  auto Span = static_cast<std::int64_t>(Width);
+  for (std::size_t I = 0; I < NumTriangles; ++I) {
+    Triangle T;
+    T.X0 = static_cast<std::int32_t>(Random.nextBelow(Width));
+    T.Y0 = static_cast<std::int32_t>(Random.nextBelow(Height));
+    T.X1 = static_cast<std::int32_t>(T.X0 + Random.nextInRange(-Span / 2, Span / 2));
+    T.Y1 = static_cast<std::int32_t>(T.Y0 + Random.nextInRange(-Span / 2, Span / 2));
+    T.X2 = static_cast<std::int32_t>(T.X0 + Random.nextInRange(-Span / 2, Span / 2));
+    T.Y2 = static_cast<std::int32_t>(T.Y0 + Random.nextInRange(-Span / 2, Span / 2));
+    T.Z = static_cast<std::int32_t>(1 + Random.nextBelow(1000));
+    Tris.poke(I, T);
+  }
+
+  SimArray<std::int32_t> Frame = stdlib::tabulate<std::int32_t>(
+      Rt, Width * Height,
+      [&](std::size_t Pixel) {
+        auto PX = static_cast<std::int32_t>(Pixel % Width);
+        auto PY = static_cast<std::int32_t>(Pixel / Width);
+        std::int32_t BestZ = 0;
+        std::int32_t BestId = -1;
+        for (std::size_t T = 0; T < NumTriangles; ++T) {
+          Triangle Tri = Tris.get(T);
+          Rt.work(8);
+          if (hits(Tri, PX, PY) && (BestId < 0 || Tri.Z < BestZ)) {
+            BestZ = Tri.Z;
+            BestId = static_cast<std::int32_t>(T);
+          }
+        }
+        return BestId;
+      },
+      /*Grain=*/12);
+
+  // Sequential reference on the host copies.
+  bool Ok = true;
+  std::uint64_t Hits = 0;
+  for (std::size_t Pixel = 0; Pixel < Width * Height; ++Pixel) {
+    auto PX = static_cast<std::int32_t>(Pixel % Width);
+    auto PY = static_cast<std::int32_t>(Pixel / Width);
+    std::int32_t BestZ = 0;
+    std::int32_t BestId = -1;
+    for (std::size_t T = 0; T < NumTriangles; ++T) {
+      Triangle Tri = Tris.peek(T);
+      if (hits(Tri, PX, PY) && (BestId < 0 || Tri.Z < BestZ)) {
+        BestZ = Tri.Z;
+        BestId = static_cast<std::int32_t>(T);
+      }
+    }
+    Ok &= (Frame.peek(Pixel) == BestId);
+    Hits += BestId >= 0 ? 1 : 0;
+  }
+
+  Recorded R;
+  R.Checksum = Hits;
+  R.Verified = Ok && Rt.raceViolations().empty();
+  R.Graph = Rt.finish();
+  return R;
+}

@@ -1,0 +1,136 @@
+//===- pbbs/Sort.h - Parallel merge sort over simulated memory -*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A parallel merge sort written against the runtime API, shared by the
+/// msort, dedup, and suffix_array benchmarks. The recursive sorts allocate
+/// their results in child heaps (fresh WARD regions); the parallel merge
+/// writes a freshly allocated destination under the write-destination
+/// discipline. This is the memory behaviour the paper's discussion of msort
+/// revolves around: phase k's output is written hot into private caches and
+/// read by phase k+1 from other cores.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_PBBS_SORT_H
+#define WARDEN_PBBS_SORT_H
+
+#include "src/rt/SimArray.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace warden {
+namespace pbbs {
+
+/// Sequential recorded merge of In[ALo,AHi) and In2[BLo,BHi) into
+/// Out[OLo...).
+template <typename T, typename LessT>
+void seqMerge(const SimArray<T> &A, std::size_t ALo, std::size_t AHi,
+              const SimArray<T> &B, std::size_t BLo, std::size_t BHi,
+              const SimArray<T> &Out, std::size_t OLo, LessT Less) {
+  while (ALo < AHi && BLo < BHi) {
+    T VA = A.get(ALo);
+    T VB = B.get(BLo);
+    if (Less(VB, VA)) {
+      Out.set(OLo++, VB);
+      ++BLo;
+    } else {
+      Out.set(OLo++, VA);
+      ++ALo;
+    }
+  }
+  for (; ALo < AHi; ++ALo)
+    Out.set(OLo++, A.get(ALo));
+  for (; BLo < BHi; ++BLo)
+    Out.set(OLo++, B.get(BLo));
+}
+
+/// Recorded binary search: first index in [Lo, Hi) whose element is not
+/// less than \p Key.
+template <typename T, typename LessT>
+std::size_t lowerBoundRec(const SimArray<T> &In, std::size_t Lo,
+                          std::size_t Hi, const T &Key, LessT Less) {
+  while (Lo < Hi) {
+    std::size_t Mid = Lo + (Hi - Lo) / 2;
+    if (Less(In.get(Mid), Key))
+      Lo = Mid + 1;
+    else
+      Hi = Mid;
+  }
+  return Lo;
+}
+
+/// Parallel merge: splits on the larger input's median and binary-searches
+/// the other side, forking the two halves.
+template <typename T, typename LessT>
+void parMerge(Runtime &Rt, const SimArray<T> &A, std::size_t ALo,
+              std::size_t AHi, const SimArray<T> &B, std::size_t BLo,
+              std::size_t BHi, const SimArray<T> &Out, std::size_t OLo,
+              LessT Less, std::size_t Grain) {
+  std::size_t NA = AHi - ALo;
+  std::size_t NB = BHi - BLo;
+  if (NA + NB <= 2 * Grain) {
+    seqMerge(A, ALo, AHi, B, BLo, BHi, Out, OLo, Less);
+    return;
+  }
+  if (NA < NB) {
+    parMerge(Rt, B, BLo, BHi, A, ALo, AHi, Out, OLo, Less, Grain);
+    return;
+  }
+  std::size_t AMid = ALo + NA / 2;
+  T Pivot = A.get(AMid);
+  std::size_t BMid = lowerBoundRec(B, BLo, BHi, Pivot, Less);
+  std::size_t OMid = OLo + (AMid - ALo) + (BMid - BLo);
+  Rt.fork2(
+      [&] { parMerge(Rt, A, ALo, AMid, B, BLo, BMid, Out, OLo, Less, Grain); },
+      [&] {
+        parMerge(Rt, A, AMid, AHi, B, BMid, BHi, Out, OMid, Less, Grain);
+      });
+}
+
+/// Parallel merge sort of In[Lo, Hi); returns a fresh sorted array.
+template <typename T, typename LessT>
+SimArray<T> sortRange(Runtime &Rt, const SimArray<T> &In, std::size_t Lo,
+                      std::size_t Hi, LessT Less, std::size_t Grain) {
+  std::size_t N = Hi - Lo;
+  SimArray<T> Out = Rt.allocArray<T>(std::max<std::size_t>(N, 1));
+  if (N <= Grain) {
+    std::vector<T> Buffer(N);
+    for (std::size_t I = 0; I < N; ++I)
+      Buffer[I] = In.get(Lo + I);
+    std::sort(Buffer.begin(), Buffer.end(), Less);
+    // Comparison/compute cost of the leaf sort.
+    Rt.work(static_cast<std::uint64_t>(
+        4.0 * static_cast<double>(N) *
+        std::log2(static_cast<double>(std::max<std::size_t>(N, 2)))));
+    for (std::size_t I = 0; I < N; ++I)
+      Out.set(I, Buffer[I]);
+    return Out;
+  }
+  std::size_t Mid = Lo + N / 2;
+  SimArray<T> Left;
+  SimArray<T> Right;
+  Rt.fork2([&] { Left = sortRange(Rt, In, Lo, Mid, Less, Grain); },
+           [&] { Right = sortRange(Rt, In, Mid, Hi, Less, Grain); });
+  Runtime::WriteOnlyScope Scope(Rt, Out.addr(), Out.bytes());
+  parMerge(Rt, Left, 0, Left.size(), Right, 0, Right.size(), Out, 0, Less,
+           Grain);
+  return Out;
+}
+
+/// Parallel merge sort of the whole array.
+template <typename T, typename LessT>
+SimArray<T> mergeSort(Runtime &Rt, const SimArray<T> &In, LessT Less,
+                      std::size_t Grain = 128) {
+  return sortRange(Rt, In, 0, In.size(), Less, Grain);
+}
+
+} // namespace pbbs
+} // namespace warden
+
+#endif // WARDEN_PBBS_SORT_H

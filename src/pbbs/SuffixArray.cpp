@@ -1,0 +1,130 @@
+//===- pbbs/SuffixArray.cpp - suffix_array benchmark ----------------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// suffix_array: Manber-Myers prefix doubling. Each round packs (rank,
+/// next-rank, index) into 64-bit keys, sorts them with the suite's parallel
+/// merge sort, and scatters fresh ranks — a long pipeline of
+/// produce-then-consume arrays crossing cores.
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/pbbs/Pbbs.h"
+
+#include "src/pbbs/Inputs.h"
+#include "src/pbbs/Sort.h"
+#include "src/rt/Stdlib.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
+using namespace warden;
+using namespace warden::pbbs;
+
+namespace {
+
+// Key layout: [rank+1 : 21 bits][next-rank+1 : 21 bits][index : 21 bits].
+constexpr unsigned FieldBits = 21;
+constexpr std::uint64_t FieldMask = (1ULL << FieldBits) - 1;
+
+std::uint64_t packKey(std::uint64_t Rank, std::uint64_t Next,
+                      std::uint64_t Index) {
+  return (Rank << (2 * FieldBits)) | (Next << FieldBits) | Index;
+}
+
+} // namespace
+
+Recorded pbbs::recordSuffixArray(std::size_t Scale, const RtOptions &Options) {
+  std::string Text = makeText(Scale, /*Seed=*/0x5a5a);
+  std::size_t N = Text.size();
+
+  Runtime Rt(Options);
+  SimArray<char> SimText = importText(Rt, Text);
+
+  SimArray<std::uint32_t> Ranks = stdlib::tabulate<std::uint32_t>(
+      Rt, N,
+      [&](std::size_t I) {
+        return static_cast<std::uint32_t>(
+            static_cast<unsigned char>(SimText.get(I)));
+      },
+      256);
+
+  SimArray<std::uint64_t> SortedKeys;
+  for (std::size_t K = 1; K < N; K *= 2) {
+    SimArray<std::uint64_t> Keys = stdlib::tabulate<std::uint64_t>(
+        Rt, N,
+        [&](std::size_t I) {
+          std::uint64_t Rank = Ranks.get(I) + 1;
+          std::uint64_t Next = I + K < N ? Ranks.get(I + K) + 1 : 0;
+          return packKey(Rank, Next, I);
+        },
+        64);
+    SortedKeys = mergeSort(
+        Rt, Keys,
+        [](std::uint64_t A, std::uint64_t B) { return A < B; }, 64);
+
+    // New rank of the I-th suffix in sorted order: number of strictly
+    // smaller (rank, next) pairs before it.
+    SimArray<std::uint32_t> NewRankBySortPos = stdlib::tabulate<std::uint32_t>(
+        Rt, N,
+        [&](std::size_t I) {
+          if (I == 0)
+            return std::uint32_t(0);
+          std::uint64_t Here = SortedKeys.get(I) >> FieldBits;
+          std::uint64_t Prev = SortedKeys.get(I - 1) >> FieldBits;
+          return Here != Prev ? std::uint32_t(1) : std::uint32_t(0);
+        },
+        64);
+    std::uint32_t MaxRank = 0;
+    SimArray<std::uint32_t> RankPrefix =
+        stdlib::scanExclusive(Rt, NewRankBySortPos, MaxRank, 64);
+
+    SimArray<std::uint32_t> NewRanks = Rt.allocArray<std::uint32_t>(N);
+    {
+      Runtime::WriteOnlyScope Scope(Rt, NewRanks.addr(), NewRanks.bytes());
+      Rt.parallelFor(0, static_cast<std::int64_t>(N), 64,
+                     [&](std::int64_t I) {
+                       auto Pos = static_cast<std::size_t>(I);
+                       auto Index = static_cast<std::size_t>(
+                           SortedKeys.get(Pos) & FieldMask);
+                       std::uint32_t Rank = RankPrefix.get(Pos) +
+                                            NewRankBySortPos.get(Pos);
+                       NewRanks.set(Index, Rank);
+                     });
+    }
+    Ranks = NewRanks;
+    if (static_cast<std::size_t>(MaxRank) + 1 == N)
+      break; // All ranks distinct: the order is final.
+  }
+
+  // Extract the suffix array from the final sorted keys.
+  std::vector<std::uint32_t> Result(N);
+  for (std::size_t I = 0; I < N; ++I)
+    Result[I] =
+        static_cast<std::uint32_t>(SortedKeys.peek(I) & FieldMask);
+
+  // Naive reference.
+  std::vector<std::uint32_t> Expected(N);
+  std::iota(Expected.begin(), Expected.end(), 0u);
+  std::sort(Expected.begin(), Expected.end(),
+            [&](std::uint32_t A, std::uint32_t B) {
+              return Text.compare(A, std::string::npos, Text, B,
+                                  std::string::npos) < 0;
+            });
+
+  bool Ok = (Result == Expected);
+  std::uint64_t Sum = 0;
+  for (std::size_t I = 0; I < N; ++I)
+    Sum += static_cast<std::uint64_t>(Result[I]) * (I + 1);
+
+  Recorded R;
+  R.Checksum = Sum;
+  R.Verified = Ok && Rt.raceViolations().empty();
+  R.Graph = Rt.finish();
+  return R;
+}

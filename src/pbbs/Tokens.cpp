@@ -1,0 +1,82 @@
+//===- pbbs/Tokens.cpp - tokens benchmark --------------------------------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// tokens: split a text into words. Boundary flags, a prefix scan, and a
+/// scatter of token start offsets — the text-processing pipeline the paper
+/// singles out as the one benchmark where WARD coverage is lower.
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/pbbs/Pbbs.h"
+
+#include "src/pbbs/Inputs.h"
+#include "src/rt/Stdlib.h"
+
+#include <cctype>
+#include <string>
+
+using namespace warden;
+using namespace warden::pbbs;
+
+namespace {
+
+bool isWordChar(char C) { return C >= 'a' && C <= 'z'; }
+
+} // namespace
+
+Recorded pbbs::recordTokens(std::size_t Scale, const RtOptions &Options) {
+  std::string Text = makeText(Scale, /*Seed=*/0x70c3);
+  Runtime Rt(Options);
+  SimArray<char> SimText = importText(Rt, Text);
+  std::size_t N = Text.size();
+
+  SimArray<std::uint32_t> Starts = stdlib::tabulate<std::uint32_t>(
+      Rt, N,
+      [&](std::size_t I) {
+        bool Here = isWordChar(SimText.get(I));
+        bool Before = I > 0 && isWordChar(SimText.get(I - 1));
+        return (Here && !Before) ? std::uint32_t(1) : std::uint32_t(0);
+      },
+      512);
+
+  std::uint32_t Total = 0;
+  SimArray<std::uint32_t> Offsets =
+      stdlib::scanExclusive(Rt, Starts, Total, 512);
+
+  SimArray<std::uint32_t> TokenStarts =
+      Rt.allocArray<std::uint32_t>(std::max<std::uint32_t>(Total, 1));
+  {
+    Runtime::WriteOnlyScope Scope(Rt, TokenStarts.addr(), TokenStarts.bytes());
+    Rt.parallelFor(0, static_cast<std::int64_t>(N), 512, [&](std::int64_t I) {
+      auto Index = static_cast<std::size_t>(I);
+      if (Starts.get(Index))
+        TokenStarts.set(Offsets.get(Index), static_cast<std::uint32_t>(Index));
+    });
+  }
+
+  // Sequential reference.
+  std::uint64_t Expected = 0;
+  std::uint64_t ExpectedSum = 0;
+  for (std::size_t I = 0; I < N; ++I) {
+    bool Here = isWordChar(Text[I]);
+    bool Before = I > 0 && isWordChar(Text[I - 1]);
+    if (Here && !Before) {
+      ++Expected;
+      ExpectedSum += I;
+    }
+  }
+  std::uint64_t Sum = 0;
+  for (std::uint32_t I = 0; I < Total; ++I)
+    Sum += TokenStarts.peek(I);
+
+  Recorded R;
+  R.Checksum = Sum;
+  R.Verified = (Expected == Total) && (Sum == ExpectedSum) &&
+               Rt.raceViolations().empty();
+  R.Graph = Rt.finish();
+  return R;
+}

@@ -1,0 +1,131 @@
+//===- race/SpBags.cpp - SP-bags parallel-RAW verification ----------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/race/SpBags.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace warden;
+
+SpBags::SpBags() = default;
+
+TaskId SpBags::newTask() {
+  TaskId Task = static_cast<TaskId>(SBag.size());
+  // S-bag initially {Task}; P-bag initially empty (it becomes a live set on
+  // the first childReturned()).
+  std::uint32_t S = static_cast<std::uint32_t>(SetParent.size());
+  SetParent.push_back(S);
+  SetIsPBag.push_back(false);
+  std::uint32_t P = static_cast<std::uint32_t>(SetParent.size());
+  SetParent.push_back(P);
+  SetIsPBag.push_back(true);
+  SBag.push_back(S);
+  PBag.push_back(P);
+  return Task;
+}
+
+TaskId SpBags::start() {
+  assert(SBag.empty() && "start() called twice");
+  return newTask();
+}
+
+TaskId SpBags::spawn(TaskId Parent) {
+  (void)Parent;
+  return newTask();
+}
+
+std::uint32_t SpBags::find(std::uint32_t Set) {
+  while (SetParent[Set] != Set) {
+    SetParent[Set] = SetParent[SetParent[Set]]; // Path halving.
+    Set = SetParent[Set];
+  }
+  return Set;
+}
+
+void SpBags::unite(std::uint32_t Into, std::uint32_t From) {
+  std::uint32_t IntoRoot = find(Into);
+  std::uint32_t FromRoot = find(From);
+  if (IntoRoot == FromRoot)
+    return;
+  SetParent[FromRoot] = IntoRoot;
+}
+
+void SpBags::childReturned(TaskId Parent, TaskId Child) {
+  // P(Parent) gains S(Child) and P(Child): everything the child did is
+  // logically parallel with the parent's code until the next sync.
+  unite(PBag[Parent], SBag[Child]);
+  unite(PBag[Parent], PBag[Child]);
+  // The merged set is a P-bag of the parent.
+  SetIsPBag[find(PBag[Parent])] = true;
+  PBag[Parent] = find(PBag[Parent]);
+}
+
+void SpBags::sync(TaskId Task) {
+  // S(Task) absorbs P(Task): the joined children are now serial history.
+  unite(SBag[Task], PBag[Task]);
+  std::uint32_t Root = find(SBag[Task]);
+  SetIsPBag[Root] = false;
+  SBag[Task] = Root;
+  // Fresh empty P-bag.
+  std::uint32_t P = static_cast<std::uint32_t>(SetParent.size());
+  SetParent.push_back(P);
+  SetIsPBag.push_back(true);
+  PBag[Task] = P;
+}
+
+bool SpBags::isParallel(TaskId Other) {
+  if (Other == InvalidTask)
+    return false;
+  return SetIsPBag[find(SBag[Other])];
+}
+
+void SpBags::report(const char *Kind, TaskId A, TaskId B, Addr Word) {
+  char Buffer[128];
+  std::snprintf(Buffer, sizeof(Buffer),
+                "%s violation at 0x%llx between tasks %u and %u", Kind,
+                static_cast<unsigned long long>(Word << WordShift), A, B);
+  Violations.emplace_back(Buffer);
+}
+
+void SpBags::onLoad(TaskId Task, Addr Address, unsigned Size) {
+  Addr First = Address >> WordShift;
+  Addr Last = (Address + Size - 1) >> WordShift;
+  for (Addr Word = First; Word <= Last; ++Word) {
+    WordHistory &H = History[Word];
+    if (H.Writer != InvalidTask && H.Writer != Task && isParallel(H.Writer))
+      report("RAW", H.Writer, Task, Word);
+    if (H.Reader0 == InvalidTask || H.Reader0 == Task)
+      H.Reader0 = Task;
+    else if (H.Reader1 != Task)
+      H.Reader1 = Task;
+  }
+}
+
+void SpBags::onStore(TaskId Task, Addr Address, unsigned Size) {
+  Addr First = Address >> WordShift;
+  Addr Last = (Address + Size - 1) >> WordShift;
+  for (Addr Word = First; Word <= Last; ++Word) {
+    WordHistory &H = History[Word];
+    if (H.Reader0 != InvalidTask && H.Reader0 != Task &&
+        isParallel(H.Reader0))
+      report("RAW", H.Reader0, Task, Word);
+    if (H.Reader1 != InvalidTask && H.Reader1 != Task &&
+        isParallel(H.Reader1))
+      report("RAW", H.Reader1, Task, Word);
+    // A parallel prior writer is a WAW: permitted by the WARD property.
+    H.Writer = Task;
+  }
+}
+
+void SpBags::clearRange(Addr Address, std::uint64_t Bytes) {
+  if (Bytes == 0)
+    return;
+  Addr First = Address >> WordShift;
+  Addr Last = (Address + Bytes - 1) >> WordShift;
+  for (Addr Word = First; Word <= Last; ++Word)
+    History.erase(Word);
+}

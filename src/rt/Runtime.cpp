@@ -1,0 +1,300 @@
+//===- rt/Runtime.cpp - MPL-analogue fork-join runtime --------------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/rt/Runtime.h"
+
+#include <cassert>
+
+using namespace warden;
+
+Runtime::Runtime(RtOptions Options) : Options(Options) {
+  StrandId Root = Graph.addStrand();
+  Graph.setRoot(Root);
+  CurStrand = Root;
+  auto RootCtx = std::make_unique<TaskCtx>();
+  RootCtx->CheckerTask = Checker.start();
+  TaskStack.push_back(std::move(RootCtx));
+}
+
+Runtime::~Runtime() = default;
+
+Strand &Runtime::currentStrand() {
+  assert(CurStrand != InvalidStrand && "no current strand");
+  return Graph.strand(CurStrand);
+}
+
+void Runtime::work(std::uint64_t Cycles) {
+  if (Cycles == 0)
+    return;
+  Strand &S = currentStrand();
+  if (!S.Events.empty() && S.Events.back().Op == TraceOp::Work) {
+    S.Events.back().Extra += Cycles;
+    return;
+  }
+  S.Events.push_back(TraceEvent::work(Cycles));
+}
+
+void Runtime::recordLoad(Addr Address, unsigned Size) {
+  assert(!Finished && "recording after finish()");
+  currentStrand().Events.push_back(TraceEvent::load(Address, Size));
+  if (Options.RaceCheck && !KeptIntervals.empty()) {
+    auto It = KeptIntervals.upper_bound(Address);
+    if (It != KeptIntervals.begin()) {
+      --It;
+      if (Address < It->second)
+        Checker.onLoad(currentTask().CheckerTask, Address, Size);
+    }
+  }
+}
+
+void Runtime::recordStore(Addr Address, unsigned Size) {
+  assert(!Finished && "recording after finish()");
+  currentStrand().Events.push_back(TraceEvent::store(Address, Size));
+  if (Options.RaceCheck && !KeptIntervals.empty()) {
+    auto It = KeptIntervals.upper_bound(Address);
+    if (It != KeptIntervals.begin()) {
+      --It;
+      if (Address < It->second)
+        Checker.onStore(currentTask().CheckerTask, Address, Size);
+    }
+  }
+}
+
+void Runtime::markSpan(Span &S) {
+  if (!Options.EmitWardRegions)
+    return;
+  assert(S.Region == InvalidRegion && "span already marked");
+  S.Region = NextRegion++;
+  currentStrand().Events.push_back(
+      TraceEvent::mark(S.Region, S.Start, S.End));
+  currentTask().TaskHeap.MarkedStarts.push_back(S.Start);
+}
+
+void Runtime::unmarkSpan(Span &S) {
+  assert(S.Region != InvalidRegion && "span not marked");
+  currentStrand().Events.push_back(TraceEvent::unmark(S.Region));
+  S.Region = InvalidRegion;
+  S.Keep = false;
+}
+
+void Runtime::unmarkHeapAtFork(Heap &H) {
+  // Retain only spans that stay marked (the kept write-destination ones);
+  // everything else reconciles now — the paper's "unmark WARD pages of the
+  // current heap before each fork".
+  std::vector<Addr> StillMarked;
+  for (Addr Start : H.MarkedStarts) {
+    Span &S = Spans[Start];
+    if (S.Region == InvalidRegion)
+      continue; // Already unmarked (e.g. by endWriteOnly).
+    if (S.Keep) {
+      StillMarked.push_back(Start);
+      continue;
+    }
+    unmarkSpan(S);
+  }
+  H.MarkedStarts = std::move(StillMarked);
+}
+
+void Runtime::mergeChildHeap(Heap &Child, Heap &Parent) {
+  for (Addr Start : Child.MarkedStarts) {
+    Span &S = Spans[Start];
+    if (S.Region == InvalidRegion)
+      continue;
+    assert(!S.Keep && "kept span escaping its task");
+    unmarkSpan(S);
+  }
+  Parent.SpanStarts.insert(Parent.SpanStarts.end(), Child.SpanStarts.begin(),
+                           Child.SpanStarts.end());
+}
+
+Addr Runtime::allocate(std::uint64_t Size, std::uint64_t Align) {
+  assert(!Finished && "allocating after finish()");
+  assert(Size > 0 && "empty allocation");
+  if (Align < 8)
+    Align = 8;
+  assert(Align <= Options.PageSize && "alignment beyond page size");
+  Heap &H = currentTask().TaskHeap;
+
+  if (Size >= Options.LargeAllocThreshold) {
+    // Dedicated span: cache-block aligned and padded so the span can serve
+    // as a standalone WARD region.
+    std::uint64_t SpanSize = alignTo(Size, 64);
+    Addr Start = Memory.allocateSpan(SpanSize, std::max<std::uint64_t>(Align, 64));
+    Span S{Start, Start + SpanSize, InvalidRegion, false};
+    auto [It, Inserted] = Spans.emplace(Start, S);
+    assert(Inserted && "span already registered");
+    H.SpanStarts.push_back(Start);
+    markSpan(It->second);
+    return Start;
+  }
+
+  Addr Ptr = alignTo(H.BumpPtr, Align);
+  if (Ptr + Size > H.BumpEnd) {
+    // Extend the heap with a fresh page; the MPL rule marks it as a WARD
+    // region because it is being allocated by a leaf.
+    Addr Start = Memory.allocateSpan(Options.PageSize, Options.PageSize);
+    Span S{Start, Start + Options.PageSize, InvalidRegion, false};
+    auto [It, Inserted] = Spans.emplace(Start, S);
+    assert(Inserted && "span already registered");
+    H.SpanStarts.push_back(Start);
+    markSpan(It->second);
+    H.BumpPtr = Start;
+    H.BumpEnd = Start + Options.PageSize;
+    Ptr = Start;
+  }
+  H.BumpPtr = Ptr + Size;
+  return Ptr;
+}
+
+Addr Runtime::allocateSyncCounter() {
+  // Join counters are synchronisation: they must stay fully coherent, so
+  // they live outside every heap and are never marked.
+  return Memory.allocateSpan(64, 64);
+}
+
+void Runtime::fork2(std::function<void()> A, std::function<void()> B) {
+  assert(!Finished && "forking after finish()");
+  const bool Inject = Options.InjectSchedulerTraffic;
+
+  // The fork frame: result slots written by the children and read by the
+  // join continuation. It lives in the parent heap like any other
+  // allocation — the fork's conservative unmark covers it, so the
+  // children's false-sharing writes to it behave identically under MESI
+  // and WARDen (synchronisation-adjacent data stays fully coherent).
+  Addr Frame = 0;
+  Addr Desc = 0;
+  if (Inject) {
+    Frame = allocate(64, 64);
+    Desc = allocate(64, 64);
+    // The parent writes the task descriptor (function pointer, argument
+    // closure, sizes) that both children will read (Section 5.3).
+    for (unsigned K = 0; K < 4; ++K)
+      recordStore(Desc + K * 16, 16);
+  }
+
+  unmarkHeapAtFork(currentTask().TaskHeap);
+
+  StrandId ForkStrand = CurStrand;
+  StrandId Continuation = Graph.addStrand();
+  StrandId ChildA = Graph.addStrand();
+  StrandId ChildB = Graph.addStrand();
+  {
+    Strand &Cont = Graph.strand(Continuation);
+    Cont.PendingJoin = 2;
+    Cont.JoinCounterAddr = allocateSyncCounter();
+  }
+  Graph.strand(ForkStrand).Children = {ChildA, ChildB};
+
+  runChild(ChildA, Continuation, Desc, Frame + 0, A);
+  runChild(ChildB, Continuation, Desc, Frame + 32, B);
+
+  Checker.sync(currentTask().CheckerTask);
+
+  CurStrand = Continuation;
+  if (Inject) {
+    // The continuation reads both children's results.
+    recordLoad(Frame + 0, 16);
+    recordLoad(Frame + 32, 16);
+  }
+}
+
+void Runtime::runChild(StrandId ChildStrand, StrandId Continuation,
+                       Addr Descriptor, Addr ResultSlot,
+                       const std::function<void()> &Body) {
+  const bool Inject = Options.InjectSchedulerTraffic;
+  TaskCtx &Parent = currentTask();
+  TaskId ChildChecker = Checker.spawn(Parent.CheckerTask);
+
+  auto Child = std::make_unique<TaskCtx>();
+  Child->CheckerTask = ChildChecker;
+  TaskStack.push_back(std::move(Child));
+  CurStrand = ChildStrand;
+
+  if (Inject)
+    for (unsigned K = 0; K < 4; ++K)
+      recordLoad(Descriptor + K * 16, 16);
+
+  Body();
+
+  // The child is done: merge its heap into the parent (reconciling its
+  // remaining WARD spans), publish its result, and hit the join counter.
+  TaskCtx &Finished = currentTask();
+  mergeChildHeap(Finished.TaskHeap, Parent.TaskHeap);
+  if (Inject) {
+    recordStore(ResultSlot, 16);
+    currentStrand().Events.push_back(
+        TraceEvent::rmw(Graph.strand(Continuation).JoinCounterAddr, 8));
+  }
+  Graph.strand(CurStrand).JoinTarget = Continuation;
+
+  Checker.childReturned(Parent.CheckerTask, ChildChecker);
+  TaskStack.pop_back();
+}
+
+void Runtime::parallelFor(std::int64_t Lo, std::int64_t Hi,
+                          std::int64_t Grain,
+                          const std::function<void(std::int64_t)> &Body) {
+  if (Lo >= Hi)
+    return;
+  if (Grain < 1)
+    Grain = 1;
+  parallelForRec(Lo, Hi, Grain, Body);
+}
+
+void Runtime::parallelForRec(std::int64_t Lo, std::int64_t Hi,
+                             std::int64_t Grain,
+                             const std::function<void(std::int64_t)> &Body) {
+  if (Hi - Lo <= Grain) {
+    for (std::int64_t I = Lo; I < Hi; ++I)
+      Body(I);
+    return;
+  }
+  std::int64_t Mid = Lo + (Hi - Lo) / 2;
+  fork2([&] { parallelForRec(Lo, Mid, Grain, Body); },
+        [&] { parallelForRec(Mid, Hi, Grain, Body); });
+}
+
+bool Runtime::beginWriteOnly(Addr Start, std::uint64_t Bytes) {
+  if (!Options.KeepWriteDestinations || !Options.EmitWardRegions)
+    return false;
+  auto It = Spans.find(Start);
+  if (It == Spans.end())
+    return false; // Not a dedicated span (small bump allocation).
+  Span &S = It->second;
+  // The span must be exactly this allocation: keeping a whole shared page
+  // marked would keep unrelated co-resident data (e.g. fork descriptors)
+  // under the region, which the discipline does not license.
+  if (S.End != Start + alignTo(Bytes, 64))
+    return false;
+  // A span whose original region already ended (e.g. it was reconciled at
+  // an earlier fork) starts a fresh WARD window for the new write phase;
+  // the hardware sees an ordinary "Add Region" instruction.
+  if (S.Region == InvalidRegion)
+    markSpan(S);
+  S.Keep = true;
+  KeptIntervals[S.Start] = S.End;
+  return true;
+}
+
+void Runtime::endWriteOnly(Addr Start) {
+  auto It = Spans.find(Start);
+  assert(It != Spans.end() && "endWriteOnly on unknown span");
+  Span &S = It->second;
+  S.Keep = false;
+  if (S.Region != InvalidRegion)
+    unmarkSpan(S);
+  KeptIntervals.erase(S.Start);
+  if (Options.RaceCheck)
+    Checker.clearRange(S.Start, S.End - S.Start);
+}
+
+TaskGraph Runtime::finish() {
+  assert(!Finished && "finish() called twice");
+  assert(TaskStack.size() == 1 && "finish() inside a child task");
+  assert(KeptIntervals.empty() && "write-only scope still open");
+  Finished = true;
+  return std::move(Graph);
+}

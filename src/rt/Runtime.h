@@ -1,0 +1,220 @@
+//===- rt/Runtime.h - MPL-analogue fork-join runtime ----------*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The high-level-parallel-language runtime: the analogue of MPL's memory
+/// manager and scheduler hooks (Section 4.2). Programs written against this
+/// API execute once, sequentially and depth-first ("phase 1"), producing a
+/// TaskGraph of strands with full memory traces. During that execution the
+/// runtime maintains the heap hierarchy and emits the WARD region
+/// instructions exactly where the paper's MPL patch does:
+///
+///  * a fresh span allocated by a leaf heap is marked as a WARD region;
+///  * at every fork, the marked spans of the forking task's heap are
+///    unmarked (reconciled) — except spans under the runtime-internal
+///    write-destination discipline, which stay marked through the parallel
+///    section and unmark at its join (verified by the SP-bags checker);
+///  * at every join, the child heap merges into the parent and its
+///    remaining marked spans are unmarked.
+///
+/// The runtime also injects the scheduler's own memory traffic — fork
+/// descriptors written by the parent and read by the child, result slots
+/// written by children and read by the join continuation, and join-counter
+/// atomics — because that runtime/application interaction is where the
+/// paper observes significant benign WAW and false sharing (Section 4.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_RT_RUNTIME_H
+#define WARDEN_RT_RUNTIME_H
+
+#include "src/race/SpBags.h"
+#include "src/rt/SimMemory.h"
+#include "src/trace/TaskGraph.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace warden {
+
+/// Runtime configuration.
+struct RtOptions {
+  /// Heap page size: the granularity of MPL-style WARD marking.
+  std::uint64_t PageSize = 4096;
+  /// Allocations at least this large get a dedicated span (and region).
+  std::uint64_t LargeAllocThreshold = 1024;
+  /// Honor the write-destination discipline (WriteOnlyScope). Disabling it
+  /// reproduces the strictly page-conservative MPL mechanism.
+  bool KeepWriteDestinations = true;
+  /// Verify kept regions with the SP-bags checker during phase 1.
+  bool RaceCheck = true;
+  /// Inject the runtime's own fork-frame traffic into traces.
+  bool InjectSchedulerTraffic = true;
+  /// Emit WARD region instructions at all. With this off the recorded
+  /// program is a "legacy" binary: WARDen must behave exactly like MESI on
+  /// it (Figure 1's unaffected-legacy-applications claim).
+  bool EmitWardRegions = true;
+};
+
+template <typename T> class SimArray;
+
+/// The phase-1 recording runtime. Typical use:
+/// \code
+///   Runtime Rt;
+///   auto Data = Rt.allocArray<int>(N);
+///   Rt.parallelFor(0, N, 64, [&](std::int64_t I) { Data.set(I, ...); });
+///   TaskGraph Graph = Rt.finish();
+/// \endcode
+class Runtime {
+public:
+  explicit Runtime(RtOptions Options = RtOptions());
+  ~Runtime();
+  Runtime(const Runtime &) = delete;
+  Runtime &operator=(const Runtime &) = delete;
+
+  // --- Allocation ---------------------------------------------------------
+
+  /// Allocates an array of \p Count elements in the current task's heap.
+  template <typename T> SimArray<T> allocArray(std::size_t Count);
+
+  /// Raw allocation in the current task's heap; returns its simulated
+  /// address. Fresh spans are WARD-marked per the leaf-heap rule.
+  Addr allocate(std::uint64_t Size, std::uint64_t Align);
+
+  /// Host pointer for a simulated address.
+  std::byte *hostPtr(Addr Address) { return Memory.host(Address); }
+
+  // --- Parallelism --------------------------------------------------------
+
+  /// Binary fork-join: runs \p A and \p B as parallel child tasks with
+  /// fresh heaps, then continues.
+  void fork2(std::function<void()> A, std::function<void()> B);
+
+  /// Parallel loop over [Lo, Hi) with leaf granularity \p Grain, calling
+  /// \p Body(I) for each index.
+  void parallelFor(std::int64_t Lo, std::int64_t Hi, std::int64_t Grain,
+                   const std::function<void(std::int64_t)> &Body);
+
+  /// Charges \p Cycles of pure compute to the current strand.
+  void work(std::uint64_t Cycles);
+
+  // --- Recording hooks (used by SimArray and friends) ----------------------
+
+  void recordLoad(Addr Address, unsigned Size);
+  void recordStore(Addr Address, unsigned Size);
+
+  // --- Write-destination discipline ----------------------------------------
+
+  /// Keeps the dedicated span(s) of [Start, Start+Bytes) WARD-marked across
+  /// forks until endWriteOnly(). A runtime/standard-library-internal
+  /// mechanism (used by rt::tabulate and friends), not a user annotation;
+  /// kept regions are verified by the SP-bags checker. Returns true if the
+  /// range had a dedicated marked span (otherwise this is a safe no-op and
+  /// the conservative per-page behaviour applies).
+  bool beginWriteOnly(Addr Start, std::uint64_t Bytes);
+
+  /// Ends the write-only window: unmarks (reconciles) the kept spans.
+  void endWriteOnly(Addr Start);
+
+  /// RAII helper for begin/endWriteOnly.
+  class WriteOnlyScope {
+  public:
+    WriteOnlyScope(Runtime &Rt, Addr Start, std::uint64_t Bytes)
+        : Rt(Rt), Start(Start) {
+      Active = Rt.beginWriteOnly(Start, Bytes);
+    }
+    ~WriteOnlyScope() {
+      if (Active)
+        Rt.endWriteOnly(Start);
+    }
+    WriteOnlyScope(const WriteOnlyScope &) = delete;
+    WriteOnlyScope &operator=(const WriteOnlyScope &) = delete;
+    bool active() const { return Active; }
+
+  private:
+    Runtime &Rt;
+    Addr Start;
+    bool Active = false;
+  };
+
+  // --- Completion -----------------------------------------------------------
+
+  /// Ends recording and returns the task graph. The runtime must not be
+  /// used afterwards.
+  TaskGraph finish();
+
+  /// Violations found by the SP-bags checker (should be empty for
+  /// disciplined programs).
+  const std::vector<std::string> &raceViolations() const {
+    return Checker.violations();
+  }
+
+  const RtOptions &options() const { return Options; }
+  SimMemory &memory() { return Memory; }
+
+private:
+  /// A marked or unmarked span of simulated memory owned by some heap.
+  struct Span {
+    Addr Start = 0;
+    Addr End = 0;
+    RegionId Region = InvalidRegion; ///< InvalidRegion once unmarked.
+    bool Keep = false; ///< Survives fork-time unmarking (write-destination).
+  };
+
+  /// A task's heap: its spans plus the bump frontier of the current page.
+  struct Heap {
+    std::vector<Addr> SpanStarts;   ///< Keys into Runtime::Spans.
+    std::vector<Addr> MarkedStarts; ///< Spans still WARD-marked.
+    Addr BumpPtr = 0;
+    Addr BumpEnd = 0;
+  };
+
+  struct TaskCtx {
+    Heap TaskHeap;
+    TaskId CheckerTask = InvalidTask;
+  };
+
+  TaskCtx &currentTask() { return *TaskStack.back(); }
+  Strand &currentStrand();
+
+  /// Emits a Mark event and registers the span.
+  void markSpan(Span &S);
+  /// Emits an Unmark event for a marked span and forgets its region.
+  void unmarkSpan(Span &S);
+  /// Fork-time conservative unmarking of the current heap.
+  void unmarkHeapAtFork(Heap &H);
+  /// Join-time merge of a child heap into the parent heap.
+  void mergeChildHeap(Heap &Child, Heap &Parent);
+
+  Addr allocateSyncCounter();
+
+  void runChild(StrandId ChildStrand, StrandId Continuation, Addr Descriptor,
+                Addr ResultSlot, const std::function<void()> &Body);
+
+  void parallelForRec(std::int64_t Lo, std::int64_t Hi, std::int64_t Grain,
+                      const std::function<void(std::int64_t)> &Body);
+
+  RtOptions Options;
+  SimMemory Memory;
+  TaskGraph Graph;
+  SpBags Checker;
+
+  StrandId CurStrand = InvalidStrand;
+  std::vector<std::unique_ptr<TaskCtx>> TaskStack;
+  std::map<Addr, Span> Spans; ///< All spans by start address.
+  /// Active kept (write-destination) intervals: start -> end. Accesses in
+  /// these intervals are race-checked.
+  std::map<Addr, Addr> KeptIntervals;
+  RegionId NextRegion = 0;
+  bool Finished = false;
+};
+
+} // namespace warden
+
+#endif // WARDEN_RT_RUNTIME_H

@@ -1,0 +1,108 @@
+//===- rt/SimArray.h - Typed views over simulated memory ------*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Typed array and scalar views over simulated memory. get()/set() perform
+/// real data movement in the shadow store *and* record the access into the
+/// current strand's trace; peek()/poke() touch only the shadow store and
+/// are meant for untimed input generation and output verification, exactly
+/// like the untimed setup phases of the PBBS harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_RT_SIMARRAY_H
+#define WARDEN_RT_SIMARRAY_H
+
+#include "src/rt/Runtime.h"
+
+#include <cassert>
+#include <type_traits>
+
+namespace warden {
+
+/// A typed array living in simulated memory.
+template <typename T> class SimArray {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "simulated memory holds trivially copyable values only");
+
+public:
+  SimArray() = default;
+
+  SimArray(Runtime *Rt, Addr Base, T *Host, std::size_t Count)
+      : Rt(Rt), Base(Base), Host(Host), Count(Count) {}
+
+  std::size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  Addr addr() const { return Base; }
+  Addr addrOf(std::size_t Index) const { return Base + Index * sizeof(T); }
+  std::uint64_t bytes() const { return Count * sizeof(T); }
+
+  /// Timed, traced read.
+  T get(std::size_t Index) const {
+    assert(Index < Count && "index out of range");
+    Rt->recordLoad(addrOf(Index), sizeof(T));
+    return Host[Index];
+  }
+
+  /// Timed, traced write.
+  void set(std::size_t Index, const T &Value) const {
+    assert(Index < Count && "index out of range");
+    Rt->recordStore(addrOf(Index), sizeof(T));
+    Host[Index] = Value;
+  }
+
+  /// Untimed read (setup/verification only).
+  T peek(std::size_t Index) const {
+    assert(Index < Count && "index out of range");
+    return Host[Index];
+  }
+
+  /// Untimed write (setup only).
+  void poke(std::size_t Index, const T &Value) const {
+    assert(Index < Count && "index out of range");
+    Host[Index] = Value;
+  }
+
+private:
+  Runtime *Rt = nullptr;
+  Addr Base = 0;
+  T *Host = nullptr;
+  std::size_t Count = 0;
+};
+
+/// A single value in simulated memory.
+template <typename T> class SimVar {
+public:
+  SimVar() = default;
+  explicit SimVar(SimArray<T> Cell) : Cell(Cell) {}
+
+  T get() const { return Cell.get(0); }
+  void set(const T &Value) const { Cell.set(0, Value); }
+  T peek() const { return Cell.peek(0); }
+  void poke(const T &Value) const { Cell.poke(0, Value); }
+  Addr addr() const { return Cell.addr(); }
+
+private:
+  SimArray<T> Cell;
+};
+
+template <typename T> SimArray<T> Runtime::allocArray(std::size_t Count) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "simulated memory holds trivially copyable values only");
+  assert(Count > 0 && "empty array");
+  Addr Base = allocate(Count * sizeof(T),
+                       std::max<std::uint64_t>(alignof(T), 8));
+  return SimArray<T>(this, Base, reinterpret_cast<T *>(hostPtr(Base)), Count);
+}
+
+/// Allocates a single simulated variable.
+template <typename T> SimVar<T> allocVar(Runtime &Rt) {
+  return SimVar<T>(Rt.allocArray<T>(1));
+}
+
+} // namespace warden
+
+#endif // WARDEN_RT_SIMARRAY_H

@@ -1,0 +1,38 @@
+//===- rt/SimMemory.cpp - Simulated address space + shadow store ----------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/rt/SimMemory.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace warden;
+
+Addr SimMemory::allocateSpan(std::uint64_t Size, std::uint64_t Align) {
+  assert(Size > 0 && "empty span");
+  assert(isPowerOf2(Align) && "alignment must be a power of two");
+  Addr Start = alignTo(Next, Align);
+  Next = Start + Size;
+  Slab S;
+  S.Size = Size;
+  S.Storage = std::make_unique<std::byte[]>(Size);
+  std::memset(S.Storage.get(), 0, Size);
+  Slabs.emplace(Start, std::move(S));
+  TotalBytes += Size;
+  return Start;
+}
+
+std::byte *SimMemory::host(Addr Address) {
+  auto It = Slabs.upper_bound(Address);
+  assert(It != Slabs.begin() && "address below all spans");
+  --It;
+  assert(Address < It->first + It->second.Size && "address beyond its span");
+  return It->second.Storage.get() + (Address - It->first);
+}
+
+const std::byte *SimMemory::host(Addr Address) const {
+  return const_cast<SimMemory *>(this)->host(Address);
+}

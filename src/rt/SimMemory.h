@@ -1,0 +1,61 @@
+//===- rt/SimMemory.h - Simulated address space + shadow store -*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated physical address space and its host "shadow" backing
+/// store. Simulated addresses are what flow through traces and the cache
+/// simulator; the shadow store holds the actual program values so phase-1
+/// execution computes real (verifiable) results. Every allocation is one
+/// contiguous span backed by one contiguous zero-initialised host slab, so
+/// typed wrappers can cache a single host pointer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_RT_SIMMEMORY_H
+#define WARDEN_RT_SIMMEMORY_H
+
+#include "src/support/Types.h"
+
+#include <cstddef>
+#include <map>
+#include <memory>
+
+namespace warden {
+
+/// Owner of the simulated address space.
+class SimMemory {
+public:
+  SimMemory() = default;
+  SimMemory(const SimMemory &) = delete;
+  SimMemory &operator=(const SimMemory &) = delete;
+
+  /// Allocates a span of \p Size bytes aligned to \p Align (a power of
+  /// two). The backing storage is zero-initialised.
+  Addr allocateSpan(std::uint64_t Size, std::uint64_t Align);
+
+  /// Translates a simulated address to its host backing storage. The
+  /// address must lie inside an allocated span.
+  std::byte *host(Addr Address);
+  const std::byte *host(Addr Address) const;
+
+  /// Total bytes allocated, for footprint diagnostics.
+  std::uint64_t bytesAllocated() const { return TotalBytes; }
+
+private:
+  struct Slab {
+    std::uint64_t Size = 0;
+    std::unique_ptr<std::byte[]> Storage;
+  };
+
+  /// The address space starts away from zero so a zero Addr is never valid.
+  Addr Next = 0x100000;
+  std::uint64_t TotalBytes = 0;
+  std::map<Addr, Slab> Slabs; ///< Start address -> slab.
+};
+
+} // namespace warden
+
+#endif // WARDEN_RT_SIMMEMORY_H

@@ -1,0 +1,166 @@
+//===- rt/Stdlib.h - Parallel sequence primitives --------------*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime's standard library of parallel sequence primitives —
+/// tabulate, map, reduce, scan, filter — mirroring the MPL standard library
+/// the paper relies on (Section 4.2: "MPL offers a standard library ... The
+/// library code is implemented under-the-hood via efficient data structures
+/// and algorithms, utilizing in-place updates where crucial"). The
+/// write-destination discipline (WriteOnlyScope) lives *here*, inside the
+/// library, so application code gets WARD coverage with zero annotations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_RT_STDLIB_H
+#define WARDEN_RT_STDLIB_H
+
+#include "src/rt/SimArray.h"
+
+#include <cstdint>
+#include <functional>
+
+namespace warden {
+namespace stdlib {
+
+/// Default leaf granularity for the primitives below.
+inline constexpr std::int64_t DefaultGrain = 64;
+
+/// Builds a fresh array with Out[I] = Fn(I) in parallel. The destination is
+/// freshly allocated and write-only during the fill, so its span stays
+/// WARD-marked through the parallel section.
+template <typename T, typename FnT>
+SimArray<T> tabulate(Runtime &Rt, std::size_t Count, FnT Fn,
+                     std::int64_t Grain = DefaultGrain) {
+  SimArray<T> Out = Rt.allocArray<T>(Count);
+  Runtime::WriteOnlyScope Scope(Rt, Out.addr(), Out.bytes());
+  Rt.parallelFor(0, static_cast<std::int64_t>(Count), Grain,
+                 [&](std::int64_t I) {
+                   Out.set(static_cast<std::size_t>(I),
+                           Fn(static_cast<std::size_t>(I)));
+                 });
+  return Out;
+}
+
+/// Builds Out[I] = Fn(In.get(I)) in parallel.
+template <typename U, typename T, typename FnT>
+SimArray<U> mapArray(Runtime &Rt, const SimArray<T> &In, FnT Fn,
+                     std::int64_t Grain = DefaultGrain) {
+  return tabulate<U>(
+      Rt, In.size(), [&](std::size_t I) { return Fn(In.get(I)); }, Grain);
+}
+
+/// Divide-and-conquer reduction of Fn(Lo..Hi): LeafFn computes a leaf's
+/// partial result; Combine merges two partials. Partials travel through the
+/// fork frames the runtime already injects.
+template <typename T, typename LeafFnT, typename CombineT>
+T reduceRange(Runtime &Rt, std::int64_t Lo, std::int64_t Hi, LeafFnT LeafFn,
+              CombineT Combine, std::int64_t Grain = DefaultGrain) {
+  if (Hi - Lo <= Grain)
+    return LeafFn(Lo, Hi);
+  std::int64_t Mid = Lo + (Hi - Lo) / 2;
+  T Left{};
+  T Right{};
+  Rt.fork2(
+      [&] { Left = reduceRange<T>(Rt, Lo, Mid, LeafFn, Combine, Grain); },
+      [&] { Right = reduceRange<T>(Rt, Mid, Hi, LeafFn, Combine, Grain); });
+  return Combine(Left, Right);
+}
+
+/// Sum of In.get(I) over the array.
+template <typename T>
+T sum(Runtime &Rt, const SimArray<T> &In, std::int64_t Grain = DefaultGrain) {
+  return reduceRange<T>(
+      Rt, 0, static_cast<std::int64_t>(In.size()),
+      [&](std::int64_t Lo, std::int64_t Hi) {
+        T Acc{};
+        for (std::int64_t I = Lo; I < Hi; ++I)
+          Acc = Acc + In.get(static_cast<std::size_t>(I));
+        return Acc;
+      },
+      [](T A, T B) { return A + B; }, Grain);
+}
+
+/// Exclusive prefix sum: returns an array Out with Out[I] = sum of
+/// In[0..I), plus the total via \p Total. Two-level chunked algorithm:
+/// per-chunk sums in parallel, sequential scan of the (short) sums array,
+/// parallel fill of the outputs.
+template <typename T>
+SimArray<T> scanExclusive(Runtime &Rt, const SimArray<T> &In, T &Total,
+                          std::int64_t Grain = DefaultGrain) {
+  std::size_t Count = In.size();
+  std::size_t ChunkSize = static_cast<std::size_t>(Grain);
+  std::size_t Chunks = (Count + ChunkSize - 1) / ChunkSize;
+
+  SimArray<T> Sums = tabulate<T>(
+      Rt, Chunks,
+      [&](std::size_t C) {
+        std::size_t Lo = C * ChunkSize;
+        std::size_t Hi = std::min(Count, Lo + ChunkSize);
+        T Acc{};
+        for (std::size_t I = Lo; I < Hi; ++I)
+          Acc = Acc + In.get(I);
+        return Acc;
+      },
+      /*Grain=*/1);
+
+  // Sequential scan of the chunk sums (performed by the current leaf).
+  T Acc{};
+  for (std::size_t C = 0; C < Chunks; ++C) {
+    T Value = Sums.get(C);
+    Sums.set(C, Acc);
+    Acc = Acc + Value;
+  }
+  Total = Acc;
+
+  SimArray<T> Out = Rt.allocArray<T>(Count);
+  Runtime::WriteOnlyScope Scope(Rt, Out.addr(), Out.bytes());
+  Rt.parallelFor(0, static_cast<std::int64_t>(Chunks), 1,
+                 [&](std::int64_t C) {
+                   std::size_t Lo = static_cast<std::size_t>(C) * ChunkSize;
+                   std::size_t Hi = std::min(Count, Lo + ChunkSize);
+                   T Running = Sums.get(static_cast<std::size_t>(C));
+                   for (std::size_t I = Lo; I < Hi; ++I) {
+                     Out.set(I, Running);
+                     Running = Running + In.get(I);
+                   }
+                 });
+  return Out;
+}
+
+/// Keeps In elements satisfying \p Pred, preserving order. Classic
+/// flags/scan/scatter pipeline. \p KeptCount receives the output size; the
+/// returned array is allocated at the exact kept size (or size 1 if none
+/// kept, with KeptCount = 0).
+template <typename T, typename PredT>
+SimArray<T> filter(Runtime &Rt, const SimArray<T> &In, PredT Pred,
+                   std::size_t &KeptCount,
+                   std::int64_t Grain = DefaultGrain) {
+  SimArray<std::uint32_t> Flags = tabulate<std::uint32_t>(
+      Rt, In.size(),
+      [&](std::size_t I) {
+        return Pred(In.get(I)) ? std::uint32_t(1) : std::uint32_t(0);
+      },
+      Grain);
+  std::uint32_t Total = 0;
+  SimArray<std::uint32_t> Offsets = scanExclusive(Rt, Flags, Total, Grain);
+  KeptCount = Total;
+
+  SimArray<T> Out = Rt.allocArray<T>(std::max<std::size_t>(Total, 1));
+  Runtime::WriteOnlyScope Scope(Rt, Out.addr(), Out.bytes());
+  Rt.parallelFor(0, static_cast<std::int64_t>(In.size()), Grain,
+                 [&](std::int64_t I) {
+                   std::size_t Index = static_cast<std::size_t>(I);
+                   if (Flags.get(Index))
+                     Out.set(Offsets.get(Index), In.get(Index));
+                 });
+  return Out;
+}
+
+} // namespace stdlib
+} // namespace warden
+
+#endif // WARDEN_RT_STDLIB_H

@@ -1,0 +1,205 @@
+//===- sched/Replay.cpp - Work-stealing timing replay ---------------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/sched/Replay.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace warden;
+
+Replayer::Replayer(const TaskGraph &Graph, CoherenceController &Controller,
+                   std::uint64_t Seed)
+    : Graph(Graph), Controller(Controller), Config(Controller.config()),
+      Random(Seed), Cores(Config.totalCores()),
+      JoinPending(Graph.size(), 0) {
+  for (StrandId Id = 0; Id < Graph.size(); ++Id)
+    JoinPending[Id] = Graph.strand(Id).PendingJoin;
+  Remaining = Graph.size();
+}
+
+void Replayer::drainStoreBuffer(Core &C) {
+  while (!C.StoreBuffer.empty() && C.StoreBuffer.front() <= C.Now)
+    C.StoreBuffer.pop_front();
+}
+
+bool Replayer::step(CoreId Id, Core &C) {
+  const Strand &S = Graph.strand(C.Current);
+  if (C.NextEvent >= S.Events.size())
+    return true;
+  const TraceEvent &E = S.Events[C.NextEvent++];
+
+  switch (E.Op) {
+  case TraceOp::Work:
+    C.Now += E.Extra;
+    Stats.Instructions += E.Extra;
+    break;
+  case TraceOp::Load: {
+    Cycles Lat = Controller.access(Id, E.Address, E.Size, AccessType::Load);
+    C.Now += std::max<Cycles>(Lat, 1);
+    Stats.Instructions += 1;
+    break;
+  }
+  case TraceOp::Rmw: {
+    Cycles Lat = Controller.access(Id, E.Address, E.Size, AccessType::Rmw);
+    C.Now += std::max<Cycles>(Lat, 1);
+    Stats.Instructions += 1;
+    break;
+  }
+  case TraceOp::Store: {
+    drainStoreBuffer(C);
+    if (C.StoreBuffer.size() >= Config.StoreBufferEntries) {
+      // Stall until the oldest store retires.
+      Cycles Free = C.StoreBuffer.front();
+      assert(Free > C.Now && "expired entry survived drain");
+      Stats.StoreStallCycles += Free - C.Now;
+      C.Now = Free;
+      drainStoreBuffer(C);
+    }
+    Cycles Lat = Controller.access(Id, E.Address, E.Size, AccessType::Store);
+    C.StoreBuffer.push_back(C.Now + 1 + Lat +
+                            Config.StoreRetireCycles *
+                                static_cast<Cycles>(C.StoreBuffer.size()));
+    C.Now += 1; // Issue into the store buffer.
+    Stats.Instructions += 1;
+    break;
+  }
+  case TraceOp::MarkRegion: {
+    Cycles Cost = Controller.addRegion(E.Region, E.Address, E.Extra);
+    C.Now += Cost;
+    Stats.RegionInstrCycles += Cost;
+    if (Config.Protocol == ProtocolKind::Warden)
+      Stats.Instructions += 1;
+    break;
+  }
+  case TraceOp::UnmarkRegion: {
+    Cycles Cost = Controller.removeRegion(E.Region, Id);
+    C.Now += Cost;
+    Stats.RegionInstrCycles += Cost;
+    if (Config.Protocol == ProtocolKind::Warden)
+      Stats.Instructions += 1;
+    break;
+  }
+  }
+  return C.NextEvent >= S.Events.size();
+}
+
+void Replayer::completeStrand(CoreId Id, Core &C) {
+  (void)Id;
+  const Strand &S = Graph.strand(C.Current);
+  assert(Remaining > 0 && "completing with nothing outstanding");
+  --Remaining;
+  ++Stats.StrandsExecuted;
+
+  StrandId Next = InvalidStrand;
+  if (S.isForkPoint()) {
+    C.Now += Config.ForkOverhead;
+    // Continue with the first child; expose the rest for stealing. The
+    // deque bottom pointer is published through ordinary coherent memory.
+    Controller.access(Id, dequeLine(Id), 8, AccessType::Store);
+    C.Now += 1;
+    Stats.Instructions += 1;
+    Next = S.Children.front();
+    for (std::size_t I = 1; I < S.Children.size(); ++I)
+      C.Deque.push_back({S.Children[I], C.Now});
+  } else if (S.JoinTarget != InvalidStrand) {
+    C.Now += Config.JoinOverhead;
+    assert(JoinPending[S.JoinTarget] > 0 && "join counter underflow");
+    if (--JoinPending[S.JoinTarget] == 0)
+      Next = S.JoinTarget; // The last finisher runs the continuation.
+  }
+
+  if (Next == InvalidStrand && !C.Deque.empty()) {
+    Next = C.Deque.back().Strand; // LIFO on the owner's side.
+    C.Deque.pop_back();
+    // Popping updates the deque bottom pointer.
+    Controller.access(Id, dequeLine(Id), 8, AccessType::Store);
+    C.Now += 1;
+    Stats.Instructions += 1;
+  }
+
+  LastCompletion = std::max(LastCompletion, C.Now);
+  C.Current = Next;
+  C.NextEvent = 0;
+}
+
+void Replayer::tryObtainWork(CoreId Id, Core &C) {
+  if (!C.Deque.empty()) {
+    C.Current = C.Deque.back().Strand;
+    C.Now = std::max(C.Now, C.Deque.back().Ready);
+    C.Deque.pop_back();
+    C.NextEvent = 0;
+    return;
+  }
+  // Random-victim steal, FIFO end (the classic work-stealing discipline).
+  CoreId Victim = static_cast<CoreId>(Random.nextBelow(Cores.size()));
+  if (Victim == Id) {
+    C.Now += Config.StealOverhead;
+    ++Stats.FailedSteals;
+    return;
+  }
+  // Probe the victim's deque line: a real coherent load that ping-pongs
+  // against the victim's pushes and pops. Idle cores generate this
+  // busy-wait traffic for as long as they stay idle, so it shrinks with
+  // execution time — the effect behind the paper's ray analysis.
+  Cycles ProbeLat =
+      Controller.access(Id, dequeLine(Victim), 8, AccessType::Load);
+  C.Now += std::max<Cycles>(ProbeLat, 1);
+  Stats.Instructions += 1;
+  ++Stats.StealProbes;
+  if (!Cores[Victim].Deque.empty()) {
+    const auto &Stolen = Cores[Victim].Deque.front();
+    // Taking the item is an atomic exchange on the victim's deque line.
+    Cycles TakeLat =
+        Controller.access(Id, dequeLine(Victim), 8, AccessType::Rmw);
+    C.Current = Stolen.Strand;
+    // A strand cannot start before the fork that created it completed.
+    C.Now = std::max(C.Now + TakeLat + Config.StealOverhead,
+                     Stolen.Ready + Config.StealOverhead);
+    Stats.Instructions += 1;
+    Cores[Victim].Deque.pop_front();
+    C.NextEvent = 0;
+    ++Stats.Steals;
+    return;
+  }
+  C.Now += Config.StealOverhead;
+  ++Stats.FailedSteals;
+}
+
+ReplayResult Replayer::run() {
+  assert(Graph.root() != InvalidStrand && "graph has no root");
+  // Each worker initialises its own deque at startup, which also gives the
+  // deque line a sensible first-touch home on the worker's own socket.
+  for (CoreId Id = 0; Id < Cores.size(); ++Id)
+    Controller.access(Id, dequeLine(Id), 8, AccessType::Store);
+  Cores[0].Current = Graph.root();
+
+  while (Remaining > 0) {
+    // Advance the core with the smallest local time (ties: lowest id).
+    // Idle cores keep probing for work — that busy waiting is part of the
+    // modelled behaviour — but they stop once nothing is outstanding.
+    CoreId Chosen = InvalidCore;
+    for (CoreId Id = 0; Id < Cores.size(); ++Id) {
+      Core &C = Cores[Id];
+      if (Chosen == InvalidCore || C.Now < Cores[Chosen].Now)
+        Chosen = Id;
+    }
+    assert(Chosen != InvalidCore && "deadlock: no runnable core");
+    Core &C = Cores[Chosen];
+
+    if (C.Current == InvalidStrand) {
+      tryObtainWork(Chosen, C);
+      continue;
+    }
+    if (step(Chosen, C))
+      completeStrand(Chosen, C);
+  }
+
+  ReplayResult Result;
+  Result.Makespan = LastCompletion;
+  Result.Sched = Stats;
+  return Result;
+}

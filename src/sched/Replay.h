@@ -1,0 +1,98 @@
+//===- sched/Replay.h - Work-stealing timing replay ------------*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Phase-2 timing simulation: a deterministic work-stealing scheduler
+/// replays a recorded TaskGraph on the simulated machine. A global loop
+/// always advances the core with the smallest local time (ties broken by
+/// core id), so every coherence interaction is processed in timestamp
+/// order. Loads and atomics block; stores retire through a finite store
+/// buffer and stall the core only when it is full — the behaviour Section
+/// 7.2 leans on to explain why downgrades (loads) dominate invalidations
+/// (stores) for application performance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_SCHED_REPLAY_H
+#define WARDEN_SCHED_REPLAY_H
+
+#include "src/coherence/CoherenceController.h"
+#include "src/support/Rng.h"
+#include "src/trace/TaskGraph.h"
+
+#include <deque>
+#include <vector>
+
+namespace warden {
+
+/// Scheduler-level statistics for one replay.
+struct SchedulerStats {
+  std::uint64_t StrandsExecuted = 0;
+  std::uint64_t Steals = 0;
+  std::uint64_t FailedSteals = 0;
+  std::uint64_t Instructions = 0;
+  std::uint64_t StealProbes = 0; ///< Deque probe loads issued by thieves.
+  Cycles StoreStallCycles = 0;
+  Cycles RegionInstrCycles = 0; ///< Cycles spent in add/remove-region work.
+};
+
+/// Outcome of one replay.
+struct ReplayResult {
+  Cycles Makespan = 0;
+  SchedulerStats Sched;
+};
+
+/// Replays a TaskGraph against a coherence controller.
+class Replayer {
+public:
+  Replayer(const TaskGraph &Graph, CoherenceController &Controller,
+           std::uint64_t Seed = 0x5eed);
+
+  /// Runs the whole graph to completion and returns timing results.
+  ReplayResult run();
+
+private:
+  struct Core {
+    Cycles Now = 0;
+    StrandId Current = InvalidStrand;
+    std::size_t NextEvent = 0;
+    /// A deque entry: the strand plus the time it became stealable.
+    struct Item {
+      StrandId Strand;
+      Cycles Ready;
+    };
+    std::deque<Item> Deque; ///< Back = newest (own pops), front = steals.
+    std::deque<Cycles> StoreBuffer;  ///< Completion times, FIFO.
+  };
+
+  /// Executes one trace event on \p C (core \p Id); returns true if the
+  /// strand completed.
+  bool step(CoreId Id, Core &C);
+  void completeStrand(CoreId Id, Core &C);
+  void tryObtainWork(CoreId Id, Core &C);
+  void drainStoreBuffer(Core &C);
+
+  /// Simulated address of core I's deque bottom/top word. Work-stealing
+  /// deques live in ordinary coherent memory (they are synchronisation, so
+  /// never WARD): owners update them at forks and pops, thieves read them
+  /// when probing for work. This busy-wait-style traffic is what the paper
+  /// credits for ray's instruction-count reduction (Section 7.2).
+  Addr dequeLine(CoreId Core) const { return 0x8000 + Addr(Core) * 64; }
+
+  const TaskGraph &Graph;
+  CoherenceController &Controller;
+  const MachineConfig &Config;
+  Rng Random;
+  std::vector<Core> Cores;
+  std::vector<std::uint32_t> JoinPending; ///< Mutable per-strand join counts.
+  std::uint64_t Remaining = 0;
+  Cycles LastCompletion = 0;
+  SchedulerStats Stats;
+};
+
+} // namespace warden
+
+#endif // WARDEN_SCHED_REPLAY_H

@@ -1,0 +1,91 @@
+//===- support/CoreMask.h - Fixed-size core bit set ------------*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bit set over hardware threads, used for directory sharer lists.
+/// The simulated machines in this study never exceed 64 cores, so a single
+/// 64-bit word suffices; this mirrors the sharer bitmasks real LLC
+/// directories keep per block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_SUPPORT_COREMASK_H
+#define WARDEN_SUPPORT_COREMASK_H
+
+#include "src/support/Types.h"
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace warden {
+
+/// Set of core ids in [0, 64).
+class CoreMask {
+public:
+  static constexpr unsigned MaxCores = 64;
+
+  CoreMask() = default;
+
+  /// Returns a mask containing only \p Core.
+  static CoreMask single(CoreId Core) {
+    CoreMask M;
+    M.set(Core);
+    return M;
+  }
+
+  void set(CoreId Core) {
+    assert(Core < MaxCores && "core id out of range");
+    Bits |= (1ULL << Core);
+  }
+
+  void clear(CoreId Core) {
+    assert(Core < MaxCores && "core id out of range");
+    Bits &= ~(1ULL << Core);
+  }
+
+  bool test(CoreId Core) const {
+    assert(Core < MaxCores && "core id out of range");
+    return (Bits >> Core) & 1ULL;
+  }
+
+  void clearAll() { Bits = 0; }
+
+  bool empty() const { return Bits == 0; }
+
+  unsigned count() const { return std::popcount(Bits); }
+
+  /// Returns the lowest-numbered core in the mask; the mask must not be
+  /// empty.
+  CoreId first() const {
+    assert(!empty() && "first() on empty mask");
+    return static_cast<CoreId>(std::countr_zero(Bits));
+  }
+
+  /// Returns true if \p Core is the only member.
+  bool isSingleton(CoreId Core) const { return Bits == (1ULL << Core); }
+
+  std::uint64_t raw() const { return Bits; }
+
+  bool operator==(const CoreMask &Other) const = default;
+
+  /// Calls \p Fn for each member core in ascending order.
+  template <typename FnT> void forEach(FnT Fn) const {
+    std::uint64_t Remaining = Bits;
+    while (Remaining != 0) {
+      CoreId Core = static_cast<CoreId>(std::countr_zero(Remaining));
+      Remaining &= Remaining - 1;
+      Fn(Core);
+    }
+  }
+
+private:
+  std::uint64_t Bits = 0;
+};
+
+} // namespace warden
+
+#endif // WARDEN_SUPPORT_COREMASK_H

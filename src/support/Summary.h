@@ -1,0 +1,77 @@
+//===- support/Summary.h - Streaming summary statistics --------*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming summary statistics (count / mean / min / max / geometric mean)
+/// used by the benchmark harnesses when aggregating per-benchmark results
+/// into the MEAN columns of the paper's figures. The paper reports
+/// arithmetic means of speedups and of percentage savings; geometric mean is
+/// provided as well because it is the conventional aggregate for speedups.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_SUPPORT_SUMMARY_H
+#define WARDEN_SUPPORT_SUMMARY_H
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace warden {
+
+/// Accumulates doubles and reports summary statistics.
+class Summary {
+public:
+  void add(double Value) {
+    ++N;
+    Total += Value;
+    Min = std::min(Min, Value);
+    Max = std::max(Max, Value);
+    if (Value > 0)
+      LogTotal += std::log(Value);
+    else
+      HasNonPositive = true;
+  }
+
+  std::size_t count() const { return N; }
+
+  double sum() const { return Total; }
+
+  double mean() const {
+    assert(N > 0 && "mean of empty summary");
+    return Total / static_cast<double>(N);
+  }
+
+  /// Geometric mean; only meaningful when every sample was positive.
+  double geomean() const {
+    assert(N > 0 && "geomean of empty summary");
+    assert(!HasNonPositive && "geomean with non-positive sample");
+    return std::exp(LogTotal / static_cast<double>(N));
+  }
+
+  double min() const {
+    assert(N > 0 && "min of empty summary");
+    return Min;
+  }
+
+  double max() const {
+    assert(N > 0 && "max of empty summary");
+    return Max;
+  }
+
+private:
+  std::size_t N = 0;
+  double Total = 0;
+  double LogTotal = 0;
+  double Min = std::numeric_limits<double>::infinity();
+  double Max = -std::numeric_limits<double>::infinity();
+  bool HasNonPositive = false;
+};
+
+} // namespace warden
+
+#endif // WARDEN_SUPPORT_SUMMARY_H

@@ -1,0 +1,91 @@
+//===- support/Table.cpp - Plain-text table formatting --------------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/support/Table.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdio>
+
+using namespace warden;
+
+void Table::setHeader(std::vector<std::string> Columns) {
+  Header = std::move(Columns);
+}
+
+void Table::addRow(std::vector<std::string> Columns) {
+  assert(Columns.size() == Header.size() && "row/header column mismatch");
+  Rows.push_back(std::move(Columns));
+}
+
+/// Returns true if \p Cell looks like a number (so it should right-align).
+static bool isNumericCell(const std::string &Cell) {
+  if (Cell.empty())
+    return false;
+  for (char C : Cell)
+    if (!std::isdigit(static_cast<unsigned char>(C)) && C != '.' &&
+        C != '-' && C != '+' && C != '%' && C != 'x' && C != 'e')
+      return false;
+  return true;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> Widths(Header.size(), 0);
+  for (std::size_t I = 0; I < Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (std::size_t I = 0; I < Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  auto appendRow = [&](std::string &Out, const std::vector<std::string> &Row,
+                       bool AlignHeaderLeft) {
+    for (std::size_t I = 0; I < Row.size(); ++I) {
+      std::size_t Pad = Widths[I] - Row[I].size();
+      bool RightAlign = !AlignHeaderLeft && isNumericCell(Row[I]);
+      if (RightAlign)
+        Out.append(Pad, ' ');
+      Out += Row[I];
+      if (!RightAlign)
+        Out.append(Pad, ' ');
+      if (I + 1 != Row.size())
+        Out += "  ";
+    }
+    // Trim trailing spaces introduced by left-aligned final cells.
+    while (!Out.empty() && Out.back() == ' ')
+      Out.pop_back();
+    Out += '\n';
+  };
+
+  std::string Out;
+  appendRow(Out, Header, /*AlignHeaderLeft=*/true);
+  std::size_t RuleWidth = 0;
+  for (std::size_t I = 0; I < Widths.size(); ++I)
+    RuleWidth += Widths[I] + (I + 1 != Widths.size() ? 2 : 0);
+  Out.append(RuleWidth, '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    appendRow(Out, Row, /*AlignHeaderLeft=*/false);
+  return Out;
+}
+
+std::string Table::fmt(double Value, int Decimals) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Decimals, Value);
+  return Buffer;
+}
+
+std::string Table::fmt(std::uint64_t Value) {
+  char Buffer[32];
+  std::snprintf(Buffer, sizeof(Buffer), "%llu",
+                static_cast<unsigned long long>(Value));
+  return Buffer;
+}
+
+std::string Table::pct(double Fraction, int Decimals) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f%%", Decimals, Fraction * 100.0);
+  return Buffer;
+}

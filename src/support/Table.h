@@ -1,0 +1,52 @@
+//===- support/Table.h - Plain-text table formatting -----------*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small column-aligned plain-text table printer used by the benchmark
+/// harnesses to emit the rows of each paper table/figure. Output goes
+/// through a std::string so library code stays free of iostream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_SUPPORT_TABLE_H
+#define WARDEN_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace warden {
+
+/// Column-aligned table builder. Add a header row, then data rows; render()
+/// produces the final aligned text.
+class Table {
+public:
+  /// Sets the header row and fixes the column count.
+  void setHeader(std::vector<std::string> Columns);
+
+  /// Appends a data row; must match the header's column count.
+  void addRow(std::vector<std::string> Columns);
+
+  /// Renders the table with two-space column separation. Numeric-looking
+  /// cells are right-aligned; everything else is left-aligned.
+  std::string render() const;
+
+  /// Formats a double with \p Decimals fraction digits.
+  static std::string fmt(double Value, int Decimals = 2);
+
+  /// Formats an unsigned integer.
+  static std::string fmt(std::uint64_t Value);
+
+  /// Formats a ratio as a percentage string with \p Decimals digits.
+  static std::string pct(double Fraction, int Decimals = 1);
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace warden
+
+#endif // WARDEN_SUPPORT_TABLE_H

@@ -1,0 +1,76 @@
+//===- support/Types.h - Fundamental scalar types -------------*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fundamental scalar type aliases shared by every subsystem: simulated
+/// addresses, cycle counts, and core identifiers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_SUPPORT_TYPES_H
+#define WARDEN_SUPPORT_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace warden {
+
+/// A simulated physical address. The simulated address space is completely
+/// disjoint from host memory; translation to host shadow storage happens in
+/// rt::SimMemory.
+using Addr = std::uint64_t;
+
+/// A count of simulated clock cycles.
+using Cycles = std::uint64_t;
+
+/// Identifier of a simulated hardware thread (one per core; no SMT).
+using CoreId = unsigned;
+
+/// Identifier of a socket (package) in the simulated machine.
+using SocketId = unsigned;
+
+/// Identifier of a strand (a maximal fork/join-free instruction sequence)
+/// in the recorded task graph.
+using StrandId = std::uint32_t;
+
+/// Identifier of a logical task heap in the heap hierarchy.
+using HeapId = std::uint32_t;
+
+/// Identifier of an active WARD region as known to the hardware.
+using RegionId = std::uint32_t;
+
+/// Sentinel meaning "no core".
+inline constexpr CoreId InvalidCore = static_cast<CoreId>(-1);
+
+/// Sentinel meaning "no strand".
+inline constexpr StrandId InvalidStrand = static_cast<StrandId>(-1);
+
+/// Sentinel meaning "no region".
+inline constexpr RegionId InvalidRegion = static_cast<RegionId>(-1);
+
+/// Returns the base-2 logarithm of \p Value, which must be a power of two.
+constexpr unsigned log2Exact(std::uint64_t Value) {
+  unsigned Result = 0;
+  while (Value > 1) {
+    Value >>= 1;
+    ++Result;
+  }
+  return Result;
+}
+
+/// Returns true if \p Value is a (nonzero) power of two.
+constexpr bool isPowerOf2(std::uint64_t Value) {
+  return Value != 0 && (Value & (Value - 1)) == 0;
+}
+
+/// Rounds \p Value up to the next multiple of \p Align (a power of two).
+constexpr std::uint64_t alignTo(std::uint64_t Value, std::uint64_t Align) {
+  return (Value + Align - 1) & ~(Align - 1);
+}
+
+} // namespace warden
+
+#endif // WARDEN_SUPPORT_TYPES_H

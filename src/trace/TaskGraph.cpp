@@ -1,0 +1,68 @@
+//===- trace/TaskGraph.cpp - Recorded fork-join task DAG ------------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/trace/TaskGraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+using namespace warden;
+
+std::uint64_t TaskGraph::totalInstructions() const {
+  std::uint64_t Total = 0;
+  for (const Strand &S : Strands)
+    for (const TraceEvent &E : S.Events)
+      Total += E.instructions();
+  return Total;
+}
+
+std::uint64_t TaskGraph::totalEvents() const {
+  std::uint64_t Total = 0;
+  for (const Strand &S : Strands)
+    Total += S.Events.size();
+  return Total;
+}
+
+std::uint64_t TaskGraph::spanInstructions() const {
+  if (Strands.empty())
+    return 0;
+  // Longest path over the series-parallel DAG, by Kahn-style relaxation.
+  std::vector<std::uint32_t> Pending(Strands.size(), 0);
+  std::vector<std::uint64_t> StartLength(Strands.size(), 0);
+  for (const Strand &S : Strands) {
+    for (StrandId Child : S.Children)
+      Pending[Child] += 1;
+    if (S.JoinTarget != InvalidStrand)
+      Pending[S.JoinTarget] += 1;
+  }
+
+  std::deque<StrandId> Ready;
+  assert(Root != InvalidStrand && "graph has no root");
+  Ready.push_back(Root);
+  std::uint64_t Span = 0;
+  while (!Ready.empty()) {
+    StrandId Id = Ready.front();
+    Ready.pop_front();
+    const Strand &S = Strands[Id];
+    std::uint64_t Mine = 0;
+    for (const TraceEvent &E : S.Events)
+      Mine += E.instructions();
+    std::uint64_t Finish = StartLength[Id] + Mine;
+    Span = std::max(Span, Finish);
+    auto Relax = [&](StrandId Next) {
+      StartLength[Next] = std::max(StartLength[Next], Finish);
+      assert(Pending[Next] > 0 && "in-degree underflow");
+      if (--Pending[Next] == 0)
+        Ready.push_back(Next);
+    };
+    for (StrandId Child : S.Children)
+      Relax(Child);
+    if (S.JoinTarget != InvalidStrand)
+      Relax(S.JoinTarget);
+  }
+  return Span;
+}

@@ -1,0 +1,83 @@
+//===- trace/TaskGraph.h - Recorded fork-join task DAG --------*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The series-parallel DAG of strands recorded by phase-1 execution. A
+/// *strand* is a maximal event sequence with no internal fork or join. A
+/// strand either forks (its Children become ready when it completes, and a
+/// continuation strand waits on their join) or completes toward a join
+/// (decrementing its JoinTarget's pending count).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_TRACE_TASKGRAPH_H
+#define WARDEN_TRACE_TASKGRAPH_H
+
+#include "src/trace/TraceEvent.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace warden {
+
+/// One strand of the recorded program.
+struct Strand {
+  std::vector<TraceEvent> Events;
+
+  /// Strands spawned when this strand completes (fork). Children[0] is the
+  /// branch the forking core continues with; the rest are pushed onto its
+  /// deque for stealing, mirroring the MPL scheduler.
+  std::vector<StrandId> Children;
+
+  /// Join continuation this strand notifies on completion, or
+  /// InvalidStrand for the final root strand.
+  StrandId JoinTarget = InvalidStrand;
+
+  /// Number of completions the strand waits for before becoming ready
+  /// (nonzero only for join continuations).
+  std::uint32_t PendingJoin = 0;
+
+  /// Simulated address of the join counter this strand's completers RMW.
+  /// Valid when PendingJoin > 0.
+  Addr JoinCounterAddr = 0;
+
+  bool isForkPoint() const { return !Children.empty(); }
+};
+
+/// The recorded program: strands plus entry point.
+class TaskGraph {
+public:
+  StrandId addStrand() {
+    Strands.emplace_back();
+    return static_cast<StrandId>(Strands.size() - 1);
+  }
+
+  Strand &strand(StrandId Id) { return Strands[Id]; }
+  const Strand &strand(StrandId Id) const { return Strands[Id]; }
+
+  std::size_t size() const { return Strands.size(); }
+
+  StrandId root() const { return Root; }
+  void setRoot(StrandId Id) { Root = Id; }
+
+  /// Total instructions across all strands (protocol-independent part).
+  std::uint64_t totalInstructions() const;
+
+  /// Total recorded events.
+  std::uint64_t totalEvents() const;
+
+  /// Span (critical-path instructions) of the DAG; with totalInstructions()
+  /// this gives the average-parallelism diagnostic printed by harnesses.
+  std::uint64_t spanInstructions() const;
+
+private:
+  std::vector<Strand> Strands;
+  StrandId Root = InvalidStrand;
+};
+
+} // namespace warden
+
+#endif // WARDEN_TRACE_TASKGRAPH_H

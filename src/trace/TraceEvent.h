@@ -1,0 +1,82 @@
+//===- trace/TraceEvent.h - Recorded per-strand events ---------*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The event vocabulary recorded during phase-1 (functional) execution and
+/// replayed by the phase-2 timing scheduler. A strand's trace is the exact
+/// sequence of memory references, compute batches, and WARD region
+/// instructions it performs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_TRACE_TRACEEVENT_H
+#define WARDEN_TRACE_TRACEEVENT_H
+
+#include "src/support/Types.h"
+
+#include <cstdint>
+
+namespace warden {
+
+/// Kind of a recorded event.
+enum class TraceOp : std::uint8_t {
+  Load,         ///< Blocking read of Size bytes at Address.
+  Store,        ///< Buffered write of Size bytes at Address.
+  Rmw,          ///< Atomic read-modify-write (blocking) at Address.
+  Work,         ///< Extra cycles of pure compute between memory references.
+  MarkRegion,   ///< "Add Region" instruction: [Address, Extra) becomes WARD.
+  UnmarkRegion, ///< "Remove Region" instruction: region Region reconciles.
+};
+
+/// One recorded event. Mark events carry the interval in (Address, Extra);
+/// Work events carry the cycle count in Extra.
+struct TraceEvent {
+  Addr Address = 0;
+  std::uint64_t Extra = 0;
+  RegionId Region = InvalidRegion;
+  TraceOp Op = TraceOp::Work;
+  std::uint8_t Size = 0;
+
+  static TraceEvent load(Addr Address, unsigned Size) {
+    return {Address, 0, InvalidRegion, TraceOp::Load,
+            static_cast<std::uint8_t>(Size)};
+  }
+  static TraceEvent store(Addr Address, unsigned Size) {
+    return {Address, 0, InvalidRegion, TraceOp::Store,
+            static_cast<std::uint8_t>(Size)};
+  }
+  static TraceEvent rmw(Addr Address, unsigned Size) {
+    return {Address, 0, InvalidRegion, TraceOp::Rmw,
+            static_cast<std::uint8_t>(Size)};
+  }
+  static TraceEvent work(std::uint64_t Cycles) {
+    return {0, Cycles, InvalidRegion, TraceOp::Work, 0};
+  }
+  static TraceEvent mark(RegionId Region, Addr Start, Addr End) {
+    return {Start, End, Region, TraceOp::MarkRegion, 0};
+  }
+  static TraceEvent unmark(RegionId Region) {
+    return {0, 0, Region, TraceOp::UnmarkRegion, 0};
+  }
+
+  /// Instructions this event represents (Work batches count one
+  /// instruction per cycle at the core's sustained rate).
+  std::uint64_t instructions() const {
+    switch (Op) {
+    case TraceOp::Work:
+      return Extra;
+    case TraceOp::MarkRegion:
+    case TraceOp::UnmarkRegion:
+      return 1;
+    default:
+      return 1;
+    }
+  }
+};
+
+} // namespace warden
+
+#endif // WARDEN_TRACE_TRACEEVENT_H

@@ -1,0 +1,154 @@
+//===- trace/TraceIO.cpp - Task graph (de)serialization ---------------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/trace/TraceIO.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+using namespace warden;
+
+namespace {
+
+constexpr std::uint64_t Magic = 0x57415244454e3147ULL; // "WARDEN1G"
+constexpr std::uint32_t Version = 2;
+
+struct FileCloser {
+  void operator()(std::FILE *File) const {
+    if (File)
+      std::fclose(File);
+  }
+};
+using FileHandle = std::unique_ptr<std::FILE, FileCloser>;
+
+bool writeRaw(std::FILE *File, const void *Data, std::size_t Size) {
+  return std::fwrite(Data, 1, Size, File) == Size;
+}
+
+bool readRaw(std::FILE *File, void *Data, std::size_t Size) {
+  return std::fread(Data, 1, Size, File) == Size;
+}
+
+template <typename T> bool writeValue(std::FILE *File, const T &Value) {
+  return writeRaw(File, &Value, sizeof(T));
+}
+
+template <typename T> bool readValue(std::FILE *File, T &Value) {
+  return readRaw(File, &Value, sizeof(T));
+}
+
+/// On-disk event layout (independent of TraceEvent's in-memory padding).
+struct PackedEvent {
+  std::uint64_t Address;
+  std::uint64_t Extra;
+  std::uint32_t Region;
+  std::uint8_t Op;
+  std::uint8_t Size;
+  std::uint8_t Pad[2] = {0, 0};
+};
+static_assert(sizeof(PackedEvent) == 24, "unexpected packing");
+
+} // namespace
+
+bool warden::writeTaskGraph(const TaskGraph &Graph, const std::string &Path) {
+  FileHandle File(std::fopen(Path.c_str(), "wb"));
+  if (!File)
+    return false;
+  if (!writeValue(File.get(), Magic) || !writeValue(File.get(), Version))
+    return false;
+  std::uint64_t Count = Graph.size();
+  std::uint32_t Root = Graph.root();
+  if (!writeValue(File.get(), Count) || !writeValue(File.get(), Root))
+    return false;
+
+  for (StrandId Id = 0; Id < Graph.size(); ++Id) {
+    const Strand &S = Graph.strand(Id);
+    std::uint32_t ChildCount = static_cast<std::uint32_t>(S.Children.size());
+    std::uint64_t EventCount = S.Events.size();
+    if (!writeValue(File.get(), ChildCount) ||
+        !writeValue(File.get(), S.JoinTarget) ||
+        !writeValue(File.get(), S.PendingJoin) ||
+        !writeValue(File.get(), S.JoinCounterAddr) ||
+        !writeValue(File.get(), EventCount))
+      return false;
+    for (StrandId Child : S.Children)
+      if (!writeValue(File.get(), Child))
+        return false;
+    for (const TraceEvent &E : S.Events) {
+      PackedEvent Packed;
+      Packed.Address = E.Address;
+      Packed.Extra = E.Extra;
+      Packed.Region = E.Region;
+      Packed.Op = static_cast<std::uint8_t>(E.Op);
+      Packed.Size = E.Size;
+      if (!writeValue(File.get(), Packed))
+        return false;
+    }
+  }
+  return std::fflush(File.get()) == 0;
+}
+
+std::optional<TaskGraph> warden::readTaskGraph(const std::string &Path) {
+  FileHandle File(std::fopen(Path.c_str(), "rb"));
+  if (!File)
+    return std::nullopt;
+  std::uint64_t FileMagic = 0;
+  std::uint32_t FileVersion = 0;
+  if (!readValue(File.get(), FileMagic) ||
+      !readValue(File.get(), FileVersion) || FileMagic != Magic ||
+      FileVersion != Version)
+    return std::nullopt;
+
+  std::uint64_t Count = 0;
+  std::uint32_t Root = 0;
+  if (!readValue(File.get(), Count) || !readValue(File.get(), Root))
+    return std::nullopt;
+  if (Count > (std::uint64_t(1) << 32) || Root >= Count)
+    return std::nullopt;
+
+  TaskGraph Graph;
+  for (std::uint64_t I = 0; I < Count; ++I)
+    Graph.addStrand();
+  Graph.setRoot(Root);
+
+  for (StrandId Id = 0; Id < Count; ++Id) {
+    Strand &S = Graph.strand(Id);
+    std::uint32_t ChildCount = 0;
+    std::uint64_t EventCount = 0;
+    if (!readValue(File.get(), ChildCount) ||
+        !readValue(File.get(), S.JoinTarget) ||
+        !readValue(File.get(), S.PendingJoin) ||
+        !readValue(File.get(), S.JoinCounterAddr) ||
+        !readValue(File.get(), EventCount))
+      return std::nullopt;
+    if (ChildCount > Count || EventCount > (std::uint64_t(1) << 40))
+      return std::nullopt;
+    S.Children.resize(ChildCount);
+    for (std::uint32_t C = 0; C < ChildCount; ++C) {
+      if (!readValue(File.get(), S.Children[C]))
+        return std::nullopt;
+      if (S.Children[C] >= Count)
+        return std::nullopt;
+    }
+    S.Events.reserve(EventCount);
+    for (std::uint64_t E = 0; E < EventCount; ++E) {
+      PackedEvent Packed;
+      if (!readValue(File.get(), Packed))
+        return std::nullopt;
+      if (Packed.Op > static_cast<std::uint8_t>(TraceOp::UnmarkRegion))
+        return std::nullopt;
+      TraceEvent Event;
+      Event.Address = Packed.Address;
+      Event.Extra = Packed.Extra;
+      Event.Region = Packed.Region;
+      Event.Op = static_cast<TraceOp>(Packed.Op);
+      Event.Size = Packed.Size;
+      S.Events.push_back(Event);
+    }
+  }
+  return Graph;
+}

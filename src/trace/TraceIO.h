@@ -1,0 +1,39 @@
+//===- trace/TraceIO.h - Task graph (de)serialization ---------*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary serialization of recorded TaskGraphs. Recording a large
+/// benchmark (phase 1) can be saved once and replayed under many machine
+/// configurations and protocols later — the same separation the Sniper
+/// artifact gets from its trace files.
+///
+/// Format: a small header (magic, version, strand count) followed by each
+/// strand's metadata and packed event array. Fixed-width little-endian
+/// fields; not intended to be stable across incompatible versions (the
+/// loader rejects mismatches).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_TRACE_TRACEIO_H
+#define WARDEN_TRACE_TRACEIO_H
+
+#include "src/trace/TaskGraph.h"
+
+#include <optional>
+#include <string>
+
+namespace warden {
+
+/// Writes \p Graph to \p Path. Returns false on I/O failure.
+bool writeTaskGraph(const TaskGraph &Graph, const std::string &Path);
+
+/// Reads a graph previously written by writeTaskGraph(). Returns
+/// std::nullopt on I/O failure, bad magic, or version mismatch.
+std::optional<TaskGraph> readTaskGraph(const std::string &Path);
+
+} // namespace warden
+
+#endif // WARDEN_TRACE_TRACEIO_H

@@ -1,0 +1,383 @@
+//===- tests/CoherenceTest.cpp - MESI + WARDen protocol unit tests -----------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scenario tests for the directory protocol: the MESI transitions of
+/// Figure 5, the WARD state behaviour of Section 5.1, and the
+/// reconciliation taxonomy of Section 5.2 (no sharing / false sharing /
+/// true sharing).
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/coherence/CoherenceController.h"
+
+#include <gtest/gtest.h>
+
+using namespace warden;
+
+namespace {
+
+MachineConfig testConfig(ProtocolKind Protocol, unsigned Sockets = 1) {
+  MachineConfig Config =
+      Sockets == 1 ? MachineConfig::singleSocket() : MachineConfig::dualSocket();
+  Config.Protocol = Protocol;
+  return Config;
+}
+
+constexpr Addr BlockA = 0x10000;
+
+} // namespace
+
+// --- MESI transitions ---------------------------------------------------------
+
+TEST(Mesi, ColdLoadFillsExclusive) {
+  CoherenceController C(testConfig(ProtocolKind::Mesi));
+  Cycles Lat = C.access(0, BlockA, 8, AccessType::Load);
+  EXPECT_GT(Lat, C.config().L3Latency); // Miss to DRAM.
+  const DirEntry *Entry = C.directoryEntry(BlockA);
+  ASSERT_NE(Entry, nullptr);
+  EXPECT_EQ(Entry->State, DirState::Exclusive);
+  EXPECT_EQ(Entry->Owner, 0u);
+  EXPECT_EQ(C.privateLine(0, BlockA)->State, LineState::Exclusive);
+  EXPECT_EQ(C.stats().DramAccesses, 1u);
+}
+
+TEST(Mesi, SecondLoadHitsL1) {
+  CoherenceController C(testConfig(ProtocolKind::Mesi));
+  C.access(0, BlockA, 8, AccessType::Load);
+  Cycles Lat = C.access(0, BlockA, 8, AccessType::Load);
+  EXPECT_EQ(Lat, C.config().L1Latency);
+  EXPECT_EQ(C.stats().L1Hits, 1u);
+}
+
+TEST(Mesi, SecondReaderDowngradesExclusiveOwner) {
+  CoherenceController C(testConfig(ProtocolKind::Mesi));
+  C.access(0, BlockA, 8, AccessType::Load);
+  C.access(1, BlockA, 8, AccessType::Load);
+  EXPECT_EQ(C.stats().Downgrades, 1u);
+  const DirEntry *Entry = C.directoryEntry(BlockA);
+  EXPECT_EQ(Entry->State, DirState::Shared);
+  EXPECT_TRUE(Entry->Sharers.test(0));
+  EXPECT_TRUE(Entry->Sharers.test(1));
+  EXPECT_EQ(C.privateLine(0, BlockA)->State, LineState::Shared);
+  EXPECT_EQ(C.privateLine(1, BlockA)->State, LineState::Shared);
+}
+
+TEST(Mesi, ColdStoreFillsModified) {
+  CoherenceController C(testConfig(ProtocolKind::Mesi));
+  C.access(0, BlockA, 8, AccessType::Store);
+  EXPECT_EQ(C.directoryEntry(BlockA)->State, DirState::Modified);
+  EXPECT_EQ(C.privateLine(0, BlockA)->State, LineState::Modified);
+  EXPECT_TRUE(C.privateLine(0, BlockA)->Dirty.anyWritten(0, 8));
+}
+
+TEST(Mesi, StoreToSharedInvalidatesOtherReaders) {
+  CoherenceController C(testConfig(ProtocolKind::Mesi));
+  C.access(0, BlockA, 8, AccessType::Load);
+  C.access(1, BlockA, 8, AccessType::Load);
+  C.access(2, BlockA, 8, AccessType::Load);
+  C.access(0, BlockA, 8, AccessType::Store); // Upgrade.
+  EXPECT_EQ(C.stats().Invalidations, 2u);
+  EXPECT_EQ(C.privateLine(1, BlockA), nullptr);
+  EXPECT_EQ(C.privateLine(2, BlockA), nullptr);
+  EXPECT_EQ(C.privateLine(0, BlockA)->State, LineState::Modified);
+  EXPECT_EQ(C.directoryEntry(BlockA)->State, DirState::Modified);
+}
+
+TEST(Mesi, StoreStealsModifiedBlockCacheToCache) {
+  CoherenceController C(testConfig(ProtocolKind::Mesi));
+  C.access(0, BlockA, 8, AccessType::Store);
+  C.access(1, BlockA, 8, AccessType::Store);
+  EXPECT_EQ(C.stats().Invalidations, 1u);
+  EXPECT_EQ(C.stats().CacheToCache, 1u);
+  EXPECT_EQ(C.privateLine(0, BlockA), nullptr);
+  EXPECT_EQ(C.directoryEntry(BlockA)->Owner, 1u);
+}
+
+TEST(Mesi, LoadOfDirtyBlockWritesBackAndShares) {
+  CoherenceController C(testConfig(ProtocolKind::Mesi));
+  C.access(0, BlockA, 8, AccessType::Store);
+  Cycles Lat = C.access(1, BlockA, 8, AccessType::Load);
+  EXPECT_EQ(C.stats().Downgrades, 1u);
+  EXPECT_EQ(C.stats().Writebacks, 1u);
+  EXPECT_GT(Lat, C.config().L3Latency);
+  EXPECT_EQ(C.privateLine(0, BlockA)->State, LineState::Shared);
+  EXPECT_EQ(C.directoryEntry(BlockA)->State, DirState::Shared);
+}
+
+TEST(Mesi, SilentEToMUpgradeThenForwardSeesDirtyData) {
+  CoherenceController C(testConfig(ProtocolKind::Mesi));
+  C.access(0, BlockA, 8, AccessType::Load);  // E at core 0.
+  C.access(0, BlockA, 8, AccessType::Store); // Silent E->M.
+  EXPECT_EQ(C.privateLine(0, BlockA)->State, LineState::Modified);
+  C.access(1, BlockA, 8, AccessType::Load);
+  // The writeback must have happened even though the directory thought E.
+  EXPECT_EQ(C.stats().Writebacks, 1u);
+}
+
+TEST(Mesi, RmwBehavesLikeStore) {
+  CoherenceController C(testConfig(ProtocolKind::Mesi));
+  C.access(0, BlockA, 8, AccessType::Load);
+  C.access(1, BlockA, 8, AccessType::Rmw);
+  EXPECT_EQ(C.stats().Rmws, 1u);
+  EXPECT_EQ(C.stats().Invalidations, 1u);
+  EXPECT_EQ(C.directoryEntry(BlockA)->Owner, 1u);
+}
+
+TEST(Mesi, AccessSpanningTwoBlocksTouchesBoth) {
+  CoherenceController C(testConfig(ProtocolKind::Mesi));
+  C.access(0, BlockA + 60, 8, AccessType::Store);
+  EXPECT_NE(C.privateLine(0, BlockA), nullptr);
+  EXPECT_NE(C.privateLine(0, BlockA + 64), nullptr);
+  EXPECT_TRUE(C.privateLine(0, BlockA)->Dirty.anyWritten(60, 4));
+  EXPECT_TRUE(C.privateLine(0, BlockA + 64)->Dirty.anyWritten(0, 4));
+}
+
+TEST(Mesi, CapacityEvictionNotifiesDirectory) {
+  MachineConfig Config = testConfig(ProtocolKind::Mesi);
+  Config.L1SizeKB = 1; // 16 blocks, tiny.
+  Config.L2SizeKB = 2; // 32 blocks.
+  Config.L1Assoc = 2;
+  Config.L2Assoc = 2;
+  CoherenceController C(Config);
+  // Stream enough dirty blocks through one core to force evictions.
+  for (Addr Block = 0; Block < 64 * 128; Block += 64)
+    C.access(0, 0x100000 + Block, 8, AccessType::Store);
+  EXPECT_GT(C.stats().Evictions, 0u);
+  EXPECT_GT(C.stats().Writebacks, 0u);
+  // Directory entries for evicted blocks are Invalid again.
+  EXPECT_EQ(C.directoryEntry(0x100000)->State, DirState::Invalid);
+}
+
+// --- WARD state ------------------------------------------------------------------
+
+TEST(Warden, RegionAccessEntersWardState) {
+  CoherenceController C(testConfig(ProtocolKind::Warden));
+  C.addRegion(0, BlockA, BlockA + 4096);
+  C.access(0, BlockA, 8, AccessType::Store);
+  EXPECT_EQ(C.directoryEntry(BlockA)->State, DirState::Ward);
+  EXPECT_EQ(C.privateLine(0, BlockA)->State, LineState::Ward);
+  EXPECT_EQ(C.stats().WardGrants, 1u);
+}
+
+TEST(Warden, GetSReturnsWritableCopy) {
+  CoherenceController C(testConfig(ProtocolKind::Warden));
+  C.addRegion(0, BlockA, BlockA + 4096);
+  C.access(0, BlockA, 8, AccessType::Load);
+  // Section 5.1: the read copy is exclusive-like, so a write is silent.
+  Cycles StoreLat = C.access(0, BlockA, 8, AccessType::Store);
+  EXPECT_EQ(StoreLat, C.config().L1Latency);
+}
+
+TEST(Warden, NoInvalidationsOrDowngradesInsideRegion) {
+  CoherenceController C(testConfig(ProtocolKind::Warden));
+  C.addRegion(0, BlockA, BlockA + 4096);
+  for (CoreId Core = 0; Core < 4; ++Core) {
+    C.access(Core, BlockA, 8, AccessType::Store);
+    C.access(Core, BlockA + 8, 8, AccessType::Load);
+  }
+  EXPECT_EQ(C.stats().Invalidations, 0u);
+  EXPECT_EQ(C.stats().Downgrades, 0u);
+  EXPECT_EQ(C.directoryEntry(BlockA)->Sharers.count(), 4u);
+}
+
+TEST(Warden, FirstSharingEventConvertsExistingOwner) {
+  CoherenceController C(testConfig(ProtocolKind::Warden));
+  // Core 0 writes the block while it is NOT in any region (plain MESI M).
+  C.access(0, BlockA, 8, AccessType::Store);
+  EXPECT_EQ(C.directoryEntry(BlockA)->State, DirState::Modified);
+  // Region starts; core 1 touches the block: entry moves to W and core 0's
+  // dirty copy becomes a Ward member with its dirty bytes preserved.
+  C.addRegion(0, BlockA, BlockA + 4096);
+  C.access(1, BlockA, 8, AccessType::Store);
+  EXPECT_EQ(C.directoryEntry(BlockA)->State, DirState::Ward);
+  EXPECT_EQ(C.privateLine(0, BlockA)->State, LineState::Ward);
+  EXPECT_TRUE(C.privateLine(0, BlockA)->Dirty.any());
+  EXPECT_EQ(C.stats().Invalidations, 0u);
+}
+
+TEST(Warden, MesiProtocolIgnoresRegions) {
+  CoherenceController C(testConfig(ProtocolKind::Mesi));
+  C.addRegion(0, BlockA, BlockA + 4096);
+  C.access(0, BlockA, 8, AccessType::Store);
+  C.access(1, BlockA, 8, AccessType::Store);
+  EXPECT_EQ(C.directoryEntry(BlockA)->State, DirState::Modified);
+  EXPECT_EQ(C.stats().Invalidations, 1u);
+  EXPECT_EQ(C.stats().WardGrants, 0u);
+}
+
+TEST(Warden, NonRegionBlocksStayMesi) {
+  CoherenceController C(testConfig(ProtocolKind::Warden));
+  C.addRegion(0, BlockA, BlockA + 4096);
+  constexpr Addr Outside = BlockA + 0x100000;
+  C.access(0, Outside, 8, AccessType::Load);
+  C.access(1, Outside, 8, AccessType::Store);
+  EXPECT_EQ(C.stats().Invalidations, 1u);
+  EXPECT_EQ(C.directoryEntry(Outside)->State, DirState::Modified);
+}
+
+// --- Reconciliation -----------------------------------------------------------------
+
+TEST(Reconcile, SingleHolderKeepsDowngradedCopy) {
+  CoherenceController C(testConfig(ProtocolKind::Warden));
+  C.addRegion(0, BlockA, BlockA + 4096);
+  C.access(0, BlockA, 8, AccessType::Store);
+  C.removeRegion(0, 0);
+  EXPECT_EQ(C.stats().SingleHolderReconciles, 1u);
+  EXPECT_EQ(C.stats().ReconcileWritebacks, 1u);
+  ASSERT_NE(C.privateLine(0, BlockA), nullptr);
+  EXPECT_EQ(C.privateLine(0, BlockA)->State, LineState::Shared);
+  EXPECT_EQ(C.directoryEntry(BlockA)->State, DirState::Shared);
+  // A later reader anywhere hits the LLC, not the old owner's cache.
+  Cycles Lat = C.access(1, BlockA, 8, AccessType::Load);
+  EXPECT_EQ(C.stats().Downgrades, 0u);
+  EXPECT_EQ(Lat, C.config().L3Latency);
+}
+
+TEST(Reconcile, FalseSharingMergesDistinctSectors) {
+  CoherenceController C(testConfig(ProtocolKind::Warden));
+  C.addRegion(0, BlockA, BlockA + 4096);
+  C.access(0, BlockA + 0, 8, AccessType::Store);
+  C.access(1, BlockA + 32, 8, AccessType::Store);
+  C.removeRegion(0, 0);
+  EXPECT_EQ(C.stats().FalseSharingReconciles, 1u);
+  EXPECT_EQ(C.stats().TrueSharingReconciles, 0u);
+  EXPECT_EQ(C.stats().ReconcileWritebacks, 2u);
+  EXPECT_EQ(C.privateLine(0, BlockA), nullptr);
+  EXPECT_EQ(C.privateLine(1, BlockA), nullptr);
+  EXPECT_EQ(C.directoryEntry(BlockA)->State, DirState::Invalid);
+}
+
+TEST(Reconcile, TrueSharingWawDetected) {
+  CoherenceController C(testConfig(ProtocolKind::Warden));
+  C.addRegion(0, BlockA, BlockA + 4096);
+  C.access(0, BlockA, 8, AccessType::Store);
+  C.access(1, BlockA, 8, AccessType::Store); // Same bytes: benign WAW.
+  C.removeRegion(0, 0);
+  EXPECT_EQ(C.stats().TrueSharingReconciles, 1u);
+  EXPECT_EQ(C.stats().FalseSharingReconciles, 0u);
+}
+
+TEST(Reconcile, ReadOnlyRegionBlocksReconcileWithoutWritebacks) {
+  CoherenceController C(testConfig(ProtocolKind::Warden));
+  C.access(0, BlockA, 8, AccessType::Store); // Pre-region dirty data.
+  C.access(1, BlockA, 8, AccessType::Load);  // Downgrade + writeback.
+  C.addRegion(0, BlockA, BlockA + 4096);
+  C.access(2, BlockA, 8, AccessType::Load);
+  C.access(3, BlockA, 8, AccessType::Load);
+  std::uint64_t WritebacksBefore = C.stats().ReconcileWritebacks;
+  C.removeRegion(0, 0);
+  EXPECT_EQ(C.stats().ReconcileWritebacks, WritebacksBefore);
+  EXPECT_EQ(C.directoryEntry(BlockA)->State, DirState::Invalid);
+}
+
+TEST(Reconcile, WardEvictionReconcilesEagerly) {
+  MachineConfig Config = testConfig(ProtocolKind::Warden);
+  Config.L1SizeKB = 1;
+  Config.L2SizeKB = 2;
+  Config.L1Assoc = 2;
+  Config.L2Assoc = 2;
+  CoherenceController C(Config);
+  C.addRegion(0, 0x100000, 0x100000 + 64 * 1024);
+  for (Addr Offset = 0; Offset < 64 * 256; Offset += 64)
+    C.access(0, 0x100000 + Offset, 8, AccessType::Store);
+  // Evicted Ward lines wrote their dirty sectors back and left the sharer
+  // set, so removing the region later reconciles only the survivors.
+  EXPECT_GT(C.stats().ReconcileWritebacks, 0u);
+  Cycles Cost = C.removeRegion(0, 0);
+  (void)Cost;
+  for (Addr Offset = 0; Offset < 64 * 256; Offset += 64) {
+    const DirEntry *Entry = C.directoryEntry(0x100000 + Offset);
+    ASSERT_NE(Entry, nullptr);
+    EXPECT_NE(Entry->State, DirState::Ward) << Offset;
+  }
+}
+
+TEST(Reconcile, RegionTableOverflowFallsBackToMesi) {
+  MachineConfig Config = testConfig(ProtocolKind::Warden);
+  Config.Features.RegionTableCapacity = 1;
+  CoherenceController C(Config);
+  EXPECT_GT(C.addRegion(0, BlockA, BlockA + 4096), 0u);
+  // Second region overflows the CAM: its blocks stay MESI (safe).
+  C.addRegion(1, BlockA + 0x100000, BlockA + 0x101000);
+  EXPECT_EQ(C.stats().RegionOverflows, 1u);
+  C.access(0, BlockA + 0x100000, 8, AccessType::Store);
+  C.access(1, BlockA + 0x100000, 8, AccessType::Store);
+  EXPECT_EQ(C.stats().Invalidations, 1u);
+  // Removing the untracked region is a harmless no-op.
+  EXPECT_EQ(C.removeRegion(1, 0), 0u);
+}
+
+TEST(Reconcile, NoSharersReconcilesToInvalid) {
+  CoherenceController C(testConfig(ProtocolKind::Warden));
+  C.addRegion(0, BlockA, BlockA + 4096);
+  C.removeRegion(0, 0); // Nothing was ever touched.
+  EXPECT_EQ(C.stats().ReconciledBlocks, 0u);
+}
+
+// --- Feature toggles ------------------------------------------------------------
+
+TEST(Features, NoGetSExclusiveRequiresUpgrade) {
+  MachineConfig Config = testConfig(ProtocolKind::Warden);
+  Config.Features.GetSReturnsExclusive = false;
+  CoherenceController C(Config);
+  C.addRegion(0, BlockA, BlockA + 4096);
+  C.access(0, BlockA, 8, AccessType::Load);
+  EXPECT_EQ(C.privateLine(0, BlockA)->State, LineState::Shared);
+  // The write now needs a (cheap, invalidation-free) upgrade request.
+  Cycles Lat = C.access(0, BlockA, 8, AccessType::Store);
+  EXPECT_GT(Lat, C.config().L1Latency);
+  EXPECT_EQ(C.privateLine(0, BlockA)->State, LineState::Ward);
+  EXPECT_EQ(C.stats().Invalidations, 0u);
+}
+
+TEST(Features, NoProactiveFlushKeepsPrivateCopy) {
+  MachineConfig Config = testConfig(ProtocolKind::Warden);
+  Config.Features.ProactiveForkFlush = false;
+  CoherenceController C(Config);
+  C.addRegion(0, BlockA, BlockA + 4096);
+  C.access(0, BlockA, 8, AccessType::Store);
+  C.removeRegion(0, 0);
+  // Section 5.2's "no sharing -> Exclusive/Modified" conversion.
+  EXPECT_EQ(C.privateLine(0, BlockA)->State, LineState::Modified);
+  EXPECT_EQ(C.directoryEntry(BlockA)->State, DirState::Modified);
+  // The next remote reader pays a downgrade, like MESI.
+  C.access(1, BlockA, 8, AccessType::Load);
+  EXPECT_EQ(C.stats().Downgrades, 1u);
+}
+
+// --- Latency/energy accounting ----------------------------------------------------
+
+TEST(Accounting, CrossSocketTrafficClassified) {
+  CoherenceController C(testConfig(ProtocolKind::Mesi, /*Sockets=*/2));
+  // Core 0 (socket 0) first-touches: home is socket 0.
+  C.access(0, BlockA, 8, AccessType::Store);
+  std::uint64_t InterBefore = C.stats().MsgsInterSocket;
+  C.access(12, BlockA, 8, AccessType::Load); // Socket 1 requester.
+  EXPECT_GT(C.stats().MsgsInterSocket, InterBefore);
+  EXPECT_GT(C.stats().DataInterSocket, 0u);
+}
+
+TEST(Accounting, DrainWritesBackAllDirtyData) {
+  CoherenceController C(testConfig(ProtocolKind::Mesi));
+  for (Addr Offset = 0; Offset < 64 * 8; Offset += 64)
+    C.access(0, BlockA + Offset, 8, AccessType::Store);
+  std::uint64_t WritebacksBefore = C.stats().Writebacks;
+  C.drainDirtyData();
+  EXPECT_EQ(C.stats().Writebacks, WritebacksBefore + 8);
+  // A second drain is a no-op.
+  C.drainDirtyData();
+  EXPECT_EQ(C.stats().Writebacks, WritebacksBefore + 8);
+}
+
+TEST(Accounting, WardCoverageCountsRegionAccesses) {
+  CoherenceController C(testConfig(ProtocolKind::Warden));
+  C.addRegion(0, BlockA, BlockA + 4096);
+  C.access(0, BlockA, 8, AccessType::Load);
+  C.access(0, BlockA + 0x100000, 8, AccessType::Load);
+  EXPECT_EQ(C.stats().WardRegionAccesses, 1u);
+  EXPECT_EQ(C.stats().accesses(), 2u);
+}

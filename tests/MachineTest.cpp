@@ -1,0 +1,151 @@
+//===- tests/MachineTest.cpp - machine model unit tests -----------------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/machine/EnergyModel.h"
+#include "src/machine/LatencyModel.h"
+#include "src/machine/MachineConfig.h"
+
+#include <gtest/gtest.h>
+
+using namespace warden;
+
+// --- MachineConfig --------------------------------------------------------------
+
+TEST(MachineConfig, Table2Defaults) {
+  MachineConfig C = MachineConfig::dualSocket();
+  EXPECT_EQ(C.L1SizeKB, 32u);
+  EXPECT_EQ(C.L2SizeKB, 256u);
+  EXPECT_EQ(C.L3SizePerCoreKB, 2560u);
+  EXPECT_EQ(C.L1Latency, 6u);
+  EXPECT_EQ(C.L2Latency, 16u);
+  EXPECT_EQ(C.L3Latency, 71u);
+  EXPECT_EQ(C.BlockSize, 64u);
+  EXPECT_EQ(C.CoresPerSocket, 12u);
+  EXPECT_DOUBLE_EQ(C.FrequencyGHz, 3.3);
+}
+
+TEST(MachineConfig, Presets) {
+  EXPECT_EQ(MachineConfig::singleSocket().totalCores(), 12u);
+  EXPECT_EQ(MachineConfig::dualSocket().totalCores(), 24u);
+  EXPECT_TRUE(MachineConfig::disaggregated().Disaggregated);
+  EXPECT_EQ(MachineConfig::manySocket(4).totalCores(), 48u);
+}
+
+TEST(MachineConfig, SocketOfPartitionsCores) {
+  MachineConfig C = MachineConfig::dualSocket();
+  EXPECT_EQ(C.socketOf(0), 0u);
+  EXPECT_EQ(C.socketOf(11), 0u);
+  EXPECT_EQ(C.socketOf(12), 1u);
+  EXPECT_EQ(C.socketOf(23), 1u);
+}
+
+TEST(MachineConfig, RemoteLatencyIsOneMicrosecond) {
+  MachineConfig C = MachineConfig::disaggregated();
+  EXPECT_NEAR(C.cyclesToNs(C.RemoteLatency), 1000.0, 1.0);
+}
+
+TEST(MachineConfig, DescribeMentionsShape) {
+  EXPECT_NE(MachineConfig::disaggregated().describe().find("disaggregated"),
+            std::string::npos);
+  EXPECT_NE(MachineConfig::dualSocket().describe().find("24 cores"),
+            std::string::npos);
+}
+
+TEST(MachineConfig, ProtocolNames) {
+  EXPECT_STREQ(protocolName(ProtocolKind::Mesi), "MESI");
+  EXPECT_STREQ(protocolName(ProtocolKind::Warden), "WARDen");
+}
+
+// --- LatencyModel ------------------------------------------------------------------
+
+TEST(LatencyModel, HitLatenciesMatchConfig) {
+  MachineConfig C = MachineConfig::dualSocket();
+  LatencyModel L(C);
+  EXPECT_EQ(L.l1Hit(), 6u);
+  EXPECT_EQ(L.l2Hit(), 16u);
+  EXPECT_EQ(L.dram(), C.DramLatency);
+}
+
+TEST(LatencyModel, CrossingIsZeroWithinSocket) {
+  MachineConfig C = MachineConfig::dualSocket();
+  LatencyModel L(C);
+  EXPECT_EQ(L.crossing(0, 0), 0u);
+  EXPECT_EQ(L.crossing(0, 1), C.IntersocketLatency);
+}
+
+TEST(LatencyModel, DisaggregatedCrossingUsesRemoteLatency) {
+  MachineConfig C = MachineConfig::disaggregated();
+  LatencyModel L(C);
+  EXPECT_EQ(L.crossing(0, 1), C.RemoteLatency);
+}
+
+TEST(LatencyModel, ToHomeAddsLlcLatency) {
+  MachineConfig C = MachineConfig::dualSocket();
+  LatencyModel L(C);
+  EXPECT_EQ(L.toHome(/*Requester=*/0, /*Home=*/0), C.L3Latency);
+  EXPECT_EQ(L.toHome(/*Requester=*/0, /*Home=*/1),
+            C.IntersocketLatency + C.L3Latency);
+}
+
+TEST(LatencyModel, ForwardCostsMoreAcrossSockets) {
+  MachineConfig C = MachineConfig::dualSocket();
+  LatencyModel L(C);
+  Cycles Local = L.forwardAndSupply(/*Home=*/0, /*Owner=*/1, /*Requester=*/0);
+  Cycles Remote =
+      L.forwardAndSupply(/*Home=*/0, /*Owner=*/13, /*Requester=*/0);
+  EXPECT_GT(Remote, Local + C.IntersocketLatency);
+}
+
+TEST(LatencyModel, InvalidationRoundTrip) {
+  MachineConfig C = MachineConfig::dualSocket();
+  LatencyModel L(C);
+  EXPECT_EQ(L.invalidate(/*Home=*/0, /*Sharer=*/1), C.L2Latency);
+  EXPECT_EQ(L.invalidate(/*Home=*/0, /*Sharer=*/12),
+            2 * C.IntersocketLatency + C.L2Latency);
+}
+
+// --- EnergyModel --------------------------------------------------------------------
+
+TEST(EnergyModel, ZeroEventsStillBurnStaticPower) {
+  MachineConfig C = MachineConfig::dualSocket();
+  EnergyModel Model(C);
+  EnergyBreakdown E = Model.compute(EnergyEvents{}, /*Elapsed=*/33000);
+  EXPECT_GT(E.StaticNJ, 0.0);
+  EXPECT_GT(E.InterconnectNJ, 0.0); // Network static power.
+  EXPECT_DOUBLE_EQ(E.CoreDynamicNJ, 0.0);
+}
+
+TEST(EnergyModel, StaticEnergyScalesWithTime) {
+  MachineConfig C = MachineConfig::dualSocket();
+  EnergyModel Model(C);
+  EnergyBreakdown E1 = Model.compute(EnergyEvents{}, 1000);
+  EnergyBreakdown E2 = Model.compute(EnergyEvents{}, 2000);
+  EXPECT_NEAR(E2.StaticNJ, 2 * E1.StaticNJ, 1e-9);
+  EXPECT_NEAR(E2.InterconnectNJ, 2 * E1.InterconnectNJ, 1e-9);
+}
+
+TEST(EnergyModel, DynamicComponentsAccumulate) {
+  MachineConfig C = MachineConfig::singleSocket();
+  EnergyModel Model(C);
+  EnergyEvents Events;
+  Events.Instructions = 1000;
+  Events.L1Accesses = 500;
+  Events.DramAccesses = 10;
+  Events.MsgsIntraSocket = 100;
+  Events.DataIntraSocket = 50;
+  EnergyBreakdown E = Model.compute(Events, 1);
+  EXPECT_NEAR(E.CoreDynamicNJ, 1000 * EnergyModel::InstructionNJ, 1e-9);
+  EXPECT_NEAR(E.CacheDynamicNJ, 500 * EnergyModel::L1AccessNJ, 1e-9);
+  EXPECT_NEAR(E.DramNJ, 10 * EnergyModel::DramAccessNJ, 1e-9);
+  EXPECT_GT(E.totalProcessorNJ(), E.interconnectNJ());
+}
+
+TEST(EnergyModel, RemoteTrafficCostsMost) {
+  EXPECT_GT(EnergyModel::MsgRemoteNJ, EnergyModel::MsgInterNJ);
+  EXPECT_GT(EnergyModel::MsgInterNJ, EnergyModel::MsgIntraNJ);
+  EXPECT_GT(EnergyModel::DataRemoteNJ, EnergyModel::DataInterNJ);
+  EXPECT_GT(EnergyModel::DataInterNJ, EnergyModel::DataIntraNJ);
+}

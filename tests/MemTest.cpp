@@ -1,0 +1,228 @@
+//===- tests/MemTest.cpp - cache structure unit tests -----------------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/mem/CacheArray.h"
+#include "src/mem/CacheGeometry.h"
+#include "src/mem/SectorMask.h"
+
+#include <gtest/gtest.h>
+
+using namespace warden;
+
+// --- CacheGeometry -----------------------------------------------------------
+
+struct GeometryCase {
+  std::uint64_t SizeBytes;
+  unsigned Assoc;
+  unsigned BlockSize;
+};
+
+class GeometryTest : public ::testing::TestWithParam<GeometryCase> {};
+
+TEST_P(GeometryTest, SetsTimesWaysTimesBlockEqualsSize) {
+  const GeometryCase &C = GetParam();
+  CacheGeometry G(C.SizeBytes, C.Assoc, C.BlockSize);
+  EXPECT_EQ(G.sizeBytes(), C.SizeBytes);
+  EXPECT_EQ(static_cast<std::uint64_t>(G.NumSets) * G.Assoc * G.BlockSize,
+            C.SizeBytes);
+}
+
+TEST_P(GeometryTest, BlockAddressArithmetic) {
+  const GeometryCase &C = GetParam();
+  CacheGeometry G(C.SizeBytes, C.Assoc, C.BlockSize);
+  Addr Address = 3 * C.BlockSize + 7;
+  EXPECT_EQ(G.blockAddr(Address), 3u * C.BlockSize);
+  EXPECT_EQ(G.blockOffset(Address), 7u);
+  // All blocks of one set stride apart map to the same set.
+  Addr BlockA = 0;
+  Addr BlockB = static_cast<Addr>(G.NumSets) * C.BlockSize;
+  EXPECT_EQ(G.setIndex(BlockA), G.setIndex(BlockB));
+  if (G.NumSets > 1)
+    EXPECT_NE(G.setIndex(BlockA), G.setIndex(BlockA + C.BlockSize));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometryTest,
+    ::testing::Values(GeometryCase{32 * 1024, 8, 64},
+                      GeometryCase{256 * 1024, 8, 64},
+                      GeometryCase{30 * 1024 * 1024, 20, 64},
+                      GeometryCase{1024, 2, 32}, GeometryCase{4096, 1, 64}));
+
+// --- SectorMask ----------------------------------------------------------------
+
+TEST(SectorMask, StartsClean) {
+  SectorMask Mask;
+  EXPECT_FALSE(Mask.any());
+  EXPECT_EQ(Mask.count(), 0u);
+}
+
+TEST(SectorMask, MarkAndProbeRanges) {
+  SectorMask Mask;
+  Mask.markWritten(8, 16);
+  EXPECT_TRUE(Mask.any());
+  EXPECT_EQ(Mask.count(), 16u);
+  EXPECT_TRUE(Mask.anyWritten(8, 1));
+  EXPECT_TRUE(Mask.anyWritten(23, 1));
+  EXPECT_FALSE(Mask.anyWritten(0, 8));
+  EXPECT_FALSE(Mask.anyWritten(24, 40));
+  EXPECT_TRUE(Mask.anyWritten(0, 64));
+}
+
+TEST(SectorMask, FullBlockWrite) {
+  SectorMask Mask;
+  Mask.markWritten(0, 64);
+  EXPECT_EQ(Mask.count(), 64u);
+  EXPECT_TRUE(Mask.anyWritten(63, 1));
+}
+
+class SectorOverlapTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(SectorOverlapTest, DisjointRangesDoNotOverlap) {
+  auto [OffA, OffB] = GetParam();
+  SectorMask A;
+  SectorMask B;
+  A.markWritten(OffA, 8);
+  B.markWritten(OffB, 8);
+  bool ShouldOverlap = (OffA < OffB + 8) && (OffB < OffA + 8);
+  EXPECT_EQ(A.overlaps(B), ShouldOverlap);
+  EXPECT_EQ(B.overlaps(A), ShouldOverlap);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, SectorOverlapTest,
+    ::testing::Combine(::testing::Values(0u, 4u, 8u, 16u, 56u),
+                       ::testing::Values(0u, 8u, 12u, 24u, 56u)));
+
+TEST(SectorMask, MergeUnionsBits) {
+  SectorMask A;
+  SectorMask B;
+  A.markWritten(0, 8);
+  B.markWritten(32, 8);
+  A.merge(B);
+  EXPECT_EQ(A.count(), 16u);
+  EXPECT_TRUE(A.anyWritten(32, 8));
+}
+
+TEST(SectorMask, ClearResets) {
+  SectorMask Mask;
+  Mask.markWritten(0, 64);
+  Mask.clear();
+  EXPECT_FALSE(Mask.any());
+}
+
+// --- CacheArray -----------------------------------------------------------------
+
+namespace {
+
+CacheArray makeSmallCache() {
+  // 4 sets x 2 ways x 64 B blocks = 512 B.
+  return CacheArray(CacheGeometry(512, 2, 64));
+}
+
+} // namespace
+
+TEST(CacheArray, MissOnEmpty) {
+  CacheArray Cache = makeSmallCache();
+  EXPECT_EQ(Cache.lookup(0), nullptr);
+  EXPECT_EQ(Cache.validLineCount(), 0u);
+}
+
+TEST(CacheArray, InsertThenHit) {
+  CacheArray Cache = makeSmallCache();
+  EXPECT_FALSE(Cache.insert(0x100, LineState::Exclusive).has_value());
+  CacheLine *Line = Cache.lookup(0x100);
+  ASSERT_NE(Line, nullptr);
+  EXPECT_EQ(Line->State, LineState::Exclusive);
+  EXPECT_EQ(Line->Block, 0x100u);
+}
+
+TEST(CacheArray, LruEvictsLeastRecentlyUsed) {
+  CacheArray Cache = makeSmallCache();
+  // Set 0 holds blocks at stride 4*64 = 256.
+  Cache.insert(0, LineState::Shared);
+  Cache.insert(256, LineState::Shared);
+  // Touch block 0 so 256 becomes LRU.
+  Cache.lookup(0);
+  std::optional<EvictedLine> Victim = Cache.insert(512, LineState::Shared);
+  ASSERT_TRUE(Victim.has_value());
+  EXPECT_EQ(Victim->Block, 256u);
+  EXPECT_NE(Cache.probe(0), nullptr);
+  EXPECT_EQ(Cache.probe(256), nullptr);
+}
+
+TEST(CacheArray, EvictionReportsDirtyState) {
+  CacheArray Cache = makeSmallCache();
+  Cache.insert(0, LineState::Modified);
+  Cache.probe(0)->Dirty.markWritten(0, 8);
+  Cache.insert(256, LineState::Shared);
+  std::optional<EvictedLine> Victim = Cache.insert(512, LineState::Shared);
+  ASSERT_TRUE(Victim.has_value());
+  EXPECT_EQ(Victim->Block, 0u);
+  EXPECT_EQ(Victim->State, LineState::Modified);
+  EXPECT_TRUE(Victim->Dirty.anyWritten(0, 8));
+}
+
+TEST(CacheArray, InvalidateRemovesLine) {
+  CacheArray Cache = makeSmallCache();
+  Cache.insert(0x40, LineState::Modified);
+  std::optional<EvictedLine> Old = Cache.invalidate(0x40);
+  ASSERT_TRUE(Old.has_value());
+  EXPECT_EQ(Old->State, LineState::Modified);
+  EXPECT_EQ(Cache.probe(0x40), nullptr);
+  EXPECT_FALSE(Cache.invalidate(0x40).has_value());
+}
+
+TEST(CacheArray, ProbeDoesNotChangeRecency) {
+  CacheArray Cache = makeSmallCache();
+  Cache.insert(0, LineState::Shared);
+  Cache.insert(256, LineState::Shared);
+  // Probe (not lookup) block 0: 0 stays LRU, so it is the victim.
+  Cache.probe(0);
+  std::optional<EvictedLine> Victim = Cache.insert(512, LineState::Shared);
+  ASSERT_TRUE(Victim.has_value());
+  EXPECT_EQ(Victim->Block, 0u);
+}
+
+TEST(CacheArray, DifferentSetsDoNotConflict) {
+  CacheArray Cache = makeSmallCache();
+  for (Addr Block = 0; Block < 512; Block += 64)
+    EXPECT_FALSE(Cache.insert(Block, LineState::Shared).has_value())
+        << Block;
+  EXPECT_EQ(Cache.validLineCount(), 8u);
+}
+
+class CacheFillSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CacheFillSweep, CapacityNeverExceeded) {
+  unsigned Assoc = GetParam();
+  CacheArray Cache(CacheGeometry(64 * 8 * Assoc, Assoc, 64));
+  for (Addr Block = 0; Block < 64 * 1024; Block += 64)
+    Cache.insert(Block, LineState::Shared);
+  EXPECT_LE(Cache.validLineCount(),
+            static_cast<std::size_t>(8) * Assoc);
+  EXPECT_EQ(Cache.validLineCount(), static_cast<std::size_t>(8) * Assoc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Assocs, CacheFillSweep,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(CacheArray, ForEachValidLineVisitsAll) {
+  CacheArray Cache = makeSmallCache();
+  Cache.insert(0, LineState::Shared);
+  Cache.insert(64, LineState::Modified);
+  unsigned Count = 0;
+  Cache.forEachValidLine([&](CacheLine &) { ++Count; });
+  EXPECT_EQ(Count, 2u);
+}
+
+TEST(LineState, Names) {
+  EXPECT_STREQ(lineStateName(LineState::Invalid), "I");
+  EXPECT_STREQ(lineStateName(LineState::Shared), "S");
+  EXPECT_STREQ(lineStateName(LineState::Exclusive), "E");
+  EXPECT_STREQ(lineStateName(LineState::Modified), "M");
+  EXPECT_STREQ(lineStateName(LineState::Ward), "W");
+}

@@ -1,0 +1,184 @@
+//===- tests/ProtocolFuzzTest.cpp - randomized protocol invariants ------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property-based protocol checking: drives long random access sequences
+/// (loads/stores/atomics from random cores, region add/remove at random
+/// times) against the controller and verifies after every step that the
+/// directory's view and the private caches' views agree — the single-
+/// writer/multiple-reader invariant for MESI states and the membership
+/// invariant for the W state. This is the moral equivalent of a model
+/// checker's state-reachability sweep for the Figure 5 FSA, run over tens
+/// of thousands of transitions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/coherence/CoherenceController.h"
+#include "src/support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace warden;
+
+namespace {
+
+struct FuzzCase {
+  const char *Name;
+  ProtocolKind Protocol;
+  unsigned Sockets;
+  std::uint64_t Seed;
+};
+
+constexpr unsigned NumBlocks = 6;
+constexpr Addr BlockBase = 0x40000;
+
+Addr blockAddr(unsigned Index) { return BlockBase + Addr(Index) * 64; }
+
+/// Checks the directory/private-cache agreement for every tracked block.
+void checkInvariants(const CoherenceController &C, unsigned Cores,
+                     std::uint64_t Step) {
+  for (unsigned B = 0; B < NumBlocks; ++B) {
+    Addr Block = blockAddr(B);
+    const DirEntry *Entry = C.directoryEntry(Block);
+    if (!Entry)
+      continue;
+
+    unsigned Holders = 0;
+    unsigned DirtyHolders = 0;
+    for (CoreId Core = 0; Core < Cores; ++Core) {
+      const CacheLine *Line = C.privateLine(Core, Block);
+      if (!Line)
+        continue;
+      ++Holders;
+      if (Line->State == LineState::Modified)
+        ++DirtyHolders;
+
+      switch (Entry->State) {
+      case DirState::Invalid:
+        FAIL() << "step " << Step << ": core holds a line the directory "
+               << "thinks is Invalid";
+        break;
+      case DirState::Shared:
+        EXPECT_EQ(Line->State, LineState::Shared)
+            << "step " << Step << " core " << Core;
+        EXPECT_TRUE(Entry->Sharers.test(Core))
+            << "step " << Step << " core " << Core << " not in sharer set";
+        break;
+      case DirState::Exclusive:
+        EXPECT_EQ(Entry->Owner, Core) << "step " << Step;
+        // Silent E->M upgrades are legal.
+        EXPECT_TRUE(Line->State == LineState::Exclusive ||
+                    Line->State == LineState::Modified)
+            << "step " << Step;
+        break;
+      case DirState::Modified:
+        EXPECT_EQ(Entry->Owner, Core) << "step " << Step;
+        EXPECT_EQ(Line->State, LineState::Modified) << "step " << Step;
+        break;
+      case DirState::Ward:
+        EXPECT_TRUE(Line->State == LineState::Ward ||
+                    Line->State == LineState::Shared)
+            << "step " << Step;
+        EXPECT_TRUE(Entry->Sharers.test(Core))
+            << "step " << Step << " W member missing from tracking";
+        break;
+      }
+    }
+
+    // Single-writer invariant: never two dirty private copies outside W.
+    if (Entry->State != DirState::Ward)
+      EXPECT_LE(DirtyHolders, 1u) << "step " << Step;
+    // E/M imply exactly one holder.
+    if (Entry->State == DirState::Exclusive ||
+        Entry->State == DirState::Modified)
+      EXPECT_EQ(Holders, 1u) << "step " << Step;
+    // Precise tracking: the directory never under-counts holders.
+    if (Entry->State == DirState::Shared || Entry->State == DirState::Ward)
+      EXPECT_EQ(Holders, Entry->Sharers.count()) << "step " << Step;
+  }
+}
+
+} // namespace
+
+class ProtocolFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(ProtocolFuzz, InvariantsHoldUnderRandomTraffic) {
+  const FuzzCase &Case = GetParam();
+  MachineConfig Config = Case.Sockets == 1 ? MachineConfig::singleSocket()
+                                           : MachineConfig::dualSocket();
+  Config.Protocol = Case.Protocol;
+  // Tiny region table so overflow paths get exercised too.
+  Config.Features.RegionTableCapacity = 3;
+  CoherenceController C(Config);
+  Rng Random(Case.Seed);
+
+  const unsigned Cores = Config.totalCores();
+  bool RegionActive[NumBlocks] = {};
+  RegionId NextRegion = 0;
+  RegionId ActiveId[NumBlocks] = {};
+
+  for (std::uint64_t Step = 0; Step < 20000; ++Step) {
+    unsigned B = static_cast<unsigned>(Random.nextBelow(NumBlocks));
+    CoreId Core = static_cast<CoreId>(Random.nextBelow(Cores));
+    std::uint64_t Action = Random.nextBelow(100);
+
+    if (Action < 40) {
+      unsigned Offset = static_cast<unsigned>(Random.nextBelow(56));
+      C.access(Core, blockAddr(B) + Offset, 8, AccessType::Load);
+    } else if (Action < 80) {
+      unsigned Offset = static_cast<unsigned>(Random.nextBelow(56));
+      C.access(Core, blockAddr(B) + Offset, 8, AccessType::Store);
+    } else if (Action < 88) {
+      C.access(Core, blockAddr(B), 8, AccessType::Rmw);
+    } else if (Action < 94) {
+      if (!RegionActive[B]) {
+        ActiveId[B] = NextRegion++;
+        C.addRegion(ActiveId[B], blockAddr(B), blockAddr(B) + 64);
+        RegionActive[B] = true;
+      }
+    } else {
+      if (RegionActive[B]) {
+        C.removeRegion(ActiveId[B], Core);
+        RegionActive[B] = false;
+      }
+    }
+
+    if (Step % 16 == 0)
+      checkInvariants(C, Cores, Step);
+    if (::testing::Test::HasFailure())
+      break;
+  }
+
+  // Close remaining regions; invariants must hold in the quiesced state.
+  for (unsigned B = 0; B < NumBlocks; ++B)
+    if (RegionActive[B])
+      C.removeRegion(ActiveId[B], 0);
+  checkInvariants(C, Cores, ~0ULL);
+
+  // Drain and re-check: nothing dirty may survive.
+  C.drainDirtyData();
+  for (unsigned B = 0; B < NumBlocks; ++B) {
+    for (CoreId Core = 0; Core < Cores; ++Core) {
+      const CacheLine *Line = C.privateLine(Core, blockAddr(B));
+      if (Line)
+        EXPECT_FALSE(Line->dirty()) << "dirty line survived the drain";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ProtocolFuzz,
+    ::testing::Values(FuzzCase{"mesi_single", ProtocolKind::Mesi, 1, 0xf1},
+                      FuzzCase{"mesi_dual", ProtocolKind::Mesi, 2, 0xf2},
+                      FuzzCase{"warden_single", ProtocolKind::Warden, 1, 0xf3},
+                      FuzzCase{"warden_dual", ProtocolKind::Warden, 2, 0xf4},
+                      FuzzCase{"warden_dual_b", ProtocolKind::Warden, 2,
+                               0xabcdef},
+                      FuzzCase{"mesi_dual_b", ProtocolKind::Mesi, 2,
+                               0x123456}),
+    [](const ::testing::TestParamInfo<FuzzCase> &Info) {
+      return Info.param.Name;
+    });

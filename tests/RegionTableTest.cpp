@@ -1,0 +1,104 @@
+//===- tests/RegionTableTest.cpp - WARD region table unit tests --------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/coherence/RegionTable.h"
+
+#include <gtest/gtest.h>
+
+using namespace warden;
+
+TEST(RegionTable, LookupMissOnEmpty) {
+  RegionTable Table(16);
+  EXPECT_EQ(Table.lookup(0x1000), InvalidRegion);
+  EXPECT_EQ(Table.size(), 0u);
+}
+
+TEST(RegionTable, AddAndLookupBoundaries) {
+  RegionTable Table(16);
+  ASSERT_TRUE(Table.add(7, 0x1000, 0x2000));
+  EXPECT_EQ(Table.lookup(0x0fff), InvalidRegion);
+  EXPECT_EQ(Table.lookup(0x1000), 7u); // Inclusive start.
+  EXPECT_EQ(Table.lookup(0x1fff), 7u);
+  EXPECT_EQ(Table.lookup(0x2000), InvalidRegion); // Exclusive end.
+}
+
+TEST(RegionTable, RemoveReturnsInterval) {
+  RegionTable Table(16);
+  Table.add(1, 0x1000, 0x1400);
+  std::optional<WardRegion> Removed = Table.remove(1);
+  ASSERT_TRUE(Removed.has_value());
+  EXPECT_EQ(Removed->Start, 0x1000u);
+  EXPECT_EQ(Removed->End, 0x1400u);
+  EXPECT_EQ(Table.lookup(0x1200), InvalidRegion);
+  EXPECT_FALSE(Table.remove(1).has_value());
+}
+
+TEST(RegionTable, RejectsOverlaps) {
+  RegionTable Table(16);
+  ASSERT_TRUE(Table.add(1, 0x1000, 0x2000));
+  EXPECT_FALSE(Table.add(2, 0x1800, 0x2800)); // Overlaps tail.
+  EXPECT_FALSE(Table.add(3, 0x0800, 0x1001)); // Overlaps head.
+  EXPECT_FALSE(Table.add(4, 0x1100, 0x1200)); // Nested.
+  EXPECT_TRUE(Table.add(5, 0x2000, 0x2800));  // Adjacent is fine.
+  EXPECT_TRUE(Table.add(6, 0x0800, 0x1000));
+  EXPECT_EQ(Table.size(), 3u);
+}
+
+TEST(RegionTable, CapacityOverflowRejected) {
+  RegionTable Table(4);
+  for (RegionId Id = 0; Id < 4; ++Id)
+    ASSERT_TRUE(Table.add(Id, Addr(Id) * 0x1000, Addr(Id) * 0x1000 + 0x800));
+  EXPECT_TRUE(Table.full());
+  EXPECT_FALSE(Table.add(99, 0x100000, 0x101000));
+  // Removing one frees a slot.
+  Table.remove(0);
+  EXPECT_TRUE(Table.add(99, 0x100000, 0x101000));
+}
+
+TEST(RegionTable, PeakOccupancyTracksHighWaterMark) {
+  RegionTable Table(8);
+  Table.add(0, 0x0, 0x100);
+  Table.add(1, 0x1000, 0x1100);
+  Table.add(2, 0x2000, 0x2100);
+  Table.remove(1);
+  Table.remove(2);
+  EXPECT_EQ(Table.size(), 1u);
+  EXPECT_EQ(Table.peakOccupancy(), 3u);
+}
+
+TEST(RegionTable, GetReturnsInterval) {
+  RegionTable Table(8);
+  Table.add(5, 0x4000, 0x5000);
+  std::optional<WardRegion> Region = Table.get(5);
+  ASSERT_TRUE(Region.has_value());
+  EXPECT_EQ(Region->size(), 0x1000u);
+  EXPECT_TRUE(Region->contains(0x4800));
+  EXPECT_FALSE(Region->contains(0x5000));
+  EXPECT_FALSE(Table.get(6).has_value());
+}
+
+class RegionSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RegionSweep, ManyDisjointRegionsResolveCorrectly) {
+  unsigned Count = GetParam();
+  RegionTable Table(Count);
+  for (RegionId Id = 0; Id < Count; ++Id)
+    ASSERT_TRUE(
+        Table.add(Id, Addr(Id) * 0x2000, Addr(Id) * 0x2000 + 0x1000));
+  for (RegionId Id = 0; Id < Count; ++Id) {
+    EXPECT_EQ(Table.lookup(Addr(Id) * 0x2000 + 0x500), Id);
+    EXPECT_EQ(Table.lookup(Addr(Id) * 0x2000 + 0x1800), InvalidRegion);
+  }
+  // Remove every other region; lookups adjust.
+  for (RegionId Id = 0; Id < Count; Id += 2)
+    Table.remove(Id);
+  for (RegionId Id = 0; Id < Count; ++Id)
+    EXPECT_EQ(Table.lookup(Addr(Id) * 0x2000 + 0x500),
+              (Id % 2 == 0) ? InvalidRegion : Id);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RegionSweep,
+                         ::testing::Values(1, 2, 17, 64, 1024));

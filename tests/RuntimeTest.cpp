@@ -1,0 +1,323 @@
+//===- tests/RuntimeTest.cpp - runtime / heap-hierarchy unit tests -----------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/rt/SimArray.h"
+#include "src/rt/Stdlib.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace warden;
+
+namespace {
+
+/// Counts events of one kind across the whole graph.
+std::uint64_t countEvents(const TaskGraph &Graph, TraceOp Op) {
+  std::uint64_t Count = 0;
+  for (StrandId Id = 0; Id < Graph.size(); ++Id)
+    for (const TraceEvent &E : Graph.strand(Id).Events)
+      Count += (E.Op == Op);
+  return Count;
+}
+
+} // namespace
+
+// --- SimMemory ---------------------------------------------------------------
+
+TEST(SimMemory, SpansAreDisjointAndAligned) {
+  SimMemory Memory;
+  Addr A = Memory.allocateSpan(100, 64);
+  Addr B = Memory.allocateSpan(100, 64);
+  EXPECT_EQ(A % 64, 0u);
+  EXPECT_EQ(B % 64, 0u);
+  EXPECT_GE(B, A + 100);
+}
+
+TEST(SimMemory, HostStorageIsZeroedAndWritable) {
+  SimMemory Memory;
+  Addr A = Memory.allocateSpan(64, 8);
+  std::byte *Host = Memory.host(A);
+  for (unsigned I = 0; I < 64; ++I)
+    EXPECT_EQ(Host[I], std::byte{0});
+  Host[10] = std::byte{42};
+  EXPECT_EQ(Memory.host(A + 10)[0], std::byte{42});
+}
+
+TEST(SimMemory, TracksFootprint) {
+  SimMemory Memory;
+  Memory.allocateSpan(4096, 4096);
+  Memory.allocateSpan(64, 64);
+  EXPECT_EQ(Memory.bytesAllocated(), 4160u);
+}
+
+// --- Allocation / marking ------------------------------------------------------
+
+TEST(Runtime, SmallAllocationsShareAPage) {
+  Runtime Rt;
+  Addr A = Rt.allocate(16, 8);
+  Addr B = Rt.allocate(16, 8);
+  EXPECT_EQ(A >> 12, B >> 12); // Same 4 KB page.
+}
+
+TEST(Runtime, LargeAllocationsGetDedicatedSpans) {
+  Runtime Rt;
+  Addr A = Rt.allocate(8192, 8);
+  Addr B = Rt.allocate(16, 8);
+  EXPECT_EQ(A % 64, 0u);
+  EXPECT_NE(A >> 12, B >> 12);
+}
+
+TEST(Runtime, FreshSpansEmitMarkEvents) {
+  Runtime Rt;
+  Rt.allocate(16, 8);   // One page.
+  Rt.allocate(8192, 8); // One dedicated span.
+  TaskGraph Graph = Rt.finish();
+  EXPECT_EQ(countEvents(Graph, TraceOp::MarkRegion), 2u);
+}
+
+TEST(Runtime, LegacyModeEmitsNoRegions) {
+  RtOptions Options;
+  Options.EmitWardRegions = false;
+  Runtime Rt(Options);
+  auto Data = Rt.allocArray<int>(4096);
+  Rt.parallelFor(0, 4096, 64,
+                 [&](std::int64_t I) { Data.set(I, int(I)); });
+  TaskGraph Graph = Rt.finish();
+  EXPECT_EQ(countEvents(Graph, TraceOp::MarkRegion), 0u);
+  EXPECT_EQ(countEvents(Graph, TraceOp::UnmarkRegion), 0u);
+}
+
+TEST(Runtime, ForkUnmarksCurrentHeap) {
+  Runtime Rt;
+  Rt.allocate(16, 8); // Marks the first page.
+  Rt.fork2([] {}, [] {});
+  TaskGraph Graph = Rt.finish();
+  // The page mark must have a matching unmark in the fork strand.
+  const Strand &Root = Graph.strand(Graph.root());
+  bool SawMark = false;
+  bool UnmarkAfterMark = false;
+  for (const TraceEvent &E : Root.Events) {
+    if (E.Op == TraceOp::MarkRegion && E.Region == 0)
+      SawMark = true;
+    if (E.Op == TraceOp::UnmarkRegion && E.Region == 0 && SawMark)
+      UnmarkAfterMark = true;
+  }
+  EXPECT_TRUE(SawMark);
+  EXPECT_TRUE(UnmarkAfterMark);
+}
+
+TEST(Runtime, ChildHeapUnmarkedAtJoin) {
+  Runtime Rt;
+  Rt.fork2([&] { Rt.allocate(32, 8); }, [] {});
+  TaskGraph Graph = Rt.finish();
+  // Every region that was marked is eventually unmarked except the root
+  // heap's trailing spans (none here beyond scheduler pages).
+  std::uint64_t Marks = countEvents(Graph, TraceOp::MarkRegion);
+  std::uint64_t Unmarks = countEvents(Graph, TraceOp::UnmarkRegion);
+  EXPECT_GT(Marks, 0u);
+  EXPECT_EQ(Marks, Unmarks);
+}
+
+TEST(Runtime, MarkAndUnmarkRegionsBalanceForKernels) {
+  Runtime Rt;
+  auto Out = stdlib::tabulate<int>(
+      Rt, 2048, [](std::size_t I) { return int(I); }, 64);
+  int Total = stdlib::sum(Rt, Out, 64);
+  EXPECT_GT(Total, 0);
+  TaskGraph Graph = Rt.finish();
+  std::uint64_t Marks = countEvents(Graph, TraceOp::MarkRegion);
+  std::uint64_t Unmarks = countEvents(Graph, TraceOp::UnmarkRegion);
+  EXPECT_GT(Marks, 0u);
+  // At most the root task's live pages can remain marked at exit.
+  EXPECT_LE(Marks - Unmarks, 4u);
+}
+
+// --- Fork/join structure -----------------------------------------------------
+
+TEST(Runtime, Fork2BuildsJoinStructure) {
+  Runtime Rt;
+  int Ran = 0;
+  Rt.fork2([&] { Ran += 1; }, [&] { Ran += 2; });
+  EXPECT_EQ(Ran, 3);
+  TaskGraph Graph = Rt.finish();
+  ASSERT_EQ(Graph.size(), 4u); // Root-fork, continuation, two children.
+  const Strand &Root = Graph.strand(Graph.root());
+  ASSERT_EQ(Root.Children.size(), 2u);
+  StrandId Cont = InvalidStrand;
+  for (StrandId Id = 0; Id < Graph.size(); ++Id)
+    if (Graph.strand(Id).PendingJoin == 2)
+      Cont = Id;
+  ASSERT_NE(Cont, InvalidStrand);
+  for (StrandId Child : Root.Children)
+    EXPECT_EQ(Graph.strand(Child).JoinTarget, Cont);
+  EXPECT_NE(Graph.strand(Cont).JoinCounterAddr, 0u);
+}
+
+TEST(Runtime, NestedForksNestProperly) {
+  Runtime Rt;
+  std::vector<int> Order;
+  Rt.fork2(
+      [&] {
+        Rt.fork2([&] { Order.push_back(1); }, [&] { Order.push_back(2); });
+        Order.push_back(3);
+      },
+      [&] { Order.push_back(4); });
+  TaskGraph Graph = Rt.finish();
+  EXPECT_EQ(Graph.size(), 7u);
+  EXPECT_EQ(Order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+class ParallelForSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ParallelForSweep, VisitsEveryIndexExactlyOnce) {
+  auto [N, Grain] = GetParam();
+  Runtime Rt;
+  std::vector<int> Hits(static_cast<std::size_t>(N), 0);
+  Rt.parallelFor(0, N, Grain,
+                 [&](std::int64_t I) { Hits[static_cast<std::size_t>(I)]++; });
+  for (int I = 0; I < N; ++I)
+    EXPECT_EQ(Hits[static_cast<std::size_t>(I)], 1) << I;
+  TaskGraph Graph = Rt.finish();
+  if (N > Grain)
+    EXPECT_GT(Graph.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ParallelForSweep,
+    ::testing::Combine(::testing::Values(0, 1, 7, 64, 1000),
+                       ::testing::Values(1, 3, 64, 1024)));
+
+// --- SimArray -------------------------------------------------------------------
+
+TEST(SimArray, GetSetRoundTrip) {
+  Runtime Rt;
+  auto Data = Rt.allocArray<std::uint64_t>(128);
+  for (std::size_t I = 0; I < 128; ++I)
+    Data.set(I, I * 3);
+  for (std::size_t I = 0; I < 128; ++I)
+    EXPECT_EQ(Data.get(I), I * 3);
+}
+
+TEST(SimArray, PeekPokeDoNotRecord) {
+  Runtime Rt;
+  auto Data = Rt.allocArray<int>(16);
+  Data.poke(3, 99);
+  EXPECT_EQ(Data.peek(3), 99);
+  TaskGraph Graph = Rt.finish();
+  EXPECT_EQ(countEvents(Graph, TraceOp::Load), 0u);
+  EXPECT_EQ(countEvents(Graph, TraceOp::Store), 0u);
+}
+
+TEST(SimArray, RecordsOneEventPerAccess) {
+  Runtime Rt;
+  auto Data = Rt.allocArray<int>(16);
+  Data.set(0, 1);
+  Data.set(1, 2);
+  int V = Data.get(0);
+  EXPECT_EQ(V, 1);
+  TaskGraph Graph = Rt.finish();
+  EXPECT_EQ(countEvents(Graph, TraceOp::Store), 2u);
+  EXPECT_EQ(countEvents(Graph, TraceOp::Load), 1u);
+}
+
+TEST(SimArray, AddressesAreContiguous) {
+  Runtime Rt;
+  auto Data = Rt.allocArray<std::uint32_t>(8);
+  EXPECT_EQ(Data.addrOf(3), Data.addr() + 12);
+  EXPECT_EQ(Data.bytes(), 32u);
+}
+
+TEST(SimVar, SingleValueRoundTrip) {
+  Runtime Rt;
+  SimVar<double> V = allocVar<double>(Rt);
+  V.set(2.5);
+  EXPECT_DOUBLE_EQ(V.get(), 2.5);
+}
+
+// --- Work accounting ---------------------------------------------------------
+
+TEST(Runtime, WorkEventsCoalesce) {
+  Runtime Rt;
+  Rt.work(5);
+  Rt.work(7);
+  TaskGraph Graph = Rt.finish();
+  const Strand &Root = Graph.strand(Graph.root());
+  ASSERT_EQ(Root.Events.size(), 1u);
+  EXPECT_EQ(Root.Events[0].Op, TraceOp::Work);
+  EXPECT_EQ(Root.Events[0].Extra, 12u);
+}
+
+TEST(Runtime, ZeroWorkIsIgnored) {
+  Runtime Rt;
+  Rt.work(0);
+  TaskGraph Graph = Rt.finish();
+  EXPECT_TRUE(Graph.strand(Graph.root()).Events.empty());
+}
+
+// --- Write-only scopes ---------------------------------------------------------
+
+TEST(WriteOnlyScope, KeepsSpanMarkedAcrossFork) {
+  Runtime Rt;
+  auto Data = Rt.allocArray<int>(1024); // Dedicated span (4 KB).
+  {
+    Runtime::WriteOnlyScope Scope(Rt, Data.addr(), Data.bytes());
+    ASSERT_TRUE(Scope.active());
+    Rt.parallelFor(0, 1024, 128,
+                   [&](std::int64_t I) { Data.set(I, int(I)); });
+  }
+  EXPECT_TRUE(Rt.raceViolations().empty());
+  TaskGraph Graph = Rt.finish();
+  // Collect mark/unmark for the data span's region: the region marked at
+  // allocation must be unmarked exactly once (at scope end), not at the
+  // first fork.
+  std::uint64_t Marks = countEvents(Graph, TraceOp::MarkRegion);
+  std::uint64_t Unmarks = countEvents(Graph, TraceOp::UnmarkRegion);
+  EXPECT_EQ(Marks, Unmarks);
+}
+
+TEST(WriteOnlyScope, InactiveForSmallAllocations) {
+  Runtime Rt;
+  auto Data = Rt.allocArray<int>(4); // Bump allocation.
+  Runtime::WriteOnlyScope Scope(Rt, Data.addr(), Data.bytes());
+  EXPECT_FALSE(Scope.active());
+}
+
+TEST(WriteOnlyScope, RemarksSpanWhoseRegionEnded) {
+  Runtime Rt;
+  auto Data = Rt.allocArray<int>(1024);
+  Rt.fork2([] {}, [] {}); // Conservative unmark of the span.
+  {
+    Runtime::WriteOnlyScope Scope(Rt, Data.addr(), Data.bytes());
+    EXPECT_TRUE(Scope.active()); // Re-marked for the new write phase.
+  }
+  TaskGraph Graph = Rt.finish();
+  EXPECT_EQ(countEvents(Graph, TraceOp::MarkRegion),
+            countEvents(Graph, TraceOp::UnmarkRegion));
+}
+
+TEST(WriteOnlyScope, DetectsRawViolation) {
+  Runtime Rt;
+  auto Data = Rt.allocArray<int>(1024);
+  {
+    Runtime::WriteOnlyScope Scope(Rt, Data.addr(), Data.bytes());
+    // One child writes Data[0]; its sibling reads it: a cross-thread RAW
+    // inside a kept region — exactly what the checker must reject.
+    Rt.fork2([&] { Data.set(0, 42); }, [&] { (void)Data.get(0); });
+  }
+  EXPECT_FALSE(Rt.raceViolations().empty());
+}
+
+TEST(WriteOnlyScope, WawAcrossSiblingsIsAccepted) {
+  Runtime Rt;
+  auto Data = Rt.allocArray<int>(1024);
+  {
+    Runtime::WriteOnlyScope Scope(Rt, Data.addr(), Data.bytes());
+    Rt.fork2([&] { Data.set(0, 1); }, [&] { Data.set(0, 1); });
+  }
+  EXPECT_TRUE(Rt.raceViolations().empty());
+}

@@ -1,0 +1,208 @@
+//===- tests/SupportTest.cpp - support library unit tests -------------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/support/CoreMask.h"
+#include "src/support/Rng.h"
+#include "src/support/Summary.h"
+#include "src/support/Table.h"
+#include "src/support/Types.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+using namespace warden;
+
+// --- Types ------------------------------------------------------------------
+
+TEST(Types, Log2ExactOnPowersOfTwo) {
+  for (unsigned Shift = 0; Shift < 63; ++Shift)
+    EXPECT_EQ(log2Exact(1ULL << Shift), Shift) << Shift;
+}
+
+TEST(Types, IsPowerOf2) {
+  EXPECT_FALSE(isPowerOf2(0));
+  std::set<std::uint64_t> Powers;
+  for (unsigned Shift = 0; Shift < 63; ++Shift)
+    Powers.insert(1ULL << Shift);
+  for (std::uint64_t Value = 1; Value < 4096; ++Value)
+    EXPECT_EQ(isPowerOf2(Value), Powers.count(Value) > 0) << Value;
+}
+
+class AlignToTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AlignToTest, RoundsUpToMultiple) {
+  std::uint64_t Align = GetParam();
+  for (std::uint64_t Value : {std::uint64_t(0), std::uint64_t(1),
+                              Align - 1, Align, Align + 1, 3 * Align - 1}) {
+    std::uint64_t Rounded = alignTo(Value, Align);
+    EXPECT_EQ(Rounded % Align, 0u);
+    EXPECT_GE(Rounded, Value);
+    EXPECT_LT(Rounded - Value, Align);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alignments, AlignToTest,
+                         ::testing::Values(1, 2, 8, 64, 4096, 1 << 20));
+
+// --- Rng --------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng A(42);
+  Rng B(42);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng A(1);
+  Rng B(2);
+  unsigned Matches = 0;
+  for (int I = 0; I < 100; ++I)
+    Matches += (A.next() == B.next());
+  EXPECT_LT(Matches, 3u);
+}
+
+class RngBoundTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBoundTest, NextBelowStaysInRange) {
+  std::uint64_t Bound = GetParam();
+  Rng Random(7);
+  for (int I = 0; I < 2000; ++I)
+    EXPECT_LT(Random.nextBelow(Bound), Bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundTest,
+                         ::testing::Values(1, 2, 3, 10, 63, 64, 1000,
+                                           std::uint64_t(1) << 40));
+
+TEST(Rng, NextInRangeCoversBothEnds) {
+  Rng Random(11);
+  bool SawLo = false;
+  bool SawHiMinus1 = false;
+  for (int I = 0; I < 10000; ++I) {
+    std::int64_t V = Random.nextInRange(-3, 4);
+    EXPECT_GE(V, -3);
+    EXPECT_LT(V, 4);
+    SawLo |= (V == -3);
+    SawHiMinus1 |= (V == 3);
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHiMinus1);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng Random(13);
+  for (int I = 0; I < 1000; ++I) {
+    double V = Random.nextDouble();
+    EXPECT_GE(V, 0.0);
+    EXPECT_LT(V, 1.0);
+  }
+}
+
+// --- CoreMask ----------------------------------------------------------------
+
+TEST(CoreMask, StartsEmpty) {
+  CoreMask Mask;
+  EXPECT_TRUE(Mask.empty());
+  EXPECT_EQ(Mask.count(), 0u);
+}
+
+class CoreMaskBitTest : public ::testing::TestWithParam<CoreId> {};
+
+TEST_P(CoreMaskBitTest, SetTestClearRoundTrip) {
+  CoreId Core = GetParam();
+  CoreMask Mask;
+  Mask.set(Core);
+  EXPECT_TRUE(Mask.test(Core));
+  EXPECT_TRUE(Mask.isSingleton(Core));
+  EXPECT_EQ(Mask.first(), Core);
+  EXPECT_EQ(Mask.count(), 1u);
+  Mask.clear(Core);
+  EXPECT_TRUE(Mask.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, CoreMaskBitTest,
+                         ::testing::Values(0, 1, 11, 12, 23, 31, 32, 63));
+
+TEST(CoreMask, ForEachVisitsAscending) {
+  CoreMask Mask;
+  std::vector<CoreId> Expected = {1, 5, 23, 63};
+  for (CoreId Core : Expected)
+    Mask.set(Core);
+  std::vector<CoreId> Seen;
+  Mask.forEach([&](CoreId Core) { Seen.push_back(Core); });
+  EXPECT_EQ(Seen, Expected);
+}
+
+TEST(CoreMask, SingleFactory) {
+  CoreMask Mask = CoreMask::single(17);
+  EXPECT_TRUE(Mask.isSingleton(17));
+  EXPECT_FALSE(Mask.isSingleton(16));
+}
+
+TEST(CoreMask, ClearAllEmpties) {
+  CoreMask Mask;
+  for (CoreId Core = 0; Core < 24; ++Core)
+    Mask.set(Core);
+  EXPECT_EQ(Mask.count(), 24u);
+  Mask.clearAll();
+  EXPECT_TRUE(Mask.empty());
+}
+
+// --- Summary ------------------------------------------------------------------
+
+TEST(Summary, MeanMinMax) {
+  Summary S;
+  S.add(1.0);
+  S.add(2.0);
+  S.add(6.0);
+  EXPECT_EQ(S.count(), 3u);
+  EXPECT_DOUBLE_EQ(S.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(S.min(), 1.0);
+  EXPECT_DOUBLE_EQ(S.max(), 6.0);
+  EXPECT_DOUBLE_EQ(S.sum(), 9.0);
+}
+
+TEST(Summary, GeomeanOfPowers) {
+  Summary S;
+  S.add(2.0);
+  S.add(8.0);
+  EXPECT_NEAR(S.geomean(), 4.0, 1e-12);
+}
+
+TEST(Summary, HandlesNegativeValuesForMean) {
+  Summary S;
+  S.add(-2.0);
+  S.add(4.0);
+  EXPECT_DOUBLE_EQ(S.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(S.min(), -2.0);
+}
+
+// --- Table ---------------------------------------------------------------------
+
+TEST(Table, RendersAlignedColumns) {
+  Table T;
+  T.setHeader({"Name", "Value"});
+  T.addRow({"alpha", "1.00"});
+  T.addRow({"b", "10.50"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("Name"), std::string::npos);
+  EXPECT_NE(Out.find("alpha"), std::string::npos);
+  // Numeric cells right-align: "10.50" and " 1.00" end at the same column.
+  std::size_t Line1 = Out.find("1.00");
+  std::size_t Line2 = Out.find("10.50");
+  ASSERT_NE(Line1, std::string::npos);
+  ASSERT_NE(Line2, std::string::npos);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(Table::fmt(1.2345, 2), "1.23");
+  EXPECT_EQ(Table::fmt(std::uint64_t(42)), "42");
+  EXPECT_EQ(Table::pct(0.5), "50.0%");
+  EXPECT_EQ(Table::pct(-0.031, 1), "-3.1%");
+}

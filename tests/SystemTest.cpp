@@ -1,0 +1,177 @@
+//===- tests/SystemTest.cpp - end-to-end system invariants --------------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end properties of the whole stack, checked across machine
+/// configurations: WARDen never adds invalidations/downgrades, legacy
+/// (region-free) binaries behave identically under both protocols
+/// (Figure 1), coverage and event statistics are self-consistent, and the
+/// paper's correlation claims hold qualitatively.
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/core/WardenSystem.h"
+#include "src/pbbs/Pbbs.h"
+#include "src/rt/Stdlib.h"
+
+#include <gtest/gtest.h>
+
+using namespace warden;
+
+namespace {
+
+TaskGraph recordWorkload(const RtOptions &Options = RtOptions()) {
+  Runtime Rt(Options);
+  auto In = stdlib::tabulate<std::uint32_t>(
+      Rt, 8192, [](std::size_t I) { return std::uint32_t((I * 2654435761u)); },
+      128);
+  auto Out = stdlib::mapArray<std::uint64_t>(
+      Rt, In, [](std::uint32_t V) { return std::uint64_t(V) % 977; }, 128);
+  std::uint64_t Total = stdlib::sum(Rt, Out, 128);
+  EXPECT_GT(Total, 0u);
+  return Rt.finish();
+}
+
+} // namespace
+
+struct MachineCase {
+  const char *Name;
+  MachineConfig Config;
+};
+
+class SystemAcrossMachines : public ::testing::TestWithParam<MachineCase> {};
+
+TEST_P(SystemAcrossMachines, WardenNeverAddsCoherenceEvents) {
+  TaskGraph Graph = recordWorkload();
+  ProtocolComparison Cmp = WardenSystem::compare(Graph, GetParam().Config);
+  // Downgrades come from demand traffic and must strictly shrink; the
+  // invalidation count also includes scheduler deque/steal-probe ping-pong
+  // whose volume depends on timing, so it gets a small tolerance.
+  EXPECT_LE(Cmp.Warden.Coherence.Downgrades, Cmp.Mesi.Coherence.Downgrades);
+  EXPECT_LE(Cmp.Warden.Coherence.invPlusDown(),
+            Cmp.Mesi.Coherence.invPlusDown() * 11 / 10 + 64);
+}
+
+TEST_P(SystemAcrossMachines, BothProtocolsExecuteSameProgram) {
+  TaskGraph Graph = recordWorkload();
+  ProtocolComparison Cmp = WardenSystem::compare(Graph, GetParam().Config);
+  // Demand accesses are trace-driven and so protocol-independent up to
+  // scheduler probes; loads+stores must match to within the probe noise.
+  std::uint64_t MesiDemand =
+      Cmp.Mesi.Coherence.Loads + Cmp.Mesi.Coherence.Stores;
+  std::uint64_t WardenDemand =
+      Cmp.Warden.Coherence.Loads + Cmp.Warden.Coherence.Stores;
+  double Ratio =
+      static_cast<double>(WardenDemand) / static_cast<double>(MesiDemand);
+  EXPECT_GT(Ratio, 0.8);
+  EXPECT_LT(Ratio, 1.2);
+}
+
+TEST_P(SystemAcrossMachines, CoverageStatisticIsConsistent) {
+  TaskGraph Graph = recordWorkload();
+  RunResult R =
+      WardenSystem::simulate(Graph, GetParam().Config, /*Seed=*/0x5eed);
+  EXPECT_GE(R.wardCoverage(), 0.0);
+  EXPECT_LE(R.wardCoverage(), 1.0);
+  EXPECT_LE(R.Coherence.WardRegionAccesses, R.Coherence.accesses());
+}
+
+TEST_P(SystemAcrossMachines, EnergyIsPositiveAndDecomposes) {
+  TaskGraph Graph = recordWorkload();
+  RunResult R = WardenSystem::simulate(Graph, GetParam().Config);
+  EXPECT_GT(R.Energy.totalProcessorNJ(), 0.0);
+  EXPECT_GT(R.Energy.interconnectNJ(), 0.0);
+  EXPECT_LT(R.Energy.interconnectNJ(), R.Energy.totalProcessorNJ());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Machines, SystemAcrossMachines,
+    ::testing::Values(
+        MachineCase{"single", MachineConfig::singleSocket()},
+        MachineCase{"dual", MachineConfig::dualSocket()},
+        MachineCase{"disaggregated", MachineConfig::disaggregated()},
+        MachineCase{"quad", MachineConfig::manySocket(4)}),
+    [](const ::testing::TestParamInfo<MachineCase> &Info) {
+      return Info.param.Name;
+    });
+
+// --- Legacy applications (Figure 1) --------------------------------------------
+
+TEST(Legacy, RegionFreeBinaryIdenticalUnderBothProtocols) {
+  RtOptions Options;
+  Options.EmitWardRegions = false;
+  TaskGraph Graph = recordWorkload(Options);
+  MachineConfig Config = MachineConfig::dualSocket();
+  Config.Protocol = ProtocolKind::Mesi;
+  RunResult Mesi = WardenSystem::simulate(Graph, Config, 0x123);
+  Config.Protocol = ProtocolKind::Warden;
+  RunResult Warden = WardenSystem::simulate(Graph, Config, 0x123);
+  // With no region instructions, WARDen *is* MESI: cycle-identical.
+  EXPECT_EQ(Mesi.Makespan, Warden.Makespan);
+  EXPECT_EQ(Mesi.Coherence.Invalidations, Warden.Coherence.Invalidations);
+  EXPECT_EQ(Mesi.Coherence.Downgrades, Warden.Coherence.Downgrades);
+  EXPECT_EQ(Mesi.Instructions, Warden.Instructions);
+}
+
+// --- Determinism -----------------------------------------------------------------
+
+TEST(Determinism, SameSeedSameResult) {
+  TaskGraph Graph = recordWorkload();
+  MachineConfig Config = MachineConfig::dualSocket();
+  Config.Protocol = ProtocolKind::Warden;
+  RunResult A = WardenSystem::simulate(Graph, Config, 99);
+  RunResult B = WardenSystem::simulate(Graph, Config, 99);
+  EXPECT_EQ(A.Makespan, B.Makespan);
+  EXPECT_EQ(A.Instructions, B.Instructions);
+  EXPECT_EQ(A.Coherence.Invalidations, B.Coherence.Invalidations);
+  EXPECT_EQ(A.Coherence.MsgsInterSocket, B.Coherence.MsgsInterSocket);
+}
+
+TEST(Determinism, RecordingIsDeterministic) {
+  TaskGraph A = recordWorkload();
+  TaskGraph B = recordWorkload();
+  ASSERT_EQ(A.size(), B.size());
+  EXPECT_EQ(A.totalInstructions(), B.totalInstructions());
+  EXPECT_EQ(A.totalEvents(), B.totalEvents());
+  EXPECT_EQ(A.spanInstructions(), B.spanInstructions());
+}
+
+// --- Qualitative paper claims ----------------------------------------------------
+
+TEST(PaperClaims, BenefitGrowsFromSingleToDualSocket) {
+  pbbs::Recorded R = pbbs::recordPrimes(20000, RtOptions());
+  ASSERT_TRUE(R.Verified);
+  ProtocolComparison Single =
+      WardenSystem::compare(R.Graph, MachineConfig::singleSocket());
+  ProtocolComparison Dual =
+      WardenSystem::compare(R.Graph, MachineConfig::dualSocket());
+  EXPECT_GT(Dual.speedup(), 1.0);
+  // The dual-socket machine should benefit at least about as much.
+  EXPECT_GT(Dual.speedup(), Single.speedup() - 0.08);
+}
+
+TEST(PaperClaims, ReconciliationIsRareRelativeToExecution) {
+  pbbs::Recorded R = pbbs::recordMsort(4096, RtOptions());
+  ASSERT_TRUE(R.Verified);
+  MachineConfig Config = MachineConfig::dualSocket();
+  Config.Protocol = ProtocolKind::Warden;
+  RunResult Run = WardenSystem::simulate(R.Graph, Config);
+  // Section 6.1 observed ~1 block per 50k cycles in their prototype; our
+  // fine-grained workloads reconcile more often, but the synchronous cost
+  // must stay a small fraction of execution.
+  EXPECT_LT(Run.Sched.RegionInstrCycles, Run.Makespan / 5);
+}
+
+TEST(PaperClaims, RegionTableSizedGenerously) {
+  pbbs::Recorded R = pbbs::recordTokens(16384, RtOptions());
+  ASSERT_TRUE(R.Verified);
+  MachineConfig Config = MachineConfig::dualSocket();
+  Config.Protocol = ProtocolKind::Warden;
+  RunResult Run = WardenSystem::simulate(R.Graph, Config);
+  // The 1024-entry CAM of Section 6.1 should rarely if ever overflow.
+  EXPECT_LT(Run.PeakRegions, 1024u);
+  EXPECT_EQ(Run.Coherence.RegionOverflows, 0u);
+}

@@ -1,0 +1,125 @@
+//===- tests/TraceTest.cpp - trace and task-graph unit tests -----------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/trace/TaskGraph.h"
+
+#include <gtest/gtest.h>
+
+using namespace warden;
+
+TEST(TraceEvent, FactoriesSetFields) {
+  TraceEvent L = TraceEvent::load(0x100, 8);
+  EXPECT_EQ(L.Op, TraceOp::Load);
+  EXPECT_EQ(L.Address, 0x100u);
+  EXPECT_EQ(L.Size, 8u);
+
+  TraceEvent W = TraceEvent::work(123);
+  EXPECT_EQ(W.Op, TraceOp::Work);
+  EXPECT_EQ(W.Extra, 123u);
+
+  TraceEvent M = TraceEvent::mark(5, 0x1000, 0x2000);
+  EXPECT_EQ(M.Op, TraceOp::MarkRegion);
+  EXPECT_EQ(M.Region, 5u);
+  EXPECT_EQ(M.Address, 0x1000u);
+  EXPECT_EQ(M.Extra, 0x2000u);
+
+  TraceEvent U = TraceEvent::unmark(5);
+  EXPECT_EQ(U.Op, TraceOp::UnmarkRegion);
+  EXPECT_EQ(U.Region, 5u);
+
+  TraceEvent R = TraceEvent::rmw(0x200, 8);
+  EXPECT_EQ(R.Op, TraceOp::Rmw);
+}
+
+TEST(TraceEvent, InstructionAccounting) {
+  EXPECT_EQ(TraceEvent::load(0, 8).instructions(), 1u);
+  EXPECT_EQ(TraceEvent::store(0, 8).instructions(), 1u);
+  EXPECT_EQ(TraceEvent::work(500).instructions(), 500u);
+  EXPECT_EQ(TraceEvent::mark(0, 0, 64).instructions(), 1u);
+}
+
+namespace {
+
+/// Builds: Root(10) forks {A(100), B(30)}; continuation K(5).
+TaskGraph diamond() {
+  TaskGraph Graph;
+  StrandId Root = Graph.addStrand();
+  StrandId K = Graph.addStrand();
+  StrandId A = Graph.addStrand();
+  StrandId B = Graph.addStrand();
+  Graph.setRoot(Root);
+  Graph.strand(Root).Events.push_back(TraceEvent::work(10));
+  Graph.strand(Root).Children = {A, B};
+  Graph.strand(A).Events.push_back(TraceEvent::work(100));
+  Graph.strand(A).JoinTarget = K;
+  Graph.strand(B).Events.push_back(TraceEvent::work(30));
+  Graph.strand(B).JoinTarget = K;
+  Graph.strand(K).PendingJoin = 2;
+  Graph.strand(K).Events.push_back(TraceEvent::work(5));
+  return Graph;
+}
+
+} // namespace
+
+TEST(TaskGraph, TotalInstructionsSumsAllStrands) {
+  TaskGraph Graph = diamond();
+  EXPECT_EQ(Graph.totalInstructions(), 145u);
+  EXPECT_EQ(Graph.totalEvents(), 4u);
+}
+
+TEST(TaskGraph, SpanIsLongestPath) {
+  TaskGraph Graph = diamond();
+  // 10 (root) + 100 (longer child) + 5 (continuation) = 115.
+  EXPECT_EQ(Graph.spanInstructions(), 115u);
+}
+
+TEST(TaskGraph, SpanOfSingleStrand) {
+  TaskGraph Graph;
+  StrandId Root = Graph.addStrand();
+  Graph.setRoot(Root);
+  Graph.strand(Root).Events.push_back(TraceEvent::work(42));
+  EXPECT_EQ(Graph.spanInstructions(), 42u);
+}
+
+TEST(TaskGraph, SpanOfNestedDiamonds) {
+  // Root forks {A, B}; A itself forks {A1(50), A2(60)} with continuation
+  // KA(1); B is work(10); final continuation K(2).
+  TaskGraph Graph;
+  StrandId Root = Graph.addStrand();
+  StrandId K = Graph.addStrand();
+  StrandId A = Graph.addStrand();
+  StrandId B = Graph.addStrand();
+  StrandId KA = Graph.addStrand();
+  StrandId A1 = Graph.addStrand();
+  StrandId A2 = Graph.addStrand();
+  Graph.setRoot(Root);
+  Graph.strand(Root).Events.push_back(TraceEvent::work(5));
+  Graph.strand(Root).Children = {A, B};
+  Graph.strand(A).Events.push_back(TraceEvent::work(1));
+  Graph.strand(A).Children = {A1, A2};
+  Graph.strand(A1).Events.push_back(TraceEvent::work(50));
+  Graph.strand(A1).JoinTarget = KA;
+  Graph.strand(A2).Events.push_back(TraceEvent::work(60));
+  Graph.strand(A2).JoinTarget = KA;
+  Graph.strand(KA).PendingJoin = 2;
+  Graph.strand(KA).Events.push_back(TraceEvent::work(1));
+  Graph.strand(KA).JoinTarget = K;
+  Graph.strand(B).Events.push_back(TraceEvent::work(10));
+  Graph.strand(B).JoinTarget = K;
+  Graph.strand(K).PendingJoin = 2;
+  Graph.strand(K).Events.push_back(TraceEvent::work(2));
+  // 5 + 1 + 60 + 1 + 2 = 69.
+  EXPECT_EQ(Graph.spanInstructions(), 69u);
+  EXPECT_EQ(Graph.totalInstructions(), 129u);
+}
+
+TEST(TaskGraph, ParallelismRatio) {
+  TaskGraph Graph = diamond();
+  double Parallelism = static_cast<double>(Graph.totalInstructions()) /
+                       static_cast<double>(Graph.spanInstructions());
+  EXPECT_GT(Parallelism, 1.0);
+  EXPECT_LT(Parallelism, 2.0);
+}
