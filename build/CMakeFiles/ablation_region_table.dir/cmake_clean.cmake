@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_region_table.dir/bench/ablation_region_table.cpp.o"
+  "CMakeFiles/ablation_region_table.dir/bench/ablation_region_table.cpp.o.d"
+  "bench/ablation_region_table"
+  "bench/ablation_region_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_region_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

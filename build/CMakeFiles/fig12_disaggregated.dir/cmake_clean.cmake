@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_disaggregated.dir/bench/fig12_disaggregated.cpp.o"
+  "CMakeFiles/fig12_disaggregated.dir/bench/fig12_disaggregated.cpp.o.d"
+  "bench/fig12_disaggregated"
+  "bench/fig12_disaggregated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_disaggregated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_single_socket.dir/bench/fig7_single_socket.cpp.o"
+  "CMakeFiles/fig7_single_socket.dir/bench/fig7_single_socket.cpp.o.d"
+  "bench/fig7_single_socket"
+  "bench/fig7_single_socket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_single_socket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_dual_socket.dir/bench/fig8_dual_socket.cpp.o"
+  "CMakeFiles/fig8_dual_socket.dir/bench/fig8_dual_socket.cpp.o.d"
+  "bench/fig8_dual_socket"
+  "bench/fig8_dual_socket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_dual_socket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

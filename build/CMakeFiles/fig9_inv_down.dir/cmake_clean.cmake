@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_inv_down.dir/bench/fig9_inv_down.cpp.o"
+  "CMakeFiles/fig9_inv_down.dir/bench/fig9_inv_down.cpp.o.d"
+  "bench/fig9_inv_down"
+  "bench/fig9_inv_down.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_inv_down.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

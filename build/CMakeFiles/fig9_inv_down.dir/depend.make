@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_inv_down.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manysocket_scaling.dir/bench/manysocket_scaling.cpp.o"
+  "CMakeFiles/manysocket_scaling.dir/bench/manysocket_scaling.cpp.o.d"
+  "bench/manysocket_scaling"
+  "bench/manysocket_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manysocket_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for manysocket_scaling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_components.dir/bench/microbench_components.cpp.o"
+  "CMakeFiles/microbench_components.dir/bench/microbench_components.cpp.o.d"
+  "bench/microbench_components"
+  "bench/microbench_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

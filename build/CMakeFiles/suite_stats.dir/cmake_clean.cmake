@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_stats.dir/bench/suite_stats.cpp.o"
+  "CMakeFiles/suite_stats.dir/bench/suite_stats.cpp.o.d"
+  "bench/suite_stats"
+  "bench/suite_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

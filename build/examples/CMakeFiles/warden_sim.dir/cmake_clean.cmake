@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warden_sim.dir/warden_sim.cpp.o"
+  "CMakeFiles/warden_sim.dir/warden_sim.cpp.o.d"
+  "warden_sim"
+  "warden_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warden_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

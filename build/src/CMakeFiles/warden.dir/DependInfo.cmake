@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coherence/CoherenceController.cpp" "src/CMakeFiles/warden.dir/coherence/CoherenceController.cpp.o" "gcc" "src/CMakeFiles/warden.dir/coherence/CoherenceController.cpp.o.d"
+  "/root/repo/src/coherence/PrivateCache.cpp" "src/CMakeFiles/warden.dir/coherence/PrivateCache.cpp.o" "gcc" "src/CMakeFiles/warden.dir/coherence/PrivateCache.cpp.o.d"
+  "/root/repo/src/coherence/RegionTable.cpp" "src/CMakeFiles/warden.dir/coherence/RegionTable.cpp.o" "gcc" "src/CMakeFiles/warden.dir/coherence/RegionTable.cpp.o.d"
+  "/root/repo/src/core/WardenSystem.cpp" "src/CMakeFiles/warden.dir/core/WardenSystem.cpp.o" "gcc" "src/CMakeFiles/warden.dir/core/WardenSystem.cpp.o.d"
+  "/root/repo/src/machine/AreaModel.cpp" "src/CMakeFiles/warden.dir/machine/AreaModel.cpp.o" "gcc" "src/CMakeFiles/warden.dir/machine/AreaModel.cpp.o.d"
+  "/root/repo/src/machine/EnergyModel.cpp" "src/CMakeFiles/warden.dir/machine/EnergyModel.cpp.o" "gcc" "src/CMakeFiles/warden.dir/machine/EnergyModel.cpp.o.d"
+  "/root/repo/src/machine/MachineConfig.cpp" "src/CMakeFiles/warden.dir/machine/MachineConfig.cpp.o" "gcc" "src/CMakeFiles/warden.dir/machine/MachineConfig.cpp.o.d"
+  "/root/repo/src/mem/CacheArray.cpp" "src/CMakeFiles/warden.dir/mem/CacheArray.cpp.o" "gcc" "src/CMakeFiles/warden.dir/mem/CacheArray.cpp.o.d"
+  "/root/repo/src/pbbs/Dedup.cpp" "src/CMakeFiles/warden.dir/pbbs/Dedup.cpp.o" "gcc" "src/CMakeFiles/warden.dir/pbbs/Dedup.cpp.o.d"
+  "/root/repo/src/pbbs/Dmm.cpp" "src/CMakeFiles/warden.dir/pbbs/Dmm.cpp.o" "gcc" "src/CMakeFiles/warden.dir/pbbs/Dmm.cpp.o.d"
+  "/root/repo/src/pbbs/Fib.cpp" "src/CMakeFiles/warden.dir/pbbs/Fib.cpp.o" "gcc" "src/CMakeFiles/warden.dir/pbbs/Fib.cpp.o.d"
+  "/root/repo/src/pbbs/Grep.cpp" "src/CMakeFiles/warden.dir/pbbs/Grep.cpp.o" "gcc" "src/CMakeFiles/warden.dir/pbbs/Grep.cpp.o.d"
+  "/root/repo/src/pbbs/Inputs.cpp" "src/CMakeFiles/warden.dir/pbbs/Inputs.cpp.o" "gcc" "src/CMakeFiles/warden.dir/pbbs/Inputs.cpp.o.d"
+  "/root/repo/src/pbbs/MakeArray.cpp" "src/CMakeFiles/warden.dir/pbbs/MakeArray.cpp.o" "gcc" "src/CMakeFiles/warden.dir/pbbs/MakeArray.cpp.o.d"
+  "/root/repo/src/pbbs/Msort.cpp" "src/CMakeFiles/warden.dir/pbbs/Msort.cpp.o" "gcc" "src/CMakeFiles/warden.dir/pbbs/Msort.cpp.o.d"
+  "/root/repo/src/pbbs/Nn.cpp" "src/CMakeFiles/warden.dir/pbbs/Nn.cpp.o" "gcc" "src/CMakeFiles/warden.dir/pbbs/Nn.cpp.o.d"
+  "/root/repo/src/pbbs/Nqueens.cpp" "src/CMakeFiles/warden.dir/pbbs/Nqueens.cpp.o" "gcc" "src/CMakeFiles/warden.dir/pbbs/Nqueens.cpp.o.d"
+  "/root/repo/src/pbbs/Palindrome.cpp" "src/CMakeFiles/warden.dir/pbbs/Palindrome.cpp.o" "gcc" "src/CMakeFiles/warden.dir/pbbs/Palindrome.cpp.o.d"
+  "/root/repo/src/pbbs/Pbbs.cpp" "src/CMakeFiles/warden.dir/pbbs/Pbbs.cpp.o" "gcc" "src/CMakeFiles/warden.dir/pbbs/Pbbs.cpp.o.d"
+  "/root/repo/src/pbbs/Primes.cpp" "src/CMakeFiles/warden.dir/pbbs/Primes.cpp.o" "gcc" "src/CMakeFiles/warden.dir/pbbs/Primes.cpp.o.d"
+  "/root/repo/src/pbbs/Quickhull.cpp" "src/CMakeFiles/warden.dir/pbbs/Quickhull.cpp.o" "gcc" "src/CMakeFiles/warden.dir/pbbs/Quickhull.cpp.o.d"
+  "/root/repo/src/pbbs/Ray.cpp" "src/CMakeFiles/warden.dir/pbbs/Ray.cpp.o" "gcc" "src/CMakeFiles/warden.dir/pbbs/Ray.cpp.o.d"
+  "/root/repo/src/pbbs/SuffixArray.cpp" "src/CMakeFiles/warden.dir/pbbs/SuffixArray.cpp.o" "gcc" "src/CMakeFiles/warden.dir/pbbs/SuffixArray.cpp.o.d"
+  "/root/repo/src/pbbs/Tokens.cpp" "src/CMakeFiles/warden.dir/pbbs/Tokens.cpp.o" "gcc" "src/CMakeFiles/warden.dir/pbbs/Tokens.cpp.o.d"
+  "/root/repo/src/race/SpBags.cpp" "src/CMakeFiles/warden.dir/race/SpBags.cpp.o" "gcc" "src/CMakeFiles/warden.dir/race/SpBags.cpp.o.d"
+  "/root/repo/src/rt/Runtime.cpp" "src/CMakeFiles/warden.dir/rt/Runtime.cpp.o" "gcc" "src/CMakeFiles/warden.dir/rt/Runtime.cpp.o.d"
+  "/root/repo/src/rt/SimMemory.cpp" "src/CMakeFiles/warden.dir/rt/SimMemory.cpp.o" "gcc" "src/CMakeFiles/warden.dir/rt/SimMemory.cpp.o.d"
+  "/root/repo/src/sched/Replay.cpp" "src/CMakeFiles/warden.dir/sched/Replay.cpp.o" "gcc" "src/CMakeFiles/warden.dir/sched/Replay.cpp.o.d"
+  "/root/repo/src/support/Table.cpp" "src/CMakeFiles/warden.dir/support/Table.cpp.o" "gcc" "src/CMakeFiles/warden.dir/support/Table.cpp.o.d"
+  "/root/repo/src/trace/TaskGraph.cpp" "src/CMakeFiles/warden.dir/trace/TaskGraph.cpp.o" "gcc" "src/CMakeFiles/warden.dir/trace/TaskGraph.cpp.o.d"
+  "/root/repo/src/trace/TraceIO.cpp" "src/CMakeFiles/warden.dir/trace/TraceIO.cpp.o" "gcc" "src/CMakeFiles/warden.dir/trace/TraceIO.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

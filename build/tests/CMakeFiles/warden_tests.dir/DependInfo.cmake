@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AreaTraceIOTest.cpp" "tests/CMakeFiles/warden_tests.dir/AreaTraceIOTest.cpp.o" "gcc" "tests/CMakeFiles/warden_tests.dir/AreaTraceIOTest.cpp.o.d"
+  "/root/repo/tests/CoherenceTest.cpp" "tests/CMakeFiles/warden_tests.dir/CoherenceTest.cpp.o" "gcc" "tests/CMakeFiles/warden_tests.dir/CoherenceTest.cpp.o.d"
+  "/root/repo/tests/MachineTest.cpp" "tests/CMakeFiles/warden_tests.dir/MachineTest.cpp.o" "gcc" "tests/CMakeFiles/warden_tests.dir/MachineTest.cpp.o.d"
+  "/root/repo/tests/MemTest.cpp" "tests/CMakeFiles/warden_tests.dir/MemTest.cpp.o" "gcc" "tests/CMakeFiles/warden_tests.dir/MemTest.cpp.o.d"
+  "/root/repo/tests/PbbsTest.cpp" "tests/CMakeFiles/warden_tests.dir/PbbsTest.cpp.o" "gcc" "tests/CMakeFiles/warden_tests.dir/PbbsTest.cpp.o.d"
+  "/root/repo/tests/ProtocolFuzzTest.cpp" "tests/CMakeFiles/warden_tests.dir/ProtocolFuzzTest.cpp.o" "gcc" "tests/CMakeFiles/warden_tests.dir/ProtocolFuzzTest.cpp.o.d"
+  "/root/repo/tests/RaceTest.cpp" "tests/CMakeFiles/warden_tests.dir/RaceTest.cpp.o" "gcc" "tests/CMakeFiles/warden_tests.dir/RaceTest.cpp.o.d"
+  "/root/repo/tests/RegionTableTest.cpp" "tests/CMakeFiles/warden_tests.dir/RegionTableTest.cpp.o" "gcc" "tests/CMakeFiles/warden_tests.dir/RegionTableTest.cpp.o.d"
+  "/root/repo/tests/RuntimeTest.cpp" "tests/CMakeFiles/warden_tests.dir/RuntimeTest.cpp.o" "gcc" "tests/CMakeFiles/warden_tests.dir/RuntimeTest.cpp.o.d"
+  "/root/repo/tests/SchedTest.cpp" "tests/CMakeFiles/warden_tests.dir/SchedTest.cpp.o" "gcc" "tests/CMakeFiles/warden_tests.dir/SchedTest.cpp.o.d"
+  "/root/repo/tests/SmokeTest.cpp" "tests/CMakeFiles/warden_tests.dir/SmokeTest.cpp.o" "gcc" "tests/CMakeFiles/warden_tests.dir/SmokeTest.cpp.o.d"
+  "/root/repo/tests/StdlibTest.cpp" "tests/CMakeFiles/warden_tests.dir/StdlibTest.cpp.o" "gcc" "tests/CMakeFiles/warden_tests.dir/StdlibTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/warden_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/warden_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/SystemTest.cpp" "tests/CMakeFiles/warden_tests.dir/SystemTest.cpp.o" "gcc" "tests/CMakeFiles/warden_tests.dir/SystemTest.cpp.o.d"
+  "/root/repo/tests/TraceTest.cpp" "tests/CMakeFiles/warden_tests.dir/TraceTest.cpp.o" "gcc" "tests/CMakeFiles/warden_tests.dir/TraceTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/warden.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
