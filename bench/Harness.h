@@ -20,6 +20,8 @@
 #include "src/support/Table.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -33,11 +35,46 @@ struct SuiteRow {
   ProtocolComparison Cmp;
 };
 
+/// Parses the command-line flags shared by the figure harnesses into
+/// RunOptions:
+///   --audit          attach the ProtocolAuditor to every simulated run
+///                    (invariant + shadow-value checking; slower, same
+///                    cycles) and print a violation summary at the end
+///   --faults[=seed]  enable the standard fault-injection plan (randomized
+///                    evictions and adversarial mid-region reconciles,
+///                    SplitMix64-seeded so failures replay)
+/// Unknown arguments print usage and exit, so a typo cannot silently run
+/// the wrong experiment.
+inline RunOptions parseBenchArgs(int argc, char **argv) {
+  RunOptions Run;
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (std::strcmp(Arg, "--audit") == 0) {
+      Run.Audit = true;
+      // Benchmarks touch far more blocks than the unit tests; keep the
+      // periodic full sweeps affordable and rely on per-access checks.
+      Run.AuditConfig.SweepInterval = 1u << 20;
+    } else if (std::strncmp(Arg, "--faults", 8) == 0 &&
+               (Arg[8] == '\0' || Arg[8] == '=')) {
+      Run.Faults.EvictionRate = 1e-3;
+      Run.Faults.ReconcileRate = 1e-3;
+      if (Arg[8] == '=')
+        Run.Faults.Seed = std::strtoull(Arg + 9, nullptr, 0);
+    } else {
+      std::fprintf(stderr, "usage: %s [--audit] [--faults[=seed]]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return Run;
+}
+
 /// Records and simulates the whole suite (or \p Only if non-empty).
 inline std::vector<SuiteRow>
 runSuite(const MachineConfig &Machine,
          const std::vector<std::string> &Only = {},
-         const RtOptions &Options = RtOptions(), double ScaleFactor = 1.0) {
+         const RtOptions &Options = RtOptions(), double ScaleFactor = 1.0,
+         const RunOptions &Run = RunOptions()) {
   std::vector<SuiteRow> Rows;
   for (const pbbs::Benchmark &B : pbbs::allBenchmarks()) {
     if (!Only.empty()) {
@@ -53,11 +90,41 @@ runSuite(const MachineConfig &Machine,
     SuiteRow Row;
     Row.Name = B.Name;
     Row.Verified = R.Verified;
-    Row.Cmp = WardenSystem::compare(R.Graph, Machine);
+    Row.Cmp = WardenSystem::compare(R.Graph, Machine, Run);
     Rows.push_back(std::move(Row));
     std::fflush(stdout);
   }
   return Rows;
+}
+
+/// Prints the auditor verdict for an audited suite run (no-op otherwise):
+/// per-benchmark violation counts for both protocols, then the first
+/// recorded messages of any benchmark that failed.
+inline void printAuditSummary(const std::vector<SuiteRow> &Rows) {
+  bool Enabled = false;
+  for (const SuiteRow &Row : Rows)
+    Enabled |= Row.Cmp.Mesi.Audit.Enabled || Row.Cmp.Warden.Audit.Enabled;
+  if (!Enabled)
+    return;
+  Table T;
+  T.setHeader({"Benchmark", "MESI violations", "WARDen violations",
+               "Loads verified", "WAW overlaps"});
+  std::uint64_t Total = 0;
+  for (const SuiteRow &Row : Rows) {
+    const AuditReport &M = Row.Cmp.Mesi.Audit;
+    const AuditReport &W = Row.Cmp.Warden.Audit;
+    Total += M.Violations + W.Violations;
+    T.addRow({Row.Name, Table::fmt(M.Violations), Table::fmt(W.Violations),
+              Table::fmt(M.LoadsVerified + W.LoadsVerified),
+              Table::fmt(W.WawOverlaps)});
+  }
+  std::printf("Protocol audit (%s).\n%s\n",
+              Total == 0 ? "clean" : "VIOLATIONS DETECTED",
+              T.render().c_str());
+  for (const SuiteRow &Row : Rows)
+    for (const AuditReport *R : {&Row.Cmp.Mesi.Audit, &Row.Cmp.Warden.Audit})
+      for (const std::string &Message : R->Messages)
+        std::printf("  %s: %s\n", Row.Name.c_str(), Message.c_str());
 }
 
 /// Figure 7a/8a/12a style: normalized speedup per benchmark plus MEAN.

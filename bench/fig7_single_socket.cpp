@@ -17,10 +17,13 @@
 using namespace warden;
 using namespace warden::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  RunOptions Run = parseBenchArgs(argc, argv);
   std::printf("=== Figure 7: single socket (12 cores) ===\n\n");
-  std::vector<SuiteRow> Rows = runSuite(MachineConfig::singleSocket());
+  std::vector<SuiteRow> Rows =
+      runSuite(MachineConfig::singleSocket(), {}, RtOptions(), 1.0, Run);
   printPerformance("Figure 7(a). Performance (speedup).", Rows);
   printEnergy("Figure 7(b). Energy savings.", Rows);
+  printAuditSummary(Rows);
   return 0;
 }

@@ -17,10 +17,13 @@
 using namespace warden;
 using namespace warden::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  RunOptions Run = parseBenchArgs(argc, argv);
   std::printf("=== Figure 8: dual socket (2 x 12 cores) ===\n\n");
-  std::vector<SuiteRow> Rows = runSuite(MachineConfig::dualSocket());
+  std::vector<SuiteRow> Rows =
+      runSuite(MachineConfig::dualSocket(), {}, RtOptions(), 1.0, Run);
   printPerformance("Figure 8(a). Performance (speedup).", Rows);
   printEnergy("Figure 8(b). Energy savings.", Rows);
+  printAuditSummary(Rows);
   return 0;
 }

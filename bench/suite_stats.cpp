@@ -42,14 +42,17 @@ static void printRun(const char *Name, const RunResult &R) {
       R.Energy.interconnectNJ(), R.Energy.totalProcessorNJ());
 }
 
-int main() {
+int main(int argc, char **argv) {
+  RunOptions Run = parseBenchArgs(argc, argv);
   std::printf("=== Detailed suite statistics (dual socket) ===\n");
-  std::vector<SuiteRow> Rows = runSuite(MachineConfig::dualSocket());
+  std::vector<SuiteRow> Rows =
+      runSuite(MachineConfig::dualSocket(), {}, RtOptions(), 1.0, Run);
   for (const SuiteRow &Row : Rows) {
     std::printf("%s  (speedup %.2fx, verified=%s)\n", Row.Name.c_str(),
                 Row.Cmp.speedup(), Row.Verified ? "yes" : "NO");
     printRun("MESI", Row.Cmp.Mesi);
     printRun("WARDen", Row.Cmp.Warden);
   }
+  printAuditSummary(Rows);
   return 0;
 }

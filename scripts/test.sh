@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Default verification entry point: configure, build, run the unit suite,
+# then the audited PBBS acceptance runs (`ctest -L audit`).
+#
+#   scripts/test.sh             fast RelWithDebInfo build + both suites
+#   scripts/test.sh --sanitize  same, under ASan + UBSan (slower)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PRESET=default
+if [[ "${1:-}" == "--sanitize" ]]; then
+  PRESET=sanitize
+  shift
+fi
+if [[ $# -gt 0 ]]; then
+  echo "usage: scripts/test.sh [--sanitize]" >&2
+  exit 2
+fi
+
+cmake --preset "$PRESET"
+cmake --build --preset "$PRESET" -j "$(nproc)"
+
+# Unit suite first (everything not labeled audit), then the audit label
+# explicitly so the heavyweight acceptance gate cannot be skipped silently.
+BUILD_DIR=build
+[[ "$PRESET" == sanitize ]] && BUILD_DIR=build-sanitize
+ctest --test-dir "$BUILD_DIR" -LE audit --output-on-failure -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" -L audit --output-on-failure -j "$(nproc)"

@@ -6,6 +6,8 @@
 
 #include "src/coherence/CoherenceController.h"
 
+#include "src/verify/ProtocolAuditor.h"
+
 #include <cassert>
 
 using namespace warden;
@@ -26,9 +28,13 @@ const char *warden::dirStateName(DirState State) {
   return "?";
 }
 
-CoherenceController::CoherenceController(const MachineConfig &Config)
+CoherenceController::CoherenceController(const MachineConfig &Config,
+                                         const FaultPlan &Faults)
     : Config(Config), Latency(this->Config),
-      Regions(Config.Features.RegionTableCapacity) {
+      Regions(Faults.RegionTableCapacity >= 0
+                  ? static_cast<unsigned>(Faults.RegionTableCapacity)
+                  : Config.Features.RegionTableCapacity),
+      Faults(Faults), FaultRng(Faults.Seed) {
   CacheGeometry L1Geometry(static_cast<std::uint64_t>(Config.L1SizeKB) * 1024,
                            Config.L1Assoc, Config.BlockSize);
   CacheGeometry L2Geometry(static_cast<std::uint64_t>(Config.L2SizeKB) * 1024,
@@ -104,7 +110,14 @@ void CoherenceController::writebackToLlc(Addr Block, SocketId Home) {
 
 void CoherenceController::fillPrivate(CoreId Core, Addr Block,
                                       LineState State) {
+  // Deliberate protocol mutations leave stale resident copies behind (that
+  // is their point); drop such a copy so the refill stays legal and the
+  // auditor, not PrivateCache's internal assert, reports the incoherence.
+  if (Faults.Mutation != ProtocolMutation::None)
+    Private[Core].invalidate(Block);
   std::optional<EvictedLine> Victim = Private[Core].fill(Block, State);
+  if (Auditor)
+    Auditor->onFill(Core, Block);
   if (Victim)
     handleEviction(Core, *Victim);
 }
@@ -133,18 +146,26 @@ void CoherenceController::handleEviction(CoreId Core,
     assert(Entry.Owner == Core && "eviction by non-owner");
     Entry = DirEntry();
     break;
-  case LineState::Modified:
+  case LineState::Modified: {
     assert(Entry.Owner == Core && "eviction by non-owner");
+    if (Auditor) {
+      SectorMask Full;
+      Full.markWritten(0, Config.BlockSize);
+      Auditor->onWriteback(Core, Victim.Block, Full);
+    }
     writebackToLlc(Victim.Block, Home);
     noteData(CoreSocket, Home);
     ++Stats.Writebacks;
     Entry = DirEntry();
     break;
+  }
   case LineState::Ward:
     // Eager reconciliation of the evicted copy (Section 5.3: eviction
     // before the region ends overlaps the reconciliation cost).
     assert(Entry.State == DirState::Ward && "Ward line without W entry");
     if (Victim.Dirty.any()) {
+      if (Auditor)
+        Auditor->onWriteback(Core, Victim.Block, Victim.Dirty);
       writebackToLlc(Victim.Block, Home);
       noteData(CoreSocket, Home);
       ++Stats.Writebacks;
@@ -156,12 +177,20 @@ void CoherenceController::handleEviction(CoreId Core,
     assert(false && "invalid line reported as victim");
     break;
   }
+  if (Auditor)
+    Auditor->onInvalidate(Core, Victim.Block);
 }
 
 Cycles CoherenceController::access(CoreId Core, Addr Address, unsigned Size,
                                    AccessType Type) {
-  assert(Core < Config.totalCores() && "core id out of range");
-  assert(Size > 0 && "empty access");
+  // Malformed requests are refused, not asserted: a zero-size access has no
+  // bytes to move and an out-of-range core has no cache, so both return in
+  // zero cycles and are counted for diagnosis. Accesses larger than a block
+  // (or unaligned ones crossing a boundary) are legal and split below.
+  if (Size == 0 || Core >= Config.totalCores()) {
+    ++Stats.RejectedAccesses;
+    return 0;
+  }
   switch (Type) {
   case AccessType::Load:
     ++Stats.Loads;
@@ -185,7 +214,41 @@ Cycles CoherenceController::access(CoreId Core, Addr Address, unsigned Size,
     Current += Chunk;
     Remaining -= Chunk;
   }
+  if (Faults.EvictionRate > 0.0 || Faults.ReconcileRate > 0.0)
+    injectFaults(Core, Address & ~(Addr(Config.BlockSize) - 1));
   return Total;
+}
+
+void CoherenceController::injectFaults(CoreId Core, Addr Block) {
+  if (Faults.EvictionRate > 0.0 &&
+      FaultRng.nextDouble() < Faults.EvictionRate)
+    injectEviction(Core);
+  if (Faults.ReconcileRate > 0.0 &&
+      FaultRng.nextDouble() < Faults.ReconcileRate) {
+    // Adversarial mid-region reconciliation of the just-touched block. The
+    // WARD property licenses reconciliation at any point; the next touch
+    // simply re-enters the W state.
+    auto It = Dir.find(Block);
+    if (It != Dir.end() && It->second.State == DirState::Ward) {
+      ++Stats.ForcedReconciles;
+      reconcileBlock(Block, It->second);
+    }
+  }
+}
+
+void CoherenceController::injectEviction(CoreId Core) {
+  std::vector<Addr> Resident;
+  Resident.reserve(Private[Core].residentBlocks());
+  const PrivateCache &Cache = Private[Core];
+  Cache.forEachValidLine(
+      [&](const CacheLine &Line) { Resident.push_back(Line.Block); });
+  if (Resident.empty())
+    return;
+  Addr Victim = Resident[FaultRng.nextBelow(Resident.size())];
+  std::optional<EvictedLine> Old = Private[Core].invalidate(Victim);
+  assert(Old && "resident line vanished");
+  ++Stats.InjectedEvictions;
+  handleEviction(Core, *Old);
 }
 
 Cycles CoherenceController::accessBlock(CoreId Core, Addr Block,
@@ -237,6 +300,13 @@ Cycles CoherenceController::accessBlock(CoreId Core, Addr Block,
             Line->State == LineState::Ward) &&
            "store completed without write permission");
     Line->Dirty.markWritten(Offset, Size);
+  }
+  if (Auditor) {
+    if (Type != AccessType::Store) // Loads and the read half of RMWs.
+      Auditor->onLoad(Core, Block, Offset, Size);
+    if (Type != AccessType::Load)
+      Auditor->onStore(Core, Block, Offset, Size);
+    Auditor->onOperationComplete(Block);
   }
   return Lat;
 }
@@ -358,11 +428,17 @@ Cycles CoherenceController::mesiLoadPath(CoreId Core, Addr Block,
     ++Stats.CacheToCache;
     noteMsg(Home, Config.socketOf(Owner));
     if (OwnerLine->State == LineState::Modified) {
+      if (Auditor) {
+        SectorMask Full;
+        Full.markWritten(0, Config.BlockSize);
+        Auditor->onWriteback(Owner, Block, Full);
+      }
       writebackToLlc(Block, Home);
       noteData(Config.socketOf(Owner), Home);
       ++Stats.Writebacks;
     }
-    Private[Owner].setState(Block, LineState::Shared);
+    if (Faults.Mutation != ProtocolMutation::SkipDowngradeOnFwdGetS)
+      Private[Owner].setState(Block, LineState::Shared);
     Lat += Latency.forwardAndSupply(Home, Owner, Core);
     noteData(Config.socketOf(Owner), CoreSocket);
     fillPrivate(Core, Block, LineState::Shared);
@@ -397,15 +473,19 @@ Cycles CoherenceController::mesiStorePath(CoreId Core, Addr Block,
   case DirState::Shared: {
     bool HadCopy = Entry.Sharers.test(Core);
     Cycles InvLat = 0;
-    Entry.Sharers.forEach([&](CoreId Sharer) {
-      if (Sharer == Core)
-        return;
-      ++Stats.Invalidations;
-      Private[Sharer].invalidate(Block);
-      noteMsg(Home, Config.socketOf(Sharer));             // Inv
-      noteMsg(Config.socketOf(Sharer), Home);             // Inv-Ack
-      InvLat = std::max(InvLat, Latency.invalidate(Home, Sharer));
-    });
+    if (Faults.Mutation != ProtocolMutation::SkipInvalidationOnGetM) {
+      Entry.Sharers.forEach([&](CoreId Sharer) {
+        if (Sharer == Core)
+          return;
+        ++Stats.Invalidations;
+        Private[Sharer].invalidate(Block);
+        if (Auditor)
+          Auditor->onInvalidate(Sharer, Block);
+        noteMsg(Home, Config.socketOf(Sharer));             // Inv
+        noteMsg(Config.socketOf(Sharer), Home);             // Inv-Ack
+        InvLat = std::max(InvLat, Latency.invalidate(Home, Sharer));
+      });
+    }
     Lat += InvLat;
     if (HadCopy) {
       Private[Core].setState(Block, LineState::Modified);
@@ -425,13 +505,22 @@ Cycles CoherenceController::mesiStorePath(CoreId Core, Addr Block,
     CoreId Owner = Entry.Owner;
     assert(Owner != Core && "owner missed on its own block");
     // Fwd-GetM: the owner's copy is invalidated and the data (if dirty)
-    // travels cache-to-cache to the requester.
+    // travels cache-to-cache to the requester. The shadow model treats the
+    // supply as writeback-then-fill: the value the requester receives is
+    // the same either way.
     ++Stats.Invalidations;
     ++Stats.CacheToCache;
     noteMsg(Home, Config.socketOf(Owner));
+    if (Auditor) {
+      SectorMask Full;
+      Full.markWritten(0, Config.BlockSize);
+      Auditor->onWriteback(Owner, Block, Full);
+    }
     [[maybe_unused]] std::optional<EvictedLine> Old =
         Private[Owner].invalidate(Block);
     assert(Old && "directory owner without a resident line");
+    if (Auditor)
+      Auditor->onInvalidate(Owner, Block);
     Lat += Latency.forwardAndSupply(Home, Owner, Core);
     noteData(Config.socketOf(Owner), CoreSocket);
     fillPrivate(Core, Block, LineState::Modified);
@@ -449,8 +538,14 @@ Cycles CoherenceController::mesiStorePath(CoreId Core, Addr Block,
 
 Cycles CoherenceController::addRegion(RegionId Id, Addr Start, Addr End) {
   ++Stats.RegionsAdded;
-  if (!Regions.add(Id, Start, End)) {
-    ++Stats.RegionOverflows;
+  RegionTable::AddResult Result = Regions.add(Id, Start, End);
+  if (Result != RegionTable::AddResult::Added) {
+    // Graceful degradation: an untracked region's blocks simply stay under
+    // plain MESI, which is always correct (just slower). Rejections charge
+    // no cycles so a fault-injected run stays comparable to the clean one.
+    if (Result == RegionTable::AddResult::Full)
+      ++Stats.RegionOverflows;
+    ++Stats.RegionFallbacks;
     return 0;
   }
   // The "Add Region" instruction itself (Section 6.1: two new instructions
@@ -475,6 +570,8 @@ Cycles CoherenceController::removeRegion(RegionId Id, CoreId Remover) {
       continue;
     Cost += reconcileBlock(Block, It->second);
   }
+  if (Auditor)
+    Auditor->onRegionRemoved(Id, Region->Start, Region->End);
   return Cost;
 }
 
@@ -486,6 +583,8 @@ Cycles CoherenceController::reconcileBlock(Addr Block, DirEntry &Entry) {
   if (Holders == 0) {
     // All copies were already evicted (and eagerly reconciled).
     Entry = DirEntry();
+    if (Auditor)
+      Auditor->onReconcileComplete(Block);
     return 0;
   }
 
@@ -495,6 +594,8 @@ Cycles CoherenceController::reconcileBlock(Addr Block, DirEntry &Entry) {
     CacheLine *Line = Private[Holder].line(Block);
     assert(Line && "tracked holder without a resident line");
     bool WasDirty = Line->Dirty.any();
+    if (Auditor)
+      Auditor->onWriteback(Holder, Block, Line->Dirty);
     if (Config.Features.ProactiveForkFlush) {
       // Write dirty sectors back and downgrade the copy in place: the next
       // reader (often a freshly forked task on another core) hits the
@@ -522,6 +623,8 @@ Cycles CoherenceController::reconcileBlock(Addr Block, DirEntry &Entry) {
     // directory repoints the state and the data drains off the critical
     // path, so no synchronous cost is charged (Section 6.1 measures the
     // reconciliation delay as trivial).
+    if (Auditor)
+      Auditor->onReconcileComplete(Block);
     return 0;
   }
 
@@ -533,6 +636,8 @@ Cycles CoherenceController::reconcileBlock(Addr Block, DirEntry &Entry) {
   Entry.Sharers.forEach([&](CoreId Holder) {
     CacheLine *Line = Private[Holder].line(Block);
     assert(Line && "tracked holder without a resident line");
+    if (Auditor)
+      Auditor->onWriteback(Holder, Block, Line->Dirty);
     if (Line->Dirty.any()) {
       if (Merged.overlaps(Line->Dirty))
         TrueSharing = true;
@@ -543,12 +648,16 @@ Cycles CoherenceController::reconcileBlock(Addr Block, DirEntry &Entry) {
     }
     Private[Holder].invalidate(Block);
     noteMsg(Home, Config.socketOf(Holder));
+    if (Auditor)
+      Auditor->onInvalidate(Holder, Block);
   });
   if (TrueSharing)
     ++Stats.TrueSharingReconciles;
   else
     ++Stats.FalseSharingReconciles;
   Entry = DirEntry();
+  if (Auditor)
+    Auditor->onReconcileComplete(Block);
   return Config.Features.ReconcileCostPerBlock;
 }
 
@@ -558,6 +667,12 @@ void CoherenceController::drainDirtyData() {
     Private[Core].forEachValidLine([&](CacheLine &Line) {
       if (!Line.dirty())
         return;
+      if (Auditor) {
+        SectorMask Mask = Line.Dirty;
+        if (Line.State == LineState::Modified)
+          Mask.markWritten(0, Config.BlockSize);
+        Auditor->onWriteback(Core, Line.Block, Mask);
+      }
       SocketId Home = homeOfExisting(Line.Block);
       writebackToLlc(Line.Block, Home);
       noteMsg(CoreSocket, Home);

@@ -41,11 +41,15 @@
 #include "src/machine/LatencyModel.h"
 #include "src/machine/MachineConfig.h"
 #include "src/mem/CacheArray.h"
+#include "src/support/Rng.h"
+#include "src/verify/FaultPlan.h"
 
 #include <memory>
 #include <vector>
 
 namespace warden {
+
+class ProtocolAuditor;
 
 /// Kind of demand access.
 enum class AccessType {
@@ -57,11 +61,24 @@ enum class AccessType {
 /// The full simulated cache/coherence subsystem.
 class CoherenceController {
 public:
-  explicit CoherenceController(const MachineConfig &Config);
+  /// \p Faults optionally injects deterministic failures (forced CAM
+  /// exhaustion, randomized evictions, adversarial reconciliation, or a
+  /// deliberate protocol mutation for auditor regression tests). The
+  /// default plan injects nothing and leaves every path cycle-identical to
+  /// the unfaulted simulator.
+  explicit CoherenceController(const MachineConfig &Config,
+                               const FaultPlan &Faults = FaultPlan());
+
+  /// Attaches (or detaches, with nullptr) a protocol auditor observing
+  /// every state transition. The auditor only reads through const
+  /// interfaces, so attaching one never changes timing or statistics.
+  void attachAuditor(ProtocolAuditor *NewAuditor) { Auditor = NewAuditor; }
 
   /// Performs a demand access of \p Size bytes at \p Address by \p Core and
   /// returns its latency. Accesses spanning block boundaries are split and
-  /// their latencies summed.
+  /// their latencies summed. Malformed requests (zero size, out-of-range
+  /// core) are rejected — counted in RejectedAccesses — rather than relied
+  /// on caller discipline.
   Cycles access(CoreId Core, Addr Address, unsigned Size, AccessType Type);
 
   /// Registers a WARD region (the "Add Region" instruction). Safe to call
@@ -84,10 +101,15 @@ public:
   const CoherenceStats &stats() const { return Stats; }
   const MachineConfig &config() const { return Config; }
   const RegionTable &regionTable() const { return Regions; }
+  const FaultPlan &faultPlan() const { return Faults; }
 
-  /// Test hooks: inspect a block's directory entry / a core's private line.
+  /// Test/auditor hooks: inspect a block's directory entry, a core's
+  /// private line, or iterate the full structures (const-only, so
+  /// observers cannot disturb LRU state).
   const DirEntry *directoryEntry(Addr Block) const;
   const CacheLine *privateLine(CoreId Core, Addr Block) const;
+  const Directory &directory() const { return Dir; }
+  const PrivateCache &privateCache(CoreId Core) const { return Private[Core]; }
 
 private:
   // --- Demand paths -------------------------------------------------------
@@ -127,6 +149,12 @@ private:
   void noteMsg(SocketId From, SocketId To);
   void noteData(SocketId From, SocketId To);
 
+  // --- Fault injection ------------------------------------------------------
+  /// Applies the fault plan after a demand access by \p Core to \p Block.
+  void injectFaults(CoreId Core, Addr Block);
+  /// Evicts one random valid line of \p Core through the normal path.
+  void injectEviction(CoreId Core);
+
   MachineConfig Config;
   LatencyModel Latency;
   CoherenceStats Stats;
@@ -136,6 +164,10 @@ private:
   Directory Dir;
   /// Page (4 KB) -> home socket, assigned at first touch.
   std::unordered_map<Addr, SocketId> PageHome;
+
+  FaultPlan Faults;
+  Rng FaultRng;             ///< Private stream; replayable from Faults.Seed.
+  ProtocolAuditor *Auditor = nullptr; ///< Optional observer; not owned.
 };
 
 } // namespace warden

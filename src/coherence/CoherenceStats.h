@@ -64,11 +64,20 @@ struct CoherenceStats {
   std::uint64_t RegionsAdded = 0;
   std::uint64_t RegionsRemoved = 0;
   std::uint64_t RegionOverflows = 0;    ///< Adds rejected by the full CAM.
+  /// Regions demoted to pure MESI because the CAM could not track them
+  /// (graceful degradation; a superset trigger of RegionOverflows that also
+  /// counts malformed or duplicate region requests).
+  std::uint64_t RegionFallbacks = 0;
   std::uint64_t ReconciledBlocks = 0;
   std::uint64_t ReconcileWritebacks = 0;
   std::uint64_t SingleHolderReconciles = 0;
   std::uint64_t FalseSharingReconciles = 0;
   std::uint64_t TrueSharingReconciles = 0;
+
+  // Robustness events.
+  std::uint64_t RejectedAccesses = 0;  ///< Malformed demand accesses refused.
+  std::uint64_t InjectedEvictions = 0; ///< Fault-injected private evictions.
+  std::uint64_t ForcedReconciles = 0;  ///< Fault-injected mid-region reconciles.
 
   /// Demand accesses of all kinds.
   std::uint64_t accesses() const { return Loads + Stores + Rmws; }

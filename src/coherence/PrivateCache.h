@@ -55,8 +55,11 @@ public:
   std::size_t residentBlocks() const { return L2.validLineCount(); }
 
   /// Calls \p Fn for every valid (authoritative) line. Used by the
-  /// end-of-run drain and by tests.
+  /// end-of-run drain, the protocol auditor's sweeps, and tests.
   template <typename FnT> void forEachValidLine(FnT Fn) {
+    L2.forEachValidLine(Fn);
+  }
+  template <typename FnT> void forEachValidLine(FnT Fn) const {
     L2.forEachValidLine(Fn);
   }
 

@@ -10,26 +10,28 @@
 
 using namespace warden;
 
-bool RegionTable::add(RegionId Id, Addr Start, Addr End) {
-  assert(Start < End && "empty region");
-  assert(!ById.count(Id) && "region id already active");
+RegionTable::AddResult RegionTable::add(RegionId Id, Addr Start, Addr End) {
+  if (Start >= End)
+    return AddResult::BadInterval;
+  if (ById.count(Id))
+    return AddResult::DuplicateId;
   if (full())
-    return false;
+    return AddResult::Full;
 
   // Reject overlap with the nearest neighbours.
   auto Next = ByStart.lower_bound(Start);
   if (Next != ByStart.end() && Next->first < End)
-    return false;
+    return AddResult::Overlap;
   if (Next != ByStart.begin()) {
     auto Prev = std::prev(Next);
     if (Prev->second.first > Start)
-      return false;
+      return AddResult::Overlap;
   }
 
   ByStart.emplace(Start, std::make_pair(End, Id));
   ById.emplace(Id, Start);
   Peak = std::max(Peak, size());
-  return true;
+  return AddResult::Added;
 }
 
 std::optional<WardRegion> RegionTable::remove(RegionId Id) {

@@ -42,14 +42,25 @@ struct WardRegion {
 /// Bounded table of active WARD regions.
 class RegionTable {
 public:
+  /// Outcome of an add(). Everything except Added means "not tracked",
+  /// which is always safe: the region's blocks simply stay under MESI.
+  enum class AddResult {
+    Added,       ///< Region is now tracked.
+    Full,        ///< CAM capacity exhausted (the Section 6.1 overflow case).
+    Overlap,     ///< Interval overlaps an active region.
+    BadInterval, ///< Empty or inverted interval.
+    DuplicateId, ///< The id is already active.
+  };
+
   explicit RegionTable(unsigned Capacity) : Capacity(Capacity) {}
 
   /// Attempts to start tracking region \p Id covering [Start, End).
-  /// Returns false if the table is full or the interval overlaps an active
-  /// region (overlaps never arise from the runtime, which marks disjoint
-  /// heap pages; Section 6.1 notes hardware would simply treat the address
-  /// as WARD, but the runtime contract here is stricter).
-  bool add(RegionId Id, Addr Start, Addr End);
+  /// Rejections are reported, never asserted, so a hostile or buggy caller
+  /// degrades to MESI instead of corrupting the table (overlaps never arise
+  /// from the runtime, which marks disjoint heap pages; Section 6.1 notes
+  /// hardware would simply treat the address as WARD, but the runtime
+  /// contract here is stricter).
+  AddResult add(RegionId Id, Addr Start, Addr End);
 
   /// Stops tracking region \p Id. Returns its interval, or std::nullopt if
   /// the region was never tracked (e.g. rejected by a full table).

@@ -10,6 +10,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
+#include <stdexcept>
 #include <vector>
 
 using namespace warden;
@@ -26,12 +28,43 @@ TaskGraph WardenSystem::record(const std::function<void(Runtime &)> &Program,
 RunResult WardenSystem::simulate(const TaskGraph &Graph,
                                  const MachineConfig &Config,
                                  std::uint64_t Seed) {
-  CoherenceController Controller(Config);
-  Replayer Replay(Graph, Controller, Seed);
+  RunOptions Options;
+  Options.Seed = Seed;
+  return simulate(Graph, Config, Options);
+}
+
+RunResult WardenSystem::simulate(const TaskGraph &Graph,
+                                 const MachineConfig &Config,
+                                 const RunOptions &Options) {
+  std::vector<std::string> Errors = Config.validate();
+  if (!Errors.empty()) {
+    std::string Joined = "invalid machine configuration:";
+    for (const std::string &Error : Errors) {
+      Joined += "\n  ";
+      Joined += Error;
+    }
+    throw std::invalid_argument(Joined);
+  }
+
+  CoherenceController Controller(Config, Options.Faults);
+  std::unique_ptr<ProtocolAuditor> Auditor;
+  if (Options.Audit) {
+    Auditor = std::make_unique<ProtocolAuditor>(Controller,
+                                                Options.AuditConfig);
+    Controller.attachAuditor(Auditor.get());
+  }
+  Replayer Replay(Graph, Controller, Options.Seed);
   ReplayResult Timing = Replay.run();
-  Controller.drainDirtyData();
 
   RunResult Result;
+  if (Auditor) {
+    // Sweep before the drain: drainDirtyData downgrades private lines
+    // without informing the directory, which is fine for the statistics it
+    // serves but would read as disagreement to the auditor.
+    Auditor->checkAll("end of run");
+    Result.Audit = Auditor->report();
+  }
+  Controller.drainDirtyData();
   Result.Protocol = Config.Protocol;
   Result.Makespan = Timing.Makespan;
   Result.Sched = Timing.Sched;
@@ -61,25 +94,61 @@ RunResult WardenSystem::simulate(const TaskGraph &Graph,
 RunResult WardenSystem::simulateMedian(const TaskGraph &Graph,
                                        const MachineConfig &Config,
                                        unsigned Repeats) {
-  assert(Repeats > 0 && "need at least one run");
+  RunOptions Options;
+  Options.Repeats = Repeats;
+  return simulateMedian(Graph, Config, Options);
+}
+
+RunResult WardenSystem::simulateMedian(const TaskGraph &Graph,
+                                       const MachineConfig &Config,
+                                       const RunOptions &Options) {
+  assert(Options.Repeats > 0 && "need at least one run");
   std::vector<RunResult> Runs;
-  Runs.reserve(Repeats);
-  for (unsigned I = 0; I < Repeats; ++I)
-    Runs.push_back(simulate(Graph, Config, 0x5eed + 0x1111ULL * I));
-  std::sort(Runs.begin(), Runs.end(),
-            [](const RunResult &A, const RunResult &B) {
-              return A.Makespan < B.Makespan;
-            });
-  return Runs[Runs.size() / 2];
+  Runs.reserve(Options.Repeats);
+  for (unsigned I = 0; I < Options.Repeats; ++I) {
+    RunOptions OneRun = Options;
+    OneRun.Seed = Options.Seed + 0x1111ULL * I;
+    Runs.push_back(simulate(Graph, Config, OneRun));
+  }
+  std::vector<std::size_t> Order(Runs.size());
+  for (std::size_t I = 0; I < Order.size(); ++I)
+    Order[I] = I;
+  std::sort(Order.begin(), Order.end(), [&](std::size_t A, std::size_t B) {
+    return Runs[A].Makespan < Runs[B].Makespan;
+  });
+  RunResult Median = Runs[Order[Order.size() / 2]];
+  // A violation in any repeat must not vanish because another repeat's
+  // makespan was the median: merge the audit verdicts.
+  for (std::size_t I = 0; I < Runs.size(); ++I) {
+    if (I == Order[Order.size() / 2])
+      continue;
+    const AuditReport &Other = Runs[I].Audit;
+    Median.Audit.Violations += Other.Violations;
+    Median.Audit.WawOverlaps += Other.WawOverlaps;
+    for (const std::string &Message : Other.Messages) {
+      if (Median.Audit.Messages.size() >= Options.AuditConfig.MaxMessages)
+        break;
+      Median.Audit.Messages.push_back(Message);
+    }
+  }
+  return Median;
 }
 
 ProtocolComparison WardenSystem::compare(const TaskGraph &Graph,
                                          MachineConfig Config,
                                          unsigned Repeats) {
+  RunOptions Options;
+  Options.Repeats = Repeats;
+  return compare(Graph, Config, Options);
+}
+
+ProtocolComparison WardenSystem::compare(const TaskGraph &Graph,
+                                         MachineConfig Config,
+                                         const RunOptions &Options) {
   ProtocolComparison Comparison;
   Config.Protocol = ProtocolKind::Mesi;
-  Comparison.Mesi = simulateMedian(Graph, Config, Repeats);
+  Comparison.Mesi = simulateMedian(Graph, Config, Options);
   Config.Protocol = ProtocolKind::Warden;
-  Comparison.Warden = simulateMedian(Graph, Config, Repeats);
+  Comparison.Warden = simulateMedian(Graph, Config, Options);
   return Comparison;
 }

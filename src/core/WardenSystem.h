@@ -21,10 +21,30 @@
 #include "src/rt/Runtime.h"
 #include "src/sched/Replay.h"
 #include "src/trace/TaskGraph.h"
+#include "src/verify/FaultPlan.h"
+#include "src/verify/ProtocolAuditor.h"
 
 #include <functional>
 
 namespace warden {
+
+/// Knobs of one timed simulation beyond the machine itself: the scheduler
+/// seed, the repeat count for median runs, the protocol auditor, and the
+/// fault-injection plan. The defaults reproduce the plain two-argument
+/// simulate() exactly.
+struct RunOptions {
+  /// Base scheduler seed (repeat i runs with Seed + 0x1111 * i).
+  std::uint64_t Seed = 0x5eed;
+  /// Runs per simulateMedian()/compare() invocation.
+  unsigned Repeats = 3;
+  /// Attach a ProtocolAuditor for the whole run (invariants + shadow
+  /// values); results land in RunResult::Audit. Off by default: an
+  /// unaudited run is cycle-identical either way, this only buys speed.
+  bool Audit = false;
+  AuditOptions AuditConfig;
+  /// Deterministic fault injection; the default plan injects nothing.
+  FaultPlan Faults;
+};
 
 /// Complete outcome of one timed simulation.
 struct RunResult {
@@ -35,6 +55,10 @@ struct RunResult {
   SchedulerStats Sched;
   EnergyBreakdown Energy;
   unsigned PeakRegions = 0;
+  /// Auditor outcome when RunOptions::Audit was set (Enabled == false
+  /// otherwise). For median runs, violation counts and messages are merged
+  /// across every repeat so no detection is lost to median selection.
+  AuditReport Audit;
 
   /// Aggregate instructions-per-cycle over the whole machine run.
   double ipc() const {
@@ -112,10 +136,18 @@ public:
   static TaskGraph record(const std::function<void(Runtime &)> &Program,
                           RtOptions Options = RtOptions());
 
-  /// Phase 2: simulates \p Graph on \p Config and returns results.
+  /// Phase 2: simulates \p Graph on \p Config and returns results. The
+  /// configuration is validated first; a broken one raises
+  /// std::invalid_argument listing every problem instead of tripping
+  /// asserts deep in the cache model.
   static RunResult simulate(const TaskGraph &Graph,
                             const MachineConfig &Config,
                             std::uint64_t Seed = 0x5eed);
+
+  /// As above with full control over auditing and fault injection.
+  static RunResult simulate(const TaskGraph &Graph,
+                            const MachineConfig &Config,
+                            const RunOptions &Options);
 
   /// Simulates under \p Repeats different scheduler seeds and returns the
   /// run with the median makespan; damps work-stealing schedule noise the
@@ -124,11 +156,21 @@ public:
                                   const MachineConfig &Config,
                                   unsigned Repeats = 3);
 
+  /// Median run under \p Options (seed, repeat count, auditing, faults).
+  static RunResult simulateMedian(const TaskGraph &Graph,
+                                  const MachineConfig &Config,
+                                  const RunOptions &Options);
+
   /// Runs both protocols on the same graph and machine (median of
   /// \p Repeats seeds each).
   static ProtocolComparison compare(const TaskGraph &Graph,
                                     MachineConfig Config,
                                     unsigned Repeats = 3);
+
+  /// Protocol comparison under \p Options (applied to both protocols).
+  static ProtocolComparison compare(const TaskGraph &Graph,
+                                    MachineConfig Config,
+                                    const RunOptions &Options);
 };
 
 } // namespace warden

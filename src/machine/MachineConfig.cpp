@@ -6,6 +6,10 @@
 
 #include "src/machine/MachineConfig.h"
 
+#include "src/mem/SectorMask.h"
+#include "src/support/CoreMask.h"
+#include "src/support/Strings.h"
+
 #include <cstdio>
 
 using namespace warden;
@@ -43,6 +47,65 @@ MachineConfig MachineConfig::manySocket(unsigned Sockets) {
   MachineConfig Config;
   Config.NumSockets = Sockets;
   return Config;
+}
+
+std::vector<std::string> MachineConfig::validate() const {
+  std::vector<std::string> Errors;
+
+  if (NumSockets == 0)
+    Errors.push_back("machine has zero sockets");
+  if (CoresPerSocket == 0)
+    Errors.push_back("machine has zero cores per socket");
+  if (totalCores() > CoreMask::MaxCores)
+    Errors.push_back(strformat(
+        "machine has %u cores but directory sharer masks track at most %u",
+        totalCores(), CoreMask::MaxCores));
+
+  if (BlockSize == 0 || !isPowerOf2(BlockSize))
+    Errors.push_back(strformat(
+        "block size %u bytes is not a (nonzero) power of two", BlockSize));
+  else if (BlockSize > SectorMask::MaxBytes)
+    Errors.push_back(strformat(
+        "block size %u bytes exceeds the %u-byte sector-mask limit",
+        BlockSize, SectorMask::MaxBytes));
+
+  // A cache level is realisable when its ways are nonzero and its size
+  // splits evenly into sets of Assoc blocks (CacheArray asserts exactly
+  // this; report it up front instead).
+  auto CheckCache = [&](const char *Name, std::uint64_t SizeBytes,
+                        unsigned Assoc) {
+    if (Assoc == 0) {
+      Errors.push_back(strformat("%s associativity is zero", Name));
+      return;
+    }
+    if (SizeBytes == 0) {
+      Errors.push_back(strformat("%s size is zero", Name));
+      return;
+    }
+    std::uint64_t WaySize = static_cast<std::uint64_t>(Assoc) * BlockSize;
+    if (BlockSize != 0 && SizeBytes % WaySize != 0)
+      Errors.push_back(strformat(
+          "%s size %llu bytes is not divisible by its way size "
+          "(%u ways x %u-byte blocks)",
+          Name, static_cast<unsigned long long>(SizeBytes), Assoc,
+          BlockSize));
+  };
+  CheckCache("L1", static_cast<std::uint64_t>(L1SizeKB) * 1024, L1Assoc);
+  CheckCache("L2", static_cast<std::uint64_t>(L2SizeKB) * 1024, L2Assoc);
+  CheckCache("L3", l3SizeBytes(), L3Assoc);
+
+  if (FrequencyGHz <= 0.0)
+    Errors.push_back("clock frequency must be positive");
+
+  if (Disaggregated && NumSockets < 2)
+    Errors.push_back(
+        "disaggregated topology needs at least two compute nodes");
+  if (Disaggregated && RemoteLatency == 0)
+    Errors.push_back(
+        "disaggregated topology with zero remote latency; remote latency "
+        "only applies to disaggregated machines and must be nonzero there");
+
+  return Errors;
 }
 
 std::string MachineConfig::describe() const {

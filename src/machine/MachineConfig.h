@@ -19,6 +19,7 @@
 #include "src/support/Types.h"
 
 #include <string>
+#include <vector>
 
 namespace warden {
 
@@ -141,6 +142,14 @@ struct MachineConfig {
 
   /// Returns a human-readable name like "single-socket (12 cores)".
   std::string describe() const;
+
+  /// Checks the configuration for mistakes that would otherwise surface as
+  /// asserts or undefined behaviour deep inside the cache arrays
+  /// (non-power-of-two block size, zero cores, impossible cache geometry,
+  /// remote-latency settings that contradict the topology). Returns one
+  /// descriptive message per problem; an empty vector means the
+  /// configuration is simulatable. All presets validate cleanly.
+  std::vector<std::string> validate() const;
 };
 
 } // namespace warden

@@ -98,6 +98,11 @@ public:
       if (Line.valid())
         Fn(Line);
   }
+  template <typename FnT> void forEachValidLine(FnT Fn) const {
+    for (const CacheLine &Line : Lines)
+      if (Line.valid())
+        Fn(Line);
+  }
 
 private:
   CacheLine *setBegin(unsigned SetIndex) {

@@ -1,0 +1,87 @@
+//===- mem/ShadowMemory.h - Per-byte shadow value tracking ----*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-granularity shadow storage for cache blocks, used by the protocol
+/// auditor's data-value invariant. Instead of carrying real program data
+/// through the timing model, every simulated store is assigned a fresh
+/// monotonically increasing version token; a shadow image of each memory
+/// location (and of each private cache copy) then records which write it
+/// currently holds. A load is correct when the version it observes matches
+/// the last write the protocol licenses it to see.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_MEM_SHADOWMEMORY_H
+#define WARDEN_MEM_SHADOWMEMORY_H
+
+#include "src/mem/SectorMask.h"
+#include "src/support/Types.h"
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+namespace warden {
+
+/// A write-version token. 0 means "never written".
+using ShadowVersion = std::uint64_t;
+
+/// Shadow image of one cache block: the version of the write each byte
+/// currently holds.
+struct ShadowBlock {
+  std::array<ShadowVersion, SectorMask::MaxBytes> Bytes{};
+
+  /// Sets bytes [Offset, Offset + Size) to \p Version.
+  void write(unsigned Offset, unsigned Size, ShadowVersion Version) {
+    for (unsigned I = 0; I < Size; ++I)
+      Bytes[Offset + I] = Version;
+  }
+
+  /// Copies the bytes selected by \p Mask from \p From.
+  void mergeMasked(const ShadowBlock &From, const SectorMask &Mask) {
+    for (unsigned I = 0; I < SectorMask::MaxBytes; ++I)
+      if (Mask.anyWritten(I, 1))
+        Bytes[I] = From.Bytes[I];
+  }
+};
+
+/// Shadow image of an address space (or of one cache's resident copies):
+/// block-aligned address -> per-byte versions. Absent blocks read as
+/// version 0 everywhere.
+class ShadowMemory {
+public:
+  /// Returns the (mutable) image of \p Block, creating it zero-filled.
+  ShadowBlock &get(Addr Block) { return Blocks[Block]; }
+
+  /// Returns the image of \p Block, or nullptr if never materialised.
+  const ShadowBlock *find(Addr Block) const {
+    auto It = Blocks.find(Block);
+    return It == Blocks.end() ? nullptr : &It->second;
+  }
+  ShadowBlock *find(Addr Block) {
+    auto It = Blocks.find(Block);
+    return It == Blocks.end() ? nullptr : &It->second;
+  }
+
+  bool contains(Addr Block) const { return Blocks.count(Block) != 0; }
+  void erase(Addr Block) { Blocks.erase(Block); }
+  void clear() { Blocks.clear(); }
+  std::size_t size() const { return Blocks.size(); }
+
+  /// Version of one byte; 0 if the block was never materialised.
+  ShadowVersion byteVersion(Addr Block, unsigned Offset) const {
+    const ShadowBlock *B = find(Block);
+    return B ? B->Bytes[Offset] : 0;
+  }
+
+private:
+  std::unordered_map<Addr, ShadowBlock> Blocks;
+};
+
+} // namespace warden
+
+#endif // WARDEN_MEM_SHADOWMEMORY_H

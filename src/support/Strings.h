@@ -1,0 +1,48 @@
+//===- support/Strings.h - Small string formatting helpers ----*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style formatting into std::string, used for diagnostic messages
+/// (configuration validation errors, protocol-auditor violation reports).
+/// Kept in support so lower layers can produce readable diagnostics without
+/// pulling in iostreams.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_SUPPORT_STRINGS_H
+#define WARDEN_SUPPORT_STRINGS_H
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace warden {
+
+/// Formats \p Format printf-style into a std::string.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
+inline std::string
+strformat(const char *Format, ...) {
+  va_list Args;
+  va_start(Args, Format);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Format, Args);
+  va_end(Args);
+  if (Needed < 0) {
+    va_end(ArgsCopy);
+    return Format; // Formatting failed; return the raw format string.
+  }
+  std::string Result(static_cast<std::size_t>(Needed), '\0');
+  std::vsnprintf(Result.data(), Result.size() + 1, Format, ArgsCopy);
+  va_end(ArgsCopy);
+  return Result;
+}
+
+} // namespace warden
+
+#endif // WARDEN_SUPPORT_STRINGS_H

@@ -1,0 +1,94 @@
+//===- verify/FaultPlan.h - Deterministic fault injection -----*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic fault-injection plan for the coherence controller. All
+/// randomness is drawn from the controller's own SplitMix64 stream seeded
+/// from the plan, so any failure an injected fault provokes replays exactly
+/// from (plan, trace, scheduler seed).
+///
+/// Three fault families, mirroring the failure modes a production
+/// deployment must survive:
+///  * Resource exhaustion: force a tiny region-table CAM so real workloads
+///    exercise the MESI-fallback path continuously.
+///  * Capacity pressure: randomly evict private-cache lines after demand
+///    accesses, driving the eager-reconciliation and refill paths at
+///    adversarial points.
+///  * Adversarial reconciliation: force W blocks to reconcile mid-region,
+///    which the WARD property licenses at any time.
+///
+/// A fourth knob — ProtocolMutation — deliberately *breaks* the protocol
+/// (e.g. skipping invalidations on GetM). It exists so tests can prove the
+/// ProtocolAuditor actually detects incoherence; it is never enabled in a
+/// correct run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_VERIFY_FAULTPLAN_H
+#define WARDEN_VERIFY_FAULTPLAN_H
+
+#include "src/support/Types.h"
+
+#include <cstdint>
+
+namespace warden {
+
+/// Deliberate protocol bugs for auditor regression tests.
+enum class ProtocolMutation : std::uint8_t {
+  None,
+  /// GetM on a Shared block skips invalidating the other sharers: stale
+  /// read copies survive next to a writer (breaks SWMR and data values).
+  SkipInvalidationOnGetM,
+  /// Fwd-GetS leaves the owner's copy in M/E while the directory moves to
+  /// Shared (breaks directory-cache agreement).
+  SkipDowngradeOnFwdGetS,
+};
+
+/// Returns a printable name for \p Mutation.
+inline const char *mutationName(ProtocolMutation Mutation) {
+  switch (Mutation) {
+  case ProtocolMutation::None:
+    return "none";
+  case ProtocolMutation::SkipInvalidationOnGetM:
+    return "skip-invalidation-on-getm";
+  case ProtocolMutation::SkipDowngradeOnFwdGetS:
+    return "skip-downgrade-on-fwd-gets";
+  }
+  return "?";
+}
+
+/// Deterministic fault-injection configuration.
+struct FaultPlan {
+  /// Seed of the private SplitMix64 stream driving all injected faults.
+  std::uint64_t Seed = 0xfa017ULL;
+
+  /// Probability (per demand access) of evicting one random valid line
+  /// from the accessing core's private cache through the normal eviction
+  /// path. 0 disables.
+  double EvictionRate = 0.0;
+
+  /// Probability (per demand access to a W block) of force-reconciling
+  /// that block immediately, mid-region. 0 disables.
+  double ReconcileRate = 0.0;
+
+  /// When >= 0, overrides MachineConfig::Features.RegionTableCapacity so
+  /// tests can exhaust the CAM on demand (e.g. 0 forces every region onto
+  /// the MESI-fallback path). -1 keeps the configured capacity.
+  int RegionTableCapacity = -1;
+
+  /// Deliberate protocol bug to inject (auditor regression tests only).
+  ProtocolMutation Mutation = ProtocolMutation::None;
+
+  /// True if any fault or mutation is configured.
+  bool active() const {
+    return EvictionRate > 0.0 || ReconcileRate > 0.0 ||
+           RegionTableCapacity >= 0 || Mutation != ProtocolMutation::None;
+  }
+};
+
+} // namespace warden
+
+#endif // WARDEN_VERIFY_FAULTPLAN_H

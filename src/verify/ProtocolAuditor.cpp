@@ -1,0 +1,338 @@
+//===- verify/ProtocolAuditor.cpp - Coherence invariant checking ----------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/verify/ProtocolAuditor.h"
+
+#include "src/coherence/CoherenceController.h"
+#include "src/support/Strings.h"
+
+using namespace warden;
+
+ProtocolAuditor::ProtocolAuditor(const CoherenceController &Controller,
+                                 AuditOptions Options)
+    : Controller(Controller), Options(Options),
+      PrivCopy(Controller.config().totalCores()) {
+  Report.Enabled = true;
+}
+
+const DirEntry *ProtocolAuditor::entryOf(Addr Block) const {
+  return Controller.directoryEntry(Block);
+}
+
+void ProtocolAuditor::violation(std::string Message) {
+  ++Report.Violations;
+  if (Report.Messages.size() < Options.MaxMessages)
+    Report.Messages.push_back(std::move(Message));
+}
+
+//===----------------------------------------------------------------------===//
+// Shadow value tracking
+//===----------------------------------------------------------------------===//
+//
+// The shadow model mirrors where each write's value currently lives without
+// carrying real data through the timing model:
+//
+//  * Mem       — the committed LLC/DRAM image. Updated by onWriteback, which
+//                the controller invokes for every write-back, reconcile merge,
+//                and (as writeback-then-fill) cache-to-cache supply, always
+//                *before* the dependent fill.
+//  * PrivCopy  — one image per core of its resident copies. A fill snapshots
+//                Mem; a store stamps a fresh version; an invalidation erases.
+//  * Latest    — the version each byte's licensed last write carries. MESI
+//                stores update it immediately (they are globally ordered);
+//                ward stores defer to onReconcileComplete, because until
+//                reconciliation the W state licenses stale copies.
+
+void ProtocolAuditor::onFill(CoreId Core, Addr Block) {
+  if (!Options.CheckValues)
+    return;
+  ShadowBlock &Copy = PrivCopy[Core].get(Block);
+  if (const ShadowBlock *M = Mem.find(Block))
+    Copy = *M;
+  else
+    Copy = ShadowBlock();
+}
+
+void ProtocolAuditor::onInvalidate(CoreId Core, Addr Block) {
+  PrivCopy[Core].erase(Block);
+}
+
+void ProtocolAuditor::onWriteback(CoreId Core, Addr Block,
+                                  const SectorMask &Mask) {
+  if (!Options.CheckValues || !Mask.any())
+    return;
+  const ShadowBlock *Copy = PrivCopy[Core].find(Block);
+  if (!Copy)
+    return; // Copy predates the auditor's attachment; nothing to merge.
+  Mem.get(Block).mergeMasked(*Copy, Mask);
+}
+
+void ProtocolAuditor::onStore(CoreId Core, Addr Block, unsigned Offset,
+                              unsigned Size) {
+  if (!Options.CheckValues)
+    return;
+  ShadowVersion Version = ++NextVersion;
+  PrivCopy[Core].get(Block).write(Offset, Size, Version);
+
+  const DirEntry *Entry = entryOf(Block);
+  if (Entry && Entry->State == DirState::Ward) {
+    WardWriteRecord &Record = WardWritten[Block];
+    bool Overlap = false;
+    std::uint8_t Writer = static_cast<std::uint8_t>(Core + 1);
+    for (unsigned I = 0; I < Size; ++I) {
+      std::uint8_t &Last = Record.LastWriter[Offset + I];
+      if (Last != 0 && Last != Writer)
+        Overlap = true;
+      Last = Writer;
+    }
+    Record.Written.markWritten(Offset, Size);
+    if (Overlap)
+      ++Report.WawOverlaps;
+  } else {
+    Latest.get(Block).write(Offset, Size, Version);
+  }
+}
+
+void ProtocolAuditor::onLoad(CoreId Core, Addr Block, unsigned Offset,
+                             unsigned Size) {
+  if (!Options.CheckValues)
+    return;
+  const DirEntry *Entry = entryOf(Block);
+  if (Entry && Entry->State == DirState::Ward)
+    return; // Staleness is exactly what the W state licenses.
+  ++Report.LoadsVerified;
+  const ShadowBlock *Copy = PrivCopy[Core].find(Block);
+  const ShadowBlock *Want = Latest.find(Block);
+  for (unsigned I = 0; I < Size; ++I) {
+    ShadowVersion Observed = Copy ? Copy->Bytes[Offset + I] : 0;
+    ShadowVersion Expected = Want ? Want->Bytes[Offset + I] : 0;
+    if (Observed != Expected) {
+      violation(strformat("data-value: core %u load of block 0x%llx byte %u "
+                          "observed write #%llu, expected write #%llu",
+                          Core, static_cast<unsigned long long>(Block),
+                          Offset + I,
+                          static_cast<unsigned long long>(Observed),
+                          static_cast<unsigned long long>(Expected)));
+      return; // One message per load suffices.
+    }
+  }
+}
+
+void ProtocolAuditor::onReconcileComplete(Addr Block) {
+  auto It = WardWritten.find(Block);
+  if (It == WardWritten.end())
+    return;
+  if (Options.CheckValues && It->second.Written.any()) {
+    // Resolve Latest for the ward-written bytes. When a copy survives the
+    // reconcile (the single-holder conversions keep it, as E/M owner or as
+    // the lone Shared member), that copy is what subsequent reads of the
+    // block observe — including reads of bytes another, already-evicted
+    // writer reconciled to the LLC first. The WARD property licenses either
+    // outcome; the shadow canonicalises on the surviving copy (re-aligning
+    // Mem with it) so one licensed execution is checked consistently. With
+    // no survivor, the LLC merge — applied in directory arrival order by
+    // the onWriteback calls — is authoritative.
+    const DirEntry *Entry = entryOf(Block);
+    CoreId Survivor = InvalidCore;
+    if (Entry) {
+      if (Entry->State == DirState::Exclusive ||
+          Entry->State == DirState::Modified)
+        Survivor = Entry->Owner;
+      else if (Entry->State == DirState::Shared && !Entry->Sharers.empty())
+        Survivor = Entry->Sharers.first();
+    }
+    const ShadowBlock *Canon = nullptr;
+    if (Survivor != InvalidCore)
+      Canon = PrivCopy[Survivor].find(Block);
+    if (!Canon)
+      Canon = Mem.find(Block);
+    if (Canon) {
+      ShadowBlock Snapshot = *Canon; // Source may alias Mem's entry.
+      Mem.get(Block).mergeMasked(Snapshot, It->second.Written);
+      Latest.get(Block).mergeMasked(Snapshot, It->second.Written);
+    }
+  }
+  WardWritten.erase(It);
+}
+
+void ProtocolAuditor::onOperationComplete(Addr Block) {
+  ++OpCount;
+  if (Options.CheckEveryAccess)
+    checkBlock(Block);
+  if (Options.SweepInterval != 0 && OpCount % Options.SweepInterval == 0)
+    checkAll("periodic sweep");
+}
+
+void ProtocolAuditor::onRegionRemoved(RegionId Id, Addr Start, Addr End) {
+  unsigned BlockSize = Controller.config().BlockSize;
+  for (Addr Block = Start; Block < End; Block += BlockSize) {
+    const DirEntry *Entry = entryOf(Block);
+    if (Entry && Entry->State == DirState::Ward)
+      violation(strformat(
+          "ward-soundness: block 0x%llx still W after removal of region %u",
+          static_cast<unsigned long long>(Block), Id));
+    if (WardWritten.count(Block))
+      violation(strformat("ward-soundness: unreconciled ward writes to block "
+                          "0x%llx survived removal of region %u",
+                          static_cast<unsigned long long>(Block), Id));
+    if (Entry)
+      checkBlock(Block);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// State invariants
+//===----------------------------------------------------------------------===//
+
+void ProtocolAuditor::checkBlock(Addr Block) {
+  ++Report.BlocksChecked;
+  const MachineConfig &Config = Controller.config();
+  const DirEntry *Entry = entryOf(Block);
+  DirState State = Entry ? Entry->State : DirState::Invalid;
+  auto B = static_cast<unsigned long long>(Block);
+
+  unsigned Writers = 0;
+  unsigned Readers = 0;
+  for (CoreId Core = 0; Core < Config.totalCores(); ++Core) {
+    const CacheLine *Line = Controller.privateLine(Core, Block);
+    bool IsOwner = (State == DirState::Exclusive ||
+                    State == DirState::Modified) &&
+                   Entry->Owner == Core;
+    bool IsMember =
+        (State == DirState::Shared || State == DirState::Ward) &&
+        Entry->Sharers.test(Core);
+    if (!Line) {
+      if (IsOwner)
+        violation(strformat(
+            "agreement: directory owner core %u holds no copy of 0x%llx",
+            Core, B));
+      else if (IsMember)
+        violation(strformat("agreement: directory lists core %u for 0x%llx "
+                            "(%s) but it holds no copy",
+                            Core, B, dirStateName(State)));
+      continue;
+    }
+    switch (Line->State) {
+    case LineState::Shared:
+      ++Readers;
+      if (State != DirState::Shared && State != DirState::Ward)
+        violation(strformat(
+            "agreement: core %u holds an S copy of 0x%llx but the directory "
+            "entry is %s",
+            Core, B, dirStateName(State)));
+      else if (!IsMember)
+        violation(strformat("agreement: core %u holds an S copy of 0x%llx "
+                            "but is not in the %s entry's member set",
+                            Core, B, dirStateName(State)));
+      if (Line->Dirty.any())
+        violation(strformat("ward-soundness: S copy of 0x%llx at core %u "
+                            "carries %u unreconciled dirty bytes",
+                            B, Core, Line->Dirty.count()));
+      break;
+    case LineState::Exclusive:
+      ++Writers;
+      if (State != DirState::Exclusive || Entry->Owner != Core)
+        violation(strformat(
+            "agreement: core %u holds an E copy of 0x%llx but the directory "
+            "entry is %s",
+            Core, B, dirStateName(State)));
+      if (Line->Dirty.any())
+        violation(strformat("agreement: E copy of 0x%llx at core %u carries "
+                            "dirty bytes without the silent M upgrade",
+                            B, Core));
+      break;
+    case LineState::Modified:
+      ++Writers;
+      // The directory may still say Exclusive: the E->M upgrade is silent.
+      if ((State != DirState::Modified && State != DirState::Exclusive) ||
+          Entry->Owner != Core)
+        violation(strformat(
+            "agreement: core %u holds an M copy of 0x%llx but the directory "
+            "entry is %s",
+            Core, B, dirStateName(State)));
+      break;
+    case LineState::Ward:
+      if (State != DirState::Ward)
+        violation(strformat(
+            "ward-soundness: core %u holds a W copy of 0x%llx but the "
+            "directory entry is %s",
+            Core, B, dirStateName(State)));
+      else if (!IsMember)
+        violation(strformat("agreement: core %u holds a W copy of 0x%llx "
+                            "but is not in the W entry's member set",
+                            Core, B));
+      break;
+    case LineState::Invalid:
+      violation(strformat(
+          "agreement: probe returned an invalid line for 0x%llx at core %u",
+          B, Core));
+      break;
+    }
+  }
+
+  switch (State) {
+  case DirState::Invalid:
+    break;
+  case DirState::Shared:
+    if (Entry->Sharers.empty())
+      violation(strformat(
+          "agreement: S entry for 0x%llx with an empty sharer set", B));
+    break;
+  case DirState::Exclusive:
+  case DirState::Modified:
+    if (Entry->Owner == InvalidCore ||
+        Entry->Owner >= Config.totalCores())
+      violation(strformat("agreement: %s entry for 0x%llx without a valid "
+                          "owner core",
+                          dirStateName(State), B));
+    if (!Entry->Sharers.empty())
+      violation(strformat(
+          "agreement: %s entry for 0x%llx carries a sharer set",
+          dirStateName(State), B));
+    break;
+  case DirState::Ward: {
+    RegionId Active = Controller.regionTable().lookup(Block);
+    if (Active == InvalidRegion)
+      violation(strformat(
+          "ward-soundness: W entry for 0x%llx outside any active region", B));
+    else if (Entry->Region != Active)
+      violation(strformat("ward-soundness: W entry for 0x%llx names region "
+                          "%u but the active region is %u",
+                          B, Entry->Region, Active));
+    break;
+  }
+  }
+
+  if (State != DirState::Ward) {
+    if (Writers > 1)
+      violation(strformat(
+          "swmr: %u simultaneous E/M copies of 0x%llx", Writers, B));
+    else if (Writers == 1 && Readers > 0)
+      violation(strformat(
+          "swmr: an E/M copy of 0x%llx coexists with %u read copies", B,
+          Readers));
+  }
+}
+
+void ProtocolAuditor::checkAll(const char *When) {
+  ++Report.ChecksRun;
+  for (const auto &[Block, Entry] : Controller.directory()) {
+    (void)Entry;
+    checkBlock(Block);
+  }
+  // Every resident private line must be a block the directory tracks; the
+  // loop above only visits directory entries.
+  const MachineConfig &Config = Controller.config();
+  for (CoreId Core = 0; Core < Config.totalCores(); ++Core)
+    Controller.privateCache(Core).forEachValidLine([&](const CacheLine &Line) {
+      if (!entryOf(Line.Block))
+        violation(strformat("agreement: core %u holds 0x%llx (%s) at '%s' "
+                            "but the directory never saw the block",
+                            Core,
+                            static_cast<unsigned long long>(Line.Block),
+                            lineStateName(Line.State), When));
+    });
+}

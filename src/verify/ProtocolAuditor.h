@@ -1,0 +1,152 @@
+//===- verify/ProtocolAuditor.h - Coherence invariant checking -*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An always-on (when attached) observer that validates the coherence
+/// protocol's global invariants during real runs — the machine-checked
+/// counterpart to the example-level tests. The controller invokes the
+/// auditor through a nullable pointer, so a disabled auditor costs one
+/// branch per hook and a run without one is cycle-identical to a run of the
+/// unaudited simulator.
+///
+/// Invariants checked (DESIGN.md "Verification & fault injection"):
+///  1. SWMR: outside the W state, at most one core holds an E/M copy and
+///     no read copy coexists with a writer.
+///  2. Directory-cache agreement: the directory's owner/sharer view exactly
+///     matches the live private-cache lines, state by state.
+///  3. Data-value invariant: every load observes the last write the
+///     protocol licenses, tracked through per-byte shadow versions that
+///     follow data through fills, cache-to-cache transfers, write-backs,
+///     and WARD reconciliation merges.
+///  4. WARD soundness: W entries exist only under active regions, region
+///     removal leaves no W residue, and only W-state copies carry
+///     unreconciled dirty sectors.
+///
+/// Violations are recorded (bounded message list + count), never asserted:
+/// the auditor's job is to *detect* corruption, the caller decides whether
+/// to abort, shrink, or report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_VERIFY_PROTOCOLAUDITOR_H
+#define WARDEN_VERIFY_PROTOCOLAUDITOR_H
+
+#include "src/mem/SectorMask.h"
+#include "src/mem/ShadowMemory.h"
+#include "src/support/Types.h"
+
+#include <array>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace warden {
+
+class CoherenceController;
+struct DirEntry;
+
+/// Aggregated outcome of one audited run, carried into RunResult.
+struct AuditReport {
+  bool Enabled = false;
+  std::uint64_t ChecksRun = 0;     ///< Invariant check passes executed.
+  std::uint64_t BlocksChecked = 0; ///< Block-level checks executed.
+  std::uint64_t LoadsVerified = 0; ///< Loads checked for the value invariant.
+  std::uint64_t Violations = 0;    ///< Total invariant violations.
+  std::uint64_t WawOverlaps = 0;   ///< True-WAW sector overlaps observed (licensed).
+  /// First violations, capped so a broken protocol cannot OOM the report.
+  std::vector<std::string> Messages;
+
+  bool clean() const { return Violations == 0; }
+};
+
+/// Auditor configuration.
+struct AuditOptions {
+  /// Check the touched block's invariants after every access/region op.
+  bool CheckEveryAccess = true;
+  /// Track per-byte shadow versions and verify every load's value.
+  bool CheckValues = true;
+  /// Run a full directory+cache sweep every N operations (0 disables the
+  /// periodic sweep; targeted checks still run).
+  std::uint64_t SweepInterval = 4096;
+  /// Maximum violation messages retained.
+  std::size_t MaxMessages = 16;
+};
+
+/// The protocol observer. Construct with the controller to watch, attach
+/// via CoherenceController::attachAuditor(), and read report() at the end.
+/// Only const controller interfaces are used, so an attached auditor never
+/// perturbs LRU state, statistics, or timing.
+class ProtocolAuditor {
+public:
+  explicit ProtocolAuditor(const CoherenceController &Controller,
+                           AuditOptions Options = AuditOptions());
+
+  // --- Event hooks (called by the controller) -----------------------------
+  /// A private cache filled \p Block for \p Core; the shadow copy is taken
+  /// from (shadow) memory, which the caller has brought up to date.
+  void onFill(CoreId Core, Addr Block);
+  /// \p Core's copy of \p Block left its private cache.
+  void onInvalidate(CoreId Core, Addr Block);
+  /// The bytes of \p Core's copy selected by \p Mask became visible in the
+  /// shared LLC/DRAM image (write-back, reconcile merge, or the modelled
+  /// equivalent of a cache-to-cache supply).
+  void onWriteback(CoreId Core, Addr Block, const SectorMask &Mask);
+  /// A store by \p Core to [Offset, Offset+Size) of \p Block completed.
+  void onStore(CoreId Core, Addr Block, unsigned Offset, unsigned Size);
+  /// A load by \p Core from [Offset, Offset+Size) of \p Block completed.
+  void onLoad(CoreId Core, Addr Block, unsigned Offset, unsigned Size);
+  /// A W block finished reconciling (region removal, eager eviction of the
+  /// last copy, or forced reconciliation); its post-reconcile MESI state is
+  /// now authoritative.
+  void onReconcileComplete(Addr Block);
+  /// A demand access / region operation touching \p Block completed.
+  void onOperationComplete(Addr Block);
+  /// Region \p Id over [Start, End) was removed; verifies no W residue.
+  void onRegionRemoved(RegionId Id, Addr Start, Addr End);
+
+  // --- Checks -------------------------------------------------------------
+  /// Checks invariants 1/2/4 for one block.
+  void checkBlock(Addr Block);
+  /// Sweeps every directory entry and every resident private line.
+  void checkAll(const char *When);
+
+  const AuditReport &report() const { return Report; }
+  bool clean() const { return Report.clean(); }
+
+private:
+  const DirEntry *entryOf(Addr Block) const;
+  void violation(std::string Message);
+
+  const CoherenceController &Controller;
+  AuditOptions Options;
+  AuditReport Report;
+
+  // --- Shadow value state --------------------------------------------------
+  ShadowVersion NextVersion = 0;
+  /// Committed image: what the LLC/DRAM currently holds.
+  ShadowMemory Mem;
+  /// Expected image: the version each byte's licensed last write carries.
+  ShadowMemory Latest;
+  /// Per-core images of resident private copies.
+  std::vector<ShadowMemory> PrivCopy;
+
+  /// Per-block record of bytes written under the W state, pending
+  /// reconciliation.
+  struct WardWriteRecord {
+    SectorMask Written;
+    /// Core id + 1 of the byte's last ward writer; 0 = never ward-written.
+    /// Distinct writers to one byte are a true-WAW overlap (licensed by the
+    /// WARD property, but counted for the report).
+    std::array<std::uint8_t, SectorMask::MaxBytes> LastWriter{};
+  };
+  std::unordered_map<Addr, WardWriteRecord> WardWritten;
+
+  std::uint64_t OpCount = 0;
+};
+
+} // namespace warden
+
+#endif // WARDEN_VERIFY_PROTOCOLAUDITOR_H

@@ -136,6 +136,40 @@ TEST(Mesi, AccessSpanningTwoBlocksTouchesBoth) {
   EXPECT_TRUE(C.privateLine(0, BlockA + 64)->Dirty.anyWritten(0, 4));
 }
 
+TEST(Mesi, ZeroSizeAccessIsRejectedWithoutSideEffects) {
+  CoherenceController C(testConfig(ProtocolKind::Mesi));
+  EXPECT_EQ(C.access(0, BlockA, 0, AccessType::Store), 0u);
+  EXPECT_EQ(C.stats().RejectedAccesses, 1u);
+  EXPECT_EQ(C.privateLine(0, BlockA), nullptr);
+  EXPECT_EQ(C.directoryEntry(BlockA), nullptr);
+  EXPECT_EQ(C.stats().Loads + C.stats().Stores, 0u);
+}
+
+TEST(Mesi, OutOfRangeCoreIsRejectedWithoutSideEffects) {
+  CoherenceController C(testConfig(ProtocolKind::Mesi));
+  CoreId Bad = C.config().totalCores();
+  EXPECT_EQ(C.access(Bad, BlockA, 8, AccessType::Load), 0u);
+  EXPECT_EQ(C.access(Bad + 100, BlockA, 8, AccessType::Store), 0u);
+  EXPECT_EQ(C.stats().RejectedAccesses, 2u);
+  EXPECT_EQ(C.directoryEntry(BlockA), nullptr);
+}
+
+TEST(Mesi, AccessLargerThanBlockSplitsAcrossAllBlocks) {
+  CoherenceController C(testConfig(ProtocolKind::Mesi));
+  // 200 bytes starting mid-block covers four 64-byte blocks.
+  C.access(0, BlockA + 32, 200, AccessType::Store);
+  for (Addr Block = BlockA; Block <= BlockA + 192; Block += 64) {
+    ASSERT_NE(C.privateLine(0, Block), nullptr) << "block " << Block;
+    EXPECT_EQ(C.privateLine(0, Block)->State, LineState::Modified);
+  }
+  // First block dirty only from offset 32; last only up to byte 40.
+  EXPECT_FALSE(C.privateLine(0, BlockA)->Dirty.anyWritten(0, 32));
+  EXPECT_TRUE(C.privateLine(0, BlockA)->Dirty.anyWritten(32, 32));
+  EXPECT_TRUE(C.privateLine(0, BlockA + 192)->Dirty.anyWritten(0, 40));
+  EXPECT_FALSE(C.privateLine(0, BlockA + 192)->Dirty.anyWritten(40, 24));
+  EXPECT_EQ(C.stats().RejectedAccesses, 0u);
+}
+
 TEST(Mesi, CapacityEvictionNotifiesDirectory) {
   MachineConfig Config = testConfig(ProtocolKind::Mesi);
   Config.L1SizeKB = 1; // 16 blocks, tiny.

@@ -59,6 +59,84 @@ TEST(MachineConfig, ProtocolNames) {
   EXPECT_STREQ(protocolName(ProtocolKind::Warden), "WARDen");
 }
 
+// --- MachineConfig::validate ----------------------------------------------------
+
+namespace {
+
+/// True when any validation error mentions \p Needle.
+bool mentions(const std::vector<std::string> &Errors, const char *Needle) {
+  for (const std::string &E : Errors)
+    if (E.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(MachineValidate, AllPresetsAreClean) {
+  EXPECT_TRUE(MachineConfig::singleSocket().validate().empty());
+  EXPECT_TRUE(MachineConfig::dualSocket().validate().empty());
+  EXPECT_TRUE(MachineConfig::disaggregated().validate().empty());
+  EXPECT_TRUE(MachineConfig::manySocket(4).validate().empty());
+}
+
+TEST(MachineValidate, ZeroCoreGeometryIsReported) {
+  MachineConfig C = MachineConfig::singleSocket();
+  C.NumSockets = 0;
+  EXPECT_TRUE(mentions(C.validate(), "zero sockets"));
+  C = MachineConfig::singleSocket();
+  C.CoresPerSocket = 0;
+  EXPECT_TRUE(mentions(C.validate(), "zero cores"));
+}
+
+TEST(MachineValidate, TooManyCoresForSharerMasks) {
+  MachineConfig C = MachineConfig::manySocket(8); // 96 cores > 64-bit mask.
+  std::vector<std::string> Errors = C.validate();
+  EXPECT_TRUE(mentions(Errors, "sharer masks"));
+}
+
+TEST(MachineValidate, NonPowerOfTwoBlockSizeIsReported) {
+  MachineConfig C = MachineConfig::dualSocket();
+  C.BlockSize = 48;
+  EXPECT_TRUE(mentions(C.validate(), "power of two"));
+  C.BlockSize = 0;
+  EXPECT_TRUE(mentions(C.validate(), "power of two"));
+  C.BlockSize = 128; // Pow2 but beyond the 64-byte sector masks.
+  EXPECT_TRUE(mentions(C.validate(), "sector-mask"));
+}
+
+TEST(MachineValidate, BrokenCacheGeometryIsReported) {
+  MachineConfig C = MachineConfig::dualSocket();
+  C.L1Assoc = 0;
+  EXPECT_TRUE(mentions(C.validate(), "L1 associativity"));
+  C = MachineConfig::dualSocket();
+  C.L2SizeKB = 0;
+  EXPECT_TRUE(mentions(C.validate(), "L2 size is zero"));
+  C = MachineConfig::dualSocket();
+  C.L2Assoc = 12; // 256 KB does not divide into 12-way, 64-byte sets.
+  EXPECT_TRUE(mentions(C.validate(), "not divisible"));
+}
+
+TEST(MachineValidate, BadFrequencyAndTopologyAreReported) {
+  MachineConfig C = MachineConfig::dualSocket();
+  C.FrequencyGHz = 0.0;
+  EXPECT_TRUE(mentions(C.validate(), "frequency"));
+  C = MachineConfig::disaggregated();
+  C.NumSockets = 1;
+  EXPECT_TRUE(mentions(C.validate(), "at least two compute nodes"));
+  C = MachineConfig::disaggregated();
+  C.RemoteLatency = 0;
+  EXPECT_TRUE(mentions(C.validate(), "remote latency"));
+}
+
+TEST(MachineValidate, MultipleFaultsAreAllCollected) {
+  MachineConfig C = MachineConfig::dualSocket();
+  C.CoresPerSocket = 0;
+  C.BlockSize = 3;
+  C.FrequencyGHz = -1.0;
+  EXPECT_GE(C.validate().size(), 3u);
+}
+
 // --- LatencyModel ------------------------------------------------------------------
 
 TEST(LatencyModel, HitLatenciesMatchConfig) {

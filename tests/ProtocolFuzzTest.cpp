@@ -5,180 +5,311 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Property-based protocol checking: drives long random access sequences
-/// (loads/stores/atomics from random cores, region add/remove at random
-/// times) against the controller and verifies after every step that the
-/// directory's view and the private caches' views agree — the single-
-/// writer/multiple-reader invariant for MESI states and the membership
-/// invariant for the W state. This is the moral equivalent of a model
-/// checker's state-reachability sweep for the Figure 5 FSA, run over tens
-/// of thousands of transitions.
+/// Seeded stress fuzzing of the coherence engine with the ProtocolAuditor
+/// attached: long random operation sequences (loads/stores/atomics from
+/// random cores across a 24-core dual-socket machine, region add/remove at
+/// random times, occasional malformed requests) are generated up front as
+/// an explicit operation list, then replayed against a fresh controller.
+/// The auditor validates SWMR, directory-cache agreement, shadow data
+/// values, and WARD soundness after every operation.
+///
+/// Because the operation list is explicit and generation is decoupled from
+/// execution, a violating run shrinks automatically: binary search finds
+/// the smallest violating prefix, and the failure message prints the seed
+/// and prefix length needed to replay it exactly. A deliberate protocol
+/// mutation (FaultPlan::Mutation) proves end-to-end that detection and
+/// shrinking actually work.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "src/coherence/CoherenceController.h"
 #include "src/support/Rng.h"
+#include "src/verify/ProtocolAuditor.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
 
 using namespace warden;
 
 namespace {
 
-struct FuzzCase {
-  const char *Name;
-  ProtocolKind Protocol;
-  unsigned Sockets;
-  std::uint64_t Seed;
-};
-
-constexpr unsigned NumBlocks = 6;
+constexpr unsigned NumBlocks = 8;
 constexpr Addr BlockBase = 0x40000;
 
 Addr blockAddr(unsigned Index) { return BlockBase + Addr(Index) * 64; }
 
-/// Checks the directory/private-cache agreement for every tracked block.
-void checkInvariants(const CoherenceController &C, unsigned Cores,
-                     std::uint64_t Step) {
-  for (unsigned B = 0; B < NumBlocks; ++B) {
-    Addr Block = blockAddr(B);
-    const DirEntry *Entry = C.directoryEntry(Block);
-    if (!Entry)
-      continue;
+/// One pre-generated operation. Keeping the trace explicit (rather than
+/// interleaving generation with execution) is what makes prefix replay —
+/// and therefore shrinking — exact.
+struct FuzzOp {
+  enum class Kind : std::uint8_t { Access, AddRegion, RemoveRegion };
+  Kind K = Kind::Access;
+  AccessType Type = AccessType::Load;
+  CoreId Core = 0;
+  Addr Address = 0;
+  unsigned Size = 8;
+  RegionId Region = InvalidRegion;
+  Addr Start = 0;
+  Addr End = 0;
+};
 
-    unsigned Holders = 0;
-    unsigned DirtyHolders = 0;
-    for (CoreId Core = 0; Core < Cores; ++Core) {
-      const CacheLine *Line = C.privateLine(Core, Block);
-      if (!Line)
-        continue;
-      ++Holders;
-      if (Line->State == LineState::Modified)
-        ++DirtyHolders;
+/// Generates \p Count operations over NumBlocks contended blocks. Region
+/// adds/removes are balanced in program order, so every prefix of the list
+/// is itself a well-formed program.
+std::vector<FuzzOp> generateOps(std::uint64_t Seed, unsigned Cores,
+                                std::size_t Count) {
+  Rng Random(Seed);
+  std::vector<FuzzOp> Ops;
+  Ops.reserve(Count);
+  bool RegionActive[NumBlocks] = {};
+  RegionId ActiveId[NumBlocks] = {};
+  RegionId NextRegion = 0;
 
-      switch (Entry->State) {
-      case DirState::Invalid:
-        FAIL() << "step " << Step << ": core holds a line the directory "
-               << "thinks is Invalid";
-        break;
-      case DirState::Shared:
-        EXPECT_EQ(Line->State, LineState::Shared)
-            << "step " << Step << " core " << Core;
-        EXPECT_TRUE(Entry->Sharers.test(Core))
-            << "step " << Step << " core " << Core << " not in sharer set";
-        break;
-      case DirState::Exclusive:
-        EXPECT_EQ(Entry->Owner, Core) << "step " << Step;
-        // Silent E->M upgrades are legal.
-        EXPECT_TRUE(Line->State == LineState::Exclusive ||
-                    Line->State == LineState::Modified)
-            << "step " << Step;
-        break;
-      case DirState::Modified:
-        EXPECT_EQ(Entry->Owner, Core) << "step " << Step;
-        EXPECT_EQ(Line->State, LineState::Modified) << "step " << Step;
-        break;
-      case DirState::Ward:
-        EXPECT_TRUE(Line->State == LineState::Ward ||
-                    Line->State == LineState::Shared)
-            << "step " << Step;
-        EXPECT_TRUE(Entry->Sharers.test(Core))
-            << "step " << Step << " W member missing from tracking";
-        break;
+  for (std::size_t I = 0; I < Count; ++I) {
+    unsigned B = static_cast<unsigned>(Random.nextBelow(NumBlocks));
+    FuzzOp Op;
+    Op.Core = static_cast<CoreId>(Random.nextBelow(Cores));
+    std::uint64_t Action = Random.nextBelow(100);
+    if (Action < 38) {
+      Op.Type = AccessType::Load;
+      Op.Address = blockAddr(B) + Random.nextBelow(56);
+      Op.Size = 1 + static_cast<unsigned>(Random.nextBelow(8));
+    } else if (Action < 76) {
+      Op.Type = AccessType::Store;
+      Op.Address = blockAddr(B) + Random.nextBelow(56);
+      Op.Size = 1 + static_cast<unsigned>(Random.nextBelow(8));
+    } else if (Action < 82) {
+      Op.Type = AccessType::Rmw;
+      Op.Address = blockAddr(B);
+      Op.Size = 8;
+    } else if (Action < 84) {
+      // Boundary-crossing access: split across two (or three) blocks.
+      Op.Type = Action % 2 ? AccessType::Store : AccessType::Load;
+      Op.Address = blockAddr(B) + 48;
+      Op.Size = 32 + static_cast<unsigned>(Random.nextBelow(96));
+    } else if (Action < 86) {
+      // Malformed request: zero size or an out-of-range core. Must be
+      // refused gracefully, never corrupt state.
+      Op.Type = AccessType::Store;
+      Op.Address = blockAddr(B);
+      if (Action % 2) {
+        Op.Size = 0;
+      } else {
+        Op.Core = Cores + static_cast<CoreId>(Random.nextBelow(8));
+        Op.Size = 8;
       }
+    } else if (Action < 93) {
+      if (RegionActive[B]) {
+        --I; // Re-roll; keep op count exact.
+        continue;
+      }
+      Op.K = FuzzOp::Kind::AddRegion;
+      Op.Region = ActiveId[B] = NextRegion++;
+      Op.Start = blockAddr(B);
+      Op.End = blockAddr(B) + 64;
+      RegionActive[B] = true;
+    } else {
+      if (!RegionActive[B]) {
+        --I;
+        continue;
+      }
+      Op.K = FuzzOp::Kind::RemoveRegion;
+      Op.Region = ActiveId[B];
+      RegionActive[B] = false;
     }
-
-    // Single-writer invariant: never two dirty private copies outside W.
-    if (Entry->State != DirState::Ward)
-      EXPECT_LE(DirtyHolders, 1u) << "step " << Step;
-    // E/M imply exactly one holder.
-    if (Entry->State == DirState::Exclusive ||
-        Entry->State == DirState::Modified)
-      EXPECT_EQ(Holders, 1u) << "step " << Step;
-    // Precise tracking: the directory never under-counts holders.
-    if (Entry->State == DirState::Shared || Entry->State == DirState::Ward)
-      EXPECT_EQ(Holders, Entry->Sharers.count()) << "step " << Step;
+    Ops.push_back(Op);
   }
+  return Ops;
+}
+
+/// Replays the first \p Count operations against a fresh controller with a
+/// fresh auditor attached and returns the audit verdict of the prefix
+/// (including a final full sweep).
+AuditReport replayPrefix(const MachineConfig &Config, const FaultPlan &Faults,
+                         const std::vector<FuzzOp> &Ops, std::size_t Count) {
+  CoherenceController Ctrl(Config, Faults);
+  ProtocolAuditor Auditor(Ctrl);
+  Ctrl.attachAuditor(&Auditor);
+  for (std::size_t I = 0; I < Count; ++I) {
+    const FuzzOp &Op = Ops[I];
+    switch (Op.K) {
+    case FuzzOp::Kind::Access:
+      Ctrl.access(Op.Core, Op.Address, Op.Size, Op.Type);
+      break;
+    case FuzzOp::Kind::AddRegion:
+      Ctrl.addRegion(Op.Region, Op.Start, Op.End);
+      break;
+    case FuzzOp::Kind::RemoveRegion:
+      Ctrl.removeRegion(Op.Region, Op.Core);
+      break;
+    }
+  }
+  Auditor.checkAll("end of prefix");
+  return Auditor.report();
+}
+
+/// Binary-searches the smallest violating prefix of \p Ops (which must
+/// violate as a whole). Violations are monotone in practice — corrupted
+/// state stays corrupted — which is all the search needs.
+std::size_t shrinkToMinimalPrefix(const MachineConfig &Config,
+                                  const FaultPlan &Faults,
+                                  const std::vector<FuzzOp> &Ops) {
+  std::size_t Lo = 1;
+  std::size_t Hi = Ops.size();
+  while (Lo < Hi) {
+    std::size_t Mid = Lo + (Hi - Lo) / 2;
+    if (replayPrefix(Config, Faults, Ops, Mid).Violations > 0)
+      Hi = Mid;
+    else
+      Lo = Mid + 1;
+  }
+  return Lo;
+}
+
+/// Shrinks a violating run and formats the replay recipe + first messages.
+std::string describeFailure(const MachineConfig &Config,
+                            const FaultPlan &Faults,
+                            const std::vector<FuzzOp> &Ops,
+                            std::uint64_t Seed) {
+  std::size_t Minimal = shrinkToMinimalPrefix(Config, Faults, Ops);
+  AuditReport Shrunk = replayPrefix(Config, Faults, Ops, Minimal);
+  char Header[160];
+  std::snprintf(Header, sizeof(Header),
+                "replay: seed=0x%llx minimal_prefix=%zu of %zu ops "
+                "(violations=%llu)",
+                static_cast<unsigned long long>(Seed), Minimal, Ops.size(),
+                static_cast<unsigned long long>(Shrunk.Violations));
+  std::string Out = Header;
+  for (const std::string &Message : Shrunk.Messages) {
+    Out += "\n  ";
+    Out += Message;
+  }
+  return Out;
+}
+
+struct FuzzCase {
+  const char *Name;
+  ProtocolKind Protocol;
+  bool GetSReturnsExclusive = true;
+  bool ProactiveForkFlush = true;
+  unsigned RegionTableCapacity = 3; // Tiny: exercise overflow fallback.
+  double EvictionRate = 0.0;
+  double ReconcileRate = 0.0;
+  std::uint64_t Seed = 0;
+};
+
+MachineConfig configFor(const FuzzCase &Case) {
+  MachineConfig Config = MachineConfig::dualSocket(); // 24 cores.
+  Config.Protocol = Case.Protocol;
+  Config.Features.GetSReturnsExclusive = Case.GetSReturnsExclusive;
+  Config.Features.ProactiveForkFlush = Case.ProactiveForkFlush;
+  Config.Features.RegionTableCapacity = Case.RegionTableCapacity;
+  return Config;
 }
 
 } // namespace
 
 class ProtocolFuzz : public ::testing::TestWithParam<FuzzCase> {};
 
-TEST_P(ProtocolFuzz, InvariantsHoldUnderRandomTraffic) {
+TEST_P(ProtocolFuzz, AuditorStaysCleanUnderRandomTraffic) {
   const FuzzCase &Case = GetParam();
-  MachineConfig Config = Case.Sockets == 1 ? MachineConfig::singleSocket()
-                                           : MachineConfig::dualSocket();
-  Config.Protocol = Case.Protocol;
-  // Tiny region table so overflow paths get exercised too.
-  Config.Features.RegionTableCapacity = 3;
-  CoherenceController C(Config);
-  Rng Random(Case.Seed);
+  MachineConfig Config = configFor(Case);
+  FaultPlan Faults;
+  Faults.Seed = Case.Seed ^ 0xfa017;
+  Faults.EvictionRate = Case.EvictionRate;
+  Faults.ReconcileRate = Case.ReconcileRate;
 
-  const unsigned Cores = Config.totalCores();
-  bool RegionActive[NumBlocks] = {};
-  RegionId NextRegion = 0;
-  RegionId ActiveId[NumBlocks] = {};
+  std::vector<FuzzOp> Ops =
+      generateOps(Case.Seed, Config.totalCores(), 20000);
+  AuditReport Report = replayPrefix(Config, Faults, Ops, Ops.size());
 
-  for (std::uint64_t Step = 0; Step < 20000; ++Step) {
-    unsigned B = static_cast<unsigned>(Random.nextBelow(NumBlocks));
-    CoreId Core = static_cast<CoreId>(Random.nextBelow(Cores));
-    std::uint64_t Action = Random.nextBelow(100);
+  EXPECT_GT(Report.LoadsVerified, 0u);
+  EXPECT_GT(Report.BlocksChecked, 0u);
+  if (!Report.clean())
+    FAIL() << describeFailure(Config, Faults, Ops, Case.Seed);
 
-    if (Action < 40) {
-      unsigned Offset = static_cast<unsigned>(Random.nextBelow(56));
-      C.access(Core, blockAddr(B) + Offset, 8, AccessType::Load);
-    } else if (Action < 80) {
-      unsigned Offset = static_cast<unsigned>(Random.nextBelow(56));
-      C.access(Core, blockAddr(B) + Offset, 8, AccessType::Store);
-    } else if (Action < 88) {
-      C.access(Core, blockAddr(B), 8, AccessType::Rmw);
-    } else if (Action < 94) {
-      if (!RegionActive[B]) {
-        ActiveId[B] = NextRegion++;
-        C.addRegion(ActiveId[B], blockAddr(B), blockAddr(B) + 64);
-        RegionActive[B] = true;
-      }
-    } else {
-      if (RegionActive[B]) {
-        C.removeRegion(ActiveId[B], Core);
-        RegionActive[B] = false;
-      }
-    }
-
-    if (Step % 16 == 0)
-      checkInvariants(C, Cores, Step);
-    if (::testing::Test::HasFailure())
+  // Re-run without the auditor and drain: no dirty private line survives.
+  CoherenceController Ctrl(Config, Faults);
+  for (const FuzzOp &Op : Ops)
+    switch (Op.K) {
+    case FuzzOp::Kind::Access:
+      Ctrl.access(Op.Core, Op.Address, Op.Size, Op.Type);
       break;
-  }
-
-  // Close remaining regions; invariants must hold in the quiesced state.
-  for (unsigned B = 0; B < NumBlocks; ++B)
-    if (RegionActive[B])
-      C.removeRegion(ActiveId[B], 0);
-  checkInvariants(C, Cores, ~0ULL);
-
-  // Drain and re-check: nothing dirty may survive.
-  C.drainDirtyData();
-  for (unsigned B = 0; B < NumBlocks; ++B) {
-    for (CoreId Core = 0; Core < Cores; ++Core) {
-      const CacheLine *Line = C.privateLine(Core, blockAddr(B));
-      if (Line)
-        EXPECT_FALSE(Line->dirty()) << "dirty line survived the drain";
+    case FuzzOp::Kind::AddRegion:
+      Ctrl.addRegion(Op.Region, Op.Start, Op.End);
+      break;
+    case FuzzOp::Kind::RemoveRegion:
+      Ctrl.removeRegion(Op.Region, Op.Core);
+      break;
     }
-  }
+  Ctrl.drainDirtyData();
+  for (unsigned B = 0; B < NumBlocks; ++B)
+    for (CoreId Core = 0; Core < Config.totalCores(); ++Core) {
+      if (const CacheLine *Line = Ctrl.privateLine(Core, blockAddr(B))) {
+        EXPECT_FALSE(Line->dirty()) << "dirty line survived the drain";
+      }
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Cases, ProtocolFuzz,
-    ::testing::Values(FuzzCase{"mesi_single", ProtocolKind::Mesi, 1, 0xf1},
-                      FuzzCase{"mesi_dual", ProtocolKind::Mesi, 2, 0xf2},
-                      FuzzCase{"warden_single", ProtocolKind::Warden, 1, 0xf3},
-                      FuzzCase{"warden_dual", ProtocolKind::Warden, 2, 0xf4},
-                      FuzzCase{"warden_dual_b", ProtocolKind::Warden, 2,
-                               0xabcdef},
-                      FuzzCase{"mesi_dual_b", ProtocolKind::Mesi, 2,
-                               0x123456}),
+    ::testing::Values(
+        FuzzCase{"mesi", ProtocolKind::Mesi, true, true, 3, 0, 0, 0xf1},
+        FuzzCase{"warden", ProtocolKind::Warden, true, true, 3, 0, 0, 0xf2},
+        FuzzCase{"warden_shared_gets", ProtocolKind::Warden, false, false, 3,
+                 0, 0, 0xf3},
+        FuzzCase{"warden_big_cam", ProtocolKind::Warden, true, true, 1024, 0,
+                 0, 0xf4},
+        FuzzCase{"mesi_faults", ProtocolKind::Mesi, true, true, 3, 0.01,
+                 0.02, 0xf5},
+        FuzzCase{"warden_faults", ProtocolKind::Warden, true, true, 3, 0.01,
+                 0.02, 0xf6},
+        FuzzCase{"warden_faults_b", ProtocolKind::Warden, false, true, 2,
+                 0.02, 0.05, 0xabcdef}),
     [](const ::testing::TestParamInfo<FuzzCase> &Info) {
       return Info.param.Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// The detector detects: a deliberately broken protocol must be caught and
+// the failure must shrink to a small replayable prefix.
+//===----------------------------------------------------------------------===//
+
+class MutationFuzz : public ::testing::TestWithParam<ProtocolMutation> {};
+
+TEST_P(MutationFuzz, MutationIsCaughtAndShrinks) {
+  MachineConfig Config = MachineConfig::dualSocket();
+  Config.Protocol = ProtocolKind::Warden;
+  Config.Features.RegionTableCapacity = 3;
+  FaultPlan Faults;
+  Faults.Mutation = GetParam();
+
+  const std::uint64_t Seed = 0xdead;
+  std::vector<FuzzOp> Ops = generateOps(Seed, Config.totalCores(), 20000);
+  AuditReport Report = replayPrefix(Config, Faults, Ops, Ops.size());
+  ASSERT_GT(Report.Violations, 0u)
+      << "auditor missed mutation " << mutationName(GetParam());
+
+  std::size_t Minimal = shrinkToMinimalPrefix(Config, Faults, Ops);
+  ASSERT_GE(Minimal, 1u);
+  ASSERT_LE(Minimal, Ops.size());
+  // The minimal prefix violates; one op fewer does not.
+  EXPECT_GT(replayPrefix(Config, Faults, Ops, Minimal).Violations, 0u);
+  EXPECT_EQ(replayPrefix(Config, Faults, Ops, Minimal - 1).Violations, 0u);
+  // Shrinking earns its keep: the repro is a small fraction of the run.
+  EXPECT_LT(Minimal, Ops.size() / 4);
+  std::printf("[ mutation %s ] %s\n", mutationName(GetParam()),
+              describeFailure(Config, Faults, Ops, Seed).c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mutations, MutationFuzz,
+    ::testing::Values(ProtocolMutation::SkipInvalidationOnGetM,
+                      ProtocolMutation::SkipDowngradeOnFwdGetS),
+    [](const ::testing::TestParamInfo<ProtocolMutation> &Info) {
+      return std::string(mutationName(Info.param)) == "skip-invalidation-on-getm"
+                 ? "SkipInvalidationOnGetM"
+                 : "SkipDowngradeOnFwdGetS";
     });

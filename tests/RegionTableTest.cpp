@@ -4,11 +4,16 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "src/coherence/CoherenceController.h"
 #include "src/coherence/RegionTable.h"
 
 #include <gtest/gtest.h>
 
 using namespace warden;
+
+namespace {
+using AddResult = RegionTable::AddResult;
+} // namespace
 
 TEST(RegionTable, LookupMissOnEmpty) {
   RegionTable Table(16);
@@ -18,7 +23,7 @@ TEST(RegionTable, LookupMissOnEmpty) {
 
 TEST(RegionTable, AddAndLookupBoundaries) {
   RegionTable Table(16);
-  ASSERT_TRUE(Table.add(7, 0x1000, 0x2000));
+  ASSERT_EQ(Table.add(7, 0x1000, 0x2000), AddResult::Added);
   EXPECT_EQ(Table.lookup(0x0fff), InvalidRegion);
   EXPECT_EQ(Table.lookup(0x1000), 7u); // Inclusive start.
   EXPECT_EQ(Table.lookup(0x1fff), 7u);
@@ -38,24 +43,37 @@ TEST(RegionTable, RemoveReturnsInterval) {
 
 TEST(RegionTable, RejectsOverlaps) {
   RegionTable Table(16);
-  ASSERT_TRUE(Table.add(1, 0x1000, 0x2000));
-  EXPECT_FALSE(Table.add(2, 0x1800, 0x2800)); // Overlaps tail.
-  EXPECT_FALSE(Table.add(3, 0x0800, 0x1001)); // Overlaps head.
-  EXPECT_FALSE(Table.add(4, 0x1100, 0x1200)); // Nested.
-  EXPECT_TRUE(Table.add(5, 0x2000, 0x2800));  // Adjacent is fine.
-  EXPECT_TRUE(Table.add(6, 0x0800, 0x1000));
+  ASSERT_EQ(Table.add(1, 0x1000, 0x2000), AddResult::Added);
+  EXPECT_EQ(Table.add(2, 0x1800, 0x2800), AddResult::Overlap); // Tail.
+  EXPECT_EQ(Table.add(3, 0x0800, 0x1001), AddResult::Overlap); // Head.
+  EXPECT_EQ(Table.add(4, 0x1100, 0x1200), AddResult::Overlap); // Nested.
+  EXPECT_EQ(Table.add(5, 0x2000, 0x2800), AddResult::Added);   // Adjacent.
+  EXPECT_EQ(Table.add(6, 0x0800, 0x1000), AddResult::Added);
   EXPECT_EQ(Table.size(), 3u);
+}
+
+TEST(RegionTable, RejectsMalformedRequests) {
+  RegionTable Table(16);
+  EXPECT_EQ(Table.add(1, 0x2000, 0x2000), AddResult::BadInterval); // Empty.
+  EXPECT_EQ(Table.add(1, 0x2000, 0x1000), AddResult::BadInterval); // Inverted.
+  ASSERT_EQ(Table.add(1, 0x1000, 0x2000), AddResult::Added);
+  EXPECT_EQ(Table.add(1, 0x8000, 0x9000), AddResult::DuplicateId);
+  // The rejected duplicate did not clobber the original interval.
+  EXPECT_EQ(Table.lookup(0x1800), 1u);
+  EXPECT_EQ(Table.lookup(0x8800), InvalidRegion);
+  EXPECT_EQ(Table.size(), 1u);
 }
 
 TEST(RegionTable, CapacityOverflowRejected) {
   RegionTable Table(4);
   for (RegionId Id = 0; Id < 4; ++Id)
-    ASSERT_TRUE(Table.add(Id, Addr(Id) * 0x1000, Addr(Id) * 0x1000 + 0x800));
+    ASSERT_EQ(Table.add(Id, Addr(Id) * 0x1000, Addr(Id) * 0x1000 + 0x800),
+              AddResult::Added);
   EXPECT_TRUE(Table.full());
-  EXPECT_FALSE(Table.add(99, 0x100000, 0x101000));
+  EXPECT_EQ(Table.add(99, 0x100000, 0x101000), AddResult::Full);
   // Removing one frees a slot.
   Table.remove(0);
-  EXPECT_TRUE(Table.add(99, 0x100000, 0x101000));
+  EXPECT_EQ(Table.add(99, 0x100000, 0x101000), AddResult::Added);
 }
 
 TEST(RegionTable, PeakOccupancyTracksHighWaterMark) {
@@ -86,8 +104,8 @@ TEST_P(RegionSweep, ManyDisjointRegionsResolveCorrectly) {
   unsigned Count = GetParam();
   RegionTable Table(Count);
   for (RegionId Id = 0; Id < Count; ++Id)
-    ASSERT_TRUE(
-        Table.add(Id, Addr(Id) * 0x2000, Addr(Id) * 0x2000 + 0x1000));
+    ASSERT_EQ(Table.add(Id, Addr(Id) * 0x2000, Addr(Id) * 0x2000 + 0x1000),
+              AddResult::Added);
   for (RegionId Id = 0; Id < Count; ++Id) {
     EXPECT_EQ(Table.lookup(Addr(Id) * 0x2000 + 0x500), Id);
     EXPECT_EQ(Table.lookup(Addr(Id) * 0x2000 + 0x1800), InvalidRegion);
@@ -102,3 +120,107 @@ TEST_P(RegionSweep, ManyDisjointRegionsResolveCorrectly) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, RegionSweep,
                          ::testing::Values(1, 2, 17, 64, 1024));
+
+//===----------------------------------------------------------------------===//
+// Graceful degradation: CAM exhaustion falls back to counted MESI
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A small deterministic workload: mark regions, touch their blocks from
+/// two cores, unmark. Returns the summed latency of every operation.
+Cycles runRegionWorkload(CoherenceController &Ctrl) {
+  const MachineConfig &Config = Ctrl.config();
+  Cycles Total = 0;
+  for (RegionId Id = 0; Id < 8; ++Id) {
+    Addr Start = 0x10000 + Addr(Id) * 0x1000;
+    Total += Ctrl.addRegion(Id, Start, Start + 0x400);
+    for (Addr A = Start; A < Start + 0x400; A += Config.BlockSize) {
+      Total += Ctrl.access(0, A, 8, AccessType::Store);
+      Total += Ctrl.access(1, A + 8, 8, AccessType::Store);
+      Total += Ctrl.access(1, A, 4, AccessType::Load);
+    }
+    Total += Ctrl.removeRegion(Id, 0);
+  }
+  return Total;
+}
+
+} // namespace
+
+TEST(RegionTableFallback, OverflowDegradesToCountedMesiFallback) {
+  MachineConfig Config = MachineConfig::dualSocket();
+  Config.Protocol = ProtocolKind::Warden;
+  FaultPlan Faults;
+  Faults.RegionTableCapacity = 2; // Force exhaustion after two regions.
+  CoherenceController Ctrl(Config, Faults);
+
+  runRegionWorkload(Ctrl);
+  const CoherenceStats &Stats = Ctrl.stats();
+  // Two regions fit at a time and each is removed before the next is
+  // added, so the table never actually fills with this workload shape;
+  // hold two regions open to exhaust it for real.
+  EXPECT_EQ(Stats.RegionOverflows, 0u);
+
+  ASSERT_EQ(Ctrl.addRegion(100, 0x100000, 0x100400), 2u);
+  ASSERT_EQ(Ctrl.addRegion(101, 0x200000, 0x200400), 2u);
+  std::uint64_t Before = Ctrl.stats().RegionFallbacks;
+  // The third concurrent region overflows the CAM: zero cycles, counted,
+  // and its accesses run under plain MESI.
+  EXPECT_EQ(Ctrl.addRegion(102, 0x300000, 0x300400), 0u);
+  EXPECT_EQ(Ctrl.stats().RegionOverflows, 1u);
+  EXPECT_EQ(Ctrl.stats().RegionFallbacks, Before + 1);
+
+  std::uint64_t GrantsBefore = Ctrl.stats().WardGrants;
+  Ctrl.access(0, 0x300000, 8, AccessType::Store);
+  const DirEntry *Entry = Ctrl.directoryEntry(0x300000);
+  ASSERT_NE(Entry, nullptr);
+  EXPECT_EQ(Entry->State, DirState::Modified); // MESI, not Ward.
+  EXPECT_EQ(Ctrl.stats().WardGrants, GrantsBefore);
+
+  // Removing an untracked region is a harmless no-op.
+  EXPECT_EQ(Ctrl.removeRegion(102, 0), 0u);
+}
+
+TEST(RegionTableFallback, MalformedRegionRequestsAreCountedNotFatal) {
+  MachineConfig Config = MachineConfig::singleSocket();
+  Config.Protocol = ProtocolKind::Warden;
+  CoherenceController Ctrl(Config);
+
+  EXPECT_EQ(Ctrl.addRegion(1, 0x2000, 0x2000), 0u); // Empty interval.
+  EXPECT_EQ(Ctrl.addRegion(2, 0x3000, 0x1000), 0u); // Inverted interval.
+  ASSERT_EQ(Ctrl.addRegion(3, 0x4000, 0x5000), 2u);
+  EXPECT_EQ(Ctrl.addRegion(3, 0x8000, 0x9000), 0u); // Duplicate id.
+  EXPECT_EQ(Ctrl.addRegion(4, 0x4800, 0x5800), 0u); // Overlap.
+  EXPECT_EQ(Ctrl.stats().RegionFallbacks, 4u);
+  EXPECT_EQ(Ctrl.stats().RegionOverflows, 0u);
+  EXPECT_EQ(Ctrl.regionTable().size(), 1u);
+}
+
+TEST(RegionTableFallback, ExhaustedTableRunsAreCycleDeterministic) {
+  MachineConfig Config = MachineConfig::dualSocket();
+  Config.Protocol = ProtocolKind::Warden;
+  FaultPlan Faults;
+  Faults.RegionTableCapacity = 0; // Every region falls back to MESI.
+
+  auto Run = [&]() {
+    CoherenceController Ctrl(Config, Faults);
+    Cycles Total = runRegionWorkload(Ctrl);
+    EXPECT_EQ(Ctrl.stats().RegionOverflows, 8u);
+    EXPECT_EQ(Ctrl.stats().RegionFallbacks, 8u);
+    EXPECT_EQ(Ctrl.stats().WardGrants, 0u);
+    return Total;
+  };
+  Cycles First = Run();
+  Cycles Second = Run();
+  EXPECT_EQ(First, Second);
+
+  // And a capacity-0 run costs the same cycles as the same workload under
+  // plain MESI: the fallback path charges nothing extra.
+  CoherenceController Mesi(
+      [&] {
+        MachineConfig C = Config;
+        C.Protocol = ProtocolKind::Mesi;
+        return C;
+      }());
+  EXPECT_EQ(First, runRegionWorkload(Mesi));
+}

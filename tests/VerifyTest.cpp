@@ -1,0 +1,178 @@
+//===- tests/VerifyTest.cpp - protocol auditor and fault injection ------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the verification subsystem itself: the ProtocolAuditor stays
+/// silent on correct executions (both protocols, end to end), catches
+/// deliberately broken protocol variants, never perturbs simulated cycles,
+/// and the fault-injection plans are deterministic and survivable.
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/coherence/CoherenceController.h"
+#include "src/core/WardenSystem.h"
+#include "src/rt/Stdlib.h"
+#include "src/verify/ProtocolAuditor.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+using namespace warden;
+
+namespace {
+
+constexpr Addr BlockA = 0x20000;
+
+TaskGraph recordWorkload() {
+  Runtime Rt{RtOptions()};
+  auto In = stdlib::tabulate<std::uint32_t>(
+      Rt, 4096, [](std::size_t I) { return std::uint32_t(I * 2654435761u); },
+      128);
+  auto Out = stdlib::mapArray<std::uint64_t>(
+      Rt, In, [](std::uint32_t V) { return std::uint64_t(V) % 977; }, 128);
+  std::uint64_t Total = stdlib::sum(Rt, Out, 128);
+  EXPECT_GT(Total, 0u);
+  return Rt.finish();
+}
+
+MachineConfig configFor(ProtocolKind Protocol) {
+  MachineConfig Config = MachineConfig::dualSocket();
+  Config.Protocol = Protocol;
+  return Config;
+}
+
+} // namespace
+
+// --- Clean executions stay clean ------------------------------------------------
+
+class AuditAcrossProtocols : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(AuditAcrossProtocols, EndToEndRunReportsNoViolations) {
+  TaskGraph Graph = recordWorkload();
+  RunOptions Options;
+  Options.Audit = true;
+  RunResult R = WardenSystem::simulate(Graph, configFor(GetParam()), Options);
+  EXPECT_TRUE(R.Audit.Enabled);
+  EXPECT_TRUE(R.Audit.clean()) << (R.Audit.Messages.empty()
+                                       ? std::string("(no messages)")
+                                       : R.Audit.Messages.front());
+  EXPECT_GT(R.Audit.LoadsVerified, 0u);
+  EXPECT_GT(R.Audit.BlocksChecked, 0u);
+}
+
+TEST_P(AuditAcrossProtocols, AuditingDoesNotChangeTiming) {
+  TaskGraph Graph = recordWorkload();
+  RunOptions Plain;
+  RunOptions Audited;
+  Audited.Audit = true;
+  RunResult Off = WardenSystem::simulate(Graph, configFor(GetParam()), Plain);
+  RunResult On = WardenSystem::simulate(Graph, configFor(GetParam()), Audited);
+  EXPECT_EQ(Off.Makespan, On.Makespan);
+  EXPECT_EQ(Off.Coherence.accesses(), On.Coherence.accesses());
+  EXPECT_EQ(Off.Coherence.Invalidations, On.Coherence.Invalidations);
+  EXPECT_EQ(Off.Coherence.Writebacks, On.Coherence.Writebacks);
+  EXPECT_FALSE(Off.Audit.Enabled);
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, AuditAcrossProtocols,
+                         ::testing::Values(ProtocolKind::Mesi,
+                                           ProtocolKind::Warden),
+                         [](const ::testing::TestParamInfo<ProtocolKind> &I) {
+                           return std::string(protocolName(I.param));
+                         });
+
+// --- Broken protocols are caught ------------------------------------------------
+
+namespace {
+
+/// Runs the canonical read-share-then-write sequence that any correct
+/// invalidation-based protocol must resolve with a single writer.
+AuditReport runSharingSequence(ProtocolMutation Mutation) {
+  FaultPlan Faults;
+  Faults.Mutation = Mutation;
+  CoherenceController Ctrl(configFor(ProtocolKind::Mesi), Faults);
+  ProtocolAuditor Auditor(Ctrl);
+  Ctrl.attachAuditor(&Auditor);
+  Ctrl.access(0, BlockA, 8, AccessType::Store); // Core 0 owns dirty.
+  Ctrl.access(1, BlockA, 8, AccessType::Load);  // Fwd-GetS: downgrade.
+  Ctrl.access(2, BlockA, 8, AccessType::Load);  // Share wider.
+  Ctrl.access(0, BlockA, 8, AccessType::Store); // GetM: invalidate 1,2.
+  Ctrl.access(1, BlockA, 8, AccessType::Load);  // Re-read after write.
+  Auditor.checkAll("end of sequence");
+  return Auditor.report();
+}
+
+} // namespace
+
+TEST(AuditMutation, CorrectProtocolPassesTheSequence) {
+  AuditReport R = runSharingSequence(ProtocolMutation::None);
+  EXPECT_TRUE(R.clean()) << R.Messages.front();
+  EXPECT_GT(R.LoadsVerified, 0u);
+}
+
+TEST(AuditMutation, SkipInvalidationOnGetMIsCaught) {
+  AuditReport R = runSharingSequence(ProtocolMutation::SkipInvalidationOnGetM);
+  EXPECT_GT(R.Violations, 0u);
+  ASSERT_FALSE(R.Messages.empty());
+}
+
+TEST(AuditMutation, SkipDowngradeOnFwdGetSIsCaught) {
+  AuditReport R = runSharingSequence(ProtocolMutation::SkipDowngradeOnFwdGetS);
+  EXPECT_GT(R.Violations, 0u);
+  ASSERT_FALSE(R.Messages.empty());
+}
+
+// --- Fault injection ------------------------------------------------------------
+
+TEST(FaultInjection, SameSeedGivesIdenticalRuns) {
+  TaskGraph Graph = recordWorkload();
+  RunOptions Options;
+  Options.Audit = true;
+  Options.Faults.EvictionRate = 5e-3;
+  Options.Faults.ReconcileRate = 5e-3;
+  Options.Faults.Seed = 0xc0ffee;
+  MachineConfig Config = configFor(ProtocolKind::Warden);
+  RunResult A = WardenSystem::simulate(Graph, Config, Options);
+  RunResult B = WardenSystem::simulate(Graph, Config, Options);
+  EXPECT_EQ(A.Makespan, B.Makespan);
+  EXPECT_EQ(A.Coherence.InjectedEvictions, B.Coherence.InjectedEvictions);
+  EXPECT_EQ(A.Coherence.ForcedReconciles, B.Coherence.ForcedReconciles);
+  EXPECT_GT(A.Coherence.InjectedEvictions, 0u);
+  // The protocol must absorb the adversarial schedule without violations.
+  EXPECT_TRUE(A.Audit.clean()) << (A.Audit.Messages.empty()
+                                       ? std::string("(no messages)")
+                                       : A.Audit.Messages.front());
+}
+
+TEST(FaultInjection, ExhaustedRegionTableDegradesGracefully) {
+  TaskGraph Graph = recordWorkload();
+  RunOptions Options;
+  Options.Audit = true;
+  Options.Faults.RegionTableCapacity = 1; // Nearly everything overflows.
+  RunResult R =
+      WardenSystem::simulate(Graph, configFor(ProtocolKind::Warden), Options);
+  EXPECT_GT(R.Coherence.RegionFallbacks, 0u);
+  EXPECT_GT(R.Coherence.RegionOverflows, 0u);
+  EXPECT_TRUE(R.Audit.clean()) << (R.Audit.Messages.empty()
+                                       ? std::string("(no messages)")
+                                       : R.Audit.Messages.front());
+}
+
+// --- Configuration validation gate ----------------------------------------------
+
+TEST(ValidationGate, SimulateRefusesBrokenConfigs) {
+  TaskGraph Graph = recordWorkload();
+  MachineConfig Bad = MachineConfig::dualSocket();
+  Bad.BlockSize = 48;
+  RunOptions Options;
+  EXPECT_THROW(WardenSystem::simulate(Graph, Bad, Options),
+               std::invalid_argument);
+  Bad = MachineConfig::dualSocket();
+  Bad.CoresPerSocket = 0;
+  EXPECT_THROW(WardenSystem::simulate(Graph, Bad, Options),
+               std::invalid_argument);
+}

@@ -1,0 +1,102 @@
+//===- tests/audit/AuditPbbsTest.cpp - audited PBBS suite runs ----------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The heavyweight acceptance gate behind `ctest -L audit`: every PBBS
+/// kernel runs at test scale under both protocols with the ProtocolAuditor
+/// attached, and every run must finish with zero invariant or data-value
+/// violations. A second pass drives a few kernels through the standard
+/// fault-injection plan (randomized evictions, adversarial mid-region
+/// reconciles, a starved region table) and requires the protocol to absorb
+/// the abuse cleanly — degraded performance is fine, violations are not.
+///
+/// These runs are slower than the unit suite, which is why they live in a
+/// separate binary labeled `audit` rather than in warden_tests.
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/core/WardenSystem.h"
+#include "src/pbbs/Pbbs.h"
+
+#include <gtest/gtest.h>
+
+using namespace warden;
+using pbbs::Benchmark;
+using pbbs::Recorded;
+
+namespace {
+
+std::string firstMessage(const AuditReport &Report) {
+  return Report.Messages.empty() ? std::string("(no messages)")
+                                 : Report.Messages.front();
+}
+
+MachineConfig machineFor(ProtocolKind Protocol) {
+  MachineConfig Config = MachineConfig::dualSocket();
+  Config.Protocol = Protocol;
+  return Config;
+}
+
+} // namespace
+
+class AuditedKernel : public ::testing::TestWithParam<Benchmark> {};
+
+TEST_P(AuditedKernel, BothProtocolsRunViolationFree) {
+  const Benchmark &B = GetParam();
+  Recorded R = B.Record(B.TestScale, RtOptions());
+  RunOptions Options;
+  Options.Audit = true;
+  for (ProtocolKind Protocol : {ProtocolKind::Mesi, ProtocolKind::Warden}) {
+    RunResult Result =
+        WardenSystem::simulate(R.Graph, machineFor(Protocol), Options);
+    EXPECT_TRUE(Result.Audit.Enabled);
+    EXPECT_TRUE(Result.Audit.clean())
+        << B.Name << " under " << protocolName(Protocol) << ": "
+        << firstMessage(Result.Audit);
+    EXPECT_GT(Result.Audit.LoadsVerified, 0u) << B.Name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, AuditedKernel, ::testing::ValuesIn(pbbs::allBenchmarks()),
+    [](const ::testing::TestParamInfo<Benchmark> &Info) {
+      std::string Name = Info.param.Name;
+      for (char &C : Name)
+        if (C == '-' || C == '.')
+          C = '_';
+      return Name;
+    });
+
+// --- Fault-plan endurance on a representative subset ----------------------------
+
+class AuditedFaultKernel : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(AuditedFaultKernel, SurvivesFaultPlanWithoutViolations) {
+  const Benchmark *B = pbbs::find(GetParam());
+  ASSERT_NE(B, nullptr);
+  Recorded R = B->Record(B->TestScale, RtOptions());
+  RunOptions Options;
+  Options.Audit = true;
+  Options.Faults.Seed = 0xfa017;
+  Options.Faults.EvictionRate = 2e-3;
+  Options.Faults.ReconcileRate = 2e-3;
+  Options.Faults.RegionTableCapacity = 4;
+  RunResult Result = WardenSystem::simulate(
+      R.Graph, machineFor(ProtocolKind::Warden), Options);
+  EXPECT_TRUE(Result.Audit.clean())
+      << B->Name << ": " << firstMessage(Result.Audit);
+  // The starved region table must show up as counted fallbacks, never as
+  // an assertion or a violation.
+  EXPECT_GT(Result.Coherence.RegionFallbacks +
+                Result.Coherence.WardRegionAccesses,
+            0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Subset, AuditedFaultKernel,
+                         ::testing::Values("fib", "msort", "dedup"),
+                         [](const ::testing::TestParamInfo<const char *> &I) {
+                           return std::string(I.param);
+                         });
