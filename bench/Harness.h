@@ -16,6 +16,7 @@
 
 #include "src/core/WardenSystem.h"
 #include "src/pbbs/Pbbs.h"
+#include "src/support/Json.h"
 #include "src/support/Summary.h"
 #include "src/support/Table.h"
 
@@ -35,38 +36,75 @@ struct SuiteRow {
   ProtocolComparison Cmp;
 };
 
-/// Parses the command-line flags shared by the figure harnesses into
-/// RunOptions:
+/// Everything the shared command line controls: the simulation options
+/// plus the harness-level selection, scaling, and report knobs.
+struct BenchOptions {
+  RunOptions Run;
+  /// Benchmarks to run; empty means the harness's own default selection.
+  std::vector<std::string> Only;
+  /// Multiplier applied to every benchmark's default problem size.
+  double Scale = 1.0;
+  /// When non-empty, write the machine-readable report here.
+  std::string JsonPath;
+};
+
+/// Parses the command-line flags shared by the figure harnesses:
 ///   --audit          attach the ProtocolAuditor to every simulated run
 ///                    (invariant + shadow-value checking; slower, same
 ///                    cycles) and print a violation summary at the end
 ///   --faults[=seed]  enable the standard fault-injection plan (randomized
 ///                    evictions and adversarial mid-region reconciles,
 ///                    SplitMix64-seeded so failures replay)
+///   --only=NAMES     run only the named benchmarks (comma-separated,
+///                    repeatable); names that match nothing fail fast
+///   --scale=X        multiply every benchmark's problem size by X
+///   --json=FILE      also write the warden-bench-v1 JSON report to FILE
 /// Unknown arguments print usage and exit, so a typo cannot silently run
 /// the wrong experiment.
-inline RunOptions parseBenchArgs(int argc, char **argv) {
-  RunOptions Run;
+inline BenchOptions parseBenchArgs(int argc, char **argv) {
+  BenchOptions B;
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
     if (std::strcmp(Arg, "--audit") == 0) {
-      Run.Audit = true;
+      B.Run.Audit = true;
       // Benchmarks touch far more blocks than the unit tests; keep the
       // periodic full sweeps affordable and rely on per-access checks.
-      Run.AuditConfig.SweepInterval = 1u << 20;
+      B.Run.AuditConfig.SweepInterval = 1u << 20;
     } else if (std::strncmp(Arg, "--faults", 8) == 0 &&
                (Arg[8] == '\0' || Arg[8] == '=')) {
-      Run.Faults.EvictionRate = 1e-3;
-      Run.Faults.ReconcileRate = 1e-3;
+      B.Run.Faults.EvictionRate = 1e-3;
+      B.Run.Faults.ReconcileRate = 1e-3;
       if (Arg[8] == '=')
-        Run.Faults.Seed = std::strtoull(Arg + 9, nullptr, 0);
+        B.Run.Faults.Seed = std::strtoull(Arg + 9, nullptr, 0);
+    } else if (std::strncmp(Arg, "--only=", 7) == 0) {
+      const char *Cursor = Arg + 7;
+      while (*Cursor) {
+        const char *Comma = std::strchr(Cursor, ',');
+        std::size_t Len = Comma ? static_cast<std::size_t>(Comma - Cursor)
+                                : std::strlen(Cursor);
+        if (Len > 0)
+          B.Only.emplace_back(Cursor, Len);
+        Cursor += Len + (Comma ? 1 : 0);
+      }
+    } else if (std::strncmp(Arg, "--scale=", 8) == 0) {
+      char *End = nullptr;
+      B.Scale = std::strtod(Arg + 8, &End);
+      if (End == Arg + 8 || *End != '\0' || B.Scale <= 0) {
+        std::fprintf(stderr, "%s: --scale wants a positive number, got %s\n",
+                     argv[0], Arg + 8);
+        std::exit(2);
+      }
+    } else if (std::strncmp(Arg, "--json=", 7) == 0) {
+      B.JsonPath = Arg + 7;
     } else {
-      std::fprintf(stderr, "usage: %s [--audit] [--faults[=seed]]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--audit] [--faults[=seed]] "
+                   "[--only=NAME[,NAME...]] [--scale=X] [--json=FILE]\n",
                    argv[0]);
       std::exit(2);
     }
   }
-  return Run;
+  return B;
 }
 
 /// Records and simulates the whole suite (or \p Only if non-empty).
@@ -93,6 +131,26 @@ runSuite(const MachineConfig &Machine,
     Row.Cmp = WardenSystem::compare(R.Graph, Machine, Run);
     Rows.push_back(std::move(Row));
     std::fflush(stdout);
+  }
+  return Rows;
+}
+
+/// BenchOptions-driven suite run. A --only list from the command line
+/// overrides the harness's own \p DefaultOnly selection; selecting nothing
+/// (e.g. a misspelled --only) is an error, not an empty report.
+inline std::vector<SuiteRow>
+runSuite(const MachineConfig &Machine, const BenchOptions &B,
+         const std::vector<std::string> &DefaultOnly = {},
+         const RtOptions &Options = RtOptions()) {
+  const std::vector<std::string> &Only = B.Only.empty() ? DefaultOnly : B.Only;
+  std::vector<SuiteRow> Rows = runSuite(Machine, Only, Options, B.Scale,
+                                        B.Run);
+  if (Rows.empty()) {
+    std::fprintf(stderr, "error: no benchmarks selected; valid names are:");
+    for (const pbbs::Benchmark &Bm : pbbs::allBenchmarks())
+      std::fprintf(stderr, " %s", Bm.Name);
+    std::fprintf(stderr, "\n");
+    std::exit(1);
   }
   return Rows;
 }
@@ -127,9 +185,15 @@ inline void printAuditSummary(const std::vector<SuiteRow> &Rows) {
         std::printf("  %s: %s\n", Row.Name.c_str(), Message.c_str());
 }
 
-/// Figure 7a/8a/12a style: normalized speedup per benchmark plus MEAN.
+/// Figure 7a/8a/12a style: normalized speedup per benchmark plus MEAN and
+/// (when every speedup is positive) GEOMEAN — the conventional aggregate
+/// for ratios, reported alongside the paper's arithmetic mean.
 inline void printPerformance(const char *Caption,
                              const std::vector<SuiteRow> &Rows) {
+  if (Rows.empty()) {
+    std::fprintf(stderr, "%s: no benchmarks selected\n", Caption);
+    return;
+  }
   Table T;
   T.setHeader({"Benchmark", "MESI cycles", "WARDen cycles", "Speedup",
                "Verified"});
@@ -142,12 +206,19 @@ inline void printPerformance(const char *Caption,
               Table::fmt(S, 2) + "x", Row.Verified ? "yes" : "NO"});
   }
   T.addRow({"MEAN", "-", "-", Table::fmt(Speedups.mean(), 2) + "x", "-"});
+  if (Speedups.allPositive())
+    T.addRow({"GEOMEAN", "-", "-", Table::fmt(Speedups.geomean(), 2) + "x",
+              "-"});
   std::printf("%s\n%s\n", Caption, T.render().c_str());
 }
 
 /// Figure 7b/8b/12b style: percent energy savings per benchmark plus MEAN.
 inline void printEnergy(const char *Caption,
                         const std::vector<SuiteRow> &Rows) {
+  if (Rows.empty()) {
+    std::fprintf(stderr, "%s: no benchmarks selected\n", Caption);
+    return;
+  }
   Table T;
   T.setHeader({"Benchmark", "Interconnect savings", "Total processor savings"});
   Summary Net;
@@ -161,6 +232,133 @@ inline void printEnergy(const char *Caption,
   }
   T.addRow({"MEAN", Table::pct(Net.mean()), Table::pct(TotalEnergy.mean())});
   std::printf("%s\n%s\n", Caption, T.render().c_str());
+}
+
+/// Emits one protocol's run record for the JSON report.
+inline void writeRunJson(JsonWriter &W, const RunResult &R) {
+  W.beginObject();
+  W.member("makespan_cycles", R.Makespan);
+  W.member("instructions", R.Instructions);
+  W.member("ipc", R.ipc());
+  W.member("ward_coverage", R.wardCoverage());
+  W.member("invalidations", R.Coherence.Invalidations);
+  W.member("downgrades", R.Coherence.Downgrades);
+  W.member("interconnect_energy_nj", R.Energy.interconnectNJ());
+  W.member("total_energy_nj", R.Energy.totalProcessorNJ());
+  W.member("peak_regions", R.PeakRegions);
+  W.endObject();
+}
+
+/// Writes the machine-readable report (schema "warden-bench-v1", documented
+/// in README.md): one record per benchmark with the comparison metrics and
+/// both protocols' raw results, plus a MEAN record matching the printed
+/// tables. Returns false (with a message on stderr) if the file cannot be
+/// written.
+inline bool writeJsonReport(const std::string &Path, const char *Experiment,
+                            const MachineConfig &Machine,
+                            const BenchOptions &B,
+                            const std::vector<SuiteRow> &Rows) {
+  JsonWriter W;
+  W.beginObject();
+  W.member("schema", "warden-bench-v1");
+  W.member("experiment", Experiment);
+  W.member("scale", B.Scale);
+  W.key("machine").beginObject();
+  W.member("description", Machine.describe());
+  W.member("sockets", Machine.NumSockets);
+  W.member("cores_per_socket", Machine.CoresPerSocket);
+  W.member("total_cores", Machine.totalCores());
+  W.member("disaggregated", Machine.Disaggregated);
+  W.endObject();
+
+  Summary Speedups, Interconnect, TotalEnergy, IpcImprovement, Coverage;
+  std::uint64_t Violations = 0;
+  bool Audited = false;
+  W.key("benchmarks").beginArray();
+  for (const SuiteRow &Row : Rows) {
+    const ProtocolComparison &Cmp = Row.Cmp;
+    Speedups.add(Cmp.speedup());
+    Interconnect.add(Cmp.interconnectEnergySavings());
+    TotalEnergy.add(Cmp.totalEnergySavings());
+    IpcImprovement.add(Cmp.ipcImprovementPct());
+    Coverage.add(Cmp.Warden.wardCoverage());
+    std::uint64_t RowViolations =
+        Cmp.Mesi.Audit.Violations + Cmp.Warden.Audit.Violations;
+    bool RowAudited = Cmp.Mesi.Audit.Enabled || Cmp.Warden.Audit.Enabled;
+    Violations += RowViolations;
+    Audited |= RowAudited;
+
+    W.beginObject();
+    W.member("name", Row.Name);
+    W.member("verified", Row.Verified);
+    W.member("speedup", Cmp.speedup());
+    W.member("interconnect_energy_savings", Cmp.interconnectEnergySavings());
+    W.member("total_energy_savings", Cmp.totalEnergySavings());
+    W.member("ipc_improvement_pct", Cmp.ipcImprovementPct());
+    W.member("inv_down_avoided_per_kilo_instr",
+             Cmp.invDownReducedPerKiloInstr());
+    W.member("downgrade_share_of_reduction",
+             Cmp.downgradeShareOfReduction());
+    W.member("ward_coverage", Cmp.Warden.wardCoverage());
+    W.key("mesi");
+    writeRunJson(W, Cmp.Mesi);
+    W.key("warden");
+    writeRunJson(W, Cmp.Warden);
+    W.key("audit").beginObject();
+    W.member("enabled", RowAudited);
+    W.member("violations", RowViolations);
+    W.member("clean", RowViolations == 0);
+    W.endObject();
+    W.endObject();
+  }
+  W.endArray();
+
+  W.key("mean").beginObject();
+  W.member("n", static_cast<std::uint64_t>(Rows.size()));
+  if (Rows.empty()) {
+    W.endObject();
+  } else {
+    W.member("speedup", Speedups.mean());
+    W.key("speedup_geomean");
+    if (Speedups.allPositive())
+      W.value(Speedups.geomean());
+    else
+      W.null();
+    W.member("interconnect_energy_savings", Interconnect.mean());
+    W.member("total_energy_savings", TotalEnergy.mean());
+    W.member("ipc_improvement_pct", IpcImprovement.mean());
+    W.member("ward_coverage", Coverage.mean());
+    W.member("audit_verdict", !Audited        ? "not-audited"
+                              : Violations == 0 ? "clean"
+                                                : "violations");
+    W.endObject();
+  }
+  W.endObject();
+
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    std::fprintf(stderr, "error: cannot write JSON report to %s\n",
+                 Path.c_str());
+    return false;
+  }
+  const std::string &Doc = W.str();
+  std::fwrite(Doc.data(), 1, Doc.size(), F);
+  std::fputc('\n', F);
+  std::fclose(F);
+  std::printf("wrote JSON report: %s\n", Path.c_str());
+  return true;
+}
+
+/// Writes the JSON report when --json=FILE was given; exits non-zero on an
+/// unwritable path so CI catches it.
+inline void maybeWriteJsonReport(const char *Experiment,
+                                 const MachineConfig &Machine,
+                                 const BenchOptions &B,
+                                 const std::vector<SuiteRow> &Rows) {
+  if (B.JsonPath.empty())
+    return;
+  if (!writeJsonReport(B.JsonPath, Experiment, Machine, B, Rows))
+    std::exit(1);
 }
 
 } // namespace bench

@@ -17,9 +17,11 @@
 using namespace warden;
 using namespace warden::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOptions B = parseBenchArgs(argc, argv);
+  MachineConfig Machine = MachineConfig::dualSocket();
   std::printf("=== Figure 10: breakdown of avoided events ===\n\n");
-  std::vector<SuiteRow> Rows = runSuite(MachineConfig::dualSocket());
+  std::vector<SuiteRow> Rows = runSuite(Machine, B);
 
   Table T;
   T.setHeader({"Benchmark", "Downgrade reduction %", "Invalidation reduction %",
@@ -32,5 +34,6 @@ int main() {
   std::printf("Figure 10. Percent of the avoided events that are "
               "invalidations vs downgrades.\n%s",
               T.render().c_str());
+  maybeWriteJsonReport("fig10_breakdown", Machine, B, Rows);
   return 0;
 }

@@ -18,9 +18,11 @@
 using namespace warden;
 using namespace warden::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOptions B = parseBenchArgs(argc, argv);
+  MachineConfig Machine = MachineConfig::dualSocket();
   std::printf("=== Figure 11: percentage IPC improvement (dual socket) ===\n\n");
-  std::vector<SuiteRow> Rows = runSuite(MachineConfig::dualSocket());
+  std::vector<SuiteRow> Rows = runSuite(Machine, B);
 
   Table T;
   T.setHeader({"Benchmark", "MESI IPC", "WARDen IPC", "IPC improvement",
@@ -36,5 +38,6 @@ int main() {
   }
   std::printf("Figure 11. Percentage IPC improvement.\n%s",
               T.render().c_str());
+  maybeWriteJsonReport("fig11_ipc", Machine, B, Rows);
   return 0;
 }

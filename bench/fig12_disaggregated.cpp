@@ -19,11 +19,14 @@
 using namespace warden;
 using namespace warden::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOptions B = parseBenchArgs(argc, argv);
+  MachineConfig Machine = MachineConfig::disaggregated();
   std::printf("=== Figure 12: disaggregated (2 nodes, 1 us remote) ===\n\n");
-  std::vector<SuiteRow> Rows = runSuite(
-      MachineConfig::disaggregated(), {"dmm", "grep", "nn", "palindrome"});
+  std::vector<SuiteRow> Rows =
+      runSuite(Machine, B, {"dmm", "grep", "nn", "palindrome"});
   printPerformance("Figure 12(a). Performance (speedup).", Rows);
   printEnergy("Figure 12(b). Energy savings.", Rows);
+  maybeWriteJsonReport("fig12_disaggregated", Machine, B, Rows);
   return 0;
 }

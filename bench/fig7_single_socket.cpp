@@ -18,12 +18,13 @@ using namespace warden;
 using namespace warden::bench;
 
 int main(int argc, char **argv) {
-  RunOptions Run = parseBenchArgs(argc, argv);
+  BenchOptions B = parseBenchArgs(argc, argv);
+  MachineConfig Machine = MachineConfig::singleSocket();
   std::printf("=== Figure 7: single socket (12 cores) ===\n\n");
-  std::vector<SuiteRow> Rows =
-      runSuite(MachineConfig::singleSocket(), {}, RtOptions(), 1.0, Run);
+  std::vector<SuiteRow> Rows = runSuite(Machine, B);
   printPerformance("Figure 7(a). Performance (speedup).", Rows);
   printEnergy("Figure 7(b). Energy savings.", Rows);
   printAuditSummary(Rows);
+  maybeWriteJsonReport("fig7_single_socket", Machine, B, Rows);
   return 0;
 }

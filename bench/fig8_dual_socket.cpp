@@ -18,12 +18,13 @@ using namespace warden;
 using namespace warden::bench;
 
 int main(int argc, char **argv) {
-  RunOptions Run = parseBenchArgs(argc, argv);
+  BenchOptions B = parseBenchArgs(argc, argv);
+  MachineConfig Machine = MachineConfig::dualSocket();
   std::printf("=== Figure 8: dual socket (2 x 12 cores) ===\n\n");
-  std::vector<SuiteRow> Rows =
-      runSuite(MachineConfig::dualSocket(), {}, RtOptions(), 1.0, Run);
+  std::vector<SuiteRow> Rows = runSuite(Machine, B);
   printPerformance("Figure 8(a). Performance (speedup).", Rows);
   printEnergy("Figure 8(b). Energy savings.", Rows);
   printAuditSummary(Rows);
+  maybeWriteJsonReport("fig8_dual_socket", Machine, B, Rows);
   return 0;
 }

@@ -20,9 +20,11 @@
 using namespace warden;
 using namespace warden::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOptions B = parseBenchArgs(argc, argv);
+  MachineConfig Machine = MachineConfig::dualSocket();
   std::printf("=== Figure 9: dual socket speedup vs avoided events ===\n\n");
-  std::vector<SuiteRow> Rows = runSuite(MachineConfig::dualSocket());
+  std::vector<SuiteRow> Rows = runSuite(Machine, B);
 
   Table T;
   T.setHeader({"Benchmark", "Inv+Down avoided/kilo-instr", "Speedup",
@@ -59,5 +61,6 @@ int main() {
   std::printf("\nPearson correlation(avoided events, speedup) = %.2f "
               "(paper: positive)\n",
               Corr);
+  maybeWriteJsonReport("fig9_inv_down", Machine, B, Rows);
   return 0;
 }

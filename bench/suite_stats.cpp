@@ -43,10 +43,10 @@ static void printRun(const char *Name, const RunResult &R) {
 }
 
 int main(int argc, char **argv) {
-  RunOptions Run = parseBenchArgs(argc, argv);
+  BenchOptions B = parseBenchArgs(argc, argv);
+  MachineConfig Machine = MachineConfig::dualSocket();
   std::printf("=== Detailed suite statistics (dual socket) ===\n");
-  std::vector<SuiteRow> Rows =
-      runSuite(MachineConfig::dualSocket(), {}, RtOptions(), 1.0, Run);
+  std::vector<SuiteRow> Rows = runSuite(Machine, B);
   for (const SuiteRow &Row : Rows) {
     std::printf("%s  (speedup %.2fx, verified=%s)\n", Row.Name.c_str(),
                 Row.Cmp.speedup(), Row.Verified ? "yes" : "NO");
@@ -54,5 +54,6 @@ int main(int argc, char **argv) {
     printRun("WARDen", Row.Cmp.Warden);
   }
   printAuditSummary(Rows);
+  maybeWriteJsonReport("suite_stats", Machine, B, Rows);
   return 0;
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Machine-readable benchmark report: builds the Figure 7 harness and runs
+# the full PBBS suite at a reduced scale, writing a warden-bench-v1 JSON
+# document (schema documented in README.md).
+#
+#   scripts/bench.sh [OUTPUT.json]       default output: BENCH_suite.json
+#
+# Environment:
+#   WARDEN_BENCH_SCALE   problem-size multiplier (default 0.25; use 1.0
+#                        for the paper-scale run, ~5s)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_suite.json}"
+SCALE="${WARDEN_BENCH_SCALE:-0.25}"
+
+cmake --preset default
+cmake --build --preset default -j "$(nproc)" --target fig7_single_socket
+
+build/bench/fig7_single_socket --scale="$SCALE" --json="$OUT"
+echo "bench report written to $OUT (scale $SCALE)"

@@ -26,3 +26,14 @@ BUILD_DIR=build
 [[ "$PRESET" == sanitize ]] && BUILD_DIR=build-sanitize
 ctest --test-dir "$BUILD_DIR" -LE audit --output-on-failure -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" -L audit --output-on-failure -j "$(nproc)"
+
+# Benchmark report smoke test (default preset only: the sanitize build
+# reuses the binaries it just verified). Produces BENCH_suite.json and
+# checks that the emitted document actually parses.
+if [[ "$PRESET" == default ]]; then
+  scripts/bench.sh BENCH_suite.json
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool BENCH_suite.json >/dev/null
+    echo "BENCH_suite.json parses as valid JSON"
+  fi
+fi

@@ -6,6 +6,9 @@
 
 #include "src/coherence/CoherenceController.h"
 
+#include "src/obs/ChromeTraceExporter.h"
+#include "src/obs/MetricRegistry.h"
+#include "src/obs/Observability.h"
 #include "src/verify/ProtocolAuditor.h"
 
 #include <cassert>
@@ -48,6 +51,29 @@ CoherenceController::CoherenceController(const MachineConfig &Config,
   Llc.reserve(Config.NumSockets);
   for (unsigned I = 0; I < Config.NumSockets; ++I)
     Llc.emplace_back(LlcGeometry);
+}
+
+void CoherenceController::attachObs(Observability *NewObs) {
+  Obs = NewObs;
+  MetricRegistry *Registry = Obs ? Obs->Metrics : nullptr;
+  LoadLatencyHist =
+      Registry ? &Registry->histogram("coherence.load_latency_cycles")
+               : nullptr;
+  StoreLatencyHist =
+      Registry ? &Registry->histogram("coherence.store_latency_cycles")
+               : nullptr;
+  RmwLatencyHist =
+      Registry ? &Registry->histogram("coherence.rmw_latency_cycles")
+               : nullptr;
+  RegionLifetimeHist =
+      Registry ? &Registry->histogram("ward.region_lifetime_cycles")
+               : nullptr;
+  Regions.attachMetrics(Registry);
+  for (PrivateCache &Cache : Private)
+    Cache.attachMetrics(Registry);
+  if (Obs && Obs->Trace)
+    Obs->Trace->setCoreCount(Config.totalCores());
+  RegionAddedAt.clear();
 }
 
 SocketId CoherenceController::homeOf(Addr Block, CoreId Requester) {
@@ -216,6 +242,19 @@ Cycles CoherenceController::access(CoreId Core, Addr Address, unsigned Size,
   }
   if (Faults.EvictionRate > 0.0 || Faults.ReconcileRate > 0.0)
     injectFaults(Core, Address & ~(Addr(Config.BlockSize) - 1));
+  if (LoadLatencyHist) {
+    switch (Type) {
+    case AccessType::Load:
+      LoadLatencyHist->record(Total);
+      break;
+    case AccessType::Store:
+      StoreLatencyHist->record(Total);
+      break;
+    case AccessType::Rmw:
+      RmwLatencyHist->record(Total);
+      break;
+    }
+  }
   return Total;
 }
 
@@ -231,6 +270,9 @@ void CoherenceController::injectFaults(CoreId Core, Addr Block) {
     auto It = Dir.find(Block);
     if (It != Dir.end() && It->second.State == DirState::Ward) {
       ++Stats.ForcedReconciles;
+      if (Obs && Obs->Trace)
+        Obs->Trace->instant("fault: forced reconcile",
+                            Obs->Trace->directoryTid(), Obs->Now);
       reconcileBlock(Block, It->second);
     }
   }
@@ -248,6 +290,8 @@ void CoherenceController::injectEviction(CoreId Core) {
   std::optional<EvictedLine> Old = Private[Core].invalidate(Victim);
   assert(Old && "resident line vanished");
   ++Stats.InjectedEvictions;
+  if (Obs && Obs->Trace)
+    Obs->Trace->instant("fault: injected eviction", Core, Obs->Now);
   handleEviction(Core, *Old);
 }
 
@@ -543,11 +587,17 @@ Cycles CoherenceController::addRegion(RegionId Id, Addr Start, Addr End) {
     // Graceful degradation: an untracked region's blocks simply stay under
     // plain MESI, which is always correct (just slower). Rejections charge
     // no cycles so a fault-injected run stays comparable to the clean one.
-    if (Result == RegionTable::AddResult::Full)
+    if (Result == RegionTable::AddResult::Full) {
       ++Stats.RegionOverflows;
+      if (Obs && Obs->Trace)
+        Obs->Trace->instant("region overflow", Obs->Trace->directoryTid(),
+                            Obs->Now);
+    }
     ++Stats.RegionFallbacks;
     return 0;
   }
+  if (RegionLifetimeHist)
+    RegionAddedAt.emplace(Id, Obs->Now);
   // The "Add Region" instruction itself (Section 6.1: two new instructions
   // with minimal impact). The baseline MESI binary does not execute it.
   return Config.Protocol == ProtocolKind::Warden ? 2 : 0;
@@ -558,10 +608,17 @@ Cycles CoherenceController::removeRegion(RegionId Id, CoreId Remover) {
   std::optional<WardRegion> Region = Regions.remove(Id);
   if (!Region)
     return 0; // Never tracked (table overflow): nothing to reconcile.
+  if (RegionLifetimeHist) {
+    auto AddedIt = RegionAddedAt.find(Id);
+    if (AddedIt != RegionAddedAt.end()) {
+      RegionLifetimeHist->record(Obs->Now - AddedIt->second);
+      RegionAddedAt.erase(AddedIt);
+    }
+  }
   if (Config.Protocol != ProtocolKind::Warden)
     return 0;
-
-  (void)Remover;
+  if (Obs && Obs->Trace)
+    Obs->Trace->instant("reconcile", Remover, Obs->Now);
   Cycles Cost = 2; // The "Remove Region" instruction.
   for (Addr Block = Region->Start; Block < Region->End;
        Block += Config.BlockSize) {

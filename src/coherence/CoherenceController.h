@@ -49,7 +49,9 @@
 
 namespace warden {
 
+class Histogram;
 class ProtocolAuditor;
+struct Observability;
 
 /// Kind of demand access.
 enum class AccessType {
@@ -73,6 +75,14 @@ public:
   /// every state transition. The auditor only reads through const
   /// interfaces, so attaching one never changes timing or statistics.
   void attachAuditor(ProtocolAuditor *NewAuditor) { Auditor = NewAuditor; }
+
+  /// Attaches (or detaches, with nullptr) observability sinks: demand
+  /// latency and WARD-region-lifetime histograms into the metric registry,
+  /// instant trace events for reconciles, region overflows, and injected
+  /// faults. Same contract as the auditor: recording only, cycle-identical
+  /// either way. Timestamps come from Observability::Now, which the replay
+  /// scheduler keeps at the acting core's clock.
+  void attachObs(Observability *NewObs);
 
   /// Performs a demand access of \p Size bytes at \p Address by \p Core and
   /// returns its latency. Accesses spanning block boundaries are split and
@@ -168,6 +178,15 @@ private:
   FaultPlan Faults;
   Rng FaultRng;             ///< Private stream; replayable from Faults.Seed.
   ProtocolAuditor *Auditor = nullptr; ///< Optional observer; not owned.
+
+  // --- Observability (optional; all null when detached) ---------------------
+  Observability *Obs = nullptr; ///< Not owned.
+  Histogram *LoadLatencyHist = nullptr;
+  Histogram *StoreLatencyHist = nullptr;
+  Histogram *RmwLatencyHist = nullptr;
+  Histogram *RegionLifetimeHist = nullptr;
+  /// RegionId -> Observability::Now at addRegion, for lifetime histograms.
+  std::unordered_map<RegionId, Cycles> RegionAddedAt;
 };
 
 } // namespace warden

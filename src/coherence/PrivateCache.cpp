@@ -6,6 +6,8 @@
 
 #include "src/coherence/PrivateCache.h"
 
+#include "src/obs/MetricRegistry.h"
+
 #include <cassert>
 
 using namespace warden;
@@ -13,6 +15,13 @@ using namespace warden;
 PrivateCache::PrivateCache(const CacheGeometry &L1Geometry,
                            const CacheGeometry &L2Geometry)
     : L1(L1Geometry), L2(L2Geometry) {}
+
+void PrivateCache::attachMetrics(MetricRegistry *Registry) {
+  FillCounter =
+      Registry ? &Registry->counter("cache.private_fills") : nullptr;
+  EvictionCounter =
+      Registry ? &Registry->counter("cache.private_evictions") : nullptr;
+}
 
 unsigned PrivateCache::hitLevel(Addr Block) {
   if (L1.lookup(Block)) {
@@ -41,6 +50,10 @@ std::optional<EvictedLine> PrivateCache::fill(Addr Block, LineState State) {
   if (Victim)
     L1.invalidate(Victim->Block); // Preserve inclusion.
   L1.insert(Block, LineState::Shared);
+  if (FillCounter)
+    FillCounter->add();
+  if (Victim && EvictionCounter)
+    EvictionCounter->add();
   return Victim;
 }
 

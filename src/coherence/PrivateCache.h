@@ -24,11 +24,19 @@
 
 namespace warden {
 
+class Counter;
+class MetricRegistry;
+
 /// One core's private L1+L2.
 class PrivateCache {
 public:
   PrivateCache(const CacheGeometry &L1Geometry,
                const CacheGeometry &L2Geometry);
+
+  /// Attaches (or with nullptr detaches) a metric registry; fills and
+  /// capacity evictions are then counted machine-wide. Recording only —
+  /// never changes replacement or state decisions.
+  void attachMetrics(MetricRegistry *Registry);
 
   /// Probes for \p Block, updating recency. Returns 1 for an L1 hit, 2 for
   /// an L2 hit (the L1 is refilled from the L2 as a side effect), or 0 for
@@ -66,6 +74,8 @@ public:
 private:
   CacheArray L1;
   CacheArray L2;
+  Counter *FillCounter = nullptr;     ///< Not owned; null when detached.
+  Counter *EvictionCounter = nullptr;
 };
 
 } // namespace warden

@@ -6,17 +6,31 @@
 
 #include "src/coherence/RegionTable.h"
 
+#include "src/obs/MetricRegistry.h"
+
 #include <cassert>
 
 using namespace warden;
+
+void RegionTable::attachMetrics(MetricRegistry *Registry) {
+  OccupancyGauge =
+      Registry ? &Registry->gauge("region_table.occupancy") : nullptr;
+  OverflowCounter =
+      Registry ? &Registry->counter("region_table.overflows") : nullptr;
+  if (OccupancyGauge)
+    OccupancyGauge->set(size());
+}
 
 RegionTable::AddResult RegionTable::add(RegionId Id, Addr Start, Addr End) {
   if (Start >= End)
     return AddResult::BadInterval;
   if (ById.count(Id))
     return AddResult::DuplicateId;
-  if (full())
+  if (full()) {
+    if (OverflowCounter)
+      OverflowCounter->add();
     return AddResult::Full;
+  }
 
   // Reject overlap with the nearest neighbours.
   auto Next = ByStart.lower_bound(Start);
@@ -31,6 +45,8 @@ RegionTable::AddResult RegionTable::add(RegionId Id, Addr Start, Addr End) {
   ByStart.emplace(Start, std::make_pair(End, Id));
   ById.emplace(Id, Start);
   Peak = std::max(Peak, size());
+  if (OccupancyGauge)
+    OccupancyGauge->set(size());
   return AddResult::Added;
 }
 
@@ -43,6 +59,8 @@ std::optional<WardRegion> RegionTable::remove(RegionId Id) {
   WardRegion Region{StartIt->first, StartIt->second.first};
   ByStart.erase(StartIt);
   ById.erase(It);
+  if (OccupancyGauge)
+    OccupancyGauge->set(size());
   return Region;
 }
 

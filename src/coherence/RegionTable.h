@@ -30,6 +30,10 @@
 
 namespace warden {
 
+class Counter;
+class Gauge;
+class MetricRegistry;
+
 /// A half-open address interval with the WARD property.
 struct WardRegion {
   Addr Start = 0;
@@ -80,9 +84,16 @@ public:
   /// High-water mark of simultaneously active regions, for sizing studies.
   unsigned peakOccupancy() const { return Peak; }
 
+  /// Attaches (or with nullptr detaches) a metric registry; the table then
+  /// maintains an occupancy gauge and an overflow counter. Pure recording —
+  /// attached and detached tables behave identically.
+  void attachMetrics(MetricRegistry *Registry);
+
 private:
   unsigned Capacity;
   unsigned Peak = 0;
+  Gauge *OccupancyGauge = nullptr; ///< Not owned; null when detached.
+  Counter *OverflowCounter = nullptr;
   /// Start address -> (end, id); non-overlapping intervals.
   std::map<Addr, std::pair<Addr, RegionId>> ByStart;
   std::unordered_map<RegionId, Addr> ById; ///< Id -> start address.

@@ -7,6 +7,7 @@
 #include "src/core/WardenSystem.h"
 
 #include "src/coherence/CoherenceController.h"
+#include "src/obs/Observability.h"
 
 #include <algorithm>
 #include <cassert>
@@ -53,7 +54,11 @@ RunResult WardenSystem::simulate(const TaskGraph &Graph,
                                                 Options.AuditConfig);
     Controller.attachAuditor(Auditor.get());
   }
+  if (Options.Obs)
+    Controller.attachObs(Options.Obs);
   Replayer Replay(Graph, Controller, Options.Seed);
+  if (Options.Obs)
+    Replay.attachObs(Options.Obs);
   ReplayResult Timing = Replay.run();
 
   RunResult Result;
@@ -64,6 +69,8 @@ RunResult WardenSystem::simulate(const TaskGraph &Graph,
     Auditor->checkAll("end of run");
     Result.Audit = Auditor->report();
   }
+  if (Options.Obs && Options.Obs->Metrics)
+    Result.Metrics = Options.Obs->Metrics->report();
   Controller.drainDirtyData();
   Result.Protocol = Config.Protocol;
   Result.Makespan = Timing.Makespan;
@@ -108,6 +115,10 @@ RunResult WardenSystem::simulateMedian(const TaskGraph &Graph,
   for (unsigned I = 0; I < Options.Repeats; ++I) {
     RunOptions OneRun = Options;
     OneRun.Seed = Options.Seed + 0x1111ULL * I;
+    // Observability follows the first repeat only: the sampler and trace
+    // then describe one deterministic run instead of mixing seeds.
+    if (I != 0)
+      OneRun.Obs = nullptr;
     Runs.push_back(simulate(Graph, Config, OneRun));
   }
   std::vector<std::size_t> Order(Runs.size());
@@ -131,6 +142,8 @@ RunResult WardenSystem::simulateMedian(const TaskGraph &Graph,
       Median.Audit.Messages.push_back(Message);
     }
   }
+  if (Options.Obs)
+    Median.Metrics = Runs[0].Metrics;
   return Median;
 }
 

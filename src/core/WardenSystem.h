@@ -18,6 +18,7 @@
 #include "src/coherence/CoherenceStats.h"
 #include "src/machine/EnergyModel.h"
 #include "src/machine/MachineConfig.h"
+#include "src/obs/MetricRegistry.h"
 #include "src/rt/Runtime.h"
 #include "src/sched/Replay.h"
 #include "src/trace/TaskGraph.h"
@@ -27,6 +28,8 @@
 #include <functional>
 
 namespace warden {
+
+struct Observability;
 
 /// Knobs of one timed simulation beyond the machine itself: the scheduler
 /// seed, the repeat count for median runs, the protocol auditor, and the
@@ -44,6 +47,14 @@ struct RunOptions {
   AuditOptions AuditConfig;
   /// Deterministic fault injection; the default plan injects nothing.
   FaultPlan Faults;
+  /// Optional observability sinks (metric registry, timeline sampler,
+  /// Chrome-trace exporter), attached to both the controller and the
+  /// replayer for the duration of the run. Recording only: an attached run
+  /// is cycle-identical to a detached one. simulateMedian() attaches the
+  /// bundle to the *first* repeat only, so the sampler and trace describe a
+  /// single deterministic run rather than an interleaving of seeds; the
+  /// registry report from that repeat is copied into the median result.
+  Observability *Obs = nullptr;
 };
 
 /// Complete outcome of one timed simulation.
@@ -59,6 +70,10 @@ struct RunResult {
   /// otherwise). For median runs, violation counts and messages are merged
   /// across every repeat so no detection is lost to median selection.
   AuditReport Audit;
+  /// Snapshot of the metric registry at end of run when RunOptions::Obs
+  /// carried one (Enabled == false otherwise). For median runs this is the
+  /// first repeat's snapshot — the run the sampler and trace observed.
+  MetricsReport Metrics;
 
   /// Aggregate instructions-per-cycle over the whole machine run.
   double ipc() const {

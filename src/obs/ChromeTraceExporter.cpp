@@ -1,0 +1,102 @@
+//===- obs/ChromeTraceExporter.cpp - Perfetto trace-event export ----------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/obs/ChromeTraceExporter.h"
+
+#include "src/support/Json.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace warden;
+
+void ChromeTraceExporter::taskSpan(CoreId Core, StrandId Strand, Cycles Start,
+                                   Cycles End) {
+  setCoreCount(Core + 1);
+  Spans.push_back({Core, Strand, Start, std::max(Start, End)});
+}
+
+void ChromeTraceExporter::instant(std::string Name, unsigned Tid, Cycles At) {
+  Instants.push_back({std::move(Name), Tid, At});
+}
+
+std::string ChromeTraceExporter::render() const {
+  // Merge spans and instants into one ts-sorted event list. Stable sort
+  // keeps same-timestamp events in recording order, which is already
+  // causal.
+  struct Ref {
+    Cycles Ts;
+    bool IsSpan;
+    std::size_t Index;
+  };
+  std::vector<Ref> Order;
+  Order.reserve(Spans.size() + Instants.size());
+  for (std::size_t I = 0; I < Spans.size(); ++I)
+    Order.push_back({Spans[I].Start, true, I});
+  for (std::size_t I = 0; I < Instants.size(); ++I)
+    Order.push_back({Instants[I].At, false, I});
+  std::stable_sort(Order.begin(), Order.end(),
+                   [](const Ref &A, const Ref &B) { return A.Ts < B.Ts; });
+
+  JsonWriter W;
+  W.beginObject();
+  W.member("displayTimeUnit", "ns");
+  W.key("traceEvents").beginArray();
+
+  // Track-naming metadata first (ts 0, so sorting is unaffected).
+  auto Meta = [&](unsigned Tid, const std::string &Label) {
+    W.beginObject();
+    W.member("name", "thread_name");
+    W.member("ph", "M");
+    W.member("pid", 0u);
+    W.member("tid", Tid);
+    W.member("ts", std::uint64_t(0));
+    W.key("args").beginObject().member("name", Label).endObject();
+    W.endObject();
+  };
+  for (unsigned Core = 0; Core < CoreCount; ++Core)
+    Meta(Core, "core " + std::to_string(Core));
+  if (!Instants.empty())
+    Meta(directoryTid(), "directory");
+
+  for (const Ref &R : Order) {
+    W.beginObject();
+    if (R.IsSpan) {
+      const Span &S = Spans[R.Index];
+      W.member("name", "strand " + std::to_string(S.Strand));
+      W.member("cat", "task");
+      W.member("ph", "X");
+      W.member("ts", S.Start);
+      W.member("dur", S.End - S.Start);
+      W.member("pid", 0u);
+      W.member("tid", S.Core);
+      W.key("args").beginObject().member("strand", S.Strand).endObject();
+    } else {
+      const Instant &I = Instants[R.Index];
+      W.member("name", I.Name);
+      W.member("cat", "coherence");
+      W.member("ph", "i");
+      W.member("s", "t"); // Thread-scoped instant.
+      W.member("ts", I.At);
+      W.member("pid", 0u);
+      W.member("tid", I.Tid);
+    }
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.str();
+}
+
+bool ChromeTraceExporter::writeFile(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::string Doc = render();
+  bool Ok = std::fwrite(Doc.data(), 1, Doc.size(), F) == Doc.size();
+  Ok &= std::fclose(F) == 0;
+  return Ok;
+}

@@ -1,0 +1,77 @@
+//===- obs/ChromeTraceExporter.h - Perfetto trace-event export -*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Records a replayed execution as Chrome Trace Event JSON, loadable in
+/// Perfetto (ui.perfetto.dev) or chrome://tracing. Each simulated core is
+/// one track carrying complete ("ph":"X") spans for the strands it
+/// executed; directory-side happenings — WARD reconciles, region-table
+/// overflows, injected faults — land as instant ("ph":"i") events on a
+/// dedicated "directory" track. Timestamps are simulated cycles; render()
+/// sorts events so the ts sequence is monotonic, which some consumers
+/// require.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_OBS_CHROMETRACEEXPORTER_H
+#define WARDEN_OBS_CHROMETRACEEXPORTER_H
+
+#include "src/support/Types.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace warden {
+
+/// Collects spans and instants during a run; render() emits the document.
+class ChromeTraceExporter {
+public:
+  /// Declares the simulated core count, so every core gets a named track
+  /// (and the directory track lands after the last core).
+  void setCoreCount(unsigned Cores) { CoreCount = std::max(CoreCount, Cores); }
+  unsigned coreCount() const { return CoreCount; }
+
+  /// Track id used for directory-side instant events.
+  unsigned directoryTid() const { return CoreCount; }
+
+  /// Core \p Core executed strand \p Strand over [\p Start, \p End].
+  void taskSpan(CoreId Core, StrandId Strand, Cycles Start, Cycles End);
+
+  /// A point event named \p Name on track \p Tid at time \p At.
+  void instant(std::string Name, unsigned Tid, Cycles At);
+
+  std::size_t spanCount() const { return Spans.size(); }
+  std::size_t instantCount() const { return Instants.size(); }
+
+  /// Renders the whole trace as a Trace Event JSON document (an object with
+  /// a "traceEvents" array, timestamps sorted ascending).
+  std::string render() const;
+
+  /// Writes render() to \p Path; returns false on I/O failure.
+  bool writeFile(const std::string &Path) const;
+
+private:
+  struct Span {
+    CoreId Core;
+    StrandId Strand;
+    Cycles Start;
+    Cycles End;
+  };
+  struct Instant {
+    std::string Name;
+    unsigned Tid;
+    Cycles At;
+  };
+
+  unsigned CoreCount = 0;
+  std::vector<Span> Spans;
+  std::vector<Instant> Instants;
+};
+
+} // namespace warden
+
+#endif // WARDEN_OBS_CHROMETRACEEXPORTER_H

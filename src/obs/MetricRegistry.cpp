@@ -1,0 +1,88 @@
+//===- obs/MetricRegistry.cpp - Named counters/gauges/histograms ----------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/obs/MetricRegistry.h"
+
+#include "src/support/Json.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace warden;
+
+std::uint64_t Histogram::percentile(double P) const {
+  if (N == 0)
+    return 0;
+  double Clamped = std::clamp(P, 0.0, 100.0);
+  auto Rank = static_cast<std::uint64_t>(
+      std::ceil(Clamped / 100.0 * static_cast<double>(N)));
+  Rank = std::clamp<std::uint64_t>(Rank, 1, N);
+  std::uint64_t Cumulative = 0;
+  for (unsigned I = 0; I < BucketCount; ++I) {
+    Cumulative += Buckets[I];
+    if (Cumulative >= Rank)
+      return std::min(bucketHigh(I), MaxSeen);
+  }
+  return MaxSeen;
+}
+
+MetricsReport MetricRegistry::report() const {
+  MetricsReport R;
+  R.Enabled = true;
+  for (const auto &[Name, C] : Counters)
+    R.Counters.emplace_back(Name, C.value());
+  for (const auto &[Name, G] : Gauges)
+    R.Gauges.emplace_back(Name, G.value());
+  for (const auto &[Name, H] : Histograms) {
+    HistogramSnapshot S;
+    S.Name = Name;
+    S.Count = H.count();
+    S.Sum = H.sum();
+    S.Min = H.min();
+    S.Max = H.max();
+    S.Mean = H.mean();
+    S.P50 = H.percentile(50);
+    S.P90 = H.percentile(90);
+    S.P99 = H.percentile(99);
+    for (unsigned I = 0; I < Histogram::BucketCount; ++I)
+      if (H.bucket(I) != 0)
+        S.Buckets.emplace_back(Histogram::bucketLow(I), H.bucket(I));
+    R.Histograms.push_back(std::move(S));
+  }
+  return R;
+}
+
+void MetricsReport::writeJson(JsonWriter &W) const {
+  W.beginObject();
+  W.member("enabled", Enabled);
+  W.key("counters").beginObject();
+  for (const auto &[Name, Value] : Counters)
+    W.member(Name, Value);
+  W.endObject();
+  W.key("gauges").beginObject();
+  for (const auto &[Name, Value] : Gauges)
+    W.member(Name, Value);
+  W.endObject();
+  W.key("histograms").beginObject();
+  for (const HistogramSnapshot &H : Histograms) {
+    W.key(H.Name).beginObject();
+    W.member("count", H.Count);
+    W.member("sum", H.Sum);
+    W.member("min", H.Min);
+    W.member("max", H.Max);
+    W.member("mean", H.Mean);
+    W.member("p50", H.P50);
+    W.member("p90", H.P90);
+    W.member("p99", H.P99);
+    W.key("buckets").beginArray();
+    for (const auto &[Low, Count] : H.Buckets)
+      W.beginObject().member("ge", Low).member("count", Count).endObject();
+    W.endArray();
+    W.endObject();
+  }
+  W.endObject();
+  W.endObject();
+}

@@ -1,0 +1,167 @@
+//===- obs/MetricRegistry.h - Named counters/gauges/histograms -*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metric store of the observability subsystem: named counters, gauges,
+/// and log2-bucketed histograms that simulator components update through
+/// cached instrument pointers. The registry follows the ProtocolAuditor's
+/// zero-perturbation contract — instruments only record what the simulator
+/// already computed, a detached registry costs one null check per hook, and
+/// an attached run is cycle-identical to a detached one (asserted by
+/// tests/ObsTest.cpp).
+///
+/// Instrument references returned by the registry are stable for the
+/// registry's lifetime (node-based storage), so components resolve their
+/// instruments once at attach time and update through raw pointers on the
+/// hot path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_OBS_METRICREGISTRY_H
+#define WARDEN_OBS_METRICREGISTRY_H
+
+#include "src/support/Types.h"
+
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace warden {
+
+class JsonWriter;
+
+/// Monotonically increasing event count.
+class Counter {
+public:
+  void add(std::uint64_t Delta = 1) { Value += Delta; }
+  std::uint64_t value() const { return Value; }
+
+private:
+  std::uint64_t Value = 0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+public:
+  void set(double V) { Value = V; }
+  double value() const { return Value; }
+
+private:
+  double Value = 0;
+};
+
+/// Log2-bucketed histogram of unsigned samples. Bucket 0 holds exactly the
+/// value 0; bucket i (i >= 1) holds [2^(i-1), 2^i - 1]. 65 buckets cover
+/// the full std::uint64_t range, so record() never saturates or drops.
+class Histogram {
+public:
+  static constexpr unsigned BucketCount = 65;
+
+  /// Bucket index of \p Value (== bit width of the value).
+  static unsigned bucketFor(std::uint64_t Value) {
+    return static_cast<unsigned>(std::bit_width(Value));
+  }
+
+  /// Smallest value bucket \p I holds.
+  static std::uint64_t bucketLow(unsigned I) {
+    return I == 0 ? 0 : std::uint64_t(1) << (I - 1);
+  }
+
+  /// Largest value bucket \p I holds (inclusive).
+  static std::uint64_t bucketHigh(unsigned I) {
+    if (I == 0)
+      return 0;
+    if (I >= 64)
+      return ~std::uint64_t(0);
+    return (std::uint64_t(1) << I) - 1;
+  }
+
+  void record(std::uint64_t Value) {
+    ++Buckets[bucketFor(Value)];
+    ++N;
+    Total += Value;
+    if (N == 1 || Value < MinSeen)
+      MinSeen = Value;
+    if (Value > MaxSeen)
+      MaxSeen = Value;
+  }
+
+  std::uint64_t count() const { return N; }
+  std::uint64_t sum() const { return Total; }
+  std::uint64_t min() const { return MinSeen; }
+  std::uint64_t max() const { return MaxSeen; }
+  double mean() const {
+    return N == 0 ? 0.0
+                  : static_cast<double>(Total) / static_cast<double>(N);
+  }
+  std::uint64_t bucket(unsigned I) const { return Buckets[I]; }
+
+  /// Upper-bound estimate of the \p P-th percentile (0..100): the inclusive
+  /// upper edge of the bucket holding the rank-ceil(P/100*N) sample,
+  /// clamped to the observed maximum. Returns 0 on an empty histogram.
+  std::uint64_t percentile(double P) const;
+
+private:
+  std::uint64_t Buckets[BucketCount] = {};
+  std::uint64_t N = 0;
+  std::uint64_t Total = 0;
+  std::uint64_t MinSeen = 0;
+  std::uint64_t MaxSeen = 0;
+};
+
+/// Point-in-time summary of one histogram, carried into RunResult.
+struct HistogramSnapshot {
+  std::string Name;
+  std::uint64_t Count = 0;
+  std::uint64_t Sum = 0;
+  std::uint64_t Min = 0;
+  std::uint64_t Max = 0;
+  double Mean = 0;
+  std::uint64_t P50 = 0;
+  std::uint64_t P90 = 0;
+  std::uint64_t P99 = 0;
+  /// (inclusive bucket lower bound, count) for every non-empty bucket.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> Buckets;
+};
+
+/// Point-in-time snapshot of a whole registry; the `Metrics` member of
+/// RunResult. Cheap value semantics so median selection can copy it.
+struct MetricsReport {
+  bool Enabled = false;
+  std::vector<std::pair<std::string, std::uint64_t>> Counters;
+  std::vector<std::pair<std::string, double>> Gauges;
+  std::vector<HistogramSnapshot> Histograms;
+
+  /// Emits the report as one JSON object onto \p W.
+  void writeJson(JsonWriter &W) const;
+};
+
+/// Registry of named instruments. Lookup is by full dotted name (e.g.
+/// "coherence.load_latency_cycles"); the first lookup creates the
+/// instrument, later lookups return the same stable reference.
+class MetricRegistry {
+public:
+  Counter &counter(const std::string &Name) { return Counters[Name]; }
+  Gauge &gauge(const std::string &Name) { return Gauges[Name]; }
+  Histogram &histogram(const std::string &Name) { return Histograms[Name]; }
+
+  /// Snapshots every instrument, sorted by name.
+  MetricsReport report() const;
+
+private:
+  // std::map: node-based, so instrument addresses are stable and report
+  // iteration is deterministically name-ordered.
+  std::map<std::string, Counter> Counters;
+  std::map<std::string, Gauge> Gauges;
+  std::map<std::string, Histogram> Histograms;
+};
+
+} // namespace warden
+
+#endif // WARDEN_OBS_METRICREGISTRY_H

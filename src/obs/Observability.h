@@ -1,0 +1,47 @@
+//===- obs/Observability.h - Attachable observability bundle --*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bundle of observability sinks a simulation can carry: a metric
+/// registry, a timeline sampler, and a Chrome-trace recorder, any subset of
+/// which may be attached. RunOptions::Obs points at one of these; the
+/// replay scheduler and the coherence controller feed whichever sinks are
+/// present. All sinks are passive recorders, so the zero-perturbation
+/// contract of the ProtocolAuditor holds here too: detached costs a null
+/// check per hook, attached runs are cycle-identical (tests assert this).
+///
+/// `Now` is the simulated timestamp of the acting core, maintained by the
+/// replay scheduler as it advances cores; the coherence controller — which
+/// has no clock of its own — reads it to timestamp instant events and WARD
+/// region lifetimes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_OBS_OBSERVABILITY_H
+#define WARDEN_OBS_OBSERVABILITY_H
+
+#include "src/support/Types.h"
+
+namespace warden {
+
+class MetricRegistry;
+class TimelineSampler;
+class ChromeTraceExporter;
+
+/// Observability sinks for one simulation. Not owned by the simulator; the
+/// caller keeps the instruments and reads them after the run.
+struct Observability {
+  MetricRegistry *Metrics = nullptr;
+  TimelineSampler *Sampler = nullptr;
+  ChromeTraceExporter *Trace = nullptr;
+
+  /// Simulated time of the core currently being advanced (replayer-owned).
+  Cycles Now = 0;
+};
+
+} // namespace warden
+
+#endif // WARDEN_OBS_OBSERVABILITY_H

@@ -1,0 +1,62 @@
+//===- obs/TimelineSampler.cpp - Periodic time-series snapshots -----------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/obs/TimelineSampler.h"
+
+#include "src/support/Json.h"
+
+#include <algorithm>
+
+using namespace warden;
+
+void TimelineSampler::capture(Cycles At, const TimelineInputs &In) {
+  Cycles Window = At - LastCycle;
+  TimelineSample S;
+  S.Cycle = At;
+  S.RegionOccupancy = In.RegionOccupancy;
+  if (Window > 0) {
+    auto Span = static_cast<double>(Window);
+    S.Ipc = static_cast<double>(In.Instructions - LastInstructions) / Span;
+    S.InvPerKCycle =
+        1000.0 * static_cast<double>(In.Invalidations - LastInvalidations) /
+        Span;
+    S.DownPerKCycle =
+        1000.0 * static_cast<double>(In.Downgrades - LastDowngrades) / Span;
+    if (In.BusyCycles && !In.BusyCycles->empty()) {
+      std::uint64_t BusySum = 0;
+      for (Cycles Busy : *In.BusyCycles)
+        BusySum += Busy;
+      S.BusyFraction =
+          static_cast<double>(BusySum - LastBusySum) /
+          (Span * static_cast<double>(In.BusyCycles->size()));
+      // Busy deltas are attributed at strand-step granularity, so a window
+      // boundary mid-step can momentarily exceed the wall window; clamp.
+      S.BusyFraction = std::clamp(S.BusyFraction, 0.0, 1.0);
+      LastBusySum = BusySum;
+    }
+  }
+  Samples.push_back(S);
+  LastCycle = At;
+  LastInstructions = In.Instructions;
+  LastInvalidations = In.Invalidations;
+  LastDowngrades = In.Downgrades;
+  NextSample = (At / Interval + 1) * Interval;
+}
+
+void TimelineSampler::writeJson(JsonWriter &W) const {
+  W.beginArray();
+  for (const TimelineSample &S : Samples) {
+    W.beginObject();
+    W.member("cycle", S.Cycle);
+    W.member("ipc", S.Ipc);
+    W.member("inv_per_kcycle", S.InvPerKCycle);
+    W.member("down_per_kcycle", S.DownPerKCycle);
+    W.member("region_occupancy", S.RegionOccupancy);
+    W.member("busy_fraction", S.BusyFraction);
+    W.endObject();
+  }
+  W.endArray();
+}

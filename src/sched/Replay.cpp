@@ -6,6 +6,11 @@
 
 #include "src/sched/Replay.h"
 
+#include "src/obs/ChromeTraceExporter.h"
+#include "src/obs/MetricRegistry.h"
+#include "src/obs/Observability.h"
+#include "src/obs/TimelineSampler.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -19,6 +24,29 @@ Replayer::Replayer(const TaskGraph &Graph, CoherenceController &Controller,
   for (StrandId Id = 0; Id < Graph.size(); ++Id)
     JoinPending[Id] = Graph.strand(Id).PendingJoin;
   Remaining = Graph.size();
+}
+
+void Replayer::attachObs(Observability *NewObs) {
+  Obs = NewObs;
+  StealWaitHist =
+      Obs && Obs->Metrics
+          ? &Obs->Metrics->histogram("sched.steal_wait_cycles")
+          : nullptr;
+  if (Obs) {
+    IdleSince.assign(Cores.size(), NeverIdle);
+    SpanStart.assign(Cores.size(), 0);
+    BusyCycles.assign(Cores.size(), 0);
+    if (Obs->Trace)
+      Obs->Trace->setCoreCount(static_cast<unsigned>(Cores.size()));
+  }
+}
+
+void Replayer::sampleInputs(TimelineInputs &In) const {
+  In.Instructions = Stats.Instructions;
+  In.Invalidations = Controller.stats().Invalidations;
+  In.Downgrades = Controller.stats().Downgrades;
+  In.RegionOccupancy = Controller.regionTable().size();
+  In.BusyCycles = &BusyCycles;
 }
 
 void Replayer::drainStoreBuffer(Core &C) {
@@ -88,7 +116,8 @@ bool Replayer::step(CoreId Id, Core &C) {
 }
 
 void Replayer::completeStrand(CoreId Id, Core &C) {
-  (void)Id;
+  if (Obs && Obs->Trace)
+    Obs->Trace->taskSpan(Id, C.Current, SpanStart[Id], C.Now);
   const Strand &S = Graph.strand(C.Current);
   assert(Remaining > 0 && "completing with nothing outstanding");
   --Remaining;
@@ -124,6 +153,8 @@ void Replayer::completeStrand(CoreId Id, Core &C) {
   LastCompletion = std::max(LastCompletion, C.Now);
   C.Current = Next;
   C.NextEvent = 0;
+  if (Obs && Next != InvalidStrand)
+    SpanStart[Id] = C.Now;
 }
 
 void Replayer::tryObtainWork(CoreId Id, Core &C) {
@@ -190,16 +221,47 @@ ReplayResult Replayer::run() {
     assert(Chosen != InvalidCore && "deadlock: no runnable core");
     Core &C = Cores[Chosen];
 
+    if (Obs) {
+      // Publish the acting core's clock (the global minimum, so it only
+      // moves forward) for controller-side event timestamps, and let the
+      // sampler observe the time crossing its next cadence boundary.
+      Obs->Now = C.Now;
+      if (Obs->Sampler) {
+        TimelineInputs In;
+        sampleInputs(In);
+        Obs->Sampler->tick(C.Now, In);
+      }
+    }
+
     if (C.Current == InvalidStrand) {
+      if (Obs && IdleSince[Chosen] == NeverIdle)
+        IdleSince[Chosen] = C.Now;
       tryObtainWork(Chosen, C);
+      if (Obs && C.Current != InvalidStrand) {
+        if (StealWaitHist)
+          StealWaitHist->record(C.Now - IdleSince[Chosen]);
+        IdleSince[Chosen] = NeverIdle;
+        SpanStart[Chosen] = C.Now;
+      }
       continue;
     }
+    Cycles Before = C.Now;
     if (step(Chosen, C))
       completeStrand(Chosen, C);
+    if (Obs)
+      BusyCycles[Chosen] += C.Now - Before;
   }
 
   ReplayResult Result;
   Result.Makespan = LastCompletion;
   Result.Sched = Stats;
+  if (Obs) {
+    Obs->Now = LastCompletion;
+    if (Obs->Sampler) {
+      TimelineInputs In;
+      sampleInputs(In);
+      Obs->Sampler->finalize(LastCompletion, In);
+    }
+  }
   return Result;
 }

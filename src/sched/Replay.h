@@ -28,6 +28,10 @@
 
 namespace warden {
 
+class Histogram;
+struct Observability;
+struct TimelineInputs;
+
 /// Scheduler-level statistics for one replay.
 struct SchedulerStats {
   std::uint64_t StrandsExecuted = 0;
@@ -50,6 +54,13 @@ class Replayer {
 public:
   Replayer(const TaskGraph &Graph, CoherenceController &Controller,
            std::uint64_t Seed = 0x5eed);
+
+  /// Attaches (or with nullptr detaches) observability sinks: steal-wait
+  /// histograms, the timeline sampler, and per-strand task spans for the
+  /// trace exporter. Recording only; an attached replay is cycle-identical
+  /// to a detached one. Also keeps Observability::Now at the acting core's
+  /// clock so the controller can timestamp its own events.
+  void attachObs(Observability *NewObs);
 
   /// Runs the whole graph to completion and returns timing results.
   ReplayResult run();
@@ -91,6 +102,16 @@ private:
   std::uint64_t Remaining = 0;
   Cycles LastCompletion = 0;
   SchedulerStats Stats;
+
+  // --- Observability (optional; inert when detached) ------------------------
+  /// Builds the sampler's view of the cumulative machine counters.
+  void sampleInputs(TimelineInputs &In) const;
+  Observability *Obs = nullptr; ///< Not owned.
+  Histogram *StealWaitHist = nullptr;
+  static constexpr Cycles NeverIdle = static_cast<Cycles>(-1);
+  std::vector<Cycles> IdleSince;  ///< Per core; NeverIdle when running.
+  std::vector<Cycles> SpanStart;  ///< Start time of the current strand.
+  std::vector<Cycles> BusyCycles; ///< Cumulative strand-executing cycles.
 };
 
 } // namespace warden

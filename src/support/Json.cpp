@@ -1,0 +1,369 @@
+//===- support/Json.cpp - Minimal JSON emission and validation ------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/support/Json.h"
+
+#include <cassert>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+using namespace warden;
+
+//===----------------------------------------------------------------------===//
+// JsonWriter
+//===----------------------------------------------------------------------===//
+
+void JsonWriter::preValue() {
+  if (Stack.empty())
+    return;
+  Frame &Top = Stack.back();
+  if (Top.IsObject) {
+    assert(Top.PendingValue && "object member emitted without a key");
+    Top.PendingValue = false;
+    return;
+  }
+  if (Top.HasMembers)
+    Out += ',';
+  Top.HasMembers = true;
+}
+
+JsonWriter &JsonWriter::beginObject() {
+  preValue();
+  Out += '{';
+  Stack.push_back({/*IsObject=*/true, false, false});
+  return *this;
+}
+
+JsonWriter &JsonWriter::endObject() {
+  assert(!Stack.empty() && Stack.back().IsObject && "mismatched endObject");
+  assert(!Stack.back().PendingValue && "key without a value");
+  Stack.pop_back();
+  Out += '}';
+  return *this;
+}
+
+JsonWriter &JsonWriter::beginArray() {
+  preValue();
+  Out += '[';
+  Stack.push_back({/*IsObject=*/false, false, false});
+  return *this;
+}
+
+JsonWriter &JsonWriter::endArray() {
+  assert(!Stack.empty() && !Stack.back().IsObject && "mismatched endArray");
+  Stack.pop_back();
+  Out += ']';
+  return *this;
+}
+
+JsonWriter &JsonWriter::key(std::string_view Name) {
+  assert(!Stack.empty() && Stack.back().IsObject && "key outside an object");
+  assert(!Stack.back().PendingValue && "two keys in a row");
+  if (Stack.back().HasMembers)
+    Out += ',';
+  Stack.back().HasMembers = true;
+  Stack.back().PendingValue = true;
+  Out += '"';
+  Out += escape(Name);
+  Out += "\":";
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(std::string_view V) {
+  preValue();
+  Out += '"';
+  Out += escape(V);
+  Out += '"';
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(double V) {
+  preValue();
+  Out += formatDouble(V);
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(std::uint64_t V) {
+  preValue();
+  Out += std::to_string(V);
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(std::int64_t V) {
+  preValue();
+  Out += std::to_string(V);
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(bool V) {
+  preValue();
+  Out += V ? "true" : "false";
+  return *this;
+}
+
+JsonWriter &JsonWriter::null() {
+  preValue();
+  Out += "null";
+  return *this;
+}
+
+const std::string &JsonWriter::str() const {
+  assert(Stack.empty() && "unterminated container");
+  return Out;
+}
+
+std::string JsonWriter::escape(std::string_view Text) {
+  std::string Result;
+  Result.reserve(Text.size());
+  for (unsigned char C : Text) {
+    switch (C) {
+    case '"':
+      Result += "\\\"";
+      break;
+    case '\\':
+      Result += "\\\\";
+      break;
+    case '\b':
+      Result += "\\b";
+      break;
+    case '\f':
+      Result += "\\f";
+      break;
+    case '\n':
+      Result += "\\n";
+      break;
+    case '\r':
+      Result += "\\r";
+      break;
+    case '\t':
+      Result += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Result += Buf;
+      } else {
+        // UTF-8 sequences pass through byte-for-byte.
+        Result += static_cast<char>(C);
+      }
+    }
+  }
+  return Result;
+}
+
+std::string JsonWriter::formatDouble(double V) {
+  if (!std::isfinite(V))
+    return "null";
+  char Buf[64];
+  auto [End, Ec] = std::to_chars(Buf, Buf + sizeof(Buf), V);
+  assert(Ec == std::errc() && "double does not fit the buffer");
+  return std::string(Buf, End);
+}
+
+//===----------------------------------------------------------------------===//
+// jsonValidate — strict recursive-descent RFC 8259 parser (values only,
+// no document size limits beyond a nesting cap).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Validator {
+public:
+  explicit Validator(std::string_view Text) : Text(Text) {}
+
+  bool run(std::string *Error) {
+    skipWs();
+    bool Ok = parseValue() && (skipWs(), Pos == Text.size());
+    if (!Ok && Error) {
+      *Error = "invalid JSON at byte " + std::to_string(Pos);
+      if (!Fail.empty())
+        *Error += ": " + Fail;
+    }
+    return Ok;
+  }
+
+private:
+  static constexpr unsigned MaxDepth = 512;
+
+  bool error(const char *Why) {
+    if (Fail.empty())
+      Fail = Why;
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool eat(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view Word) {
+    if (Text.substr(Pos, Word.size()) != Word)
+      return error("bad literal");
+    Pos += Word.size();
+    return true;
+  }
+
+  bool parseValue() {
+    if (Depth > MaxDepth)
+      return error("nesting too deep");
+    if (Pos >= Text.size())
+      return error("unexpected end of input");
+    switch (Text[Pos]) {
+    case '{':
+      return parseObject();
+    case '[':
+      return parseArray();
+    case '"':
+      return parseString();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return parseNumber();
+    }
+  }
+
+  bool parseObject() {
+    ++Depth;
+    eat('{');
+    skipWs();
+    if (eat('}')) {
+      --Depth;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return error("expected object key");
+      if (!parseString())
+        return false;
+      skipWs();
+      if (!eat(':'))
+        return error("expected ':'");
+      skipWs();
+      if (!parseValue())
+        return false;
+      skipWs();
+      if (eat(','))
+        continue;
+      if (eat('}')) {
+        --Depth;
+        return true;
+      }
+      return error("expected ',' or '}'");
+    }
+  }
+
+  bool parseArray() {
+    ++Depth;
+    eat('[');
+    skipWs();
+    if (eat(']')) {
+      --Depth;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (!parseValue())
+        return false;
+      skipWs();
+      if (eat(','))
+        continue;
+      if (eat(']')) {
+        --Depth;
+        return true;
+      }
+      return error("expected ',' or ']'");
+    }
+  }
+
+  bool parseString() {
+    eat('"');
+    while (Pos < Text.size()) {
+      unsigned char C = static_cast<unsigned char>(Text[Pos]);
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C < 0x20)
+        return error("raw control character in string");
+      if (C == '\\') {
+        ++Pos;
+        if (Pos >= Text.size())
+          return error("truncated escape");
+        char E = Text[Pos];
+        if (E == 'u') {
+          for (unsigned I = 1; I <= 4; ++I) {
+            if (Pos + I >= Text.size() || !std::isxdigit(static_cast<unsigned char>(Text[Pos + I])))
+              return error("bad \\u escape");
+          }
+          Pos += 4;
+        } else if (E != '"' && E != '\\' && E != '/' && E != 'b' &&
+                   E != 'f' && E != 'n' && E != 'r' && E != 't') {
+          return error("bad escape character");
+        }
+      }
+      ++Pos;
+    }
+    return error("unterminated string");
+  }
+
+  bool digits() {
+    if (Pos >= Text.size() || !std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      return error("expected digit");
+    while (Pos < Text.size() && std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    return true;
+  }
+
+  bool parseNumber() {
+    eat('-');
+    if (eat('0')) {
+      // A leading zero cannot be followed by more digits.
+      if (Pos < Text.size() && std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        return error("leading zero");
+    } else if (!digits()) {
+      return false;
+    }
+    if (eat('.') && !digits())
+      return false;
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (!digits())
+        return false;
+    }
+    return true;
+  }
+
+  std::string_view Text;
+  std::size_t Pos = 0;
+  unsigned Depth = 0;
+  std::string Fail;
+};
+
+} // namespace
+
+bool warden::jsonValidate(std::string_view Text, std::string *Error) {
+  return Validator(Text).run(Error);
+}

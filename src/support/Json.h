@@ -1,0 +1,90 @@
+//===- support/Json.h - Minimal JSON emission and validation --*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small streaming JSON writer (used by the observability subsystem and
+/// the benchmark harnesses for their machine-readable reports) plus a
+/// strict validator used by tests and CI to check that emitted documents
+/// actually parse. The writer tracks the container stack, so commas and
+/// nesting are always correct by construction; strings are escaped per RFC
+/// 8259 and doubles are printed shortest-round-trip (NaN/Inf, which JSON
+/// cannot represent, become null).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_SUPPORT_JSON_H
+#define WARDEN_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace warden {
+
+/// Streaming JSON writer with automatic comma/nesting management.
+///
+///   JsonWriter W;
+///   W.beginObject().key("speedup").value(1.25).endObject();
+///   std::string Doc = W.str();
+class JsonWriter {
+public:
+  JsonWriter &beginObject();
+  JsonWriter &endObject();
+  JsonWriter &beginArray();
+  JsonWriter &endArray();
+
+  /// Emits the key of the next object member. Must be inside an object.
+  JsonWriter &key(std::string_view Name);
+
+  JsonWriter &value(std::string_view V);
+  JsonWriter &value(const char *V) { return value(std::string_view(V)); }
+  JsonWriter &value(double V);
+  JsonWriter &value(std::uint64_t V);
+  JsonWriter &value(std::int64_t V);
+  JsonWriter &value(unsigned V) { return value(std::uint64_t(V)); }
+  JsonWriter &value(int V) { return value(std::int64_t(V)); }
+  JsonWriter &value(bool V);
+  JsonWriter &null();
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter &member(std::string_view Name, const T &V) {
+    key(Name);
+    return value(V);
+  }
+
+  /// Returns the finished document. Asserts every container was closed.
+  const std::string &str() const;
+
+  /// Escapes \p Text as the contents of a JSON string (no quotes added).
+  static std::string escape(std::string_view Text);
+
+  /// Formats a double as a JSON number token (shortest round-trip form);
+  /// NaN and infinities become "null".
+  static std::string formatDouble(double V);
+
+private:
+  /// Emits the separating comma (if needed) before a value or key.
+  void preValue();
+
+  struct Frame {
+    bool IsObject = false;
+    bool HasMembers = false;
+    bool PendingValue = false; ///< Object key emitted, value outstanding.
+  };
+  std::string Out;
+  std::vector<Frame> Stack;
+};
+
+/// Strictly validates that \p Text is one complete JSON document (RFC
+/// 8259). On failure returns false and, when \p Error is non-null, stores a
+/// short description including the byte offset.
+bool jsonValidate(std::string_view Text, std::string *Error = nullptr);
+
+} // namespace warden
+
+#endif // WARDEN_SUPPORT_JSON_H

@@ -63,6 +63,9 @@ public:
     return Max;
   }
 
+  /// True when every sample so far was positive — i.e. geomean() is safe.
+  bool allPositive() const { return !HasNonPositive; }
+
 private:
   std::size_t N = 0;
   double Total = 0;

@@ -1,0 +1,348 @@
+//===- tests/ObsTest.cpp - Observability subsystem tests ------------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the observability layer: the JSON writer/validator, the
+/// log2-bucketed histograms, the metric registry, the Chrome-trace
+/// exporter, the timeline sampler, and — most importantly — the
+/// zero-perturbation contract: a run with the full Observability bundle
+/// attached is cycle-identical to a detached run.
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/core/WardenSystem.h"
+#include "src/obs/ChromeTraceExporter.h"
+#include "src/obs/MetricRegistry.h"
+#include "src/obs/Observability.h"
+#include "src/obs/TimelineSampler.h"
+#include "src/rt/Stdlib.h"
+#include "src/support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+using namespace warden;
+
+namespace {
+
+// --- JsonWriter ------------------------------------------------------------
+
+TEST(JsonWriterTest, NestingAndCommas) {
+  JsonWriter W;
+  W.beginObject();
+  W.member("a", 1);
+  W.key("b").beginArray().value(1).value(2).endArray();
+  W.key("c").beginObject().endObject();
+  W.endObject();
+  EXPECT_EQ(W.str(), "{\"a\":1,\"b\":[1,2],\"c\":{}}");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonWriter::escape("\n\t\r\b\f"), "\\n\\t\\r\\b\\f");
+  EXPECT_EQ(JsonWriter::escape(std::string("\x01", 1)), "\\u0001");
+  // UTF-8 passes through untouched.
+  EXPECT_EQ(JsonWriter::escape("caf\xc3\xa9"), "caf\xc3\xa9");
+
+  JsonWriter W;
+  W.beginObject().member("k\"ey", "v\nal").endObject();
+  EXPECT_EQ(W.str(), "{\"k\\\"ey\":\"v\\nal\"}");
+  EXPECT_TRUE(jsonValidate(W.str()));
+}
+
+TEST(JsonWriterTest, NumberFormatting) {
+  EXPECT_EQ(JsonWriter::formatDouble(1.5), "1.5");
+  EXPECT_EQ(JsonWriter::formatDouble(0.0), "0");
+  // Shortest round-trip: 0.1 stays "0.1".
+  EXPECT_EQ(JsonWriter::formatDouble(0.1), "0.1");
+  // JSON cannot represent non-finite numbers; they degrade to null.
+  EXPECT_EQ(JsonWriter::formatDouble(std::nan("")), "null");
+  EXPECT_EQ(JsonWriter::formatDouble(
+                std::numeric_limits<double>::infinity()),
+            "null");
+
+  JsonWriter W;
+  W.beginArray();
+  W.value(std::uint64_t(18446744073709551615ull));
+  W.value(std::int64_t(-42));
+  W.value(true);
+  W.null();
+  W.endArray();
+  EXPECT_EQ(W.str(), "[18446744073709551615,-42,true,null]");
+  EXPECT_TRUE(jsonValidate(W.str()));
+}
+
+TEST(JsonValidateTest, AcceptsValidDocuments) {
+  for (const char *Doc :
+       {"{}", "[]", "null", "true", "-1.5e10", "\"x\"",
+        "{\"a\":[1,2,{\"b\":null}],\"c\":\"\\u00e9\\\\\"}", "[[[[]]]]",
+        "0.5", "  [ 1 , 2 ]  "}) {
+    std::string Error;
+    EXPECT_TRUE(jsonValidate(Doc, &Error)) << Doc << ": " << Error;
+  }
+}
+
+TEST(JsonValidateTest, RejectsInvalidDocuments) {
+  for (const char *Doc :
+       {"", "{", "}", "[1,]", "{\"a\":}", "{\"a\" 1}", "{a:1}", "01",
+        "1.", "+1", "\"unterminated", "\"bad\\escape\"", "[1] trailing",
+        "nul", "truefalse", "\"\\u12\"", "{\"a\":1,}"}) {
+    EXPECT_FALSE(jsonValidate(Doc)) << "accepted: " << Doc;
+  }
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+TEST(HistogramTest, BucketBoundaries) {
+  EXPECT_EQ(Histogram::bucketFor(0), 0u);
+  EXPECT_EQ(Histogram::bucketFor(1), 1u);
+  EXPECT_EQ(Histogram::bucketFor(2), 2u);
+  EXPECT_EQ(Histogram::bucketFor(3), 2u);
+  EXPECT_EQ(Histogram::bucketFor(4), 3u);
+  EXPECT_EQ(Histogram::bucketFor(7), 3u);
+  EXPECT_EQ(Histogram::bucketFor(8), 4u);
+  EXPECT_EQ(Histogram::bucketFor(~std::uint64_t(0)), 64u);
+
+  for (unsigned I = 0; I < Histogram::BucketCount; ++I) {
+    EXPECT_EQ(Histogram::bucketFor(Histogram::bucketLow(I)), I);
+    EXPECT_EQ(Histogram::bucketFor(Histogram::bucketHigh(I)), I);
+    EXPECT_LE(Histogram::bucketLow(I), Histogram::bucketHigh(I));
+  }
+}
+
+TEST(HistogramTest, RecordsBasicStatistics) {
+  Histogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.percentile(50), 0u);
+  H.record(0);
+  H.record(5);
+  H.record(100);
+  EXPECT_EQ(H.count(), 3u);
+  EXPECT_EQ(H.sum(), 105u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 100u);
+  EXPECT_DOUBLE_EQ(H.mean(), 35.0);
+  EXPECT_EQ(H.bucket(0), 1u); // 0
+  EXPECT_EQ(H.bucket(3), 1u); // 5 in [4,7]
+  EXPECT_EQ(H.bucket(7), 1u); // 100 in [64,127]
+}
+
+TEST(HistogramTest, PercentilesAreBucketUpperEdges) {
+  Histogram H;
+  for (std::uint64_t V = 1; V <= 100; ++V)
+    H.record(V);
+  // Rank 50 lands in bucket [32,63] (cumulative 63 samples through it).
+  EXPECT_EQ(H.percentile(50), 63u);
+  // Rank 90 lands in bucket [64,127], whose upper edge clamps to max=100.
+  EXPECT_EQ(H.percentile(90), 100u);
+  EXPECT_EQ(H.percentile(100), 100u);
+  // Rank clamps up to 1: the first sample's bucket.
+  EXPECT_EQ(H.percentile(0), 1u);
+}
+
+// --- MetricRegistry ----------------------------------------------------------
+
+TEST(MetricRegistryTest, InstrumentsAreStableAndReported) {
+  MetricRegistry R;
+  Counter &C = R.counter("a.count");
+  C.add();
+  C.add(2);
+  EXPECT_EQ(&R.counter("a.count"), &C);
+  R.gauge("b.gauge").set(2.5);
+  R.histogram("c.hist").record(9);
+
+  MetricsReport Report = R.report();
+  EXPECT_TRUE(Report.Enabled);
+  ASSERT_EQ(Report.Counters.size(), 1u);
+  EXPECT_EQ(Report.Counters[0].first, "a.count");
+  EXPECT_EQ(Report.Counters[0].second, 3u);
+  ASSERT_EQ(Report.Gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(Report.Gauges[0].second, 2.5);
+  ASSERT_EQ(Report.Histograms.size(), 1u);
+  EXPECT_EQ(Report.Histograms[0].Name, "c.hist");
+  EXPECT_EQ(Report.Histograms[0].Count, 1u);
+
+  JsonWriter W;
+  Report.writeJson(W);
+  std::string Error;
+  EXPECT_TRUE(jsonValidate(W.str(), &Error)) << Error;
+}
+
+// --- ChromeTraceExporter -----------------------------------------------------
+
+/// Extracts every "ts" value of \p Doc in document order.
+std::vector<double> extractTimestamps(const std::string &Doc) {
+  std::vector<double> Ts;
+  const std::string Key = "\"ts\":";
+  for (std::size_t Pos = Doc.find(Key); Pos != std::string::npos;
+       Pos = Doc.find(Key, Pos + 1))
+    Ts.push_back(std::strtod(Doc.c_str() + Pos + Key.size(), nullptr));
+  return Ts;
+}
+
+TEST(ChromeTraceTest, RendersValidSortedTrace) {
+  ChromeTraceExporter T;
+  T.setCoreCount(2);
+  // Deliberately out of order.
+  T.taskSpan(1, 7, 500, 900);
+  T.taskSpan(0, 3, 0, 400);
+  T.instant("reconcile", 1, 450);
+  T.instant("region overflow", T.directoryTid(), 100);
+  EXPECT_EQ(T.spanCount(), 2u);
+  EXPECT_EQ(T.instantCount(), 2u);
+
+  std::string Doc = T.render();
+  std::string Error;
+  ASSERT_TRUE(jsonValidate(Doc, &Error)) << Error;
+  EXPECT_NE(Doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(Doc.find("directory"), std::string::npos);
+
+  std::vector<double> Ts = extractTimestamps(Doc);
+  ASSERT_GE(Ts.size(), 4u);
+  for (std::size_t I = 1; I < Ts.size(); ++I)
+    EXPECT_LE(Ts[I - 1], Ts[I]) << "ts out of order at event " << I;
+}
+
+// --- End-to-end: a recorded workload with the full bundle --------------------
+
+TaskGraph recordWorkload(const RtOptions &Options = RtOptions()) {
+  Runtime Rt(Options);
+  auto In = stdlib::tabulate<std::uint32_t>(
+      Rt, 8192, [](std::size_t I) { return std::uint32_t(I * 2654435761u); },
+      128);
+  auto Out = stdlib::mapArray<std::uint64_t>(
+      Rt, In, [](std::uint32_t V) { return std::uint64_t(V) % 977; }, 128);
+  std::uint64_t Total = stdlib::sum(Rt, Out, 128);
+  EXPECT_GT(Total, 0u);
+  return Rt.finish();
+}
+
+/// Runs \p Graph with a freshly attached full bundle and returns the result
+/// plus the bundle contents via out-parameters.
+RunResult runObserved(const TaskGraph &Graph, const MachineConfig &Config,
+                      MetricRegistry &Metrics, TimelineSampler &Sampler,
+                      ChromeTraceExporter &Trace) {
+  Observability Obs;
+  Obs.Metrics = &Metrics;
+  Obs.Sampler = &Sampler;
+  Obs.Trace = &Trace;
+  RunOptions Options;
+  Options.Obs = &Obs;
+  return WardenSystem::simulate(Graph, Config, Options);
+}
+
+TEST(ObservabilityTest, AttachedRunIsCycleIdentical) {
+  TaskGraph Graph = recordWorkload();
+  for (ProtocolKind Protocol : {ProtocolKind::Mesi, ProtocolKind::Warden}) {
+    MachineConfig Config = MachineConfig::dualSocket();
+    Config.Protocol = Protocol;
+
+    RunResult Plain = WardenSystem::simulate(Graph, Config);
+    MetricRegistry Metrics;
+    TimelineSampler Sampler;
+    ChromeTraceExporter Trace;
+    RunResult Observed =
+        runObserved(Graph, Config, Metrics, Sampler, Trace);
+
+    // The whole contract: attaching the bundle changes no simulated cycle
+    // and no simulated event.
+    EXPECT_EQ(Plain.Makespan, Observed.Makespan);
+    EXPECT_EQ(Plain.Instructions, Observed.Instructions);
+    EXPECT_EQ(Plain.Coherence.Invalidations,
+              Observed.Coherence.Invalidations);
+    EXPECT_EQ(Plain.Coherence.Downgrades, Observed.Coherence.Downgrades);
+    EXPECT_EQ(Plain.Coherence.accesses(), Observed.Coherence.accesses());
+    EXPECT_EQ(Plain.Sched.Steals, Observed.Sched.Steals);
+    EXPECT_FALSE(Plain.Metrics.Enabled);
+    EXPECT_TRUE(Observed.Metrics.Enabled);
+  }
+}
+
+TEST(ObservabilityTest, InstrumentsObserveTheRun) {
+  TaskGraph Graph = recordWorkload();
+  MachineConfig Config = MachineConfig::dualSocket();
+  Config.Protocol = ProtocolKind::Warden;
+
+  MetricRegistry Metrics;
+  TimelineSampler Sampler(5000);
+  ChromeTraceExporter Trace;
+  RunResult R = runObserved(Graph, Config, Metrics, Sampler, Trace);
+
+  EXPECT_GT(Metrics.counter("cache.private_fills").value(), 0u);
+  EXPECT_GT(Metrics.histogram("coherence.load_latency_cycles").count(), 0u);
+  EXPECT_GT(Metrics.histogram("sched.steal_wait_cycles").count(), 0u);
+  // The workload marks and unmarks WARD regions, so lifetimes exist.
+  EXPECT_GT(Metrics.histogram("ward.region_lifetime_cycles").count(), 0u);
+
+  // Every executed strand became exactly one span ending by the makespan.
+  EXPECT_EQ(Trace.spanCount(), R.Sched.StrandsExecuted);
+  std::string Doc = Trace.render();
+  std::string Error;
+  EXPECT_TRUE(jsonValidate(Doc, &Error)) << Error;
+
+  ASSERT_FALSE(Sampler.samples().empty());
+  Cycles Prev = 0;
+  for (const TimelineSample &S : Sampler.samples()) {
+    EXPECT_GT(S.Cycle, Prev);
+    Prev = S.Cycle;
+    EXPECT_GE(S.BusyFraction, 0.0);
+    EXPECT_LE(S.BusyFraction, 1.0);
+    EXPECT_GE(S.Ipc, 0.0);
+  }
+  EXPECT_EQ(Sampler.samples().back().Cycle, R.Makespan);
+
+  // The RunResult snapshot matches the live registry.
+  bool FoundLoadHist = false;
+  for (const HistogramSnapshot &H : R.Metrics.Histograms)
+    if (H.Name == "coherence.load_latency_cycles") {
+      FoundLoadHist = true;
+      EXPECT_EQ(H.Count,
+                Metrics.histogram("coherence.load_latency_cycles").count());
+    }
+  EXPECT_TRUE(FoundLoadHist);
+}
+
+TEST(ObservabilityTest, SamplerIsDeterministicAcrossIdenticalRuns) {
+  TaskGraph Graph = recordWorkload();
+  MachineConfig Config = MachineConfig::dualSocket();
+  Config.Protocol = ProtocolKind::Warden;
+
+  std::vector<TimelineSample> Series[2];
+  for (int Round = 0; Round < 2; ++Round) {
+    MetricRegistry Metrics;
+    TimelineSampler Sampler;
+    ChromeTraceExporter Trace;
+    runObserved(Graph, Config, Metrics, Sampler, Trace);
+    Series[Round] = Sampler.samples();
+  }
+  EXPECT_EQ(Series[0], Series[1]);
+}
+
+TEST(ObservabilityTest, MedianRunCarriesFirstRepeatMetrics) {
+  TaskGraph Graph = recordWorkload();
+  MachineConfig Config = MachineConfig::singleSocket();
+  Config.Protocol = ProtocolKind::Warden;
+
+  Observability Obs;
+  MetricRegistry Metrics;
+  Obs.Metrics = &Metrics;
+  RunOptions Options;
+  Options.Obs = &Obs;
+  Options.Repeats = 3;
+  RunResult Median = WardenSystem::simulateMedian(Graph, Config, Options);
+  EXPECT_TRUE(Median.Metrics.Enabled);
+  EXPECT_FALSE(Median.Metrics.Histograms.empty());
+}
+
+} // namespace
