@@ -15,6 +15,7 @@
 #define WARDEN_BENCH_HARNESS_H
 
 #include "src/core/WardenSystem.h"
+#include "src/obs/Observability.h"
 #include "src/pbbs/Pbbs.h"
 #include "src/support/Json.h"
 #include "src/support/Summary.h"
@@ -23,6 +24,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -46,6 +48,10 @@ struct BenchOptions {
   double Scale = 1.0;
   /// When non-empty, write the machine-readable report here.
   std::string JsonPath;
+  /// Attach the sharing profiler + CPI stack to every run (--profile):
+  /// per-line/per-site coherence attribution and cycle accounting, printed
+  /// after the figure tables and embedded in the JSON report.
+  bool Profile = false;
 };
 
 /// Parses the command-line flags shared by the figure harnesses:
@@ -59,6 +65,9 @@ struct BenchOptions {
 ///                    repeatable); names that match nothing fail fast
 ///   --scale=X        multiply every benchmark's problem size by X
 ///   --json=FILE      also write the warden-bench-v1 JSON report to FILE
+///   --profile        attach the per-line sharing profiler and CPI stacks
+///                    (same cycles; prints attribution tables, adds a
+///                    "profile" section to the JSON report)
 /// Unknown arguments print usage and exit, so a typo cannot silently run
 /// the wrong experiment.
 inline BenchOptions parseBenchArgs(int argc, char **argv) {
@@ -96,10 +105,13 @@ inline BenchOptions parseBenchArgs(int argc, char **argv) {
       }
     } else if (std::strncmp(Arg, "--json=", 7) == 0) {
       B.JsonPath = Arg + 7;
+    } else if (std::strcmp(Arg, "--profile") == 0) {
+      B.Profile = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--audit] [--faults[=seed]] "
-                   "[--only=NAME[,NAME...]] [--scale=X] [--json=FILE]\n",
+                   "[--only=NAME[,NAME...]] [--scale=X] [--json=FILE] "
+                   "[--profile]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -143,8 +155,23 @@ runSuite(const MachineConfig &Machine, const BenchOptions &B,
          const std::vector<std::string> &DefaultOnly = {},
          const RtOptions &Options = RtOptions()) {
   const std::vector<std::string> &Only = B.Only.empty() ? DefaultOnly : B.Only;
+  // --profile: one profiler/CPI pair serves every run — the simulator's
+  // beginRun() resets them per run, and the per-run reports are value
+  // snapshots inside each RunResult, so nothing here needs to outlive the
+  // suite. The snapshots live in the rows; the bundle dies with this frame.
+  RunOptions Run = B.Run;
+  SharingProfiler Prof;
+  CpiStack Cpi;
+  Observability ProfBundle;
+  if (B.Profile) {
+    if (!Run.Obs) {
+      Run.Obs = &ProfBundle;
+    }
+    Run.Obs->Profiler = &Prof;
+    Run.Obs->Cpi = &Cpi;
+  }
   std::vector<SuiteRow> Rows = runSuite(Machine, Only, Options, B.Scale,
-                                        B.Run);
+                                        Run);
   if (Rows.empty()) {
     std::fprintf(stderr, "error: no benchmarks selected; valid names are:");
     for (const pbbs::Benchmark &Bm : pbbs::allBenchmarks())
@@ -183,6 +210,144 @@ inline void printAuditSummary(const std::vector<SuiteRow> &Rows) {
     for (const AuditReport *R : {&Row.Cmp.Mesi.Audit, &Row.Cmp.Warden.Audit})
       for (const std::string &Message : R->Messages)
         std::printf("  %s: %s\n", Row.Name.c_str(), Message.c_str());
+}
+
+/// Prints the per-benchmark coherence-forensics report for a --profile run
+/// (no-op otherwise). Three views per benchmark:
+///   1. allocation-site attribution — which data structures paid
+///      invalidations/downgrades under MESI and what WARDen did to them;
+///   2. the hottest individual cache lines under MESI with their sharing
+///      classification (true/false sharing, migratory, ...);
+///   3. the CPI stack — where each protocol's cycles went, summed over
+///      cores, with the off-critical-path store-buffered latency shown
+///      separately.
+inline void printProfiles(const std::vector<SuiteRow> &Rows,
+                          std::size_t TopLines = 8) {
+  bool Enabled = false;
+  for (const SuiteRow &Row : Rows)
+    Enabled |= Row.Cmp.Mesi.Profile.Enabled || Row.Cmp.Warden.Profile.Enabled;
+  if (!Enabled)
+    return;
+
+  for (const SuiteRow &Row : Rows) {
+    const ProfileReport &M = Row.Cmp.Mesi.Profile;
+    const ProfileReport &W = Row.Cmp.Warden.Profile;
+    if (!M.Enabled && !W.Enabled)
+      continue;
+    std::printf("Coherence forensics: %s\n", Row.Name.c_str());
+
+    // View 1: site attribution, MESI cost vs. WARDen cost side by side.
+    struct SiteSides {
+      std::uint64_t MesiInvDown = 0;
+      std::uint64_t WardInvDown = 0;
+      std::uint64_t WardReconciles = 0;
+      std::uint64_t MesiLines = 0;
+    };
+    std::map<std::string, SiteSides> Sites;
+    for (const SiteProfile &S : M.Sites) {
+      SiteSides &E = Sites[S.SiteName];
+      E.MesiInvDown = S.Invalidations + S.Downgrades;
+      E.MesiLines = S.Lines;
+    }
+    for (const SiteProfile &S : W.Sites) {
+      SiteSides &E = Sites[S.SiteName];
+      E.WardInvDown = S.Invalidations + S.Downgrades;
+      E.WardReconciles = S.Reconciles;
+    }
+    double MesiTotal =
+        static_cast<double>(M.TotalInvalidations + M.TotalDowngrades);
+    Table ST;
+    ST.setHeader({"Site", "Lines", "MESI inv+down", "Share", "WARDen inv+down",
+                  "WARDen reconciles"});
+    for (const auto &[Name, E] : Sites) {
+      if (E.MesiInvDown + E.WardInvDown + E.WardReconciles == 0)
+        continue;
+      double Share = MesiTotal == 0
+                         ? 0.0
+                         : static_cast<double>(E.MesiInvDown) / MesiTotal;
+      ST.addRow({Name, Table::fmt(E.MesiLines), Table::fmt(E.MesiInvDown),
+                 Table::pct(Share), Table::fmt(E.WardInvDown),
+                 Table::fmt(E.WardReconciles)});
+    }
+    std::printf("%s\n", ST.render().c_str());
+
+    // View 2: the hottest individual lines under MESI.
+    if (!M.Lines.empty()) {
+      Table LT;
+      LT.setHeader({"Line", "Site", "Class", "Inv", "Down", "Misses",
+                    "Avg miss", "Ping-pong"});
+      std::size_t Shown = 0;
+      for (const LineProfile &P : M.Lines) {
+        if (Shown == TopLines)
+          break;
+        ++Shown;
+        char Hex[32];
+        std::snprintf(Hex, sizeof(Hex), "0x%llx",
+                      static_cast<unsigned long long>(P.Block));
+        double AvgMiss = P.DemandMisses == 0
+                             ? 0.0
+                             : static_cast<double>(P.DemandMissCycles) /
+                                   static_cast<double>(P.DemandMisses);
+        LT.addRow({Hex, P.SiteName, sharingClassName(P.Class),
+                   Table::fmt(P.Invalidations), Table::fmt(P.Downgrades),
+                   Table::fmt(P.DemandMisses), Table::fmt(AvgMiss, 1),
+                   Table::fmt(P.PingPongs)});
+      }
+      std::printf("Hot lines under MESI (top %zu of %llu tracked; %llu "
+                  "events on untracked lines).\n%s\n",
+                  Shown, static_cast<unsigned long long>(M.TrackedLines),
+                  static_cast<unsigned long long>(M.DroppedEvents),
+                  LT.render().c_str());
+    }
+
+    // View 3: the CPI stack, MESI vs. WARDen.
+    const CpiReport &CM = Row.Cmp.Mesi.Cpi;
+    const CpiReport &CW = Row.Cmp.Warden.Cpi;
+    if (CM.Enabled || CW.Enabled) {
+      auto CoreSum = [](const CpiReport &R) {
+        Cycles Sum = 0;
+        for (Cycles T : R.CoreTime)
+          Sum += T;
+        return Sum;
+      };
+      auto Pct = [](Cycles Part, Cycles Whole) {
+        return Whole == 0 ? 0.0
+                          : static_cast<double>(Part) /
+                                static_cast<double>(Whole);
+      };
+      Cycles MesiTime = CoreSum(CM);
+      Cycles WardTime = CoreSum(CW);
+      Table CT;
+      CT.setHeader({"Category", "MESI cycles", "MESI %", "WARDen cycles",
+                    "WARDen %"});
+      Cycles MesiAcc = 0, WardAcc = 0;
+      for (unsigned C = 0; C < static_cast<unsigned>(CpiCat::Count); ++C) {
+        auto Cat = static_cast<CpiCat>(C);
+        Cycles MT = CM.Enabled ? CM.total(Cat) : 0;
+        Cycles WT = CW.Enabled ? CW.total(Cat) : 0;
+        if (Cat != CpiCat::StoreBuffered) {
+          MesiAcc += MT;
+          WardAcc += WT;
+        }
+        if (MT + WT == 0)
+          continue;
+        // Percentages for the off-critical-path row would double count.
+        bool OffPath = Cat == CpiCat::StoreBuffered;
+        CT.addRow({cpiCategoryName(Cat), Table::fmt(MT),
+                   OffPath ? "-" : Table::pct(Pct(MT, MesiTime)),
+                   Table::fmt(WT),
+                   OffPath ? "-" : Table::pct(Pct(WT, WardTime))});
+      }
+      Cycles MesiOther = MesiTime > MesiAcc ? MesiTime - MesiAcc : 0;
+      Cycles WardOther = WardTime > WardAcc ? WardTime - WardAcc : 0;
+      CT.addRow({"other", Table::fmt(MesiOther),
+                 Table::pct(Pct(MesiOther, MesiTime)), Table::fmt(WardOther),
+                 Table::pct(Pct(WardOther, WardTime))});
+      std::printf("CPI stack (cycles summed over cores; %% of core time).\n"
+                  "%s\n",
+                  CT.render().c_str());
+    }
+  }
 }
 
 /// Figure 7a/8a/12a style: normalized speedup per benchmark plus MEAN and
@@ -304,6 +469,22 @@ inline bool writeJsonReport(const std::string &Path, const char *Experiment,
     writeRunJson(W, Cmp.Mesi);
     W.key("warden");
     writeRunJson(W, Cmp.Warden);
+    if (Cmp.Mesi.Profile.Enabled || Cmp.Warden.Profile.Enabled) {
+      W.key("profile").beginObject();
+      W.key("mesi").beginObject();
+      W.key("sharing");
+      Cmp.Mesi.Profile.writeJson(W);
+      W.key("cpi");
+      Cmp.Mesi.Cpi.writeJson(W);
+      W.endObject();
+      W.key("warden").beginObject();
+      W.key("sharing");
+      Cmp.Warden.Profile.writeJson(W);
+      W.key("cpi");
+      Cmp.Warden.Cpi.writeJson(W);
+      W.endObject();
+      W.endObject();
+    }
     W.key("audit").beginObject();
     W.member("enabled", RowAudited);
     W.member("violations", RowViolations);

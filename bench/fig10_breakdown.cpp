@@ -34,6 +34,7 @@ int main(int argc, char **argv) {
   std::printf("Figure 10. Percent of the avoided events that are "
               "invalidations vs downgrades.\n%s",
               T.render().c_str());
+  printProfiles(Rows);
   maybeWriteJsonReport("fig10_breakdown", Machine, B, Rows);
   return 0;
 }

@@ -38,6 +38,7 @@ int main(int argc, char **argv) {
   }
   std::printf("Figure 11. Percentage IPC improvement.\n%s",
               T.render().c_str());
+  printProfiles(Rows);
   maybeWriteJsonReport("fig11_ipc", Machine, B, Rows);
   return 0;
 }

@@ -27,6 +27,7 @@ int main(int argc, char **argv) {
       runSuite(Machine, B, {"dmm", "grep", "nn", "palindrome"});
   printPerformance("Figure 12(a). Performance (speedup).", Rows);
   printEnergy("Figure 12(b). Energy savings.", Rows);
+  printProfiles(Rows);
   maybeWriteJsonReport("fig12_disaggregated", Machine, B, Rows);
   return 0;
 }

@@ -25,6 +25,7 @@ int main(int argc, char **argv) {
   printPerformance("Figure 7(a). Performance (speedup).", Rows);
   printEnergy("Figure 7(b). Energy savings.", Rows);
   printAuditSummary(Rows);
+  printProfiles(Rows);
   maybeWriteJsonReport("fig7_single_socket", Machine, B, Rows);
   return 0;
 }

@@ -25,6 +25,7 @@ int main(int argc, char **argv) {
   printPerformance("Figure 8(a). Performance (speedup).", Rows);
   printEnergy("Figure 8(b). Energy savings.", Rows);
   printAuditSummary(Rows);
+  printProfiles(Rows);
   maybeWriteJsonReport("fig8_dual_socket", Machine, B, Rows);
   return 0;
 }

@@ -61,6 +61,7 @@ int main(int argc, char **argv) {
   std::printf("\nPearson correlation(avoided events, speedup) = %.2f "
               "(paper: positive)\n",
               Corr);
+  printProfiles(Rows);
   maybeWriteJsonReport("fig9_inv_down", Machine, B, Rows);
   return 0;
 }

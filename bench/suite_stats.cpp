@@ -54,6 +54,7 @@ int main(int argc, char **argv) {
     printRun("WARDen", Row.Cmp.Warden);
   }
   printAuditSummary(Rows);
+  printProfiles(Rows);
   maybeWriteJsonReport("suite_stats", Machine, B, Rows);
   return 0;
 }

@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # Machine-readable benchmark report: builds the Figure 7 harness and runs
 # the full PBBS suite at a reduced scale, writing a warden-bench-v1 JSON
-# document (schema documented in README.md).
+# document (schema documented in README.md) with the coherence-forensics
+# profile section (per-line sharing profiles, allocation-site attribution,
+# CPI stacks) for both protocols.
 #
 #   scripts/bench.sh [OUTPUT.json]       default output: BENCH_suite.json
 #
 # Environment:
 #   WARDEN_BENCH_SCALE   problem-size multiplier (default 0.25; use 1.0
 #                        for the paper-scale run, ~5s)
+#
+# Compare two reports with scripts/bench_diff.py.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,5 +21,5 @@ SCALE="${WARDEN_BENCH_SCALE:-0.25}"
 cmake --preset default
 cmake --build --preset default -j "$(nproc)" --target fig7_single_socket
 
-build/bench/fig7_single_socket --scale="$SCALE" --json="$OUT"
+build/bench/fig7_single_socket --scale="$SCALE" --json="$OUT" --profile
 echo "bench report written to $OUT (scale $SCALE)"

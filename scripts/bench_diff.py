@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Compare two warden-bench-v1 JSON reports with a tolerance verdict.
+
+Usage:
+    scripts/bench_diff.py BASELINE.json CANDIDATE.json [--tolerance 0.10]
+
+Compares, per benchmark present in both reports, the headline metrics
+(MESI/WARDen makespans, speedup, invalidations + downgrades, energy) and
+prints a row per comparison. A metric FAILS when its relative deviation
+from the baseline exceeds the tolerance (absolute deviation for metrics
+whose baseline is zero). Exit status: 0 when everything is within
+tolerance, 1 otherwise, 2 on malformed input.
+
+The simulator is deterministic, so on identical code the reports match
+exactly; the tolerance exists so deliberate timing-model changes can be
+reviewed (run, eyeball the diff table, regenerate the baseline with
+scripts/bench.sh) rather than silently absorbed.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"error: cannot read {path}: {err}")
+    if doc.get("schema") != "warden-bench-v1":
+        sys.exit(f"error: {path}: expected schema warden-bench-v1, "
+                 f"got {doc.get('schema')!r}")
+    return doc
+
+
+# (label, extractor) pairs; extractors read one benchmark record.
+METRICS = [
+    ("mesi cycles", lambda b: b["mesi"]["makespan_cycles"]),
+    ("warden cycles", lambda b: b["warden"]["makespan_cycles"]),
+    ("speedup", lambda b: b["speedup"]),
+    ("mesi inv+down", lambda b: b["mesi"]["invalidations"]
+     + b["mesi"]["downgrades"]),
+    ("warden inv+down", lambda b: b["warden"]["invalidations"]
+     + b["warden"]["downgrades"]),
+    ("total energy savings", lambda b: b["total_energy_savings"]),
+]
+
+
+def deviation(base, cand):
+    """Relative deviation, falling back to absolute when baseline is 0."""
+    if base == 0:
+        return abs(cand)
+    return abs(cand - base) / abs(base)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff two warden-bench-v1 reports")
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="maximum relative deviation (default 0.10)")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+    base_by_name = {b["name"]: b for b in base["benchmarks"]}
+    cand_by_name = {b["name"]: b for b in cand["benchmarks"]}
+
+    if base.get("scale") != cand.get("scale"):
+        print(f"note: scales differ (baseline {base.get('scale')}, "
+              f"candidate {cand.get('scale')}); cycle counts will not be "
+              f"comparable")
+
+    common = [n for n in base_by_name if n in cand_by_name]
+    missing = sorted(set(base_by_name) ^ set(cand_by_name))
+    if not common:
+        sys.exit("error: the reports share no benchmarks")
+
+    width = max(len(n) for n in common) + 2
+    failures = 0
+    print(f"{'benchmark':{width}} {'metric':22} {'baseline':>14} "
+          f"{'candidate':>14} {'delta':>8}  verdict")
+    for name in common:
+        for label, get in METRICS:
+            try:
+                b_val = get(base_by_name[name])
+                c_val = get(cand_by_name[name])
+            except KeyError as key:
+                sys.exit(f"error: {name}: missing field {key}")
+            dev = deviation(b_val, c_val)
+            ok = dev <= args.tolerance
+            failures += not ok
+            print(f"{name:{width}} {label:22} {b_val:14.4g} {c_val:14.4g} "
+                  f"{dev:7.1%}  {'ok' if ok else 'FAIL'}")
+
+    for name in missing:
+        print(f"{name:{width}} only in one report (skipped)")
+
+    verdict = "PASS" if failures == 0 else f"FAIL ({failures} deviations)"
+    print(f"\n{verdict}: tolerance {args.tolerance:.0%}, "
+          f"{len(common)} benchmarks compared")
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,5 +35,21 @@ if [[ "$PRESET" == default ]]; then
   if command -v python3 >/dev/null 2>&1; then
     python3 -m json.tool BENCH_suite.json >/dev/null
     echo "BENCH_suite.json parses as valid JSON"
+    # The --profile section must be present and well-formed for both
+    # protocols of every benchmark (schema warden-prof-v1).
+    python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_suite.json"))
+assert doc["schema"] == "warden-bench-v1", doc["schema"]
+for bench in doc["benchmarks"]:
+    profile = bench["profile"]
+    for proto in ("mesi", "warden"):
+        sharing = profile[proto]["sharing"]
+        assert sharing["schema"] == "warden-prof-v1", (bench["name"], proto)
+        assert isinstance(sharing["lines"], list)
+        assert isinstance(sharing["sites"], list)
+        assert profile[proto]["cpi"]["enabled"]
+print("profile sections validate (warden-prof-v1)")
+EOF
   fi
 fi

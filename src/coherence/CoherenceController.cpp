@@ -7,8 +7,10 @@
 #include "src/coherence/CoherenceController.h"
 
 #include "src/obs/ChromeTraceExporter.h"
+#include "src/obs/CpiStack.h"
 #include "src/obs/MetricRegistry.h"
 #include "src/obs/Observability.h"
+#include "src/obs/SharingProfiler.h"
 #include "src/verify/ProtocolAuditor.h"
 
 #include <cassert>
@@ -71,6 +73,8 @@ void CoherenceController::attachObs(Observability *NewObs) {
   Regions.attachMetrics(Registry);
   for (PrivateCache &Cache : Private)
     Cache.attachMetrics(Registry);
+  Prof = Obs ? Obs->Profiler : nullptr;
+  Cpi = Obs ? Obs->Cpi : nullptr;
   if (Obs && Obs->Trace)
     Obs->Trace->setCoreCount(Config.totalCores());
   RegionAddedAt.clear();
@@ -120,6 +124,8 @@ Cycles CoherenceController::llcData(Addr Block, SocketId Home) {
   std::optional<EvictedLine> Victim = Llc[Home].insert(Block, LineState::Shared);
   if (Victim && Victim->State == LineState::Modified)
     ++Stats.DramWritebacks;
+  if (Cpi)
+    Cpi->charge(CpiCat::Dram, Latency.dram());
   return Latency.dram();
 }
 
@@ -314,6 +320,8 @@ Cycles CoherenceController::accessBlock(CoreId Core, Addr Block,
     if (Type == AccessType::Load) {
       Lat = (Level == 1) ? Latency.l1Hit() : Latency.l2Hit();
       ++(Level == 1 ? Stats.L1Hits : Stats.L2Hits);
+      if (Cpi)
+        Cpi->charge(Level == 1 ? CpiCat::L1Hit : CpiCat::L2Hit, Lat);
     } else {
       switch (Line->State) {
       case LineState::Exclusive:
@@ -323,6 +331,8 @@ Cycles CoherenceController::accessBlock(CoreId Core, Addr Block,
       case LineState::Ward:
         Lat = (Level == 1) ? Latency.l1Hit() : Latency.l2Hit();
         ++(Level == 1 ? Stats.L1Hits : Stats.L2Hits);
+        if (Cpi)
+          Cpi->charge(Level == 1 ? CpiCat::L1Hit : CpiCat::L2Hit, Lat);
         break;
       case LineState::Shared:
         NeedMiss = true; // Write to a read copy requires an upgrade.
@@ -352,6 +362,12 @@ Cycles CoherenceController::accessBlock(CoreId Core, Addr Block,
       Auditor->onStore(Core, Block, Offset, Size);
     Auditor->onOperationComplete(Block);
   }
+  if (Prof) {
+    if (Type != AccessType::Store)
+      Prof->onRead(Block, Core);
+    if (Type != AccessType::Load)
+      Prof->onWrite(Block, Core, Offset, Size);
+  }
   return Lat;
 }
 
@@ -361,20 +377,36 @@ Cycles CoherenceController::missPath(CoreId Core, Addr Block, unsigned Offset,
   Cycles Lat = Latency.toHome(Core, Home);
   noteMsg(Config.socketOf(Core), Home);
   ++Stats.L3Accesses;
+  bool Remote = Config.socketOf(Core) != Home;
+  if (Cpi) {
+    // Split the directory trip into its on-socket and crossing legs.
+    Cycles Cross = Latency.crossing(Config.socketOf(Core), Home);
+    Cpi->charge(CpiCat::RemoteHop, Cross);
+    Cpi->charge(CpiCat::DirectoryWait, Lat - Cross);
+  }
 
   DirEntry &Entry = Dir[Block];
+  Cycles Total = 0;
 
   if (Config.Protocol == ProtocolKind::Warden) {
     RegionId Region = Regions.lookup(Block);
-    if (Region != InvalidRegion)
-      return Lat + wardPath(Core, Block, Offset, Size, Type, Entry, Region);
+    if (Region != InvalidRegion) {
+      Total = Lat + wardPath(Core, Block, Offset, Size, Type, Entry, Region);
+      if (Prof)
+        Prof->onDemandMiss(Block, Core, Total, Remote);
+      return Total;
+    }
   }
 
   assert(Entry.State != DirState::Ward &&
          "W entry outside an active region reached the MESI path");
   if (Type == AccessType::Load)
-    return Lat + mesiLoadPath(Core, Block, Entry);
-  return Lat + mesiStorePath(Core, Block, Entry);
+    Total = Lat + mesiLoadPath(Core, Block, Entry);
+  else
+    Total = Lat + mesiStorePath(Core, Block, Entry);
+  if (Prof)
+    Prof->onDemandMiss(Block, Core, Total, Remote);
+  return Total;
 }
 
 Cycles CoherenceController::wardPath(CoreId Core, Addr Block, unsigned Offset,
@@ -383,6 +415,8 @@ Cycles CoherenceController::wardPath(CoreId Core, Addr Block, unsigned Offset,
   (void)Offset;
   (void)Size;
   ++Stats.WardGrants;
+  if (Prof)
+    Prof->onWardGrant(Block, Core);
   if (Entry.State != DirState::Ward)
     enterWardState(Block, Entry, Region);
 
@@ -470,6 +504,8 @@ Cycles CoherenceController::mesiLoadPath(CoreId Core, Addr Block,
     // Fwd-GetS: the owner is downgraded and supplies the data.
     ++Stats.Downgrades;
     ++Stats.CacheToCache;
+    if (Prof)
+      Prof->onDowngrade(Block, Owner);
     noteMsg(Home, Config.socketOf(Owner));
     if (OwnerLine->State == LineState::Modified) {
       if (Auditor) {
@@ -483,6 +519,9 @@ Cycles CoherenceController::mesiLoadPath(CoreId Core, Addr Block,
     }
     if (Faults.Mutation != ProtocolMutation::SkipDowngradeOnFwdGetS)
       Private[Owner].setState(Block, LineState::Shared);
+    if (Cpi)
+      Cpi->charge(CpiCat::DowngradeService,
+                  Latency.forwardAndSupply(Home, Owner, Core));
     Lat += Latency.forwardAndSupply(Home, Owner, Core);
     noteData(Config.socketOf(Owner), CoreSocket);
     fillPrivate(Core, Block, LineState::Shared);
@@ -525,11 +564,15 @@ Cycles CoherenceController::mesiStorePath(CoreId Core, Addr Block,
         Private[Sharer].invalidate(Block);
         if (Auditor)
           Auditor->onInvalidate(Sharer, Block);
+        if (Prof)
+          Prof->onInvalidation(Block, Sharer);
         noteMsg(Home, Config.socketOf(Sharer));             // Inv
         noteMsg(Config.socketOf(Sharer), Home);             // Inv-Ack
         InvLat = std::max(InvLat, Latency.invalidate(Home, Sharer));
       });
     }
+    if (Cpi)
+      Cpi->charge(CpiCat::InvalidationService, InvLat);
     Lat += InvLat;
     if (HadCopy) {
       Private[Core].setState(Block, LineState::Modified);
@@ -554,6 +597,8 @@ Cycles CoherenceController::mesiStorePath(CoreId Core, Addr Block,
     // the same either way.
     ++Stats.Invalidations;
     ++Stats.CacheToCache;
+    if (Prof)
+      Prof->onInvalidation(Block, Owner);
     noteMsg(Home, Config.socketOf(Owner));
     if (Auditor) {
       SectorMask Full;
@@ -565,6 +610,9 @@ Cycles CoherenceController::mesiStorePath(CoreId Core, Addr Block,
     assert(Old && "directory owner without a resident line");
     if (Auditor)
       Auditor->onInvalidate(Owner, Block);
+    if (Cpi)
+      Cpi->charge(CpiCat::InvalidationService,
+                  Latency.forwardAndSupply(Home, Owner, Core));
     Lat += Latency.forwardAndSupply(Home, Owner, Core);
     noteData(Config.socketOf(Owner), CoreSocket);
     fillPrivate(Core, Block, LineState::Modified);
@@ -636,6 +684,8 @@ Cycles CoherenceController::reconcileBlock(Addr Block, DirEntry &Entry) {
   SocketId Home = homeOfExisting(Block);
   ++Stats.ReconciledBlocks;
   unsigned Holders = Entry.Sharers.count();
+  if (Prof)
+    Prof->onReconcile(Block, Holders);
 
   if (Holders == 0) {
     // All copies were already evicted (and eagerly reconciled).

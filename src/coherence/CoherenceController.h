@@ -51,6 +51,8 @@ namespace warden {
 
 class Histogram;
 class ProtocolAuditor;
+class SharingProfiler;
+class CpiStack;
 struct Observability;
 
 /// Kind of demand access.
@@ -185,6 +187,10 @@ private:
   Histogram *StoreLatencyHist = nullptr;
   Histogram *RmwLatencyHist = nullptr;
   Histogram *RegionLifetimeHist = nullptr;
+  /// Per-line sharing profiler and per-core cycle accounting, cached from
+  /// the bundle at attach time (hot-path pointers, one null check each).
+  SharingProfiler *Prof = nullptr;
+  CpiStack *Cpi = nullptr;
   /// RegionId -> Observability::Now at addRegion, for lifetime histograms.
   std::unordered_map<RegionId, Cycles> RegionAddedAt;
 };

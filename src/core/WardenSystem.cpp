@@ -54,8 +54,16 @@ RunResult WardenSystem::simulate(const TaskGraph &Graph,
                                                 Options.AuditConfig);
     Controller.attachAuditor(Auditor.get());
   }
-  if (Options.Obs)
+  if (Options.Obs) {
+    // Reset per-run profiler/CPI state before attaching, so a bundle
+    // reused across runs (e.g. per-benchmark MESI then WARDen) starts each
+    // run from a clean table and the right allocation-site map.
+    if (Options.Obs->Profiler)
+      Options.Obs->Profiler->beginRun(&Graph.memoryMap(), Options.Obs);
+    if (Options.Obs->Cpi)
+      Options.Obs->Cpi->beginRun(Config.totalCores());
     Controller.attachObs(Options.Obs);
+  }
   Replayer Replay(Graph, Controller, Options.Seed);
   if (Options.Obs)
     Replay.attachObs(Options.Obs);
@@ -71,6 +79,14 @@ RunResult WardenSystem::simulate(const TaskGraph &Graph,
   }
   if (Options.Obs && Options.Obs->Metrics)
     Result.Metrics = Options.Obs->Metrics->report();
+  if (Options.Obs && Options.Obs->Profiler) {
+    // Snapshot before the drain: drainDirtyData is bookkeeping traffic
+    // that a longer execution would have amortised, not sharing behaviour.
+    Options.Obs->Profiler->finishCounters();
+    Result.Profile = Options.Obs->Profiler->report();
+  }
+  if (Options.Obs && Options.Obs->Cpi)
+    Result.Cpi = Options.Obs->Cpi->report();
   Controller.drainDirtyData();
   Result.Protocol = Config.Protocol;
   Result.Makespan = Timing.Makespan;
@@ -142,8 +158,11 @@ RunResult WardenSystem::simulateMedian(const TaskGraph &Graph,
       Median.Audit.Messages.push_back(Message);
     }
   }
-  if (Options.Obs)
+  if (Options.Obs) {
     Median.Metrics = Runs[0].Metrics;
+    Median.Profile = Runs[0].Profile;
+    Median.Cpi = Runs[0].Cpi;
+  }
   return Median;
 }
 

@@ -18,7 +18,9 @@
 #include "src/coherence/CoherenceStats.h"
 #include "src/machine/EnergyModel.h"
 #include "src/machine/MachineConfig.h"
+#include "src/obs/CpiStack.h"
 #include "src/obs/MetricRegistry.h"
+#include "src/obs/SharingProfiler.h"
 #include "src/rt/Runtime.h"
 #include "src/sched/Replay.h"
 #include "src/trace/TaskGraph.h"
@@ -74,6 +76,13 @@ struct RunResult {
   /// carried one (Enabled == false otherwise). For median runs this is the
   /// first repeat's snapshot — the run the sampler and trace observed.
   MetricsReport Metrics;
+  /// Per-line sharing/contention profile when RunOptions::Obs carried a
+  /// SharingProfiler (Enabled == false otherwise). Same first-repeat rule
+  /// as Metrics for median runs.
+  ProfileReport Profile;
+  /// Per-core cycle accounting when RunOptions::Obs carried a CpiStack
+  /// (Enabled == false otherwise). Same first-repeat rule as Metrics.
+  CpiReport Cpi;
 
   /// Aggregate instructions-per-cycle over the whole machine run.
   double ipc() const {

@@ -23,21 +23,28 @@ void ChromeTraceExporter::instant(std::string Name, unsigned Tid, Cycles At) {
   Instants.push_back({std::move(Name), Tid, At});
 }
 
+void ChromeTraceExporter::counter(std::string Name, Cycles At, double Value) {
+  Counters.push_back({std::move(Name), At, Value});
+}
+
 std::string ChromeTraceExporter::render() const {
-  // Merge spans and instants into one ts-sorted event list. Stable sort
-  // keeps same-timestamp events in recording order, which is already
-  // causal.
+  // Merge spans, instants, and counter samples into one ts-sorted event
+  // list. Stable sort keeps same-timestamp events in recording order,
+  // which is already causal.
+  enum class Kind { Span, Instant, Counter };
   struct Ref {
     Cycles Ts;
-    bool IsSpan;
+    Kind What;
     std::size_t Index;
   };
   std::vector<Ref> Order;
-  Order.reserve(Spans.size() + Instants.size());
+  Order.reserve(Spans.size() + Instants.size() + Counters.size());
   for (std::size_t I = 0; I < Spans.size(); ++I)
-    Order.push_back({Spans[I].Start, true, I});
+    Order.push_back({Spans[I].Start, Kind::Span, I});
   for (std::size_t I = 0; I < Instants.size(); ++I)
-    Order.push_back({Instants[I].At, false, I});
+    Order.push_back({Instants[I].At, Kind::Instant, I});
+  for (std::size_t I = 0; I < Counters.size(); ++I)
+    Order.push_back({Counters[I].At, Kind::Counter, I});
   std::stable_sort(Order.begin(), Order.end(),
                    [](const Ref &A, const Ref &B) { return A.Ts < B.Ts; });
 
@@ -64,7 +71,8 @@ std::string ChromeTraceExporter::render() const {
 
   for (const Ref &R : Order) {
     W.beginObject();
-    if (R.IsSpan) {
+    switch (R.What) {
+    case Kind::Span: {
       const Span &S = Spans[R.Index];
       W.member("name", "strand " + std::to_string(S.Strand));
       W.member("cat", "task");
@@ -74,7 +82,9 @@ std::string ChromeTraceExporter::render() const {
       W.member("pid", 0u);
       W.member("tid", S.Core);
       W.key("args").beginObject().member("strand", S.Strand).endObject();
-    } else {
+      break;
+    }
+    case Kind::Instant: {
       const Instant &I = Instants[R.Index];
       W.member("name", I.Name);
       W.member("cat", "coherence");
@@ -83,6 +93,19 @@ std::string ChromeTraceExporter::render() const {
       W.member("ts", I.At);
       W.member("pid", 0u);
       W.member("tid", I.Tid);
+      break;
+    }
+    case Kind::Counter: {
+      const CounterSample &C = Counters[R.Index];
+      W.member("name", C.Name);
+      W.member("cat", "contention");
+      W.member("ph", "C");
+      W.member("ts", C.At);
+      W.member("pid", 0u);
+      W.member("tid", directoryTid());
+      W.key("args").beginObject().member("value", C.Value).endObject();
+      break;
+    }
     }
     W.endObject();
   }

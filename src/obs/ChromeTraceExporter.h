@@ -44,8 +44,14 @@ public:
   /// A point event named \p Name on track \p Tid at time \p At.
   void instant(std::string Name, unsigned Tid, Cycles At);
 
+  /// A counter sample ("ph":"C"): Perfetto renders one counter track per
+  /// \p Name charting \p Value over time. Used by the sharing profiler for
+  /// the most contended cache lines.
+  void counter(std::string Name, Cycles At, double Value);
+
   std::size_t spanCount() const { return Spans.size(); }
   std::size_t instantCount() const { return Instants.size(); }
+  std::size_t counterCount() const { return Counters.size(); }
 
   /// Renders the whole trace as a Trace Event JSON document (an object with
   /// a "traceEvents" array, timestamps sorted ascending).
@@ -66,10 +72,16 @@ private:
     unsigned Tid;
     Cycles At;
   };
+  struct CounterSample {
+    std::string Name;
+    Cycles At;
+    double Value;
+  };
 
   unsigned CoreCount = 0;
   std::vector<Span> Spans;
   std::vector<Instant> Instants;
+  std::vector<CounterSample> Counters;
 };
 
 } // namespace warden

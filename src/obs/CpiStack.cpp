@@ -1,0 +1,112 @@
+//===- obs/CpiStack.cpp - Per-core cycle accounting -----------------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/obs/CpiStack.h"
+
+#include "src/support/Json.h"
+
+using namespace warden;
+
+const char *warden::cpiCategoryName(CpiCat C) {
+  switch (C) {
+  case CpiCat::Compute:
+    return "compute";
+  case CpiCat::L1Hit:
+    return "l1_hit";
+  case CpiCat::L2Hit:
+    return "l2_hit";
+  case CpiCat::DirectoryWait:
+    return "directory_wait";
+  case CpiCat::RemoteHop:
+    return "remote_hop";
+  case CpiCat::Dram:
+    return "dram";
+  case CpiCat::InvalidationService:
+    return "invalidation_service";
+  case CpiCat::DowngradeService:
+    return "downgrade_service";
+  case CpiCat::Reconcile:
+    return "reconcile";
+  case CpiCat::StoreBufferStall:
+    return "store_buffer_stall";
+  case CpiCat::StealWait:
+    return "steal_wait";
+  case CpiCat::StoreBuffered:
+    return "store_buffered";
+  case CpiCat::Count:
+    break;
+  }
+  return "?";
+}
+
+void CpiStack::beginRun(unsigned CoreCount) {
+  Scratch = {};
+  PerCore.assign(CoreCount, {});
+  CoreTime.assign(CoreCount, 0);
+}
+
+void CpiStack::commitCritical(CoreId Core) {
+  for (unsigned C = 0; C < NumCats; ++C)
+    PerCore[Core][C] += Scratch[C];
+  Scratch = {};
+}
+
+void CpiStack::commitBuffered(CoreId Core) {
+  Cycles Sum = 0;
+  for (Cycles V : Scratch)
+    Sum += V;
+  PerCore[Core][static_cast<unsigned>(CpiCat::StoreBuffered)] += Sum;
+  Scratch = {};
+}
+
+void CpiStack::discard() { Scratch = {}; }
+
+CpiReport CpiStack::report() const {
+  CpiReport Rep;
+  Rep.Enabled = true;
+  Rep.Cores = static_cast<unsigned>(PerCore.size());
+  Rep.PerCore = PerCore;
+  Rep.CoreTime = CoreTime;
+  return Rep;
+}
+
+Cycles CpiReport::total(CpiCat C) const {
+  Cycles Sum = 0;
+  for (const auto &Core : PerCore)
+    Sum += Core[static_cast<unsigned>(C)];
+  return Sum;
+}
+
+Cycles CpiReport::accounted(unsigned Core) const {
+  Cycles Sum = 0;
+  for (unsigned C = 0; C < static_cast<unsigned>(CpiCat::Count); ++C)
+    if (C != static_cast<unsigned>(CpiCat::StoreBuffered))
+      Sum += PerCore[Core][C];
+  return Sum;
+}
+
+void CpiReport::writeJson(JsonWriter &W) const {
+  W.beginObject();
+  W.member("enabled", Enabled);
+  W.member("cores", Cores);
+  W.key("total_cycles").beginObject();
+  for (unsigned C = 0; C < static_cast<unsigned>(CpiCat::Count); ++C)
+    W.member(cpiCategoryName(static_cast<CpiCat>(C)),
+             total(static_cast<CpiCat>(C)));
+  Cycles Other = 0;
+  for (unsigned Core = 0; Core < Cores; ++Core) {
+    Cycles Acc = accounted(Core);
+    if (CoreTime[Core] > Acc)
+      Other += CoreTime[Core] - Acc;
+  }
+  W.member("other", Other);
+  W.endObject();
+  W.key("core_time").beginArray();
+  for (Cycles T : CoreTime)
+    W.value(T);
+  W.endArray();
+  W.endObject();
+}

@@ -1,0 +1,126 @@
+//===- obs/CpiStack.h - Per-core cycle accounting -------------*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "where did the cycles go" view: per-core decomposition of simulated
+/// time into compute, cache-hit, directory-wait, coherence-service,
+/// memory, and scheduler categories — a CPI stack per benchmark per
+/// protocol. The coherence controller charges the legs of each demand
+/// access into a per-access scratch; the replayer commits that scratch
+/// against the issuing core once it knows how the access retires (blocking
+/// load vs. buffered store vs. steal probe) and adds its own scheduler
+/// categories directly. Pure accounting on values the simulator already
+/// computed: detached costs one null check per hook, attached runs are
+/// cycle-identical (asserted by tests/ProfilerTest.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_OBS_CPISTACK_H
+#define WARDEN_OBS_CPISTACK_H
+
+#include "src/support/Types.h"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace warden {
+
+class JsonWriter;
+
+/// Cycle categories of the stack. Keep in sync with cpiCategoryName().
+enum class CpiCat : unsigned {
+  Compute,             ///< Work events, issue slots, fork/join overhead.
+  L1Hit,               ///< Private L1 data hits.
+  L2Hit,               ///< Private L2 data hits.
+  DirectoryWait,       ///< Trip to the home LLC slice/directory (on-socket).
+  RemoteHop,           ///< Cross-socket/remote part of directory trips.
+  Dram,                ///< DRAM fetches behind LLC data misses.
+  InvalidationService, ///< Waiting for sharer invalidations (GetM).
+  DowngradeService,    ///< Waiting for owner downgrade + supply (GetS).
+  Reconcile,           ///< WARD add/remove-region instruction work.
+  StoreBufferStall,    ///< Full store buffer back-pressure.
+  StealWait,           ///< Idle between running out of work and obtaining
+                       ///< the next strand (includes probe traffic).
+  StoreBuffered,       ///< Store latency absorbed by the store buffer (not
+                       ///< on the critical path; reported for contrast —
+                       ///< the paper's downgrades-dominate argument).
+  Count,
+};
+
+const char *cpiCategoryName(CpiCat C);
+
+/// Snapshot of one run's cycle accounting, carried into RunResult. Value
+/// semantics so median selection can copy it.
+struct CpiReport {
+  bool Enabled = false;
+  unsigned Cores = 0;
+  /// [core][category] cycles. StoreBuffered is off-critical-path and thus
+  /// excluded from the residual below.
+  std::vector<std::array<Cycles, static_cast<unsigned>(CpiCat::Count)>>
+      PerCore;
+  /// Per-core end-of-run local time; the difference between this and the
+  /// categorised critical-path cycles is reported as "other" (uncharged).
+  std::vector<Cycles> CoreTime;
+
+  Cycles total(CpiCat C) const;
+  /// Sum of every critical-path category for \p Core (StoreBuffered
+  /// excluded).
+  Cycles accounted(unsigned Core) const;
+
+  /// Emits the report as one JSON object onto \p W (part of the
+  /// "warden-prof-v1" section).
+  void writeJson(JsonWriter &W) const;
+};
+
+/// The accumulator. One instance observes one simulated run; beginRun()
+/// resets it so compare() can reuse the instance for both protocols.
+class CpiStack {
+public:
+  /// Resets all state for a run over \p CoreCount cores.
+  void beginRun(unsigned CoreCount);
+
+  // --- Controller-side: per-access scratch ----------------------------------
+
+  /// Charges \p N cycles of the in-flight access to \p C.
+  void charge(CpiCat C, Cycles N) {
+    Scratch[static_cast<unsigned>(C)] += N;
+  }
+
+  /// Commits the scratch to \p Core as critical-path time (blocking loads
+  /// and RMWs).
+  void commitCritical(CoreId Core);
+
+  /// Commits the scratch to \p Core collapsed into StoreBuffered: the
+  /// store's latency retires through the store buffer, off the critical
+  /// path.
+  void commitBuffered(CoreId Core);
+
+  /// Discards the scratch (steal probes: their latency is already inside
+  /// the StealWait window).
+  void discard();
+
+  // --- Replayer-side: direct charges ----------------------------------------
+
+  void add(CoreId Core, CpiCat C, Cycles N) {
+    PerCore[Core][static_cast<unsigned>(C)] += N;
+  }
+
+  /// Records \p Core's final local clock.
+  void setCoreTime(CoreId Core, Cycles Now) { CoreTime[Core] = Now; }
+
+  CpiReport report() const;
+
+private:
+  static constexpr unsigned NumCats = static_cast<unsigned>(CpiCat::Count);
+  std::array<Cycles, NumCats> Scratch = {};
+  std::vector<std::array<Cycles, NumCats>> PerCore;
+  std::vector<Cycles> CoreTime;
+};
+
+} // namespace warden
+
+#endif // WARDEN_OBS_CPISTACK_H

@@ -30,6 +30,8 @@ namespace warden {
 class MetricRegistry;
 class TimelineSampler;
 class ChromeTraceExporter;
+class SharingProfiler;
+class CpiStack;
 
 /// Observability sinks for one simulation. Not owned by the simulator; the
 /// caller keeps the instruments and reads them after the run.
@@ -37,6 +39,10 @@ struct Observability {
   MetricRegistry *Metrics = nullptr;
   TimelineSampler *Sampler = nullptr;
   ChromeTraceExporter *Trace = nullptr;
+  /// Per-line sharing/attribution profiler (second-generation layer).
+  SharingProfiler *Profiler = nullptr;
+  /// Per-core cycle accounting (CPI stall stacks).
+  CpiStack *Cpi = nullptr;
 
   /// Simulated time of the core currently being advanced (replayer-owned).
   Cycles Now = 0;

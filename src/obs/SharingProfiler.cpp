@@ -1,0 +1,325 @@
+//===- obs/SharingProfiler.cpp - Per-line coherence attribution -----------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/obs/SharingProfiler.h"
+
+#include "src/obs/ChromeTraceExporter.h"
+#include "src/obs/Observability.h"
+#include "src/support/Json.h"
+#include "src/trace/TaskGraph.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+using namespace warden;
+
+const char *warden::sharingClassName(SharingClass C) {
+  switch (C) {
+  case SharingClass::Private:
+    return "private";
+  case SharingClass::TrueSharing:
+    return "true-sharing";
+  case SharingClass::FalseSharing:
+    return "false-sharing";
+  case SharingClass::Migratory:
+    return "migratory";
+  case SharingClass::WardElided:
+    return "ward-elided";
+  case SharingClass::ReadShared:
+    return "read-shared";
+  }
+  return "?";
+}
+
+void SharingProfiler::beginRun(const MemoryMap *RunMap,
+                               Observability *RunObs) {
+  Table.clear();
+  Map = RunMap;
+  Obs = RunObs;
+  ClaimedTracks = 0;
+  Dropped = 0;
+  AdmitCounter = 0;
+}
+
+SharingProfiler::LineRecord *SharingProfiler::lookup(Addr Block) {
+  auto It = Table.find(Block);
+  if (It != Table.end())
+    return &It->second;
+  if (Table.size() < Capacity)
+    return &Table[Block];
+
+  // Full: decayed deterministic admission. Every 2^AdmitShift-th candidate
+  // evicts the current minimum-traffic entry; the rest are counted dropped.
+  ++AdmitCounter;
+  if ((AdmitCounter & ((std::uint64_t(1) << AdmitShift) - 1)) != 0) {
+    ++Dropped;
+    return nullptr;
+  }
+  auto Min = Table.begin();
+  for (auto Cand = Table.begin(); Cand != Table.end(); ++Cand)
+    if (Cand->second.traffic() < Min->second.traffic())
+      Min = Cand;
+  Table.erase(Min);
+  return &Table[Block];
+}
+
+void SharingProfiler::noteContention(Addr Block, LineRecord &R) {
+  if (!Obs || !Obs->Trace)
+    return;
+  if (R.CounterName.empty()) {
+    if (R.Invalidations + R.Downgrades < ClaimThreshold ||
+        ClaimedTracks >= MaxCounterTracks)
+      return;
+    ++ClaimedTracks;
+    char Name[128];
+    std::string_view Site =
+        Map ? Map->siteName(Map->siteOf(Block)) : std::string_view("?");
+    std::snprintf(Name, sizeof(Name), "inv+down line 0x%llx (%.*s)",
+                  static_cast<unsigned long long>(Block),
+                  static_cast<int>(Site.size()), Site.data());
+    R.CounterName = Name;
+  }
+  if (R.CounterSamples >= MaxCounterSamples)
+    return;
+  ++R.CounterSamples;
+  Obs->Trace->counter(R.CounterName, Obs->Now,
+                      static_cast<double>(R.Invalidations + R.Downgrades));
+}
+
+void SharingProfiler::finishCounters() const {
+  if (!Obs || !Obs->Trace)
+    return;
+  for (const auto &[Block, R] : Table) {
+    (void)Block;
+    if (!R.CounterName.empty())
+      Obs->Trace->counter(R.CounterName, Obs->Now,
+                          static_cast<double>(R.Invalidations +
+                                              R.Downgrades));
+  }
+}
+
+void SharingProfiler::onRead(Addr Block, CoreId Core) {
+  if (LineRecord *R = lookup(Block))
+    R->Readers.set(Core);
+}
+
+void SharingProfiler::onWrite(Addr Block, CoreId Core, unsigned Offset,
+                              unsigned Size) {
+  LineRecord *R = lookup(Block);
+  if (!R)
+    return;
+  R->Writers.set(Core);
+  if (R->LastWriter != Core) {
+    if (R->LastWriter != InvalidCore) {
+      ++R->WriterHandoffs;
+      if (R->PrevWriter == Core)
+        ++R->PingPongs; // A, B, A: the classic ping-pong signature.
+    }
+    R->PrevWriter = R->LastWriter;
+    R->LastWriter = Core;
+  }
+  SectorMask *Mine = nullptr;
+  for (auto &[Owner, Mask] : R->Footprints) {
+    if (Owner == Core) {
+      Mine = &Mask;
+      continue;
+    }
+    if (!R->OverlapWritten && Mask.anyWritten(Offset, Size))
+      R->OverlapWritten = true;
+  }
+  if (!Mine) {
+    R->Footprints.emplace_back(Core, SectorMask());
+    Mine = &R->Footprints.back().second;
+  }
+  Mine->markWritten(Offset, Size);
+}
+
+void SharingProfiler::onInvalidation(Addr Block, CoreId Victim) {
+  LineRecord *R = lookup(Block);
+  if (!R)
+    return;
+  (void)Victim;
+  ++R->Invalidations;
+  noteContention(Block, *R);
+}
+
+void SharingProfiler::onDowngrade(Addr Block, CoreId Owner) {
+  LineRecord *R = lookup(Block);
+  if (!R)
+    return;
+  (void)Owner;
+  ++R->Downgrades;
+  noteContention(Block, *R);
+}
+
+void SharingProfiler::onReconcile(Addr Block, unsigned Holders) {
+  if (LineRecord *R = lookup(Block))
+    R->Reconciles += Holders ? Holders : 1;
+}
+
+void SharingProfiler::onWardGrant(Addr Block, CoreId Core) {
+  if (LineRecord *R = lookup(Block)) {
+    (void)Core;
+    ++R->WardGrants;
+  }
+}
+
+void SharingProfiler::onDemandMiss(Addr Block, CoreId Core, Cycles Latency,
+                                   bool Remote) {
+  LineRecord *R = lookup(Block);
+  if (!R)
+    return;
+  (void)Core;
+  ++R->DemandMisses;
+  R->DemandMissCycles += Latency;
+  if (Remote)
+    ++R->RemoteHops;
+}
+
+SharingClass SharingProfiler::classify(const LineRecord &R) const {
+  CoreMask Touched = R.Readers;
+  R.Writers.forEach([&](CoreId Core) { Touched.set(Core); });
+  if (Touched.count() <= 1)
+    return SharingClass::Private;
+  if (R.WardGrants > 0 && R.Invalidations + R.Downgrades == 0)
+    return SharingClass::WardElided;
+  unsigned Writers = R.Writers.count();
+  if (Writers >= 2) {
+    if (!R.OverlapWritten)
+      return SharingClass::FalseSharing;
+    // Overlapping footprints: readers downgrading the writer mean genuine
+    // producer/consumer sharing; pure writer handoffs are migratory data.
+    return R.Downgrades == 0 ? SharingClass::Migratory
+                             : SharingClass::TrueSharing;
+  }
+  return Writers == 0 ? SharingClass::ReadShared : SharingClass::TrueSharing;
+}
+
+void SharingProfiler::fillProfile(Addr Block, const LineRecord &R,
+                                  LineProfile &P) const {
+  P.Block = Block;
+  P.Site = Map ? Map->siteOf(Block) : InvalidSite;
+  P.SiteName = Map ? std::string(Map->siteName(P.Site)) : "<unmapped>";
+  P.Class = classify(R);
+  P.Invalidations = R.Invalidations;
+  P.Downgrades = R.Downgrades;
+  P.Reconciles = R.Reconciles;
+  P.WardGrants = R.WardGrants;
+  P.RemoteHops = R.RemoteHops;
+  P.DemandMisses = R.DemandMisses;
+  P.DemandMissCycles = R.DemandMissCycles;
+  P.WriterHandoffs = R.WriterHandoffs;
+  P.PingPongs = R.PingPongs;
+  P.Readers = R.Readers.count();
+  P.Writers = R.Writers.count();
+}
+
+ProfileReport SharingProfiler::report(std::size_t TopN) const {
+  ProfileReport Rep;
+  Rep.Enabled = true;
+  Rep.TrackedLines = Table.size();
+  Rep.DroppedEvents = Dropped;
+
+  std::vector<LineProfile> All;
+  All.reserve(Table.size());
+  std::map<std::uint32_t, SiteProfile> Sites;
+  for (const auto &[Block, R] : Table) {
+    LineProfile P;
+    fillProfile(Block, R, P);
+    Rep.TotalInvalidations += P.Invalidations;
+    Rep.TotalDowngrades += P.Downgrades;
+
+    SiteProfile &S = Sites[P.Site];
+    S.Site = P.Site;
+    S.SiteName = P.SiteName;
+    ++S.Lines;
+    S.Invalidations += P.Invalidations;
+    S.Downgrades += P.Downgrades;
+    S.Reconciles += P.Reconciles;
+    S.WardGrants += P.WardGrants;
+    S.DemandMisses += P.DemandMisses;
+    S.DemandMissCycles += P.DemandMissCycles;
+
+    All.push_back(std::move(P));
+  }
+
+  std::sort(All.begin(), All.end(),
+            [](const LineProfile &A, const LineProfile &B) {
+              if (A.traffic() != B.traffic())
+                return A.traffic() > B.traffic();
+              return A.Block < B.Block;
+            });
+  if (All.size() > TopN)
+    All.resize(TopN);
+  Rep.Lines = std::move(All);
+
+  for (auto &[Site, S] : Sites) {
+    (void)Site;
+    if (S.Invalidations + S.Downgrades + S.Reconciles + S.WardGrants +
+            S.DemandMisses ==
+        0)
+      continue;
+    Rep.Sites.push_back(std::move(S));
+  }
+  std::sort(Rep.Sites.begin(), Rep.Sites.end(),
+            [](const SiteProfile &A, const SiteProfile &B) {
+              std::uint64_t TA = A.Invalidations + A.Downgrades + A.Reconciles;
+              std::uint64_t TB = B.Invalidations + B.Downgrades + B.Reconciles;
+              if (TA != TB)
+                return TA > TB;
+              return A.SiteName < B.SiteName;
+            });
+  return Rep;
+}
+
+void ProfileReport::writeJson(JsonWriter &W) const {
+  W.beginObject();
+  W.member("schema", "warden-prof-v1");
+  W.member("enabled", Enabled);
+  W.member("tracked_lines", TrackedLines);
+  W.member("dropped_events", DroppedEvents);
+  W.member("total_invalidations", TotalInvalidations);
+  W.member("total_downgrades", TotalDowngrades);
+  W.key("lines").beginArray();
+  for (const LineProfile &P : Lines) {
+    W.beginObject();
+    char Hex[32];
+    std::snprintf(Hex, sizeof(Hex), "0x%llx",
+                  static_cast<unsigned long long>(P.Block));
+    W.member("block", Hex);
+    W.member("site", P.SiteName);
+    W.member("class", sharingClassName(P.Class));
+    W.member("invalidations", P.Invalidations);
+    W.member("downgrades", P.Downgrades);
+    W.member("reconciles", P.Reconciles);
+    W.member("ward_grants", P.WardGrants);
+    W.member("remote_hops", P.RemoteHops);
+    W.member("demand_misses", P.DemandMisses);
+    W.member("demand_miss_cycles", P.DemandMissCycles);
+    W.member("writer_handoffs", P.WriterHandoffs);
+    W.member("ping_pongs", P.PingPongs);
+    W.member("readers", P.Readers);
+    W.member("writers", P.Writers);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("sites").beginArray();
+  for (const SiteProfile &S : Sites) {
+    W.beginObject();
+    W.member("site", S.SiteName);
+    W.member("lines", S.Lines);
+    W.member("invalidations", S.Invalidations);
+    W.member("downgrades", S.Downgrades);
+    W.member("reconciles", S.Reconciles);
+    W.member("ward_grants", S.WardGrants);
+    W.member("demand_misses", S.DemandMisses);
+    W.member("demand_miss_cycles", S.DemandMissCycles);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+}

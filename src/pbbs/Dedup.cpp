@@ -24,23 +24,35 @@ using namespace warden::pbbs;
 
 Recorded pbbs::recordDedup(std::size_t Scale, const RtOptions &Options) {
   Runtime Rt(Options);
+  // Allocation-site labels scope every array (including the sort's
+  // scratch) so the sharing profiler can attribute coherence traffic to
+  // the benchmark's data structures by name.
   // A value range of half the element count gives roughly 43% duplication.
-  SimArray<std::uint32_t> In = randomArray<std::uint32_t>(
-      Rt, Scale, /*Range=*/Scale / 2, /*Seed=*/0xded);
+  SimArray<std::uint32_t> In = [&] {
+    Runtime::AllocSiteScope Site(Rt, "dedup: input");
+    return randomArray<std::uint32_t>(Rt, Scale, /*Range=*/Scale / 2,
+                                      /*Seed=*/0xded);
+  }();
 
-  SimArray<std::uint32_t> Sorted =
-      mergeSort(Rt, In, [](std::uint32_t A, std::uint32_t B) { return A < B; },
-                /*Grain=*/128);
+  SimArray<std::uint32_t> Sorted = [&] {
+    Runtime::AllocSiteScope Site(Rt, "dedup: sorted");
+    return mergeSort(Rt, In,
+                     [](std::uint32_t A, std::uint32_t B) { return A < B; },
+                     /*Grain=*/128);
+  }();
 
-  SimArray<std::uint32_t> Boundary = stdlib::tabulate<std::uint32_t>(
-      Rt, Sorted.size(),
-      [&](std::size_t I) {
-        if (I == 0)
-          return std::uint32_t(1);
-        return Sorted.get(I) != Sorted.get(I - 1) ? std::uint32_t(1)
-                                                  : std::uint32_t(0);
-      },
-      256);
+  SimArray<std::uint32_t> Boundary = [&] {
+    Runtime::AllocSiteScope Site(Rt, "dedup: boundary flags");
+    return stdlib::tabulate<std::uint32_t>(
+        Rt, Sorted.size(),
+        [&](std::size_t I) {
+          if (I == 0)
+            return std::uint32_t(1);
+          return Sorted.get(I) != Sorted.get(I - 1) ? std::uint32_t(1)
+                                                    : std::uint32_t(0);
+        },
+        256);
+  }();
   std::uint32_t Distinct = stdlib::sum(Rt, Boundary, 256);
 
   std::unordered_set<std::uint32_t> Reference;

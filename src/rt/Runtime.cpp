@@ -110,7 +110,16 @@ void Runtime::mergeChildHeap(Heap &Child, Heap &Parent) {
                            Child.SpanStarts.end());
 }
 
-Addr Runtime::allocate(std::uint64_t Size, std::uint64_t Align) {
+std::uint32_t Runtime::resolveSite(const char *Site) {
+  if (Site)
+    return Graph.memoryMap().internSite(Site);
+  if (!SiteStack.empty())
+    return Graph.memoryMap().internSite(SiteStack.back());
+  return Graph.memoryMap().internSite("heap");
+}
+
+Addr Runtime::allocate(std::uint64_t Size, std::uint64_t Align,
+                       const char *Site) {
   assert(!Finished && "allocating after finish()");
   assert(Size > 0 && "empty allocation");
   if (Align < 8)
@@ -128,6 +137,7 @@ Addr Runtime::allocate(std::uint64_t Size, std::uint64_t Align) {
     assert(Inserted && "span already registered");
     H.SpanStarts.push_back(Start);
     markSpan(It->second);
+    Graph.memoryMap().addSpan(Start, Start + SpanSize, resolveSite(Site));
     return Start;
   }
 
@@ -146,13 +156,19 @@ Addr Runtime::allocate(std::uint64_t Size, std::uint64_t Align) {
     Ptr = Start;
   }
   H.BumpPtr = Ptr + Size;
+  // Attribution covers the exact allocation, not the whole page, so
+  // co-resident small objects (fork frames vs. user data) stay distinct.
+  Graph.memoryMap().addSpan(Ptr, Ptr + Size, resolveSite(Site));
   return Ptr;
 }
 
 Addr Runtime::allocateSyncCounter() {
   // Join counters are synchronisation: they must stay fully coherent, so
   // they live outside every heap and are never marked.
-  return Memory.allocateSpan(64, 64);
+  Addr Counter = Memory.allocateSpan(64, 64);
+  Graph.memoryMap().addSpan(Counter, Counter + 64,
+                            Graph.memoryMap().internSite("rt: join counter"));
+  return Counter;
 }
 
 void Runtime::fork2(std::function<void()> A, std::function<void()> B) {
@@ -167,8 +183,8 @@ void Runtime::fork2(std::function<void()> A, std::function<void()> B) {
   Addr Frame = 0;
   Addr Desc = 0;
   if (Inject) {
-    Frame = allocate(64, 64);
-    Desc = allocate(64, 64);
+    Frame = allocate(64, 64, "rt: fork frame");
+    Desc = allocate(64, 64, "rt: fork descriptor");
     // The parent writes the task descriptor (function pointer, argument
     // closure, sizes) that both children will read (Section 5.3).
     for (unsigned K = 0; K < 4; ++K)

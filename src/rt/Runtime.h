@@ -39,6 +39,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace warden {
@@ -81,11 +82,34 @@ public:
   // --- Allocation ---------------------------------------------------------
 
   /// Allocates an array of \p Count elements in the current task's heap.
-  template <typename T> SimArray<T> allocArray(std::size_t Count);
+  /// \p Site optionally names the allocation for profiler attribution
+  /// (default: the innermost AllocSiteScope, else "heap").
+  template <typename T>
+  SimArray<T> allocArray(std::size_t Count, const char *Site = nullptr);
 
   /// Raw allocation in the current task's heap; returns its simulated
-  /// address. Fresh spans are WARD-marked per the leaf-heap rule.
-  Addr allocate(std::uint64_t Size, std::uint64_t Align);
+  /// address. Fresh spans are WARD-marked per the leaf-heap rule. Every
+  /// allocation is registered in the TaskGraph's MemoryMap under \p Site
+  /// (or the ambient AllocSiteScope) so phase-2 profilers can attribute
+  /// coherence traffic back to the allocating code.
+  Addr allocate(std::uint64_t Size, std::uint64_t Align,
+                const char *Site = nullptr);
+
+  /// RAII allocation-site label: allocations inside the scope that do not
+  /// pass an explicit site inherit this name (innermost scope wins). Purely
+  /// descriptive — scopes never change the trace or its timing.
+  class AllocSiteScope {
+  public:
+    AllocSiteScope(Runtime &Rt, std::string Name) : Rt(Rt) {
+      Rt.SiteStack.push_back(std::move(Name));
+    }
+    ~AllocSiteScope() { Rt.SiteStack.pop_back(); }
+    AllocSiteScope(const AllocSiteScope &) = delete;
+    AllocSiteScope &operator=(const AllocSiteScope &) = delete;
+
+  private:
+    Runtime &Rt;
+  };
 
   /// Host pointer for a simulated address.
   std::byte *hostPtr(Addr Address) { return Memory.host(Address); }
@@ -194,6 +218,10 @@ private:
 
   Addr allocateSyncCounter();
 
+  /// Site id for an allocation: explicit \p Site, else the innermost
+  /// AllocSiteScope, else "heap".
+  std::uint32_t resolveSite(const char *Site);
+
   void runChild(StrandId ChildStrand, StrandId Continuation, Addr Descriptor,
                 Addr ResultSlot, const std::function<void()> &Body);
 
@@ -212,6 +240,7 @@ private:
   /// these intervals are race-checked.
   std::map<Addr, Addr> KeptIntervals;
   RegionId NextRegion = 0;
+  std::vector<std::string> SiteStack; ///< Active AllocSiteScope labels.
   bool Finished = false;
 };
 

@@ -89,12 +89,13 @@ private:
   SimArray<T> Cell;
 };
 
-template <typename T> SimArray<T> Runtime::allocArray(std::size_t Count) {
+template <typename T>
+SimArray<T> Runtime::allocArray(std::size_t Count, const char *Site) {
   static_assert(std::is_trivially_copyable_v<T>,
                 "simulated memory holds trivially copyable values only");
   assert(Count > 0 && "empty array");
   Addr Base = allocate(Count * sizeof(T),
-                       std::max<std::uint64_t>(alignof(T), 8));
+                       std::max<std::uint64_t>(alignof(T), 8), Site);
   return SimArray<T>(this, Base, reinterpret_cast<T *>(hostPtr(Base)), Count);
 }
 

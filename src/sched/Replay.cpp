@@ -7,6 +7,7 @@
 #include "src/sched/Replay.h"
 
 #include "src/obs/ChromeTraceExporter.h"
+#include "src/obs/CpiStack.h"
 #include "src/obs/MetricRegistry.h"
 #include "src/obs/Observability.h"
 #include "src/obs/TimelineSampler.h"
@@ -32,6 +33,7 @@ void Replayer::attachObs(Observability *NewObs) {
       Obs && Obs->Metrics
           ? &Obs->Metrics->histogram("sched.steal_wait_cycles")
           : nullptr;
+  Cpi = Obs ? Obs->Cpi : nullptr;
   if (Obs) {
     IdleSince.assign(Cores.size(), NeverIdle);
     SpanStart.assign(Cores.size(), 0);
@@ -64,17 +66,31 @@ bool Replayer::step(CoreId Id, Core &C) {
   case TraceOp::Work:
     C.Now += E.Extra;
     Stats.Instructions += E.Extra;
+    if (Cpi)
+      Cpi->add(Id, CpiCat::Compute, E.Extra);
     break;
   case TraceOp::Load: {
     Cycles Lat = Controller.access(Id, E.Address, E.Size, AccessType::Load);
-    C.Now += std::max<Cycles>(Lat, 1);
+    Cycles Spent = std::max<Cycles>(Lat, 1);
+    C.Now += Spent;
     Stats.Instructions += 1;
+    if (Cpi) {
+      // The access latency was charged category-by-category inside the
+      // controller; the min-1-cycle issue padding is compute.
+      Cpi->commitCritical(Id);
+      Cpi->add(Id, CpiCat::Compute, Spent - Lat);
+    }
     break;
   }
   case TraceOp::Rmw: {
     Cycles Lat = Controller.access(Id, E.Address, E.Size, AccessType::Rmw);
-    C.Now += std::max<Cycles>(Lat, 1);
+    Cycles Spent = std::max<Cycles>(Lat, 1);
+    C.Now += Spent;
     Stats.Instructions += 1;
+    if (Cpi) {
+      Cpi->commitCritical(Id);
+      Cpi->add(Id, CpiCat::Compute, Spent - Lat);
+    }
     break;
   }
   case TraceOp::Store: {
@@ -84,6 +100,8 @@ bool Replayer::step(CoreId Id, Core &C) {
       Cycles Free = C.StoreBuffer.front();
       assert(Free > C.Now && "expired entry survived drain");
       Stats.StoreStallCycles += Free - C.Now;
+      if (Cpi)
+        Cpi->add(Id, CpiCat::StoreBufferStall, Free - C.Now);
       C.Now = Free;
       drainStoreBuffer(C);
     }
@@ -93,6 +111,12 @@ bool Replayer::step(CoreId Id, Core &C) {
                                 static_cast<Cycles>(C.StoreBuffer.size()));
     C.Now += 1; // Issue into the store buffer.
     Stats.Instructions += 1;
+    if (Cpi) {
+      // The store's miss latency is off the critical path (it retires
+      // through the buffer); keep it visible but out of accounted time.
+      Cpi->commitBuffered(Id);
+      Cpi->add(Id, CpiCat::Compute, 1);
+    }
     break;
   }
   case TraceOp::MarkRegion: {
@@ -101,6 +125,8 @@ bool Replayer::step(CoreId Id, Core &C) {
     Stats.RegionInstrCycles += Cost;
     if (Config.Protocol == ProtocolKind::Warden)
       Stats.Instructions += 1;
+    if (Cpi)
+      Cpi->add(Id, CpiCat::Reconcile, Cost);
     break;
   }
   case TraceOp::UnmarkRegion: {
@@ -109,6 +135,8 @@ bool Replayer::step(CoreId Id, Core &C) {
     Stats.RegionInstrCycles += Cost;
     if (Config.Protocol == ProtocolKind::Warden)
       Stats.Instructions += 1;
+    if (Cpi)
+      Cpi->add(Id, CpiCat::Reconcile, Cost);
     break;
   }
   }
@@ -126,16 +154,24 @@ void Replayer::completeStrand(CoreId Id, Core &C) {
   StrandId Next = InvalidStrand;
   if (S.isForkPoint()) {
     C.Now += Config.ForkOverhead;
+    if (Cpi)
+      Cpi->add(Id, CpiCat::Compute, Config.ForkOverhead);
     // Continue with the first child; expose the rest for stealing. The
     // deque bottom pointer is published through ordinary coherent memory.
     Controller.access(Id, dequeLine(Id), 8, AccessType::Store);
     C.Now += 1;
     Stats.Instructions += 1;
+    if (Cpi) {
+      Cpi->commitBuffered(Id);
+      Cpi->add(Id, CpiCat::Compute, 1);
+    }
     Next = S.Children.front();
     for (std::size_t I = 1; I < S.Children.size(); ++I)
       C.Deque.push_back({S.Children[I], C.Now});
   } else if (S.JoinTarget != InvalidStrand) {
     C.Now += Config.JoinOverhead;
+    if (Cpi)
+      Cpi->add(Id, CpiCat::Compute, Config.JoinOverhead);
     assert(JoinPending[S.JoinTarget] > 0 && "join counter underflow");
     if (--JoinPending[S.JoinTarget] == 0)
       Next = S.JoinTarget; // The last finisher runs the continuation.
@@ -148,6 +184,10 @@ void Replayer::completeStrand(CoreId Id, Core &C) {
     Controller.access(Id, dequeLine(Id), 8, AccessType::Store);
     C.Now += 1;
     Stats.Instructions += 1;
+    if (Cpi) {
+      Cpi->commitBuffered(Id);
+      Cpi->add(Id, CpiCat::Compute, 1);
+    }
   }
 
   LastCompletion = std::max(LastCompletion, C.Now);
@@ -178,6 +218,8 @@ void Replayer::tryObtainWork(CoreId Id, Core &C) {
   // execution time — the effect behind the paper's ray analysis.
   Cycles ProbeLat =
       Controller.access(Id, dequeLine(Victim), 8, AccessType::Load);
+  if (Cpi)
+    Cpi->discard(); // Probe time is covered by the StealWait window.
   C.Now += std::max<Cycles>(ProbeLat, 1);
   Stats.Instructions += 1;
   ++Stats.StealProbes;
@@ -186,6 +228,8 @@ void Replayer::tryObtainWork(CoreId Id, Core &C) {
     // Taking the item is an atomic exchange on the victim's deque line.
     Cycles TakeLat =
         Controller.access(Id, dequeLine(Victim), 8, AccessType::Rmw);
+    if (Cpi)
+      Cpi->discard();
     C.Current = Stolen.Strand;
     // A strand cannot start before the fork that created it completed.
     C.Now = std::max(C.Now + TakeLat + Config.StealOverhead,
@@ -204,8 +248,11 @@ ReplayResult Replayer::run() {
   assert(Graph.root() != InvalidStrand && "graph has no root");
   // Each worker initialises its own deque at startup, which also gives the
   // deque line a sensible first-touch home on the worker's own socket.
-  for (CoreId Id = 0; Id < Cores.size(); ++Id)
+  for (CoreId Id = 0; Id < Cores.size(); ++Id) {
     Controller.access(Id, dequeLine(Id), 8, AccessType::Store);
+    if (Cpi)
+      Cpi->commitBuffered(Id);
+  }
   Cores[0].Current = Graph.root();
 
   while (Remaining > 0) {
@@ -240,6 +287,8 @@ ReplayResult Replayer::run() {
       if (Obs && C.Current != InvalidStrand) {
         if (StealWaitHist)
           StealWaitHist->record(C.Now - IdleSince[Chosen]);
+        if (Cpi)
+          Cpi->add(Chosen, CpiCat::StealWait, C.Now - IdleSince[Chosen]);
         IdleSince[Chosen] = NeverIdle;
         SpanStart[Chosen] = C.Now;
       }
@@ -262,6 +311,9 @@ ReplayResult Replayer::run() {
       sampleInputs(In);
       Obs->Sampler->finalize(LastCompletion, In);
     }
+    if (Cpi)
+      for (CoreId Id = 0; Id < Cores.size(); ++Id)
+        Cpi->setCoreTime(Id, Cores[Id].Now);
   }
   return Result;
 }

@@ -28,6 +28,7 @@
 
 namespace warden {
 
+class CpiStack;
 class Histogram;
 struct Observability;
 struct TimelineInputs;
@@ -108,6 +109,12 @@ private:
   void sampleInputs(TimelineInputs &In) const;
   Observability *Obs = nullptr; ///< Not owned.
   Histogram *StealWaitHist = nullptr;
+  /// Per-core cycle accounting, cached from the bundle at attach time. The
+  /// replayer owns the commit discipline: after every Controller.access()
+  /// the controller-side scratch charges are committed (critical for
+  /// loads/RMWs, buffered for stores) or discarded (steal probes, whose
+  /// time is covered by the StealWait window).
+  CpiStack *Cpi = nullptr;
   static constexpr Cycles NeverIdle = static_cast<Cycles>(-1);
   std::vector<Cycles> IdleSince;  ///< Per core; NeverIdle when running.
   std::vector<Cycles> SpanStart;  ///< Start time of the current strand.

@@ -63,8 +63,10 @@ public:
     return Max;
   }
 
-  /// True when every sample so far was positive — i.e. geomean() is safe.
-  bool allPositive() const { return !HasNonPositive; }
+  /// True when there is at least one sample and every one was positive —
+  /// i.e. geomean() is safe to call. An empty summary answers false: it
+  /// has no positive samples and its geomean would assert.
+  bool allPositive() const { return N > 0 && !HasNonPositive; }
 
 private:
   std::size_t N = 0;

@@ -19,9 +19,70 @@
 #include "src/trace/TraceEvent.h"
 
 #include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
 #include <vector>
 
 namespace warden {
+
+/// Sentinel site id meaning "address not covered by any recorded span"
+/// (e.g. scheduler deque lines, which live outside every heap).
+inline constexpr std::uint32_t InvalidSite = static_cast<std::uint32_t>(-1);
+
+/// Address-to-allocation-site map recorded during phase 1. The runtime
+/// interns one site string per allocation context ("dedup: hash table
+/// array", "rt: fork frame", ...) and registers every heap span against it;
+/// phase-2 profilers resolve any simulated address back to the code that
+/// allocated it. Purely descriptive metadata: the timing simulation never
+/// reads it, so traces with and without a map replay identically.
+class MemoryMap {
+public:
+  /// Returns the id of \p Name, creating it on first use.
+  std::uint32_t internSite(std::string_view Name) {
+    auto It = SiteIds.find(std::string(Name));
+    if (It != SiteIds.end())
+      return It->second;
+    auto Id = static_cast<std::uint32_t>(Sites.size());
+    Sites.emplace_back(Name);
+    SiteIds.emplace(Sites.back(), Id);
+    return Id;
+  }
+
+  /// Registers [\p Start, \p End) as belonging to site \p Site. Spans never
+  /// overlap (the allocator hands out disjoint ranges).
+  void addSpan(Addr Start, Addr End, std::uint32_t Site) {
+    Spans[Start] = {End, Site};
+  }
+
+  /// Site owning \p Address, or InvalidSite when unmapped.
+  std::uint32_t siteOf(Addr Address) const {
+    auto It = Spans.upper_bound(Address);
+    if (It == Spans.begin())
+      return InvalidSite;
+    --It;
+    return Address < It->second.first ? It->second.second : InvalidSite;
+  }
+
+  /// Name of site \p Id ("<unmapped>" for InvalidSite).
+  std::string_view siteName(std::uint32_t Id) const {
+    return Id < Sites.size() ? std::string_view(Sites[Id])
+                             : std::string_view("<unmapped>");
+  }
+
+  std::size_t siteCount() const { return Sites.size(); }
+  std::size_t spanCount() const { return Spans.size(); }
+
+  /// Span iteration for serialization: start -> (end, site).
+  const std::map<Addr, std::pair<Addr, std::uint32_t>> &spans() const {
+    return Spans;
+  }
+
+private:
+  std::vector<std::string> Sites;
+  std::map<std::string, std::uint32_t> SiteIds;
+  std::map<Addr, std::pair<Addr, std::uint32_t>> Spans;
+};
 
 /// One strand of the recorded program.
 struct Strand {
@@ -73,9 +134,14 @@ public:
   /// this gives the average-parallelism diagnostic printed by harnesses.
   std::uint64_t spanInstructions() const;
 
+  /// Allocation-site metadata recorded alongside the strands.
+  MemoryMap &memoryMap() { return Memory; }
+  const MemoryMap &memoryMap() const { return Memory; }
+
 private:
   std::vector<Strand> Strands;
   StrandId Root = InvalidStrand;
+  MemoryMap Memory;
 };
 
 } // namespace warden

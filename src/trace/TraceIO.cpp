@@ -15,7 +15,8 @@ using namespace warden;
 namespace {
 
 constexpr std::uint64_t Magic = 0x57415244454e3147ULL; // "WARDEN1G"
-constexpr std::uint32_t Version = 2;
+// Version 3 appends the allocation-site memory map after the strands.
+constexpr std::uint32_t Version = 3;
 
 struct FileCloser {
   void operator()(std::FILE *File) const {
@@ -89,6 +90,26 @@ bool warden::writeTaskGraph(const TaskGraph &Graph, const std::string &Path) {
         return false;
     }
   }
+
+  const MemoryMap &Memory = Graph.memoryMap();
+  std::uint32_t SiteCount = static_cast<std::uint32_t>(Memory.siteCount());
+  if (!writeValue(File.get(), SiteCount))
+    return false;
+  for (std::uint32_t Id = 0; Id < SiteCount; ++Id) {
+    std::string_view Name = Memory.siteName(Id);
+    std::uint32_t Len = static_cast<std::uint32_t>(Name.size());
+    if (!writeValue(File.get(), Len) ||
+        !writeRaw(File.get(), Name.data(), Name.size()))
+      return false;
+  }
+  std::uint64_t SpanCount = Memory.spanCount();
+  if (!writeValue(File.get(), SpanCount))
+    return false;
+  for (const auto &[Start, EndSite] : Memory.spans())
+    if (!writeValue(File.get(), Start) ||
+        !writeValue(File.get(), EndSite.first) ||
+        !writeValue(File.get(), EndSite.second))
+      return false;
   return std::fflush(File.get()) == 0;
 }
 
@@ -149,6 +170,37 @@ std::optional<TaskGraph> warden::readTaskGraph(const std::string &Path) {
       Event.Size = Packed.Size;
       S.Events.push_back(Event);
     }
+  }
+
+  MemoryMap &Memory = Graph.memoryMap();
+  std::uint32_t SiteCount = 0;
+  if (!readValue(File.get(), SiteCount) ||
+      SiteCount > (std::uint32_t(1) << 24))
+    return std::nullopt;
+  for (std::uint32_t Id = 0; Id < SiteCount; ++Id) {
+    std::uint32_t Len = 0;
+    if (!readValue(File.get(), Len) || Len > (std::uint32_t(1) << 16))
+      return std::nullopt;
+    std::string Name(Len, '\0');
+    if (!readRaw(File.get(), Name.data(), Len))
+      return std::nullopt;
+    // Interning preserves ids because the writer emitted names in id order.
+    if (Memory.internSite(Name) != Id)
+      return std::nullopt; // Duplicate name: the file is corrupt.
+  }
+  std::uint64_t SpanCount = 0;
+  if (!readValue(File.get(), SpanCount) ||
+      SpanCount > (std::uint64_t(1) << 40))
+    return std::nullopt;
+  for (std::uint64_t I = 0; I < SpanCount; ++I) {
+    Addr Start = 0, End = 0;
+    std::uint32_t Site = 0;
+    if (!readValue(File.get(), Start) || !readValue(File.get(), End) ||
+        !readValue(File.get(), Site))
+      return std::nullopt;
+    if (End <= Start || Site >= SiteCount)
+      return std::nullopt;
+    Memory.addSpan(Start, End, Site);
   }
   return Graph;
 }

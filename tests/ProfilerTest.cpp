@@ -1,0 +1,400 @@
+//===- tests/ProfilerTest.cpp - Coherence forensics tests -----------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the sharing profiler and CPI stacks: the sharing classifier on
+/// hand-driven event sequences, the bounded-table admission policy, the
+/// zero-perturbation contract (attaching profiler + CPI stack changes no
+/// simulated cycle), a deterministic false-sharing fixture classified
+/// end-to-end, allocation-site attribution on a real PBBS benchmark (the
+/// paper-style "this data structure paid N invalidations under MESI and
+/// none under WARDen" claim), CPI accounting bounds, trace-file
+/// round-tripping of the memory map, and the shared bench-flag parser.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/Harness.h"
+#include "src/core/WardenSystem.h"
+#include "src/obs/ChromeTraceExporter.h"
+#include "src/obs/CpiStack.h"
+#include "src/obs/MetricRegistry.h"
+#include "src/obs/Observability.h"
+#include "src/obs/SharingProfiler.h"
+#include "src/obs/TimelineSampler.h"
+#include "src/pbbs/Pbbs.h"
+#include "src/rt/SimArray.h"
+#include "src/rt/Stdlib.h"
+#include "src/support/Json.h"
+#include "src/trace/TraceIO.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+using namespace warden;
+
+namespace {
+
+// --- Sharing classifier on hand-driven event sequences -----------------------
+
+// Returns by value: callers pass a temporary report, so a reference into
+// it would dangle once the full expression ends.
+LineProfile onlyLine(const ProfileReport &Rep) {
+  if (Rep.Lines.size() != 1u) {
+    ADD_FAILURE() << "expected exactly one profiled line, got "
+                  << Rep.Lines.size();
+    return LineProfile{};
+  }
+  return Rep.Lines.front();
+}
+
+TEST(SharingClassifier, DisjointFootprintsAreFalseSharing) {
+  SharingProfiler P;
+  P.beginRun(nullptr, nullptr);
+  // Core 0 owns bytes [0,8), core 1 owns bytes [32,40): never a common byte.
+  for (int Round = 0; Round < 4; ++Round) {
+    P.onWrite(0x1000, 0, 0, 8);
+    P.onWrite(0x1000, 1, 32, 8);
+    P.onInvalidation(0x1000, 0);
+  }
+  const LineProfile &L = onlyLine(P.report());
+  EXPECT_EQ(L.Class, SharingClass::FalseSharing);
+  EXPECT_EQ(L.Writers, 2u);
+  EXPECT_EQ(L.Invalidations, 4u);
+  // A,B,A,B... alternation: every handoff after the first is a ping-pong.
+  EXPECT_GT(L.PingPongs, 0u);
+}
+
+TEST(SharingClassifier, OverlappingWritersWithoutDowngradesAreMigratory) {
+  SharingProfiler P;
+  P.beginRun(nullptr, nullptr);
+  P.onWrite(0x2000, 0, 0, 8);
+  P.onWrite(0x2000, 1, 0, 8); // Same bytes: ownership migrates.
+  P.onInvalidation(0x2000, 0);
+  const LineProfile &L = onlyLine(P.report());
+  EXPECT_EQ(L.Class, SharingClass::Migratory);
+}
+
+TEST(SharingClassifier, OverlapWithDowngradesIsTrueSharing) {
+  SharingProfiler P;
+  P.beginRun(nullptr, nullptr);
+  P.onWrite(0x3000, 0, 0, 8);
+  P.onWrite(0x3000, 1, 4, 8); // Bytes [4,8) shared with core 0's write.
+  P.onDowngrade(0x3000, 1);   // A reader pulled the dirty copy down.
+  const LineProfile &L = onlyLine(P.report());
+  EXPECT_EQ(L.Class, SharingClass::TrueSharing);
+}
+
+TEST(SharingClassifier, WardGrantsWithoutInvDownAreWardElided) {
+  SharingProfiler P;
+  P.beginRun(nullptr, nullptr);
+  P.onWrite(0x4000, 0, 0, 8);
+  P.onWrite(0x4000, 1, 32, 8);
+  P.onWardGrant(0x4000, 1);
+  const LineProfile &L = onlyLine(P.report());
+  EXPECT_EQ(L.Class, SharingClass::WardElided);
+}
+
+TEST(SharingClassifier, MultipleReadersNoWriterAreReadShared) {
+  SharingProfiler P;
+  P.beginRun(nullptr, nullptr);
+  P.onRead(0x5000, 0);
+  P.onRead(0x5000, 1);
+  P.onRead(0x5000, 2);
+  P.onDemandMiss(0x5000, 1, 100, false); // Some traffic so it reports.
+  const LineProfile &L = onlyLine(P.report());
+  EXPECT_EQ(L.Class, SharingClass::ReadShared);
+  EXPECT_EQ(L.Readers, 3u);
+}
+
+TEST(SharingClassifier, SingleCoreIsPrivate) {
+  SharingProfiler P;
+  P.beginRun(nullptr, nullptr);
+  P.onRead(0x6000, 2);
+  P.onWrite(0x6000, 2, 0, 8);
+  P.onDemandMiss(0x6000, 2, 50, false);
+  const LineProfile &L = onlyLine(P.report());
+  EXPECT_EQ(L.Class, SharingClass::Private);
+}
+
+// --- Bounded table: decayed admission ----------------------------------------
+
+TEST(SharingProfiler, BoundedTableAdmitsByDecayedSampling) {
+  // Capacity 2, admit every 2nd candidate once full.
+  SharingProfiler P(/*Capacity=*/2, /*AdmitShift=*/1);
+  P.beginRun(nullptr, nullptr);
+  P.onInvalidation(0x1000, 0); // Admitted (room).
+  P.onInvalidation(0x1040, 0); // Admitted (room).
+  P.onInvalidation(0x1000, 0); // Existing entry: no admission pressure.
+  P.onInvalidation(0x1080, 0); // Candidate 1: declined, dropped.
+  EXPECT_EQ(P.trackedLines(), 2u);
+  EXPECT_EQ(P.droppedLines(), 1u);
+  P.onInvalidation(0x10c0, 0); // Candidate 2: admitted, evicts min traffic.
+  EXPECT_EQ(P.trackedLines(), 2u);
+  EXPECT_EQ(P.droppedLines(), 1u);
+  // The minimum-traffic victim was 0x1040 (one event vs. two on 0x1000).
+  ProfileReport Rep = P.report();
+  bool SawHot = false, SawVictim = false;
+  for (const LineProfile &L : Rep.Lines) {
+    SawHot |= L.Block == 0x1000;
+    SawVictim |= L.Block == 0x1040;
+  }
+  EXPECT_TRUE(SawHot);
+  EXPECT_FALSE(SawVictim);
+}
+
+// --- Zero-perturbation: profiler + CPI stack attached ------------------------
+
+TaskGraph recordWorkload() {
+  Runtime Rt;
+  auto In = stdlib::tabulate<std::uint32_t>(
+      Rt, 8192, [](std::size_t I) { return std::uint32_t(I * 2654435761u); },
+      128);
+  auto Out = stdlib::mapArray<std::uint64_t>(
+      Rt, In, [](std::uint32_t V) { return std::uint64_t(V) % 977; }, 128);
+  std::uint64_t Total = stdlib::sum(Rt, Out, 128);
+  EXPECT_GT(Total, 0u);
+  return Rt.finish();
+}
+
+TEST(ProfilerPerturbation, AttachedRunIsCycleIdentical) {
+  TaskGraph Graph = recordWorkload();
+  for (ProtocolKind Protocol : {ProtocolKind::Mesi, ProtocolKind::Warden}) {
+    MachineConfig Config = MachineConfig::dualSocket();
+    Config.Protocol = Protocol;
+
+    RunResult Plain = WardenSystem::simulate(Graph, Config);
+
+    // The full bundle including the new profiler and CPI stack (the trace
+    // exporter too, so live Perfetto counter emission is exercised).
+    MetricRegistry Metrics;
+    TimelineSampler Sampler;
+    ChromeTraceExporter Trace;
+    SharingProfiler Prof;
+    CpiStack Cpi;
+    Observability Obs;
+    Obs.Metrics = &Metrics;
+    Obs.Sampler = &Sampler;
+    Obs.Trace = &Trace;
+    Obs.Profiler = &Prof;
+    Obs.Cpi = &Cpi;
+    RunOptions Options;
+    Options.Obs = &Obs;
+    RunResult Observed = WardenSystem::simulate(Graph, Config, Options);
+
+    EXPECT_EQ(Plain.Makespan, Observed.Makespan);
+    EXPECT_EQ(Plain.Instructions, Observed.Instructions);
+    EXPECT_EQ(Plain.Coherence.Invalidations, Observed.Coherence.Invalidations);
+    EXPECT_EQ(Plain.Coherence.Downgrades, Observed.Coherence.Downgrades);
+    EXPECT_EQ(Plain.Coherence.accesses(), Observed.Coherence.accesses());
+    EXPECT_EQ(Plain.Sched.Steals, Observed.Sched.Steals);
+    EXPECT_FALSE(Plain.Profile.Enabled);
+    EXPECT_TRUE(Observed.Profile.Enabled);
+    EXPECT_TRUE(Observed.Cpi.Enabled);
+    EXPECT_GT(Observed.Profile.TrackedLines, 0u);
+  }
+}
+
+// --- Deterministic false-sharing fixture -------------------------------------
+
+/// Four strands, each hammering its own 4-byte counter inside one 64-byte
+/// line: the textbook false-sharing pattern (disjoint byte footprints,
+/// heavy invalidation traffic under MESI).
+TaskGraph recordFalseSharingFixture() {
+  Runtime Rt;
+  Addr Base = Rt.allocate(64, 64, "fixture: padded counters");
+  SimArray<std::uint32_t> Counters(
+      &Rt, Base, reinterpret_cast<std::uint32_t *>(Rt.hostPtr(Base)), 16);
+  constexpr unsigned Reps = 64;
+  std::function<void(std::size_t, std::size_t)> Go = [&](std::size_t Lo,
+                                                         std::size_t Hi) {
+    if (Hi - Lo == 1) {
+      // Leaf Lo owns element Lo*4 — bytes [Lo*16, Lo*16+4), disjoint from
+      // every other leaf's footprint.
+      for (unsigned R = 0; R < Reps; ++R) {
+        Counters.set(Lo * 4, R);
+        Rt.work(32);
+      }
+      return;
+    }
+    std::size_t Mid = (Lo + Hi) / 2;
+    Rt.fork2([&, Lo, Mid] { Go(Lo, Mid); }, [&, Mid, Hi] { Go(Mid, Hi); });
+  };
+  Go(0, 4);
+  EXPECT_TRUE(Rt.raceViolations().empty());
+  return Rt.finish();
+}
+
+TEST(FalseSharingFixture, ClassifiedAndAttributedUnderMesi) {
+  TaskGraph Graph = recordFalseSharingFixture();
+  MachineConfig Config = MachineConfig::singleSocket();
+  Config.Protocol = ProtocolKind::Mesi;
+
+  SharingProfiler Prof;
+  CpiStack Cpi;
+  Observability Obs;
+  Obs.Profiler = &Prof;
+  Obs.Cpi = &Cpi;
+  RunOptions Options;
+  Options.Obs = &Obs;
+  RunResult R = WardenSystem::simulate(Graph, Config, Options);
+
+  const LineProfile *Hot = nullptr;
+  for (const LineProfile &L : R.Profile.Lines)
+    if (L.SiteName == "fixture: padded counters")
+      Hot = &L;
+  ASSERT_NE(Hot, nullptr)
+      << "fixture line missing from the profile's top lines";
+  EXPECT_EQ(Hot->Class, SharingClass::FalseSharing);
+  EXPECT_GE(Hot->Writers, 2u);
+  EXPECT_GT(Hot->Invalidations, 0u);
+}
+
+// --- Allocation-site attribution on a real benchmark -------------------------
+
+TEST(SiteAttribution, DedupNamesAMesiOnlyInvalidationSite) {
+  pbbs::Recorded R = pbbs::recordDedup(1024, RtOptions());
+  ASSERT_TRUE(R.Verified);
+
+  MachineConfig Config = MachineConfig::singleSocket();
+  SharingProfiler Prof;
+  CpiStack Cpi;
+  Observability Obs;
+  Obs.Profiler = &Prof;
+  Obs.Cpi = &Cpi;
+  RunOptions Options;
+  Options.Obs = &Obs;
+  Options.Repeats = 1;
+  ProtocolComparison Cmp = WardenSystem::compare(R.Graph, Config, Options);
+  ASSERT_TRUE(Cmp.Mesi.Profile.Enabled);
+  ASSERT_TRUE(Cmp.Warden.Profile.Enabled);
+
+  // The paper-style claim: some named benchmark data structure pays
+  // invalidations under MESI and none under WARDen.
+  auto InvOf = [](const ProfileReport &Rep, const std::string &Name) {
+    for (const SiteProfile &S : Rep.Sites)
+      if (S.SiteName == Name)
+        return S.Invalidations;
+    return std::uint64_t(0);
+  };
+  bool Found = false;
+  for (const SiteProfile &S : Cmp.Mesi.Profile.Sites) {
+    if (S.SiteName.rfind("dedup", 0) != 0 || S.Invalidations == 0)
+      continue;
+    if (InvOf(Cmp.Warden.Profile, S.SiteName) == 0)
+      Found = true;
+  }
+  EXPECT_TRUE(Found) << "no dedup-owned site with MESI invalidations > 0 "
+                        "and WARDen invalidations == 0";
+
+  // The JSON section parses.
+  JsonWriter W;
+  Cmp.Mesi.Profile.writeJson(W);
+  std::string Error;
+  EXPECT_TRUE(jsonValidate(W.str(), &Error)) << Error;
+  EXPECT_NE(W.str().find("\"schema\":\"warden-prof-v1\""), std::string::npos);
+}
+
+// --- CPI stack accounting -----------------------------------------------------
+
+TEST(CpiAccounting, ChargesStayWithinCoreTime) {
+  TaskGraph Graph = recordWorkload();
+  for (ProtocolKind Protocol : {ProtocolKind::Mesi, ProtocolKind::Warden}) {
+    MachineConfig Config = MachineConfig::dualSocket();
+    Config.Protocol = Protocol;
+
+    CpiStack Cpi;
+    Observability Obs;
+    Obs.Cpi = &Cpi;
+    RunOptions Options;
+    Options.Obs = &Obs;
+    RunResult R = WardenSystem::simulate(Graph, Config, Options);
+
+    ASSERT_TRUE(R.Cpi.Enabled);
+    ASSERT_EQ(R.Cpi.Cores, Config.totalCores());
+    // Every critical-path charge corresponds to a real advance of the
+    // issuing core's clock, so the accounted sum can never exceed the
+    // core's end-of-run time (the remainder is end-of-run idling).
+    for (unsigned Core = 0; Core < R.Cpi.Cores; ++Core)
+      EXPECT_LE(R.Cpi.accounted(Core), R.Cpi.CoreTime[Core]) << Core;
+    EXPECT_GT(R.Cpi.total(CpiCat::Compute), 0u);
+    EXPECT_GT(R.Cpi.total(CpiCat::L1Hit), 0u);
+    if (Protocol == ProtocolKind::Mesi)
+      EXPECT_GT(R.Cpi.total(CpiCat::DowngradeService), 0u);
+    else
+      EXPECT_GT(R.Cpi.total(CpiCat::Reconcile), 0u);
+
+    JsonWriter W;
+    R.Cpi.writeJson(W);
+    std::string Error;
+    EXPECT_TRUE(jsonValidate(W.str(), &Error)) << Error;
+  }
+}
+
+// --- TraceIO v3: the memory map round-trips -----------------------------------
+
+TEST(TraceIOv3, MemoryMapRoundTrips) {
+  TaskGraph Original = recordFalseSharingFixture();
+  const MemoryMap &M = Original.memoryMap();
+  ASSERT_GT(M.siteCount(), 0u);
+  ASSERT_GT(M.spanCount(), 0u);
+
+  std::string Path = std::string(::testing::TempDir()) + "memmap.trace";
+  ASSERT_TRUE(writeTaskGraph(Original, Path));
+  std::optional<TaskGraph> Loaded = readTaskGraph(Path);
+  ASSERT_TRUE(Loaded.has_value());
+
+  const MemoryMap &L = Loaded->memoryMap();
+  EXPECT_EQ(L.siteCount(), M.siteCount());
+  ASSERT_EQ(L.spans().size(), M.spans().size());
+  for (const auto &[Start, SpanInfo] : M.spans()) {
+    auto It = L.spans().find(Start);
+    ASSERT_NE(It, L.spans().end()) << "span lost at 0x" << std::hex << Start;
+    EXPECT_EQ(It->second.first, SpanInfo.first);
+    EXPECT_EQ(L.siteName(It->second.second), M.siteName(SpanInfo.second));
+  }
+  // Site lookups agree on a known allocation.
+  for (const auto &[Start, SpanInfo] : M.spans()) {
+    (void)SpanInfo;
+    EXPECT_EQ(L.siteName(L.siteOf(Start)), M.siteName(M.siteOf(Start)));
+  }
+}
+
+// --- Shared bench-flag parsing ------------------------------------------------
+
+TEST(BenchArgs, OnlyListToleratesEmptySegmentsAndTrailingComma) {
+  char Prog[] = "prog";
+  char Only[] = "--only=fib,,dedup,";
+  char *Argv[] = {Prog, Only};
+  bench::BenchOptions B = bench::parseBenchArgs(2, Argv);
+  ASSERT_EQ(B.Only.size(), 2u);
+  EXPECT_EQ(B.Only[0], "fib");
+  EXPECT_EQ(B.Only[1], "dedup");
+}
+
+TEST(BenchArgs, DuplicateOnlyNamesAreHarmless) {
+  char Prog[] = "prog";
+  char Only[] = "--only=fib,fib";
+  char *Argv[] = {Prog, Only};
+  bench::BenchOptions B = bench::parseBenchArgs(2, Argv);
+  // Both survive parsing; runSuite's membership test makes selection
+  // idempotent, so a duplicated name cannot run a benchmark twice.
+  ASSERT_EQ(B.Only.size(), 2u);
+  EXPECT_EQ(B.Only[0], "fib");
+  EXPECT_EQ(B.Only[1], "fib");
+}
+
+TEST(BenchArgs, ProfileFlag) {
+  char Prog[] = "prog";
+  char Flag[] = "--profile";
+  char *Argv1[] = {Prog};
+  EXPECT_FALSE(bench::parseBenchArgs(1, Argv1).Profile);
+  char *Argv2[] = {Prog, Flag};
+  EXPECT_TRUE(bench::parseBenchArgs(2, Argv2).Profile);
+}
+
+} // namespace

@@ -183,6 +183,28 @@ TEST(Summary, HandlesNegativeValuesForMean) {
   EXPECT_DOUBLE_EQ(S.min(), -2.0);
 }
 
+TEST(Summary, AllPositiveGuardsGeomean) {
+  // Empty: no samples means no positive samples — geomean would assert, so
+  // allPositive() must answer false (the harnesses use it as the guard).
+  Summary Empty;
+  EXPECT_FALSE(Empty.allPositive());
+
+  Summary Zero;
+  Zero.add(0.0);
+  EXPECT_FALSE(Zero.allPositive());
+
+  Summary Negative;
+  Negative.add(2.0);
+  Negative.add(-1.0);
+  EXPECT_FALSE(Negative.allPositive());
+
+  Summary Positive;
+  Positive.add(0.5);
+  Positive.add(2.0);
+  EXPECT_TRUE(Positive.allPositive());
+  EXPECT_NEAR(Positive.geomean(), 1.0, 1e-12);
+}
+
 // --- Table ---------------------------------------------------------------------
 
 TEST(Table, RendersAlignedColumns) {
