@@ -17,13 +17,17 @@
 #include "src/core/WardenSystem.h"
 #include "src/obs/Observability.h"
 #include "src/pbbs/Pbbs.h"
+#include "src/support/JobPool.h"
 #include "src/support/Json.h"
 #include "src/support/Summary.h"
 #include "src/support/Table.h"
 
+#include <chrono>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -36,6 +40,13 @@ struct SuiteRow {
   std::string Name;
   bool Verified = false;
   ProtocolComparison Cmp;
+  /// Host wall-clock seconds the protocol comparison took (simulation
+  /// only; recording is excluded). Host-side measurement — varies run to
+  /// run while every simulated metric stays deterministic.
+  double HostSeconds = 0.0;
+  /// Simulated demand accesses retired per host second across the whole
+  /// comparison (both protocols, all repeats). The engine's throughput.
+  double SimAccessesPerSec = 0.0;
 };
 
 /// Everything the shared command line controls: the simulation options
@@ -52,6 +63,10 @@ struct BenchOptions {
   /// per-line/per-site coherence attribution and cycle accounting, printed
   /// after the figure tables and embedded in the JSON report.
   bool Profile = false;
+  /// Host threads simulating concurrently (--jobs). 1 = the serial path.
+  /// Parallel runs produce byte-identical reports modulo the host-timing
+  /// fields: every job owns its simulated machine and result slot.
+  unsigned Jobs = 1;
 };
 
 /// Parses the command-line flags shared by the figure harnesses:
@@ -68,6 +83,10 @@ struct BenchOptions {
 ///   --profile        attach the per-line sharing profiler and CPI stacks
 ///                    (same cycles; prints attribution tables, adds a
 ///                    "profile" section to the JSON report)
+///   --jobs=N         simulate on N host threads (protocol x benchmark x
+///                    repeat fan-out; default 1). Changes wall time only:
+///                    reports are byte-identical to --jobs=1 modulo the
+///                    host_seconds / sim_accesses_per_sec fields
 /// Unknown arguments print usage and exit, so a typo cannot silently run
 /// the wrong experiment.
 inline BenchOptions parseBenchArgs(int argc, char **argv) {
@@ -107,11 +126,21 @@ inline BenchOptions parseBenchArgs(int argc, char **argv) {
       B.JsonPath = Arg + 7;
     } else if (std::strcmp(Arg, "--profile") == 0) {
       B.Profile = true;
+    } else if (std::strncmp(Arg, "--jobs=", 7) == 0) {
+      char *End = nullptr;
+      unsigned long Jobs = std::strtoul(Arg + 7, &End, 10);
+      if (End == Arg + 7 || *End != '\0' || Jobs == 0) {
+        std::fprintf(stderr,
+                     "%s: --jobs wants a positive integer, got %s\n",
+                     argv[0], Arg + 7);
+        std::exit(2);
+      }
+      B.Jobs = static_cast<unsigned>(Jobs);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--audit] [--faults[=seed]] "
                    "[--only=NAME[,NAME...]] [--scale=X] [--json=FILE] "
-                   "[--profile]\n",
+                   "[--profile] [--jobs=N]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -119,65 +148,104 @@ inline BenchOptions parseBenchArgs(int argc, char **argv) {
   return B;
 }
 
-/// Records and simulates the whole suite (or \p Only if non-empty).
-inline std::vector<SuiteRow>
-runSuite(const MachineConfig &Machine,
-         const std::vector<std::string> &Only = {},
-         const RtOptions &Options = RtOptions(), double ScaleFactor = 1.0,
-         const RunOptions &Run = RunOptions()) {
-  std::vector<SuiteRow> Rows;
-  for (const pbbs::Benchmark &B : pbbs::allBenchmarks()) {
-    if (!Only.empty()) {
-      bool Selected = false;
-      for (const std::string &Name : Only)
-        Selected |= (Name == B.Name);
-      if (!Selected)
-        continue;
-    }
-    auto Scale = static_cast<std::size_t>(
-        static_cast<double>(B.DefaultScale) * ScaleFactor);
-    pbbs::Recorded R = B.Record(std::max<std::size_t>(Scale, 4), Options);
-    SuiteRow Row;
-    Row.Name = B.Name;
-    Row.Verified = R.Verified;
-    Row.Cmp = WardenSystem::compare(R.Graph, Machine, Run);
-    Rows.push_back(std::move(Row));
-    std::fflush(stdout);
-  }
-  return Rows;
-}
-
 /// BenchOptions-driven suite run. A --only list from the command line
 /// overrides the harness's own \p DefaultOnly selection; selecting nothing
 /// (e.g. a misspelled --only) is an error, not an empty report.
+///
+/// Execution engine: every benchmark is recorded serially first (recording
+/// runs the program itself and stays ordered and deterministic), then the
+/// protocol comparisons fan out over a JobPool of B.Jobs host threads —
+/// and each comparison further splits into protocol and repeat jobs on the
+/// same pool. Each simulation task owns its machine, auditor, and
+/// (--profile) profiler/CPI bundle, and writes only its own pre-allocated
+/// row, so a parallel suite is byte-identical to a serial one except for
+/// the host-timing fields.
 inline std::vector<SuiteRow>
 runSuite(const MachineConfig &Machine, const BenchOptions &B,
          const std::vector<std::string> &DefaultOnly = {},
          const RtOptions &Options = RtOptions()) {
   const std::vector<std::string> &Only = B.Only.empty() ? DefaultOnly : B.Only;
-  // --profile: one profiler/CPI pair serves every run — the simulator's
-  // beginRun() resets them per run, and the per-run reports are value
-  // snapshots inside each RunResult, so nothing here needs to outlive the
-  // suite. The snapshots live in the rows; the bundle dies with this frame.
-  RunOptions Run = B.Run;
-  SharingProfiler Prof;
-  CpiStack Cpi;
-  Observability ProfBundle;
-  if (B.Profile) {
-    if (!Run.Obs) {
-      Run.Obs = &ProfBundle;
+
+  // Phase 1 (serial): select and record.
+  struct PendingRun {
+    const pbbs::Benchmark *Bench = nullptr;
+    pbbs::Recorded Recorded;
+  };
+  std::vector<PendingRun> Work;
+  for (const pbbs::Benchmark &Bm : pbbs::allBenchmarks()) {
+    if (!Only.empty()) {
+      bool Selected = false;
+      for (const std::string &Name : Only)
+        Selected |= (Name == Bm.Name);
+      if (!Selected)
+        continue;
     }
-    Run.Obs->Profiler = &Prof;
-    Run.Obs->Cpi = &Cpi;
+    auto Scale = static_cast<std::size_t>(
+        static_cast<double>(Bm.DefaultScale) * B.Scale);
+    PendingRun P;
+    P.Bench = &Bm;
+    P.Recorded = Bm.Record(std::max<std::size_t>(Scale, 4), Options);
+    Work.push_back(std::move(P));
   }
-  std::vector<SuiteRow> Rows = runSuite(Machine, Only, Options, B.Scale,
-                                        Run);
-  if (Rows.empty()) {
+  if (Work.empty()) {
     std::fprintf(stderr, "error: no benchmarks selected; valid names are:");
     for (const pbbs::Benchmark &Bm : pbbs::allBenchmarks())
       std::fprintf(stderr, " %s", Bm.Name);
     std::fprintf(stderr, "\n");
     std::exit(1);
+  }
+
+  // Phase 2: simulate, fanned out over the pool.
+  JobPool Pool(B.Jobs);
+  std::vector<SuiteRow> Rows(Work.size());
+  auto SimulateOne = [&](std::size_t I) {
+    RunOptions Run = B.Run;
+    Run.Pool = B.Jobs > 1 ? &Pool : nullptr;
+    // --profile: a task-local profiler/CPI pair serves this benchmark's
+    // runs — the simulator's beginRun() resets them per run, and the
+    // per-run reports are value snapshots inside each RunResult, so the
+    // bundle dies with this task. Task-local (rather than suite-wide)
+    // state is what lets benchmarks profile concurrently.
+    SharingProfiler Prof;
+    CpiStack Cpi;
+    Observability ProfBundle;
+    if (B.Profile) {
+      if (!Run.Obs)
+        Run.Obs = &ProfBundle;
+      Run.Obs->Profiler = &Prof;
+      Run.Obs->Cpi = &Cpi;
+    }
+    SuiteRow &Row = Rows[I];
+    Row.Name = Work[I].Bench->Name;
+    Row.Verified = Work[I].Recorded.Verified;
+    auto Start = std::chrono::steady_clock::now();
+    Row.Cmp = WardenSystem::compare(Work[I].Recorded.Graph, Machine, Run);
+    Row.HostSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Start)
+            .count();
+    // Work performed by the comparison: both protocols' medians simulate
+    // the access stream Repeats times each (the reported stats are one
+    // median run's worth).
+    double Accesses =
+        static_cast<double>(Row.Cmp.Mesi.Coherence.accesses() +
+                            Row.Cmp.Warden.Coherence.accesses()) *
+        static_cast<double>(Run.Repeats);
+    Row.SimAccessesPerSec =
+        Row.HostSeconds > 0.0 ? Accesses / Row.HostSeconds : 0.0;
+  };
+  if (B.Jobs > 1 && !B.Run.Obs) {
+    std::vector<std::function<void()>> Tasks;
+    Tasks.reserve(Work.size());
+    for (std::size_t I = 0; I < Work.size(); ++I)
+      Tasks.push_back([&SimulateOne, I] { SimulateOne(I); });
+    Pool.runAll(std::move(Tasks));
+  } else {
+    // An externally supplied observability bundle (B.Run.Obs) is one
+    // object: benchmarks must then take turns with it. The nested
+    // protocol/repeat fan-out still uses the pool.
+    for (std::size_t I = 0; I < Work.size(); ++I)
+      SimulateOne(I);
   }
   return Rows;
 }
@@ -436,6 +504,19 @@ inline bool writeJsonReport(const std::string &Path, const char *Experiment,
   W.member("disaggregated", Machine.Disaggregated);
   W.endObject();
 
+  // Host-side engine throughput. Everything under "host" (and the
+  // host_seconds / sim_accesses_per_sec members below) describes the
+  // simulator, not the simulated machine: it varies run to run and is
+  // ignored by baseline comparison unless explicitly requested
+  // (scripts/bench_diff.py --check-perf).
+  double TotalHostSeconds = 0.0;
+  for (const SuiteRow &Row : Rows)
+    TotalHostSeconds += Row.HostSeconds;
+  W.key("host").beginObject();
+  W.member("jobs", static_cast<std::uint64_t>(B.Jobs));
+  W.member("total_seconds", TotalHostSeconds);
+  W.endObject();
+
   Summary Speedups, Interconnect, TotalEnergy, IpcImprovement, Coverage;
   std::uint64_t Violations = 0;
   bool Audited = false;
@@ -465,6 +546,8 @@ inline bool writeJsonReport(const std::string &Path, const char *Experiment,
     W.member("downgrade_share_of_reduction",
              Cmp.downgradeShareOfReduction());
     W.member("ward_coverage", Cmp.Warden.wardCoverage());
+    W.member("host_seconds", Row.HostSeconds);
+    W.member("sim_accesses_per_sec", Row.SimAccessesPerSec);
     W.key("mesi");
     writeRunJson(W, Cmp.Mesi);
     W.key("warden");

@@ -39,7 +39,8 @@ double meanSpeedup(const std::vector<SuiteRow> &Rows) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOptions B = parseBenchArgs(argc, argv);
   std::printf("=== Ablation: WARDen design choices (dual socket; "
               "primes/msort/tokens/palindrome mean speedup) ===\n\n");
 
@@ -49,32 +50,32 @@ int main() {
   {
     MachineConfig Config = MachineConfig::dualSocket();
     T.addRow({"full WARDen (defaults)",
-              Table::fmt(meanSpeedup(runSuite(Config, Subset)), 3) + "x"});
+              Table::fmt(meanSpeedup(runSuite(Config, B, Subset)), 3) + "x"});
   }
   {
     MachineConfig Config = MachineConfig::dualSocket();
     Config.Features.GetSReturnsExclusive = false;
     T.addRow({"no GetS-returns-Exclusive",
-              Table::fmt(meanSpeedup(runSuite(Config, Subset)), 3) + "x"});
+              Table::fmt(meanSpeedup(runSuite(Config, B, Subset)), 3) + "x"});
   }
   {
     MachineConfig Config = MachineConfig::dualSocket();
     Config.Features.ProactiveForkFlush = false;
     T.addRow({"no proactive fork flush",
-              Table::fmt(meanSpeedup(runSuite(Config, Subset)), 3) + "x"});
+              Table::fmt(meanSpeedup(runSuite(Config, B, Subset)), 3) + "x"});
   }
   for (Cycles Cost : {Cycles(0), Cycles(8), Cycles(32)}) {
     MachineConfig Config = MachineConfig::dualSocket();
     Config.Features.ReconcileCostPerBlock = Cost;
     T.addRow({"reconcile cost " + std::to_string(Cost) + " cyc/block",
-              Table::fmt(meanSpeedup(runSuite(Config, Subset)), 3) + "x"});
+              Table::fmt(meanSpeedup(runSuite(Config, B, Subset)), 3) + "x"});
   }
   {
     MachineConfig Config = MachineConfig::dualSocket();
     RtOptions Options;
     Options.KeepWriteDestinations = false;
     T.addRow({"page-conservative runtime (no write-destination regions)",
-              Table::fmt(meanSpeedup(runSuite(Config, Subset, Options)), 3) +
+              Table::fmt(meanSpeedup(runSuite(Config, B, Subset, Options)), 3) +
                   "x"});
   }
   {
@@ -82,7 +83,7 @@ int main() {
     RtOptions Options;
     Options.InjectSchedulerTraffic = false;
     T.addRow({"no injected scheduler traffic",
-              Table::fmt(meanSpeedup(runSuite(Config, Subset, Options)), 3) +
+              Table::fmt(meanSpeedup(runSuite(Config, B, Subset, Options)), 3) +
                   "x"});
   }
 

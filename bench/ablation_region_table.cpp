@@ -18,7 +18,8 @@
 using namespace warden;
 using namespace warden::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOptions B = parseBenchArgs(argc, argv);
   std::printf("=== Ablation: WARD region table capacity (dual socket) ===\n\n");
 
   const std::vector<std::string> Subset = {"primes", "msort", "tokens"};
@@ -28,7 +29,7 @@ int main() {
   for (unsigned Capacity : {8u, 32u, 128u, 512u, 1024u, 4096u}) {
     MachineConfig Config = MachineConfig::dualSocket();
     Config.Features.RegionTableCapacity = Capacity;
-    std::vector<SuiteRow> Rows = runSuite(Config, Subset);
+    std::vector<SuiteRow> Rows = runSuite(Config, B, Subset);
     Summary S;
     unsigned Peak = 0;
     std::uint64_t Overflows = 0;

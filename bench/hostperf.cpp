@@ -1,0 +1,176 @@
+//===- bench/hostperf.cpp - Host-side engine microbenchmarks ------------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Google-benchmark coverage of the simulator's *host-side* machinery —
+/// the parts that determine how many simulated accesses per second the
+/// engine retires, as opposed to what the simulated machine does:
+///
+///  * FlatMap (the directory / page-home container) against the
+///    std::unordered_map it replaced, on the directory's access pattern;
+///  * the RegionTable's MRU interval cache, hit and (gap-cached) miss;
+///  * CacheArray construction, which lazy set initialization makes
+///    independent of the nominal array capacity;
+///  * JobPool batch dispatch overhead, flat and nested.
+///
+/// Companions to the figure harnesses' host_seconds / sim_accesses_per_sec
+/// JSON fields: when those regress, these isolate which layer did it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/coherence/Directory.h"
+#include "src/coherence/RegionTable.h"
+#include "src/mem/CacheArray.h"
+#include "src/support/FlatMap.h"
+#include "src/support/JobPool.h"
+#include "src/support/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+using namespace warden;
+
+namespace {
+
+/// The directory's key pattern: block addresses of a few hot allocations.
+constexpr std::size_t MapEntries = 1 << 16;
+
+Addr keyAt(std::uint64_t I) { return (I * 64) ^ ((I & 0xff) << 24); }
+
+} // namespace
+
+static void BM_FlatMapFindHit(benchmark::State &State) {
+  FlatMap<Addr, DirEntry> Map;
+  Map.reserve(MapEntries);
+  for (std::uint64_t I = 0; I < MapEntries; ++I)
+    Map[keyAt(I)].Region = static_cast<RegionId>(I);
+  Rng Random(7);
+  for (auto _ : State) {
+    Addr Key = keyAt(Random.nextBelow(MapEntries));
+    benchmark::DoNotOptimize(Map.find(Key));
+  }
+}
+BENCHMARK(BM_FlatMapFindHit);
+
+static void BM_UnorderedMapFindHit(benchmark::State &State) {
+  std::unordered_map<Addr, DirEntry> Map;
+  Map.reserve(MapEntries);
+  for (std::uint64_t I = 0; I < MapEntries; ++I)
+    Map[keyAt(I)].Region = static_cast<RegionId>(I);
+  Rng Random(7);
+  for (auto _ : State) {
+    Addr Key = keyAt(Random.nextBelow(MapEntries));
+    benchmark::DoNotOptimize(Map.find(Key));
+  }
+}
+BENCHMARK(BM_UnorderedMapFindHit);
+
+static void BM_FlatMapFindMiss(benchmark::State &State) {
+  FlatMap<Addr, DirEntry> Map;
+  Map.reserve(MapEntries);
+  for (std::uint64_t I = 0; I < MapEntries; ++I)
+    Map[keyAt(I)].Region = static_cast<RegionId>(I);
+  Rng Random(8);
+  for (auto _ : State) {
+    Addr Key = keyAt(Random.nextBelow(MapEntries)) + 1; // Never a key.
+    benchmark::DoNotOptimize(Map.find(Key));
+  }
+}
+BENCHMARK(BM_FlatMapFindMiss);
+
+static void BM_FlatMapGrowInsert(benchmark::State &State) {
+  for (auto _ : State) {
+    FlatMap<Addr, SocketId> Map;
+    for (std::uint64_t I = 0; I < 4096; ++I)
+      Map[keyAt(I)] = static_cast<SocketId>(I & 3);
+    benchmark::DoNotOptimize(Map.size());
+  }
+}
+BENCHMARK(BM_FlatMapGrowInsert);
+
+static void BM_FlatMapEraseReinsert(benchmark::State &State) {
+  FlatMap<Addr, DirEntry> Map;
+  Map.reserve(MapEntries);
+  for (std::uint64_t I = 0; I < MapEntries; ++I)
+    Map[keyAt(I)].Region = static_cast<RegionId>(I);
+  Rng Random(9);
+  for (auto _ : State) {
+    Addr Key = keyAt(Random.nextBelow(MapEntries));
+    Map.erase(Key);
+    Map[Key].Region = 1; // Backward-shift erase then re-probe.
+  }
+}
+BENCHMARK(BM_FlatMapEraseReinsert);
+
+static void BM_RegionTableMruHit(benchmark::State &State) {
+  RegionTable Table(1024);
+  for (unsigned I = 0; I < 512; ++I)
+    Table.add(I, Addr(I) * 8192, Addr(I) * 8192 + 4096);
+  // Repeated lookups inside one region: after the first, pure MRU hits.
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Table.lookup(100 * 8192 + 64));
+}
+BENCHMARK(BM_RegionTableMruHit);
+
+static void BM_RegionTableMruGapMiss(benchmark::State &State) {
+  RegionTable Table(1024);
+  for (unsigned I = 0; I < 512; ++I)
+    Table.add(I, Addr(I) * 8192, Addr(I) * 8192 + 4096);
+  // Repeated lookups in one gap between regions: the miss interval is
+  // MRU-cached too, the common case for non-WARD data under MESI.
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Table.lookup(100 * 8192 + 6000));
+}
+BENCHMARK(BM_RegionTableMruGapMiss);
+
+static void BM_CacheArrayConstructLlc(benchmark::State &State) {
+  // A full LLC slice (tens of MB nominal). Lazy set initialization makes
+  // this O(sets) bookkeeping, not O(bytes) memset.
+  for (auto _ : State) {
+    CacheArray Llc(CacheGeometry(30 * 1024 * 1024, 20, 64));
+    benchmark::DoNotOptimize(Llc.validLineCount());
+  }
+}
+BENCHMARK(BM_CacheArrayConstructLlc);
+
+static void BM_JobPoolFanOut(benchmark::State &State) {
+  JobPool Pool(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    std::vector<std::function<void()>> Tasks;
+    std::atomic<unsigned> Done{0};
+    for (unsigned I = 0; I < 64; ++I)
+      Tasks.push_back([&Done] { Done.fetch_add(1, std::memory_order_relaxed); });
+    Pool.runAll(std::move(Tasks));
+    benchmark::DoNotOptimize(Done.load());
+  }
+}
+BENCHMARK(BM_JobPoolFanOut)->Arg(1)->Arg(2)->Arg(4);
+
+static void BM_JobPoolNestedFanOut(benchmark::State &State) {
+  // The harness shape: an outer batch whose tasks each run a nested batch
+  // on the same pool (suite -> compare -> repeats). Exercises help-first
+  // waiting; must not deadlock at any pool width.
+  JobPool Pool(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    std::atomic<unsigned> Done{0};
+    std::vector<std::function<void()>> Outer;
+    for (unsigned I = 0; I < 8; ++I)
+      Outer.push_back([&Pool, &Done] {
+        std::vector<std::function<void()>> Inner;
+        for (unsigned J = 0; J < 8; ++J)
+          Inner.push_back(
+              [&Done] { Done.fetch_add(1, std::memory_order_relaxed); });
+        Pool.runAll(std::move(Inner));
+      });
+    Pool.runAll(std::move(Outer));
+    benchmark::DoNotOptimize(Done.load());
+  }
+}
+BENCHMARK(BM_JobPoolNestedFanOut)->Arg(1)->Arg(4);

@@ -18,7 +18,8 @@
 using namespace warden;
 using namespace warden::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOptions B = parseBenchArgs(argc, argv);
   std::printf("=== Section 7.3: speedup growth with socket count ===\n\n");
 
   const std::vector<std::string> Subset = {"dedup", "msort", "primes",
@@ -27,7 +28,7 @@ int main() {
   T.setHeader({"Machine", "Mean speedup", "Mean interconnect savings"});
   for (unsigned Sockets : {1u, 2u, 4u}) {
     MachineConfig Config = MachineConfig::manySocket(Sockets);
-    std::vector<SuiteRow> Rows = runSuite(Config, Subset);
+    std::vector<SuiteRow> Rows = runSuite(Config, B, Subset);
     Summary Speed;
     Summary Net;
     for (const SuiteRow &Row : Rows) {

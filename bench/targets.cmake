@@ -29,3 +29,4 @@ warden_bench(ablation_region_table)
 warden_bench(manysocket_scaling)
 warden_bench(suite_stats)
 warden_gbench(microbench_components)
+warden_gbench(hostperf)

@@ -10,6 +10,9 @@
 # Environment:
 #   WARDEN_BENCH_SCALE   problem-size multiplier (default 0.25; use 1.0
 #                        for the paper-scale run, ~5s)
+#   WARDEN_BENCH_JOBS    host threads for the simulation fan-out
+#                        (default 1; results are byte-identical at any
+#                        value modulo the host-timing fields)
 #
 # Compare two reports with scripts/bench_diff.py.
 set -euo pipefail
@@ -17,9 +20,11 @@ cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_suite.json}"
 SCALE="${WARDEN_BENCH_SCALE:-0.25}"
+JOBS="${WARDEN_BENCH_JOBS:-1}"
 
 cmake --preset default
 cmake --build --preset default -j "$(nproc)" --target fig7_single_socket
 
-build/bench/fig7_single_socket --scale="$SCALE" --json="$OUT" --profile
-echo "bench report written to $OUT (scale $SCALE)"
+build/bench/fig7_single_socket --scale="$SCALE" --jobs="$JOBS" \
+  --json="$OUT" --profile
+echo "bench report written to $OUT (scale $SCALE, jobs $JOBS)"

@@ -15,6 +15,13 @@ The simulator is deterministic, so on identical code the reports match
 exactly; the tolerance exists so deliberate timing-model changes can be
 reviewed (run, eyeball the diff table, regenerate the baseline with
 scripts/bench.sh) rather than silently absorbed.
+
+Host-side performance fields (host_seconds, sim_accesses_per_sec, and the
+top-level "host" object) are IGNORED by default: they measure the
+simulator's throughput on whatever machine produced the report, not the
+simulated machine, so they vary run to run even on identical code. Pass
+--check-perf to compare them too (against --tolerance); reports that
+predate these fields are skipped gracefully, never failed.
 """
 
 import argparse
@@ -46,6 +53,14 @@ METRICS = [
     ("total energy savings", lambda b: b["total_energy_savings"]),
 ]
 
+# Host-side engine throughput; compared only under --check-perf. These are
+# wall-clock measurements of the simulator itself and are expected to move
+# whenever the host, load, or --jobs setting changes.
+PERF_METRICS = [
+    ("host seconds", lambda b: b["host_seconds"]),
+    ("sim accesses/sec", lambda b: b["sim_accesses_per_sec"]),
+]
+
 
 def deviation(base, cand):
     """Relative deviation, falling back to absolute when baseline is 0."""
@@ -61,6 +76,10 @@ def main():
     parser.add_argument("candidate")
     parser.add_argument("--tolerance", type=float, default=0.10,
                         help="maximum relative deviation (default 0.10)")
+    parser.add_argument("--check-perf", action="store_true",
+                        help="also compare host_seconds and "
+                             "sim_accesses_per_sec (ignored by default; "
+                             "host-dependent)")
     args = parser.parse_args()
 
     base = load(args.baseline)
@@ -94,6 +113,23 @@ def main():
             failures += not ok
             print(f"{name:{width}} {label:22} {b_val:14.4g} {c_val:14.4g} "
                   f"{dev:7.1%}  {'ok' if ok else 'FAIL'}")
+        if args.check_perf:
+            for label, get in PERF_METRICS:
+                try:
+                    b_val = get(base_by_name[name])
+                    c_val = get(cand_by_name[name])
+                except KeyError:
+                    # One of the reports predates the host fields; that is
+                    # an old report, not a regression.
+                    print(f"{name:{width}} {label:22} "
+                          f"{'(field absent; skipped)':>38}")
+                    continue
+                dev = deviation(b_val, c_val)
+                ok = dev <= args.tolerance
+                failures += not ok
+                print(f"{name:{width}} {label:22} {b_val:14.4g} "
+                      f"{c_val:14.4g} {dev:7.1%}  "
+                      f"{'ok' if ok else 'FAIL'}")
 
     for name in missing:
         print(f"{name:{width}} only in one report (skipped)")

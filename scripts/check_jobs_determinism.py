@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Verify that the parallel simulation engine is deterministic.
+
+Usage:
+    scripts/check_jobs_determinism.py FIG7_BINARY [SCALE]
+
+Runs the Figure 7 suite twice at a tiny scale — once with --jobs=1 and
+once with --jobs=4 — and asserts the two JSON reports are byte-identical
+after removing the host-timing fields (the top-level "host" object and the
+per-benchmark host_seconds / sim_accesses_per_sec members), which measure
+wall-clock and legitimately differ. Everything simulated — cycles, energy,
+audit verdicts, profiles — must match exactly: each parallel job owns its
+whole simulated machine, so scheduling must never leak into results.
+
+Registered as a ctest (jobs_determinism); also usable standalone.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def stripped(path):
+    with open(path) as f:
+        doc = json.load(f)
+    doc.pop("host", None)
+    for bench in doc.get("benchmarks", []):
+        bench.pop("host_seconds", None)
+        bench.pop("sim_accesses_per_sec", None)
+    return json.dumps(doc, sort_keys=True, indent=1)
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit("usage: check_jobs_determinism.py FIG7_BINARY [SCALE]")
+    binary = sys.argv[1]
+    scale = sys.argv[2] if len(sys.argv) > 2 else "0.05"
+
+    reports = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for jobs in (1, 4):
+            out = os.path.join(tmp, f"jobs{jobs}.json")
+            subprocess.run(
+                [binary, f"--scale={scale}", "--profile", "--audit",
+                 f"--jobs={jobs}", f"--json={out}"],
+                check=True, stdout=subprocess.DEVNULL)
+            reports[jobs] = stripped(out)
+
+    if reports[1] != reports[4]:
+        a = reports[1].splitlines()
+        b = reports[4].splitlines()
+        for i, (la, lb) in enumerate(zip(a, b)):
+            if la != lb:
+                print(f"first difference at stripped-JSON line {i + 1}:")
+                print(f"  --jobs=1: {la.strip()}")
+                print(f"  --jobs=4: {lb.strip()}")
+                break
+        sys.exit("FAIL: --jobs=4 report differs from --jobs=1 "
+                 "(modulo host-timing fields)")
+
+    print(f"OK: --jobs=1 and --jobs=4 reports identical at scale {scale} "
+          f"(host-timing fields excluded)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

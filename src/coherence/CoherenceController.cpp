@@ -86,7 +86,7 @@ SocketId CoherenceController::homeOf(Addr Block, CoreId Requester) {
   Addr Page = Block >> 12;
   auto [It, Inserted] = PageHome.try_emplace(Page, Config.socketOf(Requester));
   (void)Inserted;
-  return It->second;
+  return It.value();
 }
 
 SocketId CoherenceController::homeOfExisting(Addr Block) const {
@@ -94,7 +94,7 @@ SocketId CoherenceController::homeOfExisting(Addr Block) const {
     return 0;
   auto It = PageHome.find(Block >> 12);
   assert(It != PageHome.end() && "block was never touched");
-  return It->second;
+  return It.value();
 }
 
 void CoherenceController::noteMsg(SocketId From, SocketId To) {
@@ -161,7 +161,7 @@ void CoherenceController::handleEviction(CoreId Core,
   SocketId CoreSocket = Config.socketOf(Core);
   auto It = Dir.find(Victim.Block);
   assert(It != Dir.end() && "evicting a block the directory never saw");
-  DirEntry &Entry = It->second;
+  DirEntry &Entry = It.value();
 
   // Every eviction notifies the home directory so sharer/owner information
   // stays precise (Put messages in the MESI vocabulary).
@@ -274,12 +274,12 @@ void CoherenceController::injectFaults(CoreId Core, Addr Block) {
     // WARD property licenses reconciliation at any point; the next touch
     // simply re-enters the W state.
     auto It = Dir.find(Block);
-    if (It != Dir.end() && It->second.State == DirState::Ward) {
+    if (It != Dir.end() && It.value().State == DirState::Ward) {
       ++Stats.ForcedReconciles;
       if (Obs && Obs->Trace)
         Obs->Trace->instant("fault: forced reconcile",
                             Obs->Trace->directoryTid(), Obs->Now);
-      reconcileBlock(Block, It->second);
+      reconcileBlock(Block, It.value());
     }
   }
 }
@@ -645,7 +645,7 @@ Cycles CoherenceController::addRegion(RegionId Id, Addr Start, Addr End) {
     return 0;
   }
   if (RegionLifetimeHist)
-    RegionAddedAt.emplace(Id, Obs->Now);
+    RegionAddedAt.try_emplace(Id, Obs->Now);
   // The "Add Region" instruction itself (Section 6.1: two new instructions
   // with minimal impact). The baseline MESI binary does not execute it.
   return Config.Protocol == ProtocolKind::Warden ? 2 : 0;
@@ -659,7 +659,7 @@ Cycles CoherenceController::removeRegion(RegionId Id, CoreId Remover) {
   if (RegionLifetimeHist) {
     auto AddedIt = RegionAddedAt.find(Id);
     if (AddedIt != RegionAddedAt.end()) {
-      RegionLifetimeHist->record(Obs->Now - AddedIt->second);
+      RegionLifetimeHist->record(Obs->Now - AddedIt.value());
       RegionAddedAt.erase(AddedIt);
     }
   }
@@ -671,9 +671,9 @@ Cycles CoherenceController::removeRegion(RegionId Id, CoreId Remover) {
   for (Addr Block = Region->Start; Block < Region->End;
        Block += Config.BlockSize) {
     auto It = Dir.find(Block);
-    if (It == Dir.end() || It->second.State != DirState::Ward)
+    if (It == Dir.end() || It.value().State != DirState::Ward)
       continue;
-    Cost += reconcileBlock(Block, It->second);
+    Cost += reconcileBlock(Block, It.value());
   }
   if (Auditor)
     Auditor->onRegionRemoved(Id, Region->Start, Region->End);
@@ -800,7 +800,15 @@ void CoherenceController::drainDirtyData() {
 
 const DirEntry *CoherenceController::directoryEntry(Addr Block) const {
   auto It = Dir.find(Block);
-  return It == Dir.end() ? nullptr : &It->second;
+  return It == Dir.end() ? nullptr : &It.value();
+}
+
+void CoherenceController::reserveFootprint(std::uint64_t Bytes) {
+  if (Bytes == 0)
+    return;
+  Dir.reserve(Bytes / Config.BlockSize + 1);
+  if (Config.NumSockets > 1)
+    PageHome.reserve((Bytes >> 12) + 1);
 }
 
 const CacheLine *CoherenceController::privateLine(CoreId Core,

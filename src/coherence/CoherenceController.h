@@ -110,6 +110,11 @@ public:
   /// comparison fair: WARDen prepays these write-backs at reconciliation).
   void drainDirtyData();
 
+  /// Pre-sizes the directory and page-home tables for a simulated footprint
+  /// of \p Bytes, so the hot loop never pays a mid-run rehash. Purely a
+  /// host-side optimization: an unreserved run is cycle-identical.
+  void reserveFootprint(std::uint64_t Bytes);
+
   const CoherenceStats &stats() const { return Stats; }
   const MachineConfig &config() const { return Config; }
   const RegionTable &regionTable() const { return Regions; }
@@ -175,7 +180,7 @@ private:
   std::vector<CacheArray> Llc;       ///< One slice per socket.
   Directory Dir;
   /// Page (4 KB) -> home socket, assigned at first touch.
-  std::unordered_map<Addr, SocketId> PageHome;
+  FlatMap<Addr, SocketId> PageHome;
 
   FaultPlan Faults;
   Rng FaultRng;             ///< Private stream; replayable from Faults.Seed.
@@ -192,7 +197,7 @@ private:
   SharingProfiler *Prof = nullptr;
   CpiStack *Cpi = nullptr;
   /// RegionId -> Observability::Now at addRegion, for lifetime histograms.
-  std::unordered_map<RegionId, Cycles> RegionAddedAt;
+  FlatMap<RegionId, Cycles> RegionAddedAt;
 };
 
 } // namespace warden

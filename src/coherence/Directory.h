@@ -13,15 +13,19 @@
 /// directory precision). This is the standard simplification when the
 /// study's focus is the protocol, not directory sizing.
 ///
+/// The directory probe sits on the critical path of every demand miss, so
+/// the map is an open-addressing FlatMap (one contiguous probe, no node
+/// allocation) rather than std::unordered_map. Iteration order is probe
+/// order; anything that reports over the directory sorts first.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef WARDEN_COHERENCE_DIRECTORY_H
 #define WARDEN_COHERENCE_DIRECTORY_H
 
 #include "src/support/CoreMask.h"
+#include "src/support/FlatMap.h"
 #include "src/support/Types.h"
-
-#include <unordered_map>
 
 namespace warden {
 
@@ -49,7 +53,7 @@ struct DirEntry {
 };
 
 /// The directory: block-aligned address -> entry.
-using Directory = std::unordered_map<Addr, DirEntry>;
+using Directory = FlatMap<Addr, DirEntry>;
 
 } // namespace warden
 

@@ -8,7 +8,9 @@
 
 #include "src/obs/MetricRegistry.h"
 
+#include <algorithm>
 #include <cassert>
+#include <limits>
 
 using namespace warden;
 
@@ -21,10 +23,17 @@ void RegionTable::attachMetrics(MetricRegistry *Registry) {
     OccupancyGauge->set(size());
 }
 
+std::size_t RegionTable::upperBound(Addr Address) const {
+  return static_cast<std::size_t>(
+      std::upper_bound(ByStart.begin(), ByStart.end(), Address,
+                       [](Addr A, const Interval &I) { return A < I.Start; }) -
+      ByStart.begin());
+}
+
 RegionTable::AddResult RegionTable::add(RegionId Id, Addr Start, Addr End) {
   if (Start >= End)
     return AddResult::BadInterval;
-  if (ById.count(Id))
+  if (ById.contains(Id))
     return AddResult::DuplicateId;
   if (full()) {
     if (OverflowCounter)
@@ -33,17 +42,16 @@ RegionTable::AddResult RegionTable::add(RegionId Id, Addr Start, Addr End) {
   }
 
   // Reject overlap with the nearest neighbours.
-  auto Next = ByStart.lower_bound(Start);
-  if (Next != ByStart.end() && Next->first < End)
+  std::size_t Next = upperBound(Start);
+  if (Next < ByStart.size() && ByStart[Next].Start < End)
     return AddResult::Overlap;
-  if (Next != ByStart.begin()) {
-    auto Prev = std::prev(Next);
-    if (Prev->second.first > Start)
-      return AddResult::Overlap;
-  }
+  if (Next > 0 && ByStart[Next - 1].End > Start)
+    return AddResult::Overlap;
 
-  ByStart.emplace(Start, std::make_pair(End, Id));
-  ById.emplace(Id, Start);
+  ByStart.insert(ByStart.begin() + static_cast<std::ptrdiff_t>(Next),
+                 Interval{Start, End, Id});
+  ById[Id] = Start;
+  invalidateMru();
   Peak = std::max(Peak, size());
   if (OccupancyGauge)
     OccupancyGauge->set(size());
@@ -54,23 +62,36 @@ std::optional<WardRegion> RegionTable::remove(RegionId Id) {
   auto It = ById.find(Id);
   if (It == ById.end())
     return std::nullopt;
-  auto StartIt = ByStart.find(It->second);
-  assert(StartIt != ByStart.end() && "table maps out of sync");
-  WardRegion Region{StartIt->first, StartIt->second.first};
-  ByStart.erase(StartIt);
+  std::size_t Index = upperBound((*It).second);
+  assert(Index > 0 && ByStart[Index - 1].Start == (*It).second &&
+         "table maps out of sync");
+  WardRegion Region{ByStart[Index - 1].Start, ByStart[Index - 1].End};
+  ByStart.erase(ByStart.begin() + static_cast<std::ptrdiff_t>(Index - 1));
   ById.erase(It);
+  invalidateMru();
   if (OccupancyGauge)
     OccupancyGauge->set(size());
   return Region;
 }
 
 RegionId RegionTable::lookup(Addr Address) const {
-  auto It = ByStart.upper_bound(Address);
-  if (It == ByStart.begin())
+  if (Address >= MruLo && Address < MruHi)
+    return MruId;
+  if (ByStart.empty())
     return InvalidRegion;
-  --It;
-  if (Address < It->second.first)
-    return It->second.second;
+  std::size_t Next = upperBound(Address);
+  if (Next > 0 && Address < ByStart[Next - 1].End) {
+    const Interval &Hit = ByStart[Next - 1];
+    fillMru(Hit.Start, Hit.End, Hit.Id);
+    return Hit.Id;
+  }
+  // Miss: cache the surrounding gap so repeated non-WARD addresses (the
+  // common case under MESI) resolve without another search.
+  Addr GapLo = Next > 0 ? ByStart[Next - 1].End : 0;
+  Addr GapHi = Next < ByStart.size()
+                   ? ByStart[Next].Start
+                   : std::numeric_limits<Addr>::max();
+  fillMru(GapLo, GapHi, InvalidRegion);
   return InvalidRegion;
 }
 
@@ -78,7 +99,8 @@ std::optional<WardRegion> RegionTable::get(RegionId Id) const {
   auto It = ById.find(Id);
   if (It == ById.end())
     return std::nullopt;
-  auto StartIt = ByStart.find(It->second);
-  assert(StartIt != ByStart.end() && "table maps out of sync");
-  return WardRegion{StartIt->first, StartIt->second.first};
+  std::size_t Index = upperBound((*It).second);
+  assert(Index > 0 && ByStart[Index - 1].Start == (*It).second &&
+         "table maps out of sync");
+  return WardRegion{ByStart[Index - 1].Start, ByStart[Index - 1].End};
 }

@@ -12,21 +12,25 @@
 /// rejected (the region simply is not tracked, which is always safe — its
 /// blocks stay under plain MESI) and counted as overflows.
 ///
-/// Lookups here are on the critical path of every private-cache miss, so
-/// the table keeps an ordered map keyed by region start for O(log n)
-/// address lookup; the hardware CAM performs the same comparison in
-/// parallel across entries.
+/// Lookups run on the critical path of every simulated access (both
+/// protocols consult the table for the coverage statistic), so the table is
+/// a sorted interval vector — binary search over contiguous 24-byte entries
+/// instead of a node-based std::map walk — fronted by a one-entry MRU
+/// interval cache. Fork-join traces repeat-touch the same region (or the
+/// same gap between regions) in long runs, so the cache answers most
+/// lookups with two comparisons; add/remove invalidate it. The hardware CAM
+/// performs the same comparison in parallel across entries.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef WARDEN_COHERENCE_REGIONTABLE_H
 #define WARDEN_COHERENCE_REGIONTABLE_H
 
+#include "src/support/FlatMap.h"
 #include "src/support/Types.h"
 
-#include <map>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 namespace warden {
 
@@ -77,7 +81,7 @@ public:
   /// Returns the interval of active region \p Id, or std::nullopt.
   std::optional<WardRegion> get(RegionId Id) const;
 
-  unsigned size() const { return static_cast<unsigned>(ById.size()); }
+  unsigned size() const { return static_cast<unsigned>(ByStart.size()); }
   unsigned capacity() const { return Capacity; }
   bool full() const { return size() >= Capacity; }
 
@@ -90,13 +94,39 @@ public:
   void attachMetrics(MetricRegistry *Registry);
 
 private:
+  /// One active region; kept sorted by Start in ByStart.
+  struct Interval {
+    Addr Start;
+    Addr End;
+    RegionId Id;
+  };
+
+  /// Index of the first ByStart entry with Start > Address.
+  std::size_t upperBound(Addr Address) const;
+
+  /// Caches the answer for every address in [Lo, Hi): Id when that is an
+  /// active region's interval, InvalidRegion when it is the gap between two
+  /// regions. Misses are cacheable too because the table is sorted — the
+  /// surrounding gap is known the moment the binary search fails.
+  void fillMru(Addr Lo, Addr Hi, RegionId Id) const {
+    MruLo = Lo;
+    MruHi = Hi;
+    MruId = Id;
+  }
+  void invalidateMru() const { MruLo = 1, MruHi = 0; }
+
   unsigned Capacity;
   unsigned Peak = 0;
   Gauge *OccupancyGauge = nullptr; ///< Not owned; null when detached.
   Counter *OverflowCounter = nullptr;
-  /// Start address -> (end, id); non-overlapping intervals.
-  std::map<Addr, std::pair<Addr, RegionId>> ByStart;
-  std::unordered_map<RegionId, Addr> ById; ///< Id -> start address.
+  /// Active regions sorted by Start; non-overlapping intervals.
+  std::vector<Interval> ByStart;
+  FlatMap<RegionId, Addr> ById; ///< Id -> start address.
+  /// One-entry MRU cache: the last interval (region or gap) a lookup
+  /// resolved. Empty when MruLo > MruHi.
+  mutable Addr MruLo = 1;
+  mutable Addr MruHi = 0;
+  mutable RegionId MruId = InvalidRegion;
 };
 
 } // namespace warden

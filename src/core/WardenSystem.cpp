@@ -8,8 +8,10 @@
 
 #include "src/coherence/CoherenceController.h"
 #include "src/obs/Observability.h"
+#include "src/support/JobPool.h"
 
 #include <algorithm>
+#include <functional>
 #include <cassert>
 #include <memory>
 #include <stdexcept>
@@ -48,6 +50,13 @@ RunResult WardenSystem::simulate(const TaskGraph &Graph,
   }
 
   CoherenceController Controller(Config, Options.Faults);
+  // Pre-size the hot-path tables for the recorded footprint (the memory
+  // map's spans cover every allocation the trace touches), so the replay
+  // loop never pays a mid-run rehash. Host-side only: cycle-identical.
+  std::uint64_t Footprint = 0;
+  for (const auto &[Start, EndSite] : Graph.memoryMap().spans())
+    Footprint += EndSite.first - Start;
+  Controller.reserveFootprint(Footprint);
   std::unique_ptr<ProtocolAuditor> Auditor;
   if (Options.Audit) {
     Auditor = std::make_unique<ProtocolAuditor>(Controller,
@@ -126,16 +135,29 @@ RunResult WardenSystem::simulateMedian(const TaskGraph &Graph,
                                        const MachineConfig &Config,
                                        const RunOptions &Options) {
   assert(Options.Repeats > 0 && "need at least one run");
-  std::vector<RunResult> Runs;
-  Runs.reserve(Options.Repeats);
-  for (unsigned I = 0; I < Options.Repeats; ++I) {
+  std::vector<RunResult> Runs(Options.Repeats);
+  auto RunRepeat = [&Graph, &Config, &Options, &Runs](unsigned I) {
     RunOptions OneRun = Options;
     OneRun.Seed = Options.Seed + 0x1111ULL * I;
     // Observability follows the first repeat only: the sampler and trace
     // then describe one deterministic run instead of mixing seeds.
     if (I != 0)
       OneRun.Obs = nullptr;
-    Runs.push_back(simulate(Graph, Config, OneRun));
+    Runs[I] = simulate(Graph, Config, OneRun);
+  };
+  if (Options.Pool && Options.Repeats > 1) {
+    // Each repeat owns its controller, auditor, and result slot; only
+    // repeat 0 touches the (optional) shared observability bundle. The
+    // median selection below reads Runs by index, so scheduling order
+    // cannot leak into the result.
+    std::vector<std::function<void()>> Tasks;
+    Tasks.reserve(Options.Repeats);
+    for (unsigned I = 0; I < Options.Repeats; ++I)
+      Tasks.push_back([&RunRepeat, I] { RunRepeat(I); });
+    Options.Pool->runAll(std::move(Tasks));
+  } else {
+    for (unsigned I = 0; I < Options.Repeats; ++I)
+      RunRepeat(I);
   }
   std::vector<std::size_t> Order(Runs.size());
   for (std::size_t I = 0; I < Order.size(); ++I)
@@ -178,6 +200,25 @@ ProtocolComparison WardenSystem::compare(const TaskGraph &Graph,
                                          MachineConfig Config,
                                          const RunOptions &Options) {
   ProtocolComparison Comparison;
+  if (Options.Pool && !Options.Obs) {
+    // The two protocol runs share nothing but the immutable graph, so fan
+    // them out. With an observability bundle attached they must stay
+    // serial (and ordered) instead: both medians' first repeats would
+    // otherwise race on the one bundle.
+    MachineConfig MesiConfig = Config;
+    MesiConfig.Protocol = ProtocolKind::Mesi;
+    MachineConfig WardenConfig = Config;
+    WardenConfig.Protocol = ProtocolKind::Warden;
+    std::vector<std::function<void()>> Tasks;
+    Tasks.push_back([&Comparison, &Graph, &MesiConfig, &Options] {
+      Comparison.Mesi = simulateMedian(Graph, MesiConfig, Options);
+    });
+    Tasks.push_back([&Comparison, &Graph, &WardenConfig, &Options] {
+      Comparison.Warden = simulateMedian(Graph, WardenConfig, Options);
+    });
+    Options.Pool->runAll(std::move(Tasks));
+    return Comparison;
+  }
   Config.Protocol = ProtocolKind::Mesi;
   Comparison.Mesi = simulateMedian(Graph, Config, Options);
   Config.Protocol = ProtocolKind::Warden;

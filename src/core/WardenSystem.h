@@ -32,6 +32,7 @@
 namespace warden {
 
 struct Observability;
+class JobPool;
 
 /// Knobs of one timed simulation beyond the machine itself: the scheduler
 /// seed, the repeat count for median runs, the protocol auditor, and the
@@ -57,6 +58,13 @@ struct RunOptions {
   /// single deterministic run rather than an interleaving of seeds; the
   /// registry report from that repeat is copied into the median result.
   Observability *Obs = nullptr;
+  /// Optional host thread pool. When set, simulateMedian() fans the
+  /// repeats out as independent jobs and compare() runs the two protocols
+  /// concurrently (unless Obs is set, whose single bundle the protocol
+  /// runs must then share serially). Each job owns its whole simulated
+  /// machine, so a pooled run is byte-identical to a serial one — this
+  /// changes host wall time only, never simulated results.
+  JobPool *Pool = nullptr;
 };
 
 /// Complete outcome of one timed simulation.

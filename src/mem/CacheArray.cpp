@@ -28,7 +28,22 @@ const char *warden::lineStateName(LineState State) {
 
 CacheArray::CacheArray(const CacheGeometry &Geometry)
     : Geometry(Geometry),
-      Lines(static_cast<std::size_t>(Geometry.NumSets) * Geometry.Assoc) {}
+      // Deliberately uninitialized: sets are placement-constructed on
+      // first insert (see touchSet), so construction cost is independent
+      // of the array's nominal capacity.
+      Storage(new std::byte[static_cast<std::size_t>(Geometry.NumSets) *
+                            Geometry.Assoc * sizeof(CacheLine)]),
+      SetLive(Geometry.NumSets, 0) {}
+
+CacheLine *CacheArray::touchSet(unsigned SetIndex) {
+  CacheLine *Set = rawSet(SetIndex);
+  if (!SetLive[SetIndex]) {
+    for (unsigned Way = 0; Way < Geometry.Assoc; ++Way)
+      ::new (static_cast<void *>(Set + Way)) CacheLine();
+    SetLive[SetIndex] = 1;
+  }
+  return std::launder(Set);
+}
 
 CacheLine *CacheArray::lookup(Addr BlockAddress) {
   CacheLine *Line = probe(BlockAddress);
@@ -40,7 +55,10 @@ CacheLine *CacheArray::lookup(Addr BlockAddress) {
 CacheLine *CacheArray::probe(Addr BlockAddress) {
   assert(Geometry.blockAddr(BlockAddress) == BlockAddress &&
          "address must be block-aligned");
-  CacheLine *Set = setBegin(Geometry.setIndex(BlockAddress));
+  unsigned SetIndex = Geometry.setIndex(BlockAddress);
+  if (!SetLive[SetIndex])
+    return nullptr; // Untouched set: trivially a miss.
+  CacheLine *Set = liveSet(SetIndex);
   for (unsigned Way = 0; Way < Geometry.Assoc; ++Way)
     if (Set[Way].valid() && Set[Way].Block == BlockAddress)
       return &Set[Way];
@@ -55,7 +73,7 @@ std::optional<EvictedLine> CacheArray::insert(Addr BlockAddress,
                                               LineState State) {
   assert(State != LineState::Invalid && "cannot insert an invalid line");
   assert(!probe(BlockAddress) && "block already present");
-  CacheLine *Set = setBegin(Geometry.setIndex(BlockAddress));
+  CacheLine *Set = touchSet(Geometry.setIndex(BlockAddress));
 
   CacheLine *Victim = &Set[0];
   for (unsigned Way = 0; Way < Geometry.Assoc; ++Way) {
@@ -90,8 +108,6 @@ std::optional<EvictedLine> CacheArray::invalidate(Addr BlockAddress) {
 
 std::size_t CacheArray::validLineCount() const {
   std::size_t Count = 0;
-  for (const CacheLine &Line : Lines)
-    if (Line.valid())
-      ++Count;
+  forEachValidLine([&Count](const CacheLine &) { ++Count; });
   return Count;
 }

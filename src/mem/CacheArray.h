@@ -19,8 +19,12 @@
 #include "src/mem/SectorMask.h"
 #include "src/support/Types.h"
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <new>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 namespace warden {
@@ -64,6 +68,15 @@ struct EvictedLine {
 };
 
 /// Set-associative, LRU-replaced cache array.
+///
+/// Sets are initialized lazily: construction allocates the backing store
+/// uninitialized and only a first probe-with-intent (insert) formats a
+/// set's lines. A full-size LLC slice is hundreds of thousands of lines,
+/// of which a short simulation touches a small fraction, so eager
+/// value-initialization dominated per-simulation host cost. Untouched sets
+/// answer probes as misses without being formatted, and whole-array scans
+/// (forEachValidLine, validLineCount) skip them entirely in set-index
+/// order — identical iteration order to the former eager layout.
 class CacheArray {
 public:
   explicit CacheArray(const CacheGeometry &Geometry);
@@ -91,31 +104,58 @@ public:
   /// Number of currently valid lines.
   std::size_t validLineCount() const;
 
-  /// Calls \p Fn(CacheLine&) for every valid line. Used only by tests and
-  /// whole-cache statistics; protocol paths use per-block probes.
+  /// Calls \p Fn(CacheLine&) for every valid line, in set-index order.
+  /// Used only by tests and whole-cache statistics; protocol paths use
+  /// per-block probes. Untouched sets are skipped without being formatted.
   template <typename FnT> void forEachValidLine(FnT Fn) {
-    for (CacheLine &Line : Lines)
-      if (Line.valid())
-        Fn(Line);
+    for (std::size_t SetIndex = 0; SetIndex < SetLive.size(); ++SetIndex) {
+      if (!SetLive[SetIndex])
+        continue;
+      CacheLine *Set = liveSet(static_cast<unsigned>(SetIndex));
+      for (unsigned Way = 0; Way < Geometry.Assoc; ++Way)
+        if (Set[Way].valid())
+          Fn(Set[Way]);
+    }
   }
   template <typename FnT> void forEachValidLine(FnT Fn) const {
-    for (const CacheLine &Line : Lines)
-      if (Line.valid())
-        Fn(Line);
+    for (std::size_t SetIndex = 0; SetIndex < SetLive.size(); ++SetIndex) {
+      if (!SetLive[SetIndex])
+        continue;
+      const CacheLine *Set = liveSet(static_cast<unsigned>(SetIndex));
+      for (unsigned Way = 0; Way < Geometry.Assoc; ++Way)
+        if (Set[Way].valid())
+          Fn(Set[Way]);
+    }
   }
 
 private:
-  CacheLine *setBegin(unsigned SetIndex) {
-    return &Lines[static_cast<std::size_t>(SetIndex) * Geometry.Assoc];
+  /// Raw (possibly unformatted) address of a set's first line.
+  CacheLine *rawSet(unsigned SetIndex) {
+    return reinterpret_cast<CacheLine *>(Storage.get()) +
+           static_cast<std::size_t>(SetIndex) * Geometry.Assoc;
   }
-  const CacheLine *setBegin(unsigned SetIndex) const {
-    return &Lines[static_cast<std::size_t>(SetIndex) * Geometry.Assoc];
+  /// A set known to be live (SetLive[SetIndex] != 0).
+  CacheLine *liveSet(unsigned SetIndex) {
+    return std::launder(rawSet(SetIndex));
   }
+  const CacheLine *liveSet(unsigned SetIndex) const {
+    return std::launder(const_cast<CacheArray *>(this)->rawSet(SetIndex));
+  }
+  /// Formats \p SetIndex's lines on first use and returns the set.
+  CacheLine *touchSet(unsigned SetIndex);
 
   CacheGeometry Geometry;
-  std::vector<CacheLine> Lines;
+  /// Uninitialized backing store for NumSets * Assoc lines; sets become
+  /// live (placement-constructed) on first insert. CacheLine is trivially
+  /// destructible, so untouched storage needs no teardown.
+  std::unique_ptr<std::byte[]> Storage;
+  /// One byte per set: nonzero once the set's lines are constructed.
+  std::vector<std::uint8_t> SetLive;
   std::uint64_t NextStamp = 1;
 };
+
+static_assert(std::is_trivially_destructible_v<CacheLine>,
+              "lazy set storage relies on trivial destruction");
 
 } // namespace warden
 

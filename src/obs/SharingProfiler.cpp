@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <vector>
 
 using namespace warden;
 
@@ -59,10 +60,17 @@ SharingProfiler::LineRecord *SharingProfiler::lookup(Addr Block) {
     ++Dropped;
     return nullptr;
   }
+  // Victim choice must not depend on the hash table's layout: break
+  // traffic ties on the block address so any history of insertions and
+  // rehashes evicts the same line.
   auto Min = Table.begin();
-  for (auto Cand = Table.begin(); Cand != Table.end(); ++Cand)
-    if (Cand->second.traffic() < Min->second.traffic())
+  for (auto Cand = Table.begin(); Cand != Table.end(); ++Cand) {
+    std::uint64_t CandTraffic = Cand->second.traffic();
+    std::uint64_t MinTraffic = Min->second.traffic();
+    if (CandTraffic < MinTraffic ||
+        (CandTraffic == MinTraffic && Cand->first < Min->first))
       Min = Cand;
+  }
   Table.erase(Min);
   return &Table[Block];
 }
@@ -93,13 +101,21 @@ void SharingProfiler::noteContention(Addr Block, LineRecord &R) {
 void SharingProfiler::finishCounters() const {
   if (!Obs || !Obs->Trace)
     return;
+  // Emit in block-address order, not hash order, so the trace stream is
+  // identical across container layouts and library versions.
+  std::vector<const LineRecord *> Claimed;
   for (const auto &[Block, R] : Table) {
     (void)Block;
     if (!R.CounterName.empty())
-      Obs->Trace->counter(R.CounterName, Obs->Now,
-                          static_cast<double>(R.Invalidations +
-                                              R.Downgrades));
+      Claimed.push_back(&R);
   }
+  std::sort(Claimed.begin(), Claimed.end(),
+            [](const LineRecord *A, const LineRecord *B) {
+              return A->CounterName < B->CounterName;
+            });
+  for (const LineRecord *R : Claimed)
+    Obs->Trace->counter(R->CounterName, Obs->Now,
+                        static_cast<double>(R->Invalidations + R->Downgrades));
 }
 
 void SharingProfiler::onRead(Addr Block, CoreId Core) {

@@ -1,0 +1,263 @@
+//===- support/FlatMap.h - Open-addressing flat hash map ------*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cache-friendly open-addressing hash map for integral keys, built for
+/// the simulator's per-access lookups (directory probes, page-home
+/// placement, region bookkeeping). `std::unordered_map` pays a pointer
+/// chase per probe and an allocation per insert; this table keeps key/value
+/// slots in one contiguous array with linear probing, so the common probe
+/// touches a single cache line and inserts amortize to a bump in an array.
+///
+/// Deletion is tombstone-free: erasing backward-shifts the displaced tail
+/// of the probe cluster into the hole, so long-lived tables (the region
+/// table survives millions of add/remove pairs per run) never accumulate
+/// dead slots that would stretch every later probe.
+///
+/// Deliberate non-goals, in exchange for speed on the hot path:
+///  * Keys must be integral (the simulator keys by Addr/RegionId).
+///  * References and iterators are invalidated by rehash (any insert) and
+///    by erase. The coherence engine only holds references across
+///    non-inserting operations; see CoherenceController.
+///  * Iteration order is the probe order, not insertion or key order.
+///    Reports that iterate a FlatMap must sort (see ProtocolAuditor).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_SUPPORT_FLATMAP_H
+#define WARDEN_SUPPORT_FLATMAP_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace warden {
+
+/// Open-addressing hash map from an integral key to \p ValueT.
+template <typename KeyT, typename ValueT> class FlatMap {
+  static_assert(std::is_integral_v<KeyT> || std::is_enum_v<KeyT>,
+                "FlatMap keys must be integral");
+
+  struct Slot {
+    KeyT Key{};
+    ValueT Value{};
+  };
+
+public:
+  FlatMap() = default;
+
+  /// Forward iterator over occupied slots, yielding pair-like references so
+  /// structured bindings (`for (const auto &[Key, Value] : Map)`) work.
+  template <bool Const> class IteratorImpl {
+    using MapT = std::conditional_t<Const, const FlatMap, FlatMap>;
+    using ValueRefT = std::conditional_t<Const, const ValueT &, ValueT &>;
+
+  public:
+    IteratorImpl() = default;
+    IteratorImpl(MapT *Map, std::size_t Index) : Map(Map), Index(Index) {
+      skipEmpty();
+    }
+
+    std::pair<const KeyT &, ValueRefT> operator*() const {
+      return {Map->Slots[Index].Key, Map->Slots[Index].Value};
+    }
+
+    const KeyT &key() const { return Map->Slots[Index].Key; }
+    ValueRefT value() const { return Map->Slots[Index].Value; }
+
+    IteratorImpl &operator++() {
+      ++Index;
+      skipEmpty();
+      return *this;
+    }
+
+    bool operator==(const IteratorImpl &Other) const {
+      return Index == Other.Index;
+    }
+    bool operator!=(const IteratorImpl &Other) const {
+      return Index != Other.Index;
+    }
+
+  private:
+    friend class FlatMap;
+    void skipEmpty() {
+      while (Map && Index < Map->Used.size() && !Map->Used[Index])
+        ++Index;
+    }
+    MapT *Map = nullptr;
+    std::size_t Index = 0;
+  };
+
+  using iterator = IteratorImpl<false>;
+  using const_iterator = IteratorImpl<true>;
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, Used.size()); }
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, Used.size()); }
+
+  std::size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  /// Drops every entry but keeps the allocation (a per-run reset should not
+  /// pay the reserve again).
+  void clear() {
+    std::fill(Used.begin(), Used.end(), std::uint8_t(0));
+    for (Slot &S : Slots)
+      S = Slot();
+    Count = 0;
+  }
+
+  /// Grows the table so that \p Entries fit without rehashing. Call with
+  /// the expected footprint before the hot loop; growth during the loop is
+  /// correct but pays the rehash mid-flight.
+  void reserve(std::size_t Entries) {
+    std::size_t Needed = capacityFor(Entries);
+    if (Needed > Slots.size())
+      rehash(Needed);
+  }
+
+  const_iterator find(KeyT Key) const {
+    return const_iterator(this, findIndex(Key));
+  }
+  iterator find(KeyT Key) { return iterator(this, findIndex(Key)); }
+
+  bool contains(KeyT Key) const { return findIndex(Key) != Used.size(); }
+  std::size_t count(KeyT Key) const { return contains(Key) ? 1 : 0; }
+
+  /// Returns the value for \p Key, default-constructing it on first use.
+  ValueT &operator[](KeyT Key) {
+    return Slots[insertIndex(Key)].Value;
+  }
+
+  /// Inserts {Key, Value} if absent; returns {iterator, inserted}.
+  template <typename... ArgTs>
+  std::pair<iterator, bool> try_emplace(KeyT Key, ArgTs &&...Args) {
+    std::size_t Existing = findIndex(Key);
+    if (Existing != Used.size())
+      return {iterator(this, Existing), false};
+    std::size_t Index = insertIndex(Key);
+    Slots[Index].Value = ValueT(std::forward<ArgTs>(Args)...);
+    return {iterator(this, Index), true};
+  }
+
+  /// Erases \p Key if present; returns the number of entries removed.
+  std::size_t erase(KeyT Key) {
+    std::size_t Index = findIndex(Key);
+    if (Index == Used.size())
+      return 0;
+    eraseIndex(Index);
+    return 1;
+  }
+
+  /// Erases the entry \p It points at.
+  void erase(iterator It) {
+    assert(It.Map == this && It.Index < Used.size() && Used[It.Index] &&
+           "erasing an invalid iterator");
+    eraseIndex(It.Index);
+  }
+
+private:
+  static constexpr std::size_t MinCapacity = 16;
+
+  /// Fibonacci multiplicative mix: block addresses share their low bits
+  /// (always block-aligned), so the index must come from the high bits of
+  /// the product.
+  static std::size_t hashKey(KeyT Key) {
+    std::uint64_t H =
+        static_cast<std::uint64_t>(Key) * 0x9e3779b97f4a7c15ULL;
+    return static_cast<std::size_t>(H ^ (H >> 32));
+  }
+
+  /// Smallest power-of-two capacity holding \p Entries under 7/8 load.
+  static std::size_t capacityFor(std::size_t Entries) {
+    std::size_t Cap = MinCapacity;
+    while (Entries * 8 > Cap * 7)
+      Cap *= 2;
+    return Cap;
+  }
+
+  std::size_t mask() const { return Slots.size() - 1; }
+
+  /// Index of \p Key's slot, or Used.size() when absent (== end()).
+  std::size_t findIndex(KeyT Key) const {
+    if (Count == 0)
+      return Used.size();
+    std::size_t Index = hashKey(Key) & mask();
+    while (Used[Index]) {
+      if (Slots[Index].Key == Key)
+        return Index;
+      Index = (Index + 1) & mask();
+    }
+    return Used.size();
+  }
+
+  /// Index of \p Key's slot, inserting an empty entry if absent.
+  std::size_t insertIndex(KeyT Key) {
+    if ((Count + 1) * 8 > Slots.size() * 7)
+      rehash(Slots.size() ? Slots.size() * 2 : MinCapacity);
+    std::size_t Index = hashKey(Key) & mask();
+    while (Used[Index]) {
+      if (Slots[Index].Key == Key)
+        return Index;
+      Index = (Index + 1) & mask();
+    }
+    Used[Index] = 1;
+    Slots[Index].Key = Key;
+    ++Count;
+    return Index;
+  }
+
+  void eraseIndex(std::size_t Hole) {
+    // Backward-shift deletion: walk the cluster after the hole and pull
+    // back every entry whose probe path passes through the hole, so lookups
+    // never need tombstones to bridge the gap.
+    std::size_t Next = (Hole + 1) & mask();
+    while (Used[Next]) {
+      std::size_t Home = hashKey(Slots[Next].Key) & mask();
+      // The entry at Next may move into the hole iff the hole lies on its
+      // probe path, i.e. cyclically between its home slot and Next.
+      if (((Hole - Home) & mask()) <= ((Next - Home) & mask())) {
+        Slots[Hole] = std::move(Slots[Next]);
+        Hole = Next;
+      }
+      Next = (Next + 1) & mask();
+    }
+    Used[Hole] = 0;
+    Slots[Hole] = Slot();
+    --Count;
+  }
+
+  void rehash(std::size_t NewCapacity) {
+    assert((NewCapacity & (NewCapacity - 1)) == 0 && "capacity not a power "
+                                                     "of two");
+    std::vector<Slot> OldSlots = std::move(Slots);
+    std::vector<std::uint8_t> OldUsed = std::move(Used);
+    Slots.assign(NewCapacity, Slot());
+    Used.assign(NewCapacity, 0);
+    for (std::size_t I = 0; I < OldUsed.size(); ++I) {
+      if (!OldUsed[I])
+        continue;
+      std::size_t Index = hashKey(OldSlots[I].Key) & mask();
+      while (Used[Index])
+        Index = (Index + 1) & mask();
+      Used[Index] = 1;
+      Slots[Index] = std::move(OldSlots[I]);
+    }
+  }
+
+  std::vector<Slot> Slots;
+  std::vector<std::uint8_t> Used;
+  std::size_t Count = 0;
+};
+
+} // namespace warden
+
+#endif // WARDEN_SUPPORT_FLATMAP_H

@@ -1,0 +1,81 @@
+//===- support/JobPool.cpp - Deterministic host thread pool ---------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/support/JobPool.h"
+
+using namespace warden;
+
+JobPool::JobPool(unsigned Concurrency) {
+  unsigned WorkerCount = Concurrency > 1 ? Concurrency - 1 : 0;
+  Workers.reserve(WorkerCount);
+  for (unsigned I = 0; I < WorkerCount; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+JobPool::~JobPool() {
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    Stopping = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+void JobPool::runOneTask(std::unique_lock<std::mutex> &Lock) {
+  Item Work = std::move(Queue.front());
+  Queue.pop_front();
+  Lock.unlock();
+  std::exception_ptr Error;
+  try {
+    Work.Fn();
+  } catch (...) {
+    Error = std::current_exception();
+  }
+  Lock.lock();
+  if (Error && !Work.Owner->FirstError)
+    Work.Owner->FirstError = Error;
+  if (--Work.Owner->Pending == 0)
+    Progress.notify_all();
+}
+
+void JobPool::workerLoop() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  while (true) {
+    WorkReady.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+    if (Queue.empty())
+      return; // Stopping with nothing left to drain.
+    runOneTask(Lock);
+  }
+}
+
+void JobPool::runAll(std::vector<std::function<void()>> Tasks) {
+  if (Tasks.empty())
+    return;
+  auto Owner = std::make_shared<Batch>();
+  Owner->Pending = Tasks.size();
+
+  std::unique_lock<std::mutex> Lock(Mu);
+  for (std::function<void()> &Task : Tasks)
+    Queue.push_back(Item{std::move(Task), Owner});
+  WorkReady.notify_all();
+  // Wake any helper blocked in another runAll: the new tasks may be the
+  // nested work its own batch is waiting on.
+  Progress.notify_all();
+
+  while (Owner->Pending > 0) {
+    if (!Queue.empty()) {
+      runOneTask(Lock);
+      continue;
+    }
+    // Our tasks are all claimed but still running elsewhere. Help-first:
+    // wake up either when the batch completes or when new work (possibly
+    // spawned by one of our own tasks) arrives.
+    Progress.wait(Lock, [&] { return Owner->Pending == 0 || !Queue.empty(); });
+  }
+  if (Owner->FirstError)
+    std::rethrow_exception(Owner->FirstError);
+}

@@ -1,0 +1,89 @@
+//===- support/JobPool.h - Deterministic host thread pool -----*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small help-first thread pool for fanning out independent simulations
+/// (protocol x benchmark x repeat) across host cores. Two properties make
+/// it safe for the harnesses:
+///
+///  * Help-first waiting: runAll() callers execute queued tasks while
+///    their own batch is outstanding, so nested fan-outs (suite -> compare
+///    -> repeats) compose without deadlock even on a one-thread pool.
+///  * Determinism by construction: the pool schedules tasks in any order
+///    but each task writes only its own pre-allocated result slot, so a
+///    parallel run produces byte-identical output to a serial one. The
+///    pool itself never reorders observable side effects — callers must
+///    not share mutable state between tasks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_SUPPORT_JOBPOOL_H
+#define WARDEN_SUPPORT_JOBPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace warden {
+
+/// Fixed-size pool executing batches of independent tasks.
+class JobPool {
+public:
+  /// Creates a pool with \p Concurrency total executors: the calling
+  /// thread plus Concurrency - 1 workers. Concurrency <= 1 spawns no
+  /// threads, and runAll() then runs every task inline on the caller —
+  /// the serial path with identical semantics.
+  explicit JobPool(unsigned Concurrency);
+  ~JobPool();
+
+  JobPool(const JobPool &) = delete;
+  JobPool &operator=(const JobPool &) = delete;
+
+  /// Total executors (workers + the runAll caller).
+  unsigned concurrency() const {
+    return static_cast<unsigned>(Workers.size()) + 1;
+  }
+
+  /// Runs every task, returning when all have finished. The caller
+  /// participates (help-first), executing queued tasks — possibly from
+  /// other batches — while waiting. If any task throws, the first
+  /// exception (in completion order) is rethrown after the whole batch
+  /// has drained; the remaining tasks still run.
+  void runAll(std::vector<std::function<void()>> Tasks);
+
+private:
+  /// Shared completion state of one runAll() batch.
+  struct Batch {
+    std::size_t Pending = 0;
+    std::exception_ptr FirstError;
+  };
+  struct Item {
+    std::function<void()> Fn;
+    std::shared_ptr<Batch> Owner;
+  };
+
+  /// Pops and runs the front task. \p Lock must be held; it is released
+  /// while the task runs and re-acquired before returning.
+  void runOneTask(std::unique_lock<std::mutex> &Lock);
+  void workerLoop();
+
+  std::mutex Mu;
+  std::condition_variable WorkReady; ///< Signalled when tasks are queued.
+  std::condition_variable Progress;  ///< Signalled on task completion/arrival.
+  std::deque<Item> Queue;
+  std::vector<std::thread> Workers;
+  bool Stopping = false;
+};
+
+} // namespace warden
+
+#endif // WARDEN_SUPPORT_JOBPOOL_H

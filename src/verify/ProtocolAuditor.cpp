@@ -9,6 +9,9 @@
 #include "src/coherence/CoherenceController.h"
 #include "src/support/Strings.h"
 
+#include <algorithm>
+#include <vector>
+
 using namespace warden;
 
 ProtocolAuditor::ProtocolAuditor(const CoherenceController &Controller,
@@ -319,10 +322,17 @@ void ProtocolAuditor::checkBlock(Addr Block) {
 
 void ProtocolAuditor::checkAll(const char *When) {
   ++Report.ChecksRun;
+  // Sweep in address order, not table order: the first violations win the
+  // bounded message list, so the report must not depend on hash layout.
+  std::vector<Addr> Blocks;
+  Blocks.reserve(Controller.directory().size());
   for (const auto &[Block, Entry] : Controller.directory()) {
     (void)Entry;
-    checkBlock(Block);
+    Blocks.push_back(Block);
   }
+  std::sort(Blocks.begin(), Blocks.end());
+  for (Addr Block : Blocks)
+    checkBlock(Block);
   // Every resident private line must be a block the directory tracks; the
   // loop above only visits directory entries.
   const MachineConfig &Config = Controller.config();

@@ -1,0 +1,142 @@
+//===- tests/FlatMapTest.cpp - Open-addressing flat map unit tests -----------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/support/FlatMap.h"
+
+#include "src/support/Rng.h"
+#include "src/support/Types.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+using namespace warden;
+
+TEST(FlatMap, EmptyBehaviour) {
+  FlatMap<Addr, int> Map;
+  EXPECT_TRUE(Map.empty());
+  EXPECT_EQ(Map.size(), 0u);
+  EXPECT_EQ(Map.find(42), Map.end());
+  EXPECT_FALSE(Map.contains(42));
+  EXPECT_EQ(Map.erase(42), 0u);
+  EXPECT_EQ(Map.begin(), Map.end());
+}
+
+TEST(FlatMap, InsertFindErase) {
+  FlatMap<Addr, int> Map;
+  Map[10] = 1;
+  Map[20] = 2;
+  Map[30] = 3;
+  EXPECT_EQ(Map.size(), 3u);
+  ASSERT_NE(Map.find(20), Map.end());
+  EXPECT_EQ(Map.find(20).value(), 2);
+  EXPECT_EQ(Map.erase(20), 1u);
+  EXPECT_EQ(Map.find(20), Map.end());
+  EXPECT_EQ(Map.size(), 2u);
+  EXPECT_EQ(Map.find(10).value(), 1);
+  EXPECT_EQ(Map.find(30).value(), 3);
+}
+
+TEST(FlatMap, OperatorBracketDefaultConstructs) {
+  FlatMap<Addr, int> Map;
+  EXPECT_EQ(Map[5], 0); // Value-initialized on first touch.
+  Map[5] += 7;
+  EXPECT_EQ(Map[5], 7);
+  EXPECT_EQ(Map.size(), 1u);
+}
+
+TEST(FlatMap, TryEmplaceReportsExisting) {
+  FlatMap<Addr, int> Map;
+  auto [It1, Inserted1] = Map.try_emplace(9, 1);
+  EXPECT_TRUE(Inserted1);
+  EXPECT_EQ(It1.value(), 1);
+  auto [It2, Inserted2] = Map.try_emplace(9, 2);
+  EXPECT_FALSE(Inserted2);
+  EXPECT_EQ(It2.value(), 1); // Existing value untouched.
+}
+
+TEST(FlatMap, GrowsThroughRehashes) {
+  FlatMap<Addr, std::uint64_t> Map;
+  constexpr std::uint64_t N = 50'000;
+  for (std::uint64_t I = 0; I < N; ++I)
+    Map[I * 64] = I;
+  EXPECT_EQ(Map.size(), N);
+  for (std::uint64_t I = 0; I < N; ++I) {
+    auto It = Map.find(I * 64);
+    ASSERT_NE(It, Map.end()) << "key " << I * 64;
+    EXPECT_EQ(It.value(), I);
+  }
+  EXPECT_FALSE(Map.contains(N * 64));
+}
+
+TEST(FlatMap, ReserveAvoidsIteratorChurn) {
+  FlatMap<Addr, int> Map;
+  Map.reserve(1000);
+  Map[1] = 11;
+  auto It = Map.find(1);
+  for (int I = 2; I < 1000; ++I)
+    Map[static_cast<Addr>(I)] = I;
+  // With capacity reserved up front, no rehash happened, so the early
+  // iterator still points at its entry.
+  EXPECT_EQ(It.key(), 1u);
+  EXPECT_EQ(It.value(), 11);
+}
+
+TEST(FlatMap, BackwardShiftEraseKeepsProbeChainsIntact) {
+  // Erase inside long collision chains and verify every survivor is still
+  // reachable — the property tombstone-free deletion must preserve.
+  FlatMap<std::uint32_t, std::uint32_t> Map;
+  std::map<std::uint32_t, std::uint32_t> Reference;
+  Rng Random(0xf1a7);
+  for (unsigned Round = 0; Round < 20'000; ++Round) {
+    std::uint32_t Key = static_cast<std::uint32_t>(Random.nextBelow(512));
+    if (Random.nextBelow(3) == 0) {
+      EXPECT_EQ(Map.erase(Key), Reference.erase(Key));
+    } else {
+      Map[Key] = Round;
+      Reference[Key] = Round;
+    }
+    ASSERT_EQ(Map.size(), Reference.size());
+  }
+  for (const auto &[Key, Value] : Reference) {
+    auto It = Map.find(Key);
+    ASSERT_NE(It, Map.end()) << "lost key " << Key;
+    EXPECT_EQ(It.value(), Value);
+  }
+  // And the map's own iteration sees exactly the reference's entries.
+  std::size_t Seen = 0;
+  for (auto [Key, Value] : Map) {
+    auto RefIt = Reference.find(Key);
+    ASSERT_NE(RefIt, Reference.end());
+    EXPECT_EQ(Value, RefIt->second);
+    ++Seen;
+  }
+  EXPECT_EQ(Seen, Reference.size());
+}
+
+TEST(FlatMap, ClearKeepsAllocationAndWorksAfter) {
+  FlatMap<Addr, int> Map;
+  for (int I = 0; I < 100; ++I)
+    Map[static_cast<Addr>(I)] = I;
+  Map.clear();
+  EXPECT_TRUE(Map.empty());
+  EXPECT_EQ(Map.find(5), Map.end());
+  Map[5] = 55;
+  EXPECT_EQ(Map.find(5).value(), 55);
+}
+
+TEST(FlatMap, EraseByIterator) {
+  FlatMap<Addr, int> Map;
+  Map[1] = 1;
+  Map[2] = 2;
+  auto It = Map.find(1);
+  ASSERT_NE(It, Map.end());
+  Map.erase(It);
+  EXPECT_FALSE(Map.contains(1));
+  EXPECT_TRUE(Map.contains(2));
+}

@@ -1,0 +1,119 @@
+//===- tests/JobPoolTest.cpp - Host thread pool unit tests --------------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/support/JobPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+using namespace warden;
+
+TEST(JobPool, SerialPoolRunsInline) {
+  JobPool Pool(1);
+  EXPECT_EQ(Pool.concurrency(), 1u);
+  std::vector<int> Out(8, 0);
+  std::vector<std::function<void()>> Tasks;
+  for (int I = 0; I < 8; ++I)
+    Tasks.push_back([&Out, I] { Out[static_cast<std::size_t>(I)] = I + 1; });
+  Pool.runAll(std::move(Tasks));
+  for (int I = 0; I < 8; ++I)
+    EXPECT_EQ(Out[static_cast<std::size_t>(I)], I + 1);
+}
+
+TEST(JobPool, EmptyBatchIsANoOp) {
+  JobPool Pool(4);
+  Pool.runAll({});
+}
+
+TEST(JobPool, AllTasksRunExactlyOnce) {
+  JobPool Pool(4);
+  constexpr unsigned N = 500;
+  std::vector<std::atomic<unsigned>> Hits(N);
+  std::vector<std::function<void()>> Tasks;
+  for (unsigned I = 0; I < N; ++I)
+    Tasks.push_back([&Hits, I] { Hits[I].fetch_add(1); });
+  Pool.runAll(std::move(Tasks));
+  for (unsigned I = 0; I < N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1u) << "task " << I;
+}
+
+TEST(JobPool, ResultsIndependentOfScheduling) {
+  // The determinism contract the simulation fan-out relies on: tasks that
+  // write only their own slot produce the same output at any width.
+  auto Compute = [](unsigned Width) {
+    JobPool Pool(Width);
+    std::vector<std::uint64_t> Out(64);
+    std::vector<std::function<void()>> Tasks;
+    for (std::size_t I = 0; I < Out.size(); ++I)
+      Tasks.push_back([&Out, I] {
+        std::uint64_t V = 0;
+        for (std::uint64_t J = 0; J <= I * 97; ++J)
+          V = V * 6364136223846793005ULL + J;
+        Out[I] = V;
+      });
+    Pool.runAll(std::move(Tasks));
+    return Out;
+  };
+  std::vector<std::uint64_t> Serial = Compute(1);
+  EXPECT_EQ(Compute(2), Serial);
+  EXPECT_EQ(Compute(4), Serial);
+}
+
+TEST(JobPool, NestedBatchesDoNotDeadlock) {
+  // The harness shape (suite -> compare -> repeats) at every width,
+  // including a pool with zero worker threads.
+  for (unsigned Width : {1u, 2u, 4u}) {
+    JobPool Pool(Width);
+    std::atomic<unsigned> Leaves{0};
+    std::vector<std::function<void()>> Outer;
+    for (unsigned I = 0; I < 6; ++I)
+      Outer.push_back([&Pool, &Leaves] {
+        std::vector<std::function<void()>> Mid;
+        for (unsigned J = 0; J < 2; ++J)
+          Mid.push_back([&Pool, &Leaves] {
+            std::vector<std::function<void()>> Inner;
+            for (unsigned K = 0; K < 3; ++K)
+              Inner.push_back([&Leaves] { Leaves.fetch_add(1); });
+            Pool.runAll(std::move(Inner));
+          });
+        Pool.runAll(std::move(Mid));
+      });
+    Pool.runAll(std::move(Outer));
+    EXPECT_EQ(Leaves.load(), 6u * 2u * 3u) << "width " << Width;
+  }
+}
+
+TEST(JobPool, FirstExceptionPropagatesAfterDrain) {
+  JobPool Pool(2);
+  std::atomic<unsigned> Ran{0};
+  std::vector<std::function<void()>> Tasks;
+  for (unsigned I = 0; I < 16; ++I)
+    Tasks.push_back([&Ran, I] {
+      Ran.fetch_add(1);
+      if (I == 3)
+        throw std::runtime_error("task 3 failed");
+    });
+  EXPECT_THROW(Pool.runAll(std::move(Tasks)), std::runtime_error);
+  // The batch drains fully even when a task throws.
+  EXPECT_EQ(Ran.load(), 16u);
+}
+
+TEST(JobPool, ReusableAcrossBatches) {
+  JobPool Pool(3);
+  std::atomic<unsigned> Total{0};
+  for (unsigned Round = 0; Round < 50; ++Round) {
+    std::vector<std::function<void()>> Tasks;
+    for (unsigned I = 0; I < 10; ++I)
+      Tasks.push_back([&Total] { Total.fetch_add(1); });
+    Pool.runAll(std::move(Tasks));
+  }
+  EXPECT_EQ(Total.load(), 500u);
+}

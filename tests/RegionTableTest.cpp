@@ -224,3 +224,61 @@ TEST(RegionTableFallback, ExhaustedTableRunsAreCycleDeterministic) {
       }());
   EXPECT_EQ(First, runRegionWorkload(Mesi));
 }
+
+TEST(RegionTable, MruCacheSurvivesRepeatedHitsAndMisses) {
+  RegionTable Table(16);
+  ASSERT_EQ(Table.add(1, 0x1000, 0x2000), RegionTable::AddResult::Added);
+  ASSERT_EQ(Table.add(2, 0x4000, 0x5000), RegionTable::AddResult::Added);
+  // Repeated hits inside one region (exercises the MRU hit interval).
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(Table.lookup(0x1000 + static_cast<Addr>(I)), 1u);
+  // Repeated misses in the gap between the regions (the cached miss
+  // interval): still misses, and boundaries stay exact.
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(Table.lookup(0x2000 + static_cast<Addr>(I)), InvalidRegion);
+  EXPECT_EQ(Table.lookup(0x1fff), 1u);
+  EXPECT_EQ(Table.lookup(0x4000), 2u);
+  // Misses below the first and above the last region (open-ended gaps).
+  EXPECT_EQ(Table.lookup(0x0), InvalidRegion);
+  EXPECT_EQ(Table.lookup(0xffffffff), InvalidRegion);
+}
+
+TEST(RegionTable, MruCacheInvalidatedByAdd) {
+  RegionTable Table(16);
+  ASSERT_EQ(Table.add(1, 0x1000, 0x2000), RegionTable::AddResult::Added);
+  // Prime the miss cache with the gap above region 1...
+  EXPECT_EQ(Table.lookup(0x3000), InvalidRegion);
+  // ...then add a region inside that cached gap. The lookup must see it.
+  ASSERT_EQ(Table.add(2, 0x2800, 0x3800), RegionTable::AddResult::Added);
+  EXPECT_EQ(Table.lookup(0x3000), 2u);
+}
+
+TEST(RegionTable, MruCacheInvalidatedByRemove) {
+  RegionTable Table(16);
+  ASSERT_EQ(Table.add(1, 0x1000, 0x2000), RegionTable::AddResult::Added);
+  // Prime the hit cache...
+  EXPECT_EQ(Table.lookup(0x1800), 1u);
+  // ...then remove the region. The stale interval must not answer.
+  ASSERT_TRUE(Table.remove(1).has_value());
+  EXPECT_EQ(Table.lookup(0x1800), InvalidRegion);
+}
+
+TEST(RegionTable, GetAfterInterleavedAddRemove) {
+  RegionTable Table(16);
+  for (RegionId Id = 0; Id < 8; ++Id)
+    ASSERT_EQ(Table.add(Id, Addr(Id) * 0x1000, Addr(Id) * 0x1000 + 0x800),
+              RegionTable::AddResult::Added);
+  for (RegionId Id = 0; Id < 8; Id += 2)
+    ASSERT_TRUE(Table.remove(Id).has_value());
+  for (RegionId Id = 0; Id < 8; ++Id) {
+    std::optional<WardRegion> Region = Table.get(Id);
+    if (Id % 2 == 0) {
+      EXPECT_FALSE(Region.has_value());
+    } else {
+      ASSERT_TRUE(Region.has_value());
+      EXPECT_EQ(Region->Start, Addr(Id) * 0x1000);
+      EXPECT_EQ(Table.lookup(Region->Start), Id);
+    }
+  }
+  EXPECT_EQ(Table.size(), 4u);
+}
