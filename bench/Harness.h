@@ -6,8 +6,11 @@
 ///
 /// \file
 /// Shared plumbing for the figure harnesses: record every PBBS benchmark
-/// once, simulate it under MESI and WARDen on a given machine, and print
-/// paper-style rows. Each figure binary selects which columns to show.
+/// once, simulate it under every requested protocol backend (--protocol=,
+/// default MESI + WARDen) on a given machine, and print paper-style rows.
+/// Each figure binary selects which columns to show. All relative metrics
+/// (speedups, savings) are computed against the comparison's baseline
+/// protocol — MESI whenever it was requested.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,13 +42,13 @@ namespace bench {
 struct SuiteRow {
   std::string Name;
   bool Verified = false;
-  ProtocolComparison Cmp;
+  ComparisonResult Cmp;
   /// Host wall-clock seconds the protocol comparison took (simulation
   /// only; recording is excluded). Host-side measurement — varies run to
   /// run while every simulated metric stays deterministic.
   double HostSeconds = 0.0;
   /// Simulated demand accesses retired per host second across the whole
-  /// comparison (both protocols, all repeats). The engine's throughput.
+  /// comparison (all protocols, all repeats). The engine's throughput.
   double SimAccessesPerSec = 0.0;
 };
 
@@ -53,6 +56,9 @@ struct SuiteRow {
 /// plus the harness-level selection, scaling, and report knobs.
 struct BenchOptions {
   RunOptions Run;
+  /// Protocol backends to simulate, in request order (--protocol=).
+  std::vector<ProtocolKind> Protocols = {ProtocolKind::Mesi,
+                                         ProtocolKind::Warden};
   /// Benchmarks to run; empty means the harness's own default selection.
   std::vector<std::string> Only;
   /// Multiplier applied to every benchmark's default problem size.
@@ -76,10 +82,13 @@ struct BenchOptions {
 ///   --faults[=seed]  enable the standard fault-injection plan (randomized
 ///                    evictions and adversarial mid-region reconciles,
 ///                    SplitMix64-seeded so failures replay)
+///   --protocol=IDS   simulate the named protocol backends (comma-
+///                    separated registry ids; default mesi,warden).
+///                    Unknown ids fail fast listing the registered ids
 ///   --only=NAMES     run only the named benchmarks (comma-separated,
 ///                    repeatable); names that match nothing fail fast
 ///   --scale=X        multiply every benchmark's problem size by X
-///   --json=FILE      also write the warden-bench-v1 JSON report to FILE
+///   --json=FILE      also write the warden-bench-v2 JSON report to FILE
 ///   --profile        attach the per-line sharing profiler and CPI stacks
 ///                    (same cycles; prints attribution tables, adds a
 ///                    "profile" section to the JSON report)
@@ -104,6 +113,37 @@ inline BenchOptions parseBenchArgs(int argc, char **argv) {
       B.Run.Faults.ReconcileRate = 1e-3;
       if (Arg[8] == '=')
         B.Run.Faults.Seed = std::strtoull(Arg + 9, nullptr, 0);
+    } else if (std::strncmp(Arg, "--protocol=", 11) == 0) {
+      // Same comma semantics as --only: empty segments are skipped,
+      // duplicates are kept (the comparison collapses them).
+      B.Protocols.clear();
+      const char *Cursor = Arg + 11;
+      while (*Cursor) {
+        const char *Comma = std::strchr(Cursor, ',');
+        std::size_t Len = Comma ? static_cast<std::size_t>(Comma - Cursor)
+                                : std::strlen(Cursor);
+        if (Len > 0) {
+          std::string Id(Cursor, Len);
+          if (std::optional<ProtocolKind> Kind = parseProtocolId(Id)) {
+            B.Protocols.push_back(*Kind);
+          } else {
+            std::fprintf(stderr,
+                         "%s: --protocol: unknown protocol '%s'; valid ids"
+                         " are:",
+                         argv[0], Id.c_str());
+            for (const std::string &Valid : registeredProtocolIds())
+              std::fprintf(stderr, " %s", Valid.c_str());
+            std::fprintf(stderr, "\n");
+            std::exit(2);
+          }
+        }
+        Cursor += Len + (Comma ? 1 : 0);
+      }
+      if (B.Protocols.empty()) {
+        std::fprintf(stderr, "%s: --protocol wants at least one protocol id\n",
+                     argv[0]);
+        std::exit(2);
+      }
     } else if (std::strncmp(Arg, "--only=", 7) == 0) {
       const char *Cursor = Arg + 7;
       while (*Cursor) {
@@ -139,13 +179,23 @@ inline BenchOptions parseBenchArgs(int argc, char **argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--audit] [--faults[=seed]] "
-                   "[--only=NAME[,NAME...]] [--scale=X] [--json=FILE] "
-                   "[--profile] [--jobs=N]\n",
+                   "[--protocol=ID[,ID...]] [--only=NAME[,NAME...]] "
+                   "[--scale=X] [--json=FILE] [--profile] [--jobs=N]\n",
                    argv[0]);
       std::exit(2);
     }
   }
   return B;
+}
+
+/// The non-baseline runs of a comparison, in request order — the columns
+/// of every "vs baseline" table.
+inline std::vector<const RunResult *> nonBaseline(const ComparisonResult &C) {
+  std::vector<const RunResult *> Out;
+  for (const RunResult &R : C.Runs)
+    if (R.Protocol != C.Baseline)
+      Out.push_back(&R);
+  return Out;
 }
 
 /// BenchOptions-driven suite run. A --only list from the command line
@@ -219,18 +269,19 @@ runSuite(const MachineConfig &Machine, const BenchOptions &B,
     Row.Name = Work[I].Bench->Name;
     Row.Verified = Work[I].Recorded.Verified;
     auto Start = std::chrono::steady_clock::now();
-    Row.Cmp = WardenSystem::compare(Work[I].Recorded.Graph, Machine, Run);
+    Row.Cmp = WardenSystem::compareProtocols(Work[I].Recorded.Graph, Machine,
+                                             B.Protocols, Run);
     Row.HostSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       Start)
             .count();
-    // Work performed by the comparison: both protocols' medians simulate
-    // the access stream Repeats times each (the reported stats are one
-    // median run's worth).
-    double Accesses =
-        static_cast<double>(Row.Cmp.Mesi.Coherence.accesses() +
-                            Row.Cmp.Warden.Coherence.accesses()) *
-        static_cast<double>(Run.Repeats);
+    // Work performed by the comparison: every protocol's median simulates
+    // the access stream Repeats times (the reported stats are one median
+    // run's worth).
+    double Accesses = 0.0;
+    for (const RunResult &R : Row.Cmp.Runs)
+      Accesses += static_cast<double>(R.Coherence.accesses());
+    Accesses *= static_cast<double>(Run.Repeats);
     Row.SimAccessesPerSec =
         Row.HostSeconds > 0.0 ? Accesses / Row.HostSeconds : 0.0;
   };
@@ -251,41 +302,54 @@ runSuite(const MachineConfig &Machine, const BenchOptions &B,
 }
 
 /// Prints the auditor verdict for an audited suite run (no-op otherwise):
-/// per-benchmark violation counts for both protocols, then the first
+/// per-benchmark violation counts for every protocol, then the first
 /// recorded messages of any benchmark that failed.
 inline void printAuditSummary(const std::vector<SuiteRow> &Rows) {
   bool Enabled = false;
   for (const SuiteRow &Row : Rows)
-    Enabled |= Row.Cmp.Mesi.Audit.Enabled || Row.Cmp.Warden.Audit.Enabled;
-  if (!Enabled)
+    for (const RunResult &R : Row.Cmp.Runs)
+      Enabled |= R.Audit.Enabled;
+  if (!Enabled || Rows.empty())
     return;
   Table T;
-  T.setHeader({"Benchmark", "MESI violations", "WARDen violations",
-               "Loads verified", "WAW overlaps"});
+  std::vector<std::string> Header = {"Benchmark"};
+  for (const RunResult &R : Rows.front().Cmp.Runs)
+    Header.push_back(std::string(protocolName(R.Protocol)) + " violations");
+  Header.push_back("Loads verified");
+  Header.push_back("WAW overlaps");
+  T.setHeader(Header);
   std::uint64_t Total = 0;
   for (const SuiteRow &Row : Rows) {
-    const AuditReport &M = Row.Cmp.Mesi.Audit;
-    const AuditReport &W = Row.Cmp.Warden.Audit;
-    Total += M.Violations + W.Violations;
-    T.addRow({Row.Name, Table::fmt(M.Violations), Table::fmt(W.Violations),
-              Table::fmt(M.LoadsVerified + W.LoadsVerified),
-              Table::fmt(W.WawOverlaps)});
+    std::vector<std::string> Cells = {Row.Name};
+    std::uint64_t Loads = 0;
+    std::uint64_t Waw = 0;
+    for (const RunResult &R : Row.Cmp.Runs) {
+      Total += R.Audit.Violations;
+      Loads += R.Audit.LoadsVerified;
+      Waw += R.Audit.WawOverlaps;
+      Cells.push_back(Table::fmt(R.Audit.Violations));
+    }
+    Cells.push_back(Table::fmt(Loads));
+    Cells.push_back(Table::fmt(Waw));
+    T.addRow(Cells);
   }
   std::printf("Protocol audit (%s).\n%s\n",
               Total == 0 ? "clean" : "VIOLATIONS DETECTED",
               T.render().c_str());
   for (const SuiteRow &Row : Rows)
-    for (const AuditReport *R : {&Row.Cmp.Mesi.Audit, &Row.Cmp.Warden.Audit})
-      for (const std::string &Message : R->Messages)
-        std::printf("  %s: %s\n", Row.Name.c_str(), Message.c_str());
+    for (const RunResult &R : Row.Cmp.Runs)
+      for (const std::string &Message : R.Audit.Messages)
+        std::printf("  %s [%s]: %s\n", Row.Name.c_str(),
+                    protocolName(R.Protocol), Message.c_str());
 }
 
 /// Prints the per-benchmark coherence-forensics report for a --profile run
 /// (no-op otherwise). Three views per benchmark:
 ///   1. allocation-site attribution — which data structures paid
-///      invalidations/downgrades under MESI and what WARDen did to them;
-///   2. the hottest individual cache lines under MESI with their sharing
-///      classification (true/false sharing, migratory, ...);
+///      invalidations/downgrades under the baseline and what every other
+///      protocol did to them;
+///   2. the hottest individual cache lines under the baseline with their
+///      sharing classification (true/false sharing, migratory, ...);
 ///   3. the CPI stack — where each protocol's cycles went, summed over
 ///      cores, with the off-critical-path store-buffered latency shown
 ///      separately.
@@ -293,59 +357,91 @@ inline void printProfiles(const std::vector<SuiteRow> &Rows,
                           std::size_t TopLines = 8) {
   bool Enabled = false;
   for (const SuiteRow &Row : Rows)
-    Enabled |= Row.Cmp.Mesi.Profile.Enabled || Row.Cmp.Warden.Profile.Enabled;
+    for (const RunResult &R : Row.Cmp.Runs)
+      Enabled |= R.Profile.Enabled;
   if (!Enabled)
     return;
 
   for (const SuiteRow &Row : Rows) {
-    const ProfileReport &M = Row.Cmp.Mesi.Profile;
-    const ProfileReport &W = Row.Cmp.Warden.Profile;
-    if (!M.Enabled && !W.Enabled)
+    bool RowEnabled = false;
+    for (const RunResult &R : Row.Cmp.Runs)
+      RowEnabled |= R.Profile.Enabled;
+    if (!RowEnabled)
       continue;
+    const RunResult &Base = Row.Cmp.baseline();
+    std::vector<const RunResult *> Others = nonBaseline(Row.Cmp);
     std::printf("Coherence forensics: %s\n", Row.Name.c_str());
 
-    // View 1: site attribution, MESI cost vs. WARDen cost side by side.
+    // View 1: site attribution, the baseline's cost next to every other
+    // protocol's cost (and its reconciliation work, if it has any).
     struct SiteSides {
-      std::uint64_t MesiInvDown = 0;
-      std::uint64_t WardInvDown = 0;
-      std::uint64_t WardReconciles = 0;
-      std::uint64_t MesiLines = 0;
+      std::uint64_t BaseInvDown = 0;
+      std::uint64_t BaseLines = 0;
+      /// Parallel to Others: inv+down and reconciles per other protocol.
+      std::vector<std::uint64_t> InvDown;
+      std::vector<std::uint64_t> Reconciles;
     };
     std::map<std::string, SiteSides> Sites;
-    for (const SiteProfile &S : M.Sites) {
-      SiteSides &E = Sites[S.SiteName];
-      E.MesiInvDown = S.Invalidations + S.Downgrades;
-      E.MesiLines = S.Lines;
+    auto SidesOf = [&Sites, &Others](const std::string &Name) -> SiteSides & {
+      SiteSides &E = Sites[Name];
+      if (E.InvDown.empty()) {
+        E.InvDown.resize(Others.size(), 0);
+        E.Reconciles.resize(Others.size(), 0);
+      }
+      return E;
+    };
+    for (const SiteProfile &S : Base.Profile.Sites) {
+      SiteSides &E = SidesOf(S.SiteName);
+      E.BaseInvDown = S.Invalidations + S.Downgrades;
+      E.BaseLines = S.Lines;
     }
-    for (const SiteProfile &S : W.Sites) {
-      SiteSides &E = Sites[S.SiteName];
-      E.WardInvDown = S.Invalidations + S.Downgrades;
-      E.WardReconciles = S.Reconciles;
+    for (std::size_t O = 0; O < Others.size(); ++O) {
+      for (const SiteProfile &S : Others[O]->Profile.Sites) {
+        SiteSides &E = SidesOf(S.SiteName);
+        E.InvDown[O] = S.Invalidations + S.Downgrades;
+        E.Reconciles[O] = S.Reconciles;
+      }
     }
-    double MesiTotal =
-        static_cast<double>(M.TotalInvalidations + M.TotalDowngrades);
+    double BaseTotal = static_cast<double>(Base.Profile.TotalInvalidations +
+                                           Base.Profile.TotalDowngrades);
     Table ST;
-    ST.setHeader({"Site", "Lines", "MESI inv+down", "Share", "WARDen inv+down",
-                  "WARDen reconciles"});
+    std::vector<std::string> SiteHeader = {
+        "Site", "Lines",
+        std::string(protocolName(Base.Protocol)) + " inv+down", "Share"};
+    for (const RunResult *R : Others) {
+      SiteHeader.push_back(std::string(protocolName(R->Protocol)) +
+                           " inv+down");
+      SiteHeader.push_back(std::string(protocolName(R->Protocol)) +
+                           " reconciles");
+    }
+    ST.setHeader(SiteHeader);
     for (const auto &[Name, E] : Sites) {
-      if (E.MesiInvDown + E.WardInvDown + E.WardReconciles == 0)
+      std::uint64_t Any = E.BaseInvDown;
+      for (std::size_t O = 0; O < Others.size(); ++O)
+        Any += E.InvDown[O] + E.Reconciles[O];
+      if (Any == 0)
         continue;
-      double Share = MesiTotal == 0
+      double Share = BaseTotal == 0
                          ? 0.0
-                         : static_cast<double>(E.MesiInvDown) / MesiTotal;
-      ST.addRow({Name, Table::fmt(E.MesiLines), Table::fmt(E.MesiInvDown),
-                 Table::pct(Share), Table::fmt(E.WardInvDown),
-                 Table::fmt(E.WardReconciles)});
+                         : static_cast<double>(E.BaseInvDown) / BaseTotal;
+      std::vector<std::string> Cells = {Name, Table::fmt(E.BaseLines),
+                                        Table::fmt(E.BaseInvDown),
+                                        Table::pct(Share)};
+      for (std::size_t O = 0; O < Others.size(); ++O) {
+        Cells.push_back(Table::fmt(E.InvDown[O]));
+        Cells.push_back(Table::fmt(E.Reconciles[O]));
+      }
+      ST.addRow(Cells);
     }
     std::printf("%s\n", ST.render().c_str());
 
-    // View 2: the hottest individual lines under MESI.
-    if (!M.Lines.empty()) {
+    // View 2: the hottest individual lines under the baseline protocol.
+    if (!Base.Profile.Lines.empty()) {
       Table LT;
       LT.setHeader({"Line", "Site", "Class", "Inv", "Down", "Misses",
                     "Avg miss", "Ping-pong"});
       std::size_t Shown = 0;
-      for (const LineProfile &P : M.Lines) {
+      for (const LineProfile &P : Base.Profile.Lines) {
         if (Shown == TopLines)
           break;
         ++Shown;
@@ -361,17 +457,19 @@ inline void printProfiles(const std::vector<SuiteRow> &Rows,
                    Table::fmt(P.DemandMisses), Table::fmt(AvgMiss, 1),
                    Table::fmt(P.PingPongs)});
       }
-      std::printf("Hot lines under MESI (top %zu of %llu tracked; %llu "
+      std::printf("Hot lines under %s (top %zu of %llu tracked; %llu "
                   "events on untracked lines).\n%s\n",
-                  Shown, static_cast<unsigned long long>(M.TrackedLines),
-                  static_cast<unsigned long long>(M.DroppedEvents),
+                  protocolName(Base.Protocol), Shown,
+                  static_cast<unsigned long long>(Base.Profile.TrackedLines),
+                  static_cast<unsigned long long>(Base.Profile.DroppedEvents),
                   LT.render().c_str());
     }
 
-    // View 3: the CPI stack, MESI vs. WARDen.
-    const CpiReport &CM = Row.Cmp.Mesi.Cpi;
-    const CpiReport &CW = Row.Cmp.Warden.Cpi;
-    if (CM.Enabled || CW.Enabled) {
+    // View 3: the CPI stack, one cycles/% column pair per protocol.
+    bool AnyCpi = false;
+    for (const RunResult &R : Row.Cmp.Runs)
+      AnyCpi |= R.Cpi.Enabled;
+    if (AnyCpi) {
       auto CoreSum = [](const CpiReport &R) {
         Cycles Sum = 0;
         for (Cycles T : R.CoreTime)
@@ -383,34 +481,43 @@ inline void printProfiles(const std::vector<SuiteRow> &Rows,
                           : static_cast<double>(Part) /
                                 static_cast<double>(Whole);
       };
-      Cycles MesiTime = CoreSum(CM);
-      Cycles WardTime = CoreSum(CW);
+      std::vector<Cycles> Time;
+      std::vector<std::string> CpiHeader = {"Category"};
+      for (const RunResult &R : Row.Cmp.Runs) {
+        Time.push_back(CoreSum(R.Cpi));
+        CpiHeader.push_back(std::string(protocolName(R.Protocol)) +
+                            " cycles");
+        CpiHeader.push_back(std::string(protocolName(R.Protocol)) + " %");
+      }
       Table CT;
-      CT.setHeader({"Category", "MESI cycles", "MESI %", "WARDen cycles",
-                    "WARDen %"});
-      Cycles MesiAcc = 0, WardAcc = 0;
+      CT.setHeader(CpiHeader);
+      std::vector<Cycles> Acc(Row.Cmp.Runs.size(), 0);
       for (unsigned C = 0; C < static_cast<unsigned>(CpiCat::Count); ++C) {
         auto Cat = static_cast<CpiCat>(C);
-        Cycles MT = CM.Enabled ? CM.total(Cat) : 0;
-        Cycles WT = CW.Enabled ? CW.total(Cat) : 0;
-        if (Cat != CpiCat::StoreBuffered) {
-          MesiAcc += MT;
-          WardAcc += WT;
-        }
-        if (MT + WT == 0)
-          continue;
         // Percentages for the off-critical-path row would double count.
         bool OffPath = Cat == CpiCat::StoreBuffered;
-        CT.addRow({cpiCategoryName(Cat), Table::fmt(MT),
-                   OffPath ? "-" : Table::pct(Pct(MT, MesiTime)),
-                   Table::fmt(WT),
-                   OffPath ? "-" : Table::pct(Pct(WT, WardTime))});
+        std::vector<std::string> Cells = {cpiCategoryName(Cat)};
+        Cycles Any = 0;
+        for (std::size_t P = 0; P < Row.Cmp.Runs.size(); ++P) {
+          const CpiReport &R = Row.Cmp.Runs[P].Cpi;
+          Cycles T = R.Enabled ? R.total(Cat) : 0;
+          if (!OffPath)
+            Acc[P] += T;
+          Any += T;
+          Cells.push_back(Table::fmt(T));
+          Cells.push_back(OffPath ? "-" : Table::pct(Pct(T, Time[P])));
+        }
+        if (Any == 0)
+          continue;
+        CT.addRow(Cells);
       }
-      Cycles MesiOther = MesiTime > MesiAcc ? MesiTime - MesiAcc : 0;
-      Cycles WardOther = WardTime > WardAcc ? WardTime - WardAcc : 0;
-      CT.addRow({"other", Table::fmt(MesiOther),
-                 Table::pct(Pct(MesiOther, MesiTime)), Table::fmt(WardOther),
-                 Table::pct(Pct(WardOther, WardTime))});
+      std::vector<std::string> OtherCells = {"other"};
+      for (std::size_t P = 0; P < Row.Cmp.Runs.size(); ++P) {
+        Cycles Other = Time[P] > Acc[P] ? Time[P] - Acc[P] : 0;
+        OtherCells.push_back(Table::fmt(Other));
+        OtherCells.push_back(Table::pct(Pct(Other, Time[P])));
+      }
+      CT.addRow(OtherCells);
       std::printf("CPI stack (cycles summed over cores; %% of core time).\n"
                   "%s\n",
                   CT.render().c_str());
@@ -418,52 +525,107 @@ inline void printProfiles(const std::vector<SuiteRow> &Rows,
   }
 }
 
-/// Figure 7a/8a/12a style: normalized speedup per benchmark plus MEAN and
-/// (when every speedup is positive) GEOMEAN — the conventional aggregate
-/// for ratios, reported alongside the paper's arithmetic mean.
+/// Figure 7a/8a/12a style: per benchmark, every protocol's cycles plus its
+/// speedup over the baseline, then MEAN and (when every speedup is
+/// positive) GEOMEAN — the conventional aggregate for ratios, reported
+/// alongside the paper's arithmetic mean.
 inline void printPerformance(const char *Caption,
                              const std::vector<SuiteRow> &Rows) {
   if (Rows.empty()) {
     std::fprintf(stderr, "%s: no benchmarks selected\n", Caption);
     return;
   }
+  const ComparisonResult &First = Rows.front().Cmp;
+  std::vector<const RunResult *> Others = nonBaseline(First);
   Table T;
-  T.setHeader({"Benchmark", "MESI cycles", "WARDen cycles", "Speedup",
-               "Verified"});
-  Summary Speedups;
+  std::vector<std::string> Header = {"Benchmark"};
+  for (const RunResult &R : First.Runs)
+    Header.push_back(std::string(protocolName(R.Protocol)) + " cycles");
+  for (const RunResult *R : Others)
+    Header.push_back(std::string(protocolName(R->Protocol)) + " speedup");
+  Header.push_back("Verified");
+  T.setHeader(Header);
+  std::vector<Summary> Speedups(Others.size());
   for (const SuiteRow &Row : Rows) {
-    double S = Row.Cmp.speedup();
-    Speedups.add(S);
-    T.addRow({Row.Name, Table::fmt(Row.Cmp.Mesi.Makespan),
-              Table::fmt(Row.Cmp.Warden.Makespan),
-              Table::fmt(S, 2) + "x", Row.Verified ? "yes" : "NO"});
+    std::vector<std::string> Cells = {Row.Name};
+    for (const RunResult &R : Row.Cmp.Runs)
+      Cells.push_back(Table::fmt(R.Makespan));
+    for (std::size_t O = 0; O < Others.size(); ++O) {
+      double S = Row.Cmp.speedup(Others[O]->Protocol);
+      Speedups[O].add(S);
+      Cells.push_back(Table::fmt(S, 2) + "x");
+    }
+    Cells.push_back(Row.Verified ? "yes" : "NO");
+    T.addRow(Cells);
   }
-  T.addRow({"MEAN", "-", "-", Table::fmt(Speedups.mean(), 2) + "x", "-"});
-  if (Speedups.allPositive())
-    T.addRow({"GEOMEAN", "-", "-", Table::fmt(Speedups.geomean(), 2) + "x",
-              "-"});
+  if (!Others.empty()) {
+    std::vector<std::string> MeanCells = {"MEAN"};
+    for (std::size_t P = 0; P < First.Runs.size(); ++P)
+      MeanCells.push_back("-");
+    for (const Summary &S : Speedups)
+      MeanCells.push_back(Table::fmt(S.mean(), 2) + "x");
+    MeanCells.push_back("-");
+    T.addRow(MeanCells);
+    bool AllPositive = true;
+    for (const Summary &S : Speedups)
+      AllPositive &= S.allPositive();
+    if (AllPositive) {
+      std::vector<std::string> GeoCells = {"GEOMEAN"};
+      for (std::size_t P = 0; P < First.Runs.size(); ++P)
+        GeoCells.push_back("-");
+      for (const Summary &S : Speedups)
+        GeoCells.push_back(Table::fmt(S.geomean(), 2) + "x");
+      GeoCells.push_back("-");
+      T.addRow(GeoCells);
+    }
+  }
   std::printf("%s\n%s\n", Caption, T.render().c_str());
 }
 
-/// Figure 7b/8b/12b style: percent energy savings per benchmark plus MEAN.
+/// Figure 7b/8b/12b style: percent energy savings of every non-baseline
+/// protocol over the baseline, per benchmark plus MEAN.
 inline void printEnergy(const char *Caption,
                         const std::vector<SuiteRow> &Rows) {
   if (Rows.empty()) {
     std::fprintf(stderr, "%s: no benchmarks selected\n", Caption);
     return;
   }
-  Table T;
-  T.setHeader({"Benchmark", "Interconnect savings", "Total processor savings"});
-  Summary Net;
-  Summary TotalEnergy;
-  for (const SuiteRow &Row : Rows) {
-    double N = Row.Cmp.interconnectEnergySavings();
-    double P = Row.Cmp.totalEnergySavings();
-    Net.add(N);
-    TotalEnergy.add(P);
-    T.addRow({Row.Name, Table::pct(N), Table::pct(P)});
+  std::vector<const RunResult *> Others = nonBaseline(Rows.front().Cmp);
+  if (Others.empty()) {
+    std::printf("%s\n(only the baseline protocol was simulated; no relative "
+                "savings to report)\n\n",
+                Caption);
+    return;
   }
-  T.addRow({"MEAN", Table::pct(Net.mean()), Table::pct(TotalEnergy.mean())});
+  Table T;
+  std::vector<std::string> Header = {"Benchmark"};
+  for (const RunResult *R : Others) {
+    Header.push_back(std::string(protocolName(R->Protocol)) +
+                     " interconnect savings");
+    Header.push_back(std::string(protocolName(R->Protocol)) +
+                     " total savings");
+  }
+  T.setHeader(Header);
+  std::vector<Summary> Net(Others.size());
+  std::vector<Summary> TotalEnergy(Others.size());
+  for (const SuiteRow &Row : Rows) {
+    std::vector<std::string> Cells = {Row.Name};
+    for (std::size_t O = 0; O < Others.size(); ++O) {
+      double N = Row.Cmp.interconnectEnergySavings(Others[O]->Protocol);
+      double P = Row.Cmp.totalEnergySavings(Others[O]->Protocol);
+      Net[O].add(N);
+      TotalEnergy[O].add(P);
+      Cells.push_back(Table::pct(N));
+      Cells.push_back(Table::pct(P));
+    }
+    T.addRow(Cells);
+  }
+  std::vector<std::string> MeanCells = {"MEAN"};
+  for (std::size_t O = 0; O < Others.size(); ++O) {
+    MeanCells.push_back(Table::pct(Net[O].mean()));
+    MeanCells.push_back(Table::pct(TotalEnergy[O].mean()));
+  }
+  T.addRow(MeanCells);
   std::printf("%s\n%s\n", Caption, T.render().c_str());
 }
 
@@ -482,20 +644,30 @@ inline void writeRunJson(JsonWriter &W, const RunResult &R) {
   W.endObject();
 }
 
-/// Writes the machine-readable report (schema "warden-bench-v1", documented
-/// in README.md): one record per benchmark with the comparison metrics and
-/// both protocols' raw results, plus a MEAN record matching the printed
-/// tables. Returns false (with a message on stderr) if the file cannot be
-/// written.
+/// Writes the machine-readable report (schema "warden-bench-v2",
+/// documented in README.md): one record per benchmark with every
+/// protocol's raw results in a "protocols" map keyed by registry id, the
+/// relative metrics against the named baseline in a "comparisons" map (one
+/// entry per non-baseline protocol), plus a "mean" record matching the
+/// printed tables. Returns false (with a message on stderr) if the file
+/// cannot be written.
 inline bool writeJsonReport(const std::string &Path, const char *Experiment,
                             const MachineConfig &Machine,
                             const BenchOptions &B,
                             const std::vector<SuiteRow> &Rows) {
   JsonWriter W;
   W.beginObject();
-  W.member("schema", "warden-bench-v1");
+  W.member("schema", "warden-bench-v2");
   W.member("experiment", Experiment);
   W.member("scale", B.Scale);
+  const ComparisonResult *First = Rows.empty() ? nullptr : &Rows.front().Cmp;
+  W.member("baseline",
+           protocolId(First ? First->Baseline : ProtocolKind::Mesi));
+  W.key("protocols").beginArray();
+  if (First)
+    for (const RunResult &R : First->Runs)
+      W.value(protocolId(R.Protocol));
+  W.endArray();
   W.key("machine").beginObject();
   W.member("description", Machine.describe());
   W.member("sockets", Machine.NumSockets);
@@ -517,55 +689,72 @@ inline bool writeJsonReport(const std::string &Path, const char *Experiment,
   W.member("total_seconds", TotalHostSeconds);
   W.endObject();
 
-  Summary Speedups, Interconnect, TotalEnergy, IpcImprovement, Coverage;
+  std::vector<const RunResult *> Others =
+      First ? nonBaseline(*First) : std::vector<const RunResult *>();
+  // Per non-baseline protocol: the summaries behind the "mean" record.
+  std::vector<Summary> Speedups(Others.size()), Interconnect(Others.size()),
+      TotalEnergy(Others.size()), IpcImprovement(Others.size()),
+      Coverage(Others.size());
   std::uint64_t Violations = 0;
   bool Audited = false;
   W.key("benchmarks").beginArray();
   for (const SuiteRow &Row : Rows) {
-    const ProtocolComparison &Cmp = Row.Cmp;
-    Speedups.add(Cmp.speedup());
-    Interconnect.add(Cmp.interconnectEnergySavings());
-    TotalEnergy.add(Cmp.totalEnergySavings());
-    IpcImprovement.add(Cmp.ipcImprovementPct());
-    Coverage.add(Cmp.Warden.wardCoverage());
-    std::uint64_t RowViolations =
-        Cmp.Mesi.Audit.Violations + Cmp.Warden.Audit.Violations;
-    bool RowAudited = Cmp.Mesi.Audit.Enabled || Cmp.Warden.Audit.Enabled;
+    const ComparisonResult &Cmp = Row.Cmp;
+    std::uint64_t RowViolations = 0;
+    bool RowAudited = false;
+    for (const RunResult &R : Cmp.Runs) {
+      RowViolations += R.Audit.Violations;
+      RowAudited |= R.Audit.Enabled;
+    }
     Violations += RowViolations;
     Audited |= RowAudited;
 
     W.beginObject();
     W.member("name", Row.Name);
     W.member("verified", Row.Verified);
-    W.member("speedup", Cmp.speedup());
-    W.member("interconnect_energy_savings", Cmp.interconnectEnergySavings());
-    W.member("total_energy_savings", Cmp.totalEnergySavings());
-    W.member("ipc_improvement_pct", Cmp.ipcImprovementPct());
-    W.member("inv_down_avoided_per_kilo_instr",
-             Cmp.invDownReducedPerKiloInstr());
-    W.member("downgrade_share_of_reduction",
-             Cmp.downgradeShareOfReduction());
-    W.member("ward_coverage", Cmp.Warden.wardCoverage());
     W.member("host_seconds", Row.HostSeconds);
     W.member("sim_accesses_per_sec", Row.SimAccessesPerSec);
-    W.key("mesi");
-    writeRunJson(W, Cmp.Mesi);
-    W.key("warden");
-    writeRunJson(W, Cmp.Warden);
-    if (Cmp.Mesi.Profile.Enabled || Cmp.Warden.Profile.Enabled) {
+    W.key("protocols").beginObject();
+    for (const RunResult &R : Cmp.Runs) {
+      W.key(protocolId(R.Protocol));
+      writeRunJson(W, R);
+    }
+    W.endObject();
+    W.key("comparisons").beginObject();
+    for (std::size_t O = 0; O < Others.size(); ++O) {
+      ProtocolKind Kind = Others[O]->Protocol;
+      Speedups[O].add(Cmp.speedup(Kind));
+      Interconnect[O].add(Cmp.interconnectEnergySavings(Kind));
+      TotalEnergy[O].add(Cmp.totalEnergySavings(Kind));
+      IpcImprovement[O].add(Cmp.ipcImprovementPct(Kind));
+      Coverage[O].add(Cmp.run(Kind).wardCoverage());
+      W.key(protocolId(Kind)).beginObject();
+      W.member("speedup", Cmp.speedup(Kind));
+      W.member("energy_ratio", Cmp.energyRatio(Kind));
+      W.member("interconnect_energy_savings",
+               Cmp.interconnectEnergySavings(Kind));
+      W.member("total_energy_savings", Cmp.totalEnergySavings(Kind));
+      W.member("ipc_improvement_pct", Cmp.ipcImprovementPct(Kind));
+      W.member("inv_down_avoided_per_kilo_instr",
+               Cmp.invDownReducedPerKiloInstr(Kind));
+      W.member("downgrade_share_of_reduction",
+               Cmp.downgradeShareOfReduction(Kind));
+      W.endObject();
+    }
+    W.endObject();
+    bool AnyProfile = false;
+    for (const RunResult &R : Cmp.Runs)
+      AnyProfile |= R.Profile.Enabled;
+    if (AnyProfile) {
       W.key("profile").beginObject();
-      W.key("mesi").beginObject();
-      W.key("sharing");
-      Cmp.Mesi.Profile.writeJson(W);
-      W.key("cpi");
-      Cmp.Mesi.Cpi.writeJson(W);
-      W.endObject();
-      W.key("warden").beginObject();
-      W.key("sharing");
-      Cmp.Warden.Profile.writeJson(W);
-      W.key("cpi");
-      Cmp.Warden.Cpi.writeJson(W);
-      W.endObject();
+      for (const RunResult &R : Cmp.Runs) {
+        W.key(protocolId(R.Protocol)).beginObject();
+        W.key("sharing");
+        R.Profile.writeJson(W);
+        W.key("cpi");
+        R.Cpi.writeJson(W);
+        W.endObject();
+      }
       W.endObject();
     }
     W.key("audit").beginObject();
@@ -579,24 +768,28 @@ inline bool writeJsonReport(const std::string &Path, const char *Experiment,
 
   W.key("mean").beginObject();
   W.member("n", static_cast<std::uint64_t>(Rows.size()));
-  if (Rows.empty()) {
+  if (!Rows.empty()) {
+    W.key("comparisons").beginObject();
+    for (std::size_t O = 0; O < Others.size(); ++O) {
+      W.key(protocolId(Others[O]->Protocol)).beginObject();
+      W.member("speedup", Speedups[O].mean());
+      W.key("speedup_geomean");
+      if (Speedups[O].allPositive())
+        W.value(Speedups[O].geomean());
+      else
+        W.null();
+      W.member("interconnect_energy_savings", Interconnect[O].mean());
+      W.member("total_energy_savings", TotalEnergy[O].mean());
+      W.member("ipc_improvement_pct", IpcImprovement[O].mean());
+      W.member("ward_coverage", Coverage[O].mean());
+      W.endObject();
+    }
     W.endObject();
-  } else {
-    W.member("speedup", Speedups.mean());
-    W.key("speedup_geomean");
-    if (Speedups.allPositive())
-      W.value(Speedups.geomean());
-    else
-      W.null();
-    W.member("interconnect_energy_savings", Interconnect.mean());
-    W.member("total_energy_savings", TotalEnergy.mean());
-    W.member("ipc_improvement_pct", IpcImprovement.mean());
-    W.member("ward_coverage", Coverage.mean());
     W.member("audit_verdict", !Audited        ? "not-audited"
                               : Violations == 0 ? "clean"
                                                 : "violations");
-    W.endObject();
   }
+  W.endObject();
   W.endObject();
 
   std::FILE *F = std::fopen(Path.c_str(), "wb");

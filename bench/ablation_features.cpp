@@ -31,9 +31,11 @@ const std::vector<std::string> Subset = {"primes", "msort", "tokens",
                                          "palindrome"};
 
 double meanSpeedup(const std::vector<SuiteRow> &Rows) {
+  // Mean over every non-baseline protocol (just WARDen by default).
   Summary S;
   for (const SuiteRow &Row : Rows)
-    S.add(Row.Cmp.speedup());
+    for (const RunResult *P : nonBaseline(Row.Cmp))
+      S.add(Row.Cmp.speedup(P->Protocol));
   return S.mean();
 }
 

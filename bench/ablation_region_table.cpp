@@ -34,9 +34,14 @@ int main(int argc, char **argv) {
     unsigned Peak = 0;
     std::uint64_t Overflows = 0;
     for (const SuiteRow &Row : Rows) {
-      S.add(Row.Cmp.speedup());
-      Peak = std::max(Peak, Row.Cmp.Warden.PeakRegions);
-      Overflows += Row.Cmp.Warden.Coherence.RegionOverflows;
+      for (const RunResult *P : nonBaseline(Row.Cmp))
+        S.add(Row.Cmp.speedup(P->Protocol));
+      // Region-table pressure is a WARDen phenomenon; read its run when
+      // present (other protocols never track regions).
+      if (const RunResult *W = Row.Cmp.find(ProtocolKind::Warden)) {
+        Peak = std::max(Peak, W->PeakRegions);
+        Overflows += W->Coherence.RegionOverflows;
+      }
     }
     T.addRow({std::to_string(Capacity), Table::fmt(S.mean(), 3) + "x",
               std::to_string(Peak), Table::fmt(Overflows)});

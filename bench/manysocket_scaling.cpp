@@ -29,11 +29,14 @@ int main(int argc, char **argv) {
   for (unsigned Sockets : {1u, 2u, 4u}) {
     MachineConfig Config = MachineConfig::manySocket(Sockets);
     std::vector<SuiteRow> Rows = runSuite(Config, B, Subset);
+    // Mean over every non-baseline protocol (just WARDen by default).
     Summary Speed;
     Summary Net;
     for (const SuiteRow &Row : Rows) {
-      Speed.add(Row.Cmp.speedup());
-      Net.add(Row.Cmp.interconnectEnergySavings());
+      for (const RunResult *P : nonBaseline(Row.Cmp)) {
+        Speed.add(Row.Cmp.speedup(P->Protocol));
+        Net.add(Row.Cmp.interconnectEnergySavings(P->Protocol));
+      }
     }
     T.addRow({Config.describe(), Table::fmt(Speed.mean(), 3) + "x",
               Table::pct(Net.mean())});

@@ -48,10 +48,14 @@ int main(int argc, char **argv) {
   std::printf("=== Detailed suite statistics (dual socket) ===\n");
   std::vector<SuiteRow> Rows = runSuite(Machine, B);
   for (const SuiteRow &Row : Rows) {
-    std::printf("%s  (speedup %.2fx, verified=%s)\n", Row.Name.c_str(),
-                Row.Cmp.speedup(), Row.Verified ? "yes" : "NO");
-    printRun("MESI", Row.Cmp.Mesi);
-    printRun("WARDen", Row.Cmp.Warden);
+    std::printf("%s  (verified=%s", Row.Name.c_str(),
+                Row.Verified ? "yes" : "NO");
+    for (const RunResult *P : nonBaseline(Row.Cmp))
+      std::printf(", %s speedup %.2fx", protocolName(P->Protocol),
+                  Row.Cmp.speedup(P->Protocol));
+    std::printf(")\n");
+    for (const RunResult &R : Row.Cmp.Runs)
+      printRun(protocolName(R.Protocol), R);
   }
   printAuditSummary(Rows);
   printProfiles(Rows);

@@ -65,21 +65,25 @@ int main() {
   for (const MachineConfig &Machine :
        {MachineConfig::singleSocket(), MachineConfig::dualSocket(),
         MachineConfig::disaggregated()}) {
-    ProtocolComparison Cmp = WardenSystem::compare(Graph, Machine);
+    ComparisonResult Cmp = WardenSystem::compareProtocols(
+        Graph, Machine, {ProtocolKind::Mesi, ProtocolKind::Warden});
+    const RunResult &Mesi = Cmp.run(ProtocolKind::Mesi);
+    const RunResult &Warden = Cmp.run(ProtocolKind::Warden);
     std::printf("\n%s:\n", Machine.describe().c_str());
     std::printf("  MESI   : %9llu cycles, %llu invalidations, %llu "
                 "downgrades\n",
-                (unsigned long long)Cmp.Mesi.Makespan,
-                (unsigned long long)Cmp.Mesi.Coherence.Invalidations,
-                (unsigned long long)Cmp.Mesi.Coherence.Downgrades);
+                (unsigned long long)Mesi.Makespan,
+                (unsigned long long)Mesi.Coherence.Invalidations,
+                (unsigned long long)Mesi.Coherence.Downgrades);
     std::printf("  WARDen : %9llu cycles, %llu invalidations, %llu "
                 "downgrades (%.1f%% of accesses in WARD regions)\n",
-                (unsigned long long)Cmp.Warden.Makespan,
-                (unsigned long long)Cmp.Warden.Coherence.Invalidations,
-                (unsigned long long)Cmp.Warden.Coherence.Downgrades,
-                100.0 * Cmp.Warden.wardCoverage());
+                (unsigned long long)Warden.Makespan,
+                (unsigned long long)Warden.Coherence.Invalidations,
+                (unsigned long long)Warden.Coherence.Downgrades,
+                100.0 * Warden.wardCoverage());
     std::printf("  speedup %.2fx, interconnect energy savings %.1f%%\n",
-                Cmp.speedup(), 100.0 * Cmp.interconnectEnergySavings());
+                Cmp.speedup(ProtocolKind::Warden),
+                100.0 * Cmp.interconnectEnergySavings(ProtocolKind::Warden));
   }
   return 0;
 }

@@ -89,12 +89,14 @@ int main() {
               double(Graph.totalInstructions()) /
                   double(Graph.spanInstructions()));
 
-  ProtocolComparison Cmp =
-      WardenSystem::compare(Graph, MachineConfig::dualSocket());
+  ComparisonResult Cmp = WardenSystem::compareProtocols(
+      Graph, MachineConfig::dualSocket(),
+      {ProtocolKind::Mesi, ProtocolKind::Warden});
   std::printf("dual socket: MESI %llu cycles -> WARDen %llu cycles "
               "(%.2fx speedup, %.1f%% total energy savings)\n",
-              (unsigned long long)Cmp.Mesi.Makespan,
-              (unsigned long long)Cmp.Warden.Makespan, Cmp.speedup(),
-              100.0 * Cmp.totalEnergySavings());
+              (unsigned long long)Cmp.run(ProtocolKind::Mesi).Makespan,
+              (unsigned long long)Cmp.run(ProtocolKind::Warden).Makespan,
+              Cmp.speedup(ProtocolKind::Warden),
+              100.0 * Cmp.totalEnergySavings(ProtocolKind::Warden));
   return 0;
 }

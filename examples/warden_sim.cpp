@@ -94,32 +94,34 @@ int main(int Argc, char **Argv) {
   }
 
   std::printf("simulating on %s...\n", Machine.describe().c_str());
-  ProtocolComparison Cmp = WardenSystem::compare(R.Graph, Machine);
+  ComparisonResult Cmp = WardenSystem::compareProtocols(
+      R.Graph, Machine, {ProtocolKind::Mesi, ProtocolKind::Warden});
+  const RunResult &Mesi = Cmp.run(ProtocolKind::Mesi);
+  const RunResult &Warden = Cmp.run(ProtocolKind::Warden);
 
   std::printf("\n  %-22s %12s %12s\n", "", "MESI", "WARDen");
   std::printf("  %-22s %12llu %12llu\n", "cycles",
-              (unsigned long long)Cmp.Mesi.Makespan,
-              (unsigned long long)Cmp.Warden.Makespan);
-  std::printf("  %-22s %12.2f %12.2f\n", "IPC", Cmp.Mesi.ipc(),
-              Cmp.Warden.ipc());
+              (unsigned long long)Mesi.Makespan,
+              (unsigned long long)Warden.Makespan);
+  std::printf("  %-22s %12.2f %12.2f\n", "IPC", Mesi.ipc(), Warden.ipc());
   std::printf("  %-22s %12llu %12llu\n", "invalidations",
-              (unsigned long long)Cmp.Mesi.Coherence.Invalidations,
-              (unsigned long long)Cmp.Warden.Coherence.Invalidations);
+              (unsigned long long)Mesi.Coherence.Invalidations,
+              (unsigned long long)Warden.Coherence.Invalidations);
   std::printf("  %-22s %12llu %12llu\n", "downgrades",
-              (unsigned long long)Cmp.Mesi.Coherence.Downgrades,
-              (unsigned long long)Cmp.Warden.Coherence.Downgrades);
+              (unsigned long long)Mesi.Coherence.Downgrades,
+              (unsigned long long)Warden.Coherence.Downgrades);
   std::printf("  %-22s %12.0f %12.0f\n", "interconnect energy nJ",
-              Cmp.Mesi.Energy.interconnectNJ(),
-              Cmp.Warden.Energy.interconnectNJ());
+              Mesi.Energy.interconnectNJ(), Warden.Energy.interconnectNJ());
   std::printf("\n  speedup %.3fx | inv+down avoided/kilo-instr %.2f | "
               "IPC improvement %.1f%%\n",
-              Cmp.speedup(), Cmp.invDownReducedPerKiloInstr(),
-              Cmp.ipcImprovementPct());
+              Cmp.speedup(ProtocolKind::Warden),
+              Cmp.invDownReducedPerKiloInstr(ProtocolKind::Warden),
+              Cmp.ipcImprovementPct(ProtocolKind::Warden));
   std::printf("  energy savings: interconnect %.1f%%, total processor "
               "%.1f%%\n",
-              100.0 * Cmp.interconnectEnergySavings(),
-              100.0 * Cmp.totalEnergySavings());
+              100.0 * Cmp.interconnectEnergySavings(ProtocolKind::Warden),
+              100.0 * Cmp.totalEnergySavings(ProtocolKind::Warden));
   std::printf("  WARD coverage %.1f%% of accesses; peak live regions %u\n",
-              100.0 * Cmp.Warden.wardCoverage(), Cmp.Warden.PeakRegions);
+              100.0 * Warden.wardCoverage(), Warden.PeakRegions);
   return 0;
 }

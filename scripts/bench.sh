@@ -1,18 +1,21 @@
 #!/usr/bin/env bash
 # Machine-readable benchmark report: builds the Figure 7 harness and runs
-# the full PBBS suite at a reduced scale, writing a warden-bench-v1 JSON
+# the full PBBS suite at a reduced scale, writing a warden-bench-v2 JSON
 # document (schema documented in README.md) with the coherence-forensics
 # profile section (per-line sharing profiles, allocation-site attribution,
-# CPI stacks) for both protocols.
+# CPI stacks) for every simulated protocol.
 #
 #   scripts/bench.sh [OUTPUT.json]       default output: BENCH_suite.json
 #
 # Environment:
-#   WARDEN_BENCH_SCALE   problem-size multiplier (default 0.25; use 1.0
-#                        for the paper-scale run, ~5s)
-#   WARDEN_BENCH_JOBS    host threads for the simulation fan-out
-#                        (default 1; results are byte-identical at any
-#                        value modulo the host-timing fields)
+#   WARDEN_BENCH_SCALE      problem-size multiplier (default 0.25; use 1.0
+#                           for the paper-scale run, ~5s)
+#   WARDEN_BENCH_JOBS       host threads for the simulation fan-out
+#                           (default 1; results are byte-identical at any
+#                           value modulo the host-timing fields)
+#   WARDEN_BENCH_PROTOCOLS  comma-separated protocol ids passed through as
+#                           --protocol= (default mesi,warden; e.g.
+#                           mesi,warden,sisd for the three-way comparison)
 #
 # Compare two reports with scripts/bench_diff.py.
 set -euo pipefail
@@ -21,10 +24,12 @@ cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_suite.json}"
 SCALE="${WARDEN_BENCH_SCALE:-0.25}"
 JOBS="${WARDEN_BENCH_JOBS:-1}"
+PROTOCOLS="${WARDEN_BENCH_PROTOCOLS:-mesi,warden}"
 
 cmake --preset default
 cmake --build --preset default -j "$(nproc)" --target fig7_single_socket
 
 build/bench/fig7_single_socket --scale="$SCALE" --jobs="$JOBS" \
-  --json="$OUT" --profile
-echo "bench report written to $OUT (scale $SCALE, jobs $JOBS)"
+  --protocol="$PROTOCOLS" --json="$OUT" --profile
+echo "bench report written to $OUT (scale $SCALE, jobs $JOBS," \
+  "protocols $PROTOCOLS)"

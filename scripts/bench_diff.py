@@ -1,8 +1,16 @@
 #!/usr/bin/env python3
-"""Compare two warden-bench-v1 JSON reports with a tolerance verdict.
+"""Compare two warden-bench JSON reports with a tolerance verdict.
 
 Usage:
     scripts/bench_diff.py BASELINE.json CANDIDATE.json [--tolerance 0.10]
+
+Accepts both report schemas — warden-bench-v1 (the original two-protocol
+layout with top-level "mesi"/"warden" records per benchmark) and
+warden-bench-v2 (protocol-keyed "protocols"/"comparisons" maps) — and
+normalizes each to the v1 shape before diffing, so a v2 candidate can be
+checked against a pinned v1 baseline and vice versa. v2 reports must
+contain mesi and warden runs to be comparable; extra protocols (e.g.
+--protocol=...,sisd) are ignored by the diff.
 
 Compares, per benchmark present in both reports, the headline metrics
 (MESI/WARDen makespans, speedup, invalidations + downgrades, energy) and
@@ -29,15 +37,38 @@ import json
 import sys
 
 
+def normalize_benchmark(path, bench):
+    """Maps one v2 benchmark record onto the v1 field layout in place."""
+    protocols = bench.get("protocols", {})
+    comparisons = bench.get("comparisons", {})
+    for proto in ("mesi", "warden"):
+        if proto not in protocols:
+            sys.exit(f"error: {path}: benchmark {bench.get('name')!r} has "
+                     f"no {proto!r} run; the diff needs both classic "
+                     f"protocols (run with --protocol=mesi,warden[,...])")
+        bench[proto] = protocols[proto]
+    warden_cmp = comparisons.get("warden", {})
+    for field in ("speedup", "interconnect_energy_savings",
+                  "total_energy_savings", "ipc_improvement_pct",
+                  "inv_down_avoided_per_kilo_instr",
+                  "downgrade_share_of_reduction"):
+        if field in warden_cmp:
+            bench[field] = warden_cmp[field]
+
+
 def load(path):
     try:
         with open(path) as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as err:
         sys.exit(f"error: cannot read {path}: {err}")
-    if doc.get("schema") != "warden-bench-v1":
-        sys.exit(f"error: {path}: expected schema warden-bench-v1, "
-                 f"got {doc.get('schema')!r}")
+    schema = doc.get("schema")
+    if schema == "warden-bench-v2":
+        for bench in doc.get("benchmarks", []):
+            normalize_benchmark(path, bench)
+    elif schema != "warden-bench-v1":
+        sys.exit(f"error: {path}: expected schema warden-bench-v1 or "
+                 f"warden-bench-v2, got {schema!r}")
     return doc
 
 

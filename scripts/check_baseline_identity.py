@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Regression-pin the classic two-protocol numbers to the repo baseline.
+
+Usage:
+    scripts/check_baseline_identity.py FIG7_BINARY BASELINE.json [PROTOCOLS]
+
+Runs the Figure 7 suite at the baseline's recorded scale with the given
+--protocol list (default mesi,warden,sisd — deliberately wider than the
+baseline, to prove that simulating extra protocols never perturbs the
+classic pair) and diffs the report against BASELINE.json with
+scripts/bench_diff.py at zero tolerance. The simulator is deterministic,
+so any deviation means the refactor changed MESI or WARDen behaviour —
+exactly what the pluggable-backend layer promises not to do.
+
+Registered as a ctest (baseline_identity); also usable standalone.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit("usage: check_baseline_identity.py FIG7_BINARY "
+                 "BASELINE.json [PROTOCOLS]")
+    binary, baseline = sys.argv[1], sys.argv[2]
+    protocols = sys.argv[3] if len(sys.argv) > 3 else "mesi,warden,sisd"
+
+    with open(baseline) as f:
+        scale = json.load(f).get("scale", 0.25)
+
+    diff = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "bench_diff.py")
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "candidate.json")
+        subprocess.run(
+            [binary, f"--scale={scale}", f"--protocol={protocols}",
+             "--jobs=2", "--profile", f"--json={out}"],
+            check=True, stdout=subprocess.DEVNULL)
+        result = subprocess.run(
+            [sys.executable, diff, baseline, out, "--tolerance", "0"])
+    if result.returncode != 0:
+        sys.exit("FAIL: candidate report deviates from the pinned baseline "
+                 "(see diff table above)")
+    print(f"OK: {protocols} run matches {baseline} at zero tolerance "
+          f"(scale {scale})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

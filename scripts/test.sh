@@ -35,21 +35,35 @@ if [[ "$PRESET" == default ]]; then
   if command -v python3 >/dev/null 2>&1; then
     python3 -m json.tool BENCH_suite.json >/dev/null
     echo "BENCH_suite.json parses as valid JSON"
-    # The --profile section must be present and well-formed for both
-    # protocols of every benchmark (schema warden-prof-v1).
+    # The report must carry a per-protocol run record, a comparison entry
+    # for every non-baseline protocol, and a well-formed --profile section
+    # (schema warden-prof-v1) for each simulated protocol.
     python3 - <<'EOF'
 import json
 doc = json.load(open("BENCH_suite.json"))
-assert doc["schema"] == "warden-bench-v1", doc["schema"]
+assert doc["schema"] == "warden-bench-v2", doc["schema"]
+protocols = doc["protocols"]
+baseline = doc["baseline"]
+assert baseline in protocols, (baseline, protocols)
 for bench in doc["benchmarks"]:
+    assert set(bench["protocols"]) == set(protocols), bench["name"]
+    assert set(bench["comparisons"]) == set(protocols) - {baseline}, \
+        bench["name"]
+    for cmp in bench["comparisons"].values():
+        assert cmp["speedup"] > 0, bench["name"]
     profile = bench["profile"]
-    for proto in ("mesi", "warden"):
+    for proto in protocols:
         sharing = profile[proto]["sharing"]
         assert sharing["schema"] == "warden-prof-v1", (bench["name"], proto)
         assert isinstance(sharing["lines"], list)
         assert isinstance(sharing["sites"], list)
         assert profile[proto]["cpi"]["enabled"]
-print("profile sections validate (warden-prof-v1)")
+print("report validates (warden-bench-v2, profiles warden-prof-v1)")
 EOF
+    # The classic two-protocol numbers must be byte-identical to the
+    # pinned baseline: the pluggable-backend layer is a refactor, not a
+    # timing-model change.
+    python3 scripts/bench_diff.py baselines/BENCH_suite.json \
+      BENCH_suite.json --tolerance 0
   fi
 fi

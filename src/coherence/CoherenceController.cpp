@@ -1,4 +1,4 @@
-//===- coherence/CoherenceController.cpp - MESI + WARDen engine -----------===//
+//===- coherence/CoherenceController.cpp - Coherence engine ---------------===//
 //
 // Part of the WARDen reproduction project.
 //
@@ -53,6 +53,10 @@ CoherenceController::CoherenceController(const MachineConfig &Config,
   Llc.reserve(Config.NumSockets);
   for (unsigned I = 0; I < Config.NumSockets; ++I)
     Llc.emplace_back(LlcGeometry);
+
+  // The policy, last: the registry factory may (and the built-ins do) keep
+  // a reference back into the fully constructed controller.
+  Backend = makeProtocol(this->Config.Protocol, *this);
 }
 
 void CoherenceController::attachObs(Observability *NewObs) {
@@ -157,58 +161,7 @@ void CoherenceController::fillPrivate(CoreId Core, Addr Block,
 void CoherenceController::handleEviction(CoreId Core,
                                          const EvictedLine &Victim) {
   ++Stats.Evictions;
-  SocketId Home = homeOfExisting(Victim.Block);
-  SocketId CoreSocket = Config.socketOf(Core);
-  auto It = Dir.find(Victim.Block);
-  assert(It != Dir.end() && "evicting a block the directory never saw");
-  DirEntry &Entry = It.value();
-
-  // Every eviction notifies the home directory so sharer/owner information
-  // stays precise (Put messages in the MESI vocabulary).
-  noteMsg(CoreSocket, Home);
-
-  switch (Victim.State) {
-  case LineState::Shared:
-    assert(Entry.State == DirState::Shared || Entry.State == DirState::Ward);
-    Entry.Sharers.clear(Core);
-    if (Entry.State == DirState::Shared && Entry.Sharers.empty())
-      Entry.State = DirState::Invalid;
-    break;
-  case LineState::Exclusive:
-    assert(Entry.Owner == Core && "eviction by non-owner");
-    Entry = DirEntry();
-    break;
-  case LineState::Modified: {
-    assert(Entry.Owner == Core && "eviction by non-owner");
-    if (Auditor) {
-      SectorMask Full;
-      Full.markWritten(0, Config.BlockSize);
-      Auditor->onWriteback(Core, Victim.Block, Full);
-    }
-    writebackToLlc(Victim.Block, Home);
-    noteData(CoreSocket, Home);
-    ++Stats.Writebacks;
-    Entry = DirEntry();
-    break;
-  }
-  case LineState::Ward:
-    // Eager reconciliation of the evicted copy (Section 5.3: eviction
-    // before the region ends overlaps the reconciliation cost).
-    assert(Entry.State == DirState::Ward && "Ward line without W entry");
-    if (Victim.Dirty.any()) {
-      if (Auditor)
-        Auditor->onWriteback(Core, Victim.Block, Victim.Dirty);
-      writebackToLlc(Victim.Block, Home);
-      noteData(CoreSocket, Home);
-      ++Stats.Writebacks;
-      ++Stats.ReconcileWritebacks;
-    }
-    Entry.Sharers.clear(Core);
-    break;
-  case LineState::Invalid:
-    assert(false && "invalid line reported as victim");
-    break;
-  }
+  Backend->evictLine(Core, Victim);
   if (Auditor)
     Auditor->onInvalidate(Core, Victim.Block);
 }
@@ -269,19 +222,11 @@ void CoherenceController::injectFaults(CoreId Core, Addr Block) {
       FaultRng.nextDouble() < Faults.EvictionRate)
     injectEviction(Core);
   if (Faults.ReconcileRate > 0.0 &&
-      FaultRng.nextDouble() < Faults.ReconcileRate) {
-    // Adversarial mid-region reconciliation of the just-touched block. The
-    // WARD property licenses reconciliation at any point; the next touch
-    // simply re-enters the W state.
-    auto It = Dir.find(Block);
-    if (It != Dir.end() && It.value().State == DirState::Ward) {
-      ++Stats.ForcedReconciles;
-      if (Obs && Obs->Trace)
-        Obs->Trace->instant("fault: forced reconcile",
-                            Obs->Trace->directoryTid(), Obs->Now);
-      reconcileBlock(Block, It.value());
-    }
-  }
+      FaultRng.nextDouble() < Faults.ReconcileRate)
+    // The RNG draw is unconditional (above) so the fault stream does not
+    // depend on the backend; whether anything happens is the backend's
+    // call — only protocols with deferred per-block state react.
+    Backend->forceReconcile(Block);
 }
 
 void CoherenceController::injectEviction(CoreId Core) {
@@ -335,7 +280,16 @@ Cycles CoherenceController::accessBlock(CoreId Core, Addr Block,
           Cpi->charge(Level == 1 ? CpiCat::L1Hit : CpiCat::L2Hit, Lat);
         break;
       case LineState::Shared:
-        NeedMiss = true; // Write to a read copy requires an upgrade.
+        if (Backend->upgradeStoreHit(Core, Block)) {
+          // The backend granted write permission in place (SISD's local
+          // upgrade): an ordinary hit.
+          Lat = (Level == 1) ? Latency.l1Hit() : Latency.l2Hit();
+          ++(Level == 1 ? Stats.L1Hits : Stats.L2Hits);
+          if (Cpi)
+            Cpi->charge(Level == 1 ? CpiCat::L1Hit : CpiCat::L2Hit, Lat);
+        } else {
+          NeedMiss = true; // Write to a read copy requires an upgrade.
+        }
         break;
       case LineState::Invalid:
         assert(false && "invalid resident line");
@@ -345,7 +299,7 @@ Cycles CoherenceController::accessBlock(CoreId Core, Addr Block,
   }
 
   if (NeedMiss)
-    Lat = missPath(Core, Block, Offset, Size, Type);
+    Lat = missPath(Core, Block, Type);
 
   if (Type != AccessType::Load) {
     CacheLine *Line = Private[Core].line(Block);
@@ -371,8 +325,8 @@ Cycles CoherenceController::accessBlock(CoreId Core, Addr Block,
   return Lat;
 }
 
-Cycles CoherenceController::missPath(CoreId Core, Addr Block, unsigned Offset,
-                                     unsigned Size, AccessType Type) {
+Cycles CoherenceController::missPath(CoreId Core, Addr Block,
+                                     AccessType Type) {
   SocketId Home = homeOf(Block, Core);
   Cycles Lat = Latency.toHome(Core, Home);
   noteMsg(Config.socketOf(Core), Home);
@@ -385,247 +339,10 @@ Cycles CoherenceController::missPath(CoreId Core, Addr Block, unsigned Offset,
     Cpi->charge(CpiCat::DirectoryWait, Lat - Cross);
   }
 
-  DirEntry &Entry = Dir[Block];
-  Cycles Total = 0;
-
-  if (Config.Protocol == ProtocolKind::Warden) {
-    RegionId Region = Regions.lookup(Block);
-    if (Region != InvalidRegion) {
-      Total = Lat + wardPath(Core, Block, Offset, Size, Type, Entry, Region);
-      if (Prof)
-        Prof->onDemandMiss(Block, Core, Total, Remote);
-      return Total;
-    }
-  }
-
-  assert(Entry.State != DirState::Ward &&
-         "W entry outside an active region reached the MESI path");
-  if (Type == AccessType::Load)
-    Total = Lat + mesiLoadPath(Core, Block, Entry);
-  else
-    Total = Lat + mesiStorePath(Core, Block, Entry);
+  Cycles Total = Lat + Backend->serveMiss(Core, Block, Type);
   if (Prof)
     Prof->onDemandMiss(Block, Core, Total, Remote);
   return Total;
-}
-
-Cycles CoherenceController::wardPath(CoreId Core, Addr Block, unsigned Offset,
-                                     unsigned Size, AccessType Type,
-                                     DirEntry &Entry, RegionId Region) {
-  (void)Offset;
-  (void)Size;
-  ++Stats.WardGrants;
-  if (Prof)
-    Prof->onWardGrant(Block, Core);
-  if (Entry.State != DirState::Ward)
-    enterWardState(Block, Entry, Region);
-
-  SocketId Home = homeOf(Block, Core);
-  Cycles Lat = 0;
-
-  if (Private[Core].line(Block)) {
-    // In-place upgrade: the core already holds a read copy inside the
-    // region (possible when GetS does not return exclusive copies). The
-    // directory grants write permission without touching anyone else.
-    assert(Type != AccessType::Load && "load missed despite resident line");
-    Private[Core].setState(Block, LineState::Ward);
-    noteMsg(Home, Config.socketOf(Core)); // Permission ack.
-  } else {
-    Lat += llcData(Block, Home);
-    noteData(Home, Config.socketOf(Core));
-    LineState FillState =
-        (Type == AccessType::Load && !Config.Features.GetSReturnsExclusive)
-            ? LineState::Shared
-            : LineState::Ward;
-    fillPrivate(Core, Block, FillState);
-  }
-  Entry.Sharers.set(Core);
-  return Lat;
-}
-
-void CoherenceController::enterWardState(Addr Block, DirEntry &Entry,
-                                         RegionId Region) {
-  switch (Entry.State) {
-  case DirState::Invalid:
-    Entry.Sharers.clearAll();
-    break;
-  case DirState::Shared:
-    // Existing read copies become Ward members; they keep their data.
-    Entry.Sharers.forEach([&](CoreId Sharer) {
-      Private[Sharer].setState(Block, LineState::Ward);
-    });
-    break;
-  case DirState::Exclusive:
-  case DirState::Modified: {
-    // The owner's copy (and its dirty bytes) become the first Ward member.
-    CoreId Owner = Entry.Owner;
-    CacheLine *Line = Private[Owner].line(Block);
-    assert(Line && "directory owner without a resident line");
-    Line->State = LineState::Ward;
-    Entry.Sharers.clearAll();
-    Entry.Sharers.set(Owner);
-    break;
-  }
-  case DirState::Ward:
-    assert(false && "re-entering Ward state");
-    break;
-  }
-  Entry.State = DirState::Ward;
-  Entry.Owner = InvalidCore;
-  Entry.Region = Region;
-}
-
-Cycles CoherenceController::mesiLoadPath(CoreId Core, Addr Block,
-                                         DirEntry &Entry) {
-  SocketId Home = homeOf(Block, Core);
-  SocketId CoreSocket = Config.socketOf(Core);
-  Cycles Lat = 0;
-
-  switch (Entry.State) {
-  case DirState::Invalid:
-    Lat += llcData(Block, Home);
-    noteData(Home, CoreSocket);
-    fillPrivate(Core, Block, LineState::Exclusive);
-    Entry.State = DirState::Exclusive;
-    Entry.Owner = Core;
-    break;
-  case DirState::Shared:
-    Lat += llcData(Block, Home);
-    noteData(Home, CoreSocket);
-    fillPrivate(Core, Block, LineState::Shared);
-    Entry.Sharers.set(Core);
-    break;
-  case DirState::Exclusive:
-  case DirState::Modified: {
-    CoreId Owner = Entry.Owner;
-    assert(Owner != Core && "owner missed on its own block");
-    CacheLine *OwnerLine = Private[Owner].line(Block);
-    assert(OwnerLine && "directory owner without a resident line");
-    // Fwd-GetS: the owner is downgraded and supplies the data.
-    ++Stats.Downgrades;
-    ++Stats.CacheToCache;
-    if (Prof)
-      Prof->onDowngrade(Block, Owner);
-    noteMsg(Home, Config.socketOf(Owner));
-    if (OwnerLine->State == LineState::Modified) {
-      if (Auditor) {
-        SectorMask Full;
-        Full.markWritten(0, Config.BlockSize);
-        Auditor->onWriteback(Owner, Block, Full);
-      }
-      writebackToLlc(Block, Home);
-      noteData(Config.socketOf(Owner), Home);
-      ++Stats.Writebacks;
-    }
-    if (Faults.Mutation != ProtocolMutation::SkipDowngradeOnFwdGetS)
-      Private[Owner].setState(Block, LineState::Shared);
-    if (Cpi)
-      Cpi->charge(CpiCat::DowngradeService,
-                  Latency.forwardAndSupply(Home, Owner, Core));
-    Lat += Latency.forwardAndSupply(Home, Owner, Core);
-    noteData(Config.socketOf(Owner), CoreSocket);
-    fillPrivate(Core, Block, LineState::Shared);
-    Entry.State = DirState::Shared;
-    Entry.Owner = InvalidCore;
-    Entry.Sharers.clearAll();
-    Entry.Sharers.set(Owner);
-    Entry.Sharers.set(Core);
-    break;
-  }
-  case DirState::Ward:
-    assert(false && "Ward entry in MESI load path");
-    break;
-  }
-  return Lat;
-}
-
-Cycles CoherenceController::mesiStorePath(CoreId Core, Addr Block,
-                                          DirEntry &Entry) {
-  SocketId Home = homeOf(Block, Core);
-  SocketId CoreSocket = Config.socketOf(Core);
-  Cycles Lat = 0;
-
-  switch (Entry.State) {
-  case DirState::Invalid:
-    Lat += llcData(Block, Home);
-    noteData(Home, CoreSocket);
-    fillPrivate(Core, Block, LineState::Modified);
-    Entry.State = DirState::Modified;
-    Entry.Owner = Core;
-    break;
-  case DirState::Shared: {
-    bool HadCopy = Entry.Sharers.test(Core);
-    Cycles InvLat = 0;
-    if (Faults.Mutation != ProtocolMutation::SkipInvalidationOnGetM) {
-      Entry.Sharers.forEach([&](CoreId Sharer) {
-        if (Sharer == Core)
-          return;
-        ++Stats.Invalidations;
-        Private[Sharer].invalidate(Block);
-        if (Auditor)
-          Auditor->onInvalidate(Sharer, Block);
-        if (Prof)
-          Prof->onInvalidation(Block, Sharer);
-        noteMsg(Home, Config.socketOf(Sharer));             // Inv
-        noteMsg(Config.socketOf(Sharer), Home);             // Inv-Ack
-        InvLat = std::max(InvLat, Latency.invalidate(Home, Sharer));
-      });
-    }
-    if (Cpi)
-      Cpi->charge(CpiCat::InvalidationService, InvLat);
-    Lat += InvLat;
-    if (HadCopy) {
-      Private[Core].setState(Block, LineState::Modified);
-      noteMsg(Home, CoreSocket); // Upgrade ack.
-    } else {
-      Lat += llcData(Block, Home);
-      noteData(Home, CoreSocket);
-      fillPrivate(Core, Block, LineState::Modified);
-    }
-    Entry.State = DirState::Modified;
-    Entry.Owner = Core;
-    Entry.Sharers.clearAll();
-    break;
-  }
-  case DirState::Exclusive:
-  case DirState::Modified: {
-    CoreId Owner = Entry.Owner;
-    assert(Owner != Core && "owner missed on its own block");
-    // Fwd-GetM: the owner's copy is invalidated and the data (if dirty)
-    // travels cache-to-cache to the requester. The shadow model treats the
-    // supply as writeback-then-fill: the value the requester receives is
-    // the same either way.
-    ++Stats.Invalidations;
-    ++Stats.CacheToCache;
-    if (Prof)
-      Prof->onInvalidation(Block, Owner);
-    noteMsg(Home, Config.socketOf(Owner));
-    if (Auditor) {
-      SectorMask Full;
-      Full.markWritten(0, Config.BlockSize);
-      Auditor->onWriteback(Owner, Block, Full);
-    }
-    [[maybe_unused]] std::optional<EvictedLine> Old =
-        Private[Owner].invalidate(Block);
-    assert(Old && "directory owner without a resident line");
-    if (Auditor)
-      Auditor->onInvalidate(Owner, Block);
-    if (Cpi)
-      Cpi->charge(CpiCat::InvalidationService,
-                  Latency.forwardAndSupply(Home, Owner, Core));
-    Lat += Latency.forwardAndSupply(Home, Owner, Core);
-    noteData(Config.socketOf(Owner), CoreSocket);
-    fillPrivate(Core, Block, LineState::Modified);
-    Entry.State = DirState::Modified;
-    Entry.Owner = Core;
-    Entry.Sharers.clearAll();
-    break;
-  }
-  case DirState::Ward:
-    assert(false && "Ward entry in MESI store path");
-    break;
-  }
-  return Lat;
 }
 
 Cycles CoherenceController::addRegion(RegionId Id, Addr Start, Addr End) {
@@ -633,8 +350,9 @@ Cycles CoherenceController::addRegion(RegionId Id, Addr Start, Addr End) {
   RegionTable::AddResult Result = Regions.add(Id, Start, End);
   if (Result != RegionTable::AddResult::Added) {
     // Graceful degradation: an untracked region's blocks simply stay under
-    // plain MESI, which is always correct (just slower). Rejections charge
-    // no cycles so a fault-injected run stays comparable to the clean one.
+    // the backend's plain protocol, which is always correct (just slower).
+    // Rejections charge no cycles so a fault-injected run stays comparable
+    // to the clean one.
     if (Result == RegionTable::AddResult::Full) {
       ++Stats.RegionOverflows;
       if (Obs && Obs->Trace)
@@ -646,9 +364,7 @@ Cycles CoherenceController::addRegion(RegionId Id, Addr Start, Addr End) {
   }
   if (RegionLifetimeHist)
     RegionAddedAt.try_emplace(Id, Obs->Now);
-  // The "Add Region" instruction itself (Section 6.1: two new instructions
-  // with minimal impact). The baseline MESI binary does not execute it.
-  return Config.Protocol == ProtocolKind::Warden ? 2 : 0;
+  return Backend->regionAddCost();
 }
 
 Cycles CoherenceController::removeRegion(RegionId Id, CoreId Remover) {
@@ -663,109 +379,7 @@ Cycles CoherenceController::removeRegion(RegionId Id, CoreId Remover) {
       RegionAddedAt.erase(AddedIt);
     }
   }
-  if (Config.Protocol != ProtocolKind::Warden)
-    return 0;
-  if (Obs && Obs->Trace)
-    Obs->Trace->instant("reconcile", Remover, Obs->Now);
-  Cycles Cost = 2; // The "Remove Region" instruction.
-  for (Addr Block = Region->Start; Block < Region->End;
-       Block += Config.BlockSize) {
-    auto It = Dir.find(Block);
-    if (It == Dir.end() || It.value().State != DirState::Ward)
-      continue;
-    Cost += reconcileBlock(Block, It.value());
-  }
-  if (Auditor)
-    Auditor->onRegionRemoved(Id, Region->Start, Region->End);
-  return Cost;
-}
-
-Cycles CoherenceController::reconcileBlock(Addr Block, DirEntry &Entry) {
-  SocketId Home = homeOfExisting(Block);
-  ++Stats.ReconciledBlocks;
-  unsigned Holders = Entry.Sharers.count();
-  if (Prof)
-    Prof->onReconcile(Block, Holders);
-
-  if (Holders == 0) {
-    // All copies were already evicted (and eagerly reconciled).
-    Entry = DirEntry();
-    if (Auditor)
-      Auditor->onReconcileComplete(Block);
-    return 0;
-  }
-
-  if (Holders == 1) {
-    ++Stats.SingleHolderReconciles;
-    CoreId Holder = Entry.Sharers.first();
-    CacheLine *Line = Private[Holder].line(Block);
-    assert(Line && "tracked holder without a resident line");
-    bool WasDirty = Line->Dirty.any();
-    if (Auditor)
-      Auditor->onWriteback(Holder, Block, Line->Dirty);
-    if (Config.Features.ProactiveForkFlush) {
-      // Write dirty sectors back and downgrade the copy in place: the next
-      // reader (often a freshly forked task on another core) hits the
-      // shared cache instead of downgrading this private cache.
-      if (WasDirty) {
-        writebackToLlc(Block, Home);
-        noteData(Config.socketOf(Holder), Home);
-        ++Stats.ReconcileWritebacks;
-      }
-      Private[Holder].setState(Block, LineState::Shared);
-      Entry.State = DirState::Shared;
-      Entry.Owner = InvalidCore;
-      Entry.Region = InvalidRegion;
-    } else {
-      // Paper Section 5.2's "no sharing" conversion: keep the private copy
-      // and just restore a MESI state.
-      Private[Holder].setState(Block, WasDirty ? LineState::Modified
-                                               : LineState::Exclusive);
-      Entry.State = WasDirty ? DirState::Modified : DirState::Exclusive;
-      Entry.Owner = Holder;
-      Entry.Sharers.clearAll();
-      Entry.Region = InvalidRegion;
-    }
-    // A single-holder reconcile is an ordinary background write-back: the
-    // directory repoints the state and the data drains off the critical
-    // path, so no synchronous cost is charged (Section 6.1 measures the
-    // reconciliation delay as trivial).
-    if (Auditor)
-      Auditor->onReconcileComplete(Block);
-    return 0;
-  }
-
-  // Multiple holders: merge dirty sectors in directory arrival order (core
-  // id order here; the WARD property licenses any order) and flush all
-  // copies.
-  SectorMask Merged;
-  bool TrueSharing = false;
-  Entry.Sharers.forEach([&](CoreId Holder) {
-    CacheLine *Line = Private[Holder].line(Block);
-    assert(Line && "tracked holder without a resident line");
-    if (Auditor)
-      Auditor->onWriteback(Holder, Block, Line->Dirty);
-    if (Line->Dirty.any()) {
-      if (Merged.overlaps(Line->Dirty))
-        TrueSharing = true;
-      Merged.merge(Line->Dirty);
-      writebackToLlc(Block, Home);
-      noteData(Config.socketOf(Holder), Home);
-      ++Stats.ReconcileWritebacks;
-    }
-    Private[Holder].invalidate(Block);
-    noteMsg(Home, Config.socketOf(Holder));
-    if (Auditor)
-      Auditor->onInvalidate(Holder, Block);
-  });
-  if (TrueSharing)
-    ++Stats.TrueSharingReconciles;
-  else
-    ++Stats.FalseSharingReconciles;
-  Entry = DirEntry();
-  if (Auditor)
-    Auditor->onReconcileComplete(Block);
-  return Config.Features.ReconcileCostPerBlock;
+  return Backend->removeRegion(*Region, Id, Remover);
 }
 
 void CoherenceController::drainDirtyData() {

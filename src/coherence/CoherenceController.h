@@ -1,33 +1,28 @@
-//===- coherence/CoherenceController.h - MESI + WARDen engine -*- C++ -*-===//
+//===- coherence/CoherenceController.h - Coherence engine -----*- C++ -*-===//
 //
 // Part of the WARDen reproduction project.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The coherence engine: a directory-based MESI protocol (Nagarajan et al.
-/// message vocabulary) optionally augmented with the WARD state of Section
-/// 5. The timing scheduler calls access() for every demand reference and
-/// addRegion()/removeRegion() for the runtime's WARD region instructions;
-/// the controller returns the end-to-end latency of each operation and
-/// accumulates the event statistics the evaluation reports.
+/// The coherence engine, split into mechanism and policy. This class owns
+/// everything physical about the simulated memory system — per-core
+/// private caches, LLC slices, the directory storage, the region table,
+/// first-touch page placement, latency/energy accounting, fault injection,
+/// and the observability taps — and charges the protocol-independent parts
+/// of every operation (hit latencies, the trip to the home slice, demand
+/// histograms). The protocol-dependent parts — what a miss does, what an
+/// eviction tells whom, what happens at region and synchronization
+/// boundaries — are delegated to a CoherenceProtocol backend selected by
+/// MachineConfig::Protocol through the registry in Protocol.h ("mesi",
+/// "warden", "sisd"; see that header for the backend contract and
+/// DESIGN.md "Protocol backends" for the architecture).
 ///
-/// Protocol summary as implemented (see DESIGN.md for rationale):
-///  * Non-WARD blocks: textbook MESI with cache-to-cache transfer,
-///    E-on-unshared-fill, silent E->M upgrade, precise eviction
-///    notifications.
-///  * A request for a block inside an active WARD region moves its
-///    directory entry to W on first touch or first sharing event. W
-///    requests are served from the LLC/DRAM without invalidating or
-///    downgrading any other copy; GetS returns an Exclusive-like copy
-///    (Section 5.1) so later writes are silent.
-///  * removeRegion() reconciles: single-holder blocks write back their
-///    dirty sectors and are downgraded in place to Shared (kept cached);
-///    multi-holder blocks merge dirty sectors in directory arrival order
-///    (core id order — WARD licenses any order) and all copies are flushed.
-///  * Evicted WARD lines reconcile eagerly (write back dirty sectors and
-///    leave the sharer set), which Section 5.3 notes overlaps the
-///    reconciliation cost with computation.
+/// The timing scheduler calls access() for every demand reference,
+/// addRegion()/removeRegion() for the runtime's WARD region instructions,
+/// and syncAcquire()/syncRelease() at task synchronization boundaries; the
+/// controller returns the end-to-end latency of each operation and
+/// accumulates the event statistics the evaluation reports.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -37,6 +32,7 @@
 #include "src/coherence/CoherenceStats.h"
 #include "src/coherence/Directory.h"
 #include "src/coherence/PrivateCache.h"
+#include "src/coherence/Protocol.h"
 #include "src/coherence/RegionTable.h"
 #include "src/machine/LatencyModel.h"
 #include "src/machine/MachineConfig.h"
@@ -54,13 +50,6 @@ class ProtocolAuditor;
 class SharingProfiler;
 class CpiStack;
 struct Observability;
-
-/// Kind of demand access.
-enum class AccessType {
-  Load,  ///< Blocking read.
-  Store, ///< Buffered write.
-  Rmw,   ///< Atomic read-modify-write (blocking, write semantics).
-};
 
 /// The full simulated cache/coherence subsystem.
 class CoherenceController {
@@ -94,8 +83,8 @@ public:
   Cycles access(CoreId Core, Addr Address, unsigned Size, AccessType Type);
 
   /// Registers a WARD region (the "Add Region" instruction). Safe to call
-  /// under MESI, where it is a no-op. Returns the (small, fixed)
-  /// instruction cost.
+  /// under protocols without region semantics, where it is a no-op. Returns
+  /// the (small, fixed) instruction cost.
   Cycles addRegion(RegionId Id, Addr Start, Addr End);
 
   /// Removes a WARD region and reconciles its blocks (the "Remove Region"
@@ -103,11 +92,19 @@ public:
   /// unmarking core \p Remover.
   Cycles removeRegion(RegionId Id, CoreId Remover);
 
+  /// Synchronization-point hooks (see CoherenceProtocol::syncAcquire):
+  /// the replay scheduler calls these at task boundaries; lazy protocols
+  /// (SISD) pay their self-invalidation/self-downgrade work here, eager
+  /// ones return 0 without touching any state.
+  Cycles syncAcquire(CoreId Core) { return Backend->syncAcquire(Core); }
+  Cycles syncRelease(CoreId Core) { return Backend->syncRelease(Core); }
+
   /// End-of-run drain: writes every dirty private line back to its home
   /// LLC and every dirty LLC line back to DRAM, counting the traffic (no
   /// latency — this models the write-back work a longer execution would
-  /// have paid through natural evictions, and keeps the MESI/WARDen energy
-  /// comparison fair: WARDen prepays these write-backs at reconciliation).
+  /// have paid through natural evictions, and keeps the cross-protocol
+  /// energy comparison fair: WARDen prepays these write-backs at
+  /// reconciliation, SISD at release points).
   void drainDirtyData();
 
   /// Pre-sizes the directory and page-home tables for a simulated footprint
@@ -119,6 +116,9 @@ public:
   const MachineConfig &config() const { return Config; }
   const RegionTable &regionTable() const { return Regions; }
   const FaultPlan &faultPlan() const { return Faults; }
+  /// The protocol backend serving this controller (for introspection; all
+  /// mutation goes through the controller's own entry points).
+  const CoherenceProtocol &protocol() const { return *Backend; }
 
   /// Test/auditor hooks: inspect a block's directory entry, a core's
   /// private line, or iterate the full structures (const-only, so
@@ -129,17 +129,18 @@ public:
   const PrivateCache &privateCache(CoreId Core) const { return Private[Core]; }
 
 private:
+  /// Backends reach the members below through the protected accessors
+  /// declared on CoherenceProtocol (defined inline at the bottom of this
+  /// header). Friendship is granted to the base class only; concrete
+  /// backends get exactly the surface those accessors expose.
+  friend class CoherenceProtocol;
+
   // --- Demand paths -------------------------------------------------------
   Cycles accessBlock(CoreId Core, Addr Block, unsigned Offset, unsigned Size,
                      AccessType Type);
-  Cycles privateHitPath(CoreId Core, Addr Block, unsigned Offset,
-                        unsigned Size, AccessType Type, unsigned Level);
-  Cycles missPath(CoreId Core, Addr Block, unsigned Offset, unsigned Size,
-                  AccessType Type);
-  Cycles wardPath(CoreId Core, Addr Block, unsigned Offset, unsigned Size,
-                  AccessType Type, DirEntry &Entry, RegionId Region);
-  Cycles mesiLoadPath(CoreId Core, Addr Block, DirEntry &Entry);
-  Cycles mesiStorePath(CoreId Core, Addr Block, DirEntry &Entry);
+  /// Charges the trip to the home slice, then delegates the protocol's
+  /// serving actions to the backend.
+  Cycles missPath(CoreId Core, Addr Block, AccessType Type);
 
   // --- Helpers -------------------------------------------------------------
   /// Serves data from the home LLC slice, fetching from DRAM on a data-array
@@ -147,15 +148,12 @@ private:
   Cycles llcData(Addr Block, SocketId Home);
   /// Writes a block's data back into the home LLC data array (dirty).
   void writebackToLlc(Addr Block, SocketId Home);
-  /// Fills \p Block into \p Core's private cache, handling the victim's
-  /// directory notification.
+  /// Fills \p Block into \p Core's private cache, routing the victim (if
+  /// any) through handleEviction.
   void fillPrivate(CoreId Core, Addr Block, LineState State);
-  /// Handles a private-cache victim: writeback + directory update.
+  /// Handles a private-cache victim: counts it, delegates the protocol
+  /// work, and notifies the auditor.
   void handleEviction(CoreId Core, const EvictedLine &Victim);
-  /// Converts a block's existing MESI copies to Ward on region entry.
-  void enterWardState(Addr Block, DirEntry &Entry, RegionId Region);
-  /// Reconciles one W block; returns the cost charged to the remover.
-  Cycles reconcileBlock(Addr Block, DirEntry &Entry);
 
   /// First-touch page placement: the home of a page is the socket of the
   /// first core to access it; later accesses look the placement up.
@@ -168,6 +166,8 @@ private:
 
   // --- Fault injection ------------------------------------------------------
   /// Applies the fault plan after a demand access by \p Core to \p Block.
+  /// The RNG draws happen here, protocol-independently, so fault streams
+  /// are identical across backends.
   void injectFaults(CoreId Core, Addr Block);
   /// Evicts one random valid line of \p Core through the normal path.
   void injectEviction(CoreId Core);
@@ -198,7 +198,62 @@ private:
   CpiStack *Cpi = nullptr;
   /// RegionId -> Observability::Now at addRegion, for lifetime histograms.
   FlatMap<RegionId, Cycles> RegionAddedAt;
+
+  /// The policy. Constructed last (from the registry, keyed by
+  /// Config.Protocol) and declared last so it is destroyed before anything
+  /// it references.
+  std::unique_ptr<CoherenceProtocol> Backend;
 };
+
+//===----------------------------------------------------------------------===//
+// CoherenceProtocol accessor forwarders
+//===----------------------------------------------------------------------===//
+//
+// Declared in Protocol.h, defined here where CoherenceController is
+// complete. Backends include this header, so every forwarder inlines to a
+// direct member access.
+
+inline const MachineConfig &CoherenceProtocol::config() const {
+  return C.Config;
+}
+inline const LatencyModel &CoherenceProtocol::latency() const {
+  return C.Latency;
+}
+inline CoherenceStats &CoherenceProtocol::stats() { return C.Stats; }
+inline const RegionTable &CoherenceProtocol::regions() const {
+  return C.Regions;
+}
+inline PrivateCache &CoherenceProtocol::priv(CoreId Core) {
+  return C.Private[Core];
+}
+inline Directory &CoherenceProtocol::dir() { return C.Dir; }
+inline ProtocolAuditor *CoherenceProtocol::auditor() { return C.Auditor; }
+inline SharingProfiler *CoherenceProtocol::profiler() { return C.Prof; }
+inline CpiStack *CoherenceProtocol::cpi() { return C.Cpi; }
+inline Observability *CoherenceProtocol::observability() { return C.Obs; }
+inline const FaultPlan &CoherenceProtocol::faults() const { return C.Faults; }
+inline Cycles CoherenceProtocol::llcData(Addr Block, SocketId Home) {
+  return C.llcData(Block, Home);
+}
+inline void CoherenceProtocol::writebackToLlc(Addr Block, SocketId Home) {
+  C.writebackToLlc(Block, Home);
+}
+inline void CoherenceProtocol::fillPrivate(CoreId Core, Addr Block,
+                                           LineState State) {
+  C.fillPrivate(Core, Block, State);
+}
+inline SocketId CoherenceProtocol::homeOf(Addr Block, CoreId Requester) {
+  return C.homeOf(Block, Requester);
+}
+inline SocketId CoherenceProtocol::homeOfExisting(Addr Block) const {
+  return C.homeOfExisting(Block);
+}
+inline void CoherenceProtocol::noteMsg(SocketId From, SocketId To) {
+  C.noteMsg(From, To);
+}
+inline void CoherenceProtocol::noteData(SocketId From, SocketId To) {
+  C.noteData(From, To);
+}
 
 } // namespace warden
 

@@ -1,0 +1,225 @@
+//===- coherence/MesiProtocol.cpp - Directory MESI backend ----------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/coherence/MesiProtocol.h"
+
+#include "src/coherence/CoherenceController.h"
+#include "src/obs/CpiStack.h"
+#include "src/obs/SharingProfiler.h"
+#include "src/verify/ProtocolAuditor.h"
+
+#include <cassert>
+
+using namespace warden;
+
+Cycles MesiProtocol::serveMiss(CoreId Core, Addr Block, AccessType Type) {
+  DirEntry &Entry = dir()[Block];
+  return serveMesiMiss(Core, Block, Type, Entry);
+}
+
+Cycles MesiProtocol::serveMesiMiss(CoreId Core, Addr Block, AccessType Type,
+                                   DirEntry &Entry) {
+  assert(Entry.State != DirState::Ward &&
+         "W entry outside an active region reached the MESI path");
+  if (Type == AccessType::Load)
+    return loadMiss(Core, Block, Entry);
+  return storeMiss(Core, Block, Entry);
+}
+
+Cycles MesiProtocol::loadMiss(CoreId Core, Addr Block, DirEntry &Entry) {
+  SocketId Home = homeOf(Block, Core);
+  SocketId CoreSocket = config().socketOf(Core);
+  Cycles Lat = 0;
+
+  switch (Entry.State) {
+  case DirState::Invalid:
+    Lat += llcData(Block, Home);
+    noteData(Home, CoreSocket);
+    fillPrivate(Core, Block, LineState::Exclusive);
+    Entry.State = DirState::Exclusive;
+    Entry.Owner = Core;
+    break;
+  case DirState::Shared:
+    Lat += llcData(Block, Home);
+    noteData(Home, CoreSocket);
+    fillPrivate(Core, Block, LineState::Shared);
+    Entry.Sharers.set(Core);
+    break;
+  case DirState::Exclusive:
+  case DirState::Modified: {
+    CoreId Owner = Entry.Owner;
+    assert(Owner != Core && "owner missed on its own block");
+    CacheLine *OwnerLine = priv(Owner).line(Block);
+    assert(OwnerLine && "directory owner without a resident line");
+    // Fwd-GetS: the owner is downgraded and supplies the data.
+    ++stats().Downgrades;
+    ++stats().CacheToCache;
+    if (SharingProfiler *Prof = profiler())
+      Prof->onDowngrade(Block, Owner);
+    noteMsg(Home, config().socketOf(Owner));
+    if (OwnerLine->State == LineState::Modified) {
+      if (ProtocolAuditor *Auditor = auditor()) {
+        SectorMask Full;
+        Full.markWritten(0, config().BlockSize);
+        Auditor->onWriteback(Owner, Block, Full);
+      }
+      writebackToLlc(Block, Home);
+      noteData(config().socketOf(Owner), Home);
+      ++stats().Writebacks;
+    }
+    if (faults().Mutation != ProtocolMutation::SkipDowngradeOnFwdGetS)
+      priv(Owner).setState(Block, LineState::Shared);
+    if (CpiStack *Cpi = cpi())
+      Cpi->charge(CpiCat::DowngradeService,
+                  latency().forwardAndSupply(Home, Owner, Core));
+    Lat += latency().forwardAndSupply(Home, Owner, Core);
+    noteData(config().socketOf(Owner), CoreSocket);
+    fillPrivate(Core, Block, LineState::Shared);
+    Entry.State = DirState::Shared;
+    Entry.Owner = InvalidCore;
+    Entry.Sharers.clearAll();
+    Entry.Sharers.set(Owner);
+    Entry.Sharers.set(Core);
+    break;
+  }
+  case DirState::Ward:
+    assert(false && "Ward entry in MESI load path");
+    break;
+  }
+  return Lat;
+}
+
+Cycles MesiProtocol::storeMiss(CoreId Core, Addr Block, DirEntry &Entry) {
+  SocketId Home = homeOf(Block, Core);
+  SocketId CoreSocket = config().socketOf(Core);
+  Cycles Lat = 0;
+
+  switch (Entry.State) {
+  case DirState::Invalid:
+    Lat += llcData(Block, Home);
+    noteData(Home, CoreSocket);
+    fillPrivate(Core, Block, LineState::Modified);
+    Entry.State = DirState::Modified;
+    Entry.Owner = Core;
+    break;
+  case DirState::Shared: {
+    bool HadCopy = Entry.Sharers.test(Core);
+    Cycles InvLat = 0;
+    if (faults().Mutation != ProtocolMutation::SkipInvalidationOnGetM) {
+      Entry.Sharers.forEach([&](CoreId Sharer) {
+        if (Sharer == Core)
+          return;
+        ++stats().Invalidations;
+        priv(Sharer).invalidate(Block);
+        if (ProtocolAuditor *Auditor = auditor())
+          Auditor->onInvalidate(Sharer, Block);
+        if (SharingProfiler *Prof = profiler())
+          Prof->onInvalidation(Block, Sharer);
+        noteMsg(Home, config().socketOf(Sharer));             // Inv
+        noteMsg(config().socketOf(Sharer), Home);             // Inv-Ack
+        InvLat = std::max(InvLat, latency().invalidate(Home, Sharer));
+      });
+    }
+    if (CpiStack *Cpi = cpi())
+      Cpi->charge(CpiCat::InvalidationService, InvLat);
+    Lat += InvLat;
+    if (HadCopy) {
+      priv(Core).setState(Block, LineState::Modified);
+      noteMsg(Home, CoreSocket); // Upgrade ack.
+    } else {
+      Lat += llcData(Block, Home);
+      noteData(Home, CoreSocket);
+      fillPrivate(Core, Block, LineState::Modified);
+    }
+    Entry.State = DirState::Modified;
+    Entry.Owner = Core;
+    Entry.Sharers.clearAll();
+    break;
+  }
+  case DirState::Exclusive:
+  case DirState::Modified: {
+    CoreId Owner = Entry.Owner;
+    assert(Owner != Core && "owner missed on its own block");
+    // Fwd-GetM: the owner's copy is invalidated and the data (if dirty)
+    // travels cache-to-cache to the requester. The shadow model treats the
+    // supply as writeback-then-fill: the value the requester receives is
+    // the same either way.
+    ++stats().Invalidations;
+    ++stats().CacheToCache;
+    if (SharingProfiler *Prof = profiler())
+      Prof->onInvalidation(Block, Owner);
+    noteMsg(Home, config().socketOf(Owner));
+    if (ProtocolAuditor *Auditor = auditor()) {
+      SectorMask Full;
+      Full.markWritten(0, config().BlockSize);
+      Auditor->onWriteback(Owner, Block, Full);
+    }
+    [[maybe_unused]] std::optional<EvictedLine> Old =
+        priv(Owner).invalidate(Block);
+    assert(Old && "directory owner without a resident line");
+    if (ProtocolAuditor *Auditor = auditor())
+      Auditor->onInvalidate(Owner, Block);
+    if (CpiStack *Cpi = cpi())
+      Cpi->charge(CpiCat::InvalidationService,
+                  latency().forwardAndSupply(Home, Owner, Core));
+    Lat += latency().forwardAndSupply(Home, Owner, Core);
+    noteData(config().socketOf(Owner), CoreSocket);
+    fillPrivate(Core, Block, LineState::Modified);
+    Entry.State = DirState::Modified;
+    Entry.Owner = Core;
+    Entry.Sharers.clearAll();
+    break;
+  }
+  case DirState::Ward:
+    assert(false && "Ward entry in MESI store path");
+    break;
+  }
+  return Lat;
+}
+
+void MesiProtocol::evictLine(CoreId Core, const EvictedLine &Victim) {
+  SocketId Home = homeOfExisting(Victim.Block);
+  SocketId CoreSocket = config().socketOf(Core);
+  auto It = dir().find(Victim.Block);
+  assert(It != dir().end() && "evicting a block the directory never saw");
+  DirEntry &Entry = It.value();
+
+  // Every eviction notifies the home directory so sharer/owner information
+  // stays precise (Put messages in the MESI vocabulary).
+  noteMsg(CoreSocket, Home);
+
+  switch (Victim.State) {
+  case LineState::Shared:
+    assert(Entry.State == DirState::Shared || Entry.State == DirState::Ward);
+    Entry.Sharers.clear(Core);
+    if (Entry.State == DirState::Shared && Entry.Sharers.empty())
+      Entry.State = DirState::Invalid;
+    break;
+  case LineState::Exclusive:
+    assert(Entry.Owner == Core && "eviction by non-owner");
+    Entry = DirEntry();
+    break;
+  case LineState::Modified: {
+    assert(Entry.Owner == Core && "eviction by non-owner");
+    if (ProtocolAuditor *Auditor = auditor()) {
+      SectorMask Full;
+      Full.markWritten(0, config().BlockSize);
+      Auditor->onWriteback(Core, Victim.Block, Full);
+    }
+    writebackToLlc(Victim.Block, Home);
+    noteData(CoreSocket, Home);
+    ++stats().Writebacks;
+    Entry = DirEntry();
+    break;
+  }
+  case LineState::Ward:
+    assert(false && "Ward victim reached the plain MESI backend");
+    break;
+  case LineState::Invalid:
+    assert(false && "invalid line reported as victim");
+    break;
+  }
+}

@@ -1,0 +1,50 @@
+//===- coherence/MesiProtocol.h - Directory MESI backend ------*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The baseline protocol backend: textbook directory MESI with
+/// cache-to-cache transfer, E-on-unshared-fill, silent E->M upgrade, and
+/// precise eviction notifications (the Nagarajan et al. message
+/// vocabulary). WardenProtocol derives from this backend and reuses its
+/// miss service for blocks outside active WARD regions, so the MESI paths
+/// here are exercised by both protocols.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_COHERENCE_MESIPROTOCOL_H
+#define WARDEN_COHERENCE_MESIPROTOCOL_H
+
+#include "src/coherence/Protocol.h"
+
+namespace warden {
+
+/// Directory MESI as a pluggable backend.
+class MesiProtocol : public CoherenceProtocol {
+public:
+  explicit MesiProtocol(CoherenceController &Controller)
+      : CoherenceProtocol(ProtocolKind::Mesi, Controller) {}
+
+  Cycles serveMiss(CoreId Core, Addr Block, AccessType Type) override;
+  void evictLine(CoreId Core, const EvictedLine &Victim) override;
+
+protected:
+  /// Derived-protocol constructor (WardenProtocol reports its own kind).
+  MesiProtocol(ProtocolKind Kind, CoherenceController &Controller)
+      : CoherenceProtocol(Kind, Controller) {}
+
+  /// Serves a miss whose directory entry is already in hand, under plain
+  /// MESI rules. Shared with WardenProtocol for non-region blocks.
+  Cycles serveMesiMiss(CoreId Core, Addr Block, AccessType Type,
+                       DirEntry &Entry);
+
+private:
+  Cycles loadMiss(CoreId Core, Addr Block, DirEntry &Entry);
+  Cycles storeMiss(CoreId Core, Addr Block, DirEntry &Entry);
+};
+
+} // namespace warden
+
+#endif // WARDEN_COHERENCE_MESIPROTOCOL_H

@@ -1,0 +1,185 @@
+//===- coherence/Protocol.cpp - Pluggable coherence backends --------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/coherence/Protocol.h"
+
+#include "src/coherence/MesiProtocol.h"
+#include "src/coherence/SisdProtocol.h"
+#include "src/coherence/WardenProtocol.h"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+
+using namespace warden;
+
+const char *warden::protocolName(ProtocolKind Protocol) {
+  switch (Protocol) {
+  case ProtocolKind::Mesi:
+    return "MESI";
+  case ProtocolKind::Warden:
+    return "WARDen";
+  case ProtocolKind::Sisd:
+    return "SISD";
+  }
+  return "?";
+}
+
+const char *warden::protocolId(ProtocolKind Protocol) {
+  switch (Protocol) {
+  case ProtocolKind::Mesi:
+    return "mesi";
+  case ProtocolKind::Warden:
+    return "warden";
+  case ProtocolKind::Sisd:
+    return "sisd";
+  }
+  return "?";
+}
+
+const std::vector<ProtocolKind> &warden::allProtocolKinds() {
+  static const std::vector<ProtocolKind> Kinds = {
+      ProtocolKind::Mesi, ProtocolKind::Warden, ProtocolKind::Sisd};
+  return Kinds;
+}
+
+CoherenceProtocol::~CoherenceProtocol() = default;
+
+bool CoherenceProtocol::upgradeStoreHit(CoreId Core, Addr Block) {
+  (void)Core;
+  (void)Block;
+  return false;
+}
+
+Cycles CoherenceProtocol::regionAddCost() const { return 0; }
+
+Cycles CoherenceProtocol::removeRegion(const WardRegion &Region, RegionId Id,
+                                       CoreId Remover) {
+  (void)Region;
+  (void)Id;
+  (void)Remover;
+  return 0;
+}
+
+void CoherenceProtocol::forceReconcile(Addr Block) { (void)Block; }
+
+Cycles CoherenceProtocol::syncAcquire(CoreId Core) {
+  (void)Core;
+  return 0;
+}
+
+Cycles CoherenceProtocol::syncRelease(CoreId Core) {
+  (void)Core;
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+//
+// A small string-keyed table behind a mutex: controllers are constructed
+// from JobPool worker threads, so lookups must be safe against a concurrent
+// registerProtocol() from a test. The built-ins are seeded in the
+// function-local static's constructor, which C++ guarantees is run exactly
+// once before first use — no static-initialization-order dependence on
+// which translation unit touches the registry first.
+
+namespace {
+
+struct RegistryEntry {
+  std::string Id;
+  ProtocolKind Kind;
+  ProtocolFactory Factory;
+};
+
+struct ProtocolRegistry {
+  std::mutex Mutex;
+  std::vector<RegistryEntry> Entries;
+
+  ProtocolRegistry() {
+    Entries.push_back({protocolId(ProtocolKind::Mesi), ProtocolKind::Mesi,
+                       [](CoherenceController &C) {
+                         return std::unique_ptr<CoherenceProtocol>(
+                             new MesiProtocol(C));
+                       }});
+    Entries.push_back({protocolId(ProtocolKind::Warden), ProtocolKind::Warden,
+                       [](CoherenceController &C) {
+                         return std::unique_ptr<CoherenceProtocol>(
+                             new WardenProtocol(C));
+                       }});
+    Entries.push_back({protocolId(ProtocolKind::Sisd), ProtocolKind::Sisd,
+                       [](CoherenceController &C) {
+                         return std::unique_ptr<CoherenceProtocol>(
+                             new SisdProtocol(C));
+                       }});
+  }
+};
+
+ProtocolRegistry &registry() {
+  static ProtocolRegistry R;
+  return R;
+}
+
+} // namespace
+
+std::optional<ProtocolKind> warden::parseProtocolId(std::string_view Id) {
+  ProtocolRegistry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  for (const RegistryEntry &Entry : R.Entries)
+    if (Entry.Id == Id)
+      return Entry.Kind;
+  return std::nullopt;
+}
+
+bool warden::registerProtocol(std::string Id, ProtocolKind Kind,
+                              ProtocolFactory Factory) {
+  ProtocolRegistry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  auto It = std::find_if(R.Entries.begin(), R.Entries.end(),
+                         [&](const RegistryEntry &E) { return E.Id == Id; });
+  if (It != R.Entries.end()) {
+    It->Kind = Kind;
+    It->Factory = std::move(Factory);
+    return false;
+  }
+  R.Entries.push_back({std::move(Id), Kind, std::move(Factory)});
+  return true;
+}
+
+std::unique_ptr<CoherenceProtocol>
+warden::makeProtocol(ProtocolKind Kind, CoherenceController &Controller) {
+  ProtocolFactory Factory;
+  {
+    ProtocolRegistry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.Mutex);
+    // Prefer the entry registered under the kind's canonical id (so
+    // replacing "mesi" swaps the MESI implementation); fall back to any
+    // entry reporting the kind.
+    std::string_view CanonicalId = protocolId(Kind);
+    for (const RegistryEntry &Entry : R.Entries)
+      if (Entry.Id == CanonicalId && Entry.Kind == Kind)
+        Factory = Entry.Factory;
+    if (!Factory)
+      for (const RegistryEntry &Entry : R.Entries)
+        if (Entry.Kind == Kind)
+          Factory = Entry.Factory;
+  }
+  if (!Factory)
+    throw std::invalid_argument(
+        std::string("no protocol backend registered for kind '") +
+        protocolName(Kind) + "'");
+  return Factory(Controller);
+}
+
+std::vector<std::string> warden::registeredProtocolIds() {
+  ProtocolRegistry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  std::vector<std::string> Ids;
+  Ids.reserve(R.Entries.size());
+  for (const RegistryEntry &Entry : R.Entries)
+    Ids.push_back(Entry.Id);
+  return Ids;
+}

@@ -1,0 +1,205 @@
+//===- coherence/Protocol.h - Pluggable coherence backends ----*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The protocol backend interface and registry. The CoherenceController
+/// owns everything physical about the simulated memory system — cache
+/// arrays, the directory storage, the region table, latency/energy
+/// accounting, fault injection, observability — while a CoherenceProtocol
+/// backend owns the *policy*: what happens on a miss, on an eviction, at a
+/// region boundary, and (for lazy protocols) at synchronization points.
+///
+/// Three backends ship in-tree, registered under string ids:
+///  * "mesi"   — directory MESI (Nagarajan et al. vocabulary).
+///  * "warden" — MESI plus the WARD state and region reconciliation
+///               (Sections 5-6 of the paper).
+///  * "sisd"   — a directory-less self-invalidation/self-downgrade
+///               protocol in the style of Abdulla et al.'s "Mending
+///               Fences": cores invalidate possibly-stale lines at
+///               acquire points (steals, join continuations) and push
+///               their own dirty lines at release points (task
+///               completion) instead of ever servicing remote
+///               invalidations or downgrades.
+///
+/// The contract, spelled out in DESIGN.md "Protocol backends": a backend
+/// must route all traffic through the controller's helpers (llcData,
+/// writebackToLlc, fillPrivate, noteMsg/noteData) so statistics, energy
+/// events, and the auditor's shadow model stay consistent; it must never
+/// own cache or directory storage of its own; and hooks it does not
+/// override must remain strict no-ops so protocols that ignore them are
+/// cycle-identical to a build without the hook.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_COHERENCE_PROTOCOL_H
+#define WARDEN_COHERENCE_PROTOCOL_H
+
+#include "src/coherence/Directory.h"
+#include "src/coherence/RegionTable.h"
+#include "src/mem/CacheArray.h"
+#include "src/support/Types.h"
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace warden {
+
+class CoherenceController;
+class LatencyModel;
+class ProtocolAuditor;
+class SharingProfiler;
+class CpiStack;
+class PrivateCache;
+struct CoherenceStats;
+struct FaultPlan;
+struct MachineConfig;
+struct Observability;
+
+/// Which coherence protocol the machine runs.
+enum class ProtocolKind {
+  Mesi,   ///< Baseline directory MESI (Nagarajan et al. vocabulary).
+  Warden, ///< MESI augmented with the WARD state and region table.
+  Sisd,   ///< Directory-less self-invalidation/self-downgrade.
+};
+
+/// Returns a printable display name for \p Protocol ("MESI", "WARDen",
+/// "SISD").
+const char *protocolName(ProtocolKind Protocol);
+
+/// Returns the stable lowercase id for \p Protocol ("mesi", "warden",
+/// "sisd") — the key used by --protocol=, the registry, and the
+/// warden-bench-v2 report's "protocols" map.
+const char *protocolId(ProtocolKind Protocol);
+
+/// Parses a protocol id (as accepted by --protocol=) back to its kind.
+/// Returns std::nullopt for unknown ids; callers list
+/// registeredProtocolIds() in their error message.
+std::optional<ProtocolKind> parseProtocolId(std::string_view Id);
+
+/// All built-in protocol kinds, in canonical (registration) order.
+const std::vector<ProtocolKind> &allProtocolKinds();
+
+/// Kind of demand access.
+enum class AccessType {
+  Load,  ///< Blocking read.
+  Store, ///< Buffered write.
+  Rmw,   ///< Atomic read-modify-write (blocking, write semantics).
+};
+
+/// A coherence policy plugged into the CoherenceController. Backends are
+/// created by the controller (through the registry) and live exactly as
+/// long as it; the protected accessors below are the only way into the
+/// controller's internals, which keeps the must-not-own rules above
+/// mechanically checkable.
+class CoherenceProtocol {
+public:
+  virtual ~CoherenceProtocol();
+
+  CoherenceProtocol(const CoherenceProtocol &) = delete;
+  CoherenceProtocol &operator=(const CoherenceProtocol &) = delete;
+
+  ProtocolKind kind() const { return Kind; }
+
+  /// Serves a demand miss (or write-upgrade miss) by \p Core on \p Block.
+  /// The controller has already charged the trip to the home slice and
+  /// counted the L3 access; the return value is the additional latency of
+  /// the protocol's serving actions. The block must be resident with write
+  /// permission afterwards when \p Type is a store/RMW.
+  virtual Cycles serveMiss(CoreId Core, Addr Block, AccessType Type) = 0;
+
+  /// A store/RMW by \p Core hit its own Shared copy of \p Block. Returning
+  /// true means the backend granted write permission in place (the
+  /// controller then charges a plain hit); returning false routes the
+  /// access through serveMiss as a write upgrade. Directory protocols must
+  /// return false (other sharers need invalidating); SISD upgrades locally.
+  virtual bool upgradeStoreHit(CoreId Core, Addr Block);
+
+  /// Handles a private-cache victim: write-back traffic plus whatever
+  /// bookkeeping the protocol keeps about resident copies. The controller
+  /// has already counted the eviction and notifies the auditor afterwards.
+  virtual void evictLine(CoreId Core, const EvictedLine &Victim) = 0;
+
+  /// Cost of the "Add Region" instruction once the region is tracked.
+  virtual Cycles regionAddCost() const;
+
+  /// Reconciliation work for a removed region \p Region (id \p Id),
+  /// charged to core \p Remover. Called only when the region was actually
+  /// tracked; protocols without region semantics return 0 and do nothing.
+  virtual Cycles removeRegion(const WardRegion &Region, RegionId Id,
+                              CoreId Remover);
+
+  /// Fault injection: force \p Block to reconcile immediately if the
+  /// protocol keeps deferred state for it (no-op otherwise). The RNG draw
+  /// stays in the controller so fault streams are protocol-independent.
+  virtual void forceReconcile(Addr Block);
+
+  /// Synchronization-point hooks, driven by the replay scheduler at task
+  /// boundaries (see Replayer): acquire before consuming another task's
+  /// data (steal probes, join continuations), release after producing
+  /// (task completion). Return the cycles charged to \p Core. Eager
+  /// protocols (MESI, WARDen) keep these strict no-ops returning 0 —
+  /// byte-identity with the pre-backend engine depends on it.
+  virtual Cycles syncAcquire(CoreId Core);
+  virtual Cycles syncRelease(CoreId Core);
+
+protected:
+  CoherenceProtocol(ProtocolKind Kind, CoherenceController &Controller)
+      : C(Controller), Kind(Kind) {}
+
+  // --- Controller access (defined inline in CoherenceController.h) --------
+  const MachineConfig &config() const;
+  const LatencyModel &latency() const;
+  CoherenceStats &stats();
+  const RegionTable &regions() const;
+  PrivateCache &priv(CoreId Core);
+  Directory &dir();
+  ProtocolAuditor *auditor();
+  SharingProfiler *profiler();
+  CpiStack *cpi();
+  Observability *observability();
+  const FaultPlan &faults() const;
+  Cycles llcData(Addr Block, SocketId Home);
+  void writebackToLlc(Addr Block, SocketId Home);
+  void fillPrivate(CoreId Core, Addr Block, LineState State);
+  SocketId homeOf(Addr Block, CoreId Requester);
+  SocketId homeOfExisting(Addr Block) const;
+  void noteMsg(SocketId From, SocketId To);
+  void noteData(SocketId From, SocketId To);
+
+  CoherenceController &C;
+
+private:
+  ProtocolKind Kind;
+};
+
+/// Factory signature for the protocol registry.
+using ProtocolFactory =
+    std::function<std::unique_ptr<CoherenceProtocol>(CoherenceController &)>;
+
+/// Registers (or, for an existing id, replaces) a protocol implementation
+/// under \p Id, reported as \p Kind. The three built-ins are pre-registered;
+/// replacing one swaps the implementation every subsequent controller
+/// construction uses. Thread-safe. Returns true if \p Id was new.
+bool registerProtocol(std::string Id, ProtocolKind Kind,
+                      ProtocolFactory Factory);
+
+/// Instantiates the registered backend for \p Kind (looked up by its id)
+/// bound to \p Controller. Throws std::invalid_argument if no factory is
+/// registered — impossible for the built-in kinds.
+std::unique_ptr<CoherenceProtocol> makeProtocol(ProtocolKind Kind,
+                                                CoherenceController &Controller);
+
+/// The currently registered protocol ids, in registration order — what
+/// --protocol= error messages list as valid values.
+std::vector<std::string> registeredProtocolIds();
+
+} // namespace warden
+
+#endif // WARDEN_COHERENCE_PROTOCOL_H

@@ -1,0 +1,118 @@
+//===- coherence/SisdProtocol.cpp - Self-inv/self-downgrade ---------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/coherence/SisdProtocol.h"
+
+#include "src/coherence/CoherenceController.h"
+#include "src/verify/ProtocolAuditor.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace warden;
+
+Cycles SisdProtocol::serveMiss(CoreId Core, Addr Block, AccessType Type) {
+  // No directory: every miss is served by the home LLC slice (or the DRAM
+  // behind it). Other cores' copies are never consulted or disturbed —
+  // whatever they hold, the synchronization discipline below keeps them
+  // from reading stale bytes that matter.
+  SocketId Home = homeOf(Block, Core);
+  Cycles Lat = llcData(Block, Home);
+  noteData(Home, config().socketOf(Core));
+  fillPrivate(Core, Block,
+              Type == AccessType::Load ? LineState::Shared : LineState::Ward);
+  return Lat;
+}
+
+bool SisdProtocol::upgradeStoreHit(CoreId Core, Addr Block) {
+  // Local write upgrade: nobody tracks this copy, so no permission traffic
+  // is needed. The write is published at the next release.
+  priv(Core).setState(Block, LineState::Ward);
+  return true;
+}
+
+void SisdProtocol::evictLine(CoreId Core, const EvictedLine &Victim) {
+  // Clean copies die silently — there is no directory to notify. Dirty
+  // sectors must reach the LLC now, or the eventual release would have
+  // nothing left to publish.
+  if (!Victim.Dirty.any())
+    return;
+  SocketId Home = homeOfExisting(Victim.Block);
+  if (ProtocolAuditor *Auditor = auditor())
+    Auditor->onWriteback(Core, Victim.Block, Victim.Dirty);
+  writebackToLlc(Victim.Block, Home);
+  noteData(config().socketOf(Core), Home);
+  ++stats().Writebacks;
+}
+
+Cycles SisdProtocol::downgradeDirty(CoreId Core, CacheLine &Line) {
+  SocketId Home = homeOfExisting(Line.Block);
+  SocketId CoreSocket = config().socketOf(Core);
+  if (ProtocolAuditor *Auditor = auditor())
+    Auditor->onWriteback(Core, Line.Block, Line.Dirty);
+  writebackToLlc(Line.Block, Home);
+  noteMsg(CoreSocket, Home); // The self-downgrade notice.
+  noteData(CoreSocket, Home);
+  ++stats().Writebacks;
+  ++stats().Downgrades;
+  Line.Dirty.clear();
+  return config().Features.ReconcileCostPerBlock;
+}
+
+Cycles SisdProtocol::syncRelease(CoreId Core) {
+  PrivateCache &Cache = priv(Core);
+  Cycles Cost = 0;
+  if (Cache.residentBlocks() != 0) {
+    // Self-downgrade: push every dirty line's sectors to the LLC and keep
+    // the copy as a read copy. The L2 line is authoritative, so mutating it
+    // in place is exactly setState minus the redundant probe.
+    Cache.forEachValidLine([&](CacheLine &Line) {
+      if (Line.State != LineState::Ward)
+        return;
+      if (Line.Dirty.any())
+        Cost += downgradeDirty(Core, Line);
+      Line.State = LineState::Shared;
+    });
+  }
+  if (ProtocolAuditor *Auditor = auditor())
+    Auditor->onSyncRelease(Core);
+  return Cost;
+}
+
+Cycles SisdProtocol::syncAcquire(CoreId Core) {
+  PrivateCache &Cache = priv(Core);
+  Cycles Cost = 0;
+  if (Cache.residentBlocks() != 0) {
+    // Self-invalidation of every possibly-stale line. Two passes: collect,
+    // then invalidate — invalidating inside the walk would mutate the
+    // arrays being walked.
+    std::vector<Addr> Resident;
+    Resident.reserve(Cache.residentBlocks());
+    Cache.forEachValidLine(
+        [&](const CacheLine &Line) { Resident.push_back(Line.Block); });
+    for (Addr Block : Resident) {
+      std::optional<EvictedLine> Old = Cache.invalidate(Block);
+      assert(Old && "resident line vanished during self-invalidation");
+      if (Old->Dirty.any()) {
+        // An acquire without an intervening release (e.g. a steal probe
+        // mid-task) can still hold unpublished writes; push them first.
+        SocketId Home = homeOfExisting(Block);
+        if (ProtocolAuditor *Auditor = auditor())
+          Auditor->onWriteback(Core, Block, Old->Dirty);
+        writebackToLlc(Block, Home);
+        noteData(config().socketOf(Core), Home);
+        ++stats().Writebacks;
+        Cost += config().Features.ReconcileCostPerBlock;
+      }
+      ++stats().Invalidations;
+      if (ProtocolAuditor *Auditor = auditor())
+        Auditor->onInvalidate(Core, Block);
+    }
+  }
+  if (ProtocolAuditor *Auditor = auditor())
+    Auditor->onSyncAcquire(Core);
+  return Cost;
+}

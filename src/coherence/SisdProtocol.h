@@ -1,0 +1,58 @@
+//===- coherence/SisdProtocol.h - Self-inv/self-downgrade -----*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A directory-less self-invalidation/self-downgrade backend in the style
+/// of Abdulla et al.'s "Mending Fences" (see PAPERS.md): the related-work
+/// point WARDen's Section 2 contrasts against. No sharer or owner is ever
+/// tracked, so no core is ever interrupted by a remote invalidation or
+/// downgrade; instead each core mends its own fences at synchronization
+/// points. Loads fill read copies, stores fill (or upgrade in place to)
+/// write-permitted copies with byte-granular dirty masks, and the replay
+/// scheduler's task boundaries drive the two sync hooks:
+///
+///  * release (task completion): write every dirty line's sectors back to
+///    the home LLC slice and downgrade the copy in place — the published
+///    data is now visible to whoever acquires next.
+///  * acquire (steal probe, join continuation): invalidate every resident
+///    line, dirty ones after writing them back — the core can no longer
+///    rely on any cached value predating the synchronization.
+///
+/// The ProtocolAuditor runs a matching shadow discipline (the directory
+/// must stay empty, private lines must be read-clean or write-marked,
+/// acquiring cores must hold nothing) so `ctest -L audit` checks SISD's
+/// soundness the same way it checks MESI and WARDen.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_COHERENCE_SISDPROTOCOL_H
+#define WARDEN_COHERENCE_SISDPROTOCOL_H
+
+#include "src/coherence/Protocol.h"
+
+namespace warden {
+
+/// Self-invalidation/self-downgrade as a pluggable backend.
+class SisdProtocol : public CoherenceProtocol {
+public:
+  explicit SisdProtocol(CoherenceController &Controller)
+      : CoherenceProtocol(ProtocolKind::Sisd, Controller) {}
+
+  Cycles serveMiss(CoreId Core, Addr Block, AccessType Type) override;
+  bool upgradeStoreHit(CoreId Core, Addr Block) override;
+  void evictLine(CoreId Core, const EvictedLine &Victim) override;
+  Cycles syncAcquire(CoreId Core) override;
+  Cycles syncRelease(CoreId Core) override;
+
+private:
+  /// Writes \p Line's dirty sectors back to the home LLC slice and clears
+  /// the mask. Returns the cycles charged for the downgrade.
+  Cycles downgradeDirty(CoreId Core, CacheLine &Line);
+};
+
+} // namespace warden
+
+#endif // WARDEN_COHERENCE_SISDPROTOCOL_H

@@ -1,0 +1,240 @@
+//===- coherence/WardenProtocol.cpp - MESI + WARD backend -----------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/coherence/WardenProtocol.h"
+
+#include "src/coherence/CoherenceController.h"
+#include "src/obs/ChromeTraceExporter.h"
+#include "src/obs/Observability.h"
+#include "src/obs/SharingProfiler.h"
+#include "src/verify/ProtocolAuditor.h"
+
+#include <cassert>
+
+using namespace warden;
+
+Cycles WardenProtocol::serveMiss(CoreId Core, Addr Block, AccessType Type) {
+  DirEntry &Entry = dir()[Block];
+  RegionId Region = regions().lookup(Block);
+  if (Region != InvalidRegion)
+    return wardMiss(Core, Block, Type, Entry, Region);
+  return serveMesiMiss(Core, Block, Type, Entry);
+}
+
+Cycles WardenProtocol::wardMiss(CoreId Core, Addr Block, AccessType Type,
+                                DirEntry &Entry, RegionId Region) {
+  ++stats().WardGrants;
+  if (SharingProfiler *Prof = profiler())
+    Prof->onWardGrant(Block, Core);
+  if (Entry.State != DirState::Ward)
+    enterWardState(Block, Entry, Region);
+
+  SocketId Home = homeOf(Block, Core);
+  Cycles Lat = 0;
+
+  if (priv(Core).line(Block)) {
+    // In-place upgrade: the core already holds a read copy inside the
+    // region (possible when GetS does not return exclusive copies). The
+    // directory grants write permission without touching anyone else.
+    assert(Type != AccessType::Load && "load missed despite resident line");
+    priv(Core).setState(Block, LineState::Ward);
+    noteMsg(Home, config().socketOf(Core)); // Permission ack.
+  } else {
+    Lat += llcData(Block, Home);
+    noteData(Home, config().socketOf(Core));
+    LineState FillState =
+        (Type == AccessType::Load && !config().Features.GetSReturnsExclusive)
+            ? LineState::Shared
+            : LineState::Ward;
+    fillPrivate(Core, Block, FillState);
+  }
+  Entry.Sharers.set(Core);
+  return Lat;
+}
+
+void WardenProtocol::enterWardState(Addr Block, DirEntry &Entry,
+                                    RegionId Region) {
+  switch (Entry.State) {
+  case DirState::Invalid:
+    Entry.Sharers.clearAll();
+    break;
+  case DirState::Shared:
+    // Existing read copies become Ward members; they keep their data.
+    Entry.Sharers.forEach([&](CoreId Sharer) {
+      priv(Sharer).setState(Block, LineState::Ward);
+    });
+    break;
+  case DirState::Exclusive:
+  case DirState::Modified: {
+    // The owner's copy (and its dirty bytes) become the first Ward member.
+    CoreId Owner = Entry.Owner;
+    CacheLine *Line = priv(Owner).line(Block);
+    assert(Line && "directory owner without a resident line");
+    Line->State = LineState::Ward;
+    Entry.Sharers.clearAll();
+    Entry.Sharers.set(Owner);
+    break;
+  }
+  case DirState::Ward:
+    assert(false && "re-entering Ward state");
+    break;
+  }
+  Entry.State = DirState::Ward;
+  Entry.Owner = InvalidCore;
+  Entry.Region = Region;
+}
+
+void WardenProtocol::evictLine(CoreId Core, const EvictedLine &Victim) {
+  if (Victim.State != LineState::Ward) {
+    MesiProtocol::evictLine(Core, Victim);
+    return;
+  }
+  // Eager reconciliation of the evicted copy (Section 5.3: eviction before
+  // the region ends overlaps the reconciliation cost).
+  SocketId Home = homeOfExisting(Victim.Block);
+  SocketId CoreSocket = config().socketOf(Core);
+  auto It = dir().find(Victim.Block);
+  assert(It != dir().end() && "evicting a block the directory never saw");
+  DirEntry &Entry = It.value();
+  noteMsg(CoreSocket, Home);
+  assert(Entry.State == DirState::Ward && "Ward line without W entry");
+  if (Victim.Dirty.any()) {
+    if (ProtocolAuditor *Auditor = auditor())
+      Auditor->onWriteback(Core, Victim.Block, Victim.Dirty);
+    writebackToLlc(Victim.Block, Home);
+    noteData(CoreSocket, Home);
+    ++stats().Writebacks;
+    ++stats().ReconcileWritebacks;
+  }
+  Entry.Sharers.clear(Core);
+}
+
+Cycles WardenProtocol::regionAddCost() const {
+  // The "Add Region" instruction itself (Section 6.1: two new instructions
+  // with minimal impact). The baseline MESI binary does not execute it.
+  return 2;
+}
+
+Cycles WardenProtocol::removeRegion(const WardRegion &Region, RegionId Id,
+                                    CoreId Remover) {
+  Observability *Obs = observability();
+  if (Obs && Obs->Trace)
+    Obs->Trace->instant("reconcile", Remover, Obs->Now);
+  Cycles Cost = 2; // The "Remove Region" instruction.
+  for (Addr Block = Region.Start; Block < Region.End;
+       Block += config().BlockSize) {
+    auto It = dir().find(Block);
+    if (It == dir().end() || It.value().State != DirState::Ward)
+      continue;
+    Cost += reconcileBlock(Block, It.value());
+  }
+  if (ProtocolAuditor *Auditor = auditor())
+    Auditor->onRegionRemoved(Id, Region.Start, Region.End);
+  return Cost;
+}
+
+void WardenProtocol::forceReconcile(Addr Block) {
+  // Adversarial mid-region reconciliation of the just-touched block. The
+  // WARD property licenses reconciliation at any point; the next touch
+  // simply re-enters the W state.
+  auto It = dir().find(Block);
+  if (It == dir().end() || It.value().State != DirState::Ward)
+    return;
+  ++stats().ForcedReconciles;
+  Observability *Obs = observability();
+  if (Obs && Obs->Trace)
+    Obs->Trace->instant("fault: forced reconcile", Obs->Trace->directoryTid(),
+                        Obs->Now);
+  reconcileBlock(Block, It.value());
+}
+
+Cycles WardenProtocol::reconcileBlock(Addr Block, DirEntry &Entry) {
+  SocketId Home = homeOfExisting(Block);
+  ++stats().ReconciledBlocks;
+  unsigned Holders = Entry.Sharers.count();
+  if (SharingProfiler *Prof = profiler())
+    Prof->onReconcile(Block, Holders);
+
+  if (Holders == 0) {
+    // All copies were already evicted (and eagerly reconciled).
+    Entry = DirEntry();
+    if (ProtocolAuditor *Auditor = auditor())
+      Auditor->onReconcileComplete(Block);
+    return 0;
+  }
+
+  if (Holders == 1) {
+    ++stats().SingleHolderReconciles;
+    CoreId Holder = Entry.Sharers.first();
+    CacheLine *Line = priv(Holder).line(Block);
+    assert(Line && "tracked holder without a resident line");
+    bool WasDirty = Line->Dirty.any();
+    if (ProtocolAuditor *Auditor = auditor())
+      Auditor->onWriteback(Holder, Block, Line->Dirty);
+    if (config().Features.ProactiveForkFlush) {
+      // Write dirty sectors back and downgrade the copy in place: the next
+      // reader (often a freshly forked task on another core) hits the
+      // shared cache instead of downgrading this private cache.
+      if (WasDirty) {
+        writebackToLlc(Block, Home);
+        noteData(config().socketOf(Holder), Home);
+        ++stats().ReconcileWritebacks;
+      }
+      priv(Holder).setState(Block, LineState::Shared);
+      Entry.State = DirState::Shared;
+      Entry.Owner = InvalidCore;
+      Entry.Region = InvalidRegion;
+    } else {
+      // Paper Section 5.2's "no sharing" conversion: keep the private copy
+      // and just restore a MESI state.
+      priv(Holder).setState(Block, WasDirty ? LineState::Modified
+                                            : LineState::Exclusive);
+      Entry.State = WasDirty ? DirState::Modified : DirState::Exclusive;
+      Entry.Owner = Holder;
+      Entry.Sharers.clearAll();
+      Entry.Region = InvalidRegion;
+    }
+    // A single-holder reconcile is an ordinary background write-back: the
+    // directory repoints the state and the data drains off the critical
+    // path, so no synchronous cost is charged (Section 6.1 measures the
+    // reconciliation delay as trivial).
+    if (ProtocolAuditor *Auditor = auditor())
+      Auditor->onReconcileComplete(Block);
+    return 0;
+  }
+
+  // Multiple holders: merge dirty sectors in directory arrival order (core
+  // id order here; the WARD property licenses any order) and flush all
+  // copies.
+  SectorMask Merged;
+  bool TrueSharing = false;
+  Entry.Sharers.forEach([&](CoreId Holder) {
+    CacheLine *Line = priv(Holder).line(Block);
+    assert(Line && "tracked holder without a resident line");
+    if (ProtocolAuditor *Auditor = auditor())
+      Auditor->onWriteback(Holder, Block, Line->Dirty);
+    if (Line->Dirty.any()) {
+      if (Merged.overlaps(Line->Dirty))
+        TrueSharing = true;
+      Merged.merge(Line->Dirty);
+      writebackToLlc(Block, Home);
+      noteData(config().socketOf(Holder), Home);
+      ++stats().ReconcileWritebacks;
+    }
+    priv(Holder).invalidate(Block);
+    noteMsg(Home, config().socketOf(Holder));
+    if (ProtocolAuditor *Auditor = auditor())
+      Auditor->onInvalidate(Holder, Block);
+  });
+  if (TrueSharing)
+    ++stats().TrueSharingReconciles;
+  else
+    ++stats().FalseSharingReconciles;
+  Entry = DirEntry();
+  if (ProtocolAuditor *Auditor = auditor())
+    Auditor->onReconcileComplete(Block);
+  return config().Features.ReconcileCostPerBlock;
+}

@@ -1,0 +1,49 @@
+//===- coherence/WardenProtocol.h - MESI + WARD backend -------*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's protocol as a backend: directory MESI (inherited from
+/// MesiProtocol for every block outside an active WARD region) augmented
+/// with the WARD state of Section 5. Requests inside active regions are
+/// served from the LLC/DRAM without invalidating or downgrading any other
+/// copy; region removal reconciles (Section 5.2/5.3); evicted WARD lines
+/// reconcile eagerly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_COHERENCE_WARDENPROTOCOL_H
+#define WARDEN_COHERENCE_WARDENPROTOCOL_H
+
+#include "src/coherence/MesiProtocol.h"
+
+namespace warden {
+
+/// MESI plus the WARD state and region reconciliation.
+class WardenProtocol : public MesiProtocol {
+public:
+  explicit WardenProtocol(CoherenceController &Controller)
+      : MesiProtocol(ProtocolKind::Warden, Controller) {}
+
+  Cycles serveMiss(CoreId Core, Addr Block, AccessType Type) override;
+  void evictLine(CoreId Core, const EvictedLine &Victim) override;
+  Cycles regionAddCost() const override;
+  Cycles removeRegion(const WardRegion &Region, RegionId Id,
+                      CoreId Remover) override;
+  void forceReconcile(Addr Block) override;
+
+private:
+  /// Serves a request for a block inside an active WARD region.
+  Cycles wardMiss(CoreId Core, Addr Block, AccessType Type, DirEntry &Entry,
+                  RegionId Region);
+  /// Converts a block's existing MESI copies to Ward on region entry.
+  void enterWardState(Addr Block, DirEntry &Entry, RegionId Region);
+  /// Reconciles one W block; returns the cost charged to the remover.
+  Cycles reconcileBlock(Addr Block, DirEntry &Entry);
+};
+
+} // namespace warden
+
+#endif // WARDEN_COHERENCE_WARDENPROTOCOL_H

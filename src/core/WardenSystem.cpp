@@ -188,6 +188,65 @@ RunResult WardenSystem::simulateMedian(const TaskGraph &Graph,
   return Median;
 }
 
+const RunResult &ComparisonResult::run(ProtocolKind Kind) const {
+  if (const RunResult *R = find(Kind))
+    return *R;
+  throw std::out_of_range(std::string("comparison has no run for protocol ") +
+                          protocolId(Kind));
+}
+
+ComparisonResult
+WardenSystem::compareProtocols(const TaskGraph &Graph, MachineConfig Config,
+                               const std::vector<ProtocolKind> &Protocols,
+                               const RunOptions &Options) {
+  // Collapse duplicates but keep the caller's order: a repeated
+  // --protocol=mesi,mesi would otherwise run twice and confuse run().
+  std::vector<ProtocolKind> Kinds;
+  for (ProtocolKind Kind : Protocols)
+    if (std::find(Kinds.begin(), Kinds.end(), Kind) == Kinds.end())
+      Kinds.push_back(Kind);
+  if (Kinds.empty())
+    throw std::invalid_argument("compareProtocols: no protocols requested");
+
+  ComparisonResult Comparison;
+  Comparison.Baseline =
+      std::find(Kinds.begin(), Kinds.end(), ProtocolKind::Mesi) != Kinds.end()
+          ? ProtocolKind::Mesi
+          : Kinds.front();
+  Comparison.Runs.resize(Kinds.size());
+
+  // Each protocol run owns its config copy and result slot, indexed by
+  // position, so pooled and serial execution fill Runs identically.
+  std::vector<MachineConfig> Configs(Kinds.size(), Config);
+  for (std::size_t I = 0; I < Kinds.size(); ++I)
+    Configs[I].Protocol = Kinds[I];
+  auto RunOne = [&Graph, &Options, &Configs, &Comparison](std::size_t I) {
+    Comparison.Runs[I] = simulateMedian(Graph, Configs[I], Options);
+  };
+  if (Options.Pool && !Options.Obs && Kinds.size() > 1) {
+    // The protocol runs share nothing but the immutable graph, so fan them
+    // out. With an observability bundle attached they must stay serial
+    // (and ordered) instead: every median's first repeat would otherwise
+    // race on the one bundle.
+    std::vector<std::function<void()>> Tasks;
+    Tasks.reserve(Kinds.size());
+    for (std::size_t I = 0; I < Kinds.size(); ++I)
+      Tasks.push_back([&RunOne, I] { RunOne(I); });
+    Options.Pool->runAll(std::move(Tasks));
+  } else {
+    for (std::size_t I = 0; I < Kinds.size(); ++I)
+      RunOne(I);
+  }
+  return Comparison;
+}
+
+// The deprecated two-protocol shims. Defined without referencing each
+// other so neither trips its own deprecation warning.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 ProtocolComparison WardenSystem::compare(const TaskGraph &Graph,
                                          MachineConfig Config,
                                          unsigned Repeats) {
@@ -199,29 +258,14 @@ ProtocolComparison WardenSystem::compare(const TaskGraph &Graph,
 ProtocolComparison WardenSystem::compare(const TaskGraph &Graph,
                                          MachineConfig Config,
                                          const RunOptions &Options) {
+  ComparisonResult Result = compareProtocols(
+      Graph, Config, {ProtocolKind::Mesi, ProtocolKind::Warden}, Options);
   ProtocolComparison Comparison;
-  if (Options.Pool && !Options.Obs) {
-    // The two protocol runs share nothing but the immutable graph, so fan
-    // them out. With an observability bundle attached they must stay
-    // serial (and ordered) instead: both medians' first repeats would
-    // otherwise race on the one bundle.
-    MachineConfig MesiConfig = Config;
-    MesiConfig.Protocol = ProtocolKind::Mesi;
-    MachineConfig WardenConfig = Config;
-    WardenConfig.Protocol = ProtocolKind::Warden;
-    std::vector<std::function<void()>> Tasks;
-    Tasks.push_back([&Comparison, &Graph, &MesiConfig, &Options] {
-      Comparison.Mesi = simulateMedian(Graph, MesiConfig, Options);
-    });
-    Tasks.push_back([&Comparison, &Graph, &WardenConfig, &Options] {
-      Comparison.Warden = simulateMedian(Graph, WardenConfig, Options);
-    });
-    Options.Pool->runAll(std::move(Tasks));
-    return Comparison;
-  }
-  Config.Protocol = ProtocolKind::Mesi;
-  Comparison.Mesi = simulateMedian(Graph, Config, Options);
-  Config.Protocol = ProtocolKind::Warden;
-  Comparison.Warden = simulateMedian(Graph, Config, Options);
+  Comparison.Mesi = Result.run(ProtocolKind::Mesi);
+  Comparison.Warden = Result.run(ProtocolKind::Warden);
   return Comparison;
 }
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif

@@ -7,8 +7,10 @@
 /// \file
 /// The top-level public API: record a program once (phase 1), simulate the
 /// recorded TaskGraph under a machine configuration and protocol (phase 2),
-/// and compare MESI against WARDen on identical traces — which is exactly
-/// the paper's experimental method (same binary, two protocols).
+/// and compare any set of registered protocols on identical traces — the
+/// paper's experimental method (same binary, N protocols) generalized from
+/// the original MESI-vs-WARDen pair to every backend in the protocol
+/// registry (see coherence/Protocol.h).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -110,11 +112,96 @@ struct RunResult {
   }
 };
 
+/// N-protocol comparison on identical recorded traces. Runs are kept in
+/// request order; every relative metric divides by the named baseline
+/// (MESI whenever it was requested, otherwise the first requested
+/// protocol), so "speedup of WARDen" reads exactly as in the paper's
+/// figures and extends unchanged to SISD or any registered backend.
+struct ComparisonResult {
+  /// The protocol all relative metrics are computed against.
+  ProtocolKind Baseline = ProtocolKind::Mesi;
+  /// One median result per requested protocol, in request order.
+  std::vector<RunResult> Runs;
+
+  /// The run for \p Kind, or nullptr if it was not part of the comparison.
+  const RunResult *find(ProtocolKind Kind) const {
+    for (const RunResult &R : Runs)
+      if (R.Protocol == Kind)
+        return &R;
+    return nullptr;
+  }
+  bool has(ProtocolKind Kind) const { return find(Kind) != nullptr; }
+  /// The run for \p Kind; throws std::out_of_range if absent.
+  const RunResult &run(ProtocolKind Kind) const;
+  const RunResult &baseline() const { return run(Baseline); }
+
+  /// Baseline makespan over \p Kind's makespan (>1 = \p Kind faster).
+  double speedup(ProtocolKind Kind) const {
+    const RunResult &R = run(Kind);
+    return R.Makespan == 0 ? 0.0
+                           : static_cast<double>(baseline().Makespan) /
+                                 static_cast<double>(R.Makespan);
+  }
+
+  /// \p Kind's total processor energy over the baseline's (<1 = cheaper).
+  double energyRatio(ProtocolKind Kind) const {
+    double Base = baseline().Energy.totalProcessorNJ();
+    return Base == 0 ? 0.0 : run(Kind).Energy.totalProcessorNJ() / Base;
+  }
+
+  /// Fractional savings (positive = \p Kind cheaper than the baseline).
+  double totalEnergySavings(ProtocolKind Kind) const {
+    double Base = baseline().Energy.totalProcessorNJ();
+    return Base == 0 ? 0.0
+                     : 1.0 - run(Kind).Energy.totalProcessorNJ() / Base;
+  }
+
+  double interconnectEnergySavings(ProtocolKind Kind) const {
+    double Base = baseline().Energy.interconnectNJ();
+    return Base == 0 ? 0.0
+                     : 1.0 - run(Kind).Energy.interconnectNJ() / Base;
+  }
+
+  /// Figure 9's metric: invalidations + downgrades avoided per thousand
+  /// executed (baseline) instructions.
+  double invDownReducedPerKiloInstr(ProtocolKind Kind) const {
+    const RunResult &Base = baseline();
+    double Reduced = static_cast<double>(Base.Coherence.invPlusDown()) -
+                     static_cast<double>(run(Kind).Coherence.invPlusDown());
+    std::uint64_t Instr = Base.Instructions;
+    return Instr == 0 ? 0.0 : 1000.0 * Reduced / static_cast<double>(Instr);
+  }
+
+  /// Figure 10's split: share of the reduction owed to downgrades.
+  double downgradeShareOfReduction(ProtocolKind Kind) const {
+    const RunResult &Base = baseline();
+    const RunResult &R = run(Kind);
+    double Down = static_cast<double>(Base.Coherence.Downgrades) -
+                  static_cast<double>(R.Coherence.Downgrades);
+    double Inv = static_cast<double>(Base.Coherence.Invalidations) -
+                 static_cast<double>(R.Coherence.Invalidations);
+    double Sum = Down + Inv;
+    return Sum == 0 ? 0.0 : Down / Sum;
+  }
+
+  /// Figure 11's metric: percent IPC improvement over the baseline.
+  double ipcImprovementPct(ProtocolKind Kind) const {
+    double Base = baseline().ipc();
+    return Base == 0 ? 0.0 : 100.0 * (run(Kind).ipc() / Base - 1.0);
+  }
+};
+
 /// MESI-vs-WARDen comparison on identical recorded traces.
+///
+/// Transitional shim around ComparisonResult, kept for exactly one release
+/// so out-of-tree callers can migrate: every accessor forwards to the
+/// two-protocol special case. New code should call
+/// WardenSystem::compareProtocols() and read the ComparisonResult.
 struct ProtocolComparison {
   RunResult Mesi;
   RunResult Warden;
 
+  [[deprecated("use ComparisonResult::speedup(ProtocolKind::Warden)")]]
   double speedup() const {
     return Warden.Makespan == 0
                ? 0.0
@@ -123,12 +210,14 @@ struct ProtocolComparison {
   }
 
   /// Fractional savings (positive = WARDen cheaper).
+  [[deprecated("use ComparisonResult::totalEnergySavings")]]
   double totalEnergySavings() const {
     double Base = Mesi.Energy.totalProcessorNJ();
     return Base == 0 ? 0.0
                      : 1.0 - Warden.Energy.totalProcessorNJ() / Base;
   }
 
+  [[deprecated("use ComparisonResult::interconnectEnergySavings")]]
   double interconnectEnergySavings() const {
     double Base = Mesi.Energy.interconnectNJ();
     return Base == 0 ? 0.0 : 1.0 - Warden.Energy.interconnectNJ() / Base;
@@ -136,6 +225,7 @@ struct ProtocolComparison {
 
   /// Figure 9's metric: invalidations + downgrades avoided per thousand
   /// executed instructions.
+  [[deprecated("use ComparisonResult::invDownReducedPerKiloInstr")]]
   double invDownReducedPerKiloInstr() const {
     double Reduced = static_cast<double>(Mesi.Coherence.invPlusDown()) -
                      static_cast<double>(Warden.Coherence.invPlusDown());
@@ -144,6 +234,7 @@ struct ProtocolComparison {
   }
 
   /// Figure 10's split: share of the reduction owed to downgrades.
+  [[deprecated("use ComparisonResult::downgradeShareOfReduction")]]
   double downgradeShareOfReduction() const {
     double Down = static_cast<double>(Mesi.Coherence.Downgrades) -
                   static_cast<double>(Warden.Coherence.Downgrades);
@@ -154,6 +245,7 @@ struct ProtocolComparison {
   }
 
   /// Figure 11's metric: percent IPC improvement under WARDen.
+  [[deprecated("use ComparisonResult::ipcImprovementPct")]]
   double ipcImprovementPct() const {
     double Base = Mesi.ipc();
     return Base == 0 ? 0.0 : 100.0 * (Warden.ipc() / Base - 1.0);
@@ -193,13 +285,30 @@ public:
                                   const MachineConfig &Config,
                                   const RunOptions &Options);
 
-  /// Runs both protocols on the same graph and machine (median of
-  /// \p Repeats seeds each).
+  /// Runs every protocol in \p Protocols (request order preserved) on the
+  /// same graph and machine — the median of Options.Repeats seeds each —
+  /// and returns the protocol-keyed comparison. The baseline is MESI when
+  /// requested, otherwise the first protocol. Duplicate kinds are
+  /// collapsed to the first occurrence; an empty list raises
+  /// std::invalid_argument. With RunOptions::Pool set (and no shared
+  /// observability bundle) the per-protocol medians fan out concurrently;
+  /// results are byte-identical to the serial order either way.
+  static ComparisonResult
+  compareProtocols(const TaskGraph &Graph, MachineConfig Config,
+                   const std::vector<ProtocolKind> &Protocols,
+                   const RunOptions &Options = RunOptions());
+
+  /// Runs both classic protocols (MESI, WARDen) on the same graph and
+  /// machine (median of \p Repeats seeds each).
+  /// Transitional shim over compareProtocols(); migrate to it.
+  [[deprecated("use compareProtocols({Mesi, Warden})")]]
   static ProtocolComparison compare(const TaskGraph &Graph,
                                     MachineConfig Config,
                                     unsigned Repeats = 3);
 
   /// Protocol comparison under \p Options (applied to both protocols).
+  /// Transitional shim over compareProtocols(); migrate to it.
+  [[deprecated("use compareProtocols({Mesi, Warden})")]]
   static ProtocolComparison compare(const TaskGraph &Graph,
                                     MachineConfig Config,
                                     const RunOptions &Options);

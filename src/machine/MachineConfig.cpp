@@ -14,16 +14,6 @@
 
 using namespace warden;
 
-const char *warden::protocolName(ProtocolKind Protocol) {
-  switch (Protocol) {
-  case ProtocolKind::Mesi:
-    return "MESI";
-  case ProtocolKind::Warden:
-    return "WARDen";
-  }
-  return "unknown";
-}
-
 MachineConfig MachineConfig::singleSocket() {
   MachineConfig Config;
   Config.NumSockets = 1;

@@ -16,21 +16,13 @@
 #ifndef WARDEN_MACHINE_MACHINECONFIG_H
 #define WARDEN_MACHINE_MACHINECONFIG_H
 
+#include "src/coherence/Protocol.h"
 #include "src/support/Types.h"
 
 #include <string>
 #include <vector>
 
 namespace warden {
-
-/// Which coherence protocol the directory runs.
-enum class ProtocolKind {
-  Mesi,  ///< Baseline directory MESI (Nagarajan et al. vocabulary).
-  Warden ///< MESI augmented with the WARD state and region table.
-};
-
-/// Returns a printable name for \p Protocol.
-const char *protocolName(ProtocolKind Protocol);
 
 /// Feature toggles for the WARDen protocol, used by the ablation benches
 /// (Section 5.3 design choices).

@@ -173,8 +173,19 @@ void Replayer::completeStrand(CoreId Id, Core &C) {
     if (Cpi)
       Cpi->add(Id, CpiCat::Compute, Config.JoinOverhead);
     assert(JoinPending[S.JoinTarget] > 0 && "join counter underflow");
-    if (--JoinPending[S.JoinTarget] == 0)
+    if (--JoinPending[S.JoinTarget] == 0) {
       Next = S.JoinTarget; // The last finisher runs the continuation.
+      // The continuation consumes every joined strand's data: an acquire.
+      // Eager protocols return 0 having done nothing, so the guarded body
+      // is never entered and the replay is cycle-identical to one without
+      // the hook.
+      if (Cycles Cost = Controller.syncAcquire(Id)) {
+        C.Now += Cost;
+        Stats.SyncCycles += Cost;
+        if (Cpi)
+          Cpi->add(Id, CpiCat::Reconcile, Cost);
+      }
+    }
   }
 
   if (Next == InvalidStrand && !C.Deque.empty()) {
@@ -188,6 +199,16 @@ void Replayer::completeStrand(CoreId Id, Core &C) {
       Cpi->commitBuffered(Id);
       Cpi->add(Id, CpiCat::Compute, 1);
     }
+  }
+
+  // Completing a strand publishes its writes: a release. Lazy protocols
+  // push their dirty lines here; eager ones return 0 without touching
+  // state (same cycle-identity argument as the acquire above).
+  if (Cycles Cost = Controller.syncRelease(Id)) {
+    C.Now += Cost;
+    Stats.SyncCycles += Cost;
+    if (Cpi)
+      Cpi->add(Id, CpiCat::Reconcile, Cost);
   }
 
   LastCompletion = std::max(LastCompletion, C.Now);
@@ -211,6 +232,12 @@ void Replayer::tryObtainWork(CoreId Id, Core &C) {
     C.Now += Config.StealOverhead;
     ++Stats.FailedSteals;
     return;
+  }
+  // A thief is about to consume another core's data: an acquire. Under
+  // SISD this is where the stale copies die; eager protocols return 0.
+  if (Cycles Cost = Controller.syncAcquire(Id)) {
+    C.Now += Cost;
+    Stats.SyncCycles += Cost;
   }
   // Probe the victim's deque line: a real coherent load that ping-pongs
   // against the victim's pushes and pops. Idle cores generate this

@@ -42,6 +42,9 @@ struct SchedulerStats {
   std::uint64_t StealProbes = 0; ///< Deque probe loads issued by thieves.
   Cycles StoreStallCycles = 0;
   Cycles RegionInstrCycles = 0; ///< Cycles spent in add/remove-region work.
+  /// Cycles spent in protocol synchronization hooks (SISD's self-
+  /// invalidation/self-downgrade work; always 0 for eager protocols).
+  Cycles SyncCycles = 0;
 };
 
 /// Outcome of one replay.

@@ -17,7 +17,8 @@ using namespace warden;
 ProtocolAuditor::ProtocolAuditor(const CoherenceController &Controller,
                                  AuditOptions Options)
     : Controller(Controller), Options(Options),
-      PrivCopy(Controller.config().totalCores()) {
+      PrivCopy(Controller.config().totalCores()),
+      Sisd(Controller.config().Protocol == ProtocolKind::Sisd) {
   Report.Enabled = true;
 }
 
@@ -80,8 +81,11 @@ void ProtocolAuditor::onStore(CoreId Core, Addr Block, unsigned Offset,
   ShadowVersion Version = ++NextVersion;
   PrivCopy[Core].get(Block).write(Offset, Size, Version);
 
-  const DirEntry *Entry = entryOf(Block);
-  if (Entry && Entry->State == DirState::Ward) {
+  // Under SISD every store is deferred exactly like a ward store: nothing
+  // orders it globally until a release publishes it, so Latest must not
+  // advance. The same WardWriteRecord gives the WAW overlap count.
+  const DirEntry *Entry = Sisd ? nullptr : entryOf(Block);
+  if (Sisd || (Entry && Entry->State == DirState::Ward)) {
     WardWriteRecord &Record = WardWritten[Block];
     bool Overlap = false;
     std::uint8_t Writer = static_cast<std::uint8_t>(Core + 1);
@@ -103,9 +107,17 @@ void ProtocolAuditor::onLoad(CoreId Core, Addr Block, unsigned Offset,
                              unsigned Size) {
   if (!Options.CheckValues)
     return;
-  const DirEntry *Entry = entryOf(Block);
-  if (Entry && Entry->State == DirState::Ward)
-    return; // Staleness is exactly what the W state licenses.
+  if (Sisd) {
+    // Loads of ever-written blocks are licensed to observe stale values
+    // between synchronizations (the protocol's whole point); never-written
+    // blocks still verify below, keeping the invariant armed.
+    if (WardWritten.count(Block))
+      return;
+  } else {
+    const DirEntry *Entry = entryOf(Block);
+    if (Entry && Entry->State == DirState::Ward)
+      return; // Staleness is exactly what the W state licenses.
+  }
   ++Report.LoadsVerified;
   const ShadowBlock *Copy = PrivCopy[Core].find(Block);
   const ShadowBlock *Want = Latest.find(Block);
@@ -186,11 +198,33 @@ void ProtocolAuditor::onRegionRemoved(RegionId Id, Addr Start, Addr End) {
   }
 }
 
+void ProtocolAuditor::onSyncAcquire(CoreId Core) {
+  std::size_t Resident = Controller.privateCache(Core).residentBlocks();
+  if (Resident != 0)
+    violation(strformat("sisd: core %u finished an acquire with %llu lines "
+                        "still resident",
+                        Core, static_cast<unsigned long long>(Resident)));
+}
+
+void ProtocolAuditor::onSyncRelease(CoreId Core) {
+  Controller.privateCache(Core).forEachValidLine([&](const CacheLine &Line) {
+    if (Line.State != LineState::Shared || Line.Dirty.any())
+      violation(strformat("sisd: core %u finished a release but 0x%llx is "
+                          "%s with %u dirty bytes",
+                          Core, static_cast<unsigned long long>(Line.Block),
+                          lineStateName(Line.State), Line.Dirty.count()));
+  });
+}
+
 //===----------------------------------------------------------------------===//
 // State invariants
 //===----------------------------------------------------------------------===//
 
 void ProtocolAuditor::checkBlock(Addr Block) {
+  if (Sisd) {
+    checkBlockSisd(Block);
+    return;
+  }
   ++Report.BlocksChecked;
   const MachineConfig &Config = Controller.config();
   const DirEntry *Entry = entryOf(Block);
@@ -320,7 +354,68 @@ void ProtocolAuditor::checkBlock(Addr Block) {
   }
 }
 
+void ProtocolAuditor::checkBlockSisd(Addr Block) {
+  ++Report.BlocksChecked;
+  const MachineConfig &Config = Controller.config();
+  auto B = static_cast<unsigned long long>(Block);
+
+  // A directory-less protocol must leave the directory storage untouched:
+  // an entry means some path still consulted the sharing vector.
+  if (entryOf(Block))
+    violation(strformat(
+        "sisd: directory entry materialized for 0x%llx", B));
+
+  for (CoreId Core = 0; Core < Config.totalCores(); ++Core) {
+    const CacheLine *Line = Controller.privateLine(Core, Block);
+    if (!Line)
+      continue;
+    switch (Line->State) {
+    case LineState::Shared:
+      if (Line->Dirty.any())
+        violation(strformat("sisd: read copy of 0x%llx at core %u carries "
+                            "%u unpublished dirty bytes",
+                            B, Core, Line->Dirty.count()));
+      break;
+    case LineState::Ward:
+      break; // Write-marked copy awaiting its release.
+    case LineState::Exclusive:
+    case LineState::Modified:
+      violation(strformat(
+          "sisd: core %u holds a directory-granted %s copy of 0x%llx",
+          Core, lineStateName(Line->State), B));
+      break;
+    case LineState::Invalid:
+      violation(strformat(
+          "sisd: probe returned an invalid line for 0x%llx at core %u",
+          B, Core));
+      break;
+    }
+  }
+}
+
 void ProtocolAuditor::checkAll(const char *When) {
+  if (Sisd) {
+    ++Report.ChecksRun;
+    // Sweep every block any structure knows about, in address order (the
+    // bounded message list must not depend on hash layout): directory
+    // entries (each one is itself a violation) plus all resident lines.
+    std::vector<Addr> Blocks;
+    Blocks.reserve(Controller.directory().size());
+    for (const auto &[Block, Entry] : Controller.directory()) {
+      (void)Entry;
+      Blocks.push_back(Block);
+    }
+    const MachineConfig &Config = Controller.config();
+    for (CoreId Core = 0; Core < Config.totalCores(); ++Core)
+      Controller.privateCache(Core).forEachValidLine(
+          [&](const CacheLine &Line) { Blocks.push_back(Line.Block); });
+    std::sort(Blocks.begin(), Blocks.end());
+    Blocks.erase(std::unique(Blocks.begin(), Blocks.end()), Blocks.end());
+    for (Addr Block : Blocks)
+      checkBlockSisd(Block);
+    (void)When;
+    return;
+  }
   ++Report.ChecksRun;
   // Sweep in address order, not table order: the first violations win the
   // bounded message list, so the report must not depend on hash layout.

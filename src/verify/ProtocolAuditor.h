@@ -25,6 +25,16 @@
 ///     removal leaves no W residue, and only W-state copies carry
 ///     unreconciled dirty sectors.
 ///
+/// Under the SISD backend the auditor switches to the matching discipline
+/// (the protocol has no directory, so invariants 1/2/4 are vacuous as
+/// stated): the directory must stay untouched, private lines must be
+/// read-clean (Shared) or write-marked (Ward), a core entering an acquire
+/// must have invalidated everything, and a core leaving a release must
+/// hold only clean read copies. The value invariant still verifies loads
+/// of never-written blocks; loads of self-invalidation-managed (written)
+/// blocks are licensed to be stale between synchronizations, exactly as W
+/// blocks are under WARDen.
+///
 /// Violations are recorded (bounded message list + count), never asserted:
 /// the auditor's job is to *detect* corruption, the caller decides whether
 /// to abort, shrink, or report.
@@ -106,6 +116,12 @@ public:
   void onOperationComplete(Addr Block);
   /// Region \p Id over [Start, End) was removed; verifies no W residue.
   void onRegionRemoved(RegionId Id, Addr Start, Addr End);
+  /// \p Core finished a synchronization acquire (SISD: verifies the
+  /// self-invalidation left nothing resident).
+  void onSyncAcquire(CoreId Core);
+  /// \p Core finished a synchronization release (SISD: verifies the
+  /// self-downgrade left only clean read copies).
+  void onSyncRelease(CoreId Core);
 
   // --- Checks -------------------------------------------------------------
   /// Checks invariants 1/2/4 for one block.
@@ -119,10 +135,16 @@ public:
 private:
   const DirEntry *entryOf(Addr Block) const;
   void violation(std::string Message);
+  /// SISD counterpart of checkBlock (empty directory, S-clean-or-W lines).
+  void checkBlockSisd(Addr Block);
 
   const CoherenceController &Controller;
   AuditOptions Options;
   AuditReport Report;
+  /// True when the audited controller runs the SISD backend; selects the
+  /// SISD invariant discipline throughout. Latched at construction so the
+  /// MESI/WARDen paths are bit-for-bit those of the pre-SISD auditor.
+  bool Sisd = false;
 
   // --- Shadow value state --------------------------------------------------
   ShadowVersion NextVersion = 0;

@@ -25,14 +25,15 @@ TEST_P(PbbsKernel, SpeedupAtLeastNeutralOnDualSocket) {
   const Benchmark &B = GetParam();
   Recorded R = B.Record(B.TestScale, RtOptions());
   ASSERT_TRUE(R.Verified);
-  ProtocolComparison Cmp =
-      WardenSystem::compare(R.Graph, MachineConfig::dualSocket());
+  ComparisonResult Cmp = WardenSystem::compareProtocols(
+      R.Graph, MachineConfig::dualSocket(),
+      {ProtocolKind::Mesi, ProtocolKind::Warden});
   // WARDen should never lose badly. Test-scale inputs are tiny, so fixed
   // region-instruction overheads and scheduling noise can cost a few
   // percent; the DefaultScale harness results are the real check.
-  EXPECT_GT(Cmp.speedup(), 0.75) << B.Name;
-  EXPECT_LE(Cmp.Warden.Coherence.invPlusDown(),
-            Cmp.Mesi.Coherence.invPlusDown() * 11 / 10 + 64)
+  EXPECT_GT(Cmp.speedup(ProtocolKind::Warden), 0.75) << B.Name;
+  EXPECT_LE(Cmp.run(ProtocolKind::Warden).Coherence.invPlusDown(),
+            Cmp.run(ProtocolKind::Mesi).Coherence.invPlusDown() * 11 / 10 + 64)
       << B.Name;
 }
 

@@ -269,9 +269,12 @@ TEST(SiteAttribution, DedupNamesAMesiOnlyInvalidationSite) {
   RunOptions Options;
   Options.Obs = &Obs;
   Options.Repeats = 1;
-  ProtocolComparison Cmp = WardenSystem::compare(R.Graph, Config, Options);
-  ASSERT_TRUE(Cmp.Mesi.Profile.Enabled);
-  ASSERT_TRUE(Cmp.Warden.Profile.Enabled);
+  ComparisonResult Cmp = WardenSystem::compareProtocols(
+      R.Graph, Config, {ProtocolKind::Mesi, ProtocolKind::Warden}, Options);
+  const RunResult &Mesi = Cmp.run(ProtocolKind::Mesi);
+  const RunResult &Warden = Cmp.run(ProtocolKind::Warden);
+  ASSERT_TRUE(Mesi.Profile.Enabled);
+  ASSERT_TRUE(Warden.Profile.Enabled);
 
   // The paper-style claim: some named benchmark data structure pays
   // invalidations under MESI and none under WARDen.
@@ -282,10 +285,10 @@ TEST(SiteAttribution, DedupNamesAMesiOnlyInvalidationSite) {
     return std::uint64_t(0);
   };
   bool Found = false;
-  for (const SiteProfile &S : Cmp.Mesi.Profile.Sites) {
+  for (const SiteProfile &S : Mesi.Profile.Sites) {
     if (S.SiteName.rfind("dedup", 0) != 0 || S.Invalidations == 0)
       continue;
-    if (InvOf(Cmp.Warden.Profile, S.SiteName) == 0)
+    if (InvOf(Warden.Profile, S.SiteName) == 0)
       Found = true;
   }
   EXPECT_TRUE(Found) << "no dedup-owned site with MESI invalidations > 0 "
@@ -293,7 +296,7 @@ TEST(SiteAttribution, DedupNamesAMesiOnlyInvalidationSite) {
 
   // The JSON section parses.
   JsonWriter W;
-  Cmp.Mesi.Profile.writeJson(W);
+  Mesi.Profile.writeJson(W);
   std::string Error;
   EXPECT_TRUE(jsonValidate(W.str(), &Error)) << Error;
   EXPECT_NE(W.str().find("\"schema\":\"warden-prof-v1\""), std::string::npos);

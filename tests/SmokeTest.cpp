@@ -18,10 +18,12 @@ TEST(Smoke, TabulateRunsUnderBothProtocols) {
         Rt, 1024, [](std::size_t I) { return static_cast<int>(I * I); }, 32);
     EXPECT_EQ(Out.peek(10), 100);
   });
-  ProtocolComparison Cmp =
-      WardenSystem::compare(Graph, MachineConfig::dualSocket());
-  EXPECT_GT(Cmp.Mesi.Makespan, 0u);
-  EXPECT_GT(Cmp.Warden.Makespan, 0u);
-  EXPECT_EQ(Cmp.Mesi.Coherence.Invalidations + 1,
-            Cmp.Mesi.Coherence.Invalidations + 1); // Placeholder sanity.
+  ComparisonResult Cmp = WardenSystem::compareProtocols(
+      Graph, MachineConfig::dualSocket(),
+      {ProtocolKind::Mesi, ProtocolKind::Warden});
+  EXPECT_GT(Cmp.run(ProtocolKind::Mesi).Makespan, 0u);
+  EXPECT_GT(Cmp.run(ProtocolKind::Warden).Makespan, 0u);
+  EXPECT_EQ(Cmp.Baseline, ProtocolKind::Mesi);
+  EXPECT_TRUE(Cmp.has(ProtocolKind::Warden));
+  EXPECT_FALSE(Cmp.has(ProtocolKind::Sisd));
 }

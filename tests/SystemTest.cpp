@@ -46,24 +46,28 @@ class SystemAcrossMachines : public ::testing::TestWithParam<MachineCase> {};
 
 TEST_P(SystemAcrossMachines, WardenNeverAddsCoherenceEvents) {
   TaskGraph Graph = recordWorkload();
-  ProtocolComparison Cmp = WardenSystem::compare(Graph, GetParam().Config);
+  ComparisonResult Cmp = WardenSystem::compareProtocols(
+      Graph, GetParam().Config, {ProtocolKind::Mesi, ProtocolKind::Warden});
+  const RunResult &Mesi = Cmp.run(ProtocolKind::Mesi);
+  const RunResult &Warden = Cmp.run(ProtocolKind::Warden);
   // Downgrades come from demand traffic and must strictly shrink; the
   // invalidation count also includes scheduler deque/steal-probe ping-pong
   // whose volume depends on timing, so it gets a small tolerance.
-  EXPECT_LE(Cmp.Warden.Coherence.Downgrades, Cmp.Mesi.Coherence.Downgrades);
-  EXPECT_LE(Cmp.Warden.Coherence.invPlusDown(),
-            Cmp.Mesi.Coherence.invPlusDown() * 11 / 10 + 64);
+  EXPECT_LE(Warden.Coherence.Downgrades, Mesi.Coherence.Downgrades);
+  EXPECT_LE(Warden.Coherence.invPlusDown(),
+            Mesi.Coherence.invPlusDown() * 11 / 10 + 64);
 }
 
 TEST_P(SystemAcrossMachines, BothProtocolsExecuteSameProgram) {
   TaskGraph Graph = recordWorkload();
-  ProtocolComparison Cmp = WardenSystem::compare(Graph, GetParam().Config);
+  ComparisonResult Cmp = WardenSystem::compareProtocols(
+      Graph, GetParam().Config, {ProtocolKind::Mesi, ProtocolKind::Warden});
   // Demand accesses are trace-driven and so protocol-independent up to
   // scheduler probes; loads+stores must match to within the probe noise.
-  std::uint64_t MesiDemand =
-      Cmp.Mesi.Coherence.Loads + Cmp.Mesi.Coherence.Stores;
-  std::uint64_t WardenDemand =
-      Cmp.Warden.Coherence.Loads + Cmp.Warden.Coherence.Stores;
+  const CoherenceStats &MesiStats = Cmp.run(ProtocolKind::Mesi).Coherence;
+  const CoherenceStats &WardenStats = Cmp.run(ProtocolKind::Warden).Coherence;
+  std::uint64_t MesiDemand = MesiStats.Loads + MesiStats.Stores;
+  std::uint64_t WardenDemand = WardenStats.Loads + WardenStats.Stores;
   double Ratio =
       static_cast<double>(WardenDemand) / static_cast<double>(MesiDemand);
   EXPECT_GT(Ratio, 0.8);
@@ -144,13 +148,16 @@ TEST(Determinism, RecordingIsDeterministic) {
 TEST(PaperClaims, BenefitGrowsFromSingleToDualSocket) {
   pbbs::Recorded R = pbbs::recordPrimes(20000, RtOptions());
   ASSERT_TRUE(R.Verified);
-  ProtocolComparison Single =
-      WardenSystem::compare(R.Graph, MachineConfig::singleSocket());
-  ProtocolComparison Dual =
-      WardenSystem::compare(R.Graph, MachineConfig::dualSocket());
-  EXPECT_GT(Dual.speedup(), 1.0);
+  ComparisonResult Single = WardenSystem::compareProtocols(
+      R.Graph, MachineConfig::singleSocket(),
+      {ProtocolKind::Mesi, ProtocolKind::Warden});
+  ComparisonResult Dual = WardenSystem::compareProtocols(
+      R.Graph, MachineConfig::dualSocket(),
+      {ProtocolKind::Mesi, ProtocolKind::Warden});
+  EXPECT_GT(Dual.speedup(ProtocolKind::Warden), 1.0);
   // The dual-socket machine should benefit at least about as much.
-  EXPECT_GT(Dual.speedup(), Single.speedup() - 0.08);
+  EXPECT_GT(Dual.speedup(ProtocolKind::Warden),
+            Single.speedup(ProtocolKind::Warden) - 0.08);
 }
 
 TEST(PaperClaims, ReconciliationIsRareRelativeToExecution) {

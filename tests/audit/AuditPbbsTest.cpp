@@ -44,19 +44,23 @@ MachineConfig machineFor(ProtocolKind Protocol) {
 
 class AuditedKernel : public ::testing::TestWithParam<Benchmark> {};
 
-TEST_P(AuditedKernel, BothProtocolsRunViolationFree) {
+TEST_P(AuditedKernel, AllProtocolsRunViolationFree) {
   const Benchmark &B = GetParam();
   Recorded R = B.Record(B.TestScale, RtOptions());
   RunOptions Options;
   Options.Audit = true;
-  for (ProtocolKind Protocol : {ProtocolKind::Mesi, ProtocolKind::Warden}) {
+  // Every registered backend, including the directory-less SISD protocol
+  // (audited under its own invariant discipline: empty directory,
+  // read-clean-or-write-marked lines, clean sync boundaries).
+  for (ProtocolKind Protocol : allProtocolKinds()) {
     RunResult Result =
         WardenSystem::simulate(R.Graph, machineFor(Protocol), Options);
     EXPECT_TRUE(Result.Audit.Enabled);
     EXPECT_TRUE(Result.Audit.clean())
         << B.Name << " under " << protocolName(Protocol) << ": "
         << firstMessage(Result.Audit);
-    EXPECT_GT(Result.Audit.LoadsVerified, 0u) << B.Name;
+    EXPECT_GT(Result.Audit.LoadsVerified, 0u)
+        << B.Name << " under " << protocolName(Protocol);
   }
 }
 
