@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Verify that the model-checking explorer is deterministic across --jobs.
+
+Usage:
+    scripts/check_explorer_determinism.py WARDEN_VERIFY_BINARY
+
+Runs the full warden-verify suite (litmus + explore, all registered
+protocols) once with --jobs=1 and once with --jobs=4 and asserts the two
+JSON reports are BYTE-identical — no field stripping at all: the report
+deliberately carries no host, timing, or jobs information, and the
+explorer merges its per-root partitions in a fixed order, so parallelism
+must never be observable in the results.
+
+Registered as a ctest (explorer_determinism); also usable standalone.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit("usage: check_explorer_determinism.py WARDEN_VERIFY_BINARY")
+    binary = sys.argv[1]
+
+    reports = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for jobs in (1, 4):
+            out = os.path.join(tmp, f"jobs{jobs}.json")
+            subprocess.run(
+                [binary, f"--jobs={jobs}", f"--json={out}"],
+                check=True, stdout=subprocess.DEVNULL)
+            with open(out, "rb") as f:
+                reports[jobs] = f.read()
+
+    # The report must also be well-formed JSON and must say it passed.
+    doc = json.loads(reports[1])
+    if not doc.get("passed"):
+        sys.exit("FAIL: warden-verify reported verification failures")
+
+    if reports[1] != reports[4]:
+        a = reports[1].decode(errors="replace").splitlines()
+        b = reports[4].decode(errors="replace").splitlines()
+        for i, (la, lb) in enumerate(zip(a, b)):
+            if la != lb:
+                print(f"first difference at line {i + 1}:")
+                print(f"  --jobs=1: {la.strip()}")
+                print(f"  --jobs=4: {lb.strip()}")
+                break
+        sys.exit("FAIL: --jobs=4 report differs byte-for-byte from --jobs=1")
+
+    protocols = [p["protocol"] for p in doc.get("protocols", [])]
+    print(f"OK: explorer reports byte-identical at --jobs=1 and --jobs=4 "
+          f"(protocols: {', '.join(protocols)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,7 +46,21 @@ const std::vector<ProtocolKind> &warden::allProtocolKinds() {
   return Kinds;
 }
 
+const char *warden::consistencyModelName(ConsistencyModel Model) {
+  switch (Model) {
+  case ConsistencyModel::ScForDrf:
+    return "sc-for-drf";
+  case ConsistencyModel::ReleaseAcquire:
+    return "release-acquire";
+  }
+  return "?";
+}
+
 CoherenceProtocol::~CoherenceProtocol() = default;
+
+ConsistencyModel CoherenceProtocol::consistencyModel() const {
+  return ConsistencyModel::ScForDrf;
+}
 
 bool CoherenceProtocol::upgradeStoreHit(CoreId Core, Addr Block) {
   (void)Core;
@@ -123,6 +137,18 @@ ProtocolRegistry &registry() {
   return R;
 }
 
+/// "mesi, warden, sisd" — the registry listing quoted by every parse and
+/// lookup error, so the message always names exactly the valid ids.
+std::string joinRegisteredIds() {
+  std::string Out;
+  for (const std::string &Id : warden::registeredProtocolIds()) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += Id;
+  }
+  return Out;
+}
+
 } // namespace
 
 std::optional<ProtocolKind> warden::parseProtocolId(std::string_view Id) {
@@ -170,8 +196,47 @@ warden::makeProtocol(ProtocolKind Kind, CoherenceController &Controller) {
   if (!Factory)
     throw std::invalid_argument(
         std::string("no protocol backend registered for kind '") +
-        protocolName(Kind) + "'");
+        protocolName(Kind) + "' (registered ids: " + joinRegisteredIds() +
+        ")");
   return Factory(Controller);
+}
+
+std::optional<std::vector<ProtocolKind>>
+warden::parseProtocolList(std::string_view List, std::string &Error) {
+  if (List.empty()) {
+    Error = "empty protocol list (expected comma-separated ids: " +
+            joinRegisteredIds() + ")";
+    return std::nullopt;
+  }
+  std::vector<ProtocolKind> Kinds;
+  std::size_t Pos = 0;
+  while (Pos <= List.size()) {
+    std::size_t Comma = List.find(',', Pos);
+    if (Comma == std::string_view::npos)
+      Comma = List.size();
+    std::string_view Id = List.substr(Pos, Comma - Pos);
+    if (Id.empty()) {
+      Error = "empty protocol id in list '" + std::string(List) +
+              "' (leading, trailing, or doubled comma)";
+      return std::nullopt;
+    }
+    std::optional<ProtocolKind> Kind = parseProtocolId(Id);
+    if (!Kind) {
+      Error = "unknown protocol id '" + std::string(Id) +
+              "' (registered ids: " + joinRegisteredIds() + ")";
+      return std::nullopt;
+    }
+    if (std::find(Kinds.begin(), Kinds.end(), *Kind) != Kinds.end()) {
+      Error = "duplicate protocol id '" + std::string(Id) + "' in list '" +
+              std::string(List) + "'";
+      return std::nullopt;
+    }
+    Kinds.push_back(*Kind);
+    Pos = Comma + 1;
+    if (Comma == List.size())
+      break;
+  }
+  return Kinds;
 }
 
 std::vector<std::string> warden::registeredProtocolIds() {

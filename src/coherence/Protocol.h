@@ -86,6 +86,34 @@ std::optional<ProtocolKind> parseProtocolId(std::string_view Id);
 /// All built-in protocol kinds, in canonical (registration) order.
 const std::vector<ProtocolKind> &allProtocolKinds();
 
+/// Strictly parses a comma-separated protocol-id list (the verify CLI's
+/// --protocol= syntax). Unlike the lenient benchmark parser, every
+/// malformation is rejected with a descriptive message in \p Error: an
+/// empty list, an empty segment (leading/trailing/doubled comma), an
+/// unknown id (the message lists registeredProtocolIds()), or a duplicate
+/// id. Returns std::nullopt on rejection.
+std::optional<std::vector<ProtocolKind>>
+parseProtocolList(std::string_view List, std::string &Error);
+
+/// The memory-consistency contract a protocol backend declares to the
+/// verification layer (verify/Litmus checks each backend against its
+/// declared model; see DESIGN.md "Model checking & litmus").
+enum class ConsistencyModel {
+  /// Sequential consistency for data-race-free programs, enforced eagerly:
+  /// every load observes the globally last store (MESI, WARDen outside
+  /// WARD regions). At the simulator's operation granularity these
+  /// protocols execute sequentially consistently even for racy programs.
+  ScForDrf,
+  /// Release-acquire: writes become visible at release points and staleness
+  /// is shed at acquire points (SISD). Racy accesses between
+  /// synchronization operations may observe stale values.
+  ReleaseAcquire,
+};
+
+/// Returns the stable lowercase id for \p Model ("sc-for-drf",
+/// "release-acquire") used in reports and litmus assertions.
+const char *consistencyModelName(ConsistencyModel Model);
+
 /// Kind of demand access.
 enum class AccessType {
   Load,  ///< Blocking read.
@@ -106,6 +134,11 @@ public:
   CoherenceProtocol &operator=(const CoherenceProtocol &) = delete;
 
   ProtocolKind kind() const { return Kind; }
+
+  /// The consistency contract this backend declares — what the litmus
+  /// harness asserts against. Eager directory protocols default to
+  /// SC-for-DRF; lazy self-invalidation protocols override.
+  virtual ConsistencyModel consistencyModel() const;
 
   /// Serves a demand miss (or write-upgrade miss) by \p Core on \p Block.
   /// The controller has already charged the trip to the home slice and

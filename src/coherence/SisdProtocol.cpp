@@ -14,6 +14,10 @@
 
 using namespace warden;
 
+ConsistencyModel SisdProtocol::consistencyModel() const {
+  return ConsistencyModel::ReleaseAcquire;
+}
+
 Cycles SisdProtocol::serveMiss(CoreId Core, Addr Block, AccessType Type) {
   // No directory: every miss is served by the home LLC slice (or the DRAM
   // behind it). Other cores' copies are never consulted or disturbed —
@@ -85,7 +89,12 @@ Cycles SisdProtocol::syncRelease(CoreId Core) {
 Cycles SisdProtocol::syncAcquire(CoreId Core) {
   PrivateCache &Cache = priv(Core);
   Cycles Cost = 0;
-  if (Cache.residentBlocks() != 0) {
+  // Deliberate bug for verification regression tests: leave every resident
+  // (possibly stale) line in place across the acquire. onSyncAcquire still
+  // fires so the auditor — not an assert — reports the residue.
+  bool SkipInvalidation =
+      faults().Mutation == ProtocolMutation::SkipAcquireInvalidation;
+  if (!SkipInvalidation && Cache.residentBlocks() != 0) {
     // Self-invalidation of every possibly-stale line. Two passes: collect,
     // then invalidate — invalidating inside the walk would mutate the
     // arrays being walked.

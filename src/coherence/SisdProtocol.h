@@ -41,6 +41,10 @@ public:
   explicit SisdProtocol(CoherenceController &Controller)
       : CoherenceProtocol(ProtocolKind::Sisd, Controller) {}
 
+  /// Writes become visible at releases, staleness is shed at acquires —
+  /// the release-acquire contract the litmus harness checks.
+  ConsistencyModel consistencyModel() const override;
+
   Cycles serveMiss(CoreId Core, Addr Block, AccessType Type) override;
   bool upgradeStoreHit(CoreId Core, Addr Block) override;
   void evictLine(CoreId Core, const EvictedLine &Victim) override;

@@ -239,33 +239,3 @@ WardenSystem::compareProtocols(const TaskGraph &Graph, MachineConfig Config,
   }
   return Comparison;
 }
-
-// The deprecated two-protocol shims. Defined without referencing each
-// other so neither trips its own deprecation warning.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
-ProtocolComparison WardenSystem::compare(const TaskGraph &Graph,
-                                         MachineConfig Config,
-                                         unsigned Repeats) {
-  RunOptions Options;
-  Options.Repeats = Repeats;
-  return compare(Graph, Config, Options);
-}
-
-ProtocolComparison WardenSystem::compare(const TaskGraph &Graph,
-                                         MachineConfig Config,
-                                         const RunOptions &Options) {
-  ComparisonResult Result = compareProtocols(
-      Graph, Config, {ProtocolKind::Mesi, ProtocolKind::Warden}, Options);
-  ProtocolComparison Comparison;
-  Comparison.Mesi = Result.run(ProtocolKind::Mesi);
-  Comparison.Warden = Result.run(ProtocolKind::Warden);
-  return Comparison;
-}
-
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif

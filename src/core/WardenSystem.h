@@ -191,67 +191,6 @@ struct ComparisonResult {
   }
 };
 
-/// MESI-vs-WARDen comparison on identical recorded traces.
-///
-/// Transitional shim around ComparisonResult, kept for exactly one release
-/// so out-of-tree callers can migrate: every accessor forwards to the
-/// two-protocol special case. New code should call
-/// WardenSystem::compareProtocols() and read the ComparisonResult.
-struct ProtocolComparison {
-  RunResult Mesi;
-  RunResult Warden;
-
-  [[deprecated("use ComparisonResult::speedup(ProtocolKind::Warden)")]]
-  double speedup() const {
-    return Warden.Makespan == 0
-               ? 0.0
-               : static_cast<double>(Mesi.Makespan) /
-                     static_cast<double>(Warden.Makespan);
-  }
-
-  /// Fractional savings (positive = WARDen cheaper).
-  [[deprecated("use ComparisonResult::totalEnergySavings")]]
-  double totalEnergySavings() const {
-    double Base = Mesi.Energy.totalProcessorNJ();
-    return Base == 0 ? 0.0
-                     : 1.0 - Warden.Energy.totalProcessorNJ() / Base;
-  }
-
-  [[deprecated("use ComparisonResult::interconnectEnergySavings")]]
-  double interconnectEnergySavings() const {
-    double Base = Mesi.Energy.interconnectNJ();
-    return Base == 0 ? 0.0 : 1.0 - Warden.Energy.interconnectNJ() / Base;
-  }
-
-  /// Figure 9's metric: invalidations + downgrades avoided per thousand
-  /// executed instructions.
-  [[deprecated("use ComparisonResult::invDownReducedPerKiloInstr")]]
-  double invDownReducedPerKiloInstr() const {
-    double Reduced = static_cast<double>(Mesi.Coherence.invPlusDown()) -
-                     static_cast<double>(Warden.Coherence.invPlusDown());
-    std::uint64_t Instr = Mesi.Instructions;
-    return Instr == 0 ? 0.0 : 1000.0 * Reduced / static_cast<double>(Instr);
-  }
-
-  /// Figure 10's split: share of the reduction owed to downgrades.
-  [[deprecated("use ComparisonResult::downgradeShareOfReduction")]]
-  double downgradeShareOfReduction() const {
-    double Down = static_cast<double>(Mesi.Coherence.Downgrades) -
-                  static_cast<double>(Warden.Coherence.Downgrades);
-    double Inv = static_cast<double>(Mesi.Coherence.Invalidations) -
-                 static_cast<double>(Warden.Coherence.Invalidations);
-    double Sum = Down + Inv;
-    return Sum == 0 ? 0.0 : Down / Sum;
-  }
-
-  /// Figure 11's metric: percent IPC improvement under WARDen.
-  [[deprecated("use ComparisonResult::ipcImprovementPct")]]
-  double ipcImprovementPct() const {
-    double Base = Mesi.ipc();
-    return Base == 0 ? 0.0 : 100.0 * (Warden.ipc() / Base - 1.0);
-  }
-};
-
 /// Top-level driver.
 class WardenSystem {
 public:
@@ -297,21 +236,6 @@ public:
   compareProtocols(const TaskGraph &Graph, MachineConfig Config,
                    const std::vector<ProtocolKind> &Protocols,
                    const RunOptions &Options = RunOptions());
-
-  /// Runs both classic protocols (MESI, WARDen) on the same graph and
-  /// machine (median of \p Repeats seeds each).
-  /// Transitional shim over compareProtocols(); migrate to it.
-  [[deprecated("use compareProtocols({Mesi, Warden})")]]
-  static ProtocolComparison compare(const TaskGraph &Graph,
-                                    MachineConfig Config,
-                                    unsigned Repeats = 3);
-
-  /// Protocol comparison under \p Options (applied to both protocols).
-  /// Transitional shim over compareProtocols(); migrate to it.
-  [[deprecated("use compareProtocols({Mesi, Warden})")]]
-  static ProtocolComparison compare(const TaskGraph &Graph,
-                                    MachineConfig Config,
-                                    const RunOptions &Options);
 };
 
 } // namespace warden

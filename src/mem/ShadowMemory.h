@@ -67,6 +67,14 @@ public:
     return It == Blocks.end() ? nullptr : &It->second;
   }
 
+  /// Calls \p Fn(block address, image) for every materialised block, in
+  /// unspecified (hash) order — callers needing a canonical order must
+  /// sort the addresses themselves.
+  template <typename FnT> void forEach(FnT Fn) const {
+    for (const auto &[Block, Image] : Blocks)
+      Fn(Block, Image);
+  }
+
   bool contains(Addr Block) const { return Blocks.count(Block) != 0; }
   void erase(Addr Block) { Blocks.erase(Block); }
   void clear() { Blocks.clear(); }

@@ -1,0 +1,673 @@
+//===- verify/Explorer.cpp - Exhaustive interleaving explorer -------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/verify/Explorer.h"
+
+#include "src/coherence/CoherenceController.h"
+#include "src/support/JobPool.h"
+#include "src/support/Strings.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+using namespace warden;
+
+const char *warden::verifyOpName(VerifyOp::Kind Kind) {
+  switch (Kind) {
+  case VerifyOp::Kind::Load:
+    return "Ld";
+  case VerifyOp::Kind::Store:
+    return "St";
+  case VerifyOp::Kind::Acquire:
+    return "Acq";
+  case VerifyOp::Kind::Release:
+    return "Rel";
+  case VerifyOp::Kind::AddRegion:
+    return "AddRegion";
+  case VerifyOp::Kind::RemoveRegion:
+    return "RemoveRegion";
+  }
+  return "?";
+}
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Store identities and outcome formatting
+//===----------------------------------------------------------------------===//
+//
+// The auditor's shadow versions are assigned in execution order, so the
+// same store carries a different version on different schedules. Outcomes
+// and canonical state fingerprints therefore rename every version to the
+// path-independent identity of the store that produced it: (thread, pc),
+// encoded as a nonzero tag. Tag 0 is the initial value.
+
+std::uint64_t storeTag(unsigned Thread, unsigned Pc) {
+  return (static_cast<std::uint64_t>(Thread) << 20 | Pc) + 1;
+}
+
+std::string tagName(std::uint64_t Tag) {
+  if (Tag == 0)
+    return "init";
+  --Tag;
+  return strformat("t%u.%u", static_cast<unsigned>(Tag >> 20),
+                   static_cast<unsigned>(Tag & 0xfffff));
+}
+
+std::string formatOutcome(const std::vector<std::uint64_t> &Slots) {
+  std::string Out;
+  for (std::uint64_t Tag : Slots) {
+    if (!Out.empty())
+      Out += ",";
+    Out += tagName(Tag);
+  }
+  return Out;
+}
+
+std::string formatStep(const TraceStep &Step) {
+  const VerifyOp &Op = Step.Op;
+  switch (Op.K) {
+  case VerifyOp::Kind::Load:
+  case VerifyOp::Kind::Store:
+    return strformat("t%u.%u: %s 0x%llx+%u", Step.Thread, Step.Pc,
+                     verifyOpName(Op.K),
+                     static_cast<unsigned long long>(Op.Address), Op.Size);
+  case VerifyOp::Kind::Acquire:
+  case VerifyOp::Kind::Release:
+    return strformat("t%u.%u: %s", Step.Thread, Step.Pc, verifyOpName(Op.K));
+  case VerifyOp::Kind::AddRegion:
+    return strformat("t%u.%u: AddRegion %u [0x%llx, 0x%llx)", Step.Thread,
+                     Step.Pc, Op.Region,
+                     static_cast<unsigned long long>(Op.Address),
+                     static_cast<unsigned long long>(Op.End));
+  case VerifyOp::Kind::RemoveRegion:
+    return strformat("t%u.%u: RemoveRegion %u", Step.Thread, Step.Pc,
+                     Op.Region);
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Hashing
+//===----------------------------------------------------------------------===//
+
+struct Fnv {
+  std::uint64_t Hash = 0xcbf29ce484222325ULL;
+  void mix(std::uint64_t Value) {
+    for (unsigned I = 0; I < 8; ++I) {
+      Hash ^= (Value >> (8 * I)) & 0xff;
+      Hash *= 0x100000001b3ULL;
+    }
+  }
+};
+
+/// Fingerprint of the physical machine state a backend's decisions depend
+/// on: every resident private line, every directory entry, and the
+/// activation state of the program's regions. LLC data-array and LRU state
+/// are deliberately excluded — at explorer scale (two or three blocks,
+/// full-size caches) they influence latency only, never protocol behaviour.
+std::uint64_t physicalFingerprint(const CoherenceController &Ctrl,
+                                  const std::vector<RegionId> &RegionIds) {
+  Fnv H;
+  const MachineConfig &Config = Ctrl.config();
+  for (CoreId Core = 0; Core < Config.totalCores(); ++Core) {
+    std::vector<const CacheLine *> Lines;
+    Ctrl.privateCache(Core).forEachValidLine(
+        [&](const CacheLine &Line) { Lines.push_back(&Line); });
+    std::sort(Lines.begin(), Lines.end(),
+              [](const CacheLine *A, const CacheLine *B) {
+                return A->Block < B->Block;
+              });
+    for (const CacheLine *Line : Lines) {
+      H.mix(0x10 + Core);
+      H.mix(Line->Block);
+      H.mix(static_cast<std::uint64_t>(Line->State));
+      H.mix(Line->Dirty.raw());
+    }
+  }
+  std::vector<Addr> Blocks;
+  Blocks.reserve(Ctrl.directory().size());
+  for (const auto &[Block, Entry] : Ctrl.directory()) {
+    (void)Entry;
+    Blocks.push_back(Block);
+  }
+  std::sort(Blocks.begin(), Blocks.end());
+  for (Addr Block : Blocks) {
+    const DirEntry *Entry = Ctrl.directoryEntry(Block);
+    H.mix(2);
+    H.mix(Block);
+    H.mix(static_cast<std::uint64_t>(Entry->State));
+    H.mix(Entry->Owner);
+    H.mix(Entry->Sharers.raw());
+    H.mix(Entry->Region);
+  }
+  for (RegionId Id : RegionIds) {
+    std::optional<WardRegion> Region = Ctrl.regionTable().get(Id);
+    H.mix(3);
+    H.mix(Id);
+    H.mix(Region ? Region->Start : 0);
+    H.mix(Region ? Region->End : 0);
+    H.mix(Region.has_value());
+  }
+  return H.Hash;
+}
+
+//===----------------------------------------------------------------------===//
+// Concrete execution
+//===----------------------------------------------------------------------===//
+
+/// A fresh simulated machine with the auditor attached.
+struct Machine {
+  CoherenceController Ctrl;
+  ProtocolAuditor Auditor;
+
+  Machine(const MachineConfig &Config, const FaultPlan &Faults)
+      : Ctrl(Config, Faults), Auditor(Ctrl) {
+    Ctrl.attachAuditor(&Auditor);
+  }
+};
+
+/// Executes one operation on \p M as \p Thread. Returns false if the
+/// machine reported any invariant violation afterwards (the caller stops).
+bool executeOp(Machine &M, unsigned Thread, const VerifyOp &Op) {
+  switch (Op.K) {
+  case VerifyOp::Kind::Load:
+    M.Ctrl.access(Thread, Op.Address, Op.Size, AccessType::Load);
+    break;
+  case VerifyOp::Kind::Store:
+    M.Ctrl.access(Thread, Op.Address, Op.Size, AccessType::Store);
+    break;
+  case VerifyOp::Kind::Acquire:
+    M.Ctrl.syncAcquire(Thread);
+    break;
+  case VerifyOp::Kind::Release:
+    M.Ctrl.syncRelease(Thread);
+    break;
+  case VerifyOp::Kind::AddRegion:
+    M.Ctrl.addRegion(Op.Region, Op.Address, Op.End);
+    break;
+  case VerifyOp::Kind::RemoveRegion:
+    M.Ctrl.removeRegion(Op.Region, Thread);
+    break;
+  }
+  // Full invariant sweep at every step: SWMR, directory-cache agreement,
+  // data values (checked by the access itself), ward/SISD soundness.
+  M.Auditor.checkAll("explorer step");
+  return M.Auditor.report().Violations == 0;
+}
+
+/// The outcome of replaying one schedule prefix from a fresh machine.
+struct Replay {
+  std::unique_ptr<Machine> M;
+  std::vector<unsigned> Pc;              ///< Per-thread progress.
+  std::vector<std::uint64_t> VersionTag; ///< Shadow version -> store tag.
+  std::vector<std::uint64_t> Slots;      ///< Observed-load tags (slot order).
+  bool Violated = false;
+};
+
+/// Positions of the program's observed loads, in (thread, pc) order — the
+/// fixed slot layout of every outcome tuple.
+std::vector<std::pair<unsigned, unsigned>>
+observedSlots(const VerifyProgram &Program) {
+  std::vector<std::pair<unsigned, unsigned>> Slots;
+  for (unsigned T = 0; T < Program.threadCount(); ++T)
+    for (unsigned P = 0; P < Program.Threads[T].size(); ++P)
+      if (Program.Threads[T][P].K == VerifyOp::Kind::Load &&
+          Program.Threads[T][P].Observe)
+        Slots.emplace_back(T, P);
+  return Slots;
+}
+
+/// Replays \p Schedule (a sequence of thread choices) against a fresh
+/// machine, maintaining the version->store-tag rename and the observed-load
+/// slots. Stops at the first violating step (Replay::Violated).
+Replay runSchedule(const MachineConfig &Config, const FaultPlan &Faults,
+                   const VerifyProgram &Program,
+                   const std::vector<std::pair<unsigned, unsigned>> &Slots,
+                   const std::vector<unsigned> &Schedule) {
+  Replay R;
+  R.M = std::make_unique<Machine>(Config, Faults);
+  R.Pc.assign(Program.threadCount(), 0);
+  R.VersionTag.assign(1, 0);
+  R.Slots.assign(Slots.size(), 0);
+  for (unsigned Thread : Schedule) {
+    unsigned Pc = R.Pc[Thread]++;
+    const VerifyOp &Op = Program.Threads[Thread][Pc];
+    bool Clean = executeOp(*R.M, Thread, Op);
+    if (Op.K == VerifyOp::Kind::Store) {
+      // Single-block stores consume exactly one shadow version; record the
+      // store's path-independent identity for it.
+      assert(R.M->Auditor.storeCount() == R.VersionTag.size() &&
+             "store did not map to exactly one shadow version");
+      R.VersionTag.push_back(storeTag(Thread, Pc));
+    }
+    if (Op.K == VerifyOp::Kind::Load && Op.Observe) {
+      unsigned BlockSize = Config.BlockSize;
+      Addr Block = Op.Address / BlockSize * BlockSize;
+      unsigned Offset = static_cast<unsigned>(Op.Address % BlockSize);
+      ShadowVersion Version =
+          R.M->Auditor.observedVersion(Thread, Block, Offset);
+      auto Slot = std::find(Slots.begin(), Slots.end(),
+                            std::make_pair(Thread, Pc));
+      assert(Slot != Slots.end() && "observed load missing from slot map");
+      R.Slots[Slot - Slots.begin()] =
+          Version < R.VersionTag.size() ? R.VersionTag[Version] : 0;
+    }
+    if (!Clean) {
+      R.Violated = true;
+      break;
+    }
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Counterexample shrinking (the fuzzer's discipline)
+//===----------------------------------------------------------------------===//
+
+AuditReport replayTrace(const MachineConfig &Config, const FaultPlan &Faults,
+                        const std::vector<TraceStep> &Steps,
+                        std::size_t Count) {
+  Machine M(Config, Faults);
+  for (std::size_t I = 0; I < Count; ++I)
+    if (!executeOp(M, Steps[I].Thread, Steps[I].Op))
+      break;
+  return M.Auditor.report();
+}
+
+/// Shrinks a violating trace: binary search for the shortest violating
+/// prefix, then greedy single-step removal to a local minimum. Every
+/// candidate replays from a fresh machine, so the result is an exact,
+/// standalone repro.
+Counterexample shrinkTrace(const MachineConfig &Config,
+                           const FaultPlan &Faults,
+                           std::vector<TraceStep> Steps) {
+  // Shortest violating prefix (violations are monotone: corrupted state
+  // stays corrupted).
+  std::size_t Lo = 1, Hi = Steps.size();
+  while (Lo < Hi) {
+    std::size_t Mid = Lo + (Hi - Lo) / 2;
+    if (replayTrace(Config, Faults, Steps, Mid).Violations > 0)
+      Hi = Mid;
+    else
+      Lo = Mid + 1;
+  }
+  Steps.resize(Lo);
+
+  // Greedy removal until no single step can be dropped.
+  bool Removed = true;
+  while (Removed) {
+    Removed = false;
+    for (std::size_t I = 0; I < Steps.size(); ++I) {
+      std::vector<TraceStep> Candidate = Steps;
+      Candidate.erase(Candidate.begin() + I);
+      if (!Candidate.empty() &&
+          replayTrace(Config, Faults, Candidate, Candidate.size())
+                  .Violations > 0) {
+        Steps = std::move(Candidate);
+        Removed = true;
+        break;
+      }
+    }
+  }
+
+  Counterexample Ce;
+  Ce.Steps = std::move(Steps);
+  AuditReport Final =
+      replayTrace(Config, Faults, Ce.Steps, Ce.Steps.size());
+  Ce.Violations = Final.Violations;
+  Ce.Messages = Final.Messages;
+  return Ce;
+}
+
+//===----------------------------------------------------------------------===//
+// The DFS over interleavings
+//===----------------------------------------------------------------------===//
+
+struct Search {
+  const MachineConfig &Config;
+  const FaultPlan &Faults;
+  const VerifyProgram &Program;
+  const std::vector<std::pair<unsigned, unsigned>> &Slots;
+  const std::vector<RegionId> &RegionIds;
+  std::uint64_t MaxStates;
+  bool CollectOutcomes;
+
+  std::set<std::pair<std::uint64_t, std::uint64_t>> Seen;
+  ExplorerStats Stats;
+  std::set<std::string> Outcomes;
+  std::optional<std::vector<unsigned>> ViolatingSchedule;
+
+  void dfs(std::vector<unsigned> &Schedule) {
+    if (ViolatingSchedule || Stats.Truncated)
+      return;
+    // Re-execute the prefix from a fresh machine. The controller has no
+    // state snapshot/restore; at explorer scale (a dozen operations) the
+    // replay is cheaper than checkpointing would be.
+    Replay R = runSchedule(Config, Faults, Program, Slots, Schedule);
+    Stats.StepsExecuted += Schedule.size();
+    if (R.Violated) {
+      ViolatingSchedule = Schedule;
+      return;
+    }
+
+    // Canonical-state memoisation: program counters, outcome slots so far,
+    // physical machine state, and the shadow-value state under the
+    // store-identity renaming. Two schedules reaching the same key have
+    // identical futures, so the subtree is explored once.
+    Fnv Key;
+    for (unsigned Pc : R.Pc)
+      Key.mix(Pc);
+    for (std::uint64_t Tag : R.Slots)
+      Key.mix(Tag);
+    Key.mix(physicalFingerprint(R.M->Ctrl, RegionIds));
+    std::uint64_t Shadow = R.M->Auditor.shadowFingerprint(R.VersionTag);
+    if (!Seen.insert({Key.Hash, Shadow}).second) {
+      ++Stats.StatesDeduped;
+      return;
+    }
+    ++Stats.StatesVisited;
+    if (Stats.StatesVisited > MaxStates) {
+      Stats.Truncated = true;
+      return;
+    }
+
+    bool Done = true;
+    for (unsigned T = 0; T < Program.threadCount(); ++T) {
+      if (R.Pc[T] >= Program.Threads[T].size())
+        continue;
+      Done = false;
+      Schedule.push_back(T);
+      dfs(Schedule);
+      Schedule.pop_back();
+    }
+    if (Done) {
+      ++Stats.SchedulesCompleted;
+      if (CollectOutcomes)
+        Outcomes.insert(formatOutcome(R.Slots));
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// The sequentially consistent reference
+//===----------------------------------------------------------------------===//
+//
+// The same DFS over an uncached atomic memory: every store is immediately
+// globally visible, every load reads the last store. Its outcome set is
+// exactly the sequentially consistent outcomes of the program at operation
+// granularity — the reference the protocol's outcomes are compared against
+// (outcomes beyond this set are weak behaviours; a DRF program exhibiting
+// one under an SC-for-DRF protocol is a serializability violation).
+
+struct AbstractSearch {
+  const VerifyProgram &Program;
+  const std::vector<std::pair<unsigned, unsigned>> &Slots;
+
+  std::map<Addr, std::uint64_t> Memory; ///< Byte address -> store tag.
+  std::vector<unsigned> Pc;
+  std::vector<std::uint64_t> SlotValues;
+  std::set<std::uint64_t> Seen;
+  std::set<std::string> Outcomes;
+
+  void run() {
+    Pc.assign(Program.threadCount(), 0);
+    SlotValues.assign(Slots.size(), 0);
+    dfs();
+  }
+
+  std::uint64_t stateHash() const {
+    Fnv H;
+    for (unsigned P : Pc)
+      H.mix(P);
+    for (std::uint64_t Tag : SlotValues)
+      H.mix(Tag);
+    for (const auto &[Address, Tag] : Memory) {
+      H.mix(Address);
+      H.mix(Tag);
+    }
+    return H.Hash;
+  }
+
+  void dfs() {
+    if (!Seen.insert(stateHash()).second)
+      return;
+    bool Done = true;
+    for (unsigned T = 0; T < Program.threadCount(); ++T) {
+      if (Pc[T] >= Program.Threads[T].size())
+        continue;
+      Done = false;
+      const VerifyOp &Op = Program.Threads[T][Pc[T]];
+      unsigned MyPc = Pc[T];
+      ++Pc[T];
+      switch (Op.K) {
+      case VerifyOp::Kind::Store: {
+        std::vector<std::pair<Addr, std::uint64_t>> Undo;
+        for (unsigned I = 0; I < Op.Size; ++I) {
+          Addr A = Op.Address + I;
+          auto It = Memory.find(A);
+          Undo.emplace_back(A, It == Memory.end() ? 0 : It->second);
+          Memory[A] = storeTag(T, MyPc);
+        }
+        dfs();
+        for (const auto &[A, Old] : Undo)
+          if (Old == 0)
+            Memory.erase(A);
+          else
+            Memory[A] = Old;
+        break;
+      }
+      case VerifyOp::Kind::Load: {
+        std::uint64_t OldSlot = 0;
+        std::size_t SlotIndex = Slots.size();
+        if (Op.Observe) {
+          auto Slot = std::find(Slots.begin(), Slots.end(),
+                                std::make_pair(T, MyPc));
+          SlotIndex = Slot - Slots.begin();
+          OldSlot = SlotValues[SlotIndex];
+          auto It = Memory.find(Op.Address);
+          SlotValues[SlotIndex] = It == Memory.end() ? 0 : It->second;
+        }
+        dfs();
+        if (SlotIndex < Slots.size())
+          SlotValues[SlotIndex] = OldSlot;
+        break;
+      }
+      case VerifyOp::Kind::Acquire:
+      case VerifyOp::Kind::Release:
+      case VerifyOp::Kind::AddRegion:
+      case VerifyOp::Kind::RemoveRegion:
+        // Synchronization and region instructions carry no data under
+        // atomic memory.
+        dfs();
+        break;
+      }
+      --Pc[T];
+    }
+    if (Done)
+      Outcomes.insert(formatOutcome(SlotValues));
+  }
+};
+
+/// The region ids a program uses, sorted — the fixed region slice of every
+/// physical fingerprint.
+std::vector<RegionId> programRegionIds(const VerifyProgram &Program) {
+  std::vector<RegionId> Ids;
+  for (const auto &Ops : Program.Threads)
+    for (const VerifyOp &Op : Ops)
+      if (Op.K == VerifyOp::Kind::AddRegion ||
+          Op.K == VerifyOp::Kind::RemoveRegion)
+        Ids.push_back(Op.Region);
+  std::sort(Ids.begin(), Ids.end());
+  Ids.erase(std::unique(Ids.begin(), Ids.end()), Ids.end());
+  return Ids;
+}
+
+void validateProgram(const VerifyProgram &Program, const MachineConfig &Config) {
+  if (Program.Threads.empty())
+    throw std::invalid_argument("explorer: program has no threads");
+  if (Program.threadCount() > 8)
+    throw std::invalid_argument(
+        "explorer: more than 8 threads is outside the bounded-search regime");
+  for (unsigned T = 0; T < Program.threadCount(); ++T)
+    for (unsigned P = 0; P < Program.Threads[T].size(); ++P) {
+      const VerifyOp &Op = Program.Threads[T][P];
+      if (Op.K == VerifyOp::Kind::Load || Op.K == VerifyOp::Kind::Store) {
+        if (Op.Size == 0)
+          throw std::invalid_argument(
+              strformat("explorer: t%u.%u has a zero-size access", T, P));
+        if (Op.Address % Config.BlockSize + Op.Size > Config.BlockSize)
+          throw std::invalid_argument(strformat(
+              "explorer: t%u.%u spans a block boundary (stores must map to "
+              "exactly one shadow version)",
+              T, P));
+      }
+      if (Op.Observe && Op.K != VerifyOp::Kind::Load)
+        throw std::invalid_argument(
+            strformat("explorer: t%u.%u observes but is not a load", T, P));
+      if (Op.K == VerifyOp::Kind::AddRegion && Op.End <= Op.Address)
+        throw std::invalid_argument(
+            strformat("explorer: t%u.%u adds an empty region", T, P));
+    }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Public interface
+//===----------------------------------------------------------------------===//
+
+std::string Counterexample::describe() const {
+  std::string Out = strformat("counterexample (%zu steps, %llu violations):",
+                              Steps.size(),
+                              static_cast<unsigned long long>(Violations));
+  for (const TraceStep &Step : Steps) {
+    Out += "\n  ";
+    Out += formatStep(Step);
+  }
+  for (const std::string &Message : Messages) {
+    Out += "\n  ! ";
+    Out += Message;
+  }
+  return Out;
+}
+
+std::vector<std::string> ExplorerResult::weakOutcomes() const {
+  std::vector<std::string> Weak;
+  std::set_difference(Outcomes.begin(), Outcomes.end(), ScOutcomes.begin(),
+                      ScOutcomes.end(), std::back_inserter(Weak));
+  return Weak;
+}
+
+Explorer::Explorer(ExplorerOptions Options) : Options(std::move(Options)) {}
+
+MachineConfig Explorer::machineFor(unsigned Threads) const {
+  MachineConfig Config = MachineConfig::singleSocket();
+  Config.CoresPerSocket = std::max(Threads, 1u);
+  Config.Protocol = Options.Protocol;
+  return Config;
+}
+
+AuditReport Explorer::replay(const std::vector<TraceStep> &Steps,
+                             unsigned Threads) const {
+  return replayTrace(machineFor(Threads), Options.Faults, Steps,
+                     Steps.size());
+}
+
+ExplorerResult Explorer::explore(const VerifyProgram &Program) const {
+  MachineConfig Config = machineFor(Program.threadCount());
+  validateProgram(Program, Config);
+  std::vector<std::pair<unsigned, unsigned>> Slots = observedSlots(Program);
+  std::vector<RegionId> RegionIds = programRegionIds(Program);
+
+  // The search partitions by first step: each non-empty thread roots an
+  // independent subtree with its own machine replays and memo table, so
+  // pooled and serial runs produce identical results by construction (the
+  // merge below is in fixed root order).
+  std::vector<unsigned> Roots;
+  for (unsigned T = 0; T < Program.threadCount(); ++T)
+    if (!Program.Threads[T].empty())
+      Roots.push_back(T);
+
+  ExplorerResult Result;
+  if (Roots.empty()) {
+    // Only the empty schedule exists.
+    Result.Stats.SchedulesCompleted = 1;
+    if (Options.CollectOutcomes) {
+      Result.Outcomes.push_back(formatOutcome({}));
+      Result.ScOutcomes = Result.Outcomes;
+    }
+    return Result;
+  }
+
+  struct RootResult {
+    ExplorerStats Stats;
+    std::set<std::string> Outcomes;
+    std::optional<Counterexample> Violation;
+  };
+  std::vector<RootResult> Partials(Roots.size());
+
+  auto RunRoot = [&](std::size_t I) {
+    Search S{Config,
+             Options.Faults,
+             Program,
+             Slots,
+             RegionIds,
+             Options.MaxStatesPerRoot,
+             Options.CollectOutcomes,
+             {},
+             {},
+             {},
+             {}};
+    std::vector<unsigned> Schedule{Roots[I]};
+    S.dfs(Schedule);
+    Partials[I].Stats = S.Stats;
+    Partials[I].Outcomes = std::move(S.Outcomes);
+    if (S.ViolatingSchedule) {
+      // Materialise the violating schedule as a concrete trace, then
+      // shrink it to a minimal standalone repro.
+      std::vector<TraceStep> Steps;
+      std::vector<unsigned> Pc(Program.threadCount(), 0);
+      for (unsigned Thread : *S.ViolatingSchedule) {
+        unsigned P = Pc[Thread]++;
+        Steps.push_back({Thread, P, Program.Threads[Thread][P]});
+      }
+      Partials[I].Violation = shrinkTrace(Config, Options.Faults, Steps);
+    }
+  };
+
+  if (Options.Pool && Roots.size() > 1) {
+    std::vector<std::function<void()>> Tasks;
+    Tasks.reserve(Roots.size());
+    for (std::size_t I = 0; I < Roots.size(); ++I)
+      Tasks.push_back([&RunRoot, I] { RunRoot(I); });
+    Options.Pool->runAll(std::move(Tasks));
+  } else {
+    for (std::size_t I = 0; I < Roots.size(); ++I)
+      RunRoot(I);
+  }
+
+  // Deterministic merge in root order.
+  std::set<std::string> Outcomes;
+  for (RootResult &Partial : Partials) {
+    Result.Stats.merge(Partial.Stats);
+    Outcomes.insert(Partial.Outcomes.begin(), Partial.Outcomes.end());
+    if (!Result.Violation && Partial.Violation)
+      Result.Violation = std::move(Partial.Violation);
+  }
+  Result.Outcomes.assign(Outcomes.begin(), Outcomes.end());
+
+  if (Options.CollectOutcomes) {
+    AbstractSearch Reference{Program, Slots, {}, {}, {}, {}, {}};
+    Reference.run();
+    Result.ScOutcomes.assign(Reference.Outcomes.begin(),
+                             Reference.Outcomes.end());
+  }
+  return Result;
+}

@@ -1,0 +1,204 @@
+//===- verify/Explorer.h - Exhaustive interleaving explorer ---*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded exhaustive state-space explorer for protocol backends. A
+/// VerifyProgram is a tiny multithreaded program — one straight-line list
+/// of loads, stores, synchronization operations, and region instructions
+/// per simulated core, over two or three cache blocks. The explorer
+/// enumerates *every* interleaving of the threads' operations by DFS,
+/// executing each schedule against a fresh CoherenceController with the
+/// ProtocolAuditor attached and sweeping the full invariant set (SWMR,
+/// directory-cache agreement, shadow data values, ward/SISD soundness)
+/// after every step.
+///
+/// Two schedules that reach the same logical state are explored once:
+/// states are memoised under a canonical fingerprint combining the per-
+/// thread program counters, the physical cache/directory/region state, and
+/// the auditor's shadow-value state with the path-dependent version
+/// counter renamed to path-independent store identities (thread, pc).
+/// Without the renaming, value-equal states reached by different store
+/// orders would never merge and the search would degenerate to pure
+/// schedule enumeration.
+///
+/// Observed loads (VerifyOp::Observe) are mapped to the identity of the
+/// store they saw, and the set of outcome tuples over all interleavings is
+/// returned next to the outcome set of a sequentially consistent reference
+/// (the same DFS over an uncached atomic memory). Outcomes the protocol
+/// exhibits beyond the SC set are exactly its weak behaviours — the litmus
+/// harness (verify/Litmus.h) asserts them against each backend's declared
+/// ConsistencyModel.
+///
+/// On an invariant violation the explorer shrinks the violating schedule
+/// with the fuzzer's discipline — binary search for the shortest violating
+/// prefix, then greedy single-step removal, every candidate replayed from
+/// a fresh controller — and returns a minimal, replayable counterexample
+/// trace that can be fed back through Explorer::replay() for diagnosis.
+///
+/// The per-root-step searches are independent, so explore() fans the
+/// frontier across a JobPool when one is provided; results are merged in
+/// root order and are byte-identical to the serial search.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_VERIFY_EXPLORER_H
+#define WARDEN_VERIFY_EXPLORER_H
+
+#include "src/machine/MachineConfig.h"
+#include "src/verify/FaultPlan.h"
+#include "src/verify/ProtocolAuditor.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace warden {
+
+class JobPool;
+
+/// One operation of a verification program. Accesses must stay inside one
+/// cache block (the explorer rejects block-spanning accesses up front so
+/// every store maps to exactly one shadow version).
+struct VerifyOp {
+  enum class Kind : std::uint8_t {
+    Load,        ///< Demand load of [Address, Address + Size).
+    Store,       ///< Demand store to [Address, Address + Size).
+    Acquire,     ///< Synchronization acquire (SISD self-invalidation).
+    Release,     ///< Synchronization release (SISD self-downgrade).
+    AddRegion,   ///< WARD "Add Region" over [Address, End).
+    RemoveRegion ///< WARD "Remove Region" (by id, this thread unmarks).
+  };
+
+  Kind K = Kind::Load;
+  Addr Address = 0;   ///< Load/Store byte address; AddRegion start.
+  unsigned Size = 1;  ///< Load/Store size in bytes.
+  Addr End = 0;       ///< AddRegion end (exclusive).
+  RegionId Region = InvalidRegion; ///< AddRegion/RemoveRegion id.
+  /// Loads only: include this load's observation in the outcome tuple.
+  bool Observe = false;
+};
+
+/// Returns a printable mnemonic for \p Kind ("Ld", "St", "Acq", ...).
+const char *verifyOpName(VerifyOp::Kind Kind);
+
+/// A small multithreaded program: one straight-line operation list per
+/// simulated core (thread i runs on core i).
+struct VerifyProgram {
+  std::string Name;
+  std::vector<std::vector<VerifyOp>> Threads;
+
+  unsigned threadCount() const {
+    return static_cast<unsigned>(Threads.size());
+  }
+  std::size_t totalOps() const {
+    std::size_t N = 0;
+    for (const auto &Ops : Threads)
+      N += Ops.size();
+    return N;
+  }
+};
+
+/// One concrete executed step of a counterexample trace: which thread ran
+/// which of its operations. Keeping the op itself (not just an index)
+/// makes the trace replayable standalone, even after shrinking removed
+/// earlier operations of the same thread.
+struct TraceStep {
+  unsigned Thread = 0;
+  unsigned Pc = 0; ///< The op's index in its thread's original list.
+  VerifyOp Op;
+};
+
+/// A minimal replayable violation trace.
+struct Counterexample {
+  std::vector<TraceStep> Steps;
+  /// Auditor verdict of replaying exactly Steps (violations + messages).
+  std::uint64_t Violations = 0;
+  std::vector<std::string> Messages;
+
+  /// Human-readable multi-line rendering (one step per line + messages).
+  std::string describe() const;
+};
+
+/// Search statistics, merged deterministically across JobPool workers.
+struct ExplorerStats {
+  std::uint64_t StatesVisited = 0;      ///< Distinct canonical states.
+  std::uint64_t StatesDeduped = 0;      ///< Memo hits (subtrees skipped).
+  std::uint64_t SchedulesCompleted = 0; ///< Full interleavings reaching the end.
+  std::uint64_t StepsExecuted = 0;      ///< Operations executed, including replays.
+  bool Truncated = false;               ///< A search budget was exhausted.
+
+  void merge(const ExplorerStats &Other) {
+    StatesVisited += Other.StatesVisited;
+    StatesDeduped += Other.StatesDeduped;
+    SchedulesCompleted += Other.SchedulesCompleted;
+    StepsExecuted += Other.StepsExecuted;
+    Truncated = Truncated || Other.Truncated;
+  }
+};
+
+/// Explorer configuration.
+struct ExplorerOptions {
+  ProtocolKind Protocol = ProtocolKind::Mesi;
+  /// Fault plan applied to every explored controller — this is how a
+  /// deliberate ProtocolMutation is model-checked.
+  FaultPlan Faults;
+  /// Canonical-state budget per root step (first-move partition). The
+  /// search marks the result truncated instead of running unbounded.
+  std::uint64_t MaxStatesPerRoot = 1 << 18;
+  /// Record observed-load outcome tuples (and the SC reference set).
+  bool CollectOutcomes = true;
+  /// Optional host pool: the root-step partitions fan out as independent
+  /// jobs with deterministic merging. nullptr explores serially.
+  JobPool *Pool = nullptr;
+};
+
+/// Complete outcome of exploring one program.
+struct ExplorerResult {
+  ExplorerStats Stats;
+  /// The minimal counterexample, when any interleaving violated.
+  std::optional<Counterexample> Violation;
+  /// Sorted set of outcome tuples over all interleavings: the observed
+  /// loads' store identities in (thread, pc) order, e.g. "t0.1,init".
+  std::vector<std::string> Outcomes;
+  /// Sorted outcome set of the sequentially consistent reference.
+  std::vector<std::string> ScOutcomes;
+
+  bool clean() const { return !Violation.has_value(); }
+  /// Outcomes the protocol exhibits that no SC interleaving can — its
+  /// weak behaviours on this program.
+  std::vector<std::string> weakOutcomes() const;
+};
+
+/// The bounded exhaustive explorer. Construct with options, then explore
+/// programs; each call is independent and deterministic.
+class Explorer {
+public:
+  explicit Explorer(ExplorerOptions Options);
+
+  /// Exhaustively explores every interleaving of \p Program. Throws
+  /// std::invalid_argument for malformed programs (no threads, an access
+  /// spanning blocks, a thread count the machine cannot host).
+  ExplorerResult explore(const VerifyProgram &Program) const;
+
+  /// Replays \p Steps exactly against a fresh controller + auditor for
+  /// \p Threads simulated cores and returns the audit verdict — the
+  /// diagnosis path for counterexample traces.
+  AuditReport replay(const std::vector<TraceStep> &Steps,
+                     unsigned Threads) const;
+
+  /// The machine the explorer simulates for an \p Threads-thread program:
+  /// one socket of exactly that many cores, default cache geometry.
+  MachineConfig machineFor(unsigned Threads) const;
+
+  const ExplorerOptions &options() const { return Options; }
+
+private:
+  ExplorerOptions Options;
+};
+
+} // namespace warden
+
+#endif // WARDEN_VERIFY_EXPLORER_H

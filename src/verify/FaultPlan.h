@@ -45,6 +45,11 @@ enum class ProtocolMutation : std::uint8_t {
   /// Fwd-GetS leaves the owner's copy in M/E while the directory moves to
   /// Shared (breaks directory-cache agreement).
   SkipDowngradeOnFwdGetS,
+  /// A SISD synchronization acquire skips the self-invalidation pass:
+  /// possibly-stale read copies survive into the acquired epoch (breaks
+  /// the release-acquire contract; the classic bug class of lazy
+  /// self-invalidation protocols).
+  SkipAcquireInvalidation,
 };
 
 /// Returns a printable name for \p Mutation.
@@ -56,6 +61,8 @@ inline const char *mutationName(ProtocolMutation Mutation) {
     return "skip-invalidation-on-getm";
   case ProtocolMutation::SkipDowngradeOnFwdGetS:
     return "skip-downgrade-on-fwd-gets";
+  case ProtocolMutation::SkipAcquireInvalidation:
+    return "skip-acquire-invalidation";
   }
   return "?";
 }

@@ -1,0 +1,243 @@
+//===- verify/Litmus.cpp - Litmus-test harness for consistency ------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/verify/Litmus.h"
+
+#include "src/coherence/CoherenceController.h"
+#include "src/support/Strings.h"
+
+#include <algorithm>
+
+using namespace warden;
+
+namespace {
+
+// The patterns run on a tiny two-block footprint. Addresses are block
+// bases of the default 64-byte geometry so every access maps to one
+// shadow version and the two variables never alias.
+constexpr Addr X = 0x40;    ///< "data" / first variable.
+constexpr Addr Y = 0x80;    ///< "flag" / second variable.
+
+VerifyOp ld(Addr A, bool Observe = false) {
+  VerifyOp Op;
+  Op.K = VerifyOp::Kind::Load;
+  Op.Address = A;
+  Op.Observe = Observe;
+  return Op;
+}
+VerifyOp st(Addr A) {
+  VerifyOp Op;
+  Op.K = VerifyOp::Kind::Store;
+  Op.Address = A;
+  return Op;
+}
+VerifyOp acq() {
+  VerifyOp Op;
+  Op.K = VerifyOp::Kind::Acquire;
+  return Op;
+}
+VerifyOp rel() {
+  VerifyOp Op;
+  Op.K = VerifyOp::Kind::Release;
+  return Op;
+}
+
+LitmusPattern make(std::string Name,
+                   std::vector<std::vector<VerifyOp>> Threads) {
+  LitmusPattern P;
+  P.Program.Name = std::move(Name);
+  P.Program.Threads = std::move(Threads);
+  return P;
+}
+
+} // namespace
+
+std::vector<LitmusPattern> warden::litmusSuite() {
+  std::vector<LitmusPattern> Suite;
+
+  // MP: message passing with the acquire edge. T0 publishes data (X) then
+  // flag (Y), releasing after each; T1 warms a (potentially stale) copy of
+  // X, reads the flag, acquires, and re-reads X. Seeing the new flag but
+  // the initial data would mean the acquire failed to order the publish —
+  // forbidden under SC *and* release-acquire. The warm load makes the
+  // pattern racy, so lazily-invalidating backends genuinely depend on the
+  // acquire's self-invalidation here.
+  {
+    LitmusPattern P = make(
+        "mp", {{st(X), rel(), st(Y), rel()},
+               {ld(X), ld(Y, true), acq(), ld(X, true)}});
+    P.Forbidden = "t0.2,init";
+    P.ForbiddenUnderRa = true;
+    P.Note = "message passing; acquire must order flag read before data re-read";
+    Suite.push_back(std::move(P));
+  }
+
+  // MP without the acquire: the stale warm copy of X is licensed to
+  // survive, so a release-acquire backend must be able to show the stale
+  // outcome — and an SC-for-DRF backend must still never show it.
+  {
+    LitmusPattern P = make(
+        "mp_relaxed", {{st(X), rel(), st(Y), rel()},
+                       {ld(X), ld(Y, true), ld(X, true)}});
+    P.RequiredWeakUnderRa = "t0.2,init";
+    P.Note = "message passing without acquire; stale data read is the "
+             "lazy protocols' documented relaxation";
+    Suite.push_back(std::move(P));
+  }
+
+  // SB fenced: store buffering with a full release+acquire fence between
+  // each thread's store and load. Both threads reading the initial value
+  // would mean both stores were still private after their releases.
+  {
+    LitmusPattern P = make(
+        "sb", {{st(X), rel(), acq(), ld(Y, true)},
+               {st(Y), rel(), acq(), ld(X, true)}});
+    P.Forbidden = "init,init";
+    P.ForbiddenUnderRa = true;
+    P.Note = "store buffering with release+acquire fences; both-initial "
+             "is forbidden";
+    Suite.push_back(std::move(P));
+  }
+
+  // SB plain: no fences. Deferred (ward-style) stores legitimately leave
+  // both loads reading the initial value under a release-acquire backend;
+  // an SC-for-DRF backend must make each store globally visible at once.
+  {
+    LitmusPattern P = make(
+        "sb_relaxed", {{st(X), ld(Y, true)}, {st(Y), ld(X, true)}});
+    P.RequiredWeakUnderRa = "init,init";
+    P.Note = "store buffering without fences; both-initial demonstrates "
+             "deferred store visibility";
+    Suite.push_back(std::move(P));
+  }
+
+  // LB: load buffering. Each thread loads one variable then stores the
+  // other; both loads observing the *other thread's* store would need
+  // values out of thin air. No operational backend can produce it — the
+  // pattern guards against outcome-accounting bugs as much as protocol
+  // bugs.
+  {
+    LitmusPattern P = make(
+        "lb", {{ld(Y, true), st(X)}, {ld(X, true), st(Y)}});
+    P.Forbidden = "t1.1,t0.1";
+    P.ForbiddenUnderRa = true;
+    P.Note = "load buffering; out-of-thin-air outcome is forbidden "
+             "everywhere";
+    Suite.push_back(std::move(P));
+  }
+
+  // CoRR: coherence read-read. T0 publishes X; T1 reads it twice with an
+  // acquire between. Observing the new value then the initial one would
+  // run coherence order backwards.
+  {
+    LitmusPattern P = make(
+        "corr", {{st(X), rel()}, {ld(X, true), acq(), ld(X, true)}});
+    P.Forbidden = "t0.0,init";
+    P.ForbiddenUnderRa = true;
+    P.Note = "coherence read-read; a later read may not travel backwards";
+    Suite.push_back(std::move(P));
+  }
+
+  // CoWW: coherence write-write. T0 writes X twice and releases; T1 reads
+  // X twice with an acquire between. Seeing the second write then the
+  // first would reorder same-location writes.
+  {
+    LitmusPattern P = make(
+        "coww", {{st(X), st(X), rel()}, {ld(X, true), acq(), ld(X, true)}});
+    P.Forbidden = "t0.1,t0.0";
+    P.ForbiddenUnderRa = true;
+    P.Note = "coherence write-write; same-location writes stay ordered";
+    Suite.push_back(std::move(P));
+  }
+
+  // DRF control: disjoint working sets, each thread reading its own
+  // store back. There is exactly one SC outcome and *every* backend —
+  // whatever its model — must produce exactly that.
+  {
+    LitmusPattern P = make(
+        "drf_private", {{st(X), ld(X, true)}, {st(Y), ld(Y, true)}});
+    P.Drf = true;
+    P.Forbidden = "";
+    P.Note = "data-race-free control; no weak outcome is tolerated under "
+             "any model";
+    Suite.push_back(std::move(P));
+  }
+
+  return Suite;
+}
+
+ConsistencyModel warden::declaredModel(ProtocolKind Kind) {
+  MachineConfig Config = MachineConfig::singleSocket();
+  Config.CoresPerSocket = 1;
+  Config.Protocol = Kind;
+  CoherenceController Throwaway(Config);
+  return Throwaway.protocol().consistencyModel();
+}
+
+LitmusResult warden::runLitmus(const LitmusPattern &Pattern,
+                               ProtocolKind Protocol, JobPool *Pool) {
+  LitmusResult R;
+  R.Pattern = Pattern.Program.Name;
+  R.Protocol = Protocol;
+  R.Model = declaredModel(Protocol);
+
+  ExplorerOptions Options;
+  Options.Protocol = Protocol;
+  Options.Pool = Pool;
+  Explorer E(Options);
+  R.Exploration = E.explore(Pattern.Program);
+
+  auto Fail = [&R](std::string Why) { R.Failures.push_back(std::move(Why)); };
+
+  if (R.Exploration.Violation)
+    Fail(strformat("invariant violation during exploration:\n%s",
+                   R.Exploration.Violation->describe().c_str()));
+  if (R.Exploration.Stats.Truncated)
+    Fail("state budget exhausted; the verdict would not be exhaustive");
+
+  const std::vector<std::string> &Outcomes = R.Exploration.Outcomes;
+  auto Observed = [&Outcomes](const std::string &Outcome) {
+    return std::find(Outcomes.begin(), Outcomes.end(), Outcome) !=
+           Outcomes.end();
+  };
+  std::vector<std::string> Weak = R.Exploration.weakOutcomes();
+
+  // An SC-for-DRF backend executes SC at operation granularity, so weak
+  // outcomes are a contract breach on any program; a release-acquire
+  // backend only owes SC on data-race-free programs.
+  bool WeakForbidden =
+      R.Model == ConsistencyModel::ScForDrf || Pattern.Drf;
+  if (WeakForbidden && !Weak.empty())
+    for (const std::string &Outcome : Weak)
+      Fail(strformat("weak outcome '%s' observed under the %s contract",
+                     Outcome.c_str(), consistencyModelName(R.Model)));
+
+  if (!Pattern.Forbidden.empty()) {
+    bool Binding =
+        R.Model == ConsistencyModel::ScForDrf || Pattern.ForbiddenUnderRa;
+    if (Binding && Observed(Pattern.Forbidden))
+      Fail(strformat("forbidden outcome '%s' observed",
+                     Pattern.Forbidden.c_str()));
+  }
+
+  if (R.Model == ConsistencyModel::ReleaseAcquire &&
+      !Pattern.RequiredWeakUnderRa.empty() &&
+      !Observed(Pattern.RequiredWeakUnderRa))
+    Fail(strformat("relaxation not demonstrated: weak outcome '%s' was "
+                   "never observed (backend stronger than declared?)",
+                   Pattern.RequiredWeakUnderRa.c_str()));
+
+  R.Passed = R.Failures.empty();
+  return R;
+}
+
+std::vector<LitmusResult> warden::runLitmusSuite(ProtocolKind Protocol,
+                                                 JobPool *Pool) {
+  std::vector<LitmusResult> Results;
+  for (const LitmusPattern &Pattern : litmusSuite())
+    Results.push_back(runLitmus(Pattern, Protocol, Pool));
+  return Results;
+}

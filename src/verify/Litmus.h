@@ -1,0 +1,94 @@
+//===- verify/Litmus.h - Litmus-test harness for consistency ---*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic memory-model litmus patterns encoded as explorer programs, and
+/// a harness that asserts each protocol backend's behaviour against its
+/// *declared* consistency contract (CoherenceProtocol::consistencyModel):
+///
+///  * SC-for-DRF backends (MESI, WARDen) execute sequentially consistently
+///    at operation granularity — the explorer's outcome set must be a
+///    subset of the SC reference's on *every* pattern, racy or not, and a
+///    pattern's forbidden outcome must never appear.
+///
+///  * Release-acquire backends (SISD) may exhibit weak outcomes on racy
+///    patterns (stale reads between synchronizations are the design), but
+///    the release->acquire edges still order: forbidden outcomes of fenced
+///    patterns must not appear, data-race-free patterns must stay SC, and
+///    each *relaxed* pattern's documented weak outcome must actually be
+///    observable — a relaxation the model checker cannot demonstrate is a
+///    sign the backend is silently stronger (and slower) than designed.
+///
+/// The suite covers the standard shapes: message passing (MP) with and
+/// without the acquire edge, store buffering (SB) fenced and plain, load
+/// buffering (LB), coherence read-read (CoRR) and write-write (CoWW)
+/// ordering, and a data-race-free control. See README.md for the table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_VERIFY_LITMUS_H
+#define WARDEN_VERIFY_LITMUS_H
+
+#include "src/verify/Explorer.h"
+
+#include <string>
+#include <vector>
+
+namespace warden {
+
+/// One litmus pattern: a program plus the contract it probes.
+struct LitmusPattern {
+  VerifyProgram Program;
+  /// The pattern is data-race-free: weak outcomes are forbidden under
+  /// every consistency model, not just SC-for-DRF.
+  bool Drf = false;
+  /// Outcome tuple that must never appear when the pattern's ordering
+  /// guarantee holds (empty = none). See ForbiddenUnderRa for scope.
+  std::string Forbidden;
+  /// The forbidden outcome is ruled out by release-acquire ordering too
+  /// (fenced patterns); when false it only binds SC-for-DRF backends.
+  bool ForbiddenUnderRa = false;
+  /// Weak outcome a release-acquire backend must be able to exhibit
+  /// (empty = none). Asserted existentially for RA backends only; for
+  /// SC-for-DRF backends the same outcome must of course stay absent.
+  std::string RequiredWeakUnderRa;
+  /// One-line description for reports.
+  std::string Note;
+};
+
+/// The full built-in suite, in a fixed documented order.
+std::vector<LitmusPattern> litmusSuite();
+
+/// Verdict of one pattern under one backend.
+struct LitmusResult {
+  std::string Pattern;
+  ProtocolKind Protocol = ProtocolKind::Mesi;
+  ConsistencyModel Model = ConsistencyModel::ScForDrf;
+  ExplorerResult Exploration;
+  bool Passed = false;
+  /// Human-readable reasons when !Passed (invariant violation, forbidden
+  /// outcome observed, weak outcome under an SC contract, undemonstrated
+  /// relaxation).
+  std::vector<std::string> Failures;
+};
+
+/// Runs one pattern under \p Protocol and judges it against the backend's
+/// declared consistency model. \p Pool optionally parallelizes the
+/// exploration (results are identical either way).
+LitmusResult runLitmus(const LitmusPattern &Pattern, ProtocolKind Protocol,
+                       JobPool *Pool = nullptr);
+
+/// Runs the whole suite under \p Protocol, in suite order.
+std::vector<LitmusResult> runLitmusSuite(ProtocolKind Protocol,
+                                         JobPool *Pool = nullptr);
+
+/// The consistency model the registered backend for \p Kind declares
+/// (instantiates the backend against a throwaway machine to ask it).
+ConsistencyModel declaredModel(ProtocolKind Kind);
+
+} // namespace warden
+
+#endif // WARDEN_VERIFY_LITMUS_H

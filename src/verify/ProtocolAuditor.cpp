@@ -17,8 +17,8 @@ using namespace warden;
 ProtocolAuditor::ProtocolAuditor(const CoherenceController &Controller,
                                  AuditOptions Options)
     : Controller(Controller), Options(Options),
-      PrivCopy(Controller.config().totalCores()),
-      Sisd(Controller.config().Protocol == ProtocolKind::Sisd) {
+      Sisd(Controller.config().Protocol == ProtocolKind::Sisd),
+      PrivCopy(Controller.config().totalCores()) {
   Report.Enabled = true;
 }
 
@@ -134,6 +134,68 @@ void ProtocolAuditor::onLoad(CoreId Core, Addr Block, unsigned Offset,
       return; // One message per load suffices.
     }
   }
+}
+
+ShadowVersion ProtocolAuditor::observedVersion(CoreId Core, Addr Block,
+                                               unsigned Offset) const {
+  // Mirrors onLoad's observation rule, extended to the not-yet-resident
+  // case: a miss fills from the committed image, so that is what the next
+  // load would see.
+  if (const ShadowBlock *Copy = PrivCopy[Core].find(Block))
+    return Copy->Bytes[Offset];
+  return Mem.byteVersion(Block, Offset);
+}
+
+std::uint64_t ProtocolAuditor::shadowFingerprint(
+    const std::vector<std::uint64_t> &Rename) const {
+  // FNV-1a over every image in canonical order. The explorer's state
+  // memoisation keys on this, so the walk must be independent of
+  // unordered_map layout: blocks are visited in sorted address order.
+  std::uint64_t Hash = 0xcbf29ce484222325ULL;
+  auto Mix = [&Hash](std::uint64_t Value) {
+    for (unsigned I = 0; I < 8; ++I) {
+      Hash ^= (Value >> (8 * I)) & 0xff;
+      Hash *= 0x100000001b3ULL;
+    }
+  };
+  auto Renamed = [&Rename](ShadowVersion Version) {
+    return Version < Rename.size() ? Rename[Version] : Version;
+  };
+  auto MixMemory = [&](const ShadowMemory &Memory, std::uint64_t Tag) {
+    std::vector<Addr> Blocks;
+    Blocks.reserve(Memory.size());
+    Memory.forEach([&](Addr Block, const ShadowBlock &) {
+      Blocks.push_back(Block);
+    });
+    std::sort(Blocks.begin(), Blocks.end());
+    for (Addr Block : Blocks) {
+      const ShadowBlock *Image = Memory.find(Block);
+      Mix(Tag);
+      Mix(Block);
+      for (ShadowVersion Version : Image->Bytes)
+        Mix(Renamed(Version));
+    }
+  };
+  MixMemory(Mem, 1);
+  MixMemory(Latest, 2);
+  for (std::size_t Core = 0; Core < PrivCopy.size(); ++Core)
+    MixMemory(PrivCopy[Core], 0x100 + Core);
+  std::vector<Addr> Pending;
+  Pending.reserve(WardWritten.size());
+  for (const auto &[Block, Record] : WardWritten) {
+    (void)Record;
+    Pending.push_back(Block);
+  }
+  std::sort(Pending.begin(), Pending.end());
+  for (Addr Block : Pending) {
+    const WardWriteRecord &Record = WardWritten.at(Block);
+    Mix(3);
+    Mix(Block);
+    Mix(Record.Written.raw());
+    for (std::uint8_t Writer : Record.LastWriter)
+      Mix(Writer);
+  }
+  return Hash;
 }
 
 void ProtocolAuditor::onReconcileComplete(Addr Block) {

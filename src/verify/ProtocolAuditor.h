@@ -132,6 +132,32 @@ public:
   const AuditReport &report() const { return Report; }
   bool clean() const { return Report.clean(); }
 
+  // --- Explorer support ---------------------------------------------------
+  /// The write version a load by \p Core of \p Block's byte at \p Offset
+  /// would observe right now: the resident private copy when one exists,
+  /// otherwise the committed LLC/DRAM image a miss would fill from.
+  /// 0 means "the initial value". The model-checking explorer reads this
+  /// after every load step to map observations to store identities.
+  ShadowVersion observedVersion(CoreId Core, Addr Block,
+                                unsigned Offset) const;
+  /// The version of the write the protocol licenses as globally last for
+  /// \p Block's byte at \p Offset (0 = never written or still deferred).
+  ShadowVersion expectedVersion(Addr Block, unsigned Offset) const {
+    return Latest.byteVersion(Block, Offset);
+  }
+  /// Stores recorded so far; versions 1..storeCount() were assigned in
+  /// execution order, one per onStore, which lets a replaying caller map
+  /// versions back to the stores that produced them.
+  ShadowVersion storeCount() const { return NextVersion; }
+  /// Order-insensitive fingerprint of the entire shadow-value state
+  /// (committed image, licensed-latest image, every private copy, pending
+  /// ward writes). Each version is renamed through \p Rename (indexed by
+  /// version; Rename[0] must be 0) so callers can substitute
+  /// path-independent store identities for the path-dependent version
+  /// counter — two executions reaching the same logical state then
+  /// fingerprint identically. Versions beyond Rename hash as themselves.
+  std::uint64_t shadowFingerprint(const std::vector<std::uint64_t> &Rename) const;
+
 private:
   const DirEntry *entryOf(Addr Block) const;
   void violation(std::string Message);

@@ -7,11 +7,12 @@
 /// \file
 /// Seeded stress fuzzing of the coherence engine with the ProtocolAuditor
 /// attached: long random operation sequences (loads/stores/atomics from
-/// random cores across a 24-core dual-socket machine, region add/remove at
-/// random times, occasional malformed requests) are generated up front as
-/// an explicit operation list, then replayed against a fresh controller.
+/// random cores across a 24-core dual-socket machine, region add/remove —
+/// and, for the SISD cases, synchronization acquire/release — at random
+/// times, occasional malformed requests) are generated up front as an
+/// explicit operation list, then replayed against a fresh controller.
 /// The auditor validates SWMR, directory-cache agreement, shadow data
-/// values, and WARD soundness after every operation.
+/// values, WARD soundness, and the SISD discipline after every operation.
 ///
 /// Because the operation list is explicit and generation is decoupled from
 /// execution, a violating run shrinks automatically: binary search finds
@@ -44,7 +45,13 @@ Addr blockAddr(unsigned Index) { return BlockBase + Addr(Index) * 64; }
 /// interleaving generation with execution) is what makes prefix replay —
 /// and therefore shrinking — exact.
 struct FuzzOp {
-  enum class Kind : std::uint8_t { Access, AddRegion, RemoveRegion };
+  enum class Kind : std::uint8_t {
+    Access,
+    AddRegion,
+    RemoveRegion,
+    Acquire,
+    Release
+  };
   Kind K = Kind::Access;
   AccessType Type = AccessType::Load;
   CoreId Core = 0;
@@ -57,9 +64,13 @@ struct FuzzOp {
 
 /// Generates \p Count operations over NumBlocks contended blocks. Region
 /// adds/removes are balanced in program order, so every prefix of the list
-/// is itself a well-formed program.
+/// is itself a well-formed program. \p WithSync additionally mixes in
+/// synchronization acquire/release operations (the SISD backend's whole
+/// surface); false keeps the action stream bit-identical to the original
+/// generator so the pinned seeds of the eager-protocol cases still replay
+/// the exact same traces.
 std::vector<FuzzOp> generateOps(std::uint64_t Seed, unsigned Cores,
-                                std::size_t Count) {
+                                std::size_t Count, bool WithSync = false) {
   Rng Random(Seed);
   std::vector<FuzzOp> Ops;
   Ops.reserve(Count);
@@ -71,7 +82,14 @@ std::vector<FuzzOp> generateOps(std::uint64_t Seed, unsigned Cores,
     unsigned B = static_cast<unsigned>(Random.nextBelow(NumBlocks));
     FuzzOp Op;
     Op.Core = static_cast<CoreId>(Random.nextBelow(Cores));
-    std::uint64_t Action = Random.nextBelow(100);
+    std::uint64_t Action = Random.nextBelow(WithSync ? 110 : 100);
+    if (Action >= 100) {
+      // Synchronization point: releases outnumber acquires a little so
+      // written data usually gets published before it is re-read.
+      Op.K = Action < 106 ? FuzzOp::Kind::Release : FuzzOp::Kind::Acquire;
+      Ops.push_back(Op);
+      continue;
+    }
     if (Action < 38) {
       Op.Type = AccessType::Load;
       Op.Address = blockAddr(B) + Random.nextBelow(56);
@@ -144,6 +162,12 @@ AuditReport replayPrefix(const MachineConfig &Config, const FaultPlan &Faults,
     case FuzzOp::Kind::RemoveRegion:
       Ctrl.removeRegion(Op.Region, Op.Core);
       break;
+    case FuzzOp::Kind::Acquire:
+      Ctrl.syncAcquire(Op.Core);
+      break;
+    case FuzzOp::Kind::Release:
+      Ctrl.syncRelease(Op.Core);
+      break;
     }
   }
   Auditor.checkAll("end of prefix");
@@ -198,6 +222,9 @@ struct FuzzCase {
   double EvictionRate = 0.0;
   double ReconcileRate = 0.0;
   std::uint64_t Seed = 0;
+  /// Mix synchronization acquire/release into the trace (the SISD cases;
+  /// false keeps the eager cases' pinned seeds replaying bit-identically).
+  bool WithSync = false;
 };
 
 MachineConfig configFor(const FuzzCase &Case) {
@@ -222,7 +249,7 @@ TEST_P(ProtocolFuzz, AuditorStaysCleanUnderRandomTraffic) {
   Faults.ReconcileRate = Case.ReconcileRate;
 
   std::vector<FuzzOp> Ops =
-      generateOps(Case.Seed, Config.totalCores(), 20000);
+      generateOps(Case.Seed, Config.totalCores(), 20000, Case.WithSync);
   AuditReport Report = replayPrefix(Config, Faults, Ops, Ops.size());
 
   EXPECT_GT(Report.LoadsVerified, 0u);
@@ -242,6 +269,12 @@ TEST_P(ProtocolFuzz, AuditorStaysCleanUnderRandomTraffic) {
       break;
     case FuzzOp::Kind::RemoveRegion:
       Ctrl.removeRegion(Op.Region, Op.Core);
+      break;
+    case FuzzOp::Kind::Acquire:
+      Ctrl.syncAcquire(Op.Core);
+      break;
+    case FuzzOp::Kind::Release:
+      Ctrl.syncRelease(Op.Core);
       break;
     }
   Ctrl.drainDirtyData();
@@ -267,7 +300,12 @@ INSTANTIATE_TEST_SUITE_P(
         FuzzCase{"warden_faults", ProtocolKind::Warden, true, true, 3, 0.01,
                  0.02, 0xf6},
         FuzzCase{"warden_faults_b", ProtocolKind::Warden, false, true, 2,
-                 0.02, 0.05, 0xabcdef}),
+                 0.02, 0.05, 0xabcdef},
+        FuzzCase{"sisd", ProtocolKind::Sisd, true, true, 3, 0, 0, 0xf7},
+        FuzzCase{"sisd_sync", ProtocolKind::Sisd, true, true, 3, 0, 0, 0xf8,
+                 true},
+        FuzzCase{"sisd_faults", ProtocolKind::Sisd, true, true, 3, 0.01, 0,
+                 0xf9, true}),
     [](const ::testing::TestParamInfo<FuzzCase> &Info) {
       return Info.param.Name;
     });
@@ -313,3 +351,41 @@ INSTANTIATE_TEST_SUITE_P(
                  ? "SkipInvalidationOnGetM"
                  : "SkipDowngradeOnFwdGetS";
     });
+
+// The SISD counterpart: a broken acquire (self-invalidation skipped) must
+// be caught by the SISD shadow discipline and shrink the same way. Sync
+// operations are required in the trace — the bug is *in* the acquire.
+TEST(SisdMutationFuzz, SkippedAcquireInvalidationIsCaughtAndShrinks) {
+  MachineConfig Config = MachineConfig::dualSocket();
+  Config.Protocol = ProtocolKind::Sisd;
+  FaultPlan Faults;
+  Faults.Mutation = ProtocolMutation::SkipAcquireInvalidation;
+
+  const std::uint64_t Seed = 0xbeef;
+  std::vector<FuzzOp> Ops =
+      generateOps(Seed, Config.totalCores(), 20000, /*WithSync=*/true);
+  AuditReport Report = replayPrefix(Config, Faults, Ops, Ops.size());
+  ASSERT_GT(Report.Violations, 0u)
+      << "auditor missed the skipped acquire invalidation";
+
+  std::size_t Minimal = shrinkToMinimalPrefix(Config, Faults, Ops);
+  EXPECT_GT(replayPrefix(Config, Faults, Ops, Minimal).Violations, 0u);
+  EXPECT_EQ(replayPrefix(Config, Faults, Ops, Minimal - 1).Violations, 0u);
+  EXPECT_LT(Minimal, Ops.size() / 4);
+  std::printf("[ mutation %s ] %s\n",
+              mutationName(ProtocolMutation::SkipAcquireInvalidation),
+              describeFailure(Config, Faults, Ops, Seed).c_str());
+}
+
+// And with the stock protocol the same synchronized traces stay clean —
+// the SISD fuzz cases above plus this guard pin both directions.
+TEST(SisdMutationFuzz, StockSisdSurvivesTheSameTrace) {
+  MachineConfig Config = MachineConfig::dualSocket();
+  Config.Protocol = ProtocolKind::Sisd;
+  std::vector<FuzzOp> Ops =
+      generateOps(0xbeef, Config.totalCores(), 20000, /*WithSync=*/true);
+  AuditReport Report =
+      replayPrefix(Config, FaultPlan(), Ops, Ops.size());
+  EXPECT_TRUE(Report.clean())
+      << describeFailure(Config, FaultPlan(), Ops, 0xbeef);
+}

@@ -9,8 +9,8 @@
 /// id <-> kind mapping and the protocol registry, the SISD backend's
 /// self-invalidation/self-downgrade transitions (driven directly through a
 /// CoherenceController, like CoherenceTest does for MESI/WARDen), the
-/// N-protocol ComparisonResult API, and the deprecated ProtocolComparison
-/// shim that must keep producing the same numbers for one more release.
+/// N-protocol ComparisonResult API, the protocol-list parser the verify
+/// CLI uses, and the backends' declared consistency models.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -110,6 +110,90 @@ TEST(ProtocolRegistry, RegisterReplacesAnExistingId) {
                               return std::make_unique<SisdProtocol>(Controller);
                             });
   EXPECT_FALSE(WasNew);
+}
+
+TEST(ProtocolRegistry, MakeProtocolUnknownKindListsTheRegistry) {
+  // A kind value with no registered factory (the enum only has the three
+  // built-ins, so any out-of-range value is unknown by construction).
+  auto Bogus = static_cast<ProtocolKind>(99);
+  CoherenceController C(testConfig(ProtocolKind::Mesi));
+  try {
+    makeProtocol(Bogus, C);
+    FAIL() << "makeProtocol accepted an unregistered kind";
+  } catch (const std::invalid_argument &E) {
+    std::string Message = E.what();
+    EXPECT_NE(Message.find("no protocol backend registered"),
+              std::string::npos)
+        << Message;
+    // The message must list the valid ids so a bad --protocol= value is
+    // self-correcting at the command line.
+    EXPECT_NE(Message.find("mesi"), std::string::npos) << Message;
+    EXPECT_NE(Message.find("warden"), std::string::npos) << Message;
+    EXPECT_NE(Message.find("sisd"), std::string::npos) << Message;
+  }
+}
+
+// --- The protocol-list parser (the verify CLI's --protocol=) ------------------
+
+TEST(ParseProtocolList, AcceptsCommaSeparatedIds) {
+  std::string Error;
+  std::optional<std::vector<ProtocolKind>> Kinds =
+      parseProtocolList("mesi,warden,sisd", Error);
+  ASSERT_TRUE(Kinds.has_value()) << Error;
+  ASSERT_EQ(Kinds->size(), 3u);
+  EXPECT_EQ((*Kinds)[0], ProtocolKind::Mesi);
+  EXPECT_EQ((*Kinds)[1], ProtocolKind::Warden);
+  EXPECT_EQ((*Kinds)[2], ProtocolKind::Sisd);
+
+  Kinds = parseProtocolList("sisd", Error);
+  ASSERT_TRUE(Kinds.has_value()) << Error;
+  EXPECT_EQ(Kinds->size(), 1u);
+}
+
+TEST(ParseProtocolList, RejectsTrailingComma) {
+  std::string Error;
+  EXPECT_FALSE(parseProtocolList("mesi,warden,", Error).has_value());
+  EXPECT_NE(Error.find("empty protocol id"), std::string::npos) << Error;
+  EXPECT_FALSE(parseProtocolList(",mesi", Error).has_value());
+  EXPECT_FALSE(parseProtocolList("mesi,,warden", Error).has_value());
+}
+
+TEST(ParseProtocolList, RejectsDuplicateIds) {
+  std::string Error;
+  EXPECT_FALSE(parseProtocolList("mesi,warden,mesi", Error).has_value());
+  EXPECT_NE(Error.find("duplicate protocol id 'mesi'"), std::string::npos)
+      << Error;
+}
+
+TEST(ParseProtocolList, RejectsUnknownIdListingTheRegistry) {
+  std::string Error;
+  EXPECT_FALSE(parseProtocolList("mesi,moesi", Error).has_value());
+  EXPECT_NE(Error.find("unknown protocol id 'moesi'"), std::string::npos)
+      << Error;
+  EXPECT_NE(Error.find("registered ids"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("sisd"), std::string::npos) << Error;
+}
+
+TEST(ParseProtocolList, RejectsTheEmptyList) {
+  std::string Error;
+  EXPECT_FALSE(parseProtocolList("", Error).has_value());
+  EXPECT_NE(Error.find("empty protocol list"), std::string::npos) << Error;
+}
+
+// --- Declared consistency models ----------------------------------------------
+
+TEST(ConsistencyModelDecl, EagerBackendsDeclareScForDrfLazyDeclareRa) {
+  auto ModelOf = [](ProtocolKind Kind) {
+    CoherenceController C(testConfig(Kind));
+    return C.protocol().consistencyModel();
+  };
+  EXPECT_EQ(ModelOf(ProtocolKind::Mesi), ConsistencyModel::ScForDrf);
+  EXPECT_EQ(ModelOf(ProtocolKind::Warden), ConsistencyModel::ScForDrf);
+  EXPECT_EQ(ModelOf(ProtocolKind::Sisd), ConsistencyModel::ReleaseAcquire);
+  EXPECT_STREQ(consistencyModelName(ConsistencyModel::ScForDrf),
+               "sc-for-drf");
+  EXPECT_STREQ(consistencyModelName(ConsistencyModel::ReleaseAcquire),
+               "release-acquire");
 }
 
 // --- SISD transitions ---------------------------------------------------------
@@ -286,27 +370,3 @@ TEST(CompareProtocols, BaselineFallsBackToFirstWithoutMesi) {
   EXPECT_EQ(Cmp.Baseline, ProtocolKind::Sisd);
   EXPECT_EQ(&Cmp.baseline(), &Cmp.run(ProtocolKind::Sisd));
 }
-
-// --- The deprecated two-protocol shim -----------------------------------------
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(CompareProtocols, DeprecatedShimMatchesTheNewApi) {
-  TaskGraph Graph = tinyProgram();
-  RunOptions Options;
-  Options.Repeats = 1;
-  MachineConfig Machine = MachineConfig::dualSocket();
-  ProtocolComparison Old = WardenSystem::compare(Graph, Machine, Options);
-  ComparisonResult New = WardenSystem::compareProtocols(
-      Graph, Machine, {ProtocolKind::Mesi, ProtocolKind::Warden}, Options);
-  EXPECT_EQ(Old.Mesi.Makespan, New.run(ProtocolKind::Mesi).Makespan);
-  EXPECT_EQ(Old.Warden.Makespan, New.run(ProtocolKind::Warden).Makespan);
-  EXPECT_DOUBLE_EQ(Old.speedup(), New.speedup(ProtocolKind::Warden));
-  EXPECT_DOUBLE_EQ(Old.totalEnergySavings(),
-                   New.totalEnergySavings(ProtocolKind::Warden));
-  EXPECT_DOUBLE_EQ(Old.invDownReducedPerKiloInstr(),
-                   New.invDownReducedPerKiloInstr(ProtocolKind::Warden));
-}
-
-#pragma GCC diagnostic pop

@@ -1,0 +1,125 @@
+//===- tests/verify/LitmusTest.cpp - Litmus harness tests ---------------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The full litmus suite must pass for every registered backend against
+/// its declared consistency model — MESI/WARDen as SC-for-DRF, SISD as
+/// release-acquire with its relaxations demonstrably observable — and a
+/// deliberately weakened backend must fail the right pattern.
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/support/JobPool.h"
+#include "src/verify/Litmus.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace warden;
+
+namespace {
+
+std::string failureDigest(const LitmusResult &R) {
+  std::string Out = R.Pattern;
+  for (const std::string &Why : R.Failures) {
+    Out += "\n  ";
+    Out += Why;
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(LitmusSuite, CoversTheClassicPatterns) {
+  std::vector<LitmusPattern> Suite = litmusSuite();
+  std::vector<std::string> Names;
+  for (const LitmusPattern &P : Suite)
+    Names.push_back(P.Program.Name);
+  for (const char *Required :
+       {"mp", "mp_relaxed", "sb", "sb_relaxed", "lb", "corr", "coww"})
+    EXPECT_NE(std::find(Names.begin(), Names.end(), Required), Names.end())
+        << "missing litmus pattern " << Required;
+}
+
+class LitmusEveryProtocol : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(LitmusEveryProtocol, FullSuitePassesAgainstTheDeclaredModel) {
+  for (const LitmusResult &R : runLitmusSuite(GetParam()))
+    EXPECT_TRUE(R.Passed) << protocolId(GetParam()) << "/"
+                          << failureDigest(R);
+}
+
+TEST_P(LitmusEveryProtocol, SuiteIsDeterministicUnderAPool) {
+  JobPool Pool(4);
+  std::vector<LitmusResult> Serial = runLitmusSuite(GetParam());
+  std::vector<LitmusResult> Pooled = runLitmusSuite(GetParam(), &Pool);
+  ASSERT_EQ(Serial.size(), Pooled.size());
+  for (std::size_t I = 0; I < Serial.size(); ++I) {
+    EXPECT_EQ(Serial[I].Passed, Pooled[I].Passed);
+    EXPECT_EQ(Serial[I].Exploration.Outcomes, Pooled[I].Exploration.Outcomes);
+    EXPECT_EQ(Serial[I].Exploration.Stats.StatesVisited,
+              Pooled[I].Exploration.Stats.StatesVisited);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, LitmusEveryProtocol,
+                         ::testing::Values(ProtocolKind::Mesi,
+                                           ProtocolKind::Warden,
+                                           ProtocolKind::Sisd),
+                         [](const auto &Info) {
+                           return std::string(protocolId(Info.param));
+                         });
+
+TEST(LitmusModels, DeclaredModelsMatchTheBackends) {
+  EXPECT_EQ(declaredModel(ProtocolKind::Mesi), ConsistencyModel::ScForDrf);
+  EXPECT_EQ(declaredModel(ProtocolKind::Warden), ConsistencyModel::ScForDrf);
+  EXPECT_EQ(declaredModel(ProtocolKind::Sisd),
+            ConsistencyModel::ReleaseAcquire);
+}
+
+TEST(LitmusOutcomes, SisdDemonstratesItsRelaxationsAndMesiDoesNot) {
+  // The relaxed patterns exist precisely to distinguish the two model
+  // classes: the weak outcome must be reachable under SISD and
+  // unreachable under MESI/WARDen.
+  for (const LitmusPattern &P : litmusSuite()) {
+    if (P.RequiredWeakUnderRa.empty())
+      continue;
+    LitmusResult Sisd = runLitmus(P, ProtocolKind::Sisd);
+    const std::vector<std::string> &SisdOut = Sisd.Exploration.Outcomes;
+    EXPECT_NE(std::find(SisdOut.begin(), SisdOut.end(),
+                        P.RequiredWeakUnderRa),
+              SisdOut.end())
+        << P.Program.Name << ": SISD did not show " << P.RequiredWeakUnderRa;
+    for (ProtocolKind Eager : {ProtocolKind::Mesi, ProtocolKind::Warden}) {
+      LitmusResult R = runLitmus(P, Eager);
+      const std::vector<std::string> &Out = R.Exploration.Outcomes;
+      EXPECT_EQ(std::find(Out.begin(), Out.end(), P.RequiredWeakUnderRa),
+                Out.end())
+          << P.Program.Name << ": " << protocolId(Eager)
+          << " showed the weak outcome " << P.RequiredWeakUnderRa;
+    }
+  }
+}
+
+TEST(LitmusDetection, WeakenedAcquireFailsTheMpPattern) {
+  // Run MP's exploration with the broken acquire: the explorer must find
+  // the invariant violation (the acquire leaves residue), so the pattern
+  // cannot pass. This closes the loop: the harness does not just pass
+  // correct protocols, it fails broken ones.
+  const std::vector<LitmusPattern> Suite = litmusSuite();
+  auto Mp = std::find_if(Suite.begin(), Suite.end(), [](const auto &P) {
+    return P.Program.Name == "mp";
+  });
+  ASSERT_NE(Mp, Suite.end());
+
+  ExplorerOptions Options;
+  Options.Protocol = ProtocolKind::Sisd;
+  Options.Faults.Mutation = ProtocolMutation::SkipAcquireInvalidation;
+  ExplorerResult R = Explorer(Options).explore(Mp->Program);
+  ASSERT_TRUE(R.Violation.has_value());
+  EXPECT_LE(R.Violation->Steps.size(), 12u);
+}

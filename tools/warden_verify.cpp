@@ -1,0 +1,419 @@
+//===- tools/warden_verify.cpp - Model-checking CLI harness ---------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// warden-verify: exhaustive model checking and litmus testing for the
+/// registered protocol backends, from the command line.
+///
+///   warden-verify                           # full suite, all protocols
+///   warden-verify --protocol=sisd --mode=litmus
+///   warden-verify --mutate=skip-acquire-invalidation --protocol=sisd
+///   warden-verify --jobs=4 --json=verify.json
+///
+/// Modes: "litmus" runs the consistency litmus suite (verify/Litmus.h)
+/// against each backend's declared model; "explore" exhaustively checks
+/// the invariant set over a fixed battery of small racy programs; "all"
+/// (default) runs both.
+///
+/// With --mutate=<name> the named deliberate protocol bug is injected and
+/// the expectation inverts: the run passes (exit 0) only when the checker
+/// *catches* the bug and produces a minimal counterexample — the
+/// regression harness for the verification layer itself.
+///
+/// The JSON report is fully deterministic: byte-identical across --jobs
+/// values and across runs (no timestamps, hosts, or durations).
+///
+/// Exit codes: 0 verification passed, 1 verification failed, 2 usage.
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/support/JobPool.h"
+#include "src/support/Json.h"
+#include "src/support/Strings.h"
+#include "src/verify/Litmus.h"
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+using namespace warden;
+
+namespace {
+
+struct VerifyOptions {
+  std::vector<ProtocolKind> Protocols;
+  std::string Mode = "all";
+  unsigned Jobs = 1;
+  std::uint64_t MaxStates = 1 << 18;
+  ProtocolMutation Mutation = ProtocolMutation::None;
+  std::string JsonPath;
+  bool List = false;
+};
+
+void usage(std::FILE *To) {
+  std::fprintf(
+      To,
+      "usage: warden-verify [options]\n"
+      "  --protocol=<id,...>  protocols to verify (default: all registered)\n"
+      "  --mode=<m>           all | litmus | explore (default: all)\n"
+      "  --jobs=<n>           worker threads for the exploration (default 1)\n"
+      "  --max-states=<n>     canonical-state budget per search root\n"
+      "  --mutate=<name>      inject a deliberate protocol bug; the run then\n"
+      "                       passes only if the checker catches it\n"
+      "  --json=<path>        write the deterministic JSON report\n"
+      "  --list               list protocols, litmus patterns, and mutations\n");
+}
+
+bool parseUnsigned(const std::string &Text, std::uint64_t &Out) {
+  if (Text.empty())
+    return false;
+  Out = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return false;
+    Out = Out * 10 + static_cast<std::uint64_t>(C - '0');
+  }
+  return true;
+}
+
+std::optional<ProtocolMutation> parseMutation(const std::string &Name) {
+  for (ProtocolMutation M :
+       {ProtocolMutation::None, ProtocolMutation::SkipInvalidationOnGetM,
+        ProtocolMutation::SkipDowngradeOnFwdGetS,
+        ProtocolMutation::SkipAcquireInvalidation})
+    if (Name == mutationName(M))
+      return M;
+  return std::nullopt;
+}
+
+/// The explore-mode battery: small racy programs stressing every backend
+/// surface (plain sharing, synchronization, WARD regions). Each is
+/// exhaustively interleaved with the full invariant sweep at every step.
+std::vector<VerifyProgram> explorePrograms() {
+  constexpr Addr X = 0x40, Y = 0x80;
+  auto Ld = [](Addr A, bool Obs = false) {
+    VerifyOp Op;
+    Op.K = VerifyOp::Kind::Load;
+    Op.Address = A;
+    Op.Observe = Obs;
+    return Op;
+  };
+  auto St = [](Addr A) {
+    VerifyOp Op;
+    Op.K = VerifyOp::Kind::Store;
+    Op.Address = A;
+    return Op;
+  };
+  auto Acq = [] {
+    VerifyOp Op;
+    Op.K = VerifyOp::Kind::Acquire;
+    return Op;
+  };
+  auto Rel = [] {
+    VerifyOp Op;
+    Op.K = VerifyOp::Kind::Release;
+    return Op;
+  };
+  auto Add = [](RegionId Id, Addr Start, Addr End) {
+    VerifyOp Op;
+    Op.K = VerifyOp::Kind::AddRegion;
+    Op.Region = Id;
+    Op.Address = Start;
+    Op.End = End;
+    return Op;
+  };
+  auto Rm = [](RegionId Id) {
+    VerifyOp Op;
+    Op.K = VerifyOp::Kind::RemoveRegion;
+    Op.Region = Id;
+    return Op;
+  };
+
+  std::vector<VerifyProgram> Programs;
+  Programs.push_back({"rw_mix",
+                      {{St(X), Ld(Y), St(Y), Ld(X, true)},
+                       {St(Y), Ld(X), St(X), Ld(Y, true)}}});
+  Programs.push_back({"sync_mix",
+                      {{St(X), Rel(), Acq(), Ld(Y, true)},
+                       {St(Y), Rel(), Acq(), Ld(X, true)}}});
+  Programs.push_back({"region_mix",
+                      {{Add(1, X, X + 0x40), St(X), St(X), Rm(1), Rel()},
+                       {Ld(X, true), Acq(), Ld(X, true)}}});
+  Programs.push_back({"three_way",
+                      {{St(X), Rel()},
+                       {Ld(X), Acq(), Ld(X, true)},
+                       {St(Y), Rel(), Ld(X, true)}}});
+  return Programs;
+}
+
+void emitStringArray(JsonWriter &W, std::string_view Key,
+                     const std::vector<std::string> &Values) {
+  W.key(Key).beginArray();
+  for (const std::string &V : Values)
+    W.value(V);
+  W.endArray();
+}
+
+void emitStats(JsonWriter &W, const ExplorerStats &Stats) {
+  W.key("stats").beginObject();
+  W.member("states_visited", Stats.StatesVisited);
+  W.member("states_deduped", Stats.StatesDeduped);
+  W.member("schedules_completed", Stats.SchedulesCompleted);
+  W.member("truncated", Stats.Truncated);
+  W.endObject();
+}
+
+void emitCounterexample(JsonWriter &W, const Counterexample &Ce) {
+  W.key("counterexample").beginObject();
+  W.member("steps", std::uint64_t(Ce.Steps.size()));
+  W.member("violations", Ce.Violations);
+  W.key("trace").beginArray();
+  for (const TraceStep &Step : Ce.Steps)
+    W.beginObject()
+        .member("thread", Step.Thread)
+        .member("pc", Step.Pc)
+        .member("op", verifyOpName(Step.Op.K))
+        .member("address", Step.Op.Address)
+        .endObject();
+  W.endArray();
+  emitStringArray(W, "messages", Ce.Messages);
+  W.endObject();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  VerifyOptions Opts;
+  std::string ProtocolList;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Eq = Arg.find('=');
+    std::string Key = Arg.substr(0, Eq);
+    std::string Value = Eq == std::string::npos ? "" : Arg.substr(Eq + 1);
+    if (Key == "--help" || Key == "-h") {
+      usage(stdout);
+      return 0;
+    }
+    if (Key == "--list") {
+      Opts.List = true;
+    } else if (Key == "--protocol") {
+      ProtocolList = Value;
+    } else if (Key == "--mode") {
+      if (Value != "all" && Value != "litmus" && Value != "explore") {
+        std::fprintf(stderr, "warden-verify: unknown mode '%s'\n",
+                     Value.c_str());
+        return 2;
+      }
+      Opts.Mode = Value;
+    } else if (Key == "--jobs") {
+      std::uint64_t N = 0;
+      if (!parseUnsigned(Value, N) || N == 0 || N > 256) {
+        std::fprintf(stderr, "warden-verify: bad --jobs value '%s'\n",
+                     Value.c_str());
+        return 2;
+      }
+      Opts.Jobs = static_cast<unsigned>(N);
+    } else if (Key == "--max-states") {
+      if (!parseUnsigned(Value, Opts.MaxStates) || Opts.MaxStates == 0) {
+        std::fprintf(stderr, "warden-verify: bad --max-states value '%s'\n",
+                     Value.c_str());
+        return 2;
+      }
+    } else if (Key == "--mutate") {
+      std::optional<ProtocolMutation> M = parseMutation(Value);
+      if (!M) {
+        std::fprintf(stderr,
+                     "warden-verify: unknown mutation '%s' (try "
+                     "skip-invalidation-on-getm, skip-downgrade-on-fwd-gets, "
+                     "skip-acquire-invalidation)\n",
+                     Value.c_str());
+        return 2;
+      }
+      Opts.Mutation = *M;
+    } else if (Key == "--json") {
+      Opts.JsonPath = Value;
+    } else {
+      std::fprintf(stderr, "warden-verify: unknown option '%s'\n",
+                   Arg.c_str());
+      usage(stderr);
+      return 2;
+    }
+  }
+
+  if (Opts.List) {
+    std::printf("protocols:\n");
+    for (const std::string &Id : registeredProtocolIds())
+      std::printf("  %-10s %s\n", Id.c_str(),
+                  consistencyModelName(declaredModel(*parseProtocolId(Id))));
+    std::printf("litmus patterns:\n");
+    for (const LitmusPattern &P : litmusSuite())
+      std::printf("  %-12s %s\n", P.Program.Name.c_str(), P.Note.c_str());
+    std::printf("mutations:\n");
+    for (ProtocolMutation M :
+         {ProtocolMutation::SkipInvalidationOnGetM,
+          ProtocolMutation::SkipDowngradeOnFwdGetS,
+          ProtocolMutation::SkipAcquireInvalidation})
+      std::printf("  %s\n", mutationName(M));
+    return 0;
+  }
+
+  if (ProtocolList.empty()) {
+    for (const std::string &Id : registeredProtocolIds())
+      Opts.Protocols.push_back(*parseProtocolId(Id));
+  } else {
+    std::string Error;
+    std::optional<std::vector<ProtocolKind>> Kinds =
+        parseProtocolList(ProtocolList, Error);
+    if (!Kinds) {
+      std::fprintf(stderr, "warden-verify: --protocol: %s\n", Error.c_str());
+      return 2;
+    }
+    Opts.Protocols = std::move(*Kinds);
+  }
+
+  JobPool Pool(Opts.Jobs);
+  JobPool *PoolPtr = Opts.Jobs > 1 ? &Pool : nullptr;
+  bool MutationRun = Opts.Mutation != ProtocolMutation::None;
+
+  JsonWriter W;
+  W.beginObject();
+  W.member("tool", "warden-verify");
+  W.member("mode", Opts.Mode);
+  W.member("mutation", mutationName(Opts.Mutation));
+  W.key("protocols").beginArray();
+
+  bool AllPassed = true;
+  // With a mutation injected the harness passes only if at least one
+  // search catches the bug.
+  bool MutationCaught = false;
+
+  for (ProtocolKind Protocol : Opts.Protocols) {
+    ConsistencyModel Model = declaredModel(Protocol);
+    W.beginObject();
+    W.member("protocol", protocolId(Protocol));
+    W.member("model", consistencyModelName(Model));
+
+    if (Opts.Mode == "all" || Opts.Mode == "litmus") {
+      W.key("litmus").beginArray();
+      for (const LitmusPattern &Pattern : litmusSuite()) {
+        LitmusResult R = [&] {
+          if (!MutationRun)
+            return runLitmus(Pattern, Protocol, PoolPtr);
+          // Mutated run: bypass the contract judgement, just explore.
+          LitmusResult M;
+          M.Pattern = Pattern.Program.Name;
+          M.Protocol = Protocol;
+          M.Model = Model;
+          ExplorerOptions EO;
+          EO.Protocol = Protocol;
+          EO.Faults.Mutation = Opts.Mutation;
+          EO.MaxStatesPerRoot = Opts.MaxStates;
+          EO.Pool = PoolPtr;
+          M.Exploration = Explorer(EO).explore(Pattern.Program);
+          M.Passed = M.Exploration.clean();
+          return M;
+        }();
+
+        W.beginObject();
+        W.member("pattern", R.Pattern);
+        W.member("passed", R.Passed);
+        emitStringArray(W, "outcomes", R.Exploration.Outcomes);
+        emitStringArray(W, "sc_outcomes", R.Exploration.ScOutcomes);
+        emitStringArray(W, "weak_outcomes", R.Exploration.weakOutcomes());
+        emitStringArray(W, "failures", R.Failures);
+        emitStats(W, R.Exploration.Stats);
+        if (R.Exploration.Violation) {
+          emitCounterexample(W, *R.Exploration.Violation);
+          MutationCaught = true;
+          std::printf("[%s/%s] counterexample:\n%s\n",
+                      protocolId(Protocol), R.Pattern.c_str(),
+                      R.Exploration.Violation->describe().c_str());
+        }
+        W.endObject();
+
+        if (MutationRun)
+          continue; // Judged globally below.
+        if (!R.Passed) {
+          AllPassed = false;
+          std::printf("[%s/%s] FAILED\n", protocolId(Protocol),
+                      R.Pattern.c_str());
+          for (const std::string &Why : R.Failures)
+            std::printf("  %s\n", Why.c_str());
+        }
+      }
+      W.endArray();
+    }
+
+    if (Opts.Mode == "all" || Opts.Mode == "explore") {
+      W.key("explore").beginArray();
+      for (const VerifyProgram &Program : explorePrograms()) {
+        ExplorerOptions EO;
+        EO.Protocol = Protocol;
+        EO.Faults.Mutation = Opts.Mutation;
+        EO.MaxStatesPerRoot = Opts.MaxStates;
+        EO.Pool = PoolPtr;
+        ExplorerResult R = Explorer(EO).explore(Program);
+
+        bool Clean = R.clean() && !R.Stats.Truncated;
+        // SC-for-DRF backends additionally owe SC outcomes everywhere.
+        if (Model == ConsistencyModel::ScForDrf && !R.weakOutcomes().empty())
+          Clean = false;
+
+        W.beginObject();
+        W.member("program", Program.Name);
+        W.member("clean", Clean);
+        emitStringArray(W, "outcomes", R.Outcomes);
+        emitStringArray(W, "weak_outcomes", R.weakOutcomes());
+        emitStats(W, R.Stats);
+        if (R.Violation) {
+          emitCounterexample(W, *R.Violation);
+          MutationCaught = true;
+          std::printf("[%s/%s] counterexample:\n%s\n",
+                      protocolId(Protocol), Program.Name.c_str(),
+                      R.Violation->describe().c_str());
+        }
+        W.endObject();
+
+        if (MutationRun)
+          continue;
+        if (!Clean) {
+          AllPassed = false;
+          std::printf("[%s/%s] FAILED (violation or weak outcome)\n",
+                      protocolId(Protocol), Program.Name.c_str());
+        }
+      }
+      W.endArray();
+    }
+
+    W.endObject();
+  }
+  W.endArray();
+
+  bool Passed = MutationRun ? MutationCaught : AllPassed;
+  W.member("passed", Passed);
+  W.endObject();
+
+  if (!Opts.JsonPath.empty()) {
+    std::ofstream Out(Opts.JsonPath, std::ios::binary);
+    if (!Out) {
+      std::fprintf(stderr, "warden-verify: cannot write '%s'\n",
+                   Opts.JsonPath.c_str());
+      return 2;
+    }
+    Out << W.str() << "\n";
+  }
+
+  if (MutationRun)
+    std::printf("mutation '%s': %s\n", mutationName(Opts.Mutation),
+                MutationCaught ? "caught (counterexample above)"
+                               : "NOT CAUGHT — verification gap");
+  else
+    std::printf("warden-verify: %s\n", Passed ? "all checks passed"
+                                              : "FAILURES (see above)");
+  return Passed ? 0 : 1;
+}
