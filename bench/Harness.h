@@ -59,6 +59,14 @@ struct BenchOptions {
   /// Protocol backends to simulate, in request order (--protocol=).
   std::vector<ProtocolKind> Protocols = {ProtocolKind::Mesi,
                                          ProtocolKind::Warden};
+  /// True when --protocol= was given: figure harnesses with their own
+  /// default protocol set (e.g. fig13's four-way comparison) only apply it
+  /// when the user did not choose explicitly.
+  bool ProtocolsExplicit = false;
+  /// Node-tier override for multi-node harnesses (--nodes=N); 0 keeps the
+  /// figure's default machine shape. Figures on single-node machines
+  /// ignore it.
+  unsigned Nodes = 0;
   /// Benchmarks to run; empty means the harness's own default selection.
   std::vector<std::string> Only;
   /// Multiplier applied to every benchmark's default problem size.
@@ -96,6 +104,9 @@ struct BenchOptions {
 ///                    repeat fan-out; default 1). Changes wall time only:
 ///                    reports are byte-identical to --jobs=1 modulo the
 ///                    host_seconds / sim_accesses_per_sec fields
+///   --nodes=N        multi-node harnesses: simulate N non-coherent nodes
+///                    (one socket each); figures on single-node machines
+///                    ignore it
 /// Unknown arguments print usage and exit, so a typo cannot silently run
 /// the wrong experiment.
 inline BenchOptions parseBenchArgs(int argc, char **argv) {
@@ -144,6 +155,7 @@ inline BenchOptions parseBenchArgs(int argc, char **argv) {
                      argv[0]);
         std::exit(2);
       }
+      B.ProtocolsExplicit = true;
     } else if (std::strncmp(Arg, "--only=", 7) == 0) {
       const char *Cursor = Arg + 7;
       while (*Cursor) {
@@ -176,11 +188,22 @@ inline BenchOptions parseBenchArgs(int argc, char **argv) {
         std::exit(2);
       }
       B.Jobs = static_cast<unsigned>(Jobs);
+    } else if (std::strncmp(Arg, "--nodes=", 8) == 0) {
+      char *End = nullptr;
+      unsigned long Nodes = std::strtoul(Arg + 8, &End, 10);
+      if (End == Arg + 8 || *End != '\0' || Nodes == 0) {
+        std::fprintf(stderr,
+                     "%s: --nodes wants a positive integer, got %s\n",
+                     argv[0], Arg + 8);
+        std::exit(2);
+      }
+      B.Nodes = static_cast<unsigned>(Nodes);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--audit] [--faults[=seed]] "
                    "[--protocol=ID[,ID...]] [--only=NAME[,NAME...]] "
-                   "[--scale=X] [--json=FILE] [--profile] [--jobs=N]\n",
+                   "[--scale=X] [--json=FILE] [--profile] [--jobs=N] "
+                   "[--nodes=N]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -641,6 +664,22 @@ inline void writeRunJson(JsonWriter &W, const RunResult &R) {
   W.member("interconnect_energy_nj", R.Energy.interconnectNJ());
   W.member("total_energy_nj", R.Energy.totalProcessorNJ());
   W.member("peak_regions", R.PeakRegions);
+  if (R.Protocol == ProtocolKind::Racoh) {
+    // Log-coherence metrics only racoh produces; gating on the protocol
+    // keeps every pre-racoh record byte-identical.
+    const CoherenceStats &S = R.Coherence;
+    W.member("log_publishes", S.LogPublishes);
+    W.member("log_records_published", S.LogRecordsPublished);
+    W.member("log_records_consumed", S.LogRecordsConsumed);
+    W.member("log_backpressure_stalls", S.LogBackpressureStalls);
+    W.member("log_invalidations", S.LogInvalidations);
+    W.member("pre_invalidate_avoided", S.PreInvalidateAvoided);
+    W.member("pre_invalidate_avoidance_rate", S.preInvalidateAvoidanceRate());
+    W.member("cross_node_hops", S.CrossNodeHops);
+    W.member("log_queue_peak_occupancy", S.LogQueuePeakOccupancy);
+    W.member("msgs_inter_node", S.MsgsInterNode);
+    W.member("data_inter_node", S.DataInterNode);
+  }
   W.endObject();
 }
 
@@ -674,6 +713,7 @@ inline bool writeJsonReport(const std::string &Path, const char *Experiment,
   W.member("cores_per_socket", Machine.CoresPerSocket);
   W.member("total_cores", Machine.totalCores());
   W.member("disaggregated", Machine.Disaggregated);
+  W.member("nodes", Machine.NumNodes);
   W.endObject();
 
   // Host-side engine throughput. Everything under "host" (and the

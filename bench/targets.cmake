@@ -24,6 +24,7 @@ warden_bench(fig9_inv_down)
 warden_bench(fig10_breakdown)
 warden_bench(fig11_ipc)
 warden_bench(fig12_disaggregated)
+warden_bench(fig13_multinode)
 warden_bench(ablation_features)
 warden_bench(ablation_region_table)
 warden_bench(manysocket_scaling)

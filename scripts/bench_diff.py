@@ -84,6 +84,30 @@ METRICS = [
     ("total energy savings", lambda b: b["total_energy_savings"]),
 ]
 
+# Per-protocol metrics compared for every protocol beyond the classic pair
+# that appears in BOTH v2 reports (extra protocols present in only one
+# report stay ignored, so a wider candidate never fails a narrower
+# baseline). This is how baselines/BENCH_racoh.json pins the racoh
+# numbers: when both reports carry a racoh run, its makespan, coherence
+# work, and log-coherence counters are all diffed.
+PROTO_METRICS = [
+    ("cycles", lambda r: r["makespan_cycles"]),
+    ("inv+down", lambda r: r["invalidations"] + r["downgrades"]),
+]
+
+# Racoh-only log-coherence forensics (absent fields are skipped so the
+# diff tolerates reports produced before a counter existed).
+RACOH_METRICS = [
+    ("log publishes", "log_publishes"),
+    ("log records pub", "log_records_published"),
+    ("log records cons", "log_records_consumed"),
+    ("log stalls", "log_backpressure_stalls"),
+    ("log invalidations", "log_invalidations"),
+    ("pre-inv avoided", "pre_invalidate_avoided"),
+    ("cross-node hops", "cross_node_hops"),
+    ("log queue peak", "log_queue_peak_occupancy"),
+]
+
 # Host-side engine throughput; compared only under --check-perf. These are
 # wall-clock measurements of the simulator itself and are expected to move
 # whenever the host, load, or --jobs setting changes.
@@ -133,17 +157,39 @@ def main():
     print(f"{'benchmark':{width}} {'metric':22} {'baseline':>14} "
           f"{'candidate':>14} {'delta':>8}  verdict")
     for name in common:
+        def compare(label, b_val, c_val):
+            nonlocal failures
+            dev = deviation(b_val, c_val)
+            ok = dev <= args.tolerance
+            failures += not ok
+            print(f"{name:{width}} {label:22} {b_val:14.4g} {c_val:14.4g} "
+                  f"{dev:7.1%}  {'ok' if ok else 'FAIL'}")
+
         for label, get in METRICS:
             try:
                 b_val = get(base_by_name[name])
                 c_val = get(cand_by_name[name])
             except KeyError as key:
                 sys.exit(f"error: {name}: missing field {key}")
-            dev = deviation(b_val, c_val)
-            ok = dev <= args.tolerance
-            failures += not ok
-            print(f"{name:{width}} {label:22} {b_val:14.4g} {c_val:14.4g} "
-                  f"{dev:7.1%}  {'ok' if ok else 'FAIL'}")
+            compare(label, b_val, c_val)
+
+        # Protocols beyond the classic pair, when both reports have them.
+        b_protos = base_by_name[name].get("protocols", {})
+        c_protos = cand_by_name[name].get("protocols", {})
+        for proto in sorted((set(b_protos) & set(c_protos)) -
+                            {"mesi", "warden"}):
+            b_run, c_run = b_protos[proto], c_protos[proto]
+            for label, get in PROTO_METRICS:
+                try:
+                    b_val, c_val = get(b_run), get(c_run)
+                except KeyError as key:
+                    sys.exit(f"error: {name}/{proto}: missing field {key}")
+                compare(f"{proto} {label}", b_val, c_val)
+            if proto == "racoh":
+                for label, field in RACOH_METRICS:
+                    if field not in b_run or field not in c_run:
+                        continue
+                    compare(label, b_run[field], c_run[field])
         if args.check_perf:
             for label, get in PERF_METRICS:
                 try:

@@ -82,6 +82,7 @@ void CoherenceController::attachObs(Observability *NewObs) {
   if (Obs && Obs->Trace)
     Obs->Trace->setCoreCount(Config.totalCores());
   RegionAddedAt.clear();
+  Backend->attachObs(Obs);
 }
 
 SocketId CoherenceController::homeOf(Addr Block, CoreId Requester) {
@@ -104,6 +105,8 @@ SocketId CoherenceController::homeOfExisting(Addr Block) const {
 void CoherenceController::noteMsg(SocketId From, SocketId To) {
   if (From == To)
     ++Stats.MsgsIntraSocket;
+  else if (Config.NumNodes > 1 && Config.nodeOf(From) != Config.nodeOf(To))
+    ++Stats.MsgsInterNode;
   else if (Config.Disaggregated)
     ++Stats.MsgsRemote;
   else
@@ -113,6 +116,8 @@ void CoherenceController::noteMsg(SocketId From, SocketId To) {
 void CoherenceController::noteData(SocketId From, SocketId To) {
   if (From == To)
     ++Stats.DataIntraSocket;
+  else if (Config.NumNodes > 1 && Config.nodeOf(From) != Config.nodeOf(To))
+    ++Stats.DataInterNode;
   else if (Config.Disaggregated)
     ++Stats.DataRemote;
   else

@@ -53,6 +53,10 @@ struct CoherenceStats {
   std::uint64_t DataIntraSocket = 0;
   std::uint64_t DataInterSocket = 0;
   std::uint64_t DataRemote = 0;
+  // Traffic over the non-coherent node interconnect (NumNodes > 1 only;
+  // zero on every machine without the node tier).
+  std::uint64_t MsgsInterNode = 0;
+  std::uint64_t DataInterNode = 0;
 
   // Private-cache evictions and writebacks.
   std::uint64_t Evictions = 0;
@@ -79,6 +83,22 @@ struct CoherenceStats {
   std::uint64_t InjectedEvictions = 0; ///< Fault-injected private evictions.
   std::uint64_t ForcedReconciles = 0;  ///< Fault-injected mid-region reconciles.
 
+  // Log-based coherence events (racoh; all zero for other backends).
+  std::uint64_t LogRecordsPublished = 0; ///< Dirty-line records released.
+  std::uint64_t LogRecordsConsumed = 0;  ///< Records drained at acquires.
+  std::uint64_t LogPublishes = 0;        ///< Releases that published a log.
+  std::uint64_t LogBackpressureStalls = 0; ///< Publishes that found the
+                                           ///< node queue full.
+  std::uint64_t LogInvalidations = 0;    ///< Resident lines shot down by a
+                                         ///< consumed log record.
+  std::uint64_t PreInvalidateAvoided = 0; ///< Resident lines an acquire kept
+                                          ///< because no log record named
+                                          ///< them (the avoidance win).
+  std::uint64_t CrossNodeHops = 0;       ///< Node-interconnect round trips
+                                         ///< taken to fetch remote logs.
+  std::uint64_t LogQueuePeakOccupancy = 0; ///< High-water mark over every
+                                           ///< node queue (records).
+
   /// Demand accesses of all kinds.
   std::uint64_t accesses() const { return Loads + Stores + Rmws; }
 
@@ -86,11 +106,20 @@ struct CoherenceStats {
   std::uint64_t invPlusDown() const { return Invalidations + Downgrades; }
 
   std::uint64_t totalMsgs() const {
-    return MsgsIntraSocket + MsgsInterSocket + MsgsRemote;
+    return MsgsIntraSocket + MsgsInterSocket + MsgsRemote + MsgsInterNode;
   }
 
   std::uint64_t totalData() const {
-    return DataIntraSocket + DataInterSocket + DataRemote;
+    return DataIntraSocket + DataInterSocket + DataRemote + DataInterNode;
+  }
+
+  /// Fraction of acquire-examined resident lines the log filter saved from
+  /// a blanket self-invalidation (racoh's headline statistic).
+  double preInvalidateAvoidanceRate() const {
+    std::uint64_t Examined = LogInvalidations + PreInvalidateAvoided;
+    return Examined == 0 ? 0.0
+                         : static_cast<double>(PreInvalidateAvoided) /
+                               static_cast<double>(Examined);
   }
 };
 

@@ -7,6 +7,7 @@
 #include "src/coherence/Protocol.h"
 
 #include "src/coherence/MesiProtocol.h"
+#include "src/coherence/RacohProtocol.h"
 #include "src/coherence/SisdProtocol.h"
 #include "src/coherence/WardenProtocol.h"
 
@@ -24,6 +25,8 @@ const char *warden::protocolName(ProtocolKind Protocol) {
     return "WARDen";
   case ProtocolKind::Sisd:
     return "SISD";
+  case ProtocolKind::Racoh:
+    return "RACoh";
   }
   return "?";
 }
@@ -36,13 +39,16 @@ const char *warden::protocolId(ProtocolKind Protocol) {
     return "warden";
   case ProtocolKind::Sisd:
     return "sisd";
+  case ProtocolKind::Racoh:
+    return "racoh";
   }
   return "?";
 }
 
 const std::vector<ProtocolKind> &warden::allProtocolKinds() {
   static const std::vector<ProtocolKind> Kinds = {
-      ProtocolKind::Mesi, ProtocolKind::Warden, ProtocolKind::Sisd};
+      ProtocolKind::Mesi, ProtocolKind::Warden, ProtocolKind::Sisd,
+      ProtocolKind::Racoh};
   return Kinds;
 }
 
@@ -90,6 +96,15 @@ Cycles CoherenceProtocol::syncRelease(CoreId Core) {
   return 0;
 }
 
+std::uint64_t CoherenceProtocol::stateFingerprint() const { return 0; }
+
+bool CoherenceProtocol::blockHasUnpublishedWrite(Addr Block) const {
+  (void)Block;
+  return false;
+}
+
+void CoherenceProtocol::attachObs(Observability *Obs) { (void)Obs; }
+
 //===----------------------------------------------------------------------===//
 // Registry
 //===----------------------------------------------------------------------===//
@@ -128,6 +143,11 @@ struct ProtocolRegistry {
                        [](CoherenceController &C) {
                          return std::unique_ptr<CoherenceProtocol>(
                              new SisdProtocol(C));
+                       }});
+    Entries.push_back({protocolId(ProtocolKind::Racoh), ProtocolKind::Racoh,
+                       [](CoherenceController &C) {
+                         return std::unique_ptr<CoherenceProtocol>(
+                             new RacohProtocol(C));
                        }});
   }
 };

@@ -12,7 +12,7 @@
 /// backend owns the *policy*: what happens on a miss, on an eviction, at a
 /// region boundary, and (for lazy protocols) at synchronization points.
 ///
-/// Three backends ship in-tree, registered under string ids:
+/// Four backends ship in-tree, registered under string ids:
 ///  * "mesi"   — directory MESI (Nagarajan et al. vocabulary).
 ///  * "warden" — MESI plus the WARD state and region reconciliation
 ///               (Sections 5-6 of the paper).
@@ -23,6 +23,12 @@
 ///               their own dirty lines at release points (task
 ///               completion) instead of ever servicing remote
 ///               invalidations or downgrades.
+///  * "racoh"  — log-based release-acquire coherence over the machine's
+///               non-coherent node tier (CXL-pool shape): stores append
+///               dirty-line records to a bounded per-node log, releases
+///               publish the log, acquires drain remote logs gated by
+///               per-node vector clocks so only lines actually written
+///               since the last synchronization are invalidated.
 ///
 /// The contract, spelled out in DESIGN.md "Protocol backends": a backend
 /// must route all traffic through the controller's helpers (llcData,
@@ -67,14 +73,15 @@ enum class ProtocolKind {
   Mesi,   ///< Baseline directory MESI (Nagarajan et al. vocabulary).
   Warden, ///< MESI augmented with the WARD state and region table.
   Sisd,   ///< Directory-less self-invalidation/self-downgrade.
+  Racoh,  ///< Log-based release-acquire coherence across nodes.
 };
 
 /// Returns a printable display name for \p Protocol ("MESI", "WARDen",
-/// "SISD").
+/// "SISD", "RACoh").
 const char *protocolName(ProtocolKind Protocol);
 
 /// Returns the stable lowercase id for \p Protocol ("mesi", "warden",
-/// "sisd") — the key used by --protocol=, the registry, and the
+/// "sisd", "racoh") — the key used by --protocol=, the registry, and the
 /// warden-bench-v2 report's "protocols" map.
 const char *protocolId(ProtocolKind Protocol);
 
@@ -181,6 +188,25 @@ public:
   /// byte-identity with the pre-backend engine depends on it.
   virtual Cycles syncAcquire(CoreId Core);
   virtual Cycles syncRelease(CoreId Core);
+
+  /// A deterministic hash of the backend's protocol-private state (pending
+  /// logs, vector clocks, ...). The exhaustive explorer mixes this into its
+  /// canonical state key so two machine states that differ only in hidden
+  /// protocol state are never wrongly deduplicated. Backends without
+  /// private state keep the default 0.
+  virtual std::uint64_t stateFingerprint() const;
+
+  /// True when the backend holds a not-yet-published (logged but not
+  /// released) write to \p Block. The auditor's lazy-protocol disciplines
+  /// use this to tell licensed staleness (an unpublished write the
+  /// consistency model lets other cores miss) from a protocol bug.
+  virtual bool blockHasUnpublishedWrite(Addr Block) const;
+
+  /// Called when the controller attaches (or detaches, \p Obs == nullptr)
+  /// an observability bundle: the backend resolves any named instruments it
+  /// exports from the bundle's MetricRegistry. Recording only — an attached
+  /// run must stay cycle-identical to a detached one.
+  virtual void attachObs(Observability *Obs);
 
 protected:
   CoherenceProtocol(ProtocolKind Kind, CoherenceController &Controller)

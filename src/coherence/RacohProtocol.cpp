@@ -1,0 +1,324 @@
+//===- coherence/RacohProtocol.cpp - Log-based release-acquire ------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/coherence/RacohProtocol.h"
+
+#include "src/coherence/CoherenceController.h"
+#include "src/obs/MetricRegistry.h"
+#include "src/obs/Observability.h"
+#include "src/verify/ProtocolAuditor.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace warden;
+
+namespace {
+
+/// FNV-1a, the same mixer the verification layer uses for its state keys.
+inline std::uint64_t mix(std::uint64_t Hash, std::uint64_t Value) {
+  Hash ^= Value;
+  return Hash * 0x100000001b3ULL;
+}
+
+} // namespace
+
+RacohProtocol::RacohProtocol(CoherenceController &Controller)
+    : CoherenceProtocol(ProtocolKind::Racoh, Controller) {
+  unsigned Cores = config().totalCores();
+  unsigned Nodes = numNodes();
+  Pending.resize(Cores);
+  PendingSet.resize(Cores);
+  Queues.resize(Nodes);
+  Consumed.assign(Cores, std::vector<std::uint64_t>(Nodes, 0));
+}
+
+ConsistencyModel RacohProtocol::consistencyModel() const {
+  return ConsistencyModel::ReleaseAcquire;
+}
+
+unsigned RacohProtocol::numNodes() const {
+  return std::max(config().NumNodes, 1u);
+}
+
+unsigned RacohProtocol::nodeOfCore(CoreId Core) const {
+  return config().nodeOfCore(Core);
+}
+
+SocketId RacohProtocol::socketOnNode(unsigned Node) const {
+  return static_cast<SocketId>(Node * config().socketsPerNode());
+}
+
+void RacohProtocol::attachObs(Observability *Obs) {
+  MetricRegistry *Registry = Obs ? Obs->Metrics : nullptr;
+  QueueOccupancyHist =
+      Registry ? &Registry->histogram("racoh.log_queue_occupancy") : nullptr;
+  PublishedCtr =
+      Registry ? &Registry->counter("racoh.log_records_published") : nullptr;
+  ConsumedCtr =
+      Registry ? &Registry->counter("racoh.log_records_consumed") : nullptr;
+  BackpressureCtr =
+      Registry ? &Registry->counter("racoh.log_backpressure_stalls")
+               : nullptr;
+  AvoidedCtr =
+      Registry ? &Registry->counter("racoh.pre_invalidate_avoided") : nullptr;
+}
+
+void RacohProtocol::notePendingWrite(CoreId Core, Addr Block) {
+  auto [It, Inserted] = PendingSet[Core].try_emplace(Block, std::uint8_t(1));
+  (void)It;
+  if (!Inserted)
+    return; // Already logged this epoch.
+  Pending[Core].push_back({Block, Core});
+  ++UnpublishedWriters.try_emplace(Block, 0u).first.value();
+}
+
+Cycles RacohProtocol::serveMiss(CoreId Core, Addr Block, AccessType Type) {
+  // No directory, like SISD: the home LLC slice (or the DRAM behind it)
+  // serves every miss and nobody else's copy is disturbed. The crossing to
+  // a remote-homed block already runs over the node interconnect when the
+  // home lives on another node (LatencyModel::crossing is node-aware).
+  SocketId Home = homeOf(Block, Core);
+  Cycles Lat = llcData(Block, Home);
+  noteData(Home, config().socketOf(Core));
+  bool Write = Type != AccessType::Load;
+  fillPrivate(Core, Block, Write ? LineState::Ward : LineState::Shared);
+  if (Write)
+    notePendingWrite(Core, Block);
+  return Lat;
+}
+
+bool RacohProtocol::upgradeStoreHit(CoreId Core, Addr Block) {
+  // Local write upgrade; the write is logged now and published (made
+  // visible to other nodes' acquirers) at the next release.
+  priv(Core).setState(Block, LineState::Ward);
+  notePendingWrite(Core, Block);
+  return true;
+}
+
+void RacohProtocol::evictLine(CoreId Core, const EvictedLine &Victim) {
+  // Clean copies die silently. Dirty sectors reach the LLC now — the log
+  // record stays pending, so the write still becomes visible (and remote
+  // stale copies still die) at the next release/acquire pair.
+  if (!Victim.Dirty.any())
+    return;
+  SocketId Home = homeOfExisting(Victim.Block);
+  if (ProtocolAuditor *Auditor = auditor())
+    Auditor->onWriteback(Core, Victim.Block, Victim.Dirty);
+  writebackToLlc(Victim.Block, Home);
+  noteData(config().socketOf(Core), Home);
+  ++stats().Writebacks;
+}
+
+Cycles RacohProtocol::downgradeDirty(CoreId Core, CacheLine &Line) {
+  SocketId Home = homeOfExisting(Line.Block);
+  SocketId CoreSocket = config().socketOf(Core);
+  if (ProtocolAuditor *Auditor = auditor())
+    Auditor->onWriteback(Core, Line.Block, Line.Dirty);
+  writebackToLlc(Line.Block, Home);
+  noteMsg(CoreSocket, Home); // The self-downgrade notice.
+  noteData(CoreSocket, Home);
+  ++stats().Writebacks;
+  ++stats().Downgrades;
+  Line.Dirty.clear();
+  return config().Features.ReconcileCostPerBlock;
+}
+
+Cycles RacohProtocol::consumeRecord(CoreId Core, const LogRecord &Record,
+                                    std::uint64_t &Invalidated) {
+  Cycles Cost = config().LogConsumeCyclesPerRecord;
+  ++stats().LogRecordsConsumed;
+  if (ConsumedCtr)
+    ConsumedCtr->add();
+  // A core's own records describe writes its cache already holds (or has
+  // written back); skipping them is the classic own-log shortcut.
+  if (Record.Writer == Core)
+    return Cost;
+  PrivateCache &Cache = priv(Core);
+  if (!Cache.line(Record.Block))
+    return Cost;
+  std::optional<EvictedLine> Old = Cache.invalidate(Record.Block);
+  assert(Old && "resident line vanished during log consumption");
+  if (Old->Dirty.any()) {
+    // The consumer holds unpublished writes to the same block (block-level
+    // false sharing or an acquire mid-epoch); push them before the copy
+    // dies, exactly like a SISD acquire does.
+    SocketId Home = homeOfExisting(Record.Block);
+    if (ProtocolAuditor *Auditor = auditor())
+      Auditor->onWriteback(Core, Record.Block, Old->Dirty);
+    writebackToLlc(Record.Block, Home);
+    noteData(config().socketOf(Core), Home);
+    ++stats().Writebacks;
+    Cost += config().Features.ReconcileCostPerBlock;
+  }
+  ++stats().Invalidations;
+  ++stats().LogInvalidations;
+  ++Invalidated;
+  if (ProtocolAuditor *Auditor = auditor())
+    Auditor->onInvalidate(Core, Record.Block);
+  return Cost;
+}
+
+Cycles RacohProtocol::forceDrainHead(unsigned Node, CoreId Publisher) {
+  (void)Publisher; // The stall is charged through the return value.
+  NodeQueue &Queue = Queues[Node];
+  assert(!Queue.Records.empty() && "draining an empty queue");
+  ++stats().LogBackpressureStalls;
+  if (BackpressureCtr)
+    BackpressureCtr->add();
+  // The stalled publisher waits for the interconnect round that forces the
+  // laggards to step past the head record.
+  Cycles Cost = latency().nodeHop();
+  const LogRecord Head = Queue.Records.front();
+  std::uint64_t IgnoredInvalidations = 0;
+  for (CoreId Core = 0; Core < config().totalCores(); ++Core) {
+    if (Consumed[Core][Node] > Queue.BaseSeq)
+      continue; // Already past the head.
+    // The consumption work happens on the laggard's cache agent; the
+    // publisher only pays the stall round above.
+    consumeRecord(Core, Head, IgnoredInvalidations);
+    Consumed[Core][Node] = Queue.BaseSeq + 1;
+  }
+  Queue.Records.pop_front();
+  ++Queue.BaseSeq;
+  return Cost;
+}
+
+Cycles RacohProtocol::syncRelease(CoreId Core) {
+  PrivateCache &Cache = priv(Core);
+  Cycles Cost = 0;
+  if (Cache.residentBlocks() != 0) {
+    // Self-downgrade first: by the time the log is published, every write
+    // it names is in the home LLC, so a consumer that invalidates and
+    // refetches always sees the released data.
+    Cache.forEachValidLine([&](CacheLine &Line) {
+      if (Line.State != LineState::Ward)
+        return;
+      if (Line.Dirty.any())
+        Cost += downgradeDirty(Core, Line);
+      Line.State = LineState::Shared;
+    });
+  }
+  if (!Pending[Core].empty()) {
+    // Deliberate bug for verification regression tests: the release
+    // downgrades (the data reaches the LLC) but the log is silently
+    // discarded — no remote core will ever invalidate its stale copy. The
+    // auditor, not an assert, must report the resulting staleness.
+    bool Drop = faults().Mutation == ProtocolMutation::DropLogPublish;
+    unsigned Node = nodeOfCore(Core);
+    NodeQueue &Queue = Queues[Node];
+    if (!Drop) {
+      for (const LogRecord &Record : Pending[Core]) {
+        while (Queue.Records.size() >= config().NodeLogQueueCapacity)
+          Cost += forceDrainHead(Node, Core);
+        Queue.Records.push_back(Record);
+        ++stats().LogRecordsPublished;
+        if (PublishedCtr)
+          PublishedCtr->add();
+      }
+      ++stats().LogPublishes;
+      Cost += config().LogPublishLatency;
+      std::uint64_t Occupancy = Queue.Records.size();
+      stats().LogQueuePeakOccupancy =
+          std::max(stats().LogQueuePeakOccupancy, Occupancy);
+      if (QueueOccupancyHist)
+        QueueOccupancyHist->record(Occupancy);
+    }
+    for (const LogRecord &Record : Pending[Core]) {
+      auto It = UnpublishedWriters.find(Record.Block);
+      assert(It != UnpublishedWriters.end() && "pending record untracked");
+      if (--It.value() == 0)
+        UnpublishedWriters.erase(It);
+    }
+    Pending[Core].clear();
+    PendingSet[Core].clear();
+  }
+  if (ProtocolAuditor *Auditor = auditor())
+    Auditor->onSyncRelease(Core);
+  return Cost;
+}
+
+Cycles RacohProtocol::syncAcquire(CoreId Core) {
+  Cycles Cost = 0;
+  // Deliberate bug for verification regression tests: skip the whole log
+  // drain (cursors stay put, stale lines stay resident). onSyncAcquire
+  // still fires so the auditor reports the staleness.
+  bool Skip = faults().Mutation == ProtocolMutation::SkipAcquireInvalidation;
+  if (!Skip) {
+    std::uint64_t ResidentBefore = priv(Core).residentBlocks();
+    std::uint64_t Invalidated = 0;
+    unsigned OwnNode = nodeOfCore(Core);
+    for (unsigned Node = 0; Node < numNodes(); ++Node) {
+      NodeQueue &Queue = Queues[Node];
+      std::uint64_t Tail = Queue.BaseSeq + Queue.Records.size();
+      std::uint64_t Cursor = Consumed[Core][Node];
+      assert(Cursor >= Queue.BaseSeq && "cursor fell behind a trimmed head");
+      if (Cursor >= Tail)
+        continue; // Nothing new from this node since the last acquire.
+      if (Node != OwnNode) {
+        // One interconnect round trip fetches the remote node's news.
+        Cost += 2 * latency().nodeHop();
+        ++stats().CrossNodeHops;
+        noteMsg(config().socketOf(Core), socketOnNode(Node));
+        noteData(socketOnNode(Node), config().socketOf(Core));
+      }
+      for (std::uint64_t Seq = Cursor; Seq < Tail; ++Seq)
+        Cost += consumeRecord(Core, Queue.Records[Seq - Queue.BaseSeq],
+                              Invalidated);
+      Consumed[Core][Node] = Tail;
+      // Retire records every core has consumed; the queue only holds what
+      // some vector clock still lags behind.
+      std::uint64_t MinCursor = Tail;
+      for (CoreId Other = 0; Other < config().totalCores(); ++Other)
+        MinCursor = std::min(MinCursor, Consumed[Other][Node]);
+      while (Queue.BaseSeq < MinCursor && !Queue.Records.empty()) {
+        Queue.Records.pop_front();
+        ++Queue.BaseSeq;
+      }
+    }
+    // Everything still resident survived because no consumed record named
+    // it — the lines a SISD acquire would have shot down needlessly.
+    std::uint64_t Avoided = ResidentBefore - Invalidated;
+    stats().PreInvalidateAvoided += Avoided;
+    if (AvoidedCtr)
+      AvoidedCtr->add(Avoided);
+  }
+  if (ProtocolAuditor *Auditor = auditor())
+    Auditor->onSyncAcquire(Core);
+  return Cost;
+}
+
+std::uint64_t RacohProtocol::stateFingerprint() const {
+  // Canonical hash of everything protocol-private: pending logs (per core,
+  // program order), node queues (absolute sequence + records in order),
+  // and the consumption cursor matrix. The explorer mixes this into its
+  // state key so hidden log state can never alias two search states.
+  std::uint64_t Hash = 0xcbf29ce484222325ULL;
+  for (std::size_t Core = 0; Core < Pending.size(); ++Core) {
+    Hash = mix(Hash, 0x50454e44ULL); // Section marker.
+    Hash = mix(Hash, Core);
+    for (const LogRecord &Record : Pending[Core]) {
+      Hash = mix(Hash, Record.Block);
+      Hash = mix(Hash, Record.Writer);
+    }
+  }
+  for (const NodeQueue &Queue : Queues) {
+    Hash = mix(Hash, 0x51554555ULL);
+    Hash = mix(Hash, Queue.BaseSeq);
+    for (const LogRecord &Record : Queue.Records) {
+      Hash = mix(Hash, Record.Block);
+      Hash = mix(Hash, Record.Writer);
+    }
+  }
+  for (const std::vector<std::uint64_t> &Row : Consumed)
+    for (std::uint64_t Cursor : Row)
+      Hash = mix(Hash, Cursor);
+  return Hash;
+}
+
+bool RacohProtocol::blockHasUnpublishedWrite(Addr Block) const {
+  return UnpublishedWriters.contains(Block);
+}

@@ -1,0 +1,138 @@
+//===- coherence/RacohProtocol.h - Log-based release-acquire --*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A log-based release-acquire backend for the machine's non-coherent node
+/// tier (the CXL-pool deployment shape; see PAPERS.md "Verification of a
+/// lazy cache coherence protocol against a weak memory model" for the
+/// protocol family). Like SISD it is directory-less — no core ever services
+/// a remote invalidation or downgrade — but instead of blindly shooting
+/// down every resident line at an acquire, it tracks exactly which lines
+/// were written:
+///
+///  * Every store appends a dirty-line record to the writing core's
+///    pending log (deduplicated per release epoch).
+///  * `syncRelease` self-downgrades dirty lines (data reaches the home LLC
+///    first) and then *publishes* the pending log to the core's node's
+///    bounded log queue. A full queue back-pressures the release: the
+///    publish stalls while the queue head is force-drained into every
+///    core that has not consumed it yet.
+///  * `syncAcquire` drains every node's queue from the core's per-node
+///    consumption cursor (a vector clock) to the queue tail, invalidating
+///    only the resident lines the drained records name. Resident lines no
+///    record names survive the acquire — the pre-invalidate avoidance that
+///    distinguishes racoh from SISD's invalidate-everything discipline.
+///
+/// Log consumption is modeled as deterministic simulated work on the
+/// controller (LogConsumeCyclesPerRecord per record, one node-interconnect
+/// hop per remote node with news); no host threads are involved, so runs
+/// are byte-identical at any --jobs. On a single-node machine every queue
+/// is local: the protocol degenerates to SISD-class behavior with zero
+/// cross-node traffic.
+///
+/// The ProtocolAuditor runs a matching shadow discipline (directory must
+/// stay empty; after an acquire every surviving read copy must agree with
+/// shadow memory unless some core still holds an unpublished write to it),
+/// and the `--mutate=drop-log-publish` fault makes releases silently
+/// discard their log so the verification layer can prove it catches the
+/// resulting staleness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_COHERENCE_RACOHPROTOCOL_H
+#define WARDEN_COHERENCE_RACOHPROTOCOL_H
+
+#include "src/coherence/Protocol.h"
+#include "src/support/FlatMap.h"
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace warden {
+
+class Histogram;
+class Counter;
+
+/// Log-based lazy release-acquire coherence as a pluggable backend.
+class RacohProtocol : public CoherenceProtocol {
+public:
+  explicit RacohProtocol(CoherenceController &Controller);
+
+  /// Same contract as SISD: writes become visible at releases, staleness
+  /// is shed (selectively) at acquires.
+  ConsistencyModel consistencyModel() const override;
+
+  Cycles serveMiss(CoreId Core, Addr Block, AccessType Type) override;
+  bool upgradeStoreHit(CoreId Core, Addr Block) override;
+  void evictLine(CoreId Core, const EvictedLine &Victim) override;
+  Cycles syncAcquire(CoreId Core) override;
+  Cycles syncRelease(CoreId Core) override;
+
+  std::uint64_t stateFingerprint() const override;
+  bool blockHasUnpublishedWrite(Addr Block) const override;
+  void attachObs(Observability *Obs) override;
+
+private:
+  /// One published (or pending) dirty-line record.
+  struct LogRecord {
+    Addr Block = 0;
+    CoreId Writer = 0;
+  };
+
+  /// A node's bounded log queue. Records carry absolute sequence numbers:
+  /// the front record is BaseSeq, the next publish lands at
+  /// BaseSeq + Records.size().
+  struct NodeQueue {
+    std::uint64_t BaseSeq = 0;
+    std::deque<LogRecord> Records;
+  };
+
+  /// Records \p Core's write to \p Block in its pending log (once per
+  /// release epoch).
+  void notePendingWrite(CoreId Core, Addr Block);
+  /// Writes \p Line's dirty sectors back and downgrades in place.
+  Cycles downgradeDirty(CoreId Core, CacheLine &Line);
+  /// Consumes one record at \p Core: invalidates the resident copy the
+  /// record names (writing back unpublished dirt first). Returns the
+  /// cycles charged. \p Invalidated is bumped when a line actually died.
+  Cycles consumeRecord(CoreId Core, const LogRecord &Record,
+                       std::uint64_t &Invalidated);
+  /// Back-pressure: force every core that has not consumed node \p Node's
+  /// queue head to do so now, then retires the head. Returns the cycles
+  /// charged to the stalled publisher \p Publisher.
+  Cycles forceDrainHead(unsigned Node, CoreId Publisher);
+
+  unsigned numNodes() const;
+  unsigned nodeOfCore(CoreId Core) const;
+  /// A representative socket on \p Node, for link-class accounting of log
+  /// fetch traffic.
+  SocketId socketOnNode(unsigned Node) const;
+
+  /// Per-core pending (unpublished) logs, in program order.
+  std::vector<std::vector<LogRecord>> Pending;
+  /// Per-core membership sets deduplicating Pending per epoch.
+  std::vector<FlatMap<Addr, std::uint8_t>> PendingSet;
+  /// Machine-wide count of unpublished writes per block (how many cores
+  /// hold a pending record naming it); serves blockHasUnpublishedWrite.
+  FlatMap<Addr, std::uint32_t> UnpublishedWriters;
+  /// One bounded log queue per node.
+  std::vector<NodeQueue> Queues;
+  /// Consumed[Core][Node]: absolute sequence number up to which Core has
+  /// drained Node's queue — the per-core vector clock.
+  std::vector<std::vector<std::uint64_t>> Consumed;
+
+  // Observability instruments (null when detached; recording only).
+  Histogram *QueueOccupancyHist = nullptr;
+  Counter *PublishedCtr = nullptr;
+  Counter *ConsumedCtr = nullptr;
+  Counter *BackpressureCtr = nullptr;
+  Counter *AvoidedCtr = nullptr;
+};
+
+} // namespace warden
+
+#endif // WARDEN_COHERENCE_RACOHPROTOCOL_H

@@ -117,6 +117,8 @@ RunResult WardenSystem::simulate(const TaskGraph &Graph,
   Events.DataIntraSocket = Result.Coherence.DataIntraSocket;
   Events.DataInterSocket = Result.Coherence.DataInterSocket;
   Events.DataRemote = Result.Coherence.DataRemote;
+  Events.MsgsInterNode = Result.Coherence.MsgsInterNode;
+  Events.DataInterNode = Result.Coherence.DataInterNode;
 
   EnergyModel Model(Config);
   Result.Energy = Model.compute(Events, Result.Makespan);

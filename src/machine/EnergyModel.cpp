@@ -23,7 +23,9 @@ EnergyBreakdown EnergyModel::compute(const EnergyEvents &Events,
       static_cast<double>(Events.MsgsRemote) * MsgRemoteNJ +
       static_cast<double>(Events.DataIntraSocket) * DataIntraNJ +
       static_cast<double>(Events.DataInterSocket) * DataInterNJ +
-      static_cast<double>(Events.DataRemote) * DataRemoteNJ;
+      static_cast<double>(Events.DataRemote) * DataRemoteNJ +
+      static_cast<double>(Events.MsgsInterNode) * MsgInterNodeNJ +
+      static_cast<double>(Events.DataInterNode) * DataInterNodeNJ;
 
   // Static energy: P * t, with t = cycles / frequency. Frequency in GHz
   // gives nanoseconds; watts * nanoseconds = nanojoules.
@@ -37,6 +39,19 @@ EnergyBreakdown EnergyModel::compute(const EnergyEvents &Events,
   // cross-links dominate. This is why shorter executions save so much
   // network energy in the paper's Figures 8b/12b.
   unsigned Sockets = Config.NumSockets;
+  if (Config.NumNodes > 1) {
+    // Multi-node machine: coherent socket links exist only within a node;
+    // the node tier adds its own (non-coherent) links on top.
+    unsigned PerNode = Config.socketsPerNode();
+    unsigned SocketLinks =
+        Config.NumNodes * (PerNode > 1 ? PerNode * (PerNode - 1) / 2 : 0);
+    unsigned NodeLinks = Config.NumNodes * (Config.NumNodes - 1) / 2;
+    Result.InterconnectNJ +=
+        (NetworkStaticWattsPerSocket * Sockets +
+         InterSocketLinkWatts * SocketLinks + NodeLinkWatts * NodeLinks) *
+        ElapsedNs;
+    return Result;
+  }
   unsigned Links = Sockets > 1 ? Sockets * (Sockets - 1) / 2 : 0;
   double LinkWatts =
       Config.Disaggregated ? RemoteLinkWatts : InterSocketLinkWatts;

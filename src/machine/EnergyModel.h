@@ -41,6 +41,9 @@ struct EnergyEvents {
   std::uint64_t DataIntraSocket = 0;
   std::uint64_t DataInterSocket = 0;
   std::uint64_t DataRemote = 0;
+  /// Traffic over the non-coherent node interconnect (NumNodes > 1 only).
+  std::uint64_t MsgsInterNode = 0;
+  std::uint64_t DataInterNode = 0;
 };
 
 /// Energy totals in nanojoules, split the way the paper plots them.
@@ -82,6 +85,10 @@ public:
   static constexpr double DataIntraNJ = 0.9;
   static constexpr double DataInterNJ = 16.0;
   static constexpr double DataRemoteNJ = 160.0;
+  /// Node-interconnect (CXL-switch-class) events: dearer than glued
+  /// sockets, far cheaper than the disaggregated network.
+  static constexpr double MsgInterNodeNJ = 9.0;
+  static constexpr double DataInterNodeNJ = 52.0;
   /// Static (leakage + uncore idle) power per core, watts.
   static constexpr double StaticWattsPerCore = 1.1;
   /// Static power of the on-chip interconnect (routers, link clocking) per
@@ -92,6 +99,8 @@ public:
   static constexpr double InterSocketLinkWatts = 2.2;
   /// Static power per inter-node link of a disaggregated system, watts.
   static constexpr double RemoteLinkWatts = 9.0;
+  /// Static power per link of the non-coherent node interconnect, watts.
+  static constexpr double NodeLinkWatts = 4.5;
 
 private:
   const MachineConfig &Config;

@@ -32,14 +32,23 @@ public:
   Cycles l2Hit() const { return Config.L2Latency; }
 
   /// One-way cost of crossing from \p From to \p To socket: zero within a
-  /// socket, the QPI/UPI-like link cost between sockets, or the network
-  /// cost between disaggregated nodes.
+  /// socket, the QPI/UPI-like link cost between sockets, the network cost
+  /// between disaggregated nodes, or the non-coherent node-interconnect
+  /// cost when the sockets live on different nodes of a multi-node (CXL
+  /// pool) machine. Single-node machines (the default) never take the
+  /// node branch, keeping every pre-node-tier configuration byte-identical.
   Cycles crossing(SocketId From, SocketId To) const {
     if (From == To)
       return 0;
+    if (Config.NumNodes > 1 && Config.nodeOf(From) != Config.nodeOf(To))
+      return Config.NodeInterconnectLatency;
     return Config.Disaggregated ? Config.RemoteLatency
                                 : Config.IntersocketLatency;
   }
+
+  /// One-way cost of a node-interconnect hop (log fetch/publish traffic),
+  /// independent of which sockets sit at the endpoints.
+  Cycles nodeHop() const { return Config.NodeInterconnectLatency; }
 
   /// Cost for core \p Requester to consult the home LLC slice/directory of
   /// a block homed on \p Home (after missing in its private caches).

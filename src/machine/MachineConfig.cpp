@@ -39,6 +39,13 @@ MachineConfig MachineConfig::manySocket(unsigned Sockets) {
   return Config;
 }
 
+MachineConfig MachineConfig::multiNode(unsigned Nodes) {
+  MachineConfig Config;
+  Config.NumSockets = Nodes;
+  Config.NumNodes = Nodes;
+  return Config;
+}
+
 std::vector<std::string> MachineConfig::validate() const {
   std::vector<std::string> Errors;
 
@@ -95,13 +102,48 @@ std::vector<std::string> MachineConfig::validate() const {
         "disaggregated topology with zero remote latency; remote latency "
         "only applies to disaggregated machines and must be nonzero there");
 
+  // Node tier above sockets. The tier only exists when NumNodes > 1, but a
+  // nonsensical value is rejected even for single-node machines so a typo
+  // cannot silently collapse the tier.
+  if (NumNodes == 0)
+    Errors.push_back("machine has zero nodes (use 1 to collapse the tier)");
+  else if (NumNodes > NumSockets)
+    Errors.push_back(strformat(
+        "machine has %u nodes but only %u sockets; nodes group whole "
+        "sockets",
+        NumNodes, NumSockets));
+  else if (NumSockets % NumNodes != 0)
+    Errors.push_back(strformat(
+        "%u sockets do not divide evenly across %u nodes", NumSockets,
+        NumNodes));
+  if (NumNodes > 1) {
+    if (NodeInterconnectLatency == 0)
+      Errors.push_back(
+          "multi-node topology with zero node-interconnect latency; the "
+          "non-coherent cross-node hop must cost something");
+    if (NodeLogQueueCapacity == 0)
+      Errors.push_back(
+          "multi-node topology with a zero-capacity node log queue; a "
+          "release could never publish (every publish would stall forever)");
+    if (Disaggregated)
+      Errors.push_back(
+          "disaggregated and multi-node topologies are mutually exclusive: "
+          "the node tier models a non-coherent CXL pool, disaggregation a "
+          "fully remote memory network");
+  }
+
   return Errors;
 }
 
 std::string MachineConfig::describe() const {
   char Buffer[128];
-  std::snprintf(Buffer, sizeof(Buffer), "%s%u-socket (%u cores)",
-                Disaggregated ? "disaggregated " : "", NumSockets,
-                totalCores());
+  if (NumNodes > 1)
+    std::snprintf(Buffer, sizeof(Buffer),
+                  "%u-node %u-socket (%u cores, non-coherent interconnect)",
+                  NumNodes, NumSockets, totalCores());
+  else
+    std::snprintf(Buffer, sizeof(Buffer), "%s%u-socket (%u cores)",
+                  Disaggregated ? "disaggregated " : "", NumSockets,
+                  totalCores());
   return Buffer;
 }

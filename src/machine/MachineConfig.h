@@ -58,6 +58,30 @@ struct MachineConfig {
   /// memory is reached over a network with RemoteLatency (Section 7.3).
   bool Disaggregated = false;
 
+  // --- Node tier (CXL-pool shape) ------------------------------------------
+  /// Nodes group whole sockets under a *non-coherent* interconnect: the
+  /// hardware keeps caches coherent within a node but never across nodes,
+  /// so only a lazy log-based backend ("racoh") can span them. NumNodes = 1
+  /// (the default) collapses the tier — every config built before the tier
+  /// existed behaves byte-identically. NumSockets must divide evenly into
+  /// NumNodes.
+  unsigned NumNodes = 1;
+  /// One-way latency of a cross-node hop over the non-coherent
+  /// interconnect (log publish/consume traffic, remote-homed fills).
+  /// Roughly CXL-switch territory: slower than glued sockets, faster than
+  /// the 1 us disaggregated network.
+  Cycles NodeInterconnectLatency = 2000;
+  /// Capacity, in dirty-line records, of each node's bounded coherence log
+  /// queue. A release that finds the queue full stalls (back-pressure)
+  /// until remote consumers drain the head.
+  unsigned NodeLogQueueCapacity = 1024;
+  /// Cycles a release pays to publish its pending log to the node queue
+  /// (cache-agent doorbell + descriptor write), charged once per publish.
+  Cycles LogPublishLatency = 40;
+  /// Cycles the consuming core's cache agent spends per log record drained
+  /// at an acquire — the deterministic simulated cost of walking the log.
+  Cycles LogConsumeCyclesPerRecord = 4;
+
   // --- Caches (Table 2) ---------------------------------------------------
   unsigned BlockSize = 64;           ///< Bytes per cache block.
   unsigned L1SizeKB = 32;            ///< Private L1 data cache.
@@ -102,6 +126,17 @@ struct MachineConfig {
   // --- Derived -------------------------------------------------------------
   unsigned totalCores() const { return NumSockets * CoresPerSocket; }
   SocketId socketOf(CoreId Core) const { return Core / CoresPerSocket; }
+  /// Sockets per node (NumNodes = 1 puts every socket on node 0).
+  unsigned socketsPerNode() const {
+    return NumNodes == 0 ? NumSockets : NumSockets / NumNodes;
+  }
+  /// The node a socket belongs to: sockets are grouped contiguously, so
+  /// sockets [0, socketsPerNode) form node 0, the next group node 1, ...
+  unsigned nodeOf(SocketId Socket) const {
+    unsigned PerNode = socketsPerNode();
+    return PerNode == 0 ? 0 : Socket / PerNode;
+  }
+  unsigned nodeOfCore(CoreId Core) const { return nodeOf(socketOf(Core)); }
   std::uint64_t l3SizeBytes() const {
     return static_cast<std::uint64_t>(L3SizePerCoreKB) * 1024 *
            CoresPerSocket;
@@ -131,6 +166,12 @@ struct MachineConfig {
   static MachineConfig disaggregated();
   /// Section 7.3 "many sockets": \p Sockets sockets of 12 cores.
   static MachineConfig manySocket(unsigned Sockets);
+  /// CXL-pool shape: \p Nodes nodes of one socket each behind the
+  /// non-coherent node interconnect — the deployment the racoh backend
+  /// models. Other protocols still simulate on it (they simply never emit
+  /// cross-node log traffic), which is what the multi-node comparison
+  /// harness exploits.
+  static MachineConfig multiNode(unsigned Nodes);
 
   /// Returns a human-readable name like "single-socket (12 cores)".
   std::string describe() const;

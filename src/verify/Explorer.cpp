@@ -358,15 +358,18 @@ struct Search {
     }
 
     // Canonical-state memoisation: program counters, outcome slots so far,
-    // physical machine state, and the shadow-value state under the
-    // store-identity renaming. Two schedules reaching the same key have
-    // identical futures, so the subtree is explored once.
+    // physical machine state, the backend's private state (racoh's pending
+    // logs, queues, and consumption cursors live outside the caches and
+    // directory), and the shadow-value state under the store-identity
+    // renaming. Two schedules reaching the same key have identical
+    // futures, so the subtree is explored once.
     Fnv Key;
     for (unsigned Pc : R.Pc)
       Key.mix(Pc);
     for (std::uint64_t Tag : R.Slots)
       Key.mix(Tag);
     Key.mix(physicalFingerprint(R.M->Ctrl, RegionIds));
+    Key.mix(R.M->Ctrl.protocol().stateFingerprint());
     std::uint64_t Shadow = R.M->Auditor.shadowFingerprint(R.VersionTag);
     if (!Seen.insert({Key.Hash, Shadow}).second) {
       ++Stats.StatesDeduped;
@@ -571,6 +574,15 @@ MachineConfig Explorer::machineFor(unsigned Threads) const {
   MachineConfig Config = MachineConfig::singleSocket();
   Config.CoresPerSocket = std::max(Threads, 1u);
   Config.Protocol = Options.Protocol;
+  if (Options.Protocol == ProtocolKind::Racoh) {
+    // Racoh's interesting behaviour is cross-node: split the threads over
+    // two sockets on two non-coherent nodes, and shrink the log queue so
+    // even explorer-scale programs drive the back-pressure path.
+    Config.NumSockets = 2;
+    Config.NumNodes = 2;
+    Config.CoresPerSocket = std::max((Threads + 1) / 2, 1u);
+    Config.NodeLogQueueCapacity = 2;
+  }
   return Config;
 }
 

@@ -17,9 +17,10 @@
 ///
 /// Two schedules that reach the same logical state are explored once:
 /// states are memoised under a canonical fingerprint combining the per-
-/// thread program counters, the physical cache/directory/region state, and
-/// the auditor's shadow-value state with the path-dependent version
-/// counter renamed to path-independent store identities (thread, pc).
+/// thread program counters, the physical cache/directory/region state, the
+/// backend's private state (racoh's logs, queues, and cursors), and the
+/// auditor's shadow-value state with the path-dependent version counter
+/// renamed to path-independent store identities (thread, pc).
 /// Without the renaming, value-equal states reached by different store
 /// orders would never merge and the search would degenerate to pure
 /// schedule enumeration.
@@ -66,8 +67,8 @@ struct VerifyOp {
   enum class Kind : std::uint8_t {
     Load,        ///< Demand load of [Address, Address + Size).
     Store,       ///< Demand store to [Address, Address + Size).
-    Acquire,     ///< Synchronization acquire (SISD self-invalidation).
-    Release,     ///< Synchronization release (SISD self-downgrade).
+    Acquire,     ///< Synchronization acquire (SISD/racoh invalidation).
+    Release,     ///< Synchronization release (SISD/racoh self-downgrade).
     AddRegion,   ///< WARD "Add Region" over [Address, End).
     RemoveRegion ///< WARD "Remove Region" (by id, this thread unmarks).
   };
@@ -190,7 +191,10 @@ public:
                      unsigned Threads) const;
 
   /// The machine the explorer simulates for an \p Threads-thread program:
-  /// one socket of exactly that many cores, default cache geometry.
+  /// one socket of exactly that many cores, default cache geometry. The
+  /// racoh backend instead gets two sockets on two non-coherent nodes
+  /// (threads split across them) with a tiny log queue, so the search
+  /// covers cross-node publication and the back-pressure path.
   MachineConfig machineFor(unsigned Threads) const;
 
   const ExplorerOptions &options() const { return Options; }

@@ -32,6 +32,7 @@
 
 #include "src/support/Types.h"
 
+#include <cstddef>
 #include <cstdint>
 
 namespace warden {
@@ -50,6 +51,12 @@ enum class ProtocolMutation : std::uint8_t {
   /// the release-acquire contract; the classic bug class of lazy
   /// self-invalidation protocols).
   SkipAcquireInvalidation,
+  /// A racoh release self-downgrades (data reaches the LLC) but silently
+  /// discards its pending log instead of publishing it: no remote core
+  /// ever learns the lines changed, so their stale copies survive every
+  /// later acquire (the lost-publish bug class of log-based lazy
+  /// protocols).
+  DropLogPublish,
 };
 
 /// Returns a printable name for \p Mutation.
@@ -63,8 +70,23 @@ inline const char *mutationName(ProtocolMutation Mutation) {
     return "skip-downgrade-on-fwd-gets";
   case ProtocolMutation::SkipAcquireInvalidation:
     return "skip-acquire-invalidation";
+  case ProtocolMutation::DropLogPublish:
+    return "drop-log-publish";
   }
   return "?";
+}
+
+/// Every deliberate mutation, in declaration order — what --mutate=
+/// parsers and --list iterate so new mutations appear automatically.
+inline const ProtocolMutation *allProtocolMutations(std::size_t &Count) {
+  static const ProtocolMutation Mutations[] = {
+      ProtocolMutation::SkipInvalidationOnGetM,
+      ProtocolMutation::SkipDowngradeOnFwdGetS,
+      ProtocolMutation::SkipAcquireInvalidation,
+      ProtocolMutation::DropLogPublish,
+  };
+  Count = sizeof(Mutations) / sizeof(Mutations[0]);
+  return Mutations;
 }
 
 /// Deterministic fault-injection configuration.

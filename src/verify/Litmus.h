@@ -14,7 +14,7 @@
 ///    subset of the SC reference's on *every* pattern, racy or not, and a
 ///    pattern's forbidden outcome must never appear.
 ///
-///  * Release-acquire backends (SISD) may exhibit weak outcomes on racy
+///  * Release-acquire backends (SISD, racoh) may exhibit weak outcomes on racy
 ///    patterns (stale reads between synchronizations are the design), but
 ///    the release->acquire edges still order: forbidden outcomes of fenced
 ///    patterns must not appear, data-race-free patterns must stay SC, and

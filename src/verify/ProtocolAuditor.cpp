@@ -7,6 +7,7 @@
 #include "src/verify/ProtocolAuditor.h"
 
 #include "src/coherence/CoherenceController.h"
+#include "src/coherence/Protocol.h"
 #include "src/support/Strings.h"
 
 #include <algorithm>
@@ -17,7 +18,9 @@ using namespace warden;
 ProtocolAuditor::ProtocolAuditor(const CoherenceController &Controller,
                                  AuditOptions Options)
     : Controller(Controller), Options(Options),
-      Sisd(Controller.config().Protocol == ProtocolKind::Sisd),
+      SelfInv(Controller.config().Protocol == ProtocolKind::Sisd ||
+              Controller.config().Protocol == ProtocolKind::Racoh),
+      Racoh(Controller.config().Protocol == ProtocolKind::Racoh),
       PrivCopy(Controller.config().totalCores()) {
   Report.Enabled = true;
 }
@@ -81,11 +84,12 @@ void ProtocolAuditor::onStore(CoreId Core, Addr Block, unsigned Offset,
   ShadowVersion Version = ++NextVersion;
   PrivCopy[Core].get(Block).write(Offset, Size, Version);
 
-  // Under SISD every store is deferred exactly like a ward store: nothing
-  // orders it globally until a release publishes it, so Latest must not
-  // advance. The same WardWriteRecord gives the WAW overlap count.
-  const DirEntry *Entry = Sisd ? nullptr : entryOf(Block);
-  if (Sisd || (Entry && Entry->State == DirState::Ward)) {
+  // Under the self-invalidation backends (SISD/racoh) every store is
+  // deferred exactly like a ward store: nothing orders it globally until a
+  // release publishes it, so Latest must not advance. The same
+  // WardWriteRecord gives the WAW overlap count.
+  const DirEntry *Entry = SelfInv ? nullptr : entryOf(Block);
+  if (SelfInv || (Entry && Entry->State == DirState::Ward)) {
     WardWriteRecord &Record = WardWritten[Block];
     bool Overlap = false;
     std::uint8_t Writer = static_cast<std::uint8_t>(Core + 1);
@@ -107,7 +111,7 @@ void ProtocolAuditor::onLoad(CoreId Core, Addr Block, unsigned Offset,
                              unsigned Size) {
   if (!Options.CheckValues)
     return;
-  if (Sisd) {
+  if (SelfInv) {
     // Loads of ever-written blocks are licensed to observe stale values
     // between synchronizations (the protocol's whole point); never-written
     // blocks still verify below, keeping the invariant armed.
@@ -261,19 +265,63 @@ void ProtocolAuditor::onRegionRemoved(RegionId Id, Addr Start, Addr End) {
 }
 
 void ProtocolAuditor::onSyncAcquire(CoreId Core) {
-  std::size_t Resident = Controller.privateCache(Core).residentBlocks();
-  if (Resident != 0)
-    violation(strformat("sisd: core %u finished an acquire with %llu lines "
-                        "still resident",
-                        Core, static_cast<unsigned long long>(Resident)));
+  if (!Racoh) {
+    std::size_t Resident = Controller.privateCache(Core).residentBlocks();
+    if (Resident != 0)
+      violation(strformat("sisd: core %u finished an acquire with %llu lines "
+                          "still resident",
+                          Core, static_cast<unsigned long long>(Resident)));
+    return;
+  }
+  // Racoh acquires keep read copies the drained logs did not name. A
+  // survivor is licensed only while it cannot have missed a published
+  // write: it must be a clean read copy agreeing byte-for-byte with the
+  // committed image, unless some core still holds an unpublished write to
+  // the block (that write's staleness is licensed until its release
+  // publishes the record this core will then consume). A release that
+  // drops its log strands exactly this check: the stale copy survives with
+  // neither agreement nor an unpublished-write license.
+  Controller.privateCache(Core).forEachValidLine([&](const CacheLine &Line) {
+    auto B = static_cast<unsigned long long>(Line.Block);
+    if (Line.State == LineState::Ward)
+      return; // The core's own unreleased writes survive by design.
+    if (Line.State != LineState::Shared || Line.Dirty.any()) {
+      violation(strformat("racoh: core %u finished an acquire but 0x%llx is "
+                          "%s with %u dirty bytes",
+                          Core, B, lineStateName(Line.State),
+                          Line.Dirty.count()));
+      return;
+    }
+    if (!Options.CheckValues)
+      return;
+    if (Controller.protocol().blockHasUnpublishedWrite(Line.Block))
+      return;
+    const ShadowBlock *Copy = PrivCopy[Core].find(Line.Block);
+    if (!Copy)
+      return; // Copy predates the auditor's attachment.
+    for (unsigned I = 0; I < SectorMask::MaxBytes; ++I) {
+      ShadowVersion Observed = Copy->Bytes[I];
+      ShadowVersion Committed = Mem.byteVersion(Line.Block, I);
+      if (Observed != Committed) {
+        violation(strformat(
+            "racoh: core %u finished an acquire but its surviving copy of "
+            "0x%llx byte %u holds write #%llu, committed image has #%llu "
+            "and no unpublished write licenses the staleness",
+            Core, B, I, static_cast<unsigned long long>(Observed),
+            static_cast<unsigned long long>(Committed)));
+        return; // One message per survivor suffices.
+      }
+    }
+  });
 }
 
 void ProtocolAuditor::onSyncRelease(CoreId Core) {
   Controller.privateCache(Core).forEachValidLine([&](const CacheLine &Line) {
     if (Line.State != LineState::Shared || Line.Dirty.any())
-      violation(strformat("sisd: core %u finished a release but 0x%llx is "
+      violation(strformat("%s: core %u finished a release but 0x%llx is "
                           "%s with %u dirty bytes",
-                          Core, static_cast<unsigned long long>(Line.Block),
+                          discipline(), Core,
+                          static_cast<unsigned long long>(Line.Block),
                           lineStateName(Line.State), Line.Dirty.count()));
   });
 }
@@ -283,7 +331,7 @@ void ProtocolAuditor::onSyncRelease(CoreId Core) {
 //===----------------------------------------------------------------------===//
 
 void ProtocolAuditor::checkBlock(Addr Block) {
-  if (Sisd) {
+  if (SelfInv) {
     checkBlockSisd(Block);
     return;
   }
@@ -425,7 +473,7 @@ void ProtocolAuditor::checkBlockSisd(Addr Block) {
   // an entry means some path still consulted the sharing vector.
   if (entryOf(Block))
     violation(strformat(
-        "sisd: directory entry materialized for 0x%llx", B));
+        "%s: directory entry materialized for 0x%llx", discipline(), B));
 
   for (CoreId Core = 0; Core < Config.totalCores(); ++Core) {
     const CacheLine *Line = Controller.privateLine(Core, Block);
@@ -434,29 +482,29 @@ void ProtocolAuditor::checkBlockSisd(Addr Block) {
     switch (Line->State) {
     case LineState::Shared:
       if (Line->Dirty.any())
-        violation(strformat("sisd: read copy of 0x%llx at core %u carries "
+        violation(strformat("%s: read copy of 0x%llx at core %u carries "
                             "%u unpublished dirty bytes",
-                            B, Core, Line->Dirty.count()));
+                            discipline(), B, Core, Line->Dirty.count()));
       break;
     case LineState::Ward:
       break; // Write-marked copy awaiting its release.
     case LineState::Exclusive:
     case LineState::Modified:
       violation(strformat(
-          "sisd: core %u holds a directory-granted %s copy of 0x%llx",
-          Core, lineStateName(Line->State), B));
+          "%s: core %u holds a directory-granted %s copy of 0x%llx",
+          discipline(), Core, lineStateName(Line->State), B));
       break;
     case LineState::Invalid:
       violation(strformat(
-          "sisd: probe returned an invalid line for 0x%llx at core %u",
-          B, Core));
+          "%s: probe returned an invalid line for 0x%llx at core %u",
+          discipline(), B, Core));
       break;
     }
   }
 }
 
 void ProtocolAuditor::checkAll(const char *When) {
-  if (Sisd) {
+  if (SelfInv) {
     ++Report.ChecksRun;
     // Sweep every block any structure knows about, in address order (the
     // bounded message list must not depend on hash layout): directory

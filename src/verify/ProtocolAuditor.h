@@ -25,15 +25,21 @@
 ///     removal leaves no W residue, and only W-state copies carry
 ///     unreconciled dirty sectors.
 ///
-/// Under the SISD backend the auditor switches to the matching discipline
-/// (the protocol has no directory, so invariants 1/2/4 are vacuous as
-/// stated): the directory must stay untouched, private lines must be
-/// read-clean (Shared) or write-marked (Ward), a core entering an acquire
-/// must have invalidated everything, and a core leaving a release must
-/// hold only clean read copies. The value invariant still verifies loads
-/// of never-written blocks; loads of self-invalidation-managed (written)
-/// blocks are licensed to be stale between synchronizations, exactly as W
-/// blocks are under WARDen.
+/// Under the self-invalidation backends (SISD and racoh) the auditor
+/// switches to the matching discipline (the protocols have no directory,
+/// so invariants 1/2/4 are vacuous as stated): the directory must stay
+/// untouched, private lines must be read-clean (Shared) or write-marked
+/// (Ward), and a core leaving a release must hold only clean read copies.
+/// The value invariant still verifies loads of never-written blocks; loads
+/// of self-invalidation-managed (written) blocks are licensed to be stale
+/// between synchronizations, exactly as W blocks are under WARDen. The two
+/// backends differ at acquires: SISD must have invalidated everything,
+/// while racoh keeps read copies its drained logs did not name — so every
+/// survivor must agree byte-for-byte with the committed image, unless some
+/// core still holds an unpublished (unreleased) write to the block. A
+/// release that drops its log (--mutate=drop-log-publish) leaves remote
+/// stale copies with no unpublished-write license, which this acquire
+/// check reports.
 ///
 /// Violations are recorded (bounded message list + count), never asserted:
 /// the auditor's job is to *detect* corruption, the caller decides whether
@@ -116,10 +122,12 @@ public:
   void onOperationComplete(Addr Block);
   /// Region \p Id over [Start, End) was removed; verifies no W residue.
   void onRegionRemoved(RegionId Id, Addr Start, Addr End);
-  /// \p Core finished a synchronization acquire (SISD: verifies the
-  /// self-invalidation left nothing resident).
+  /// \p Core finished a synchronization acquire. SISD: verifies the
+  /// self-invalidation left nothing resident. Racoh: verifies every
+  /// surviving read copy is clean and agrees with the committed image
+  /// (unless a core still holds an unpublished write to the block).
   void onSyncAcquire(CoreId Core);
-  /// \p Core finished a synchronization release (SISD: verifies the
+  /// \p Core finished a synchronization release (SISD/racoh: verifies the
   /// self-downgrade left only clean read copies).
   void onSyncRelease(CoreId Core);
 
@@ -161,16 +169,24 @@ public:
 private:
   const DirEntry *entryOf(Addr Block) const;
   void violation(std::string Message);
-  /// SISD counterpart of checkBlock (empty directory, S-clean-or-W lines).
+  /// Directory-less counterpart of checkBlock (empty directory,
+  /// S-clean-or-W lines), shared by the SISD and racoh disciplines.
   void checkBlockSisd(Addr Block);
+  /// Message prefix naming the active self-invalidation discipline.
+  const char *discipline() const { return Racoh ? "racoh" : "sisd"; }
 
   const CoherenceController &Controller;
   AuditOptions Options;
   AuditReport Report;
-  /// True when the audited controller runs the SISD backend; selects the
-  /// SISD invariant discipline throughout. Latched at construction so the
-  /// MESI/WARDen paths are bit-for-bit those of the pre-SISD auditor.
-  bool Sisd = false;
+  /// True when the audited controller runs a self-invalidation backend
+  /// (SISD or racoh); selects the directory-less invariant discipline
+  /// throughout. Latched at construction so the MESI/WARDen paths are
+  /// bit-for-bit those of the pre-SISD auditor.
+  bool SelfInv = false;
+  /// True for the racoh backend specifically: its acquires keep read
+  /// copies the drained logs did not name, so the SISD no-residue check is
+  /// replaced by the survivor value-agreement check.
+  bool Racoh = false;
 
   // --- Shadow value state --------------------------------------------------
   ShadowVersion NextVersion = 0;

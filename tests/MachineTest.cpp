@@ -129,6 +129,93 @@ TEST(MachineValidate, BadFrequencyAndTopologyAreReported) {
   EXPECT_TRUE(mentions(C.validate(), "remote latency"));
 }
 
+// --- Node tier (CXL-pool shape) -------------------------------------------------
+
+TEST(MachineConfig, MultiNodePresetShape) {
+  MachineConfig C = MachineConfig::multiNode(2);
+  EXPECT_EQ(C.NumNodes, 2u);
+  EXPECT_EQ(C.NumSockets, 2u);
+  EXPECT_EQ(C.totalCores(), 24u);
+  EXPECT_EQ(C.socketsPerNode(), 1u);
+  EXPECT_EQ(C.nodeOfCore(0), 0u);
+  EXPECT_EQ(C.nodeOfCore(11), 0u);
+  EXPECT_EQ(C.nodeOfCore(12), 1u);
+  EXPECT_EQ(C.nodeOfCore(23), 1u);
+  EXPECT_TRUE(C.validate().empty());
+  EXPECT_TRUE(MachineConfig::multiNode(4).validate().empty());
+  EXPECT_NE(C.describe().find("non-coherent"), std::string::npos);
+}
+
+TEST(MachineConfig, SingleNodeDefaultCollapsesTheTier) {
+  // Every pre-node-tier configuration has NumNodes = 1 and must behave as
+  // if the tier did not exist: one node holding every socket.
+  MachineConfig C = MachineConfig::dualSocket();
+  EXPECT_EQ(C.NumNodes, 1u);
+  EXPECT_EQ(C.socketsPerNode(), 2u);
+  EXPECT_EQ(C.nodeOfCore(0), 0u);
+  EXPECT_EQ(C.nodeOfCore(23), 0u);
+  // Multiple sockets per node group contiguously.
+  MachineConfig M = MachineConfig::manySocket(4);
+  M.NumNodes = 2;
+  EXPECT_EQ(M.socketsPerNode(), 2u);
+  EXPECT_EQ(M.nodeOf(0), 0u);
+  EXPECT_EQ(M.nodeOf(1), 0u);
+  EXPECT_EQ(M.nodeOf(2), 1u);
+  EXPECT_EQ(M.nodeOf(3), 1u);
+  EXPECT_TRUE(M.validate().empty());
+}
+
+TEST(MachineValidate, NodeTierEdgeCases) {
+  MachineConfig C = MachineConfig::dualSocket();
+  C.NumNodes = 0;
+  EXPECT_TRUE(mentions(C.validate(), "zero nodes"));
+
+  C = MachineConfig::dualSocket();
+  C.NumNodes = 3; // More nodes than sockets.
+  EXPECT_TRUE(mentions(C.validate(), "nodes group whole"));
+
+  C = MachineConfig::manySocket(3);
+  C.NumNodes = 2; // 3 sockets cannot split across 2 nodes.
+  EXPECT_TRUE(mentions(C.validate(), "divide evenly"));
+
+  C = MachineConfig::multiNode(2);
+  C.NodeLogQueueCapacity = 0;
+  EXPECT_TRUE(mentions(C.validate(), "zero-capacity"));
+
+  C = MachineConfig::multiNode(2);
+  C.NodeInterconnectLatency = 0;
+  EXPECT_TRUE(mentions(C.validate(), "node-interconnect latency"));
+
+  C = MachineConfig::multiNode(2);
+  C.Disaggregated = true;
+  EXPECT_TRUE(mentions(C.validate(), "mutually exclusive"));
+}
+
+TEST(MachineValidate, CollapsedTierSkipsMultiNodeOnlyRules) {
+  // The queue-capacity and interconnect-latency rules only bind when the
+  // tier actually exists; a single-node machine may leave them at zero.
+  MachineConfig C = MachineConfig::dualSocket();
+  C.NodeLogQueueCapacity = 0;
+  C.NodeInterconnectLatency = 0;
+  EXPECT_TRUE(C.validate().empty());
+}
+
+TEST(LatencyModel, CrossNodeCrossingUsesTheNodeInterconnect) {
+  MachineConfig C = MachineConfig::multiNode(2);
+  LatencyModel L(C);
+  EXPECT_EQ(L.nodeHop(), C.NodeInterconnectLatency);
+  // Sockets 0 and 1 sit on different nodes: the non-coherent interconnect,
+  // not the QPI-like inter-socket link, prices the crossing.
+  EXPECT_EQ(L.crossing(0, 1), C.NodeInterconnectLatency);
+  EXPECT_EQ(L.crossing(0, 0), 0u);
+  // Two sockets on the same node still pay the inter-socket link.
+  MachineConfig M = MachineConfig::manySocket(4);
+  M.NumNodes = 2;
+  LatencyModel ML(M);
+  EXPECT_EQ(ML.crossing(0, 1), M.IntersocketLatency);
+  EXPECT_EQ(ML.crossing(1, 2), M.NodeInterconnectLatency);
+}
+
 TEST(MachineValidate, MultipleFaultsAreAllCollected) {
   MachineConfig C = MachineConfig::dualSocket();
   C.CoresPerSocket = 0;

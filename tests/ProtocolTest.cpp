@@ -190,6 +190,7 @@ TEST(ConsistencyModelDecl, EagerBackendsDeclareScForDrfLazyDeclareRa) {
   EXPECT_EQ(ModelOf(ProtocolKind::Mesi), ConsistencyModel::ScForDrf);
   EXPECT_EQ(ModelOf(ProtocolKind::Warden), ConsistencyModel::ScForDrf);
   EXPECT_EQ(ModelOf(ProtocolKind::Sisd), ConsistencyModel::ReleaseAcquire);
+  EXPECT_EQ(ModelOf(ProtocolKind::Racoh), ConsistencyModel::ReleaseAcquire);
   EXPECT_STREQ(consistencyModelName(ConsistencyModel::ScForDrf),
                "sc-for-drf");
   EXPECT_STREQ(consistencyModelName(ConsistencyModel::ReleaseAcquire),
@@ -302,18 +303,147 @@ TEST(Sisd, EagerProtocolsKeepSyncHooksFree) {
   }
 }
 
+// --- Racoh transitions --------------------------------------------------------
+
+namespace {
+
+MachineConfig racohTwoNode() {
+  MachineConfig Config = MachineConfig::multiNode(2);
+  Config.Protocol = ProtocolKind::Racoh;
+  return Config;
+}
+
+} // namespace
+
+TEST(Racoh, RemoteCoresAreNeverInterruptedAndWritesAreLogged) {
+  CoherenceController C(testConfig(ProtocolKind::Racoh));
+  C.access(0, BlockA, 8, AccessType::Load);
+  C.access(1, BlockA, 8, AccessType::Store);
+  // Directory-less like SISD: the write disturbs nobody...
+  const CacheLine *Reader = C.privateLine(0, BlockA);
+  ASSERT_NE(Reader, nullptr);
+  EXPECT_EQ(Reader->State, LineState::Shared);
+  EXPECT_EQ(C.directoryEntry(BlockA), nullptr);
+  EXPECT_EQ(C.stats().Invalidations, 0u);
+  // ...but unlike SISD it is remembered, pending the writer's release.
+  EXPECT_TRUE(C.protocol().blockHasUnpublishedWrite(BlockA));
+}
+
+TEST(Racoh, ReleaseDowngradesAndPublishesTheLog) {
+  CoherenceController C(testConfig(ProtocolKind::Racoh));
+  C.access(0, BlockA, 8, AccessType::Store);
+  C.access(0, BlockB, 8, AccessType::Load);
+  Cycles Cost = C.syncRelease(0);
+  EXPECT_GT(Cost, 0u);
+  const CacheLine *Written = C.privateLine(0, BlockA);
+  ASSERT_NE(Written, nullptr);
+  EXPECT_EQ(Written->State, LineState::Shared);
+  EXPECT_FALSE(Written->Dirty.any());
+  EXPECT_EQ(C.stats().Downgrades, 1u);
+  EXPECT_EQ(C.stats().LogPublishes, 1u);
+  EXPECT_EQ(C.stats().LogRecordsPublished, 1u);
+  // The write is now published: no core holds it pending any more.
+  EXPECT_FALSE(C.protocol().blockHasUnpublishedWrite(BlockA));
+}
+
+TEST(Racoh, AcquireInvalidatesOnlyLoggedLines) {
+  CoherenceController C(testConfig(ProtocolKind::Racoh));
+  // Core 1 warms two read copies; core 0 then writes one of them.
+  C.access(1, BlockA, 8, AccessType::Load);
+  C.access(1, BlockB, 8, AccessType::Load);
+  C.access(0, BlockA, 8, AccessType::Store);
+  C.syncRelease(0);
+  C.syncAcquire(1);
+  // The defining difference from SISD: only the logged line dies, the
+  // untouched read copy survives.
+  EXPECT_EQ(C.privateLine(1, BlockA), nullptr);
+  EXPECT_NE(C.privateLine(1, BlockB), nullptr);
+  EXPECT_EQ(C.stats().LogInvalidations, 1u);
+  EXPECT_GE(C.stats().PreInvalidateAvoided, 1u);
+}
+
+TEST(Racoh, OwnLogRecordsAreSkippedAtAcquires) {
+  CoherenceController C(testConfig(ProtocolKind::Racoh));
+  C.access(0, BlockA, 8, AccessType::Store);
+  C.syncRelease(0);
+  C.syncAcquire(0);
+  // The classic own-log shortcut: a core's acquire consumes its own
+  // published record without shooting down its (up-to-date) copy.
+  EXPECT_NE(C.privateLine(0, BlockA), nullptr);
+  EXPECT_EQ(C.stats().LogInvalidations, 0u);
+  EXPECT_GE(C.stats().LogRecordsConsumed, 1u);
+}
+
+TEST(Racoh, VectorClockPreventsReconsumption) {
+  CoherenceController C(testConfig(ProtocolKind::Racoh));
+  C.access(0, BlockA, 8, AccessType::Store);
+  C.syncRelease(0);
+  C.syncAcquire(1);
+  std::uint64_t Consumed = C.stats().LogRecordsConsumed;
+  // Nothing new was published: the cursor is at the tail, the second
+  // acquire drains nothing.
+  C.syncAcquire(1);
+  EXPECT_EQ(C.stats().LogRecordsConsumed, Consumed);
+}
+
+TEST(Racoh, SingleNodeMachineHasNoCrossNodeTraffic) {
+  // The issue's SISD-class degeneration claim: with one node every queue
+  // is local, so the whole release/acquire protocol runs without a single
+  // node-interconnect hop or inter-node message.
+  CoherenceController C(testConfig(ProtocolKind::Racoh));
+  C.access(1, BlockA, 8, AccessType::Load);
+  C.access(0, BlockA, 8, AccessType::Store);
+  C.syncRelease(0);
+  C.syncAcquire(1);
+  EXPECT_EQ(C.privateLine(1, BlockA), nullptr); // Coherence still works.
+  EXPECT_EQ(C.stats().CrossNodeHops, 0u);
+  EXPECT_EQ(C.stats().MsgsInterNode, 0u);
+  EXPECT_EQ(C.stats().DataInterNode, 0u);
+}
+
+TEST(Racoh, CrossNodeAcquirePaysTheInterconnect) {
+  CoherenceController C(racohTwoNode());
+  CoreId Remote = 12; // First core of socket 1 = node 1.
+  C.access(Remote, BlockA, 8, AccessType::Load);
+  C.access(0, BlockA, 8, AccessType::Store);
+  C.syncRelease(0);
+  Cycles Cost = C.syncAcquire(Remote);
+  // Fetching node 0's news costs a round trip on the non-coherent
+  // interconnect, and the stale copy dies.
+  EXPECT_GE(Cost, 2 * MachineConfig().NodeInterconnectLatency);
+  EXPECT_EQ(C.stats().CrossNodeHops, 1u);
+  EXPECT_GE(C.stats().MsgsInterNode, 1u);
+  EXPECT_EQ(C.privateLine(Remote, BlockA), nullptr);
+}
+
+TEST(Racoh, FullQueueBackpressuresTheRelease) {
+  MachineConfig Config = racohTwoNode();
+  Config.NodeLogQueueCapacity = 1;
+  CoherenceController C(Config);
+  C.access(0, BlockA, 8, AccessType::Store);
+  C.access(0, BlockB, 8, AccessType::Store);
+  // Two records into a one-slot queue: the second publish must stall and
+  // force-drain the head before it fits.
+  C.syncRelease(0);
+  EXPECT_GE(C.stats().LogBackpressureStalls, 1u);
+  EXPECT_EQ(C.stats().LogRecordsPublished, 2u);
+  EXPECT_LE(C.stats().LogQueuePeakOccupancy, 1u);
+}
+
 // --- The N-protocol comparison API --------------------------------------------
 
 TEST(CompareProtocols, RunsEveryRequestedProtocolOnce) {
   TaskGraph Graph = tinyProgram();
   RunOptions Options;
   Options.Repeats = 1;
+  // Request every registered kind so the comparison API is exercised (and
+  // this test stays armed) as new backends land.
+  std::vector<ProtocolKind> Kinds = allProtocolKinds();
   ComparisonResult Cmp = WardenSystem::compareProtocols(
-      Graph, MachineConfig::dualSocket(),
-      {ProtocolKind::Mesi, ProtocolKind::Warden, ProtocolKind::Sisd}, Options);
+      Graph, MachineConfig::dualSocket(), Kinds, Options);
   EXPECT_EQ(Cmp.Baseline, ProtocolKind::Mesi);
-  ASSERT_EQ(Cmp.Runs.size(), 3u);
-  for (ProtocolKind Kind : allProtocolKinds()) {
+  ASSERT_EQ(Cmp.Runs.size(), Kinds.size());
+  for (ProtocolKind Kind : Kinds) {
     ASSERT_TRUE(Cmp.has(Kind)) << protocolId(Kind);
     EXPECT_EQ(Cmp.run(Kind).Protocol, Kind);
     EXPECT_GT(Cmp.run(Kind).Makespan, 0u);
@@ -321,6 +451,7 @@ TEST(CompareProtocols, RunsEveryRequestedProtocolOnce) {
   EXPECT_DOUBLE_EQ(Cmp.speedup(ProtocolKind::Mesi), 1.0);
   EXPECT_GT(Cmp.speedup(ProtocolKind::Warden), 0.0);
   EXPECT_GT(Cmp.speedup(ProtocolKind::Sisd), 0.0);
+  EXPECT_GT(Cmp.speedup(ProtocolKind::Racoh), 0.0);
 }
 
 TEST(CompareProtocols, RequestingExtraProtocolsDoesNotPerturbOthers) {

@@ -64,6 +64,24 @@ TEST_P(AuditedKernel, AllProtocolsRunViolationFree) {
   }
 }
 
+TEST_P(AuditedKernel, RacohMultiNodeRunsViolationFree) {
+  // The racoh backend on its native machine shape: two non-coherent nodes
+  // with a deliberately small log queue so the back-pressure force-drain
+  // path runs under the auditor's eyes, not just in unit tests.
+  const Benchmark &B = GetParam();
+  Recorded R = B.Record(B.TestScale, RtOptions());
+  RunOptions Options;
+  Options.Audit = true;
+  MachineConfig Machine = MachineConfig::multiNode(2);
+  Machine.Protocol = ProtocolKind::Racoh;
+  Machine.NodeLogQueueCapacity = 64;
+  RunResult Result = WardenSystem::simulate(R.Graph, Machine, Options);
+  EXPECT_TRUE(Result.Audit.Enabled);
+  EXPECT_TRUE(Result.Audit.clean())
+      << B.Name << " under racoh/multi-node: " << firstMessage(Result.Audit);
+  EXPECT_GT(Result.Coherence.LogPublishes, 0u) << B.Name;
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Suite, AuditedKernel, ::testing::ValuesIn(pbbs::allBenchmarks()),
     [](const ::testing::TestParamInfo<Benchmark> &Info) {

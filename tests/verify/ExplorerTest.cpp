@@ -132,7 +132,8 @@ TEST_P(ExplorerEveryProtocol, DedupActuallyMergesStates) {
 INSTANTIATE_TEST_SUITE_P(Protocols, ExplorerEveryProtocol,
                          ::testing::Values(ProtocolKind::Mesi,
                                            ProtocolKind::Warden,
-                                           ProtocolKind::Sisd),
+                                           ProtocolKind::Sisd,
+                                           ProtocolKind::Racoh),
                          [](const auto &Info) {
                            return std::string(protocolId(Info.param));
                          });
@@ -223,6 +224,49 @@ TEST(ExplorerCounterexample, MutatedSisdAcquireIsCaughtMinimallyAndReplays) {
   EXPECT_TRUE(explore(ProtocolKind::Sisd, P).clean());
 }
 
+TEST(ExplorerCounterexample, DroppedLogPublishIsCaughtMinimallyUnderRacoh) {
+  // The racoh-specific fault: the release writes the data back but throws
+  // the log away, so no remote core ever learns its copy went stale. Only
+  // the auditor's value check can see this — the trace is
+  // warm-a-stale-copy, publish(dropped), acquire.
+  VerifyProgram P;
+  P.Name = "dropped_publish";
+  P.Threads = {{st(X), rel()}, {ld(X), acq(), ld(X, true)}};
+  ExplorerResult R = explore(ProtocolKind::Racoh, P,
+                             ProtocolMutation::DropLogPublish);
+  ASSERT_TRUE(R.Violation.has_value())
+      << "explorer missed the dropped log publish";
+  const Counterexample &Ce = *R.Violation;
+  EXPECT_GT(Ce.Violations, 0u);
+
+  // The issue's acceptance bound, with margin; in fact the shrunk repro is
+  // exactly store, warm-the-stale-copy, release, acquire.
+  EXPECT_LE(Ce.Steps.size(), 12u);
+  ASSERT_EQ(Ce.Steps.size(), 4u) << Ce.describe();
+  EXPECT_EQ(Ce.Steps.back().Op.K, VerifyOp::Kind::Acquire);
+
+  // 1-minimality plus replay, like the SISD counterexample above.
+  ExplorerOptions Options;
+  Options.Protocol = ProtocolKind::Racoh;
+  Options.Faults.Mutation = ProtocolMutation::DropLogPublish;
+  Explorer E(Options);
+  EXPECT_GT(E.replay(Ce.Steps, P.threadCount()).Violations, 0u)
+      << "counterexample does not replay";
+  for (std::size_t I = 0; I < Ce.Steps.size(); ++I) {
+    std::vector<TraceStep> Less = Ce.Steps;
+    Less.erase(Less.begin() + I);
+    EXPECT_EQ(E.replay(Less, P.threadCount()).Violations, 0u)
+        << "dropping step " << I << " still violates — not minimal";
+  }
+
+  // Without the mutation the same program is clean, and the eager
+  // backends ignore the racoh-only mutation entirely.
+  EXPECT_TRUE(explore(ProtocolKind::Racoh, P).clean());
+  EXPECT_TRUE(
+      explore(ProtocolKind::Mesi, P, ProtocolMutation::DropLogPublish)
+          .clean());
+}
+
 TEST(ExplorerCounterexample, MutatedMesiInvalidationIsCaught) {
   VerifyProgram P;
   P.Name = "swmr_bug";
@@ -241,7 +285,8 @@ TEST(ExplorerCounterexample, MutatedMesiInvalidationIsCaught) {
 TEST(ExplorerDeterminism, PooledSearchMatchesSerialExactly) {
   JobPool Pool(4);
   for (ProtocolKind Protocol :
-       {ProtocolKind::Mesi, ProtocolKind::Warden, ProtocolKind::Sisd}) {
+       {ProtocolKind::Mesi, ProtocolKind::Warden, ProtocolKind::Sisd,
+        ProtocolKind::Racoh}) {
     ExplorerResult Serial = explore(Protocol, contended2x2());
     ExplorerResult Pooled =
         explore(Protocol, contended2x2(), ProtocolMutation::None, &Pool);

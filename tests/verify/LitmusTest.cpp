@@ -69,7 +69,8 @@ TEST_P(LitmusEveryProtocol, SuiteIsDeterministicUnderAPool) {
 INSTANTIATE_TEST_SUITE_P(Protocols, LitmusEveryProtocol,
                          ::testing::Values(ProtocolKind::Mesi,
                                            ProtocolKind::Warden,
-                                           ProtocolKind::Sisd),
+                                           ProtocolKind::Sisd,
+                                           ProtocolKind::Racoh),
                          [](const auto &Info) {
                            return std::string(protocolId(Info.param));
                          });
@@ -79,21 +80,25 @@ TEST(LitmusModels, DeclaredModelsMatchTheBackends) {
   EXPECT_EQ(declaredModel(ProtocolKind::Warden), ConsistencyModel::ScForDrf);
   EXPECT_EQ(declaredModel(ProtocolKind::Sisd),
             ConsistencyModel::ReleaseAcquire);
+  EXPECT_EQ(declaredModel(ProtocolKind::Racoh),
+            ConsistencyModel::ReleaseAcquire);
 }
 
-TEST(LitmusOutcomes, SisdDemonstratesItsRelaxationsAndMesiDoesNot) {
+TEST(LitmusOutcomes, LazyBackendsDemonstrateTheirRelaxationsAndMesiDoesNot) {
   // The relaxed patterns exist precisely to distinguish the two model
-  // classes: the weak outcome must be reachable under SISD and
-  // unreachable under MESI/WARDen.
+  // classes: the weak outcome must be reachable under both release-acquire
+  // backends (SISD and racoh) and unreachable under MESI/WARDen.
   for (const LitmusPattern &P : litmusSuite()) {
     if (P.RequiredWeakUnderRa.empty())
       continue;
-    LitmusResult Sisd = runLitmus(P, ProtocolKind::Sisd);
-    const std::vector<std::string> &SisdOut = Sisd.Exploration.Outcomes;
-    EXPECT_NE(std::find(SisdOut.begin(), SisdOut.end(),
-                        P.RequiredWeakUnderRa),
-              SisdOut.end())
-        << P.Program.Name << ": SISD did not show " << P.RequiredWeakUnderRa;
+    for (ProtocolKind Lazy : {ProtocolKind::Sisd, ProtocolKind::Racoh}) {
+      LitmusResult R = runLitmus(P, Lazy);
+      const std::vector<std::string> &Out = R.Exploration.Outcomes;
+      EXPECT_NE(std::find(Out.begin(), Out.end(), P.RequiredWeakUnderRa),
+                Out.end())
+          << P.Program.Name << ": " << protocolId(Lazy) << " did not show "
+          << P.RequiredWeakUnderRa;
+    }
     for (ProtocolKind Eager : {ProtocolKind::Mesi, ProtocolKind::Warden}) {
       LitmusResult R = runLitmus(P, Eager);
       const std::vector<std::string> &Out = R.Exploration.Outcomes;
@@ -119,6 +124,24 @@ TEST(LitmusDetection, WeakenedAcquireFailsTheMpPattern) {
   ExplorerOptions Options;
   Options.Protocol = ProtocolKind::Sisd;
   Options.Faults.Mutation = ProtocolMutation::SkipAcquireInvalidation;
+  ExplorerResult R = Explorer(Options).explore(Mp->Program);
+  ASSERT_TRUE(R.Violation.has_value());
+  EXPECT_LE(R.Violation->Steps.size(), 12u);
+}
+
+TEST(LitmusDetection, DroppedLogPublishFailsTheMpPatternUnderRacoh) {
+  // Racoh's characteristic fault: the release writes data back but never
+  // publishes the log, so the reader's acquire keeps its stale copy. The
+  // auditor's surviving-copy value check must catch it on plain MP.
+  const std::vector<LitmusPattern> Suite = litmusSuite();
+  auto Mp = std::find_if(Suite.begin(), Suite.end(), [](const auto &P) {
+    return P.Program.Name == "mp";
+  });
+  ASSERT_NE(Mp, Suite.end());
+
+  ExplorerOptions Options;
+  Options.Protocol = ProtocolKind::Racoh;
+  Options.Faults.Mutation = ProtocolMutation::DropLogPublish;
   ExplorerResult R = Explorer(Options).explore(Mp->Program);
   ASSERT_TRUE(R.Violation.has_value());
   EXPECT_LE(R.Violation->Steps.size(), 12u);

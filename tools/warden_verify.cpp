@@ -82,13 +82,27 @@ bool parseUnsigned(const std::string &Text, std::uint64_t &Out) {
 }
 
 std::optional<ProtocolMutation> parseMutation(const std::string &Name) {
-  for (ProtocolMutation M :
-       {ProtocolMutation::None, ProtocolMutation::SkipInvalidationOnGetM,
-        ProtocolMutation::SkipDowngradeOnFwdGetS,
-        ProtocolMutation::SkipAcquireInvalidation})
-    if (Name == mutationName(M))
-      return M;
+  if (Name == mutationName(ProtocolMutation::None))
+    return ProtocolMutation::None;
+  std::size_t Count = 0;
+  const ProtocolMutation *Mutations = allProtocolMutations(Count);
+  for (std::size_t I = 0; I < Count; ++I)
+    if (Name == mutationName(Mutations[I]))
+      return Mutations[I];
   return std::nullopt;
+}
+
+/// Comma-separated names of every deliberate mutation, for diagnostics.
+std::string knownMutations() {
+  std::string Known;
+  std::size_t Count = 0;
+  const ProtocolMutation *Mutations = allProtocolMutations(Count);
+  for (std::size_t I = 0; I < Count; ++I) {
+    if (!Known.empty())
+      Known += ", ";
+    Known += mutationName(Mutations[I]);
+  }
+  return Known;
 }
 
 /// The explore-mode battery: small racy programs stressing every backend
@@ -227,11 +241,8 @@ int main(int Argc, char **Argv) {
     } else if (Key == "--mutate") {
       std::optional<ProtocolMutation> M = parseMutation(Value);
       if (!M) {
-        std::fprintf(stderr,
-                     "warden-verify: unknown mutation '%s' (try "
-                     "skip-invalidation-on-getm, skip-downgrade-on-fwd-gets, "
-                     "skip-acquire-invalidation)\n",
-                     Value.c_str());
+        std::fprintf(stderr, "warden-verify: unknown mutation '%s' (known: %s)\n",
+                     Value.c_str(), knownMutations().c_str());
         return 2;
       }
       Opts.Mutation = *M;
@@ -254,11 +265,10 @@ int main(int Argc, char **Argv) {
     for (const LitmusPattern &P : litmusSuite())
       std::printf("  %-12s %s\n", P.Program.Name.c_str(), P.Note.c_str());
     std::printf("mutations:\n");
-    for (ProtocolMutation M :
-         {ProtocolMutation::SkipInvalidationOnGetM,
-          ProtocolMutation::SkipDowngradeOnFwdGetS,
-          ProtocolMutation::SkipAcquireInvalidation})
-      std::printf("  %s\n", mutationName(M));
+    std::size_t MutationCount = 0;
+    const ProtocolMutation *Mutations = allProtocolMutations(MutationCount);
+    for (std::size_t I = 0; I < MutationCount; ++I)
+      std::printf("  %s\n", mutationName(Mutations[I]));
     return 0;
   }
 
