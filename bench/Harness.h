@@ -18,6 +18,7 @@
 #define WARDEN_BENCH_HARNESS_H
 
 #include "src/core/WardenSystem.h"
+#include "src/obs/EventLog.h"
 #include "src/obs/Observability.h"
 #include "src/pbbs/Pbbs.h"
 #include "src/support/JobPool.h"
@@ -73,6 +74,10 @@ struct BenchOptions {
   double Scale = 1.0;
   /// When non-empty, write the machine-readable report here.
   std::string JsonPath;
+  /// When non-empty (--evlog=BASE), every simulated run streams a binary
+  /// event log to "BASE.<benchmark>.<protocol>.evlog" (warden-evlog-v1;
+  /// query with warden-stat). Cycle-identical to an unlogged run.
+  std::string EvlogBase;
   /// Attach the sharing profiler + CPI stack to every run (--profile):
   /// per-line/per-site coherence attribution and cycle accounting, printed
   /// after the figure tables and embedded in the JSON report.
@@ -97,6 +102,10 @@ struct BenchOptions {
 ///                    repeatable); names that match nothing fail fast
 ///   --scale=X        multiply every benchmark's problem size by X
 ///   --json=FILE      also write the warden-bench-v2 JSON report to FILE
+///   --evlog=BASE     stream a binary coherence event log per run to
+///                    BASE.<benchmark>.<protocol>.evlog (warden-evlog-v1;
+///                    query offline with warden-stat). Simulated cycles
+///                    are identical with or without the log
 ///   --profile        attach the per-line sharing profiler and CPI stacks
 ///                    (same cycles; prints attribution tables, adds a
 ///                    "profile" section to the JSON report)
@@ -176,6 +185,12 @@ inline BenchOptions parseBenchArgs(int argc, char **argv) {
       }
     } else if (std::strncmp(Arg, "--json=", 7) == 0) {
       B.JsonPath = Arg + 7;
+    } else if (std::strncmp(Arg, "--evlog=", 8) == 0) {
+      if (Arg[8] == '\0') {
+        std::fprintf(stderr, "%s: --evlog wants a base path\n", argv[0]);
+        std::exit(2);
+      }
+      B.EvlogBase = Arg + 8;
     } else if (std::strcmp(Arg, "--profile") == 0) {
       B.Profile = true;
     } else if (std::strncmp(Arg, "--jobs=", 7) == 0) {
@@ -202,8 +217,8 @@ inline BenchOptions parseBenchArgs(int argc, char **argv) {
       std::fprintf(stderr,
                    "usage: %s [--audit] [--faults[=seed]] "
                    "[--protocol=ID[,ID...]] [--only=NAME[,NAME...]] "
-                   "[--scale=X] [--json=FILE] [--profile] [--jobs=N] "
-                   "[--nodes=N]\n",
+                   "[--scale=X] [--json=FILE] [--evlog=BASE] [--profile] "
+                   "[--jobs=N] [--nodes=N]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -287,6 +302,18 @@ runSuite(const MachineConfig &Machine, const BenchOptions &B,
         Run.Obs = &ProfBundle;
       Run.Obs->Profiler = &Prof;
       Run.Obs->Cpi = &Cpi;
+    }
+    // --evlog: same task-local pattern. The base path carries the
+    // benchmark name, so concurrent benchmarks write disjoint files and
+    // the comparison's serial per-protocol runs reuse one writer
+    // (beginRun derives "<base>.<protocol>.evlog" per run).
+    EventLog Evl;
+    if (!B.EvlogBase.empty()) {
+      Evl.configure(B.EvlogBase + "." + Work[I].Bench->Name);
+      Evl.setRunLabel(Work[I].Bench->Name);
+      if (!Run.Obs)
+        Run.Obs = &ProfBundle;
+      Run.Obs->Log = &Evl;
     }
     SuiteRow &Row = Rows[I];
     Row.Name = Work[I].Bench->Name;

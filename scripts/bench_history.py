@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Track simulator throughput across CI runs and flag regressions.
+
+Usage:
+    scripts/bench_history.py REPORT.json HISTORY.jsonl [options]
+    scripts/bench_history.py --self-test
+
+Reads a warden-bench-v2 report's host-side performance fields (the
+per-benchmark host_seconds / sim_accesses_per_sec pairs), appends one JSON
+line to HISTORY.jsonl, and compares the run's aggregate throughput against
+the trailing median of the previous entries. A run is a REGRESSION when
+its throughput falls more than --max-regression (default 0.25) below that
+median.
+
+The verdict is advisory by default (prints a warning, exits 0) because
+host throughput is noisy on shared CI runners and a PR should not go red
+over a slow machine; pass --strict (used on main) to turn a regression
+into exit 1. Fewer than --min-history prior entries (default 3) means no
+gate at all — the history is still being seeded.
+
+History lines are self-contained JSON objects:
+    {"commit": ..., "throughput": ..., "host_seconds": ...,
+     "benchmarks": {name: sim_accesses_per_sec, ...}}
+
+Exit status: 0 OK/advisory, 1 strict regression, 2 malformed input.
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+
+
+def load_report(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        sys.exit(f"error: cannot read report {path}: {err}")
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, list) or not benches:
+        sys.exit(f"error: {path}: no benchmarks array (is this a "
+                 "warden-bench report?)")
+    rates, total_seconds, total_accesses = {}, 0.0, 0.0
+    for bench in benches:
+        name = bench.get("name", "?")
+        rate = bench.get("sim_accesses_per_sec")
+        seconds = bench.get("host_seconds")
+        if not isinstance(rate, (int, float)) or \
+           not isinstance(seconds, (int, float)):
+            sys.exit(f"error: {path}: benchmark {name!r} lacks "
+                     "host_seconds/sim_accesses_per_sec (rerun with a "
+                     "harness that emits them)")
+        rates[name] = rate
+        total_seconds += seconds
+        total_accesses += rate * seconds
+    if total_seconds <= 0:
+        sys.exit(f"error: {path}: zero total host_seconds")
+    return {
+        "commit": os.environ.get("GITHUB_SHA", ""),
+        "throughput": total_accesses / total_seconds,
+        "host_seconds": total_seconds,
+        "benchmarks": rates,
+    }
+
+
+def load_history(path):
+    entries = []
+    if not os.path.exists(path):
+        return entries
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                print(f"note: {path}:{lineno}: unparseable line skipped")
+                continue
+            if isinstance(entry.get("throughput"), (int, float)):
+                entries.append(entry)
+    return entries
+
+
+def verdict(history, current, max_regression, min_history, window):
+    """Returns (regressed, message) for `current` against `history`."""
+    tail = [e["throughput"] for e in history[-window:]]
+    if len(tail) < min_history:
+        return False, (f"history has {len(tail)} prior run(s) "
+                       f"(<{min_history}); seeding, no gate")
+    median = statistics.median(tail)
+    floor = median * (1.0 - max_regression)
+    ratio = current / median if median > 0 else float("inf")
+    detail = (f"throughput {current:,.0f} acc/s vs trailing median "
+              f"{median:,.0f} over {len(tail)} runs ({ratio:.2%})")
+    if current < floor:
+        return True, f"REGRESSION: {detail}, below the {floor:,.0f} floor"
+    return False, f"OK: {detail}"
+
+
+def self_test():
+    base = [{"throughput": t} for t in (100.0, 104.0, 96.0, 102.0, 98.0)]
+    # Within the window: no regression.
+    regressed, _ = verdict(base, 90.0, 0.25, 3, 20)
+    assert not regressed, "90 vs median 100 is inside the 25% window"
+    # Below the floor: regression.
+    regressed, msg = verdict(base, 70.0, 0.25, 3, 20)
+    assert regressed, "70 vs median 100 must trip the 25% gate"
+    assert "REGRESSION" in msg
+    # Too little history: never gates.
+    regressed, _ = verdict(base[:2], 1.0, 0.25, 3, 20)
+    assert not regressed, "two entries must not gate"
+    # The window is trailing: old slow runs roll out of the median.
+    slow_then_fast = [{"throughput": t} for t in (10.0, 10.0, 10.0,
+                                                  100.0, 100.0, 100.0)]
+    regressed, _ = verdict(slow_then_fast, 60.0, 0.25, 3, 3)
+    assert regressed, "median over the last 3 (fast) runs must gate 60"
+    print("bench_history self-test OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="append a bench report to a throughput history and "
+                    "flag regressions")
+    parser.add_argument("report", nargs="?", help="warden-bench JSON report")
+    parser.add_argument("history", nargs="?",
+                        help="JSONL history file (created if absent)")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="fractional drop below the trailing median "
+                             "that counts as a regression (default 0.25)")
+    parser.add_argument("--min-history", type=int, default=3,
+                        help="prior entries required before gating "
+                             "(default 3)")
+    parser.add_argument("--window", type=int, default=20,
+                        help="trailing entries the median is taken over "
+                             "(default 20)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on regression (main); default is "
+                             "advisory (PRs)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in gate-logic checks and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.report or not args.history:
+        parser.error("REPORT and HISTORY are required (or --self-test)")
+
+    entry = load_report(args.report)
+    history = load_history(args.history)
+    regressed, message = verdict(history, entry["throughput"],
+                                 args.max_regression, args.min_history,
+                                 args.window)
+    with open(args.history, "a") as f:
+        f.write(json.dumps(entry, sort_keys=True) + "\n")
+    print(f"bench_history: {message}")
+    print(f"bench_history: appended run {len(history) + 1} to "
+          f"{args.history}")
+    if regressed and args.strict:
+        return 1
+    if regressed:
+        print("bench_history: advisory mode — not failing the build")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

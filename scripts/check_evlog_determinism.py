@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Verify that event logs are byte-identical at any --jobs.
+
+Usage:
+    scripts/check_evlog_determinism.py FIG7_BINARY [SCALE]
+
+Runs the Figure 7 suite twice at a tiny scale with --evlog enabled — once
+with --jobs=1 and once with --jobs=4 — and byte-compares every produced
+.evlog file. The event log assigns its global sequence numbers in the
+(serial) simulation's emission order and merges its per-core shards by
+that order, so the bytes on disk must never depend on how benchmark
+simulations were scheduled across host threads.
+
+Registered as a ctest (evlog_determinism); also usable standalone.
+"""
+
+import glob
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit("usage: check_evlog_determinism.py FIG7_BINARY [SCALE]")
+    binary = sys.argv[1]
+    scale = sys.argv[2] if len(sys.argv) > 2 else "0.05"
+
+    logs = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for jobs in (1, 4):
+            base = os.path.join(tmp, f"jobs{jobs}")
+            subprocess.run(
+                [binary, f"--scale={scale}", f"--evlog={base}",
+                 f"--jobs={jobs}",
+                 f"--json={os.path.join(tmp, f'jobs{jobs}.json')}"],
+                check=True, stdout=subprocess.DEVNULL)
+            produced = {}
+            for path in glob.glob(f"{base}.*.evlog"):
+                with open(path, "rb") as f:
+                    produced[os.path.basename(path)[len(f"jobs{jobs}."):]] \
+                        = f.read()
+            logs[jobs] = produced
+
+    if not logs[1]:
+        sys.exit("FAIL: --evlog produced no .evlog files")
+    if set(logs[1]) != set(logs[4]):
+        sys.exit("FAIL: --jobs=1 and --jobs=4 produced different file sets: "
+                 f"{sorted(logs[1])} vs {sorted(logs[4])}")
+    for name in sorted(logs[1]):
+        if logs[1][name] != logs[4][name]:
+            sys.exit(f"FAIL: {name} differs between --jobs=1 and --jobs=4")
+
+    print(f"OK: {len(logs[1])} event logs byte-identical at --jobs=1 and "
+          f"--jobs=4 (scale {scale})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@
 
 #include "src/obs/ChromeTraceExporter.h"
 #include "src/obs/CpiStack.h"
+#include "src/obs/EventLog.h"
 #include "src/obs/MetricRegistry.h"
 #include "src/obs/Observability.h"
 #include "src/obs/SharingProfiler.h"
@@ -79,6 +80,7 @@ void CoherenceController::attachObs(Observability *NewObs) {
     Cache.attachMetrics(Registry);
   Prof = Obs ? Obs->Profiler : nullptr;
   Cpi = Obs ? Obs->Cpi : nullptr;
+  Evl = Obs ? Obs->Log : nullptr;
   if (Obs && Obs->Trace)
     Obs->Trace->setCoreCount(Config.totalCores());
   RegionAddedAt.clear();
@@ -166,6 +168,11 @@ void CoherenceController::fillPrivate(CoreId Core, Addr Block,
 void CoherenceController::handleEviction(CoreId Core,
                                          const EvictedLine &Victim) {
   ++Stats.Evictions;
+  if (Evl)
+    Evl->emit(Obs->Now, EvKind::Eviction, static_cast<std::uint16_t>(Core),
+              Victim.Block, 0,
+              Victim.State == LineState::Modified || Victim.Dirty.any() ? 1
+                                                                        : 0);
   Backend->evictLine(Core, Victim);
   if (Auditor)
     Auditor->onInvalidate(Core, Victim.Block);
@@ -248,6 +255,9 @@ void CoherenceController::injectEviction(CoreId Core) {
   ++Stats.InjectedEvictions;
   if (Obs && Obs->Trace)
     Obs->Trace->instant("fault: injected eviction", Core, Obs->Now);
+  if (Evl)
+    Evl->emit(Obs->Now, EvKind::FaultEviction, static_cast<std::uint16_t>(Core),
+              Victim);
   handleEviction(Core, *Old);
 }
 
@@ -347,6 +357,10 @@ Cycles CoherenceController::missPath(CoreId Core, Addr Block,
   Cycles Total = Lat + Backend->serveMiss(Core, Block, Type);
   if (Prof)
     Prof->onDemandMiss(Block, Core, Total, Remote);
+  if (Evl)
+    Evl->emit(Obs->Now, EvKind::DemandMiss, static_cast<std::uint16_t>(Core),
+              Block, static_cast<std::uint32_t>(Total),
+              static_cast<std::uint8_t>(Type));
   return Total;
 }
 
@@ -363,12 +377,23 @@ Cycles CoherenceController::addRegion(RegionId Id, Addr Start, Addr End) {
       if (Obs && Obs->Trace)
         Obs->Trace->instant("region overflow", Obs->Trace->directoryTid(),
                             Obs->Now);
+      if (Evl)
+        Evl->emit(Obs->Now, EvKind::RegionOverflow, EventLog::DirectorySource,
+                  Start, Id);
     }
     ++Stats.RegionFallbacks;
     return 0;
   }
   if (RegionLifetimeHist)
     RegionAddedAt.try_emplace(Id, Obs->Now);
+  if (Evl) {
+    // Two companion records carry the region's full geometry: RegionAdd
+    // holds the start address, RegionExtent (next Seq) the end.
+    Evl->emit(Obs->Now, EvKind::RegionAdd, EventLog::DirectorySource, Start,
+              Id);
+    Evl->emit(Obs->Now, EvKind::RegionExtent, EventLog::DirectorySource, End,
+              Id);
+  }
   return Backend->regionAddCost();
 }
 
@@ -384,6 +409,9 @@ Cycles CoherenceController::removeRegion(RegionId Id, CoreId Remover) {
       RegionAddedAt.erase(AddedIt);
     }
   }
+  if (Evl)
+    Evl->emit(Obs->Now, EvKind::RegionRemove,
+              static_cast<std::uint16_t>(Remover), Region->Start, Id);
   return Backend->removeRegion(*Region, Id, Remover);
 }
 

@@ -49,6 +49,7 @@ class Histogram;
 class ProtocolAuditor;
 class SharingProfiler;
 class CpiStack;
+class EventLog;
 struct Observability;
 
 /// The full simulated cache/coherence subsystem.
@@ -196,6 +197,8 @@ private:
   /// the bundle at attach time (hot-path pointers, one null check each).
   SharingProfiler *Prof = nullptr;
   CpiStack *Cpi = nullptr;
+  /// Streaming binary event log, cached from the bundle like the profiler.
+  EventLog *Evl = nullptr;
   /// RegionId -> Observability::Now at addRegion, for lifetime histograms.
   FlatMap<RegionId, Cycles> RegionAddedAt;
 
@@ -230,6 +233,7 @@ inline Directory &CoherenceProtocol::dir() { return C.Dir; }
 inline ProtocolAuditor *CoherenceProtocol::auditor() { return C.Auditor; }
 inline SharingProfiler *CoherenceProtocol::profiler() { return C.Prof; }
 inline CpiStack *CoherenceProtocol::cpi() { return C.Cpi; }
+inline EventLog *CoherenceProtocol::eventLog() { return C.Evl; }
 inline Observability *CoherenceProtocol::observability() { return C.Obs; }
 inline const FaultPlan &CoherenceProtocol::faults() const { return C.Faults; }
 inline Cycles CoherenceProtocol::llcData(Addr Block, SocketId Home) {

@@ -8,6 +8,8 @@
 
 #include "src/coherence/CoherenceController.h"
 #include "src/obs/CpiStack.h"
+#include "src/obs/EventLog.h"
+#include "src/obs/Observability.h"
 #include "src/obs/SharingProfiler.h"
 #include "src/verify/ProtocolAuditor.h"
 
@@ -59,6 +61,9 @@ Cycles MesiProtocol::loadMiss(CoreId Core, Addr Block, DirEntry &Entry) {
     ++stats().CacheToCache;
     if (SharingProfiler *Prof = profiler())
       Prof->onDowngrade(Block, Owner);
+    if (EventLog *Evl = eventLog())
+      Evl->emit(observability()->Now, EvKind::Downgrade,
+                static_cast<std::uint16_t>(Owner), Block, Core);
     noteMsg(Home, config().socketOf(Owner));
     if (OwnerLine->State == LineState::Modified) {
       if (ProtocolAuditor *Auditor = auditor()) {
@@ -118,6 +123,9 @@ Cycles MesiProtocol::storeMiss(CoreId Core, Addr Block, DirEntry &Entry) {
           Auditor->onInvalidate(Sharer, Block);
         if (SharingProfiler *Prof = profiler())
           Prof->onInvalidation(Block, Sharer);
+        if (EventLog *Evl = eventLog())
+          Evl->emit(observability()->Now, EvKind::Invalidation,
+                    static_cast<std::uint16_t>(Sharer), Block, Core);
         noteMsg(Home, config().socketOf(Sharer));             // Inv
         noteMsg(config().socketOf(Sharer), Home);             // Inv-Ack
         InvLat = std::max(InvLat, latency().invalidate(Home, Sharer));
@@ -151,6 +159,9 @@ Cycles MesiProtocol::storeMiss(CoreId Core, Addr Block, DirEntry &Entry) {
     ++stats().CacheToCache;
     if (SharingProfiler *Prof = profiler())
       Prof->onInvalidation(Block, Owner);
+    if (EventLog *Evl = eventLog())
+      Evl->emit(observability()->Now, EvKind::Invalidation,
+                static_cast<std::uint16_t>(Owner), Block, Core);
     noteMsg(Home, config().socketOf(Owner));
     if (ProtocolAuditor *Auditor = auditor()) {
       SectorMask Full;

@@ -62,6 +62,7 @@ class LatencyModel;
 class ProtocolAuditor;
 class SharingProfiler;
 class CpiStack;
+class EventLog;
 class PrivateCache;
 struct CoherenceStats;
 struct FaultPlan;
@@ -222,6 +223,7 @@ protected:
   ProtocolAuditor *auditor();
   SharingProfiler *profiler();
   CpiStack *cpi();
+  EventLog *eventLog();
   Observability *observability();
   const FaultPlan &faults() const;
   Cycles llcData(Addr Block, SocketId Home);

@@ -7,6 +7,7 @@
 #include "src/coherence/RacohProtocol.h"
 
 #include "src/coherence/CoherenceController.h"
+#include "src/obs/EventLog.h"
 #include "src/obs/MetricRegistry.h"
 #include "src/obs/Observability.h"
 #include "src/verify/ProtocolAuditor.h"
@@ -123,6 +124,9 @@ Cycles RacohProtocol::downgradeDirty(CoreId Core, CacheLine &Line) {
   noteData(CoreSocket, Home);
   ++stats().Writebacks;
   ++stats().Downgrades;
+  if (EventLog *Evl = eventLog())
+    Evl->emit(observability()->Now, EvKind::Downgrade,
+              static_cast<std::uint16_t>(Core), Line.Block, Core, /*Arg=*/1);
   Line.Dirty.clear();
   return config().Features.ReconcileCostPerBlock;
 }
@@ -157,18 +161,23 @@ Cycles RacohProtocol::consumeRecord(CoreId Core, const LogRecord &Record,
   ++stats().Invalidations;
   ++stats().LogInvalidations;
   ++Invalidated;
+  if (EventLog *Evl = eventLog())
+    Evl->emit(observability()->Now, EvKind::LogInvalidation,
+              static_cast<std::uint16_t>(Core), Record.Block, Record.Writer);
   if (ProtocolAuditor *Auditor = auditor())
     Auditor->onInvalidate(Core, Record.Block);
   return Cost;
 }
 
 Cycles RacohProtocol::forceDrainHead(unsigned Node, CoreId Publisher) {
-  (void)Publisher; // The stall is charged through the return value.
   NodeQueue &Queue = Queues[Node];
   assert(!Queue.Records.empty() && "draining an empty queue");
   ++stats().LogBackpressureStalls;
   if (BackpressureCtr)
     BackpressureCtr->add();
+  if (EventLog *Evl = eventLog())
+    Evl->emit(observability()->Now, EvKind::LogBackpressure,
+              static_cast<std::uint16_t>(Publisher), 0, Node);
   // The stalled publisher waits for the interconnect round that forces the
   // laggards to step past the head record.
   Cycles Cost = latency().nodeHop();
@@ -220,6 +229,10 @@ Cycles RacohProtocol::syncRelease(CoreId Core) {
           PublishedCtr->add();
       }
       ++stats().LogPublishes;
+      if (EventLog *Evl = eventLog())
+        Evl->emit(observability()->Now, EvKind::LogPublish,
+                  static_cast<std::uint16_t>(Core), 0,
+                  static_cast<std::uint32_t>(Pending[Core].size()));
       Cost += config().LogPublishLatency;
       std::uint64_t Occupancy = Queue.Records.size();
       stats().LogQueuePeakOccupancy =
@@ -285,6 +298,10 @@ Cycles RacohProtocol::syncAcquire(CoreId Core) {
     stats().PreInvalidateAvoided += Avoided;
     if (AvoidedCtr)
       AvoidedCtr->add(Avoided);
+    if (EventLog *Evl = eventLog())
+      Evl->emit(observability()->Now, EvKind::PreInvalidateAvoided,
+                static_cast<std::uint16_t>(Core), 0,
+                static_cast<std::uint32_t>(Avoided));
   }
   if (ProtocolAuditor *Auditor = auditor())
     Auditor->onSyncAcquire(Core);

@@ -7,6 +7,8 @@
 #include "src/coherence/SisdProtocol.h"
 
 #include "src/coherence/CoherenceController.h"
+#include "src/obs/EventLog.h"
+#include "src/obs/Observability.h"
 #include "src/verify/ProtocolAuditor.h"
 
 #include <cassert>
@@ -62,6 +64,9 @@ Cycles SisdProtocol::downgradeDirty(CoreId Core, CacheLine &Line) {
   noteData(CoreSocket, Home);
   ++stats().Writebacks;
   ++stats().Downgrades;
+  if (EventLog *Evl = eventLog())
+    Evl->emit(observability()->Now, EvKind::Downgrade,
+              static_cast<std::uint16_t>(Core), Line.Block, Core, /*Arg=*/1);
   Line.Dirty.clear();
   return config().Features.ReconcileCostPerBlock;
 }
@@ -117,6 +122,9 @@ Cycles SisdProtocol::syncAcquire(CoreId Core) {
         Cost += config().Features.ReconcileCostPerBlock;
       }
       ++stats().Invalidations;
+      if (EventLog *Evl = eventLog())
+        Evl->emit(observability()->Now, EvKind::Invalidation,
+                  static_cast<std::uint16_t>(Core), Block, Core, /*Arg=*/1);
       if (ProtocolAuditor *Auditor = auditor())
         Auditor->onInvalidate(Core, Block);
     }

@@ -8,6 +8,7 @@
 
 #include "src/coherence/CoherenceController.h"
 #include "src/obs/ChromeTraceExporter.h"
+#include "src/obs/EventLog.h"
 #include "src/obs/Observability.h"
 #include "src/obs/SharingProfiler.h"
 #include "src/verify/ProtocolAuditor.h"
@@ -52,6 +53,11 @@ Cycles WardenProtocol::wardMiss(CoreId Core, Addr Block, AccessType Type,
     fillPrivate(Core, Block, FillState);
   }
   Entry.Sharers.set(Core);
+  if (EventLog *Evl = eventLog())
+    Evl->emit(observability()->Now, EvKind::WardGrant,
+              static_cast<std::uint16_t>(Core), Block,
+              static_cast<std::uint32_t>(Lat),
+              static_cast<std::uint8_t>(Type));
   return Lat;
 }
 
@@ -148,6 +154,9 @@ void WardenProtocol::forceReconcile(Addr Block) {
   if (Obs && Obs->Trace)
     Obs->Trace->instant("fault: forced reconcile", Obs->Trace->directoryTid(),
                         Obs->Now);
+  if (EventLog *Evl = eventLog())
+    Evl->emit(Obs->Now, EvKind::ForcedReconcile, EventLog::DirectorySource,
+              Block);
   reconcileBlock(Block, It.value());
 }
 
@@ -157,6 +166,9 @@ Cycles WardenProtocol::reconcileBlock(Addr Block, DirEntry &Entry) {
   unsigned Holders = Entry.Sharers.count();
   if (SharingProfiler *Prof = profiler())
     Prof->onReconcile(Block, Holders);
+  if (EventLog *Evl = eventLog())
+    Evl->emit(observability()->Now, EvKind::Reconcile,
+              EventLog::DirectorySource, Block, Holders);
 
   if (Holders == 0) {
     // All copies were already evicted (and eagerly reconciled).

@@ -7,6 +7,7 @@
 #include "src/core/WardenSystem.h"
 
 #include "src/coherence/CoherenceController.h"
+#include "src/obs/EventLog.h"
 #include "src/obs/Observability.h"
 #include "src/support/JobPool.h"
 
@@ -71,6 +72,8 @@ RunResult WardenSystem::simulate(const TaskGraph &Graph,
       Options.Obs->Profiler->beginRun(&Graph.memoryMap(), Options.Obs);
     if (Options.Obs->Cpi)
       Options.Obs->Cpi->beginRun(Config.totalCores());
+    if (Options.Obs->Log)
+      Options.Obs->Log->beginRun(Config, &Graph.memoryMap());
     Controller.attachObs(Options.Obs);
   }
   Replayer Replay(Graph, Controller, Options.Seed);
@@ -96,6 +99,10 @@ RunResult WardenSystem::simulate(const TaskGraph &Graph,
   }
   if (Options.Obs && Options.Obs->Cpi)
     Result.Cpi = Options.Obs->Cpi->report();
+  // Seal the event log with the other snapshots, before the drain: the
+  // end-of-run writeback sweep is bookkeeping, not program behaviour.
+  if (Options.Obs && Options.Obs->Log)
+    Options.Obs->Log->finish();
   Controller.drainDirtyData();
   Result.Protocol = Config.Protocol;
   Result.Makespan = Timing.Makespan;

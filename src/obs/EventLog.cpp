@@ -1,0 +1,483 @@
+//===- obs/EventLog.cpp - Streaming binary coherence event log ------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/obs/EventLog.h"
+
+#include "src/coherence/Protocol.h"
+#include "src/machine/MachineConfig.h"
+#include "src/trace/TaskGraph.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace warden {
+
+namespace {
+
+constexpr char Magic[8] = {'W', 'E', 'V', 'L', 'O', 'G', '1', '\0'};
+constexpr std::uint32_t FormatVersion = 1;
+constexpr std::uint32_t RecordSize = 32;
+
+// All multi-byte fields are explicitly little-endian regardless of host
+// byte order: the .evlog bytes are compared across machines in CI.
+void put16(unsigned char *P, std::uint16_t V) {
+  P[0] = static_cast<unsigned char>(V);
+  P[1] = static_cast<unsigned char>(V >> 8);
+}
+
+void put32(unsigned char *P, std::uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    P[I] = static_cast<unsigned char>(V >> (8 * I));
+}
+
+void put64(unsigned char *P, std::uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    P[I] = static_cast<unsigned char>(V >> (8 * I));
+}
+
+std::uint16_t get16(const unsigned char *P) {
+  return static_cast<std::uint16_t>(P[0] | (P[1] << 8));
+}
+
+std::uint32_t get32(const unsigned char *P) {
+  std::uint32_t V = 0;
+  for (int I = 3; I >= 0; --I)
+    V = (V << 8) | P[I];
+  return V;
+}
+
+std::uint64_t get64(const unsigned char *P) {
+  std::uint64_t V = 0;
+  for (int I = 7; I >= 0; --I)
+    V = (V << 8) | P[I];
+  return V;
+}
+
+void packRecord(const EvRecord &R, unsigned char (&Buf)[RecordSize]) {
+  put64(Buf + 0, R.Seq);
+  put64(Buf + 8, R.Cycle);
+  put64(Buf + 16, R.Address);
+  put32(Buf + 24, R.Payload);
+  put16(Buf + 28, R.Core);
+  Buf[30] = static_cast<unsigned char>(R.Kind);
+  Buf[31] = R.Arg;
+}
+
+void unpackRecord(const unsigned char (&Buf)[RecordSize], EvRecord &R) {
+  R.Seq = get64(Buf + 0);
+  R.Cycle = get64(Buf + 8);
+  R.Address = get64(Buf + 16);
+  R.Payload = get32(Buf + 24);
+  R.Core = get16(Buf + 28);
+  R.Kind = static_cast<EvKind>(Buf[30]);
+  R.Arg = Buf[31];
+}
+
+bool writeBytes(std::FILE *F, const void *Data, std::size_t Size) {
+  return std::fwrite(Data, 1, Size, F) == Size;
+}
+
+bool writeU32(std::FILE *F, std::uint32_t V) {
+  unsigned char Buf[4];
+  put32(Buf, V);
+  return writeBytes(F, Buf, 4);
+}
+
+bool writeU64(std::FILE *F, std::uint64_t V) {
+  unsigned char Buf[8];
+  put64(Buf, V);
+  return writeBytes(F, Buf, 8);
+}
+
+bool writeString(std::FILE *F, const std::string &S) {
+  return writeU32(F, static_cast<std::uint32_t>(S.size())) &&
+         writeBytes(F, S.data(), S.size());
+}
+
+bool readBytes(std::FILE *F, void *Data, std::size_t Size) {
+  return std::fread(Data, 1, Size, F) == Size;
+}
+
+bool readU32(std::FILE *F, std::uint32_t &V) {
+  unsigned char Buf[4];
+  if (!readBytes(F, Buf, 4))
+    return false;
+  V = get32(Buf);
+  return true;
+}
+
+bool readU64(std::FILE *F, std::uint64_t &V) {
+  unsigned char Buf[8];
+  if (!readBytes(F, Buf, 8))
+    return false;
+  V = get64(Buf);
+  return true;
+}
+
+bool readString(std::FILE *F, std::string &S, std::uint32_t MaxLen = 1u << 20) {
+  std::uint32_t Len = 0;
+  if (!readU32(F, Len) || Len > MaxLen)
+    return false;
+  S.resize(Len);
+  return Len == 0 || readBytes(F, S.data(), Len);
+}
+
+} // namespace
+
+const char *evKindName(EvKind Kind) {
+  switch (Kind) {
+  case EvKind::DemandMiss:
+    return "demand_miss";
+  case EvKind::Invalidation:
+    return "invalidation";
+  case EvKind::Downgrade:
+    return "downgrade";
+  case EvKind::Eviction:
+    return "eviction";
+  case EvKind::WardGrant:
+    return "ward_grant";
+  case EvKind::Reconcile:
+    return "reconcile";
+  case EvKind::RegionAdd:
+    return "region_add";
+  case EvKind::RegionExtent:
+    return "region_extent";
+  case EvKind::RegionRemove:
+    return "region_remove";
+  case EvKind::RegionOverflow:
+    return "region_overflow";
+  case EvKind::SyncAcquire:
+    return "sync_acquire";
+  case EvKind::SyncRelease:
+    return "sync_release";
+  case EvKind::LogPublish:
+    return "log_publish";
+  case EvKind::LogBackpressure:
+    return "log_backpressure";
+  case EvKind::LogInvalidation:
+    return "log_invalidation";
+  case EvKind::PreInvalidateAvoided:
+    return "pre_invalidate_avoided";
+  case EvKind::FaultEviction:
+    return "fault_eviction";
+  case EvKind::ForcedReconcile:
+    return "forced_reconcile";
+  case EvKind::Steal:
+    return "steal";
+  }
+  return "unknown";
+}
+
+//===----------------------------------------------------------------------===//
+// EventLog
+//===----------------------------------------------------------------------===//
+
+EventLog::~EventLog() { closeShards(/*Remove=*/true); }
+
+void EventLog::configure(std::string NewBase, std::size_t NewRingCapacity) {
+  Base = std::move(NewBase);
+  RingCapacity = std::max<std::size_t>(1, NewRingCapacity);
+}
+
+void EventLog::setRunLabel(std::string NewLabel) { Label = std::move(NewLabel); }
+
+void EventLog::beginRun(const MachineConfig &Config, const MemoryMap *Map) {
+  if (!enabled())
+    return;
+  closeShards(/*Remove=*/true);
+  ProtocolId = protocolId(Config.Protocol);
+  RunPath = Base + "." + ProtocolId + ".evlog";
+  CoreCount = Config.totalCores();
+  BlockSize = Config.BlockSize;
+
+  Sites.clear();
+  Spans.clear();
+  if (Map) {
+    Sites.reserve(Map->siteCount());
+    for (std::size_t I = 0; I < Map->siteCount(); ++I)
+      Sites.emplace_back(Map->siteName(static_cast<std::uint32_t>(I)));
+    Spans.reserve(Map->spanCount());
+    for (const auto &[Start, EndSite] : Map->spans())
+      Spans.push_back({Start, EndSite.first, EndSite.second});
+  }
+
+  Seq = 0;
+  Buffered = 0;
+  PeakBuffered = 0;
+  Spills = 0;
+  Error.clear();
+  // One ring per core plus one for directory-sourced records.
+  Rings.assign(CoreCount + 1, Ring{});
+  for (auto &R : Rings)
+    R.Records.reserve(std::min<std::size_t>(RingCapacity, 4096));
+  Armed = true;
+}
+
+void EventLog::emit(Cycles Now, EvKind Kind, std::uint16_t Core, Addr Address,
+                    std::uint32_t Payload, std::uint8_t Arg) {
+  if (!Armed)
+    return;
+  std::size_t Slot = std::min<std::size_t>(Core, CoreCount);
+  Ring &R = Rings[Slot];
+  R.Records.push_back({Seq++, Now, Address, Payload, Core, Kind, Arg});
+  ++Buffered;
+  PeakBuffered = std::max(PeakBuffered, Buffered);
+  if (R.Records.size() >= RingCapacity)
+    spill(R);
+}
+
+bool EventLog::spill(Ring &R) {
+  if (!R.Shard) {
+    R.ShardPath = RunPath + ".shard" +
+                  std::to_string(&R - Rings.data());
+    R.Shard = std::fopen(R.ShardPath.c_str(), "wb");
+    if (!R.Shard) {
+      Error = "cannot open shard file " + R.ShardPath;
+      R.Records.clear();
+      return false;
+    }
+  }
+  for (const EvRecord &Rec : R.Records) {
+    unsigned char Buf[RecordSize];
+    packRecord(Rec, Buf);
+    if (!writeBytes(R.Shard, Buf, RecordSize)) {
+      Error = "short write to shard file " + R.ShardPath;
+      break;
+    }
+  }
+  Buffered -= R.Records.size();
+  R.Records.clear();
+  ++Spills;
+  return Error.empty();
+}
+
+void EventLog::closeShards(bool Remove) {
+  for (auto &R : Rings) {
+    if (R.Shard) {
+      std::fclose(R.Shard);
+      R.Shard = nullptr;
+    }
+    if (Remove && !R.ShardPath.empty())
+      std::remove(R.ShardPath.c_str());
+    R.ShardPath.clear();
+  }
+}
+
+namespace {
+
+/// One merge source: either a spilled shard streamed from disk or a ring
+/// tail walked in memory. Holds exactly one look-ahead record, keeping the
+/// merge's working set at one record per source.
+struct MergeSource {
+  std::FILE *File = nullptr;
+  const std::vector<EvRecord> *Resident = nullptr;
+  std::size_t ResidentNext = 0;
+  EvRecord Head;
+  bool HasHead = false;
+
+  bool advance() {
+    if (File) {
+      unsigned char Buf[RecordSize];
+      if (!readBytes(File, Buf, RecordSize)) {
+        // Shard exhausted; fall through to the ring tail of the same core.
+        std::fclose(File);
+        File = nullptr;
+        return advance();
+      }
+      unpackRecord(Buf, Head);
+      HasHead = true;
+      return true;
+    }
+    if (Resident && ResidentNext < Resident->size()) {
+      Head = (*Resident)[ResidentNext++];
+      HasHead = true;
+      return true;
+    }
+    HasHead = false;
+    return false;
+  }
+};
+
+} // namespace
+
+bool EventLog::finish() {
+  if (!Armed)
+    return enabled() && Error.empty();
+  Armed = false;
+
+  // Reopen each shard for reading. A shard's records and its ring tail are
+  // both in per-core Seq order, so chaining them gives one sorted source
+  // per core; a k-way merge on Seq restores the global emission order.
+  std::vector<MergeSource> Sources;
+  Sources.reserve(Rings.size());
+  for (auto &R : Rings) {
+    if (R.Shard) {
+      std::fclose(R.Shard);
+      R.Shard = nullptr;
+    }
+    MergeSource S;
+    if (!R.ShardPath.empty()) {
+      S.File = std::fopen(R.ShardPath.c_str(), "rb");
+      if (!S.File) {
+        Error = "cannot reopen shard file " + R.ShardPath;
+        closeShards(/*Remove=*/true);
+        return false;
+      }
+    }
+    S.Resident = &R.Records;
+    S.advance();
+    Sources.push_back(S);
+  }
+
+  std::FILE *Out = std::fopen(RunPath.c_str(), "wb");
+  bool Ok = Out != nullptr;
+  if (!Ok)
+    Error = "cannot open " + RunPath;
+
+  if (Ok) {
+    Ok = writeBytes(Out, Magic, sizeof(Magic)) &&
+         writeU32(Out, FormatVersion) && writeU32(Out, RecordSize) &&
+         writeU32(Out, CoreCount) && writeU32(Out, BlockSize) &&
+         writeString(Out, ProtocolId) && writeString(Out, Label) &&
+         writeU64(Out, Seq);
+    if (Ok) {
+      Ok = writeU32(Out, static_cast<std::uint32_t>(Sites.size()));
+      for (const std::string &S : Sites)
+        Ok = Ok && writeString(Out, S);
+      Ok = Ok && writeU64(Out, Spans.size());
+      for (const SpanRec &S : Spans)
+        Ok = Ok && writeU64(Out, S.Start) && writeU64(Out, S.End) &&
+             writeU32(Out, S.Site);
+    }
+
+    std::uint64_t Written = 0;
+    while (Ok) {
+      MergeSource *Best = nullptr;
+      for (MergeSource &S : Sources)
+        if (S.HasHead && (!Best || S.Head.Seq < Best->Head.Seq))
+          Best = &S;
+      if (!Best)
+        break;
+      unsigned char Buf[RecordSize];
+      packRecord(Best->Head, Buf);
+      Ok = writeBytes(Out, Buf, RecordSize);
+      ++Written;
+      Best->advance();
+    }
+    if (Ok && Written != Seq) {
+      Error = "record count mismatch during merge";
+      Ok = false;
+    }
+    if (!Ok && Error.empty())
+      Error = "short write to " + RunPath;
+    if (std::fclose(Out) != 0 && Ok) {
+      Error = "close failed for " + RunPath;
+      Ok = false;
+    }
+  }
+
+  for (MergeSource &S : Sources)
+    if (S.File)
+      std::fclose(S.File);
+  closeShards(/*Remove=*/true);
+  for (auto &R : Rings)
+    R.Records.clear();
+  Buffered = 0;
+  if (Ok)
+    LastPath = RunPath;
+  return Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// EvlogHeader / EvlogReader
+//===----------------------------------------------------------------------===//
+
+std::uint32_t EvlogHeader::siteOf(Addr Address) const {
+  // Spans are sorted by Start and disjoint; binary-search the last span
+  // starting at or before Address.
+  auto It = std::upper_bound(
+      Spans.begin(), Spans.end(), Address,
+      [](Addr A, const SpanRec &S) { return A < S.Start; });
+  if (It == Spans.begin())
+    return InvalidSite;
+  --It;
+  return Address < It->End ? It->Site : InvalidSite;
+}
+
+const std::string &EvlogHeader::siteName(std::uint32_t Site) const {
+  static const std::string Unmapped = "<unmapped>";
+  return Site < Sites.size() ? Sites[Site] : Unmapped;
+}
+
+EvlogReader::~EvlogReader() {
+  if (File)
+    std::fclose(File);
+}
+
+bool EvlogReader::open(const std::string &Path) {
+  if (File) {
+    std::fclose(File);
+    File = nullptr;
+  }
+  Header = EvlogHeader();
+  Read = 0;
+  Error.clear();
+
+  File = std::fopen(Path.c_str(), "rb");
+  if (!File) {
+    Error = "cannot open " + Path;
+    return false;
+  }
+  char Got[8];
+  if (!readBytes(File, Got, 8) || std::memcmp(Got, Magic, 8) != 0) {
+    Error = Path + ": not a warden-evlog-v1 file (bad magic)";
+    return false;
+  }
+  bool Ok = readU32(File, Header.Version) && readU32(File, Header.RecordSize) &&
+            readU32(File, Header.CoreCount) && readU32(File, Header.BlockSize) &&
+            readString(File, Header.ProtocolId) && readString(File, Header.Label) &&
+            readU64(File, Header.RecordCount);
+  if (Ok && (Header.Version != FormatVersion || Header.RecordSize != RecordSize)) {
+    Error = Path + ": unsupported evlog version/record size";
+    return false;
+  }
+  std::uint32_t SiteCount = 0;
+  Ok = Ok && readU32(File, SiteCount) && SiteCount <= (1u << 24);
+  for (std::uint32_t I = 0; Ok && I < SiteCount; ++I) {
+    std::string Name;
+    Ok = readString(File, Name);
+    if (Ok)
+      Header.Sites.push_back(std::move(Name));
+  }
+  std::uint64_t SpanCount = 0;
+  Ok = Ok && readU64(File, SpanCount) && SpanCount <= (1ull << 32);
+  for (std::uint64_t I = 0; Ok && I < SpanCount; ++I) {
+    EvlogHeader::SpanRec S;
+    Ok = readU64(File, S.Start) && readU64(File, S.End) && readU32(File, S.Site);
+    if (Ok)
+      Header.Spans.push_back(S);
+  }
+  if (!Ok) {
+    Error = Path + ": truncated evlog header";
+    return false;
+  }
+  return true;
+}
+
+bool EvlogReader::next(EvRecord &R) {
+  if (!File || !Error.empty() || Read >= Header.RecordCount)
+    return false;
+  unsigned char Buf[RecordSize];
+  if (!readBytes(File, Buf, RecordSize)) {
+    Error = "truncated evlog record stream";
+    return false;
+  }
+  unpackRecord(Buf, R);
+  ++Read;
+  return true;
+}
+
+} // namespace warden

@@ -1,0 +1,232 @@
+//===- obs/EventLog.h - Streaming binary coherence event log --*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A low-overhead streaming binary event log of everything the coherence
+/// subsystem and the replay scheduler do: demand misses, invalidations,
+/// downgrades, WARD grants and reconciles, region lifecycle, sync points,
+/// racoh log traffic, steals, and injected faults. Records are compact
+/// fixed-width (32 bytes, little-endian) and carry the simulated cycle, the
+/// acting core, the line/region address, and a protocol-specific payload —
+/// enough to reconstruct *when* and *where* two protocols diverged, which
+/// end-of-run aggregates cannot answer. `tools/warden-stat` queries the
+/// files offline (top-N contended lines, windowed rates, cross-protocol
+/// diffs with allocation-site attribution).
+///
+/// The writer follows the Observability zero-perturbation contract:
+/// detached costs one null check per hook, attached runs are
+/// cycle-identical (tests assert this). Memory stays bounded at any trace
+/// length: events buffer in fixed-capacity per-core rings that spill to
+/// per-core shard files, and finish() streams a sequence-ordered k-way
+/// merge into the final file — no full materialization ever happens. The
+/// global sequence number is assigned in emission order by the (serial)
+/// simulation, so the merged byte stream is deterministic at any --jobs.
+///
+/// File format "warden-evlog-v1" (documented in README.md): a header
+/// (magic, geometry, protocol id, run label, the MemoryMap's interned
+/// allocation-site table and spans) followed by RecordCount packed records.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_OBS_EVENTLOG_H
+#define WARDEN_OBS_EVENTLOG_H
+
+#include "src/support/Types.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace warden {
+
+class MemoryMap;
+struct MachineConfig;
+
+/// What happened. Stored as one byte; values are part of the on-disk
+/// format and must never be renumbered, only appended.
+enum class EvKind : std::uint8_t {
+  DemandMiss = 1,      ///< Payload = end-to-end latency; Arg = AccessType.
+  Invalidation = 2,    ///< Core lost its copy. Arg: 0 remote-induced, 1 self.
+  Downgrade = 3,       ///< Core lost write permission. Arg as Invalidation.
+  Eviction = 4,        ///< Capacity/conflict victim. Arg = 1 when dirty.
+  WardGrant = 5,       ///< Miss served in the W state (payload = latency).
+  Reconcile = 6,       ///< WARD block reconciled; Payload = holder count.
+  RegionAdd = 7,       ///< Addr = region start; Payload = region id.
+  RegionExtent = 8,    ///< Companion of RegionAdd: Addr = region end.
+  RegionRemove = 9,    ///< Addr = region start; Payload = region id.
+  RegionOverflow = 10, ///< Add rejected by the full CAM; Payload = id.
+  SyncAcquire = 11,    ///< Lazy-protocol acquire work; Payload = cycles.
+  SyncRelease = 12,    ///< Lazy-protocol release work; Payload = cycles.
+  LogPublish = 13,     ///< racoh release published; Payload = record count.
+  LogBackpressure = 14, ///< racoh publish found the node queue full.
+  LogInvalidation = 15, ///< Resident line shot down by a consumed record;
+                        ///< Payload = writing core.
+  PreInvalidateAvoided = 16, ///< Lines an acquire kept; Payload = count.
+  FaultEviction = 17,  ///< Fault-injected private eviction.
+  ForcedReconcile = 18, ///< Fault-injected mid-region reconcile.
+  Steal = 19,          ///< Successful steal; Payload = victim core.
+};
+
+/// Printable name of \p Kind ("demand_miss", ...); "unknown" for values
+/// this build does not know (a newer log read by an older tool).
+const char *evKindName(EvKind Kind);
+
+/// One decoded event. The packed on-disk form is 32 little-endian bytes:
+/// u64 Seq, u64 Cycle, u64 Addr, u32 Payload, u16 Core, u8 Kind, u8 Arg.
+struct EvRecord {
+  std::uint64_t Seq = 0;    ///< Global emission order within the run.
+  Cycles Cycle = 0;         ///< Acting core's simulated clock.
+  Addr Address = 0;         ///< Block or region address (0 when unused).
+  std::uint32_t Payload = 0; ///< Kind-specific (latency, count, id, ...).
+  std::uint16_t Core = 0;   ///< Acting core, or EventLog::DirectorySource.
+  EvKind Kind = EvKind::DemandMiss;
+  std::uint8_t Arg = 0;     ///< Kind-specific small argument.
+};
+
+/// Streaming bounded-memory writer. Lifecycle: configure() names the
+/// output once (harness-side); each simulated run calls beginRun() before
+/// replay and finish() after, producing "<base>.<protocol>.evlog". emit()
+/// between the two appends to the acting core's ring, spilling full rings
+/// to per-core shard files; finish() merges the shards (plus the resident
+/// ring tails) in sequence order and deletes them.
+class EventLog {
+public:
+  /// Records emitted by the directory/controller itself rather than an
+  /// acting core (region bookkeeping, forced reconciles).
+  static constexpr std::uint16_t DirectorySource = 0xffff;
+
+  /// Default per-core ring capacity in records (32 KiB per core).
+  static constexpr std::size_t DefaultRingCapacity = 1024;
+
+  ~EventLog();
+
+  /// Names the output. The final file of a run is
+  /// "<Base>.<protocol-id>.evlog"; shards materialize next to it during
+  /// the run. \p RingCapacity bounds the per-core buffered records (the
+  /// writer's working memory is RingCapacity x cores x 32 bytes plus one
+  /// record per shard during the merge).
+  void configure(std::string Base,
+                 std::size_t RingCapacity = DefaultRingCapacity);
+
+  /// Free-form label recorded in the header (benchmark name, fixture id).
+  void setRunLabel(std::string Label);
+
+  /// True once configure() gave the log a destination.
+  bool enabled() const { return !Base.empty(); }
+
+  /// Arms the log for one simulated run: resets sequence numbers and
+  /// rings, snapshots the allocation-site table from \p Map (may be null),
+  /// and derives the run's file name from \p Config's protocol. A log
+  /// that was never configured ignores this (and emit()/finish()).
+  void beginRun(const MachineConfig &Config, const MemoryMap *Map);
+
+  /// Appends one event. Constant-time into the acting core's ring except
+  /// when the ring is full, which flushes it to the shard file. Never
+  /// perturbs the simulation: no simulated state is read or written.
+  void emit(Cycles Now, EvKind Kind, std::uint16_t Core, Addr Address,
+            std::uint32_t Payload = 0, std::uint8_t Arg = 0);
+
+  /// Flushes, merges, writes the final file, and removes the shards.
+  /// Returns false (with error() set) on I/O failure. Idempotent within a
+  /// run; beginRun() re-arms.
+  bool finish();
+
+  /// Path of the last file finish() wrote (empty before the first run).
+  const std::string &lastPath() const { return LastPath; }
+  const std::string &error() const { return Error; }
+
+  // --- Introspection for the bounded-memory tests --------------------------
+  std::uint64_t recordsEmitted() const { return Seq; }
+  /// High-water mark of records buffered in rings at any instant.
+  std::size_t peakBufferedRecords() const { return PeakBuffered; }
+  /// Ring-full flushes to shard files across the run.
+  std::uint64_t spillFlushes() const { return Spills; }
+
+private:
+  struct Ring {
+    std::vector<EvRecord> Records;
+    std::FILE *Shard = nullptr;
+    std::string ShardPath;
+  };
+
+  bool spill(Ring &R);
+  void closeShards(bool Remove);
+
+  std::string Base;
+  std::string Label;
+  std::size_t RingCapacity = DefaultRingCapacity;
+
+  bool Armed = false;
+  std::string RunPath;     ///< "<Base>.<protocol>.evlog" for this run.
+  std::string ProtocolId;
+  unsigned CoreCount = 0;
+  unsigned BlockSize = 0;
+  std::vector<std::string> Sites;
+  struct SpanRec {
+    Addr Start;
+    Addr End;
+    std::uint32_t Site;
+  };
+  std::vector<SpanRec> Spans;
+
+  std::uint64_t Seq = 0;
+  std::vector<Ring> Rings; ///< One per core plus the directory source.
+  std::size_t Buffered = 0;
+  std::size_t PeakBuffered = 0;
+  std::uint64_t Spills = 0;
+
+  std::string LastPath;
+  std::string Error;
+};
+
+/// Parsed "warden-evlog-v1" header.
+struct EvlogHeader {
+  std::uint32_t Version = 0;
+  std::uint32_t RecordSize = 0;
+  std::uint32_t CoreCount = 0;
+  std::uint32_t BlockSize = 0;
+  std::string ProtocolId;
+  std::string Label;
+  std::uint64_t RecordCount = 0;
+  std::vector<std::string> Sites;
+  struct SpanRec {
+    Addr Start = 0;
+    Addr End = 0;
+    std::uint32_t Site = 0;
+  };
+  std::vector<SpanRec> Spans; ///< Sorted by Start (writer emits them so).
+
+  /// Allocation site owning \p Address, or InvalidSite (see TaskGraph.h).
+  std::uint32_t siteOf(Addr Address) const;
+  /// Name of \p Site ("<unmapped>" for InvalidSite / out of range).
+  const std::string &siteName(std::uint32_t Site) const;
+};
+
+/// Streaming reader: open() parses the header, next() yields records in
+/// sequence order until the count is exhausted. One record of state — the
+/// reader never materializes the log.
+class EvlogReader {
+public:
+  ~EvlogReader();
+
+  bool open(const std::string &Path);
+  const EvlogHeader &header() const { return Header; }
+  /// Reads the next record into \p R; false at end (or error() on damage).
+  bool next(EvRecord &R);
+  std::uint64_t recordsRead() const { return Read; }
+  const std::string &error() const { return Error; }
+
+private:
+  std::FILE *File = nullptr;
+  EvlogHeader Header;
+  std::uint64_t Read = 0;
+  std::string Error;
+};
+
+} // namespace warden
+
+#endif // WARDEN_OBS_EVENTLOG_H

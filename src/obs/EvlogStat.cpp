@@ -1,0 +1,405 @@
+//===- obs/EvlogStat.cpp - Offline event-log queries ----------------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/obs/EvlogStat.h"
+
+#include "src/obs/ChromeTraceExporter.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace warden {
+
+namespace {
+
+bool kindIs(const std::string &Filter, EvKind Kind) {
+  return Filter == evKindName(Kind);
+}
+
+/// Parses a kind filter; false (with Error) on an unknown name.
+bool parseKind(const std::string &Filter, EvKind &Kind, std::string &Error) {
+  for (unsigned K = 1; K < NumEvKinds; ++K)
+    if (kindIs(Filter, static_cast<EvKind>(K))) {
+      Kind = static_cast<EvKind>(K);
+      return true;
+    }
+  Error = "unknown event kind '" + Filter + "'";
+  return false;
+}
+
+std::string formatAddr(Addr Address) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "0x%llx",
+                static_cast<unsigned long long>(Address));
+  return Buf;
+}
+
+/// Per-line tally used by top-N and diff.
+struct LineTally {
+  std::uint64_t Events = 0;
+  std::uint64_t Inv = 0;
+  std::uint64_t Down = 0;
+  std::uint64_t Miss = 0;
+  std::uint64_t MissCycles = 0;
+};
+
+/// WARD region intervals rebuilt from a log's RegionAdd/RegionExtent
+/// companion pairs, for address -> region attribution.
+struct RegionIntervals {
+  struct Interval {
+    Addr Start = 0;
+    Addr End = 0;
+    std::uint32_t Id = 0;
+  };
+  std::vector<Interval> Sorted; ///< By Start; deduplicated.
+
+  void finishCollect(std::map<std::uint32_t, std::pair<Addr, Addr>> &ById) {
+    for (const auto &[Id, Geometry] : ById)
+      if (Geometry.second > Geometry.first)
+        Sorted.push_back({Geometry.first, Geometry.second, Id});
+    std::sort(Sorted.begin(), Sorted.end(),
+              [](const Interval &L, const Interval &R) {
+                return L.Start < R.Start;
+              });
+  }
+
+  /// Region owning \p Address, or InvalidRegionName sentinel (-1).
+  std::uint32_t regionOf(Addr Address) const {
+    auto It = std::upper_bound(Sorted.begin(), Sorted.end(), Address,
+                               [](Addr A, const Interval &I) {
+                                 return A < I.Start;
+                               });
+    if (It == Sorted.begin())
+      return static_cast<std::uint32_t>(-1);
+    --It;
+    return Address < It->End ? It->Id : static_cast<std::uint32_t>(-1);
+  }
+};
+
+/// One streaming pass: summary, per-line tallies, and region geometry.
+struct ScanResult {
+  EvlogSummary Summary;
+  std::map<Addr, LineTally> Lines;
+  RegionIntervals Regions;
+  std::map<Addr, std::uint64_t> FilterHits; ///< Per-line count of Filter kind.
+};
+
+bool scan(const std::string &Path, ScanResult &Out, std::string &Error,
+          const EvKind *Filter = nullptr) {
+  EvlogReader Reader;
+  if (!Reader.open(Path)) {
+    Error = Reader.error();
+    return false;
+  }
+  Out.Summary.Header = Reader.header();
+
+  // RegionAdd parks the start; the companion RegionExtent completes the
+  // interval. Re-added ids overwrite (last geometry wins).
+  std::map<std::uint32_t, std::pair<Addr, Addr>> RegionById;
+
+  EvRecord R;
+  bool First = true;
+  while (Reader.next(R)) {
+    ++Out.Summary.Records;
+    if (First || R.Cycle < Out.Summary.FirstCycle)
+      Out.Summary.FirstCycle = R.Cycle;
+    if (First || R.Cycle > Out.Summary.LastCycle)
+      Out.Summary.LastCycle = R.Cycle;
+    First = false;
+    unsigned K = static_cast<unsigned>(R.Kind);
+    if (K < NumEvKinds)
+      ++Out.Summary.ByKind[K];
+    ++Out.Summary.ByCore[R.Core];
+    if (Filter && R.Kind == *Filter)
+      ++Out.FilterHits[R.Address];
+
+    switch (R.Kind) {
+    case EvKind::DemandMiss: {
+      Out.Summary.MissCycles += R.Payload;
+      LineTally &T = Out.Lines[R.Address];
+      ++T.Events;
+      ++T.Miss;
+      T.MissCycles += R.Payload;
+      break;
+    }
+    case EvKind::Invalidation:
+    case EvKind::LogInvalidation: {
+      LineTally &T = Out.Lines[R.Address];
+      ++T.Events;
+      ++T.Inv;
+      break;
+    }
+    case EvKind::Downgrade: {
+      LineTally &T = Out.Lines[R.Address];
+      ++T.Events;
+      ++T.Down;
+      break;
+    }
+    case EvKind::Eviction:
+    case EvKind::WardGrant:
+    case EvKind::Reconcile:
+    case EvKind::FaultEviction:
+    case EvKind::ForcedReconcile:
+      ++Out.Lines[R.Address].Events;
+      break;
+    case EvKind::SyncAcquire:
+    case EvKind::SyncRelease:
+      Out.Summary.SyncCycles += R.Payload;
+      break;
+    case EvKind::RegionAdd:
+      RegionById[R.Payload].first = R.Address;
+      break;
+    case EvKind::RegionExtent:
+      RegionById[R.Payload].second = R.Address;
+      break;
+    default:
+      break;
+    }
+  }
+  if (!Reader.error().empty()) {
+    Error = Reader.error();
+    return false;
+  }
+  Out.Regions.finishCollect(RegionById);
+  return true;
+}
+
+std::string siteNameFor(const EvlogHeader &Header, Addr Block) {
+  return Header.siteName(Header.siteOf(Block));
+}
+
+} // namespace
+
+bool evlogSummarize(const std::string &Path, EvlogSummary &Out,
+                    std::string &Error) {
+  ScanResult Scan_;
+  if (!scan(Path, Scan_, Error))
+    return false;
+  Out = Scan_.Summary;
+  return true;
+}
+
+bool evlogTopLines(const std::string &Path, std::size_t N,
+                   const std::string &KindFilter, std::vector<LineStat> &Out,
+                   std::string &Error) {
+  EvKind Filter = EvKind::DemandMiss;
+  bool Filtered = !KindFilter.empty();
+  if (Filtered && !parseKind(KindFilter, Filter, Error))
+    return false;
+
+  ScanResult Scan_;
+  if (!scan(Path, Scan_, Error, Filtered ? &Filter : nullptr))
+    return false;
+  // Lines the tally pass never touched (the filter kind is not one of the
+  // contention kinds) still deserve a row — ranking is by the filter count.
+  if (Filtered)
+    for (const auto &[Block, Hits] : Scan_.FilterHits) {
+      (void)Hits;
+      Scan_.Lines[Block];
+    }
+
+  Out.clear();
+  Out.reserve(Scan_.Lines.size());
+  for (const auto &[Block, T] : Scan_.Lines) {
+    LineStat S;
+    S.Block = Block;
+    if (Filtered) {
+      auto It = Scan_.FilterHits.find(Block);
+      S.Events = It == Scan_.FilterHits.end() ? 0 : It->second;
+    } else {
+      S.Events = T.Events;
+    }
+    S.Invalidations = T.Inv;
+    S.Downgrades = T.Down;
+    S.Misses = T.Miss;
+    S.MissCycles = T.MissCycles;
+    S.Site = Scan_.Summary.Header.siteOf(Block);
+    S.SiteName = Scan_.Summary.Header.siteName(S.Site);
+    Out.push_back(std::move(S));
+  }
+  auto Score = [Filtered](const LineStat &S) {
+    return Filtered ? S.Events : S.contention();
+  };
+  std::sort(Out.begin(), Out.end(),
+            [&](const LineStat &L, const LineStat &R) {
+              if (Score(L) != Score(R))
+                return Score(L) > Score(R);
+              return L.Block < R.Block;
+            });
+  if (Out.size() > N)
+    Out.resize(N);
+  return true;
+}
+
+bool evlogWindowRates(const std::string &Path, Cycles Window,
+                      std::vector<WindowStat> &Out, std::string &Error) {
+  EvlogSummary Summary;
+  if (!evlogSummarize(Path, Summary, Error))
+    return false;
+  Cycles Span = Summary.LastCycle + 1;
+  if (Window == 0)
+    Window = std::max<Cycles>(1, Span / 100);
+
+  std::map<std::uint64_t, WindowStat> ByIndex;
+  EvlogReader Reader;
+  if (!Reader.open(Path)) {
+    Error = Reader.error();
+    return false;
+  }
+  EvRecord R;
+  while (Reader.next(R)) {
+    std::uint64_t Index = R.Cycle / Window;
+    WindowStat &W = ByIndex[Index];
+    W.Start = Index * Window;
+    unsigned K = static_cast<unsigned>(R.Kind);
+    if (K < NumEvKinds)
+      ++W.ByKind[K];
+  }
+  if (!Reader.error().empty()) {
+    Error = Reader.error();
+    return false;
+  }
+
+  Out.clear();
+  if (ByIndex.empty())
+    return true;
+  std::uint64_t MaxIndex = ByIndex.rbegin()->first;
+  Out.resize(MaxIndex + 1);
+  for (std::uint64_t I = 0; I <= MaxIndex; ++I)
+    Out[I].Start = I * Window;
+  for (auto &[Index, W] : ByIndex)
+    Out[Index] = W;
+  return true;
+}
+
+bool evlogDiff(const std::string &PathA, const std::string &PathB,
+               EvlogDiff &Out, std::string &Error) {
+  ScanResult A, B;
+  if (!scan(PathA, A, Error) || !scan(PathB, B, Error))
+    return false;
+  Out.A = A.Summary;
+  Out.B = B.Summary;
+
+  // --- Lines: the union of both logs' touched blocks ----------------------
+  // Sites come from whichever header has a mapping (the logs describe the
+  // same recorded workload, so the tables agree when both are present).
+  const EvlogHeader &SiteSource =
+      A.Summary.Header.Sites.empty() ? B.Summary.Header : A.Summary.Header;
+  const RegionIntervals &RegionSource =
+      A.Regions.Sorted.empty() ? B.Regions : A.Regions;
+
+  std::map<Addr, std::pair<LineTally, LineTally>> Joined;
+  for (const auto &[Block, T] : A.Lines)
+    Joined[Block].first = T;
+  for (const auto &[Block, T] : B.Lines)
+    Joined[Block].second = T;
+
+  std::map<std::string, DiffEntry> BySite;
+  std::map<std::uint32_t, DiffEntry> ByRegion;
+  Out.Lines.clear();
+  Out.Lines.reserve(Joined.size());
+  for (const auto &[Block, Pair] : Joined) {
+    const LineTally &TA = Pair.first;
+    const LineTally &TB = Pair.second;
+    DiffEntry E;
+    E.Block = Block;
+    E.Name = formatAddr(Block);
+    E.InvA = TA.Inv;
+    E.InvB = TB.Inv;
+    E.DownA = TA.Down;
+    E.DownB = TB.Down;
+    E.MissA = TA.Miss;
+    E.MissB = TB.Miss;
+    E.MissCyclesA = TA.MissCycles;
+    E.MissCyclesB = TB.MissCycles;
+
+    std::string Site = siteNameFor(SiteSource, Block);
+    DiffEntry &SE = BySite[Site];
+    SE.Name = Site;
+    SE.InvA += E.InvA;
+    SE.InvB += E.InvB;
+    SE.DownA += E.DownA;
+    SE.DownB += E.DownB;
+    SE.MissA += E.MissA;
+    SE.MissB += E.MissB;
+    SE.MissCyclesA += E.MissCyclesA;
+    SE.MissCyclesB += E.MissCyclesB;
+
+    std::uint32_t Region = RegionSource.regionOf(Block);
+    if (Region != static_cast<std::uint32_t>(-1)) {
+      DiffEntry &RE = ByRegion[Region];
+      RE.Name = "region " + std::to_string(Region);
+      RE.InvA += E.InvA;
+      RE.InvB += E.InvB;
+      RE.DownA += E.DownA;
+      RE.DownB += E.DownB;
+      RE.MissA += E.MissA;
+      RE.MissB += E.MissB;
+      RE.MissCyclesA += E.MissCyclesA;
+      RE.MissCyclesB += E.MissCyclesB;
+    }
+    Out.Lines.push_back(std::move(E));
+  }
+
+  auto Order = [](const DiffEntry &L, const DiffEntry &R) {
+    std::int64_t DL = L.contentionDelta(), DR = R.contentionDelta();
+    std::uint64_t AL = DL < 0 ? -DL : DL, AR = DR < 0 ? -DR : DR;
+    if (AL != AR)
+      return AL > AR;
+    std::uint64_t SL = L.contentionA() + L.contentionB();
+    std::uint64_t SR = R.contentionA() + R.contentionB();
+    if (SL != SR)
+      return SL > SR;
+    return L.Name < R.Name;
+  };
+  std::sort(Out.Lines.begin(), Out.Lines.end(), Order);
+
+  Out.Sites.clear();
+  for (auto &[Name, E] : BySite)
+    Out.Sites.push_back(E);
+  std::sort(Out.Sites.begin(), Out.Sites.end(), Order);
+
+  Out.Regions.clear();
+  for (auto &[Id, E] : ByRegion)
+    Out.Regions.push_back(E);
+  std::sort(Out.Regions.begin(), Out.Regions.end(), Order);
+  return true;
+}
+
+bool evlogExportPerfetto(const std::string &Path, Cycles Window,
+                         ChromeTraceExporter &Trace, std::string &Error) {
+  std::vector<WindowStat> Windows;
+  if (!evlogWindowRates(Path, Window, Windows, Error))
+    return false;
+  if (Windows.empty())
+    return true;
+  Cycles Width =
+      Windows.size() > 1 ? Windows[1].Start - Windows[0].Start : Window;
+  if (Width == 0)
+    Width = 1;
+
+  // Only kinds that occur get a track; an all-zero counter line is noise.
+  std::array<std::uint64_t, NumEvKinds> Totals{};
+  for (const WindowStat &W : Windows)
+    for (unsigned K = 1; K < NumEvKinds; ++K)
+      Totals[K] += W.ByKind[K];
+
+  for (unsigned K = 1; K < NumEvKinds; ++K) {
+    if (Totals[K] == 0)
+      continue;
+    std::string Name =
+        std::string("evlog.") + evKindName(static_cast<EvKind>(K)) +
+        "_per_kcycle";
+    for (const WindowStat &W : Windows) {
+      double Rate = static_cast<double>(W.ByKind[K]) * 1000.0 /
+                    static_cast<double>(Width);
+      Trace.counter(Name, W.Start, Rate);
+    }
+  }
+  return true;
+}
+
+} // namespace warden

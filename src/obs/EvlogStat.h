@@ -1,0 +1,154 @@
+//===- obs/EvlogStat.h - Offline event-log queries ------------*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Offline queries over warden-evlog-v1 files: whole-run summaries, top-N
+/// contended lines, time-windowed event rates, Perfetto counter-track
+/// export, and — the forensic payoff — a cross-protocol diff that aligns
+/// two logs of the same workload and attributes the invalidation /
+/// downgrade / miss deltas to specific lines, allocation sites, and WARD
+/// regions. `tools/warden-stat` is a thin CLI over these functions; tests
+/// call them directly.
+///
+/// All queries stream through EvlogReader (one record of state), so they
+/// handle logs far larger than host memory. Aggregation tables are keyed
+/// deterministically (ordered maps, ties broken by address), so query
+/// output is byte-stable for byte-identical logs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_OBS_EVLOGSTAT_H
+#define WARDEN_OBS_EVLOGSTAT_H
+
+#include "src/obs/EventLog.h"
+#include "src/trace/TaskGraph.h"
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace warden {
+
+class ChromeTraceExporter;
+
+/// One more than the largest EvKind value: per-kind tables index by the
+/// raw kind byte (slot 0 unused).
+inline constexpr unsigned NumEvKinds =
+    static_cast<unsigned>(EvKind::Steal) + 1;
+
+/// Whole-run rollup of one log.
+struct EvlogSummary {
+  EvlogHeader Header;
+  std::uint64_t Records = 0;
+  Cycles FirstCycle = 0;
+  Cycles LastCycle = 0;
+  std::array<std::uint64_t, NumEvKinds> ByKind{};
+  /// Per acting core (EventLog::DirectorySource groups directory events).
+  std::map<std::uint16_t, std::uint64_t> ByCore;
+  std::uint64_t MissCycles = 0; ///< Sum of DemandMiss payloads.
+  std::uint64_t SyncCycles = 0; ///< Sum of Sync{Acquire,Release} payloads.
+
+  std::uint64_t invalidations() const {
+    return ByKind[static_cast<unsigned>(EvKind::Invalidation)] +
+           ByKind[static_cast<unsigned>(EvKind::LogInvalidation)];
+  }
+  std::uint64_t downgrades() const {
+    return ByKind[static_cast<unsigned>(EvKind::Downgrade)];
+  }
+  std::uint64_t misses() const {
+    return ByKind[static_cast<unsigned>(EvKind::DemandMiss)];
+  }
+};
+
+/// Per-line contention rollup (one cache block).
+struct LineStat {
+  Addr Block = 0;
+  std::uint64_t Events = 0;
+  std::uint64_t Invalidations = 0; ///< Includes racoh log invalidations.
+  std::uint64_t Downgrades = 0;
+  std::uint64_t Misses = 0;
+  std::uint64_t MissCycles = 0;
+  std::uint32_t Site = InvalidSite;
+  std::string SiteName;
+
+  /// The contention score top-N ranks by.
+  std::uint64_t contention() const { return Invalidations + Downgrades; }
+};
+
+/// Event counts inside one [Start, Start+Window) cycle window.
+struct WindowStat {
+  Cycles Start = 0;
+  std::array<std::uint64_t, NumEvKinds> ByKind{};
+  std::uint64_t total() const {
+    std::uint64_t T = 0;
+    for (std::uint64_t C : ByKind)
+      T += C;
+    return T;
+  }
+};
+
+/// One row of a cross-protocol diff: a line, site, or region with its
+/// counts under log A and log B.
+struct DiffEntry {
+  std::string Name;  ///< "0x1f80", site name, or "region 3".
+  Addr Block = 0;    ///< Valid for line rows only.
+  std::uint64_t InvA = 0, InvB = 0;
+  std::uint64_t DownA = 0, DownB = 0;
+  std::uint64_t MissA = 0, MissB = 0;
+  std::uint64_t MissCyclesA = 0, MissCyclesB = 0;
+
+  std::uint64_t contentionA() const { return InvA + DownA; }
+  std::uint64_t contentionB() const { return InvB + DownB; }
+  /// Positive: B is cheaper (A pays more coherence work).
+  std::int64_t contentionDelta() const {
+    return static_cast<std::int64_t>(contentionA()) -
+           static_cast<std::int64_t>(contentionB());
+  }
+};
+
+/// Full cross-protocol diff: summaries of both logs plus the deltas
+/// attributed at three granularities, each sorted by |contention delta|
+/// descending (ties by name, for deterministic output).
+struct EvlogDiff {
+  EvlogSummary A, B;
+  std::vector<DiffEntry> Lines;
+  std::vector<DiffEntry> Sites;
+  std::vector<DiffEntry> Regions;
+};
+
+/// Streams \p Path once into \p Out. False with \p Error set on damage.
+bool evlogSummarize(const std::string &Path, EvlogSummary &Out,
+                    std::string &Error);
+
+/// The \p N most contended lines of \p Path, ranked by
+/// invalidations+downgrades (ties by address). \p KindFilter restricts the
+/// ranking to one event kind's count ("invalidation", "demand_miss", ...);
+/// empty ranks by the default contention score.
+bool evlogTopLines(const std::string &Path, std::size_t N,
+                   const std::string &KindFilter, std::vector<LineStat> &Out,
+                   std::string &Error);
+
+/// Event counts per \p Window cycles (window 0 picks ~100 windows across
+/// the run). Windows with zero events are included, so rates plot evenly.
+bool evlogWindowRates(const std::string &Path, Cycles Window,
+                      std::vector<WindowStat> &Out, std::string &Error);
+
+/// Aligns two logs of the same workload and attributes contention deltas
+/// to lines, allocation sites (from the headers' interned tables), and
+/// WARD regions (rebuilt from each log's RegionAdd/RegionExtent pairs).
+bool evlogDiff(const std::string &PathA, const std::string &PathB,
+               EvlogDiff &Out, std::string &Error);
+
+/// Renders windowed per-kind event-rate counter tracks into \p Trace
+/// (composing with whatever task spans / instants it already holds).
+/// Counter names are "evlog.<kind>_per_kcycle".
+bool evlogExportPerfetto(const std::string &Path, Cycles Window,
+                         ChromeTraceExporter &Trace, std::string &Error);
+
+} // namespace warden
+
+#endif // WARDEN_OBS_EVLOGSTAT_H

@@ -32,6 +32,7 @@ class TimelineSampler;
 class ChromeTraceExporter;
 class SharingProfiler;
 class CpiStack;
+class EventLog;
 
 /// Observability sinks for one simulation. Not owned by the simulator; the
 /// caller keeps the instruments and reads them after the run.
@@ -43,6 +44,8 @@ struct Observability {
   SharingProfiler *Profiler = nullptr;
   /// Per-core cycle accounting (CPI stall stacks).
   CpiStack *Cpi = nullptr;
+  /// Streaming binary event log (forensic layer; see obs/EventLog.h).
+  EventLog *Log = nullptr;
 
   /// Simulated time of the core currently being advanced (replayer-owned).
   Cycles Now = 0;

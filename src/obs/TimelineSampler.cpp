@@ -6,6 +6,7 @@
 
 #include "src/obs/TimelineSampler.h"
 
+#include "src/obs/ChromeTraceExporter.h"
 #include "src/support/Json.h"
 
 #include <algorithm>
@@ -17,14 +18,16 @@ void TimelineSampler::capture(Cycles At, const TimelineInputs &In) {
   TimelineSample S;
   S.Cycle = At;
   S.RegionOccupancy = In.RegionOccupancy;
+  S.LogCoherence = In.LogCoherence;
+  S.LogQueuePeak = In.LogQueuePeakOccupancy;
   if (Window > 0) {
     auto Span = static_cast<double>(Window);
+    auto PerKCycle = [Span](std::uint64_t Now, std::uint64_t Last) {
+      return 1000.0 * static_cast<double>(Now - Last) / Span;
+    };
     S.Ipc = static_cast<double>(In.Instructions - LastInstructions) / Span;
-    S.InvPerKCycle =
-        1000.0 * static_cast<double>(In.Invalidations - LastInvalidations) /
-        Span;
-    S.DownPerKCycle =
-        1000.0 * static_cast<double>(In.Downgrades - LastDowngrades) / Span;
+    S.InvPerKCycle = PerKCycle(In.Invalidations, LastInvalidations);
+    S.DownPerKCycle = PerKCycle(In.Downgrades, LastDowngrades);
     if (In.BusyCycles && !In.BusyCycles->empty()) {
       std::uint64_t BusySum = 0;
       for (Cycles Busy : *In.BusyCycles)
@@ -37,12 +40,56 @@ void TimelineSampler::capture(Cycles At, const TimelineInputs &In) {
       S.BusyFraction = std::clamp(S.BusyFraction, 0.0, 1.0);
       LastBusySum = BusySum;
     }
+    if (In.LogCoherence) {
+      S.LogPublishesPerKCycle = PerKCycle(In.LogPublishes, LastLogPublishes);
+      S.LogRecordsPublishedPerKCycle =
+          PerKCycle(In.LogRecordsPublished, LastLogRecordsPublished);
+      S.LogRecordsConsumedPerKCycle =
+          PerKCycle(In.LogRecordsConsumed, LastLogRecordsConsumed);
+      S.LogBackpressurePerKCycle =
+          PerKCycle(In.LogBackpressureStalls, LastLogBackpressure);
+      S.LogInvPerKCycle = PerKCycle(In.LogInvalidations, LastLogInvalidations);
+      S.PreInvAvoidedPerKCycle =
+          PerKCycle(In.PreInvalidateAvoided, LastPreInvAvoided);
+      S.CrossNodeHopsPerKCycle = PerKCycle(In.CrossNodeHops, LastCrossNodeHops);
+    }
   }
   Samples.push_back(S);
+  if (Trace) {
+    Trace->counter("timeline.ipc", At, S.Ipc);
+    Trace->counter("timeline.inv_per_kcycle", At, S.InvPerKCycle);
+    Trace->counter("timeline.down_per_kcycle", At, S.DownPerKCycle);
+    Trace->counter("timeline.region_occupancy", At, S.RegionOccupancy);
+    Trace->counter("timeline.busy_fraction", At, S.BusyFraction);
+    if (S.LogCoherence) {
+      Trace->counter("racoh.log_publishes_per_kcycle", At,
+                     S.LogPublishesPerKCycle);
+      Trace->counter("racoh.log_records_published_per_kcycle", At,
+                     S.LogRecordsPublishedPerKCycle);
+      Trace->counter("racoh.log_records_consumed_per_kcycle", At,
+                     S.LogRecordsConsumedPerKCycle);
+      Trace->counter("racoh.log_backpressure_per_kcycle", At,
+                     S.LogBackpressurePerKCycle);
+      Trace->counter("racoh.log_inv_per_kcycle", At, S.LogInvPerKCycle);
+      Trace->counter("racoh.pre_inv_avoided_per_kcycle", At,
+                     S.PreInvAvoidedPerKCycle);
+      Trace->counter("racoh.cross_node_hops_per_kcycle", At,
+                     S.CrossNodeHopsPerKCycle);
+      Trace->counter("racoh.log_queue_peak", At,
+                     static_cast<double>(S.LogQueuePeak));
+    }
+  }
   LastCycle = At;
   LastInstructions = In.Instructions;
   LastInvalidations = In.Invalidations;
   LastDowngrades = In.Downgrades;
+  LastLogPublishes = In.LogPublishes;
+  LastLogRecordsPublished = In.LogRecordsPublished;
+  LastLogRecordsConsumed = In.LogRecordsConsumed;
+  LastLogBackpressure = In.LogBackpressureStalls;
+  LastLogInvalidations = In.LogInvalidations;
+  LastPreInvAvoided = In.PreInvalidateAvoided;
+  LastCrossNodeHops = In.CrossNodeHops;
   NextSample = (At / Interval + 1) * Interval;
 }
 
@@ -56,6 +103,20 @@ void TimelineSampler::writeJson(JsonWriter &W) const {
     W.member("down_per_kcycle", S.DownPerKCycle);
     W.member("region_occupancy", S.RegionOccupancy);
     W.member("busy_fraction", S.BusyFraction);
+    // Log-coherence keys only appear for racoh samples, so every other
+    // backend's timeline JSON is byte-identical to what it always was.
+    if (S.LogCoherence) {
+      W.member("log_publishes_per_kcycle", S.LogPublishesPerKCycle);
+      W.member("log_records_published_per_kcycle",
+               S.LogRecordsPublishedPerKCycle);
+      W.member("log_records_consumed_per_kcycle",
+               S.LogRecordsConsumedPerKCycle);
+      W.member("log_backpressure_per_kcycle", S.LogBackpressurePerKCycle);
+      W.member("log_inv_per_kcycle", S.LogInvPerKCycle);
+      W.member("pre_inv_avoided_per_kcycle", S.PreInvAvoidedPerKCycle);
+      W.member("cross_node_hops_per_kcycle", S.CrossNodeHopsPerKCycle);
+      W.member("log_queue_peak", S.LogQueuePeak);
+    }
     W.endObject();
   }
   W.endArray();

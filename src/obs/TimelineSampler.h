@@ -8,11 +8,20 @@
 /// Samples machine-level rates into a time series as simulated time
 /// advances: interval IPC, invalidation and downgrade rates, region-table
 /// occupancy, and the per-core busy fraction — the quantities behind the
-/// paper's time-series figures. The replay scheduler calls tick() with the
-/// global simulated time (the minimum over core clocks, which only moves
-/// forward); a sample is captured whenever time crosses the configured
-/// cadence boundary, stamped at the actual crossing instant so the series
-/// is deterministic for a given (trace, machine, seed).
+/// paper's time-series figures. Under a log-coherence backend (racoh) the
+/// series additionally carries the log-traffic rates (publishes, consumed
+/// records, backpressure stalls, pre-invalidate avoidance, cross-node
+/// hops). The replay scheduler calls tick() with the global simulated time
+/// (the minimum over core clocks, which only moves forward); a sample is
+/// captured whenever time crosses the configured cadence boundary, stamped
+/// at the actual crossing instant so the series is deterministic for a
+/// given (trace, machine, seed). Runs shorter than one cadence interval
+/// still get one trailing sample from finalize(), so the series is never
+/// empty for a non-trivial run.
+///
+/// attachTrace() mirrors every captured sample into Perfetto counter
+/// tracks ("timeline.*", plus "racoh.*" under log coherence), composing
+/// the time series with the task spans the ChromeTraceExporter records.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +35,7 @@
 
 namespace warden {
 
+class ChromeTraceExporter;
 class JsonWriter;
 
 /// Cumulative machine counters the sampler differentiates into rates.
@@ -37,6 +47,18 @@ struct TimelineInputs {
   /// Cumulative busy (strand-executing) cycles per core; null when the
   /// caller does not track them.
   const std::vector<Cycles> *BusyCycles = nullptr;
+
+  /// True under a log-coherence backend (racoh): the cumulative log
+  /// counters below are meaningful and the sample carries their rates.
+  bool LogCoherence = false;
+  std::uint64_t LogPublishes = 0;
+  std::uint64_t LogRecordsPublished = 0;
+  std::uint64_t LogRecordsConsumed = 0;
+  std::uint64_t LogBackpressureStalls = 0;
+  std::uint64_t LogInvalidations = 0;
+  std::uint64_t PreInvalidateAvoided = 0;
+  std::uint64_t CrossNodeHops = 0;
+  std::uint64_t LogQueuePeakOccupancy = 0;
 };
 
 /// One point of the time series. All rates are over the window ending at
@@ -49,6 +71,18 @@ struct TimelineSample {
   unsigned RegionOccupancy = 0; ///< Live WARD regions at the sample instant.
   double BusyFraction = 0;   ///< Mean fraction of cores executing strands.
 
+  /// Log-coherence series (racoh; all zero and omitted from JSON under
+  /// eager backends so their output is unchanged).
+  bool LogCoherence = false;
+  double LogPublishesPerKCycle = 0;
+  double LogRecordsPublishedPerKCycle = 0;
+  double LogRecordsConsumedPerKCycle = 0;
+  double LogBackpressurePerKCycle = 0;
+  double LogInvPerKCycle = 0;
+  double PreInvAvoidedPerKCycle = 0;
+  double CrossNodeHopsPerKCycle = 0;
+  std::uint64_t LogQueuePeak = 0; ///< Running peak at the sample instant.
+
   bool operator==(const TimelineSample &) const = default;
 };
 
@@ -58,6 +92,10 @@ public:
   explicit TimelineSampler(Cycles Interval = 10000)
       : Interval(Interval ? Interval : 1), NextSample(this->Interval) {}
 
+  /// Mirrors every captured sample into \p Trace's counter tracks
+  /// (detach with nullptr). Recording only — cycle-identical either way.
+  void attachTrace(ChromeTraceExporter *NewTrace) { Trace = NewTrace; }
+
   /// Called with non-decreasing \p Now; captures a sample when \p Now
   /// reaches the next cadence boundary.
   void tick(Cycles Now, const TimelineInputs &In) {
@@ -65,9 +103,11 @@ public:
       capture(Now, In);
   }
 
-  /// Records a trailing partial-window sample at end of run.
+  /// Records a trailing partial-window sample at end of run. Runs shorter
+  /// than one interval (which never crossed a cadence boundary) get their
+  /// single sample here rather than an empty series.
   void finalize(Cycles Now, const TimelineInputs &In) {
-    if (Now > LastCycle)
+    if (Now > LastCycle || Samples.empty())
       capture(Now, In);
   }
 
@@ -87,7 +127,15 @@ private:
   std::uint64_t LastInvalidations = 0;
   std::uint64_t LastDowngrades = 0;
   std::uint64_t LastBusySum = 0;
+  std::uint64_t LastLogPublishes = 0;
+  std::uint64_t LastLogRecordsPublished = 0;
+  std::uint64_t LastLogRecordsConsumed = 0;
+  std::uint64_t LastLogBackpressure = 0;
+  std::uint64_t LastLogInvalidations = 0;
+  std::uint64_t LastPreInvAvoided = 0;
+  std::uint64_t LastCrossNodeHops = 0;
   std::vector<TimelineSample> Samples;
+  ChromeTraceExporter *Trace = nullptr; ///< Optional mirror; not owned.
 };
 
 } // namespace warden

@@ -8,6 +8,7 @@
 
 #include "src/obs/ChromeTraceExporter.h"
 #include "src/obs/CpiStack.h"
+#include "src/obs/EventLog.h"
 #include "src/obs/MetricRegistry.h"
 #include "src/obs/Observability.h"
 #include "src/obs/TimelineSampler.h"
@@ -34,6 +35,9 @@ void Replayer::attachObs(Observability *NewObs) {
           ? &Obs->Metrics->histogram("sched.steal_wait_cycles")
           : nullptr;
   Cpi = Obs ? Obs->Cpi : nullptr;
+  Evl = Obs ? Obs->Log : nullptr;
+  if (Obs && Obs->Sampler)
+    Obs->Sampler->attachTrace(Obs->Trace);
   if (Obs) {
     IdleSince.assign(Cores.size(), NeverIdle);
     SpanStart.assign(Cores.size(), 0);
@@ -49,6 +53,18 @@ void Replayer::sampleInputs(TimelineInputs &In) const {
   In.Downgrades = Controller.stats().Downgrades;
   In.RegionOccupancy = Controller.regionTable().size();
   In.BusyCycles = &BusyCycles;
+  if (Config.Protocol == ProtocolKind::Racoh) {
+    const CoherenceStats &CS = Controller.stats();
+    In.LogCoherence = true;
+    In.LogPublishes = CS.LogPublishes;
+    In.LogRecordsPublished = CS.LogRecordsPublished;
+    In.LogRecordsConsumed = CS.LogRecordsConsumed;
+    In.LogBackpressureStalls = CS.LogBackpressureStalls;
+    In.LogInvalidations = CS.LogInvalidations;
+    In.PreInvalidateAvoided = CS.PreInvalidateAvoided;
+    In.CrossNodeHops = CS.CrossNodeHops;
+    In.LogQueuePeakOccupancy = CS.LogQueuePeakOccupancy;
+  }
 }
 
 void Replayer::drainStoreBuffer(Core &C) {
@@ -184,6 +200,10 @@ void Replayer::completeStrand(CoreId Id, Core &C) {
         Stats.SyncCycles += Cost;
         if (Cpi)
           Cpi->add(Id, CpiCat::Reconcile, Cost);
+        if (Evl)
+          Evl->emit(C.Now, EvKind::SyncAcquire,
+                    static_cast<std::uint16_t>(Id), 0,
+                    static_cast<std::uint32_t>(Cost));
       }
     }
   }
@@ -209,6 +229,9 @@ void Replayer::completeStrand(CoreId Id, Core &C) {
     Stats.SyncCycles += Cost;
     if (Cpi)
       Cpi->add(Id, CpiCat::Reconcile, Cost);
+    if (Evl)
+      Evl->emit(C.Now, EvKind::SyncRelease, static_cast<std::uint16_t>(Id), 0,
+                static_cast<std::uint32_t>(Cost));
   }
 
   LastCompletion = std::max(LastCompletion, C.Now);
@@ -238,6 +261,9 @@ void Replayer::tryObtainWork(CoreId Id, Core &C) {
   if (Cycles Cost = Controller.syncAcquire(Id)) {
     C.Now += Cost;
     Stats.SyncCycles += Cost;
+    if (Evl)
+      Evl->emit(C.Now, EvKind::SyncAcquire, static_cast<std::uint16_t>(Id), 0,
+                static_cast<std::uint32_t>(Cost));
   }
   // Probe the victim's deque line: a real coherent load that ping-pongs
   // against the victim's pushes and pops. Idle cores generate this
@@ -265,6 +291,9 @@ void Replayer::tryObtainWork(CoreId Id, Core &C) {
     Cores[Victim].Deque.pop_front();
     C.NextEvent = 0;
     ++Stats.Steals;
+    if (Evl)
+      Evl->emit(C.Now, EvKind::Steal, static_cast<std::uint16_t>(Id),
+                dequeLine(Victim), Victim);
     return;
   }
   C.Now += Config.StealOverhead;

@@ -29,6 +29,7 @@
 namespace warden {
 
 class CpiStack;
+class EventLog;
 class Histogram;
 struct Observability;
 struct TimelineInputs;
@@ -118,6 +119,10 @@ private:
   /// loads/RMWs, buffered for stores) or discarded (steal probes, whose
   /// time is covered by the StealWait window).
   CpiStack *Cpi = nullptr;
+  /// Streaming event log, cached from the bundle at attach time. The
+  /// replayer emits the scheduler-side events (sync points with nonzero
+  /// cost, successful steals); the controller emits the coherence side.
+  EventLog *Evl = nullptr;
   static constexpr Cycles NeverIdle = static_cast<Cycles>(-1);
   std::vector<Cycles> IdleSince;  ///< Per core; NeverIdle when running.
   std::vector<Cycles> SpanStart;  ///< Start time of the current strand.

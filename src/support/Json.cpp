@@ -362,8 +362,313 @@ private:
   std::string Fail;
 };
 
+//===----------------------------------------------------------------------===//
+// jsonParse — the same grammar, building a JsonValue DOM. Kept separate
+// from the validator so validation stays allocation-free.
+//===----------------------------------------------------------------------===//
+
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : Text(Text) {}
+
+  std::optional<JsonValue> run(std::string *Error) {
+    skipWs();
+    JsonValue Root;
+    bool Ok = parseValue(Root) && (skipWs(), Pos == Text.size());
+    if (!Ok) {
+      if (Error) {
+        *Error = "invalid JSON at byte " + std::to_string(Pos);
+        if (!Fail.empty())
+          *Error += ": " + Fail;
+      }
+      return std::nullopt;
+    }
+    return Root;
+  }
+
+private:
+  static constexpr unsigned MaxDepth = 512;
+
+  bool error(const char *Why) {
+    if (Fail.empty())
+      Fail = Why;
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool eat(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view Word) {
+    if (Text.substr(Pos, Word.size()) != Word)
+      return error("bad literal");
+    Pos += Word.size();
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out) {
+    if (Depth > MaxDepth)
+      return error("nesting too deep");
+    if (Pos >= Text.size())
+      return error("unexpected end of input");
+    switch (Text[Pos]) {
+    case '{':
+      return parseObject(Out);
+    case '[':
+      return parseArray(Out);
+    case '"':
+      Out.K = JsonValue::Kind::String;
+      return parseString(Out.String);
+    case 't':
+      Out.K = JsonValue::Kind::Bool;
+      Out.Bool = true;
+      return literal("true");
+    case 'f':
+      Out.K = JsonValue::Kind::Bool;
+      Out.Bool = false;
+      return literal("false");
+    case 'n':
+      Out.K = JsonValue::Kind::Null;
+      return literal("null");
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(JsonValue &Out) {
+    Out.K = JsonValue::Kind::Object;
+    ++Depth;
+    eat('{');
+    skipWs();
+    if (eat('}')) {
+      --Depth;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return error("expected object key");
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      for (const auto &[Existing, Unused] : Out.Object)
+        if (Existing == Key)
+          return error("duplicate object key");
+      skipWs();
+      if (!eat(':'))
+        return error("expected ':'");
+      skipWs();
+      JsonValue Member;
+      if (!parseValue(Member))
+        return false;
+      Out.Object.emplace_back(std::move(Key), std::move(Member));
+      skipWs();
+      if (eat(','))
+        continue;
+      if (eat('}')) {
+        --Depth;
+        return true;
+      }
+      return error("expected ',' or '}'");
+    }
+  }
+
+  bool parseArray(JsonValue &Out) {
+    Out.K = JsonValue::Kind::Array;
+    ++Depth;
+    eat('[');
+    skipWs();
+    if (eat(']')) {
+      --Depth;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      JsonValue Element;
+      if (!parseValue(Element))
+        return false;
+      Out.Array.push_back(std::move(Element));
+      skipWs();
+      if (eat(','))
+        continue;
+      if (eat(']')) {
+        --Depth;
+        return true;
+      }
+      return error("expected ',' or ']'");
+    }
+  }
+
+  void appendUtf8(std::string &Out, unsigned Code) {
+    if (Code < 0x80) {
+      Out += static_cast<char>(Code);
+    } else if (Code < 0x800) {
+      Out += static_cast<char>(0xc0 | (Code >> 6));
+      Out += static_cast<char>(0x80 | (Code & 0x3f));
+    } else if (Code < 0x10000) {
+      Out += static_cast<char>(0xe0 | (Code >> 12));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3f));
+      Out += static_cast<char>(0x80 | (Code & 0x3f));
+    } else {
+      Out += static_cast<char>(0xf0 | (Code >> 18));
+      Out += static_cast<char>(0x80 | ((Code >> 12) & 0x3f));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3f));
+      Out += static_cast<char>(0x80 | (Code & 0x3f));
+    }
+  }
+
+  bool hex4(unsigned &Out) {
+    Out = 0;
+    for (unsigned I = 0; I < 4; ++I) {
+      if (Pos >= Text.size() ||
+          !std::isxdigit(static_cast<unsigned char>(Text[Pos])))
+        return error("bad \\u escape");
+      char C = Text[Pos++];
+      Out = Out * 16 + static_cast<unsigned>(
+                           C <= '9' ? C - '0' : (C | 0x20) - 'a' + 10);
+    }
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    eat('"');
+    while (Pos < Text.size()) {
+      unsigned char C = static_cast<unsigned char>(Text[Pos]);
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C < 0x20)
+        return error("raw control character in string");
+      if (C != '\\') {
+        Out += static_cast<char>(C);
+        ++Pos;
+        continue;
+      }
+      ++Pos;
+      if (Pos >= Text.size())
+        return error("truncated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        unsigned Code;
+        if (!hex4(Code))
+          return false;
+        // Combine a surrogate pair; a lone half cannot become UTF-8.
+        if (Code >= 0xd800 && Code < 0xdc00) {
+          if (Text.substr(Pos, 2) != "\\u")
+            return error("unpaired surrogate");
+          Pos += 2;
+          unsigned Low;
+          if (!hex4(Low))
+            return false;
+          if (Low < 0xdc00 || Low > 0xdfff)
+            return error("unpaired surrogate");
+          Code = 0x10000 + ((Code - 0xd800) << 10) + (Low - 0xdc00);
+        } else if (Code >= 0xdc00 && Code <= 0xdfff) {
+          return error("unpaired surrogate");
+        }
+        appendUtf8(Out, Code);
+        break;
+      }
+      default:
+        return error("bad escape character");
+      }
+    }
+    return error("unterminated string");
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    std::size_t Start = Pos;
+    eat('-');
+    if (eat('0')) {
+      if (Pos < Text.size() &&
+          std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        return error("leading zero");
+    } else if (!digits()) {
+      return false;
+    }
+    if (eat('.') && !digits())
+      return false;
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (!digits())
+        return false;
+    }
+    Out.K = JsonValue::Kind::Number;
+    auto [Ptr, Ec] = std::from_chars(Text.data() + Start, Text.data() + Pos,
+                                     Out.Number);
+    if (Ec != std::errc() || Ptr != Text.data() + Pos)
+      return error("number out of range");
+    return true;
+  }
+
+  bool digits() {
+    if (Pos >= Text.size() ||
+        !std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      return error("expected digit");
+    while (Pos < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    return true;
+  }
+
+  std::string_view Text;
+  std::size_t Pos = 0;
+  unsigned Depth = 0;
+  std::string Fail;
+};
+
 } // namespace
 
 bool warden::jsonValidate(std::string_view Text, std::string *Error) {
   return Validator(Text).run(Error);
 }
+
+const JsonValue *JsonValue::get(std::string_view Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, Value] : Object)
+    if (Name == Key)
+      return &Value;
+  return nullptr;
+}
+
+std::optional<JsonValue> warden::jsonParse(std::string_view Text,
+                                           std::string *Error) {
+  return Parser(Text).run(Error);
+}
+

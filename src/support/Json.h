@@ -19,8 +19,10 @@
 #define WARDEN_SUPPORT_JSON_H
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace warden {
@@ -84,6 +86,36 @@ private:
 /// 8259). On failure returns false and, when \p Error is non-null, stores a
 /// short description including the byte offset.
 bool jsonValidate(std::string_view Text, std::string *Error = nullptr);
+
+/// A parsed JSON value — a small DOM for tests and offline tools that need
+/// to inspect emitted documents (e.g. schema checks over trace events),
+/// not just validate them. Object members keep insertion order; duplicate
+/// keys are rejected at parse time.
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind K = Kind::Null;
+  bool Bool = false;
+  double Number = 0;
+  std::string String;
+  std::vector<JsonValue> Array;
+  std::vector<std::pair<std::string, JsonValue>> Object;
+
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  /// Object member lookup; null when this is not an object or the key is
+  /// absent.
+  const JsonValue *get(std::string_view Key) const;
+};
+
+/// Strictly parses \p Text (same grammar jsonValidate accepts) into a DOM.
+/// std::nullopt on failure, with a description in \p Error when non-null.
+std::optional<JsonValue> jsonParse(std::string_view Text,
+                                   std::string *Error = nullptr);
 
 } // namespace warden
 

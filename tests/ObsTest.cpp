@@ -15,6 +15,7 @@
 
 #include "src/core/WardenSystem.h"
 #include "src/obs/ChromeTraceExporter.h"
+#include "src/obs/EventLog.h"
 #include "src/obs/MetricRegistry.h"
 #include "src/obs/Observability.h"
 #include "src/obs/TimelineSampler.h"
@@ -24,6 +25,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <string>
@@ -232,11 +234,12 @@ TaskGraph recordWorkload(const RtOptions &Options = RtOptions()) {
 /// plus the bundle contents via out-parameters.
 RunResult runObserved(const TaskGraph &Graph, const MachineConfig &Config,
                       MetricRegistry &Metrics, TimelineSampler &Sampler,
-                      ChromeTraceExporter &Trace) {
+                      ChromeTraceExporter &Trace, EventLog *Log = nullptr) {
   Observability Obs;
   Obs.Metrics = &Metrics;
   Obs.Sampler = &Sampler;
   Obs.Trace = &Trace;
+  Obs.Log = Log;
   RunOptions Options;
   Options.Obs = &Obs;
   return WardenSystem::simulate(Graph, Config, Options);
@@ -252,11 +255,13 @@ TEST(ObservabilityTest, AttachedRunIsCycleIdentical) {
     MetricRegistry Metrics;
     TimelineSampler Sampler;
     ChromeTraceExporter Trace;
+    EventLog Log;
+    Log.configure(::testing::TempDir() + "warden_obs_identity");
     RunResult Observed =
-        runObserved(Graph, Config, Metrics, Sampler, Trace);
+        runObserved(Graph, Config, Metrics, Sampler, Trace, &Log);
 
-    // The whole contract: attaching the bundle changes no simulated cycle
-    // and no simulated event.
+    // The whole contract: attaching the bundle — streaming event log
+    // included — changes no simulated cycle and no simulated event.
     EXPECT_EQ(Plain.Makespan, Observed.Makespan);
     EXPECT_EQ(Plain.Instructions, Observed.Instructions);
     EXPECT_EQ(Plain.Coherence.Invalidations,
@@ -266,6 +271,8 @@ TEST(ObservabilityTest, AttachedRunIsCycleIdentical) {
     EXPECT_EQ(Plain.Sched.Steals, Observed.Sched.Steals);
     EXPECT_FALSE(Plain.Metrics.Enabled);
     EXPECT_TRUE(Observed.Metrics.Enabled);
+    EXPECT_GT(Log.recordsEmitted(), 0u);
+    std::remove(Log.lastPath().c_str());
   }
 }
 

@@ -1,0 +1,231 @@
+//===- tests/obs/EventLogTest.cpp - Streaming event-log tests -------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the warden-evlog-v1 writer and reader: record round-trips,
+/// bounded-memory spilling, deterministic bytes across identical runs, and
+/// the zero-perturbation contract — a run with the event log attached is
+/// cycle-identical to a detached run, for every protocol backend.
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/core/WardenSystem.h"
+#include "src/obs/EventLog.h"
+#include "src/obs/Observability.h"
+#include "src/pbbs/Pbbs.h"
+#include "src/rt/Stdlib.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace warden;
+
+namespace {
+
+std::string tempBase(const std::string &Name) {
+  return ::testing::TempDir() + "warden_evlog_test_" + Name;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+TaskGraph recordWorkload() {
+  Runtime Rt{RtOptions()};
+  auto In = stdlib::tabulate<std::uint32_t>(
+      Rt, 4096, [](std::size_t I) { return std::uint32_t(I * 2654435761u); },
+      128);
+  auto Out = stdlib::mapArray<std::uint64_t>(
+      Rt, In, [](std::uint32_t V) { return std::uint64_t(V) % 977; }, 128);
+  std::uint64_t Total = stdlib::sum(Rt, Out, 128);
+  EXPECT_GT(Total, 0u);
+  return Rt.finish();
+}
+
+TEST(EventLogTest, RecordsRoundTripThroughTheFile) {
+  EventLog Log;
+  Log.configure(tempBase("roundtrip"));
+  Log.setRunLabel("unit");
+  EXPECT_TRUE(Log.enabled());
+
+  MachineConfig Config = MachineConfig::singleSocket();
+  Log.beginRun(Config, nullptr);
+  Log.emit(100, EvKind::DemandMiss, 0, 0x1000, 42, 1);
+  Log.emit(150, EvKind::Invalidation, 3, 0x1040, 0, 1);
+  Log.emit(200, EvKind::RegionAdd, EventLog::DirectorySource, 0x2000, 7);
+  ASSERT_TRUE(Log.finish()) << Log.error();
+  EXPECT_EQ(Log.recordsEmitted(), 3u);
+
+  EvlogReader Reader;
+  ASSERT_TRUE(Reader.open(Log.lastPath())) << Reader.error();
+  const EvlogHeader &H = Reader.header();
+  EXPECT_EQ(H.Version, 1u);
+  EXPECT_EQ(H.RecordSize, 32u);
+  EXPECT_EQ(H.CoreCount, Config.totalCores());
+  EXPECT_EQ(H.ProtocolId, "mesi");
+  EXPECT_EQ(H.Label, "unit");
+  EXPECT_EQ(H.RecordCount, 3u);
+
+  EvRecord R;
+  ASSERT_TRUE(Reader.next(R));
+  EXPECT_EQ(R.Seq, 0u);
+  EXPECT_EQ(R.Cycle, 100u);
+  EXPECT_EQ(R.Address, 0x1000u);
+  EXPECT_EQ(R.Payload, 42u);
+  EXPECT_EQ(R.Core, 0u);
+  EXPECT_EQ(R.Kind, EvKind::DemandMiss);
+  EXPECT_EQ(R.Arg, 1u);
+  ASSERT_TRUE(Reader.next(R));
+  EXPECT_EQ(R.Seq, 1u);
+  EXPECT_EQ(R.Core, 3u);
+  ASSERT_TRUE(Reader.next(R));
+  EXPECT_EQ(R.Seq, 2u);
+  EXPECT_EQ(R.Core, EventLog::DirectorySource);
+  EXPECT_EQ(R.Payload, 7u);
+  EXPECT_FALSE(Reader.next(R));
+  EXPECT_TRUE(Reader.error().empty()) << Reader.error();
+  EXPECT_EQ(Reader.recordsRead(), 3u);
+  std::remove(Log.lastPath().c_str());
+}
+
+TEST(EventLogTest, MemoryStaysBoundedUnderSpill) {
+  constexpr std::size_t Cap = 16;
+  constexpr std::uint64_t Events = 5000; // Far more than the ring holds.
+  EventLog Log;
+  Log.configure(tempBase("spill"), Cap);
+
+  MachineConfig Config = MachineConfig::singleSocket();
+  Log.beginRun(Config, nullptr);
+  // Round-robin over three sources so several rings fill independently.
+  for (std::uint64_t I = 0; I < Events; ++I)
+    Log.emit(I, EvKind::DemandMiss, static_cast<std::uint16_t>(I % 3),
+             0x1000 + (I % 7) * 64, static_cast<std::uint32_t>(I));
+  ASSERT_TRUE(Log.finish()) << Log.error();
+
+  EXPECT_EQ(Log.recordsEmitted(), Events);
+  EXPECT_GT(Log.spillFlushes(), 0u);
+  // The writer never buffers more than one ring's capacity per source.
+  EXPECT_LE(Log.peakBufferedRecords(), Cap * (Config.totalCores() + 1));
+
+  // Everything emitted reaches the file, in sequence order.
+  EvlogReader Reader;
+  ASSERT_TRUE(Reader.open(Log.lastPath())) << Reader.error();
+  EXPECT_EQ(Reader.header().RecordCount, Events);
+  EvRecord R;
+  std::uint64_t Expect = 0;
+  while (Reader.next(R)) {
+    EXPECT_EQ(R.Seq, Expect);
+    EXPECT_EQ(R.Cycle, Expect);
+    ++Expect;
+  }
+  EXPECT_TRUE(Reader.error().empty()) << Reader.error();
+  EXPECT_EQ(Expect, Events);
+  std::remove(Log.lastPath().c_str());
+}
+
+TEST(EventLogTest, AttachedRunIsCycleIdenticalForEveryProtocol) {
+  TaskGraph Graph = recordWorkload();
+  struct Case {
+    ProtocolKind Protocol;
+    MachineConfig Config;
+  };
+  const Case Cases[] = {
+      {ProtocolKind::Mesi, MachineConfig::dualSocket()},
+      {ProtocolKind::Warden, MachineConfig::dualSocket()},
+      {ProtocolKind::Sisd, MachineConfig::dualSocket()},
+      {ProtocolKind::Racoh, MachineConfig::multiNode(2)},
+  };
+  for (Case C : Cases) {
+    C.Config.Protocol = C.Protocol;
+    RunResult Plain = WardenSystem::simulate(Graph, C.Config);
+
+    EventLog Log;
+    Log.configure(tempBase("identity"));
+    Observability Obs;
+    Obs.Log = &Log;
+    RunOptions Options;
+    Options.Obs = &Obs;
+    RunResult Logged = WardenSystem::simulate(Graph, C.Config, Options);
+
+    EXPECT_EQ(Plain.Makespan, Logged.Makespan)
+        << protocolId(C.Protocol);
+    EXPECT_EQ(Plain.Instructions, Logged.Instructions)
+        << protocolId(C.Protocol);
+    EXPECT_EQ(Plain.Coherence.Invalidations, Logged.Coherence.Invalidations)
+        << protocolId(C.Protocol);
+    EXPECT_EQ(Plain.Coherence.Downgrades, Logged.Coherence.Downgrades)
+        << protocolId(C.Protocol);
+    EXPECT_EQ(Plain.Coherence.accesses(), Logged.Coherence.accesses())
+        << protocolId(C.Protocol);
+    EXPECT_EQ(Plain.Sched.Steals, Logged.Sched.Steals)
+        << protocolId(C.Protocol);
+    EXPECT_GT(Log.recordsEmitted(), 0u) << protocolId(C.Protocol);
+    std::remove(Log.lastPath().c_str());
+  }
+}
+
+TEST(EventLogTest, IdenticalRunsProduceIdenticalBytes) {
+  TaskGraph Graph = recordWorkload();
+  MachineConfig Config = MachineConfig::dualSocket();
+  Config.Protocol = ProtocolKind::Warden;
+
+  std::string Bytes[2];
+  for (int Round = 0; Round < 2; ++Round) {
+    EventLog Log;
+    // Distinct ring capacities: buffering must not leak into the bytes.
+    Log.configure(tempBase("bytes" + std::to_string(Round)),
+                  Round == 0 ? EventLog::DefaultRingCapacity : 8);
+    Log.setRunLabel("bytes");
+    Observability Obs;
+    Obs.Log = &Log;
+    RunOptions Options;
+    Options.Obs = &Obs;
+    WardenSystem::simulate(Graph, Config, Options);
+    Bytes[Round] = slurp(Log.lastPath());
+    EXPECT_FALSE(Bytes[Round].empty());
+    std::remove(Log.lastPath().c_str());
+  }
+  EXPECT_EQ(Bytes[0], Bytes[1]);
+}
+
+TEST(EventLogTest, DedupRunCarriesSiteTable) {
+  pbbs::Recorded Fixture = pbbs::recordDedup(256, RtOptions());
+  ASSERT_TRUE(Fixture.Verified);
+
+  EventLog Log;
+  Log.configure(tempBase("sites"));
+  Observability Obs;
+  Obs.Log = &Log;
+  MachineConfig Config = MachineConfig::singleSocket();
+  Config.Protocol = ProtocolKind::Mesi;
+  RunOptions Options;
+  Options.Obs = &Obs;
+  WardenSystem::simulate(Fixture.Graph, Config, Options);
+
+  EvlogReader Reader;
+  ASSERT_TRUE(Reader.open(Log.lastPath())) << Reader.error();
+  const EvlogHeader &H = Reader.header();
+  EXPECT_FALSE(H.Sites.empty());
+  EXPECT_FALSE(H.Spans.empty());
+  // Spans arrive sorted and resolve addresses back to interned names.
+  for (std::size_t I = 1; I < H.Spans.size(); ++I)
+    EXPECT_LE(H.Spans[I - 1].Start, H.Spans[I].Start);
+  const auto &Span = H.Spans.front();
+  std::uint32_t Site = H.siteOf(Span.Start);
+  EXPECT_EQ(Site, Span.Site);
+  EXPECT_NE(H.siteName(Site), "<unmapped>");
+  EXPECT_EQ(H.siteOf(0), InvalidSite); // Below every span.
+  std::remove(Log.lastPath().c_str());
+}
+
+} // namespace

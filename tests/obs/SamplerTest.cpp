@@ -1,0 +1,164 @@
+//===- tests/obs/SamplerTest.cpp - Timeline sampler series tests ----------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the TimelineSampler additions: short runs get a final partial
+/// sample instead of an empty series, racoh runs carry the log-coherence
+/// series (gated so every other backend's JSON is unchanged), and the
+/// jsonParse DOM used to inspect the emitted documents.
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/core/WardenSystem.h"
+#include "src/obs/Observability.h"
+#include "src/obs/TimelineSampler.h"
+#include "src/rt/Stdlib.h"
+#include "src/support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace warden;
+
+namespace {
+
+TEST(TimelineSamplerTest, ShortRunStillGetsOneSample) {
+  // A run far shorter than the cadence interval never crosses a boundary;
+  // finalize() must still capture the single trailing sample.
+  TimelineSampler Sampler(10000);
+  TimelineInputs In;
+  In.Instructions = 500;
+  Sampler.tick(400, In); // Below the first boundary: no sample.
+  EXPECT_TRUE(Sampler.samples().empty());
+  Sampler.finalize(400, In);
+  ASSERT_EQ(Sampler.samples().size(), 1u);
+  EXPECT_EQ(Sampler.samples().front().Cycle, 400u);
+  EXPECT_DOUBLE_EQ(Sampler.samples().front().Ipc, 500.0 / 400.0);
+}
+
+TEST(TimelineSamplerTest, ShortRunEndToEndSeriesIsNonEmpty) {
+  // End-to-end version: a tiny workload whose makespan is far below the
+  // default 10k-cycle cadence.
+  Runtime Rt{RtOptions()};
+  auto In = stdlib::tabulate<std::uint32_t>(
+      Rt, 64, [](std::size_t I) { return std::uint32_t(I); }, 32);
+  std::uint64_t Total = stdlib::sum(Rt, In, 32);
+  EXPECT_GT(Total, 0u);
+  TaskGraph Graph = Rt.finish();
+
+  MachineConfig Config = MachineConfig::singleSocket();
+  TimelineSampler Sampler;
+  Observability Obs;
+  Obs.Sampler = &Sampler;
+  RunOptions Options;
+  Options.Obs = &Obs;
+  RunResult R = WardenSystem::simulate(Graph, Config, Options);
+  ASSERT_LT(R.Makespan, Sampler.interval()) << "workload no longer tiny";
+  ASSERT_FALSE(Sampler.samples().empty());
+  EXPECT_EQ(Sampler.samples().back().Cycle, R.Makespan);
+}
+
+TEST(TimelineSamplerTest, RacohSeriesCarriesLogCoherenceRates) {
+  Runtime Rt{RtOptions()};
+  auto In = stdlib::tabulate<std::uint32_t>(
+      Rt, 4096, [](std::size_t I) { return std::uint32_t(I * 31); }, 128);
+  auto Out = stdlib::mapArray<std::uint64_t>(
+      Rt, In, [](std::uint32_t V) { return std::uint64_t(V) * 3; }, 128);
+  std::uint64_t Total = stdlib::sum(Rt, Out, 128);
+  EXPECT_GT(Total, 0u);
+  TaskGraph Graph = Rt.finish();
+
+  auto Sample = [&](ProtocolKind Protocol, const MachineConfig &Machine) {
+    MachineConfig Config = Machine;
+    Config.Protocol = Protocol;
+    TimelineSampler Sampler(2000);
+    Observability Obs;
+    Obs.Sampler = &Sampler;
+    RunOptions Options;
+    Options.Obs = &Obs;
+    RunResult R = WardenSystem::simulate(Graph, Config, Options);
+    EXPECT_GT(R.Makespan, 0u);
+    JsonWriter W;
+    Sampler.writeJson(W);
+    std::string Error;
+    EXPECT_TRUE(jsonValidate(W.str(), &Error)) << Error;
+    return std::pair(Sampler.samples(), W.str());
+  };
+
+  auto [RacohSamples, RacohJson] =
+      Sample(ProtocolKind::Racoh, MachineConfig::multiNode(2));
+  ASSERT_FALSE(RacohSamples.empty());
+  bool SawLog = false, SawPublishRate = false;
+  for (const TimelineSample &S : RacohSamples) {
+    EXPECT_TRUE(S.LogCoherence);
+    SawLog |= S.LogCoherence;
+    SawPublishRate |= S.LogPublishesPerKCycle > 0;
+  }
+  EXPECT_TRUE(SawLog);
+  EXPECT_TRUE(SawPublishRate); // Strand completions publish logs.
+  EXPECT_NE(RacohJson.find("log_publishes_per_kcycle"), std::string::npos);
+  EXPECT_NE(RacohJson.find("log_queue_peak"), std::string::npos);
+
+  // Eager backends: no log series in the samples and none of the keys in
+  // the JSON, so their documents are unchanged by the racoh additions.
+  auto [MesiSamples, MesiJson] =
+      Sample(ProtocolKind::Mesi, MachineConfig::dualSocket());
+  ASSERT_FALSE(MesiSamples.empty());
+  for (const TimelineSample &S : MesiSamples)
+    EXPECT_FALSE(S.LogCoherence);
+  EXPECT_EQ(MesiJson.find("log_"), std::string::npos);
+  EXPECT_EQ(MesiJson.find("racoh"), std::string::npos);
+}
+
+TEST(JsonParseTest, BuildsTheDomFaithfully) {
+  std::string Error;
+  std::optional<JsonValue> V = jsonParse(
+      "{\"a\":[1,2.5,-3e2],\"b\":{\"nested\":true},\"s\":\"caf\\u00e9\","
+      "\"n\":null}",
+      &Error);
+  ASSERT_TRUE(V.has_value()) << Error;
+  ASSERT_TRUE(V->isObject());
+  const JsonValue *A = V->get("a");
+  ASSERT_TRUE(A && A->isArray());
+  ASSERT_EQ(A->Array.size(), 3u);
+  EXPECT_DOUBLE_EQ(A->Array[0].Number, 1.0);
+  EXPECT_DOUBLE_EQ(A->Array[1].Number, 2.5);
+  EXPECT_DOUBLE_EQ(A->Array[2].Number, -300.0);
+  const JsonValue *B = V->get("b");
+  ASSERT_TRUE(B && B->isObject());
+  const JsonValue *Nested = B->get("nested");
+  ASSERT_TRUE(Nested && Nested->isBool());
+  EXPECT_TRUE(Nested->Bool);
+  const JsonValue *S = V->get("s");
+  ASSERT_TRUE(S && S->isString());
+  EXPECT_EQ(S->String, "caf\xc3\xa9"); // \u00e9 decoded to UTF-8.
+  const JsonValue *N = V->get("n");
+  ASSERT_TRUE(N && N->isNull());
+  EXPECT_EQ(V->get("missing"), nullptr);
+
+  // Object member order is preserved.
+  ASSERT_EQ(V->Object.size(), 4u);
+  EXPECT_EQ(V->Object[0].first, "a");
+  EXPECT_EQ(V->Object[3].first, "n");
+}
+
+TEST(JsonParseTest, RejectsWhatTheValidatorRejects) {
+  for (const char *Doc :
+       {"", "{", "[1,]", "{\"a\":}", "01", "\"\\u12\"", "[1] x",
+        "{\"dup\":1,\"dup\":2}"}) {
+    std::string Error;
+    EXPECT_FALSE(jsonParse(Doc, &Error).has_value()) << Doc;
+    EXPECT_FALSE(Error.empty()) << Doc;
+  }
+  // Surrogate pairs decode; unpaired ones are rejected.
+  std::optional<JsonValue> Pair = jsonParse("\"\\ud83d\\ude00\"");
+  ASSERT_TRUE(Pair.has_value());
+  EXPECT_EQ(Pair->String, "\xf0\x9f\x98\x80");
+  EXPECT_FALSE(jsonParse("\"\\ud83dx\\ude00\"").has_value());
+}
+
+} // namespace

@@ -1,0 +1,341 @@
+//===- tools/warden_stat.cpp - Offline event-log query CLI ----------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// warden-stat: offline queries over warden-evlog-v1 event logs.
+///
+///   warden-stat summary FILE.evlog               # whole-run rollup
+///   warden-stat top FILE.evlog [--n=20] [--kind=invalidation]
+///   warden-stat rates FILE.evlog [--window=CYCLES]
+///   warden-stat diff A.evlog B.evlog [--n=20] [--json=PATH]
+///   warden-stat perfetto FILE.evlog OUT.json [--window=CYCLES]
+///
+/// `diff` aligns two logs of the same workload (e.g. MESI vs WARDen) and
+/// attributes invalidation/downgrade/miss deltas to lines, allocation
+/// sites, and WARD regions — positive deltas mean the second protocol
+/// avoided that work. `perfetto` renders windowed event-rate counter
+/// tracks loadable in ui.perfetto.dev / chrome://tracing, composing with
+/// the task-span traces the bench harnesses emit.
+///
+/// Exit codes: 0 success, 1 query error (damaged file), 2 usage.
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/obs/ChromeTraceExporter.h"
+#include "src/obs/EvlogStat.h"
+#include "src/support/Json.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace warden;
+
+namespace {
+
+void usage(std::FILE *To) {
+  std::fprintf(
+      To,
+      "usage: warden-stat <command> [args]\n"
+      "  summary FILE.evlog                whole-run per-kind/per-core rollup\n"
+      "  top FILE.evlog [--n=N] [--kind=K] most contended lines (default: by\n"
+      "                                    invalidations+downgrades; --kind\n"
+      "                                    ranks by one event kind)\n"
+      "  rates FILE.evlog [--window=C]     event counts per C-cycle window\n"
+      "  diff A.evlog B.evlog [--n=N] [--json=PATH]\n"
+      "                                    align two protocols' logs; attribute\n"
+      "                                    coherence deltas to lines, sites,\n"
+      "                                    and regions\n"
+      "  perfetto FILE.evlog OUT.json [--window=C]\n"
+      "                                    windowed event-rate counter tracks\n");
+}
+
+bool parseUnsigned(const std::string &Text, std::uint64_t &Out) {
+  if (Text.empty())
+    return false;
+  Out = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return false;
+    Out = Out * 10 + static_cast<std::uint64_t>(C - '0');
+  }
+  return true;
+}
+
+struct StatArgs {
+  std::vector<std::string> Files;
+  std::uint64_t N = 20;
+  std::uint64_t Window = 0;
+  std::string Kind;
+  std::string JsonPath;
+};
+
+bool parseArgs(int Argc, char **Argv, int From, StatArgs &Out) {
+  for (int I = From; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--n=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(4), Out.N) || Out.N == 0) {
+        std::fprintf(stderr, "warden-stat: bad --n value '%s'\n", Arg.c_str());
+        return false;
+      }
+    } else if (Arg.rfind("--window=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(9), Out.Window)) {
+        std::fprintf(stderr, "warden-stat: bad --window value '%s'\n",
+                     Arg.c_str());
+        return false;
+      }
+    } else if (Arg.rfind("--kind=", 0) == 0) {
+      Out.Kind = Arg.substr(7);
+    } else if (Arg.rfind("--json=", 0) == 0) {
+      Out.JsonPath = Arg.substr(7);
+    } else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "warden-stat: unknown option '%s'\n", Arg.c_str());
+      return false;
+    } else {
+      Out.Files.push_back(Arg);
+    }
+  }
+  return true;
+}
+
+void printSummary(const EvlogSummary &S) {
+  std::printf("protocol:      %s\n", S.Header.ProtocolId.c_str());
+  if (!S.Header.Label.empty())
+    std::printf("label:         %s\n", S.Header.Label.c_str());
+  std::printf("cores:         %u\n", S.Header.CoreCount);
+  std::printf("block size:    %u\n", S.Header.BlockSize);
+  std::printf("records:       %llu\n",
+              static_cast<unsigned long long>(S.Records));
+  std::printf("cycle span:    [%llu, %llu]\n",
+              static_cast<unsigned long long>(S.FirstCycle),
+              static_cast<unsigned long long>(S.LastCycle));
+  std::printf("miss cycles:   %llu\n",
+              static_cast<unsigned long long>(S.MissCycles));
+  std::printf("sync cycles:   %llu\n",
+              static_cast<unsigned long long>(S.SyncCycles));
+  std::printf("by kind:\n");
+  for (unsigned K = 1; K < NumEvKinds; ++K)
+    if (S.ByKind[K] != 0)
+      std::printf("  %-24s %llu\n", evKindName(static_cast<EvKind>(K)),
+                  static_cast<unsigned long long>(S.ByKind[K]));
+  std::printf("by core:\n");
+  for (const auto &[Core, Count] : S.ByCore) {
+    if (Core == EventLog::DirectorySource)
+      std::printf("  %-24s %llu\n", "directory",
+                  static_cast<unsigned long long>(Count));
+    else
+      std::printf("  core %-19u %llu\n", Core,
+                  static_cast<unsigned long long>(Count));
+  }
+}
+
+int cmdSummary(const StatArgs &Args) {
+  EvlogSummary S;
+  std::string Error;
+  if (!evlogSummarize(Args.Files[0], S, Error)) {
+    std::fprintf(stderr, "warden-stat: %s\n", Error.c_str());
+    return 1;
+  }
+  printSummary(S);
+  return 0;
+}
+
+int cmdTop(const StatArgs &Args) {
+  std::vector<LineStat> Lines;
+  std::string Error;
+  if (!evlogTopLines(Args.Files[0], Args.N, Args.Kind, Lines, Error)) {
+    std::fprintf(stderr, "warden-stat: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("%-14s %10s %10s %10s %10s  %s\n", "line", "inv", "down", "miss",
+              "misscyc", "site");
+  for (const LineStat &L : Lines)
+    std::printf("0x%-12llx %10llu %10llu %10llu %10llu  %s\n",
+                static_cast<unsigned long long>(L.Block),
+                static_cast<unsigned long long>(L.Invalidations),
+                static_cast<unsigned long long>(L.Downgrades),
+                static_cast<unsigned long long>(L.Misses),
+                static_cast<unsigned long long>(L.MissCycles),
+                L.SiteName.c_str());
+  return 0;
+}
+
+int cmdRates(const StatArgs &Args) {
+  std::vector<WindowStat> Windows;
+  std::string Error;
+  if (!evlogWindowRates(Args.Files[0], Args.Window, Windows, Error)) {
+    std::fprintf(stderr, "warden-stat: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("%-14s %10s %10s %10s %10s\n", "window_start", "total", "miss",
+              "inv", "down");
+  for (const WindowStat &W : Windows)
+    std::printf("%-14llu %10llu %10llu %10llu %10llu\n",
+                static_cast<unsigned long long>(W.Start),
+                static_cast<unsigned long long>(W.total()),
+                static_cast<unsigned long long>(
+                    W.ByKind[static_cast<unsigned>(EvKind::DemandMiss)]),
+                static_cast<unsigned long long>(
+                    W.ByKind[static_cast<unsigned>(EvKind::Invalidation)] +
+                    W.ByKind[static_cast<unsigned>(EvKind::LogInvalidation)]),
+                static_cast<unsigned long long>(
+                    W.ByKind[static_cast<unsigned>(EvKind::Downgrade)]));
+  return 0;
+}
+
+void emitDiffEntries(JsonWriter &W, std::string_view Key,
+                     const std::vector<DiffEntry> &Entries, std::size_t N) {
+  W.key(Key).beginArray();
+  for (std::size_t I = 0; I < Entries.size() && I < N; ++I) {
+    const DiffEntry &E = Entries[I];
+    W.beginObject()
+        .member("name", E.Name)
+        .member("inv_a", E.InvA)
+        .member("inv_b", E.InvB)
+        .member("down_a", E.DownA)
+        .member("down_b", E.DownB)
+        .member("miss_a", E.MissA)
+        .member("miss_b", E.MissB)
+        .member("miss_cycles_a", E.MissCyclesA)
+        .member("miss_cycles_b", E.MissCyclesB)
+        .member("contention_delta", E.contentionDelta())
+        .endObject();
+  }
+  W.endArray();
+}
+
+void printDiffSection(const char *Title, const std::vector<DiffEntry> &Entries,
+                      std::size_t N) {
+  std::printf("%s (A-B contention delta, positive = B avoided it):\n", Title);
+  std::printf("  %10s %10s %10s %10s %10s  %s\n", "delta", "invA", "invB",
+              "downA", "downB", "name");
+  for (std::size_t I = 0; I < Entries.size() && I < N; ++I) {
+    const DiffEntry &E = Entries[I];
+    std::printf("  %+10lld %10llu %10llu %10llu %10llu  %s\n",
+                static_cast<long long>(E.contentionDelta()),
+                static_cast<unsigned long long>(E.InvA),
+                static_cast<unsigned long long>(E.InvB),
+                static_cast<unsigned long long>(E.DownA),
+                static_cast<unsigned long long>(E.DownB), E.Name.c_str());
+  }
+}
+
+int cmdDiff(const StatArgs &Args) {
+  EvlogDiff D;
+  std::string Error;
+  if (!evlogDiff(Args.Files[0], Args.Files[1], D, Error)) {
+    std::fprintf(stderr, "warden-stat: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("A: %s (%s, %llu records)\n", Args.Files[0].c_str(),
+              D.A.Header.ProtocolId.c_str(),
+              static_cast<unsigned long long>(D.A.Records));
+  std::printf("B: %s (%s, %llu records)\n", Args.Files[1].c_str(),
+              D.B.Header.ProtocolId.c_str(),
+              static_cast<unsigned long long>(D.B.Records));
+  std::printf("totals: inv %llu -> %llu, down %llu -> %llu, "
+              "miss %llu -> %llu, miss cycles %llu -> %llu\n",
+              static_cast<unsigned long long>(D.A.invalidations()),
+              static_cast<unsigned long long>(D.B.invalidations()),
+              static_cast<unsigned long long>(D.A.downgrades()),
+              static_cast<unsigned long long>(D.B.downgrades()),
+              static_cast<unsigned long long>(D.A.misses()),
+              static_cast<unsigned long long>(D.B.misses()),
+              static_cast<unsigned long long>(D.A.MissCycles),
+              static_cast<unsigned long long>(D.B.MissCycles));
+  printDiffSection("lines", D.Lines, Args.N);
+  printDiffSection("sites", D.Sites, Args.N);
+  printDiffSection("regions", D.Regions, Args.N);
+
+  if (!Args.JsonPath.empty()) {
+    JsonWriter W;
+    W.beginObject();
+    W.member("schema", "warden-stat-diff-v1");
+    W.member("a", Args.Files[0]);
+    W.member("b", Args.Files[1]);
+    W.member("protocol_a", D.A.Header.ProtocolId);
+    W.member("protocol_b", D.B.Header.ProtocolId);
+    W.member("inv_a", D.A.invalidations());
+    W.member("inv_b", D.B.invalidations());
+    W.member("down_a", D.A.downgrades());
+    W.member("down_b", D.B.downgrades());
+    W.member("miss_a", D.A.misses());
+    W.member("miss_b", D.B.misses());
+    W.member("miss_cycles_a", D.A.MissCycles);
+    W.member("miss_cycles_b", D.B.MissCycles);
+    emitDiffEntries(W, "lines", D.Lines, Args.N);
+    emitDiffEntries(W, "sites", D.Sites, Args.N);
+    emitDiffEntries(W, "regions", D.Regions, Args.N);
+    W.endObject();
+    std::ofstream Out(Args.JsonPath, std::ios::binary);
+    if (!Out) {
+      std::fprintf(stderr, "warden-stat: cannot write '%s'\n",
+                   Args.JsonPath.c_str());
+      return 1;
+    }
+    Out << W.str() << "\n";
+  }
+  return 0;
+}
+
+int cmdPerfetto(const StatArgs &Args) {
+  ChromeTraceExporter Trace;
+  std::string Error;
+  if (!evlogExportPerfetto(Args.Files[0], Args.Window, Trace, Error)) {
+    std::fprintf(stderr, "warden-stat: %s\n", Error.c_str());
+    return 1;
+  }
+  if (!Trace.writeFile(Args.Files[1])) {
+    std::fprintf(stderr, "warden-stat: cannot write '%s'\n",
+                 Args.Files[1].c_str());
+    return 1;
+  }
+  std::printf("wrote %zu counter samples to %s\n", Trace.counterCount(),
+              Args.Files[1].c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    usage(stderr);
+    return 2;
+  }
+  std::string Command = Argv[1];
+  if (Command == "--help" || Command == "-h") {
+    usage(stdout);
+    return 0;
+  }
+  StatArgs Args;
+  if (!parseArgs(Argc, Argv, 2, Args))
+    return 2;
+
+  std::size_t Need = Command == "diff" || Command == "perfetto" ? 2 : 1;
+  if (Args.Files.size() != Need) {
+    std::fprintf(stderr, "warden-stat: %s takes %zu file argument%s\n",
+                 Command.c_str(), Need, Need == 1 ? "" : "s");
+    usage(stderr);
+    return 2;
+  }
+
+  if (Command == "summary")
+    return cmdSummary(Args);
+  if (Command == "top")
+    return cmdTop(Args);
+  if (Command == "rates")
+    return cmdRates(Args);
+  if (Command == "diff")
+    return cmdDiff(Args);
+  if (Command == "perfetto")
+    return cmdPerfetto(Args);
+
+  std::fprintf(stderr, "warden-stat: unknown command '%s'\n", Command.c_str());
+  usage(stderr);
+  return 2;
+}

@@ -30,6 +30,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "src/core/WardenSystem.h"
+#include "src/obs/EventLog.h"
+#include "src/obs/Observability.h"
+#include "src/pbbs/Pbbs.h"
 #include "src/support/JobPool.h"
 #include "src/support/Json.h"
 #include "src/support/Strings.h"
@@ -52,6 +56,7 @@ struct VerifyOptions {
   std::uint64_t MaxStates = 1 << 18;
   ProtocolMutation Mutation = ProtocolMutation::None;
   std::string JsonPath;
+  std::string EvlogBase;
   bool List = false;
 };
 
@@ -66,6 +71,9 @@ void usage(std::FILE *To) {
       "  --mutate=<name>      inject a deliberate protocol bug; the run then\n"
       "                       passes only if the checker catches it\n"
       "  --json=<path>        write the deterministic JSON report\n"
+      "  --evlog=<base>       additionally capture a streaming event log of a\n"
+      "                       small deterministic workload per protocol, to\n"
+      "                       <base>.<protocol>.evlog (query with warden-stat)\n"
       "  --list               list protocols, litmus patterns, and mutations\n");
 }
 
@@ -248,6 +256,12 @@ int main(int Argc, char **Argv) {
       Opts.Mutation = *M;
     } else if (Key == "--json") {
       Opts.JsonPath = Value;
+    } else if (Key == "--evlog") {
+      if (Value.empty()) {
+        std::fprintf(stderr, "warden-verify: --evlog wants a base path\n");
+        return 2;
+      }
+      Opts.EvlogBase = Value;
     } else {
       std::fprintf(stderr, "warden-verify: unknown option '%s'\n",
                    Arg.c_str());
@@ -407,6 +421,35 @@ int main(int Argc, char **Argv) {
   bool Passed = MutationRun ? MutationCaught : AllPassed;
   W.member("passed", Passed);
   W.endObject();
+
+  if (!Opts.EvlogBase.empty()) {
+    // Event-log smoke capture: one small deterministic recorded workload
+    // (the dedup fixture — the paper's false-sharing example) simulated
+    // under every protocol under test, each streaming its event log to
+    // <base>.<protocol>.evlog. This is the canonical source of aligned
+    // logs for `warden-stat diff`.
+    pbbs::Recorded Fixture = pbbs::recordDedup(256, RtOptions());
+    EventLog Log;
+    Log.configure(Opts.EvlogBase);
+    Log.setRunLabel("dedup-smoke");
+    Observability Obs;
+    Obs.Log = &Log;
+    for (ProtocolKind Protocol : Opts.Protocols) {
+      MachineConfig Config = MachineConfig::singleSocket();
+      Config.Protocol = Protocol;
+      RunOptions Run;
+      Run.Repeats = 1;
+      Run.Obs = &Obs;
+      WardenSystem::simulateMedian(Fixture.Graph, Config, Run);
+      if (!Log.error().empty()) {
+        std::fprintf(stderr, "warden-verify: evlog capture failed: %s\n",
+                     Log.error().c_str());
+        return 1;
+      }
+      std::printf("evlog: %s (%llu records)\n", Log.lastPath().c_str(),
+                  static_cast<unsigned long long>(Log.recordsEmitted()));
+    }
+  }
 
   if (!Opts.JsonPath.empty()) {
     std::ofstream Out(Opts.JsonPath, std::ios::binary);
