@@ -27,6 +27,7 @@
 #include "src/support/Table.h"
 
 #include <chrono>
+#include <cmath>
 #include <cstddef>
 #include <cstdio>
 #include <cstdlib>
@@ -86,6 +87,10 @@ struct BenchOptions {
   /// Parallel runs produce byte-identical reports modulo the host-timing
   /// fields: every job owns its simulated machine and result slot.
   unsigned Jobs = 1;
+  /// Host threads sharding a single run's timing simulation (--intra-jobs;
+  /// the replayer's epoch-barriered engine). Orthogonal to --jobs and the
+  /// same contract: byte-identical reports at any value, wall time only.
+  unsigned IntraJobs = 1;
 };
 
 /// Parses the command-line flags shared by the figure harnesses:
@@ -113,6 +118,10 @@ struct BenchOptions {
 ///                    repeat fan-out; default 1). Changes wall time only:
 ///                    reports are byte-identical to --jobs=1 modulo the
 ///                    host_seconds / sim_accesses_per_sec fields
+///   --intra-jobs=N   shard each single run's timing simulation across N
+///                    host threads (epoch-barriered engine; default 1).
+///                    Same contract as --jobs: byte-identical reports at
+///                    any N, host wall time only. Composes with --jobs
 ///   --nodes=N        multi-node harnesses: simulate N non-coherent nodes
 ///                    (one socket each); figures on single-node machines
 ///                    ignore it
@@ -203,6 +212,16 @@ inline BenchOptions parseBenchArgs(int argc, char **argv) {
         std::exit(2);
       }
       B.Jobs = static_cast<unsigned>(Jobs);
+    } else if (std::strncmp(Arg, "--intra-jobs=", 13) == 0) {
+      char *End = nullptr;
+      unsigned long Jobs = std::strtoul(Arg + 13, &End, 10);
+      if (End == Arg + 13 || *End != '\0' || Jobs == 0) {
+        std::fprintf(stderr,
+                     "%s: --intra-jobs wants a positive integer, got %s\n",
+                     argv[0], Arg + 13);
+        std::exit(2);
+      }
+      B.IntraJobs = static_cast<unsigned>(Jobs);
     } else if (std::strncmp(Arg, "--nodes=", 8) == 0) {
       char *End = nullptr;
       unsigned long Nodes = std::strtoul(Arg + 8, &End, 10);
@@ -218,7 +237,7 @@ inline BenchOptions parseBenchArgs(int argc, char **argv) {
                    "usage: %s [--audit] [--faults[=seed]] "
                    "[--protocol=ID[,ID...]] [--only=NAME[,NAME...]] "
                    "[--scale=X] [--json=FILE] [--evlog=BASE] [--profile] "
-                   "[--jobs=N] [--nodes=N]\n",
+                   "[--jobs=N] [--intra-jobs=N] [--nodes=N]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -289,6 +308,7 @@ runSuite(const MachineConfig &Machine, const BenchOptions &B,
   auto SimulateOne = [&](std::size_t I) {
     RunOptions Run = B.Run;
     Run.Pool = B.Jobs > 1 ? &Pool : nullptr;
+    Run.IntraJobs = B.IntraJobs;
     // --profile: a task-local profiler/CPI pair serves this benchmark's
     // runs — the simulator's beginRun() resets them per run, and the
     // per-run reports are value snapshots inside each RunResult, so the
@@ -749,11 +769,24 @@ inline bool writeJsonReport(const std::string &Path, const char *Experiment,
   // ignored by baseline comparison unless explicitly requested
   // (scripts/bench_diff.py --check-perf).
   double TotalHostSeconds = 0.0;
-  for (const SuiteRow &Row : Rows)
+  double LogThroughputSum = 0.0;
+  std::size_t ThroughputRows = 0;
+  for (const SuiteRow &Row : Rows) {
     TotalHostSeconds += Row.HostSeconds;
+    if (Row.SimAccessesPerSec > 0.0) {
+      LogThroughputSum += std::log(Row.SimAccessesPerSec);
+      ++ThroughputRows;
+    }
+  }
   W.key("host").beginObject();
   W.member("jobs", static_cast<std::uint64_t>(B.Jobs));
+  W.member("intra_jobs", static_cast<std::uint64_t>(B.IntraJobs));
   W.member("total_seconds", TotalHostSeconds);
+  W.member("sim_accesses_per_sec_geomean",
+           ThroughputRows > 0
+               ? std::exp(LogThroughputSum /
+                          static_cast<double>(ThroughputRows))
+               : 0.0);
   W.endObject();
 
   std::vector<const RunResult *> Others =

@@ -14,16 +14,22 @@
 ///  * the RegionTable's MRU interval cache, hit and (gap-cached) miss;
 ///  * CacheArray construction, which lazy set initialization makes
 ///    independent of the nominal array capacity;
-///  * JobPool batch dispatch overhead, flat and nested.
+///  * JobPool batch dispatch overhead, flat and nested;
+///  * whole replays of a synthetic fork-join access trace: the batched
+///    engine against the per-access reference loop, and the epoch-
+///    barriered harvester across conflict rates and worker counts.
 ///
 /// Companions to the figure harnesses' host_seconds / sim_accesses_per_sec
 /// JSON fields: when those regress, these isolate which layer did it.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "src/coherence/CoherenceController.h"
 #include "src/coherence/Directory.h"
 #include "src/coherence/RegionTable.h"
 #include "src/mem/CacheArray.h"
+#include "src/obs/Observability.h"
+#include "src/sched/Replay.h"
 #include "src/support/FlatMap.h"
 #include "src/support/JobPool.h"
 #include "src/support/Rng.h"
@@ -174,3 +180,117 @@ static void BM_JobPoolNestedFanOut(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_JobPoolNestedFanOut)->Arg(1)->Arg(4);
+
+namespace {
+
+/// Leaves per access graph and accesses per leaf — sized so one replay is
+/// a few hundred microseconds: long enough to swamp Replayer setup, short
+/// enough that the benchmark converges quickly.
+constexpr unsigned GraphLeaves = 16;
+constexpr unsigned GraphAccessesPerLeaf = 2048;
+
+/// A fork-join access trace shaped like the recorded PBBS programs: a root
+/// forks GraphLeaves leaf strands that join into a continuation. Each leaf
+/// interleaves short work bursts with loads and stores striding its own
+/// 256-block arena; when \p SharedEvery is nonzero, every SharedEvery-th
+/// access is redirected to one arena all leaves share, injecting cross-core
+/// block conflicts — the thing that cuts epoch harvests short — at a
+/// controlled rate.
+TaskGraph makeAccessGraph(unsigned SharedEvery) {
+  TaskGraph Graph;
+  StrandId Root = Graph.addStrand();
+  StrandId Cont = Graph.addStrand();
+  Graph.setRoot(Root);
+  Graph.strand(Root).Events.push_back(TraceEvent::work(10));
+  Graph.strand(Cont).PendingJoin = GraphLeaves;
+  Graph.strand(Cont).JoinCounterAddr = 0x7000;
+  constexpr Addr SharedBase = 0x100000;
+  for (unsigned L = 0; L < GraphLeaves; ++L) {
+    StrandId Leaf = Graph.addStrand();
+    Graph.strand(Root).Children.push_back(Leaf);
+    Strand &S = Graph.strand(Leaf);
+    S.JoinTarget = Cont;
+    const Addr PrivateBase = 0x200000 + Addr(L) * 0x40000;
+    S.Events.reserve(std::size_t(GraphAccessesPerLeaf) * 2);
+    for (unsigned I = 0; I < GraphAccessesPerLeaf; ++I) {
+      bool Shared = SharedEvery != 0 && I % SharedEvery == SharedEvery - 1;
+      Addr Arena = Shared ? SharedBase : PrivateBase;
+      Addr Address = Arena + Addr(I % 256) * 64;
+      S.Events.push_back(TraceEvent::work(2));
+      if (I % 3 == 2)
+        S.Events.push_back(TraceEvent::store(Address, 8));
+      else
+        S.Events.push_back(TraceEvent::load(Address, 8));
+    }
+  }
+  return Graph;
+}
+
+} // namespace
+
+static void BM_ReplayEngineBatched(benchmark::State &State) {
+  // One full phase-2 replay per iteration through the batched engine (no
+  // observability sinks attached): sorted pick queue, fused inner loop,
+  // runner-up-bounded runs. Pairs with BM_ReplayPerAccessReference — the
+  // gap is what the batched hot path buys over the reference loop on an
+  // identical trace, machine, and result.
+  const TaskGraph Graph = makeAccessGraph(0);
+  const MachineConfig Config = MachineConfig::singleSocket();
+  for (auto _ : State) {
+    CoherenceController Controller(Config);
+    Replayer Replay(Graph, Controller);
+    benchmark::DoNotOptimize(Replay.run().Makespan);
+  }
+  State.SetItemsProcessed(State.iterations() * GraphLeaves *
+                          GraphAccessesPerLeaf);
+}
+BENCHMARK(BM_ReplayEngineBatched)->Unit(benchmark::kMicrosecond);
+
+static void BM_ReplayPerAccessReference(benchmark::State &State) {
+  // Same replay through the reference serial loop: attaching an (empty)
+  // observability bundle forces the one-event-at-a-time interleaving that
+  // samplers and event timestamps require. All sinks are null, so the
+  // difference from BM_ReplayEngineBatched is pure engine structure.
+  const TaskGraph Graph = makeAccessGraph(0);
+  const MachineConfig Config = MachineConfig::singleSocket();
+  for (auto _ : State) {
+    CoherenceController Controller(Config);
+    Replayer Replay(Graph, Controller);
+    Observability Obs;
+    Replay.attachObs(&Obs);
+    benchmark::DoNotOptimize(Replay.run().Makespan);
+  }
+  State.SetItemsProcessed(State.iterations() * GraphLeaves *
+                          GraphAccessesPerLeaf);
+}
+BENCHMARK(BM_ReplayPerAccessReference)->Unit(benchmark::kMicrosecond);
+
+static void BM_EpochBarrierConflictRate(benchmark::State &State) {
+  // The epoch-barriered harvester across conflict rates and worker
+  // counts. Arg0: every Arg0-th leaf access hits the shared arena (0 =
+  // fully disjoint footprints, the best case for harvesting; smaller
+  // values mean more contended blocks cutting harvests short). Arg1: the
+  // --intra-jobs worker count (1 = epochs gated off, the fused serial
+  // loop). Simulated results are byte-identical across Arg1 by
+  // construction; only host time moves, and this measures by how much.
+  const unsigned SharedEvery = static_cast<unsigned>(State.range(0));
+  const unsigned IntraJobs = static_cast<unsigned>(State.range(1));
+  const TaskGraph Graph = makeAccessGraph(SharedEvery);
+  const MachineConfig Config = MachineConfig::singleSocket();
+  for (auto _ : State) {
+    CoherenceController Controller(Config);
+    Replayer Replay(Graph, Controller);
+    Replay.setIntraJobs(IntraJobs);
+    benchmark::DoNotOptimize(Replay.run().Makespan);
+  }
+  State.SetItemsProcessed(State.iterations() * GraphLeaves *
+                          GraphAccessesPerLeaf);
+}
+BENCHMARK(BM_EpochBarrierConflictRate)
+    ->Unit(benchmark::kMicrosecond)
+    ->ArgNames({"shared_every", "intra_jobs"})
+    ->Args({0, 1})
+    ->Args({0, 2})
+    ->Args({0, 4})
+    ->Args({16, 4})
+    ->Args({4, 4});

@@ -13,6 +13,9 @@
 #   WARDEN_BENCH_JOBS       host threads for the simulation fan-out
 #                           (default 1; results are byte-identical at any
 #                           value modulo the host-timing fields)
+#   WARDEN_BENCH_INTRA_JOBS epoch workers sharding each single run's
+#                           timing simulation (default 1; same
+#                           byte-identity contract as WARDEN_BENCH_JOBS)
 #   WARDEN_BENCH_PROTOCOLS  comma-separated protocol ids passed through as
 #                           --protocol= (default mesi,warden; e.g.
 #                           mesi,warden,sisd for the three-way comparison)
@@ -24,12 +27,14 @@ cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_suite.json}"
 SCALE="${WARDEN_BENCH_SCALE:-0.25}"
 JOBS="${WARDEN_BENCH_JOBS:-1}"
+INTRA_JOBS="${WARDEN_BENCH_INTRA_JOBS:-1}"
 PROTOCOLS="${WARDEN_BENCH_PROTOCOLS:-mesi,warden}"
 
 cmake --preset default
 cmake --build --preset default -j "$(nproc)" --target fig7_single_socket
 
 build/bench/fig7_single_socket --scale="$SCALE" --jobs="$JOBS" \
+  --intra-jobs="$INTRA_JOBS" \
   --protocol="$PROTOCOLS" --json="$OUT" --profile
 echo "bench report written to $OUT (scale $SCALE, jobs $JOBS," \
-  "protocols $PROTOCOLS)"
+  "intra-jobs $INTRA_JOBS, protocols $PROTOCOLS)"

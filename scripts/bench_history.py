@@ -6,11 +6,16 @@ Usage:
     scripts/bench_history.py --self-test
 
 Reads a warden-bench-v2 report's host-side performance fields (the
-per-benchmark host_seconds / sim_accesses_per_sec pairs), appends one JSON
-line to HISTORY.jsonl, and compares the run's aggregate throughput against
-the trailing median of the previous entries. A run is a REGRESSION when
-its throughput falls more than --max-regression (default 0.25) below that
-median.
+per-benchmark host_seconds / sim_accesses_per_sec pairs and the report's
+sim_accesses_per_sec_geomean), appends one JSON line to HISTORY.jsonl,
+and compares the run's aggregate throughput against the trailing median
+of the previous entries. A run is a REGRESSION when its throughput falls
+more than --max-regression (default 0.25) below that median. Two
+aggregates are gated independently: the access-weighted total (dominated
+by the longest benchmarks) and the per-benchmark geomean (equal weight,
+so a hot-path regression that only bites the short benchmarks still
+trips it). Histories that predate the geomean field gate on the total
+only.
 
 The verdict is advisory by default (prints a warning, exits 0) because
 host throughput is noisy on shared CI runners and a PR should not go red
@@ -19,7 +24,7 @@ into exit 1. Fewer than --min-history prior entries (default 3) means no
 gate at all — the history is still being seeded.
 
 History lines are self-contained JSON objects:
-    {"commit": ..., "throughput": ..., "host_seconds": ...,
+    {"commit": ..., "throughput": ..., "geomean": ..., "host_seconds": ...,
      "benchmarks": {name: sim_accesses_per_sec, ...}}
 
 Exit status: 0 OK/advisory, 1 strict regression, 2 malformed input.
@@ -27,6 +32,7 @@ Exit status: 0 OK/advisory, 1 strict regression, 2 malformed input.
 
 import argparse
 import json
+import math
 import os
 import statistics
 import sys
@@ -57,9 +63,16 @@ def load_report(path):
         total_accesses += rate * seconds
     if total_seconds <= 0:
         sys.exit(f"error: {path}: zero total host_seconds")
+    # Prefer the harness-computed geomean (host object); recompute from the
+    # per-benchmark rates for reports that predate the host field.
+    geomean = doc.get("host", {}).get("sim_accesses_per_sec_geomean")
+    if not isinstance(geomean, (int, float)) or geomean <= 0:
+        logs = [math.log(r) for r in rates.values() if r > 0]
+        geomean = math.exp(sum(logs) / len(logs)) if logs else 0.0
     return {
         "commit": os.environ.get("GITHUB_SHA", ""),
         "throughput": total_accesses / total_seconds,
+        "geomean": geomean,
         "host_seconds": total_seconds,
         "benchmarks": rates,
     }
@@ -84,16 +97,22 @@ def load_history(path):
     return entries
 
 
-def verdict(history, current, max_regression, min_history, window):
-    """Returns (regressed, message) for `current` against `history`."""
-    tail = [e["throughput"] for e in history[-window:]]
+def verdict(history, current, max_regression, min_history, window,
+            key="throughput", label="throughput"):
+    """Returns (regressed, message) for `current` against `history`.
+
+    Gates on `key`; history entries lacking the key (older schema) are
+    skipped, so a freshly introduced aggregate re-seeds its own gate.
+    """
+    tail = [e[key] for e in history[-window:]
+            if isinstance(e.get(key), (int, float))]
     if len(tail) < min_history:
-        return False, (f"history has {len(tail)} prior run(s) "
+        return False, (f"{label}: history has {len(tail)} prior run(s) "
                        f"(<{min_history}); seeding, no gate")
     median = statistics.median(tail)
     floor = median * (1.0 - max_regression)
     ratio = current / median if median > 0 else float("inf")
-    detail = (f"throughput {current:,.0f} acc/s vs trailing median "
+    detail = (f"{label} {current:,.0f} acc/s vs trailing median "
               f"{median:,.0f} over {len(tail)} runs ({ratio:.2%})")
     if current < floor:
         return True, f"REGRESSION: {detail}, below the {floor:,.0f} floor"
@@ -117,6 +136,19 @@ def self_test():
                                                   100.0, 100.0, 100.0)]
     regressed, _ = verdict(slow_then_fast, 60.0, 0.25, 3, 3)
     assert regressed, "median over the last 3 (fast) runs must gate 60"
+    # The geomean gate skips pre-geomean history lines: two schema-less
+    # entries plus one with the field is below min_history, so no gate.
+    mixed = base[:2] + [{"throughput": 100.0, "geomean": 50.0}]
+    regressed, _ = verdict(mixed, 1.0, 0.25, 3, 20, key="geomean",
+                           label="geomean")
+    assert not regressed, "one geomean-bearing entry must not gate"
+    # With enough geomean-bearing entries it gates independently of the
+    # (healthy) total throughput.
+    full = [{"throughput": 100.0, "geomean": g} for g in (50.0, 52.0, 48.0)]
+    regressed, msg = verdict(full, 20.0, 0.25, 3, 20, key="geomean",
+                             label="geomean")
+    assert regressed and "geomean" in msg, \
+        "20 vs geomean median 50 must trip the gate"
     print("bench_history self-test OK")
     return 0
 
@@ -151,12 +183,16 @@ def main():
 
     entry = load_report(args.report)
     history = load_history(args.history)
-    regressed, message = verdict(history, entry["throughput"],
-                                 args.max_regression, args.min_history,
-                                 args.window)
+    regressed = False
+    for key, label in (("throughput", "throughput"),
+                       ("geomean", "geomean")):
+        bad, message = verdict(history, entry[key], args.max_regression,
+                               args.min_history, args.window,
+                               key=key, label=label)
+        regressed = regressed or bad
+        print(f"bench_history: {message}")
     with open(args.history, "a") as f:
         f.write(json.dumps(entry, sort_keys=True) + "\n")
-    print(f"bench_history: {message}")
     print(f"bench_history: appended run {len(history) + 1} to "
           f"{args.history}")
     if regressed and args.strict:

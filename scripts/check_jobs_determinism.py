@@ -1,18 +1,36 @@
 #!/usr/bin/env python3
-"""Verify that the parallel simulation engine is deterministic.
+"""Verify that the parallel simulation engines are deterministic.
 
 Usage:
-    scripts/check_jobs_determinism.py FIG7_BINARY [SCALE]
+    scripts/check_jobs_determinism.py BINARY [SCALE] [--mode=jobs|intra]
 
-Runs the Figure 7 suite twice at a tiny scale — once with --jobs=1 and
-once with --jobs=4 — and asserts the two JSON reports are byte-identical
-after removing the host-timing fields (the top-level "host" object and the
-per-benchmark host_seconds / sim_accesses_per_sec members), which measure
-wall-clock and legitimately differ. Everything simulated — cycles, energy,
-audit verdicts, profiles — must match exactly: each parallel job owns its
-whole simulated machine, so scheduling must never leak into results.
+Modes:
 
-Registered as a ctest (jobs_determinism); also usable standalone.
+  jobs (default)
+    Runs the suite twice — --jobs=1 vs --jobs=4 (suite-level parallelism:
+    whole benchmarks fan out across a pool) with --profile --audit — and
+    asserts the two JSON reports are byte-identical after removing the
+    host-timing fields. Each parallel job owns its whole simulated
+    machine, so scheduling must never leak into results.
+
+  intra
+    Same contract for intra-run parallelism (--intra-jobs: one run's
+    timing simulation sharded across epoch workers). Three comparisons,
+    all at --intra-jobs=1 vs --intra-jobs=4:
+      1. plain JSON reports — this is the load-bearing check: without
+         observability sinks the epoch-barriered engine is active, so
+         worker count must not change a single simulated number;
+      2. JSON reports with --profile --audit — observability and audit
+         attach per-access sinks, which forces the reference serial
+         engine; the flag must then be completely inert;
+      3. event-log bytes (--evlog) — streamed coherence event logs must
+         be byte-identical, not merely equivalent.
+
+In every comparison only host wall-clock fields (the top-level "host"
+object and per-benchmark host_seconds / sim_accesses_per_sec) may differ.
+
+Registered as ctests (jobs_determinism, intra_jobs_determinism,
+intra_jobs_determinism_multinode); also usable standalone.
 """
 
 import json
@@ -32,36 +50,85 @@ def stripped(path):
     return json.dumps(doc, sort_keys=True, indent=1)
 
 
-def main():
-    if len(sys.argv) < 2:
-        sys.exit("usage: check_jobs_determinism.py FIG7_BINARY [SCALE]")
-    binary = sys.argv[1]
-    scale = sys.argv[2] if len(sys.argv) > 2 else "0.05"
+def run(binary, out, extra):
+    subprocess.run([binary, f"--json={out}"] + extra,
+                   check=True, stdout=subprocess.DEVNULL)
 
-    reports = {}
+
+def diff_reports(a, b, label_a, label_b):
+    if a == b:
+        return True
+    for i, (la, lb) in enumerate(zip(a.splitlines(), b.splitlines())):
+        if la != lb:
+            print(f"first difference at stripped-JSON line {i + 1}:")
+            print(f"  {label_a}: {la.strip()}")
+            print(f"  {label_b}: {lb.strip()}")
+            break
+    return False
+
+
+def compare_json(binary, scale, flag, extra, what):
     with tempfile.TemporaryDirectory() as tmp:
-        for jobs in (1, 4):
-            out = os.path.join(tmp, f"jobs{jobs}.json")
-            subprocess.run(
-                [binary, f"--scale={scale}", "--profile", "--audit",
-                 f"--jobs={jobs}", f"--json={out}"],
-                check=True, stdout=subprocess.DEVNULL)
-            reports[jobs] = stripped(out)
-
-    if reports[1] != reports[4]:
-        a = reports[1].splitlines()
-        b = reports[4].splitlines()
-        for i, (la, lb) in enumerate(zip(a, b)):
-            if la != lb:
-                print(f"first difference at stripped-JSON line {i + 1}:")
-                print(f"  --jobs=1: {la.strip()}")
-                print(f"  --jobs=4: {lb.strip()}")
-                break
-        sys.exit("FAIL: --jobs=4 report differs from --jobs=1 "
+        reports = {}
+        for n in (1, 4):
+            out = os.path.join(tmp, f"n{n}.json")
+            run(binary, out, [f"--scale={scale}", f"--{flag}={n}"] + extra)
+            reports[n] = stripped(out)
+    if not diff_reports(reports[1], reports[4],
+                        f"--{flag}=1", f"--{flag}=4"):
+        sys.exit(f"FAIL: --{flag}=4 {what} report differs from --{flag}=1 "
                  "(modulo host-timing fields)")
+    print(f"OK: {what} reports identical at --{flag} 1 vs 4, scale {scale}")
 
-    print(f"OK: --jobs=1 and --jobs=4 reports identical at scale {scale} "
-          f"(host-timing fields excluded)")
+
+def compare_evlog(binary, scale, flag):
+    logs = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for n in (1, 4):
+            sub = os.path.join(tmp, f"n{n}")
+            os.mkdir(sub)
+            out = os.path.join(sub, "report.json")
+            run(binary, out, [f"--scale={scale}", f"--{flag}={n}",
+                              f"--evlog={os.path.join(sub, 'ev')}"])
+            blobs = {}
+            for root, _, files in os.walk(sub):
+                for name in sorted(files):
+                    if name.endswith(".evlog"):
+                        with open(os.path.join(root, name), "rb") as f:
+                            blobs[name] = f.read()
+            logs[n] = blobs
+    if sorted(logs[1]) != sorted(logs[4]):
+        sys.exit(f"FAIL: --{flag} 1 vs 4 produced different evlog file "
+                 f"sets: {sorted(logs[1])} vs {sorted(logs[4])}")
+    for name in sorted(logs[1]):
+        if logs[1][name] != logs[4][name]:
+            sys.exit(f"FAIL: evlog {name} bytes differ between "
+                     f"--{flag}=1 and --{flag}=4")
+    print(f"OK: {len(logs[1])} evlog files byte-identical at "
+          f"--{flag} 1 vs 4, scale {scale}")
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--mode=")]
+    modes = [a.split("=", 1)[1] for a in sys.argv[1:]
+             if a.startswith("--mode=")]
+    mode = modes[-1] if modes else "jobs"
+    if not args:
+        sys.exit("usage: check_jobs_determinism.py BINARY [SCALE] "
+                 "[--mode=jobs|intra]")
+    binary = args[0]
+    scale = args[1] if len(args) > 1 else "0.05"
+
+    if mode == "jobs":
+        compare_json(binary, scale, "jobs", ["--profile", "--audit"],
+                     "profile+audit")
+    elif mode == "intra":
+        compare_json(binary, scale, "intra-jobs", [], "engine")
+        compare_json(binary, scale, "intra-jobs", ["--profile", "--audit"],
+                     "profile+audit")
+        compare_evlog(binary, scale, "intra-jobs")
+    else:
+        sys.exit(f"unknown --mode={mode}")
     return 0
 
 

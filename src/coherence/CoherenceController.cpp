@@ -14,6 +14,7 @@
 #include "src/obs/SharingProfiler.h"
 #include "src/verify/ProtocolAuditor.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace warden;
@@ -40,7 +41,9 @@ CoherenceController::CoherenceController(const MachineConfig &Config,
       Regions(Faults.RegionTableCapacity >= 0
                   ? static_cast<unsigned>(Faults.RegionTableCapacity)
                   : Config.Features.RegionTableCapacity),
-      Faults(Faults), FaultRng(Faults.Seed) {
+      Faults(Faults),
+      FaultsArmed(Faults.EvictionRate > 0.0 || Faults.ReconcileRate > 0.0),
+      FaultRng(Faults.Seed) {
   CacheGeometry L1Geometry(static_cast<std::uint64_t>(Config.L1SizeKB) * 1024,
                            Config.L1Assoc, Config.BlockSize);
   CacheGeometry L2Geometry(static_cast<std::uint64_t>(Config.L2SizeKB) * 1024,
@@ -201,17 +204,24 @@ Cycles CoherenceController::access(CoreId Core, Addr Address, unsigned Size,
   }
 
   Cycles Total = 0;
-  Addr Current = Address;
-  unsigned Remaining = Size;
-  while (Remaining > 0) {
-    Addr Block = Current & ~(Addr(Config.BlockSize) - 1);
-    unsigned Offset = static_cast<unsigned>(Current - Block);
-    unsigned Chunk = std::min(Remaining, Config.BlockSize - Offset);
-    Total += accessBlock(Core, Block, Offset, Chunk, Type);
-    Current += Chunk;
-    Remaining -= Chunk;
+  Addr Block = Address & ~(Addr(Config.BlockSize) - 1);
+  unsigned Offset = static_cast<unsigned>(Address - Block);
+  if (Offset + Size <= Config.BlockSize) {
+    // The overwhelmingly common case: the access fits one block.
+    Total = accessBlock(Core, Block, Offset, Size, Type);
+  } else {
+    Addr Current = Address;
+    unsigned Remaining = Size;
+    while (Remaining > 0) {
+      Block = Current & ~(Addr(Config.BlockSize) - 1);
+      Offset = static_cast<unsigned>(Current - Block);
+      unsigned Chunk = std::min(Remaining, Config.BlockSize - Offset);
+      Total += accessBlock(Core, Block, Offset, Chunk, Type);
+      Current += Chunk;
+      Remaining -= Chunk;
+    }
   }
-  if (Faults.EvictionRate > 0.0 || Faults.ReconcileRate > 0.0)
+  if (FaultsArmed)
     injectFaults(Core, Address & ~(Addr(Config.BlockSize) - 1));
   if (LoadLatencyHist) {
     switch (Type) {
@@ -268,14 +278,15 @@ Cycles CoherenceController::accessBlock(CoreId Core, Addr Block,
     ++Stats.WardRegionAccesses;
 
   ++Stats.L1Accesses;
-  unsigned Level = Private[Core].hitLevel(Block);
+  PrivateCache::AccessHit Hit = Private[Core].probeAccess(Block);
+  unsigned Level = Hit.Level;
   if (Level != 1)
     ++Stats.L2Accesses;
 
   Cycles Lat = 0;
   bool NeedMiss = (Level == 0);
   if (!NeedMiss) {
-    CacheLine *Line = Private[Core].line(Block);
+    CacheLine *Line = Hit.Auth;
     assert(Line && "hit without a line");
     if (Type == AccessType::Load) {
       Lat = (Level == 1) ? Latency.l1Hit() : Latency.l2Hit();
@@ -317,7 +328,9 @@ Cycles CoherenceController::accessBlock(CoreId Core, Addr Block,
     Lat = missPath(Core, Block, Type);
 
   if (Type != AccessType::Load) {
-    CacheLine *Line = Private[Core].line(Block);
+    // The hit probe's line stays valid on the pure-hit path; a miss may
+    // have filled (and displaced) lines, so re-fetch the pointer then.
+    CacheLine *Line = NeedMiss ? Private[Core].line(Block) : Hit.Auth;
     assert(Line && "store completed without a resident line");
     assert((Line->State == LineState::Modified ||
             Line->State == LineState::Ward) &&
@@ -338,6 +351,88 @@ Cycles CoherenceController::accessBlock(CoreId Core, Addr Block,
       Prof->onWrite(Block, Core, Offset, Size);
   }
   return Lat;
+}
+
+bool CoherenceController::tryLocalHit(CoreId Core, Addr Block,
+                                      unsigned Offset, unsigned Size,
+                                      AccessType Type,
+                                      LocalHitCounters &Delta,
+                                      RegionTable::RegionSpan &Span,
+                                      Cycles &Lat) {
+  // Mirror of access()+accessBlock()'s hit path, but against the caller's
+  // private accumulators. Region lookups go through the caller's span
+  // cache (never the table's shared MRU); region ops end epochs, so the
+  // table cannot change under a worker.
+  if (!Span.covers(Block))
+    Regions.lookupSpan(Block, Span);
+  bool InRegion = Span.Id != InvalidRegion;
+
+  if (Type != AccessType::Load) {
+    // Pre-qualify stores/RMWs with a recency-free probe: a miss or a
+    // Shared copy routes through serveMiss()/upgradeStoreHit() — an
+    // interaction point, left to the serial residue. Rejecting before the
+    // stamping probe below matters: its L1-refill side effect would
+    // otherwise turn the replayed access's L2 hit into an L1 hit.
+    const CacheLine *Pre = Private[Core].line(Block);
+    if (!Pre || Pre->State == LineState::Shared)
+      return false;
+  }
+
+  PrivateCache::AccessHit Hit = Private[Core].probeAccess(Block);
+  if (Hit.Level == 0) {
+    // Load miss; the probe mutated nothing (lookups only stamp hits), so
+    // the serial replay through access() starts from identical state.
+    return false;
+  }
+  CacheLine *Line = Hit.Auth;
+  if (Type != AccessType::Load) {
+    assert(Line->State != LineState::Shared && "pre-qualified state changed");
+    if (Line->State == LineState::Exclusive)
+      Line->State = LineState::Modified; // Silent E->M upgrade.
+  }
+
+  if (InRegion)
+    ++Delta.WardRegionAccesses;
+  ++Delta.L1Accesses;
+  if (Hit.Level != 1)
+    ++Delta.L2Accesses;
+  switch (Type) {
+  case AccessType::Load:
+    ++Delta.Loads;
+    break;
+  case AccessType::Store:
+    ++Delta.Stores;
+    break;
+  case AccessType::Rmw:
+    ++Delta.Rmws;
+    break;
+  }
+  Lat = (Hit.Level == 1) ? Latency.l1Hit() : Latency.l2Hit();
+  ++(Hit.Level == 1 ? Delta.L1Hits : Delta.L2Hits);
+  if (Type != AccessType::Load)
+    Line->Dirty.markWritten(Offset, Size);
+  return true;
+}
+
+void CoherenceController::mergeLocalHits(const LocalHitCounters &Delta) {
+  Stats.Loads += Delta.Loads;
+  Stats.Stores += Delta.Stores;
+  Stats.Rmws += Delta.Rmws;
+  Stats.L1Hits += Delta.L1Hits;
+  Stats.L2Hits += Delta.L2Hits;
+  Stats.L1Accesses += Delta.L1Accesses;
+  Stats.L2Accesses += Delta.L2Accesses;
+  Stats.WardRegionAccesses += Delta.WardRegionAccesses;
+}
+
+bool CoherenceController::epochLocalHitsAllowed() const {
+  if (!Backend->epochInteractions().PrivateHitsAreLocal)
+    return false;
+  if (Auditor || Obs || Prof || Cpi || Evl)
+    return false; // Per-access observers need the serial interleaving.
+  if (FaultsArmed || Faults.Mutation != ProtocolMutation::None)
+    return false; // Fault draws are ordered by the serial access stream.
+  return true;
 }
 
 Cycles CoherenceController::missPath(CoreId Core, Addr Block,

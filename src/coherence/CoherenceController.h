@@ -100,6 +100,31 @@ public:
   Cycles syncAcquire(CoreId Core) { return Backend->syncAcquire(Core); }
   Cycles syncRelease(CoreId Core) { return Backend->syncRelease(Core); }
 
+  // --- Epoch-engine batched hit path ---------------------------------------
+  /// Attempts to serve a single-block access as a private-cache hit,
+  /// touching only \p Core's own arrays plus the caller's accumulators —
+  /// the thread-safe kernel of the replayer's epoch workers (one worker
+  /// per core, no two workers share a core). On success the latency is
+  /// stored in \p Lat, counter deltas go to \p Delta, and true is
+  /// returned. Returns false — leaving everything except cache recency
+  /// unchanged — when the access misses, needs a Shared-store upgrade, or
+  /// leaves \p Span's cached region interval; the caller then replays the
+  /// access through the serial access() path, whose fresh probe re-stamps
+  /// the same line (recency is idempotent: the line is already MRU).
+  bool tryLocalHit(CoreId Core, Addr Block, unsigned Offset, unsigned Size,
+                   AccessType Type, LocalHitCounters &Delta,
+                   RegionTable::RegionSpan &Span, Cycles &Lat);
+
+  /// Folds an epoch worker's hit deltas into the global stats. Called at
+  /// the epoch barrier, serially, in fixed core order.
+  void mergeLocalHits(const LocalHitCounters &Delta);
+
+  /// True when the configuration lets the epoch engine harvest hit runs
+  /// off the serial timeline: the backend declares private hits core-local
+  /// and nothing is watching individual accesses (no auditor, no
+  /// observability sinks, no armed fault plan).
+  bool epochLocalHitsAllowed() const;
+
   /// End-of-run drain: writes every dirty private line back to its home
   /// LLC and every dirty LLC line back to DRAM, counting the traffic (no
   /// latency — this models the write-back work a longer execution would
@@ -184,6 +209,9 @@ private:
   FlatMap<Addr, SocketId> PageHome;
 
   FaultPlan Faults;
+  /// Cached "any per-access fault draws needed" flag, hoisted out of the
+  /// access hot loop (the plan is immutable after construction).
+  bool FaultsArmed = false;
   Rng FaultRng;             ///< Private stream; replayable from Faults.Seed.
   ProtocolAuditor *Auditor = nullptr; ///< Optional observer; not owned.
 

@@ -123,6 +123,23 @@ struct CoherenceStats {
   }
 };
 
+/// The subset of CoherenceStats a private-cache hit increments. Epoch
+/// workers accumulate hits into a per-core instance of this struct and the
+/// controller merges them at the epoch barrier — every field is a pure sum,
+/// so the merged totals are independent of worker interleaving.
+struct LocalHitCounters {
+  std::uint64_t Loads = 0;
+  std::uint64_t Stores = 0;
+  std::uint64_t Rmws = 0;
+  std::uint64_t L1Hits = 0;
+  std::uint64_t L2Hits = 0;
+  std::uint64_t L1Accesses = 0;
+  std::uint64_t L2Accesses = 0;
+  std::uint64_t WardRegionAccesses = 0;
+
+  void clear() { *this = LocalHitCounters(); }
+};
+
 } // namespace warden
 
 #endif // WARDEN_COHERENCE_COHERENCESTATS_H

@@ -17,6 +17,15 @@
 
 using namespace warden;
 
+EpochInteractions MesiProtocol::epochInteractions() const {
+  // Eager invalidation: hits never consult the directory, and the sync
+  // hooks stay the inherited strict no-ops.
+  EpochInteractions Decl;
+  Decl.PrivateHitsAreLocal = true;
+  Decl.SyncHooksAreFree = true;
+  return Decl;
+}
+
 Cycles MesiProtocol::serveMiss(CoreId Core, Addr Block, AccessType Type) {
   DirEntry &Entry = dir()[Block];
   return serveMesiMiss(Core, Block, Type, Entry);

@@ -29,6 +29,10 @@ public:
 
   Cycles serveMiss(CoreId Core, Addr Block, AccessType Type) override;
   void evictLine(CoreId Core, const EvictedLine &Victim) override;
+  /// Eager directory protocol: private hits are core-local and the sync
+  /// hooks are strict no-ops. Inherited by WardenProtocol, whose extra
+  /// WARD machinery only engages on misses and region instructions.
+  EpochInteractions epochInteractions() const override;
 
 protected:
   /// Derived-protocol constructor (WardenProtocol reports its own kind).

@@ -24,18 +24,23 @@ void PrivateCache::attachMetrics(MetricRegistry *Registry) {
 }
 
 unsigned PrivateCache::hitLevel(Addr Block) {
+  return probeAccess(Block).Level;
+}
+
+PrivateCache::AccessHit PrivateCache::probeAccess(Addr Block) {
   if (L1.lookup(Block)) {
     // Keep the L2 copy's recency in step so inclusion victims are cold.
-    L2.lookup(Block);
-    return 1;
+    // Inclusion guarantees the lookup hits; it is the authoritative line.
+    CacheLine *Auth = L2.lookup(Block);
+    return {1, Auth};
   }
-  if (L2.lookup(Block)) {
+  if (CacheLine *Auth = L2.lookup(Block)) {
     // Refill the L1; its victim is silently dropped (data remains in L2).
     if (!L1.probe(Block))
       L1.insert(Block, LineState::Shared);
-    return 2;
+    return {2, Auth};
   }
-  return 0;
+  return {0, nullptr};
 }
 
 CacheLine *PrivateCache::line(Addr Block) { return L2.probe(Block); }

@@ -43,6 +43,18 @@ public:
   /// a miss.
   unsigned hitLevel(Addr Block);
 
+  /// Result of a combined hit-level/authoritative-line probe.
+  struct AccessHit {
+    unsigned Level = 0;        ///< 1 = L1 hit, 2 = L2 hit, 0 = miss.
+    CacheLine *Auth = nullptr; ///< The authoritative L2 line on a hit.
+  };
+
+  /// hitLevel() fused with the authoritative-line fetch: the L2 recency
+  /// lookup the probe performs anyway already yields the authoritative
+  /// line, so a hit costs one array search fewer than hitLevel() + line().
+  /// Identical recency and state side effects to hitLevel().
+  AccessHit probeAccess(Addr Block);
+
   /// Returns the authoritative (L2) line for \p Block, or nullptr.
   CacheLine *line(Addr Block);
   const CacheLine *line(Addr Block) const;

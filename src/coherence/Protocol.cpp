@@ -68,6 +68,10 @@ ConsistencyModel CoherenceProtocol::consistencyModel() const {
   return ConsistencyModel::ScForDrf;
 }
 
+EpochInteractions CoherenceProtocol::epochInteractions() const {
+  return EpochInteractions(); // Conservative: no core-local claims.
+}
+
 bool CoherenceProtocol::upgradeStoreHit(CoreId Core, Addr Block) {
   (void)Core;
   (void)Block;

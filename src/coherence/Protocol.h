@@ -122,6 +122,29 @@ enum class ConsistencyModel {
 /// "release-acquire") used in reports and litmus assertions.
 const char *consistencyModelName(ConsistencyModel Model);
 
+/// Scheduler-visible interaction points a backend declares to the epoch
+/// engine (sched/Epoch.h). The replayer's epoch-barriered parallel mode
+/// advances cores independently only between cross-core interaction
+/// points; these flags tell it which operations a backend promises are
+/// core-local. Declarations are conservative by default so an out-of-tree
+/// backend registered through registerProtocol() is never parallelized
+/// beyond what it explicitly opts into; tests/EpochTest.cpp asserts each
+/// built-in backend's declaration against its actual hook behaviour.
+struct EpochInteractions {
+  /// Private-cache hits touch no protocol or shared state: loads on any
+  /// valid copy, and stores/RMWs on an Exclusive/Modified/Ward copy
+  /// (including the silent E->M upgrade), mutate only the acting core's
+  /// own cache arrays. Store hits on Shared copies are excluded — they
+  /// route through upgradeStoreHit(), an interaction point. All four
+  /// built-in backends satisfy this; a backend that observes or logs hit
+  /// traffic must leave it false.
+  bool PrivateHitsAreLocal = false;
+  /// syncAcquire()/syncRelease() are strict no-ops returning 0 (eager
+  /// protocols). Lazy protocols (SISD, racoh) do real cross-core work in
+  /// these hooks, making every task boundary an interaction point.
+  bool SyncHooksAreFree = false;
+};
+
 /// Kind of demand access.
 enum class AccessType {
   Load,  ///< Blocking read.
@@ -147,6 +170,11 @@ public:
   /// harness asserts against. Eager directory protocols default to
   /// SC-for-DRF; lazy self-invalidation protocols override.
   virtual ConsistencyModel consistencyModel() const;
+
+  /// The backend's core-local operation declarations, consulted by the
+  /// epoch-barriered replay engine. The default claims nothing, which
+  /// disables intra-run parallelism for backends that do not opt in.
+  virtual EpochInteractions epochInteractions() const;
 
   /// Serves a demand miss (or write-upgrade miss) by \p Core on \p Block.
   /// The controller has already charged the trip to the home slice and

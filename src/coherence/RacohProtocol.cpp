@@ -41,6 +41,17 @@ ConsistencyModel RacohProtocol::consistencyModel() const {
   return ConsistencyModel::ReleaseAcquire;
 }
 
+EpochInteractions RacohProtocol::epochInteractions() const {
+  // Store hits on Modified/Ward copies append nothing (records are logged
+  // at miss/upgrade time), so private hits stay core-local; releases
+  // publish logs and acquires drain them, so the sync hooks are anything
+  // but free.
+  EpochInteractions Decl;
+  Decl.PrivateHitsAreLocal = true;
+  Decl.SyncHooksAreFree = false;
+  return Decl;
+}
+
 unsigned RacohProtocol::numNodes() const {
   return std::max(config().NumNodes, 1u);
 }

@@ -65,6 +65,7 @@ public:
   /// Same contract as SISD: writes become visible at releases, staleness
   /// is shed (selectively) at acquires.
   ConsistencyModel consistencyModel() const override;
+  EpochInteractions epochInteractions() const override;
 
   Cycles serveMiss(CoreId Core, Addr Block, AccessType Type) override;
   bool upgradeStoreHit(CoreId Core, Addr Block) override;

@@ -75,23 +75,36 @@ std::optional<WardRegion> RegionTable::remove(RegionId Id) {
 }
 
 RegionId RegionTable::lookup(Addr Address) const {
-  if (Address >= MruLo && Address < MruHi)
-    return MruId;
-  if (ByStart.empty())
+  if (Mru[0].covers(Address))
+    return Mru[0].Id;
+  if (Mru[1].covers(Address)) {
+    std::swap(Mru[0], Mru[1]); // Promote; the pair keeps alternating hits.
+    return Mru[0].Id;
+  }
+  RegionSpan Span;
+  RegionId Id = lookupSpan(Address, Span);
+  fillMru(Span.Lo, Span.Hi, Span.Id);
+  return Id;
+}
+
+RegionId RegionTable::lookupSpan(Addr Address, RegionSpan &Span) const {
+  if (ByStart.empty()) {
+    Span = {0, std::numeric_limits<Addr>::max(), InvalidRegion};
     return InvalidRegion;
+  }
   std::size_t Next = upperBound(Address);
   if (Next > 0 && Address < ByStart[Next - 1].End) {
     const Interval &Hit = ByStart[Next - 1];
-    fillMru(Hit.Start, Hit.End, Hit.Id);
+    Span = {Hit.Start, Hit.End, Hit.Id};
     return Hit.Id;
   }
-  // Miss: cache the surrounding gap so repeated non-WARD addresses (the
+  // Miss: report the surrounding gap so repeated non-WARD addresses (the
   // common case under MESI) resolve without another search.
   Addr GapLo = Next > 0 ? ByStart[Next - 1].End : 0;
   Addr GapHi = Next < ByStart.size()
                    ? ByStart[Next].Start
                    : std::numeric_limits<Addr>::max();
-  fillMru(GapLo, GapHi, InvalidRegion);
+  Span = {GapLo, GapHi, InvalidRegion};
   return InvalidRegion;
 }
 

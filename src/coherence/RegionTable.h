@@ -78,6 +78,24 @@ public:
   /// InvalidRegion.
   RegionId lookup(Addr Address) const;
 
+  /// A resolved interval (an active region or the gap between two): every
+  /// address in [Lo, Hi) maps to Id. Callers that batch lookups keep one of
+  /// these as a private cache. Default-constructed spans cover nothing.
+  struct RegionSpan {
+    Addr Lo = 1;
+    Addr Hi = 0; ///< Exclusive; empty when Lo > Hi.
+    RegionId Id = InvalidRegion;
+
+    bool covers(Addr Address) const { return Address >= Lo && Address < Hi; }
+  };
+
+  /// lookup() without the shared MRU cache: resolves \p Address and fills
+  /// \p Span with the whole surrounding interval (region or gap). Touches
+  /// no mutable state, so concurrent readers are safe while the table is
+  /// not being modified; epoch workers rely on exactly that (region ops
+  /// are epoch boundaries, freezing the table within an epoch).
+  RegionId lookupSpan(Addr Address, RegionSpan &Span) const;
+
   /// Returns the interval of active region \p Id, or std::nullopt.
   std::optional<WardRegion> get(RegionId Id) const;
 
@@ -107,13 +125,18 @@ private:
   /// Caches the answer for every address in [Lo, Hi): Id when that is an
   /// active region's interval, InvalidRegion when it is the gap between two
   /// regions. Misses are cacheable too because the table is sorted — the
-  /// surrounding gap is known the moment the binary search fails.
+  /// surrounding gap is known the moment the binary search fails. The
+  /// previous front entry is demoted to the second slot, so workloads that
+  /// alternate between two intervals (a region and its neighbouring gap —
+  /// the data/deque pattern of every fork-join trace) stay cached.
   void fillMru(Addr Lo, Addr Hi, RegionId Id) const {
-    MruLo = Lo;
-    MruHi = Hi;
-    MruId = Id;
+    Mru[1] = Mru[0];
+    Mru[0] = {Lo, Hi, Id};
   }
-  void invalidateMru() const { MruLo = 1, MruHi = 0; }
+  void invalidateMru() const {
+    Mru[0] = RegionSpan();
+    Mru[1] = RegionSpan();
+  }
 
   unsigned Capacity;
   unsigned Peak = 0;
@@ -122,11 +145,9 @@ private:
   /// Active regions sorted by Start; non-overlapping intervals.
   std::vector<Interval> ByStart;
   FlatMap<RegionId, Addr> ById; ///< Id -> start address.
-  /// One-entry MRU cache: the last interval (region or gap) a lookup
-  /// resolved. Empty when MruLo > MruHi.
-  mutable Addr MruLo = 1;
-  mutable Addr MruHi = 0;
-  mutable RegionId MruId = InvalidRegion;
+  /// Two-entry MRU cache of the last intervals (regions or gaps) lookups
+  /// resolved; Mru[0] is the most recent. Both empty when invalidated.
+  mutable RegionSpan Mru[2];
 };
 
 } // namespace warden

@@ -20,6 +20,18 @@ ConsistencyModel SisdProtocol::consistencyModel() const {
   return ConsistencyModel::ReleaseAcquire;
 }
 
+EpochInteractions SisdProtocol::epochInteractions() const {
+  // Hits are core-local (the local Shared->dirty upgrade notwithstanding,
+  // upgradeStoreHit is an interaction point and excluded by definition),
+  // but the sync hooks do the protocol's real work: self-invalidation at
+  // acquires, self-downgrade at releases. Every task boundary is a
+  // cross-core interaction.
+  EpochInteractions Decl;
+  Decl.PrivateHitsAreLocal = true;
+  Decl.SyncHooksAreFree = false;
+  return Decl;
+}
+
 Cycles SisdProtocol::serveMiss(CoreId Core, Addr Block, AccessType Type) {
   // No directory: every miss is served by the home LLC slice (or the DRAM
   // behind it). Other cores' copies are never consulted or disturbed —

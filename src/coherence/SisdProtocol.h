@@ -44,6 +44,7 @@ public:
   /// Writes become visible at releases, staleness is shed at acquires —
   /// the release-acquire contract the litmus harness checks.
   ConsistencyModel consistencyModel() const override;
+  EpochInteractions epochInteractions() const override;
 
   Cycles serveMiss(CoreId Core, Addr Block, AccessType Type) override;
   bool upgradeStoreHit(CoreId Core, Addr Block) override;

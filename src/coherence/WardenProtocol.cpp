@@ -17,6 +17,16 @@
 
 using namespace warden;
 
+EpochInteractions WardenProtocol::epochInteractions() const {
+  // Identical to MESI: WARD machinery engages only on misses, region
+  // instructions, and evictions — hits (including Ward-state hits) touch
+  // only the acting core's private arrays.
+  EpochInteractions Decl;
+  Decl.PrivateHitsAreLocal = true;
+  Decl.SyncHooksAreFree = true;
+  return Decl;
+}
+
 Cycles WardenProtocol::serveMiss(CoreId Core, Addr Block, AccessType Type) {
   DirEntry &Entry = dir()[Block];
   RegionId Region = regions().lookup(Block);

@@ -33,6 +33,10 @@ public:
   Cycles removeRegion(const WardRegion &Region, RegionId Id,
                       CoreId Remover) override;
   void forceReconcile(Addr Block) override;
+  /// Same declaration as MESI, restated explicitly: hits on Ward-state
+  /// lines are the paper's whole point — reads and writes inside an active
+  /// region touch only the owning core's copy, so they are core-local too.
+  EpochInteractions epochInteractions() const override;
 
 private:
   /// Serves a request for a block inside an active WARD region.

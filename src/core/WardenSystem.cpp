@@ -79,6 +79,7 @@ RunResult WardenSystem::simulate(const TaskGraph &Graph,
   Replayer Replay(Graph, Controller, Options.Seed);
   if (Options.Obs)
     Replay.attachObs(Options.Obs);
+  Replay.setIntraJobs(Options.IntraJobs);
   ReplayResult Timing = Replay.run();
 
   RunResult Result;

@@ -67,6 +67,11 @@ struct RunOptions {
   /// machine, so a pooled run is byte-identical to a serial one — this
   /// changes host wall time only, never simulated results.
   JobPool *Pool = nullptr;
+  /// Intra-run worker count for the replayer's epoch-barriered parallel
+  /// engine (1 = serial; the default). Harvesting is semantics-preserving,
+  /// so any value produces byte-identical results — this changes host wall
+  /// time only, never simulated output.
+  unsigned IntraJobs = 1;
 };
 
 /// Complete outcome of one timed simulation.

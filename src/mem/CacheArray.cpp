@@ -33,7 +33,7 @@ CacheArray::CacheArray(const CacheGeometry &Geometry)
       // of the array's nominal capacity.
       Storage(new std::byte[static_cast<std::size_t>(Geometry.NumSets) *
                             Geometry.Assoc * sizeof(CacheLine)]),
-      SetLive(Geometry.NumSets, 0) {}
+      SetLive(Geometry.NumSets, 0), MruWay(Geometry.NumSets, 0) {}
 
 CacheLine *CacheArray::touchSet(unsigned SetIndex) {
   CacheLine *Set = rawSet(SetIndex);
@@ -59,9 +59,17 @@ CacheLine *CacheArray::probe(Addr BlockAddress) {
   if (!SetLive[SetIndex])
     return nullptr; // Untouched set: trivially a miss.
   CacheLine *Set = liveSet(SetIndex);
+  // Most probes re-find the way hit last time (consecutive accesses to a
+  // hot block); checking it first is a pure host-side search-order
+  // shortcut — the result and replacement behaviour are unchanged.
+  const unsigned First = MruWay[SetIndex];
+  if (Set[First].valid() && Set[First].Block == BlockAddress)
+    return &Set[First];
   for (unsigned Way = 0; Way < Geometry.Assoc; ++Way)
-    if (Set[Way].valid() && Set[Way].Block == BlockAddress)
+    if (Way != First && Set[Way].valid() && Set[Way].Block == BlockAddress) {
+      MruWay[SetIndex] = static_cast<std::uint8_t>(Way);
       return &Set[Way];
+    }
   return nullptr;
 }
 
@@ -93,6 +101,8 @@ std::optional<EvictedLine> CacheArray::insert(Addr BlockAddress,
   Victim->State = State;
   Victim->Dirty.clear();
   Victim->LruStamp = NextStamp++;
+  MruWay[Geometry.setIndex(BlockAddress)] =
+      static_cast<std::uint8_t>(Victim - Set);
   return Displaced;
 }
 

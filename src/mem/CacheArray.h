@@ -151,6 +151,9 @@ private:
   std::unique_ptr<std::byte[]> Storage;
   /// One byte per set: nonzero once the set's lines are constructed.
   std::vector<std::uint8_t> SetLive;
+  /// Per-set hint: the way that served the last hit, checked first by
+  /// probe(). Purely a host-side search-order shortcut.
+  std::vector<std::uint8_t> MruWay;
   std::uint64_t NextStamp = 1;
 };
 

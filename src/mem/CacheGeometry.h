@@ -34,6 +34,8 @@ struct CacheGeometry {
            "size must be divisible by way size");
     NumSets = static_cast<unsigned>(SizeBytes / Assoc / BlockSize);
     assert(NumSets > 0 && "cache must have at least one set");
+    BlockShift = log2Exact(BlockSize);
+    SetMask = isPowerOf2(NumSets) ? NumSets - 1 : 0;
   }
 
   std::uint64_t sizeBytes() const {
@@ -48,10 +50,20 @@ struct CacheGeometry {
     return static_cast<unsigned>(Address & (BlockSize - 1));
   }
 
-  /// Set index for a block-aligned address.
+  /// Set index for a block-aligned address. Both divisors are loop
+  /// invariants of every simulated access, so the common all-power-of-two
+  /// geometry is reduced to a shift and a mask at construction time.
   unsigned setIndex(Addr BlockAddress) const {
-    return static_cast<unsigned>((BlockAddress / BlockSize) % NumSets);
+    Addr BlockNumber = BlockAddress >> BlockShift;
+    if (SetMask)
+      return static_cast<unsigned>(BlockNumber & SetMask);
+    return static_cast<unsigned>(BlockNumber % NumSets);
   }
+
+  /// Precomputed log2(BlockSize); BlockSize is always a power of two.
+  unsigned BlockShift = 6;
+  /// NumSets - 1 when NumSets is a power of two, else 0 (modulo fallback).
+  unsigned SetMask = 0;
 };
 
 } // namespace warden

@@ -1,0 +1,63 @@
+//===- sched/Epoch.cpp - Epoch-barriered parallel replay support ----------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/sched/Epoch.h"
+
+using namespace warden;
+
+void warden::stageEpochPrefix(const Strand &S, std::size_t From, Cycles Now,
+                              Cycles Bound, const EpochLimits &Limits,
+                              EpochBatch &Out) {
+  Cycles MinExit = Now;
+  const Addr BlockMask = ~(Addr(Limits.BlockSize) - 1);
+  const std::size_t End =
+      std::min(S.Events.size(), From + Limits.MaxEvents);
+  std::size_t I = From;
+  for (; I < End && MinExit < Bound; ++I) {
+    const TraceEvent &E = S.Events[I];
+    if (E.Op == TraceOp::Work) {
+      MinExit += E.Extra;
+      continue;
+    }
+    if (E.Op == TraceOp::MarkRegion || E.Op == TraceOp::UnmarkRegion)
+      break; // Region instructions mutate the shared region table.
+    const Addr Block = E.Address & BlockMask;
+    const Addr Offset = E.Address - Block;
+    if (E.Size == 0 ||                        // Rejected-access path.
+        Offset + E.Size > Limits.BlockSize || // Block-crossing split.
+        (Block >= Limits.DequeLo && Block < Limits.DequeHi))
+      break;
+    MinExit += 1; // Every access advances the core by at least one cycle.
+  }
+  Out.Ev = S.Events.data() + From;
+  Out.Count = I - From;
+  Out.MinExit = MinExit;
+}
+
+void EpochConflicts::addFootprint(const EpochBatch &Batch, Addr BlockMask) {
+  const std::uint64_t Tag = Gen << TokenBits;
+  const std::uint64_t Mine = Tag | NextToken++;
+  Addr Last = ~Addr(0);
+  for (std::size_t I = 0; I < Batch.Count; ++I) {
+    const TraceEvent &E = Batch.Ev[I];
+    if (E.Op == TraceOp::Work)
+      continue;
+    const Addr Block = E.Address & BlockMask;
+    if (Block == Last)
+      continue; // Consecutive same-block run: already registered.
+    Last = Block;
+    auto [It, Inserted] = Owners.try_emplace(Block, Mine);
+    if (Inserted)
+      continue;
+    const std::uint64_t V = It.value();
+    if ((V >> TokenBits) != Gen)
+      It.value() = Mine; // Stale entry from an earlier epoch.
+    else if (V != Mine) {
+      It.value() = Tag | Multi;
+      Contention = true;
+    }
+  }
+}

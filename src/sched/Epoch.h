@@ -1,0 +1,143 @@
+//===- sched/Epoch.h - Epoch-barriered parallel replay support -*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Building blocks of the replayer's epoch-barriered intra-run parallel
+/// mode (DESIGN.md "Execution engine"). An *epoch* is a conservative window
+/// in which cores advance independently: each core's stageable strand
+/// prefix is snapshotted into a struct-of-arrays batch, the batches'
+/// block footprints are intersected to find contended blocks, and a global
+/// horizon T* = min over cores of the earliest time a core can perform its
+/// first unstaged action bounds how far any worker may run. Every event a
+/// worker executes completes at sim time <= T*, and every action outside
+/// the staged prefixes (strand completions, steals, sync hooks, region
+/// instructions, misses) starts at sim time >= T*, so the harvested events
+/// commute with the serial residue and the merged run is byte-identical to
+/// a fully serial one at any worker count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_SCHED_EPOCH_H
+#define WARDEN_SCHED_EPOCH_H
+
+#include "src/coherence/CoherenceStats.h"
+#include "src/support/FlatMap.h"
+#include "src/support/Types.h"
+#include "src/trace/TaskGraph.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace warden {
+
+/// Bounds on what stageEpochPrefix() may stage.
+struct EpochLimits {
+  unsigned BlockSize = 64;
+  /// Deque-line address range [DequeLo, DequeHi): scheduler
+  /// synchronization traffic, never staged. Recorded application traces
+  /// cannot touch it (the heap starts far above), but hand-built test
+  /// graphs can.
+  Addr DequeLo = 0;
+  Addr DequeHi = 0;
+  /// Staged-prefix cap per core per epoch, bounding staging cost when the
+  /// harvest aborts early.
+  std::size_t MaxEvents = 2048;
+};
+
+/// The stageable prefix of one core's current strand: a zero-copy view
+/// into the strand's own event array. Staging guarantees every event in
+/// [Ev, Ev + Count) is a Work burst or a plain single-block, non-deque
+/// access, so workers execute straight off the recorded trace.
+struct EpochBatch {
+  const TraceEvent *Ev = nullptr;
+  std::size_t Count = 0;
+  /// Earliest sim time the owning core can perform its first unstaged
+  /// action: the core's clock plus the summed minimum advance of every
+  /// staged event (Work advances exactly its cycle count; every access
+  /// advances at least one cycle). The epoch horizon is the minimum of
+  /// this over all cores (idle cores contribute their raw clock — a steal
+  /// is an immediate interaction).
+  Cycles MinExit = 0;
+
+  std::size_t size() const { return Count; }
+};
+
+/// Delimits the stageable prefix of \p S.Events[From..] for a core whose
+/// clock is \p Now into \p Out. Staging stops at the first region
+/// instruction, zero-size access, block-crossing access, deque-line
+/// access, after Limits.MaxEvents events, or once the core's earliest-exit
+/// time reaches \p Bound — an upper estimate of the epoch horizon: events
+/// past it cannot start this epoch, so staging them is pure waste.
+/// Truncation is always safe (MinExit stays the first *unstaged* action's
+/// earliest time, so the horizon only gets more conservative). Pure
+/// function of its inputs.
+void stageEpochPrefix(const Strand &S, std::size_t From, Cycles Now,
+                      Cycles Bound, const EpochLimits &Limits,
+                      EpochBatch &Out);
+
+/// Cross-core staged-footprint intersection: block -> staging core token,
+/// or the Multi sentinel once a second core stages the same block. Workers
+/// stop before touching any contended block; the contended subset is
+/// arbitrated by the serial residue.
+///
+/// Entries are generation-stamped rather than erased: beginEpoch() bumps
+/// the generation, making every surviving entry stale in O(1) instead of
+/// paying a full table clear per epoch attempt. The table grows to the
+/// run's staged-block universe and stays there.
+class EpochConflicts {
+public:
+  void beginEpoch() {
+    ++Gen;
+    NextToken = 0;
+    Contention = false;
+  }
+
+  /// Registers one staged batch's blocks under a fresh owner token.
+  void addFootprint(const EpochBatch &Batch, Addr BlockMask);
+
+  /// True when any block is staged by two or more cores. When false,
+  /// workers skip the per-access contended() lookup entirely.
+  bool hasContention() const { return Contention; }
+
+  /// True when two or more staged cores touch \p Block.
+  bool contended(Addr Block) const {
+    auto It = Owners.find(Block);
+    return It != Owners.end() && It.value() == (Gen << TokenBits | Multi);
+  }
+
+private:
+  static constexpr std::uint64_t TokenBits = 10; ///< Cores per epoch < 1023.
+  static constexpr std::uint64_t Multi = (std::uint64_t(1) << TokenBits) - 1;
+  std::uint64_t Gen = 0;
+  std::uint64_t NextToken = 0;
+  bool Contention = false;
+  /// Value: current generation << TokenBits | owner token (Multi once a
+  /// second core stages the block). Entries from older generations are
+  /// treated as absent and overwritten in place.
+  FlatMap<Addr, std::uint64_t> Owners;
+};
+
+/// Per-core accumulator an epoch worker fills: the scheduler- and
+/// coherence-side counter deltas of its harvested events, merged at the
+/// barrier in fixed core order (every field is a pure sum, so merged
+/// totals are independent of worker interleaving).
+struct EpochDelta {
+  LocalHitCounters Hits;
+  std::uint64_t Instructions = 0;
+  Cycles StoreStallCycles = 0;
+  std::size_t Executed = 0; ///< Events consumed from the staged batch.
+
+  void clear() {
+    Hits.clear();
+    Instructions = 0;
+    StoreStallCycles = 0;
+    Executed = 0;
+  }
+};
+
+} // namespace warden
+
+#endif // WARDEN_SCHED_EPOCH_H

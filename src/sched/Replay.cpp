@@ -12,6 +12,7 @@
 #include "src/obs/MetricRegistry.h"
 #include "src/obs/Observability.h"
 #include "src/obs/TimelineSampler.h"
+#include "src/support/JobPool.h"
 
 #include <algorithm>
 #include <cassert>
@@ -26,7 +27,11 @@ Replayer::Replayer(const TaskGraph &Graph, CoherenceController &Controller,
   for (StrandId Id = 0; Id < Graph.size(); ++Id)
     JoinPending[Id] = Graph.strand(Id).PendingJoin;
   Remaining = Graph.size();
+  for (Core &C : Cores)
+    C.StoreBuffer.init(Config.StoreBufferEntries);
 }
+
+Replayer::~Replayer() = default;
 
 void Replayer::attachObs(Observability *NewObs) {
   Obs = NewObs;
@@ -301,6 +306,15 @@ void Replayer::tryObtainWork(CoreId Id, Core &C) {
 }
 
 ReplayResult Replayer::run() {
+  // Observability sinks (sampler ticks, CPI commits, controller event
+  // timestamps) need the one-event-at-a-time global interleaving; anything
+  // else takes the batched engine. Both produce byte-identical results.
+  if (Obs)
+    return runObserved();
+  return runEngine();
+}
+
+ReplayResult Replayer::runObserved() {
   assert(Graph.root() != InvalidStrand && "graph has no root");
   // Each worker initialises its own deque at startup, which also gives the
   // deque line a sensible first-touch home on the worker's own socket.
@@ -372,4 +386,334 @@ ReplayResult Replayer::run() {
         Cpi->setCoreTime(Id, Cores[Id].Now);
   }
   return Result;
+}
+
+ReplayResult Replayer::runEngine() {
+  assert(Graph.root() != InvalidStrand && "graph has no root");
+  const CoreId NumCores = static_cast<CoreId>(Cores.size());
+  for (CoreId Id = 0; Id < NumCores; ++Id)
+    Controller.access(Id, dequeLine(Id), 8, AccessType::Store);
+  Cores[0].Current = Graph.root();
+
+  ClockOf.assign(NumCores, 0);
+  const Addr BlockMask = ~(Addr(Config.BlockSize) - 1);
+  Limits.BlockSize = Config.BlockSize;
+  Limits.DequeLo = dequeLine(0) & BlockMask;
+  Limits.DequeHi =
+      (dequeLine(NumCores - 1) + 64 + Config.BlockSize - 1) & BlockMask;
+
+  // Epochs need intra-run workers to overlap (at IntraJobs == 1 the
+  // staging/footprint bookkeeping is pure overhead on top of the fused
+  // serial loop), more than one simulated core, and a controller state in
+  // which private hits are provably core-local (protocol opt-in, no
+  // per-access observers, no fault injection). Harvesting is
+  // semantics-preserving, so enabling it changes host time only.
+  const bool EpochsEnabled =
+      NumCores > 1 && IntraJobs > 1 && Controller.epochLocalHitsAllowed();
+  if (EpochsEnabled) {
+    Batches.resize(NumCores);
+    Deltas.resize(NumCores);
+    EpochWorkers.reserve(NumCores);
+    if (IntraJobs > 1 && !IntraPool)
+      IntraPool = std::make_unique<JobPool>(
+          std::min<unsigned>(IntraJobs, NumCores));
+  }
+
+  // Epoch attempts are paced adaptively: staging is wasted work while one
+  // core holds all the strands (startup, final join chains), so thin
+  // harvests back the cadence off exponentially and a good harvest snaps
+  // it back.
+  const std::uint64_t MinCadence = NumCores;
+  const std::uint64_t MaxCadence = std::uint64_t(64) * NumCores;
+  const std::size_t GoodHarvest = std::size_t(8) * NumCores;
+  std::uint64_t Cadence = MinCadence;
+  std::uint64_t Countdown = Cadence;
+
+  // Pick queue: (clock, id) pairs kept lex-ascending, so the front is
+  // always the serial scheduling rule's pick (smallest Now, ties to the
+  // lowest id) and the second entry bounds how long the pick may keep
+  // running without another ordering decision. Between picks only the
+  // picked core's clock changes, so one shift-insertion keeps the queue
+  // sorted; epoch merges move many clocks at once and rebuild it.
+  std::vector<std::pair<Cycles, CoreId>> Order(NumCores);
+  auto RebuildOrder = [&] {
+    for (CoreId Id = 0; Id < NumCores; ++Id)
+      Order[Id] = {ClockOf[Id], Id};
+    std::sort(Order.begin(), Order.end());
+  };
+  RebuildOrder();
+
+  while (Remaining > 0) {
+    if (EpochsEnabled && --Countdown == 0) {
+      std::size_t Harvested = attemptEpoch();
+      Cadence = Harvested >= GoodHarvest ? MinCadence
+                                         : std::min(Cadence * 2, MaxCadence);
+      Countdown = Cadence;
+      if (Harvested)
+        RebuildOrder();
+    }
+
+    const CoreId Chosen = Order[0].second;
+    Core &C = Cores[Chosen];
+    const Cycles RunnerNow = NumCores > 1 ? Order[1].first : NeverIdle;
+    const CoreId RunnerId = NumCores > 1 ? Order[1].second : Chosen;
+    // The pick stays valid while it remains the strict lex-min — a
+    // re-pick would choose it again, so skipping the re-pick is exact.
+    auto StillMin = [&] {
+      return C.Now < RunnerNow || (C.Now == RunnerNow && Chosen < RunnerId);
+    };
+
+    if (C.Current == InvalidStrand) {
+      tryObtainWork(Chosen, C);
+    } else {
+      // Inner run: execute the pick's strand straight off the event array
+      // until the runner-up bound is crossed or the strand completes. This
+      // is step() specialised for the engine (no observability sinks) with
+      // the strand fetch hoisted out of the per-event path.
+      while (true) {
+        const Strand &S = Graph.strand(C.Current);
+        const TraceEvent *Ev = S.Events.data();
+        const std::size_t NumEv = S.Events.size();
+        bool Bounded = false;
+        while (C.NextEvent < NumEv) {
+          const TraceEvent &E = Ev[C.NextEvent];
+          ++C.NextEvent;
+          switch (E.Op) {
+          case TraceOp::Work:
+            C.Now += E.Extra;
+            Stats.Instructions += E.Extra;
+            break;
+          case TraceOp::Load:
+          case TraceOp::Rmw: {
+            Cycles Lat = Controller.access(Chosen, E.Address, E.Size,
+                                           E.Op == TraceOp::Load
+                                               ? AccessType::Load
+                                               : AccessType::Rmw);
+            C.Now += std::max<Cycles>(Lat, 1);
+            Stats.Instructions += 1;
+            break;
+          }
+          case TraceOp::Store: {
+            drainStoreBuffer(C);
+            if (C.StoreBuffer.size() >= Config.StoreBufferEntries) {
+              Cycles Free = C.StoreBuffer.front();
+              assert(Free > C.Now && "expired entry survived drain");
+              Stats.StoreStallCycles += Free - C.Now;
+              C.Now = Free;
+              drainStoreBuffer(C);
+            }
+            Cycles Lat =
+                Controller.access(Chosen, E.Address, E.Size, AccessType::Store);
+            C.StoreBuffer.push_back(C.Now + 1 + Lat +
+                                    Config.StoreRetireCycles *
+                                        static_cast<Cycles>(
+                                            C.StoreBuffer.size()));
+            C.Now += 1; // Issue into the store buffer.
+            Stats.Instructions += 1;
+            break;
+          }
+          case TraceOp::MarkRegion: {
+            Cycles Cost = Controller.addRegion(E.Region, E.Address, E.Extra);
+            C.Now += Cost;
+            Stats.RegionInstrCycles += Cost;
+            if (Config.Protocol == ProtocolKind::Warden)
+              Stats.Instructions += 1;
+            break;
+          }
+          case TraceOp::UnmarkRegion: {
+            Cycles Cost = Controller.removeRegion(E.Region, Chosen);
+            C.Now += Cost;
+            Stats.RegionInstrCycles += Cost;
+            if (Config.Protocol == ProtocolKind::Warden)
+              Stats.Instructions += 1;
+            break;
+          }
+          }
+          if (!StillMin()) {
+            Bounded = C.NextEvent < NumEv;
+            break;
+          }
+        }
+        if (Bounded)
+          break; // Bound crossed mid-strand: someone else's turn.
+        // Strand exhausted: completing it belongs to the pick that ran its
+        // final event, regardless of the bound (one atomic scheduler step).
+        completeStrand(Chosen, C);
+        if (C.Current == InvalidStrand || Remaining == 0 || !StillMin())
+          break;
+      }
+    }
+    ClockOf[Chosen] = C.Now;
+    // Re-insert the pick at its new clock, shifting smaller entries left.
+    const std::pair<Cycles, CoreId> Key{C.Now, Chosen};
+    CoreId Pos = 0;
+    while (Pos + 1 < NumCores && Order[Pos + 1] < Key) {
+      Order[Pos] = Order[Pos + 1];
+      ++Pos;
+    }
+    Order[Pos] = Key;
+  }
+
+  ReplayResult Result;
+  Result.Makespan = LastCompletion;
+  Result.Sched = Stats;
+  return Result;
+}
+
+std::size_t Replayer::attemptEpoch() {
+  const CoreId NumCores = static_cast<CoreId>(Cores.size());
+  // Idle cores interact immediately (their next pick is a steal attempt),
+  // so they bound the horizon before any staging happens. The common
+  // starved case — an idle core at or below every busy clock — admits no
+  // epoch at all; detect it before paying for any staging.
+  Cycles IdleMin = NeverIdle;
+  Cycles BusyMin = NeverIdle;
+  for (CoreId Id = 0; Id < NumCores; ++Id) {
+    const Core &C = Cores[Id];
+    if (C.Current == InvalidStrand)
+      IdleMin = std::min(IdleMin, C.Now);
+    else
+      BusyMin = std::min(BusyMin, C.Now);
+  }
+  if (BusyMin == NeverIdle || IdleMin <= BusyMin)
+    return 0;
+
+  // Stage busy cores in ascending clock order under a running horizon
+  // bound: each core stops staging once its earliest exit reaches the
+  // bound the earlier (lex-smaller) cores established, so the staging work
+  // per attempt tracks the epoch's actual width instead of the cap.
+  StageOrder.clear();
+  for (CoreId Id = 0; Id < NumCores; ++Id)
+    if (Cores[Id].Current != InvalidStrand && Cores[Id].Now < IdleMin)
+      StageOrder.emplace_back(Cores[Id].Now, Id);
+  std::sort(StageOrder.begin(), StageOrder.end());
+
+  Limits.MaxEvents = StageCap;
+  Cycles Horizon = IdleMin;
+  EpochWorkers.clear();
+  std::size_t Staged = 0;
+  for (const auto &[Clock, Id] : StageOrder) {
+    Core &C = Cores[Id];
+    if (C.Now >= Horizon)
+      continue; // Unstaged cores act at >= Now >= Horizon: residue order.
+    stageEpochPrefix(Graph.strand(C.Current), C.NextEvent, C.Now, Horizon,
+                     Limits, Batches[Id]);
+    Staged += Batches[Id].size();
+    EpochWorkers.push_back(Id);
+    Horizon = std::min(Horizon, Batches[Id].MinExit);
+  }
+  // Staging may have lowered the horizon below an earlier candidate's
+  // clock; drop those — their staged events belong to the serial residue.
+  std::size_t Kept = 0;
+  for (CoreId Id : EpochWorkers)
+    if (Cores[Id].Now < Horizon)
+      EpochWorkers[Kept++] = Id;
+  EpochWorkers.resize(Kept);
+  if (EpochWorkers.empty())
+    return 0;
+
+  Conflicts.beginEpoch();
+  if (EpochWorkers.size() > 1) {
+    const Addr BlockMask = ~(Addr(Limits.BlockSize) - 1);
+    for (CoreId Id : EpochWorkers)
+      Conflicts.addFootprint(Batches[Id], BlockMask);
+  }
+  for (CoreId Id : EpochWorkers)
+    Deltas[Id].clear();
+
+  const Cycles Bound = Horizon;
+  if (IntraPool && EpochWorkers.size() > 1)
+    IntraPool->parallelFor(EpochWorkers.size(), [this, Bound](std::size_t I) {
+      runEpochBatch(EpochWorkers[I], Bound);
+    });
+  else
+    for (CoreId Id : EpochWorkers)
+      runEpochBatch(Id, Bound);
+
+  // Merge in fixed core order. Every delta field is a pure sum, so the
+  // merged totals are independent of worker interleaving — and identical
+  // to what the serial loop would have accumulated event by event.
+  std::size_t Harvested = 0;
+  for (CoreId Id : EpochWorkers) {
+    const EpochDelta &D = Deltas[Id];
+    Harvested += D.Executed;
+    Stats.Instructions += D.Instructions;
+    Stats.StoreStallCycles += D.StoreStallCycles;
+    Controller.mergeLocalHits(D.Hits);
+    ClockOf[Id] = Cores[Id].Now;
+  }
+  // Adapt the staging cap to the harvest: consuming most of what was
+  // staged earns a deeper stage next time, a wasteful attempt halves it.
+  if (Harvested * 2 >= Staged)
+    StageCap = std::min<std::size_t>(StageCap * 2, MaxStageCap);
+  else if (Harvested * 8 < Staged)
+    StageCap = std::max<std::size_t>(StageCap / 2, MinStageCap);
+  return Harvested;
+}
+
+void Replayer::runEpochBatch(CoreId Id, Cycles Horizon) {
+  Core &C = Cores[Id];
+  const EpochBatch &B = Batches[Id];
+  EpochDelta &D = Deltas[Id];
+  // Worker-local region span cache: never the table's shared MRU, which
+  // other workers would race on.
+  RegionTable::RegionSpan Span;
+  const bool CheckConflicts = Conflicts.hasContention();
+  const Addr BlockMask = ~(Addr(Limits.BlockSize) - 1);
+  const TraceEvent *Ev = B.Ev;
+  const std::size_t Count = B.Count;
+  std::size_t I = 0;
+  for (; I < Count; ++I) {
+    const TraceEvent &E = Ev[I];
+    if (E.Op == TraceOp::Work) {
+      // Pure compute commutes with everything (its only shared effect is
+      // the instruction sum), so it may even cross the horizon — the
+      // access bound below then ends the batch.
+      C.Now += E.Extra;
+      D.Instructions += E.Extra;
+      continue;
+    }
+    // Start bound: the serial engine picks an event when its core's clock
+    // is the lex-min, then executes it atomically — its ordering relative
+    // to every residue action depends only on its START time. So an event
+    // starting inside the window is harvestable even when its latency or
+    // store-buffer stall carries the clock past the horizon.
+    if (C.Now >= Horizon)
+      break;
+    const Addr Block = E.Address & BlockMask;
+    if (CheckConflicts && Conflicts.contended(Block))
+      break; // Contended blocks are arbitrated by the serial residue.
+    const unsigned Offset = static_cast<unsigned>(E.Address - Block);
+    Cycles Lat = 0;
+    if (E.Op == TraceOp::Store) {
+      drainStoreBuffer(C);
+      // Reject (miss or upgrade: an interaction point) before mutating
+      // anything; the drain above is idempotent under serial replay.
+      if (!Controller.tryLocalHit(Id, Block, Offset, E.Size,
+                                  AccessType::Store, D.Hits, Span, Lat))
+        break;
+      if (C.StoreBuffer.size() >= Config.StoreBufferEntries) {
+        // A full buffer stalls the issue until the oldest store retires.
+        Cycles Free = C.StoreBuffer.front();
+        D.StoreStallCycles += Free - C.Now;
+        C.Now = Free;
+        drainStoreBuffer(C);
+      }
+      C.StoreBuffer.push_back(C.Now + 1 + Lat +
+                              Config.StoreRetireCycles *
+                                  static_cast<Cycles>(C.StoreBuffer.size()));
+      C.Now += 1; // Issue into the store buffer.
+      D.Instructions += 1;
+    } else { // Load or RMW: blocking.
+      AccessType Type =
+          E.Op == TraceOp::Load ? AccessType::Load : AccessType::Rmw;
+      if (!Controller.tryLocalHit(Id, Block, Offset, E.Size, Type, D.Hits,
+                                  Span, Lat))
+        break;
+      C.Now += std::max<Cycles>(Lat, 1);
+      D.Instructions += 1;
+    }
+  }
+  C.NextEvent += I;
+  D.Executed = I;
 }

@@ -20,10 +20,12 @@
 #define WARDEN_SCHED_REPLAY_H
 
 #include "src/coherence/CoherenceController.h"
+#include "src/sched/Epoch.h"
 #include "src/support/Rng.h"
 #include "src/trace/TaskGraph.h"
 
 #include <deque>
+#include <memory>
 #include <vector>
 
 namespace warden {
@@ -31,6 +33,7 @@ namespace warden {
 class CpiStack;
 class EventLog;
 class Histogram;
+class JobPool;
 struct Observability;
 struct TimelineInputs;
 
@@ -59,6 +62,7 @@ class Replayer {
 public:
   Replayer(const TaskGraph &Graph, CoherenceController &Controller,
            std::uint64_t Seed = 0x5eed);
+  ~Replayer(); // Out of line: IntraPool's JobPool is incomplete here.
 
   /// Attaches (or with nullptr detaches) observability sinks: steal-wait
   /// histograms, the timeline sampler, and per-strand task spans for the
@@ -67,10 +71,43 @@ public:
   /// clock so the controller can timestamp its own events.
   void attachObs(Observability *NewObs);
 
+  /// Sets the intra-run worker count for the epoch-barriered parallel
+  /// engine (1 = serial epochs, still harvested; the default). Harvesting
+  /// is semantics-preserving, so any value produces byte-identical
+  /// results; only host time changes. Call before run().
+  void setIntraJobs(unsigned Jobs) { IntraJobs = Jobs == 0 ? 1 : Jobs; }
+
   /// Runs the whole graph to completion and returns timing results.
   ReplayResult run();
 
 private:
+  /// Fixed-capacity FIFO of store completion times. The simulated buffer
+  /// never exceeds Config.StoreBufferEntries entries (a full buffer
+  /// stalls the issuing core before the next push), so a power-of-two
+  /// ring with free-running indices replaces std::deque on the hot path.
+  class StoreRing {
+  public:
+    void init(std::size_t Entries) {
+      std::size_t Cap = 1;
+      while (Cap < Entries)
+        Cap *= 2;
+      Buf.assign(Cap, 0);
+      Mask = static_cast<std::uint32_t>(Cap - 1);
+      Head = Tail = 0;
+    }
+    bool empty() const { return Head == Tail; }
+    std::uint32_t size() const { return Tail - Head; }
+    Cycles front() const { return Buf[Head & Mask]; }
+    void push_back(Cycles T) { Buf[Tail++ & Mask] = T; }
+    void pop_front() { ++Head; }
+
+  private:
+    std::vector<Cycles> Buf;
+    std::uint32_t Mask = 0;
+    std::uint32_t Head = 0;
+    std::uint32_t Tail = 0;
+  };
+
   struct Core {
     Cycles Now = 0;
     StrandId Current = InvalidStrand;
@@ -81,7 +118,7 @@ private:
       Cycles Ready;
     };
     std::deque<Item> Deque; ///< Back = newest (own pops), front = steals.
-    std::deque<Cycles> StoreBuffer;  ///< Completion times, FIFO.
+    StoreRing StoreBuffer; ///< Completion times, FIFO.
   };
 
   /// Executes one trace event on \p C (core \p Id); returns true if the
@@ -90,6 +127,28 @@ private:
   void completeStrand(CoreId Id, Core &C);
   void tryObtainWork(CoreId Id, Core &C);
   void drainStoreBuffer(Core &C);
+
+  /// The engine without observability sinks: a batched scheduler loop
+  /// (SoA clock scan, runner-up-horizon inner runs) plus, when the
+  /// controller allows it, epoch-barriered parallel harvesting of
+  /// private-hit runs. Produces results byte-identical to runObserved()
+  /// minus the recording.
+  ReplayResult runEngine();
+  /// The reference serial loop, used whenever observability sinks are
+  /// attached: per-pick sampler ticks and controller event timestamps
+  /// need the one-event-at-a-time global interleaving.
+  ReplayResult runObserved();
+
+  // --- Epoch engine (see sched/Epoch.h) -----------------------------------
+  /// Stages every runnable core's prefix, computes the horizon and the
+  /// contended-block set, runs one worker per staged core (on IntraPool
+  /// when IntraJobs > 1, inline otherwise), and merges the deltas in fixed
+  /// core order. Returns the number of events harvested.
+  std::size_t attemptEpoch();
+  /// Worker body: executes core \p Id's staged batch until the first
+  /// miss/upgrade, contended block, or the horizon \p Horizon. Touches
+  /// only core-local state and the core's own delta slot.
+  void runEpochBatch(CoreId Id, Cycles Horizon);
 
   /// Simulated address of core I's deque bottom/top word. Work-stealing
   /// deques live in ordinary coherent memory (they are synchronisation, so
@@ -107,6 +166,30 @@ private:
   std::uint64_t Remaining = 0;
   Cycles LastCompletion = 0;
   SchedulerStats Stats;
+
+  // --- Epoch-engine state (all reused across epochs; no hot-loop
+  // --- allocation) --------------------------------------------------------
+  unsigned IntraJobs = 1;
+  /// Private pool for intra-run workers, created lazily on the first
+  /// eligible run. Deliberately not the suite-level pool: its help-first
+  /// waiting could adopt another simulation's long task inside an epoch
+  /// barrier and stall this run.
+  std::unique_ptr<JobPool> IntraPool;
+  std::vector<Cycles> ClockOf;   ///< SoA mirror of Cores[i].Now.
+  std::vector<EpochBatch> Batches;
+  std::vector<EpochDelta> Deltas;
+  std::vector<CoreId> EpochWorkers;
+  /// Staging order scratch: busy cores ascending by (clock, id), so each
+  /// later core's staging stops at the horizon the earlier ones set.
+  std::vector<std::pair<Cycles, CoreId>> StageOrder;
+  EpochConflicts Conflicts;
+  EpochLimits Limits;
+  /// Adaptive per-core staging cap: grown when epochs consume what was
+  /// staged, shrunk when staging outruns the harvest — bounding the
+  /// staging work wasted on conflict- or miss-heavy phases.
+  static constexpr std::size_t MinStageCap = 64;
+  static constexpr std::size_t MaxStageCap = 2048;
+  std::size_t StageCap = MinStageCap;
 
   // --- Observability (optional; inert when detached) ------------------------
   /// Builds the sampler's view of the cumulative machine counters.

@@ -6,6 +6,9 @@
 
 #include "src/support/JobPool.h"
 
+#include <algorithm>
+#include <atomic>
+
 using namespace warden;
 
 JobPool::JobPool(unsigned Concurrency) {
@@ -78,4 +81,27 @@ void JobPool::runAll(std::vector<std::function<void()>> Tasks) {
   }
   if (Owner->FirstError)
     std::rethrow_exception(Owner->FirstError);
+}
+
+void JobPool::parallelFor(std::size_t Count,
+                          const std::function<void(std::size_t)> &Fn) {
+  if (Count == 0)
+    return;
+  if (Count == 1 || concurrency() <= 1) {
+    for (std::size_t I = 0; I < Count; ++I)
+      Fn(I);
+    return;
+  }
+  auto Next = std::make_shared<std::atomic<std::size_t>>(0);
+  std::size_t TaskCount = std::min<std::size_t>(concurrency(), Count);
+  std::vector<std::function<void()>> Tasks;
+  Tasks.reserve(TaskCount);
+  for (std::size_t T = 0; T < TaskCount; ++T)
+    Tasks.push_back([Next, Count, &Fn] {
+      for (std::size_t I = Next->fetch_add(1, std::memory_order_relaxed);
+           I < Count;
+           I = Next->fetch_add(1, std::memory_order_relaxed))
+        Fn(I);
+    });
+  runAll(std::move(Tasks));
 }

@@ -60,6 +60,14 @@ public:
   /// has drained; the remaining tasks still run.
   void runAll(std::vector<std::function<void()>> Tasks);
 
+  /// Runs Fn(0) .. Fn(Count - 1), in any order, and returns when all have
+  /// finished. One task per executor self-schedules indices off a shared
+  /// atomic counter, so tiny per-index bodies are not queued individually.
+  /// Same determinism contract as runAll(): each index must write only its
+  /// own slots. Count <= 1 or a one-executor pool runs inline.
+  void parallelFor(std::size_t Count,
+                   const std::function<void(std::size_t)> &Fn);
+
 private:
   /// Shared completion state of one runAll() batch.
   struct Batch {
