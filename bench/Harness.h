@@ -18,6 +18,7 @@
 #define WARDEN_BENCH_HARNESS_H
 
 #include "src/core/WardenSystem.h"
+#include "src/mem/ReplacementPolicy.h"
 #include "src/obs/EventLog.h"
 #include "src/obs/Observability.h"
 #include "src/pbbs/Pbbs.h"
@@ -40,9 +41,17 @@
 namespace warden {
 namespace bench {
 
-/// One benchmark's results under a machine configuration.
+/// One benchmark's results under a machine configuration (and, for a
+/// --replacement matrix run, one replacement policy).
 struct SuiteRow {
+  /// Display name: the benchmark name, suffixed " (<replacement>)" when
+  /// the suite ran more than one replacement policy.
   std::string Name;
+  /// Plain benchmark name (what the JSON report's "name" member carries,
+  /// so lru rows keep diffing against pre-matrix baselines).
+  std::string Bench;
+  /// Replacement-policy id this row simulated under.
+  std::string Replacement = std::string(DefaultReplacementId);
   bool Verified = false;
   ComparisonResult Cmp;
   /// Host wall-clock seconds the protocol comparison took (simulation
@@ -65,6 +74,11 @@ struct BenchOptions {
   /// default protocol set (e.g. fig13's four-way comparison) only apply it
   /// when the user did not choose explicitly.
   bool ProtocolsExplicit = false;
+  /// Replacement policies to simulate (--replacement=, registry ids). The
+  /// suite runs the full benchmark x replacement matrix,
+  /// replacement-major; the default single "lru" reproduces the
+  /// pre-matrix suite byte-identically.
+  std::vector<std::string> Replacements = {std::string(DefaultReplacementId)};
   /// Node-tier override for multi-node harnesses (--nodes=N); 0 keeps the
   /// figure's default machine shape. Figures on single-node machines
   /// ignore it.
@@ -103,10 +117,15 @@ struct BenchOptions {
 ///   --protocol=IDS   simulate the named protocol backends (comma-
 ///                    separated registry ids; default mesi,warden).
 ///                    Unknown ids fail fast listing the registered ids
+///   --replacement=IDS simulate under the named replacement policies
+///                    (comma-separated registry ids; default lru). More
+///                    than one id runs the full benchmark x replacement
+///                    matrix and labels rows "name (policy)". Unknown,
+///                    duplicate, or empty ids fail fast
 ///   --only=NAMES     run only the named benchmarks (comma-separated,
 ///                    repeatable); names that match nothing fail fast
 ///   --scale=X        multiply every benchmark's problem size by X
-///   --json=FILE      also write the warden-bench-v2 JSON report to FILE
+///   --json=FILE      also write the warden-bench-v3 JSON report to FILE
 ///   --evlog=BASE     stream a binary coherence event log per run to
 ///                    BASE.<benchmark>.<protocol>.evlog (warden-evlog-v1;
 ///                    query offline with warden-stat). Simulated cycles
@@ -174,6 +193,16 @@ inline BenchOptions parseBenchArgs(int argc, char **argv) {
         std::exit(2);
       }
       B.ProtocolsExplicit = true;
+    } else if (std::strncmp(Arg, "--replacement=", 14) == 0) {
+      std::string Error;
+      std::optional<std::vector<std::string>> Ids =
+          parseReplacementList(Arg + 14, Error);
+      if (!Ids) {
+        std::fprintf(stderr, "%s: --replacement: %s\n", argv[0],
+                     Error.c_str());
+        std::exit(2);
+      }
+      B.Replacements = std::move(*Ids);
     } else if (std::strncmp(Arg, "--only=", 7) == 0) {
       const char *Cursor = Arg + 7;
       while (*Cursor) {
@@ -235,7 +264,8 @@ inline BenchOptions parseBenchArgs(int argc, char **argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--audit] [--faults[=seed]] "
-                   "[--protocol=ID[,ID...]] [--only=NAME[,NAME...]] "
+                   "[--protocol=ID[,ID...]] [--replacement=ID[,ID...]] "
+                   "[--only=NAME[,NAME...]] "
                    "[--scale=X] [--json=FILE] [--evlog=BASE] [--profile] "
                    "[--jobs=N] [--intra-jobs=N] [--nodes=N]\n",
                    argv[0]);
@@ -267,6 +297,13 @@ inline std::vector<const RunResult *> nonBaseline(const ComparisonResult &C) {
 /// (--profile) profiler/CPI bundle, and writes only its own pre-allocated
 /// row, so a parallel suite is byte-identical to a serial one except for
 /// the host-timing fields.
+///
+/// With more than one --replacement id the suite becomes the full
+/// benchmark x replacement matrix: each benchmark is still recorded once,
+/// then one row per (replacement, benchmark) pair simulates on the shared
+/// recording, ordered replacement-major (all benchmarks under the first
+/// policy, then the next). Rows carry the policy in SuiteRow::Replacement
+/// and display as "name (policy)".
 inline std::vector<SuiteRow>
 runSuite(const MachineConfig &Machine, const BenchOptions &B,
          const std::vector<std::string> &DefaultOnly = {},
@@ -302,13 +339,19 @@ runSuite(const MachineConfig &Machine, const BenchOptions &B,
     std::exit(1);
   }
 
-  // Phase 2: simulate, fanned out over the pool.
+  // Phase 2: simulate, fanned out over the pool. Row J of the
+  // replacement-major matrix pairs benchmark J % Work.size() with
+  // replacement J / Work.size(); a single-policy run degenerates to the
+  // historical one-row-per-benchmark suite.
   JobPool Pool(B.Jobs);
-  std::vector<SuiteRow> Rows(Work.size());
-  auto SimulateOne = [&](std::size_t I) {
+  std::vector<SuiteRow> Rows(Work.size() * B.Replacements.size());
+  auto SimulateOne = [&](std::size_t J) {
+    const std::size_t I = J % Work.size();
+    const std::string &Replacement = B.Replacements[J / Work.size()];
     RunOptions Run = B.Run;
     Run.Pool = B.Jobs > 1 ? &Pool : nullptr;
     Run.IntraJobs = B.IntraJobs;
+    Run.Replacement = Replacement;
     // --profile: a task-local profiler/CPI pair serves this benchmark's
     // runs — the simulator's beginRun() resets them per run, and the
     // per-run reports are value snapshots inside each RunResult, so the
@@ -335,8 +378,12 @@ runSuite(const MachineConfig &Machine, const BenchOptions &B,
         Run.Obs = &ProfBundle;
       Run.Obs->Log = &Evl;
     }
-    SuiteRow &Row = Rows[I];
-    Row.Name = Work[I].Bench->Name;
+    SuiteRow &Row = Rows[J];
+    Row.Bench = Work[I].Bench->Name;
+    Row.Replacement = Replacement;
+    Row.Name = B.Replacements.size() > 1
+                   ? Row.Bench + " (" + Replacement + ")"
+                   : Row.Bench;
     Row.Verified = Work[I].Recorded.Verified;
     auto Start = std::chrono::steady_clock::now();
     Row.Cmp = WardenSystem::compareProtocols(Work[I].Recorded.Graph, Machine,
@@ -357,16 +404,16 @@ runSuite(const MachineConfig &Machine, const BenchOptions &B,
   };
   if (B.Jobs > 1 && !B.Run.Obs) {
     std::vector<std::function<void()>> Tasks;
-    Tasks.reserve(Work.size());
-    for (std::size_t I = 0; I < Work.size(); ++I)
-      Tasks.push_back([&SimulateOne, I] { SimulateOne(I); });
+    Tasks.reserve(Rows.size());
+    for (std::size_t J = 0; J < Rows.size(); ++J)
+      Tasks.push_back([&SimulateOne, J] { SimulateOne(J); });
     Pool.runAll(std::move(Tasks));
   } else {
     // An externally supplied observability bundle (B.Run.Obs) is one
     // object: benchmarks must then take turns with it. The nested
     // protocol/repeat fan-out still uses the pool.
-    for (std::size_t I = 0; I < Work.size(); ++I)
-      SimulateOne(I);
+    for (std::size_t J = 0; J < Rows.size(); ++J)
+      SimulateOne(J);
   }
   return Rows;
 }
@@ -730,20 +777,24 @@ inline void writeRunJson(JsonWriter &W, const RunResult &R) {
   W.endObject();
 }
 
-/// Writes the machine-readable report (schema "warden-bench-v2",
-/// documented in README.md): one record per benchmark with every
-/// protocol's raw results in a "protocols" map keyed by registry id, the
-/// relative metrics against the named baseline in a "comparisons" map (one
-/// entry per non-baseline protocol), plus a "mean" record matching the
-/// printed tables. Returns false (with a message on stderr) if the file
-/// cannot be written.
+/// Writes the machine-readable report (schema "warden-bench-v3",
+/// documented in README.md): one record per benchmark x replacement row
+/// with every protocol's raw results in a "protocols" map keyed by
+/// registry id, the relative metrics against the named baseline in a
+/// "comparisons" map (one entry per non-baseline protocol), plus a "mean"
+/// record matching the printed tables. v3 over v2: a top-level
+/// "replacements" array and a per-record "replacement" member ("name"
+/// stays the plain benchmark name so lru rows diff cleanly against v1/v2
+/// baselines — scripts/bench_diff.py keys non-lru rows "name@policy").
+/// Returns false (with a message on stderr) if the file cannot be
+/// written.
 inline bool writeJsonReport(const std::string &Path, const char *Experiment,
                             const MachineConfig &Machine,
                             const BenchOptions &B,
                             const std::vector<SuiteRow> &Rows) {
   JsonWriter W;
   W.beginObject();
-  W.member("schema", "warden-bench-v2");
+  W.member("schema", "warden-bench-v3");
   W.member("experiment", Experiment);
   W.member("scale", B.Scale);
   const ComparisonResult *First = Rows.empty() ? nullptr : &Rows.front().Cmp;
@@ -753,6 +804,10 @@ inline bool writeJsonReport(const std::string &Path, const char *Experiment,
   if (First)
     for (const RunResult &R : First->Runs)
       W.value(protocolId(R.Protocol));
+  W.endArray();
+  W.key("replacements").beginArray();
+  for (const std::string &Id : B.Replacements)
+    W.value(Id);
   W.endArray();
   W.key("machine").beginObject();
   W.member("description", Machine.describe());
@@ -810,7 +865,8 @@ inline bool writeJsonReport(const std::string &Path, const char *Experiment,
     Audited |= RowAudited;
 
     W.beginObject();
-    W.member("name", Row.Name);
+    W.member("name", Row.Bench.empty() ? Row.Name : Row.Bench);
+    W.member("replacement", Row.Replacement);
     W.member("verified", Row.Verified);
     W.member("host_seconds", Row.HostSeconds);
     W.member("sim_accesses_per_sec", Row.SimAccessesPerSec);

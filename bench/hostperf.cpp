@@ -146,6 +146,43 @@ static void BM_CacheArrayConstructLlc(benchmark::State &State) {
 }
 BENCHMARK(BM_CacheArrayConstructLlc);
 
+static void BM_CacheArrayVictimChurn(benchmark::State &State) {
+  // The replacement hot path: a lookup-then-insert churn over a footprint
+  // 4x the array, so three of four accesses miss and every miss selects a
+  // victim from a full set. Arg selects the registered policy — the lru
+  // row is the devirtualized inline fast path the miss loop had before
+  // the registry; the perceptron rows price the feature hashing, table
+  // lookups, and victim-scan scoring the learned policies add per miss.
+  static const char *Policies[] = {"lru", "rrip", "perceptron",
+                                   "perceptron-ward"};
+  const char *Policy = Policies[State.range(0)];
+  CacheArray Cache(CacheGeometry(64 * 1024, 8, 64), Policy);
+  constexpr std::uint64_t Footprint = 4 * 1024; // Blocks; 4x capacity.
+  Rng Random(11);
+  for (auto _ : State) {
+    Addr Block = (Random.nextBelow(Footprint)) * 64;
+    if (!Cache.lookup(Block))
+      benchmark::DoNotOptimize(Cache.insert(Block, LineState::Shared));
+  }
+  State.SetLabel(Policy);
+}
+BENCHMARK(BM_CacheArrayVictimChurn)->DenseRange(0, 3);
+
+static void BM_CacheArrayProbeHit(benchmark::State &State) {
+  // Steady-state probes against a resident block: the MRU-way hint makes
+  // this O(1) for every policy; the benchmark would regress if a policy
+  // bypassed the hint bookkeeping.
+  static const char *Policies[] = {"lru", "perceptron"};
+  const char *Policy = Policies[State.range(0)];
+  CacheArray Cache(CacheGeometry(64 * 1024, 8, 64), Policy);
+  for (unsigned I = 0; I < 8; ++I)
+    Cache.insert(Addr(I) * 64, LineState::Shared);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Cache.probe(3 * 64));
+  State.SetLabel(Policy);
+}
+BENCHMARK(BM_CacheArrayProbeHit)->DenseRange(0, 1);
+
 static void BM_JobPoolFanOut(benchmark::State &State) {
   JobPool Pool(static_cast<unsigned>(State.range(0)));
   for (auto _ : State) {

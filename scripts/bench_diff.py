@@ -4,13 +4,20 @@
 Usage:
     scripts/bench_diff.py BASELINE.json CANDIDATE.json [--tolerance 0.10]
 
-Accepts both report schemas — warden-bench-v1 (the original two-protocol
-layout with top-level "mesi"/"warden" records per benchmark) and
-warden-bench-v2 (protocol-keyed "protocols"/"comparisons" maps) — and
-normalizes each to the v1 shape before diffing, so a v2 candidate can be
-checked against a pinned v1 baseline and vice versa. v2 reports must
-contain mesi and warden runs to be comparable; extra protocols (e.g.
---protocol=...,sisd) are ignored by the diff.
+Accepts all three report schemas — warden-bench-v1 (the original
+two-protocol layout with top-level "mesi"/"warden" records per
+benchmark), warden-bench-v2 (protocol-keyed "protocols"/"comparisons"
+maps), and warden-bench-v3 (v2 plus a replacement-policy matrix) — and
+normalizes each to the v1 shape before diffing, so a v3 candidate can be
+checked against a pinned v1/v2 baseline and vice versa. v2/v3 reports
+must contain mesi and warden runs to be comparable; extra protocols
+(e.g. --protocol=...,sisd) are ignored by the diff.
+
+Replacement matrix rows (v3): rows simulated under the default "lru"
+policy keep the plain benchmark name as their diff key, so they compare
+directly against pre-matrix baselines; rows under any other policy are
+keyed "name@policy". The wider-candidate principle applies: rows present
+in only one report are reported and skipped, never failed.
 
 Compares, per benchmark present in both reports, the headline metrics
 (MESI/WARDen makespans, speedup, invalidations + downgrades, energy) and
@@ -63,13 +70,21 @@ def load(path):
     except (OSError, json.JSONDecodeError) as err:
         sys.exit(f"error: cannot read {path}: {err}")
     schema = doc.get("schema")
-    if schema == "warden-bench-v2":
+    if schema in ("warden-bench-v2", "warden-bench-v3"):
         for bench in doc.get("benchmarks", []):
             normalize_benchmark(path, bench)
     elif schema != "warden-bench-v1":
-        sys.exit(f"error: {path}: expected schema warden-bench-v1 or "
-                 f"warden-bench-v2, got {schema!r}")
+        sys.exit(f"error: {path}: expected schema warden-bench-v1, "
+                 f"warden-bench-v2, or warden-bench-v3, got {schema!r}")
     return doc
+
+
+def diff_key(bench):
+    """Diff key of one benchmark record: the plain name for lru (or
+    pre-v3) rows, "name@policy" for other replacement-matrix rows."""
+    name = bench["name"]
+    replacement = bench.get("replacement", "lru")
+    return name if replacement == "lru" else f"{name}@{replacement}"
 
 
 # (label, extractor) pairs; extractors read one benchmark record.
@@ -139,8 +154,8 @@ def main():
 
     base = load(args.baseline)
     cand = load(args.candidate)
-    base_by_name = {b["name"]: b for b in base["benchmarks"]}
-    cand_by_name = {b["name"]: b for b in cand["benchmarks"]}
+    base_by_name = {diff_key(b): b for b in base["benchmarks"]}
+    cand_by_name = {diff_key(b): b for b in cand["benchmarks"]}
 
     if base.get("scale") != cand.get("scale"):
         print(f"note: scales differ (baseline {base.get('scale')}, "

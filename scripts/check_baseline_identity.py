@@ -2,7 +2,8 @@
 """Regression-pin the classic two-protocol numbers to the repo baseline.
 
 Usage:
-    scripts/check_baseline_identity.py FIG7_BINARY BASELINE.json [PROTOCOLS]
+    scripts/check_baseline_identity.py FIG7_BINARY BASELINE.json
+                                       [PROTOCOLS] [REPLACEMENTS]
 
 Runs the Figure 7 suite at the baseline's recorded scale with the given
 --protocol list (default mesi,warden,sisd — deliberately wider than the
@@ -11,6 +12,12 @@ classic pair) and diffs the report against BASELINE.json with
 scripts/bench_diff.py at zero tolerance. The simulator is deterministic,
 so any deviation means the refactor changed MESI or WARDen behaviour —
 exactly what the pluggable-backend layer promises not to do.
+
+An optional fourth REPLACEMENTS argument passes --replacement= to run
+the benchmark x replacement matrix; lru rows keep their plain diff keys,
+so a wider matrix candidate still pins against a pre-matrix baseline
+(and against a pinned matrix baseline like
+baselines/BENCH_replacement.json it pins every policy's rows).
 
 Registered as a ctest (baseline_identity); also usable standalone.
 """
@@ -25,9 +32,10 @@ import tempfile
 def main():
     if len(sys.argv) < 3:
         sys.exit("usage: check_baseline_identity.py FIG7_BINARY "
-                 "BASELINE.json [PROTOCOLS]")
+                 "BASELINE.json [PROTOCOLS] [REPLACEMENTS]")
     binary, baseline = sys.argv[1], sys.argv[2]
     protocols = sys.argv[3] if len(sys.argv) > 3 else "mesi,warden,sisd"
+    replacements = sys.argv[4] if len(sys.argv) > 4 else ""
 
     with open(baseline) as f:
         scale = json.load(f).get("scale", 0.25)
@@ -36,16 +44,18 @@ def main():
                         "bench_diff.py")
     with tempfile.TemporaryDirectory() as tmp:
         out = os.path.join(tmp, "candidate.json")
-        subprocess.run(
-            [binary, f"--scale={scale}", f"--protocol={protocols}",
-             "--jobs=2", "--profile", f"--json={out}"],
-            check=True, stdout=subprocess.DEVNULL)
+        cmd = [binary, f"--scale={scale}", f"--protocol={protocols}",
+               "--jobs=2", "--profile", f"--json={out}"]
+        if replacements:
+            cmd.append(f"--replacement={replacements}")
+        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
         result = subprocess.run(
             [sys.executable, diff, baseline, out, "--tolerance", "0"])
     if result.returncode != 0:
         sys.exit("FAIL: candidate report deviates from the pinned baseline "
                  "(see diff table above)")
-    print(f"OK: {protocols} run matches {baseline} at zero tolerance "
+    what = protocols + (f" x {replacements}" if replacements else "")
+    print(f"OK: {what} run matches {baseline} at zero tolerance "
           f"(scale {scale})")
     return 0
 

@@ -3,6 +3,12 @@
 
 Usage:
     scripts/check_jobs_determinism.py BINARY [SCALE] [--mode=jobs|intra]
+                                      [--FLAG[=VALUE]...]
+
+Any option other than --mode= is passed through to the harness binary on
+every run, so the determinism contract can be checked under specific
+configurations — e.g. --replacement=perceptron asserts the learned
+eviction policy trains identically at any worker count.
 
 Modes:
 
@@ -67,12 +73,13 @@ def diff_reports(a, b, label_a, label_b):
     return False
 
 
-def compare_json(binary, scale, flag, extra, what):
+def compare_json(binary, scale, flag, extra, what, passthrough):
     with tempfile.TemporaryDirectory() as tmp:
         reports = {}
         for n in (1, 4):
             out = os.path.join(tmp, f"n{n}.json")
-            run(binary, out, [f"--scale={scale}", f"--{flag}={n}"] + extra)
+            run(binary, out, [f"--scale={scale}", f"--{flag}={n}"]
+                + passthrough + extra)
             reports[n] = stripped(out)
     if not diff_reports(reports[1], reports[4],
                         f"--{flag}=1", f"--{flag}=4"):
@@ -81,7 +88,7 @@ def compare_json(binary, scale, flag, extra, what):
     print(f"OK: {what} reports identical at --{flag} 1 vs 4, scale {scale}")
 
 
-def compare_evlog(binary, scale, flag):
+def compare_evlog(binary, scale, flag, passthrough):
     logs = {}
     with tempfile.TemporaryDirectory() as tmp:
         for n in (1, 4):
@@ -89,7 +96,8 @@ def compare_evlog(binary, scale, flag):
             os.mkdir(sub)
             out = os.path.join(sub, "report.json")
             run(binary, out, [f"--scale={scale}", f"--{flag}={n}",
-                              f"--evlog={os.path.join(sub, 'ev')}"])
+                              f"--evlog={os.path.join(sub, 'ev')}"]
+                + passthrough)
             blobs = {}
             for root, _, files in os.walk(sub):
                 for name in sorted(files):
@@ -109,24 +117,28 @@ def compare_evlog(binary, scale, flag):
 
 
 def main():
-    args = [a for a in sys.argv[1:] if not a.startswith("--mode=")]
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
     modes = [a.split("=", 1)[1] for a in sys.argv[1:]
              if a.startswith("--mode=")]
     mode = modes[-1] if modes else "jobs"
+    # Everything else flagged is forwarded to the binary verbatim
+    # (e.g. --replacement=perceptron, --protocol=mesi).
+    passthrough = [a for a in sys.argv[1:]
+                   if a.startswith("--") and not a.startswith("--mode=")]
     if not args:
         sys.exit("usage: check_jobs_determinism.py BINARY [SCALE] "
-                 "[--mode=jobs|intra]")
+                 "[--mode=jobs|intra] [--FLAG[=VALUE]...]")
     binary = args[0]
     scale = args[1] if len(args) > 1 else "0.05"
 
     if mode == "jobs":
         compare_json(binary, scale, "jobs", ["--profile", "--audit"],
-                     "profile+audit")
+                     "profile+audit", passthrough)
     elif mode == "intra":
-        compare_json(binary, scale, "intra-jobs", [], "engine")
+        compare_json(binary, scale, "intra-jobs", [], "engine", passthrough)
         compare_json(binary, scale, "intra-jobs", ["--profile", "--audit"],
-                     "profile+audit")
-        compare_evlog(binary, scale, "intra-jobs")
+                     "profile+audit", passthrough)
+        compare_evlog(binary, scale, "intra-jobs", passthrough)
     else:
         sys.exit(f"unknown --mode={mode}")
     return 0

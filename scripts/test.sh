@@ -41,11 +41,14 @@ if [[ "$PRESET" == default ]]; then
     python3 - <<'EOF'
 import json
 doc = json.load(open("BENCH_suite.json"))
-assert doc["schema"] == "warden-bench-v2", doc["schema"]
+assert doc["schema"] == "warden-bench-v3", doc["schema"]
 protocols = doc["protocols"]
 baseline = doc["baseline"]
 assert baseline in protocols, (baseline, protocols)
+replacements = doc["replacements"]
+assert replacements == ["lru"], replacements
 for bench in doc["benchmarks"]:
+    assert bench["replacement"] in replacements, bench["name"]
     assert set(bench["protocols"]) == set(protocols), bench["name"]
     assert set(bench["comparisons"]) == set(protocols) - {baseline}, \
         bench["name"]
@@ -58,7 +61,7 @@ for bench in doc["benchmarks"]:
         assert isinstance(sharing["lines"], list)
         assert isinstance(sharing["sites"], list)
         assert profile[proto]["cpi"]["enabled"]
-print("report validates (warden-bench-v2, profiles warden-prof-v1)")
+print("report validates (warden-bench-v3, profiles warden-prof-v1)")
 EOF
     # The classic two-protocol numbers must be byte-identical to the
     # pinned baseline: the pluggable-backend layer is a refactor, not a

@@ -50,13 +50,24 @@ CoherenceController::CoherenceController(const MachineConfig &Config,
                            Config.L2Assoc, Config.BlockSize);
   Private.reserve(Config.totalCores());
   for (unsigned I = 0; I < Config.totalCores(); ++I)
-    Private.emplace_back(L1Geometry, L2Geometry);
+    Private.emplace_back(L1Geometry, L2Geometry, Config.Replacement);
 
   CacheGeometry LlcGeometry(Config.l3SizeBytes(), Config.L3Assoc,
                             Config.BlockSize);
   Llc.reserve(Config.NumSockets);
   for (unsigned I = 0; I < Config.NumSockets; ++I)
-    Llc.emplace_back(LlcGeometry);
+    Llc.emplace_back(LlcGeometry, Config.Replacement);
+
+  // Region-aware replacement policies ("perceptron-ward") sample region
+  // membership at fill time; the probe is only consulted on the serial
+  // miss path, never from epoch workers (see mem/ReplacementPolicy.h).
+  RegionMembershipProbe Probe = [this](Addr Block) {
+    return Regions.lookup(Block) != InvalidRegion;
+  };
+  for (PrivateCache &Cache : Private)
+    Cache.setReplacementRegionProbe(Probe);
+  for (CacheArray &Slice : Llc)
+    Slice.replacementPolicy().setRegionProbe(Probe);
 
   // The policy, last: the registry factory may (and the built-ins do) keep
   // a reference back into the fully constructed controller.
@@ -87,6 +98,11 @@ void CoherenceController::attachObs(Observability *NewObs) {
   if (Obs && Obs->Trace)
     Obs->Trace->setCoreCount(Config.totalCores());
   RegionAddedAt.clear();
+  // Premature-eviction attribution needs an attributor attached; start the
+  // bookkeeping from a clean slate either way so a detach/re-attach never
+  // reports evictions from before the observer existed.
+  TrackPremature = Prof != nullptr || Evl != nullptr;
+  EvictedBy.clear();
   Backend->attachObs(Obs);
 }
 
@@ -176,6 +192,8 @@ void CoherenceController::handleEviction(CoreId Core,
               Victim.Block, 0,
               Victim.State == LineState::Modified || Victim.Dirty.any() ? 1
                                                                         : 0);
+  if (TrackPremature)
+    EvictedBy.try_emplace(Victim.Block).first.value().set(Core);
   Backend->evictLine(Core, Victim);
   if (Auditor)
     Auditor->onInvalidate(Core, Victim.Block);
@@ -456,6 +474,23 @@ Cycles CoherenceController::missPath(CoreId Core, Addr Block,
     Evl->emit(Obs->Now, EvKind::DemandMiss, static_cast<std::uint16_t>(Core),
               Block, static_cast<std::uint32_t>(Total),
               static_cast<std::uint8_t>(Type));
+  if (TrackPremature) {
+    // This core missing a block it lost to a capacity victim means the
+    // replacement policy evicted it too early; attribute the re-fetch.
+    auto It = EvictedBy.find(Block);
+    if (It != EvictedBy.end() && It.value().test(Core)) {
+      It.value().clear(Core);
+      if (It.value().empty())
+        EvictedBy.erase(It);
+      if (Prof)
+        Prof->onPrematureMiss(Block, Core);
+      if (Evl)
+        Evl->emit(Obs->Now, EvKind::PrematureMiss,
+                  static_cast<std::uint16_t>(Core), Block,
+                  static_cast<std::uint32_t>(Total),
+                  static_cast<std::uint8_t>(Type));
+    }
+  }
   return Total;
 }
 

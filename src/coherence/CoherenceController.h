@@ -229,6 +229,16 @@ private:
   EventLog *Evl = nullptr;
   /// RegionId -> Observability::Now at addRegion, for lifetime histograms.
   FlatMap<RegionId, Cycles> RegionAddedAt;
+  /// Premature-eviction attribution (recording only; maintained only while
+  /// a profiler or event log is attached, so detached runs pay nothing):
+  /// block -> cores whose copy was displaced by a capacity eviction and
+  /// not yet re-demanded. A demand miss by a marked core is a premature
+  /// eviction — the replacement policy victimized a line the core still
+  /// needed — reported through SharingProfiler::onPrematureMiss and
+  /// EvKind::PrematureMiss. Deliberately NOT a CoherenceStats counter:
+  /// stats must stay identical between attached and detached runs.
+  FlatMap<Addr, CoreMask> EvictedBy;
+  bool TrackPremature = false;
 
   /// The policy. Constructed last (from the registry, keyed by
   /// Config.Protocol) and declared last so it is destroyed before anything

@@ -13,8 +13,15 @@
 using namespace warden;
 
 PrivateCache::PrivateCache(const CacheGeometry &L1Geometry,
-                           const CacheGeometry &L2Geometry)
-    : L1(L1Geometry), L2(L2Geometry) {}
+                           const CacheGeometry &L2Geometry,
+                           std::string_view Replacement)
+    : L1(L1Geometry, Replacement), L2(L2Geometry, Replacement) {}
+
+void PrivateCache::setReplacementRegionProbe(
+    const RegionMembershipProbe &Probe) {
+  L1.replacementPolicy().setRegionProbe(Probe);
+  L2.replacementPolicy().setRegionProbe(Probe);
+}
 
 void PrivateCache::attachMetrics(MetricRegistry *Registry) {
   FillCounter =

@@ -18,8 +18,10 @@
 #define WARDEN_COHERENCE_PRIVATECACHE_H
 
 #include "src/mem/CacheArray.h"
+#include "src/mem/ReplacementPolicy.h"
 
 #include <optional>
+#include <string_view>
 #include <vector>
 
 namespace warden {
@@ -30,8 +32,16 @@ class MetricRegistry;
 /// One core's private L1+L2.
 class PrivateCache {
 public:
+  /// \p Replacement names a registered replacement policy (see
+  /// mem/ReplacementPolicy.h), applied to both levels.
   PrivateCache(const CacheGeometry &L1Geometry,
-               const CacheGeometry &L2Geometry);
+               const CacheGeometry &L2Geometry,
+               std::string_view Replacement = "lru");
+
+  /// Installs the coherence-layer region probe on both levels' replacement
+  /// policies (consulted by region-aware policies at fill time; a no-op
+  /// for the others).
+  void setReplacementRegionProbe(const RegionMembershipProbe &Probe);
 
   /// Attaches (or with nullptr detaches) a metric registry; fills and
   /// capacity evictions are then counted machine-wide. Recording only —

@@ -10,9 +10,9 @@
 #include "src/coherence/RacohProtocol.h"
 #include "src/coherence/SisdProtocol.h"
 #include "src/coherence/WardenProtocol.h"
+#include "src/support/Registry.h"
 
 #include <algorithm>
-#include <mutex>
 #include <stdexcept>
 
 using namespace warden;
@@ -113,109 +113,86 @@ void CoherenceProtocol::attachObs(Observability *Obs) { (void)Obs; }
 // Registry
 //===----------------------------------------------------------------------===//
 //
-// A small string-keyed table behind a mutex: controllers are constructed
-// from JobPool worker threads, so lookups must be safe against a concurrent
-// registerProtocol() from a test. The built-ins are seeded in the
-// function-local static's constructor, which C++ guarantees is run exactly
-// once before first use — no static-initialization-order dependence on
-// which translation unit touches the registry first.
+// A support/Registry.h table (string-keyed, mutex-protected, registration-
+// ordered): controllers are constructed from JobPool worker threads, so
+// lookups must be safe against a concurrent registerProtocol() from a
+// test. The built-ins are seeded in the function-local static's
+// constructor, which C++ guarantees is run exactly once before first use —
+// no static-initialization-order dependence on which translation unit
+// touches the registry first.
 
 namespace {
 
-struct RegistryEntry {
-  std::string Id;
+/// Per-id payload: the kind the entry reports plus its factory.
+struct ProtocolEntry {
   ProtocolKind Kind;
   ProtocolFactory Factory;
 };
 
 struct ProtocolRegistry {
-  std::mutex Mutex;
-  std::vector<RegistryEntry> Entries;
+  Registry<ProtocolEntry> Table;
 
   ProtocolRegistry() {
-    Entries.push_back({protocolId(ProtocolKind::Mesi), ProtocolKind::Mesi,
-                       [](CoherenceController &C) {
-                         return std::unique_ptr<CoherenceProtocol>(
-                             new MesiProtocol(C));
-                       }});
-    Entries.push_back({protocolId(ProtocolKind::Warden), ProtocolKind::Warden,
-                       [](CoherenceController &C) {
-                         return std::unique_ptr<CoherenceProtocol>(
-                             new WardenProtocol(C));
-                       }});
-    Entries.push_back({protocolId(ProtocolKind::Sisd), ProtocolKind::Sisd,
-                       [](CoherenceController &C) {
-                         return std::unique_ptr<CoherenceProtocol>(
-                             new SisdProtocol(C));
-                       }});
-    Entries.push_back({protocolId(ProtocolKind::Racoh), ProtocolKind::Racoh,
-                       [](CoherenceController &C) {
-                         return std::unique_ptr<CoherenceProtocol>(
-                             new RacohProtocol(C));
-                       }});
+    Table.insertOrReplace(protocolId(ProtocolKind::Mesi),
+                          {ProtocolKind::Mesi, [](CoherenceController &C) {
+                             return std::unique_ptr<CoherenceProtocol>(
+                                 new MesiProtocol(C));
+                           }});
+    Table.insertOrReplace(protocolId(ProtocolKind::Warden),
+                          {ProtocolKind::Warden, [](CoherenceController &C) {
+                             return std::unique_ptr<CoherenceProtocol>(
+                                 new WardenProtocol(C));
+                           }});
+    Table.insertOrReplace(protocolId(ProtocolKind::Sisd),
+                          {ProtocolKind::Sisd, [](CoherenceController &C) {
+                             return std::unique_ptr<CoherenceProtocol>(
+                                 new SisdProtocol(C));
+                           }});
+    Table.insertOrReplace(protocolId(ProtocolKind::Racoh),
+                          {ProtocolKind::Racoh, [](CoherenceController &C) {
+                             return std::unique_ptr<CoherenceProtocol>(
+                                 new RacohProtocol(C));
+                           }});
   }
 };
 
-ProtocolRegistry &registry() {
+Registry<ProtocolEntry> &registry() {
   static ProtocolRegistry R;
-  return R;
+  return R.Table;
 }
 
 /// "mesi, warden, sisd" — the registry listing quoted by every parse and
 /// lookup error, so the message always names exactly the valid ids.
-std::string joinRegisteredIds() {
-  std::string Out;
-  for (const std::string &Id : warden::registeredProtocolIds()) {
-    if (!Out.empty())
-      Out += ", ";
-    Out += Id;
-  }
-  return Out;
-}
+std::string joinRegisteredIds() { return registry().joinedIds(); }
 
 } // namespace
 
 std::optional<ProtocolKind> warden::parseProtocolId(std::string_view Id) {
-  ProtocolRegistry &R = registry();
-  std::lock_guard<std::mutex> Lock(R.Mutex);
-  for (const RegistryEntry &Entry : R.Entries)
-    if (Entry.Id == Id)
-      return Entry.Kind;
+  if (std::optional<ProtocolEntry> Entry = registry().find(Id))
+    return Entry->Kind;
   return std::nullopt;
 }
 
 bool warden::registerProtocol(std::string Id, ProtocolKind Kind,
                               ProtocolFactory Factory) {
-  ProtocolRegistry &R = registry();
-  std::lock_guard<std::mutex> Lock(R.Mutex);
-  auto It = std::find_if(R.Entries.begin(), R.Entries.end(),
-                         [&](const RegistryEntry &E) { return E.Id == Id; });
-  if (It != R.Entries.end()) {
-    It->Kind = Kind;
-    It->Factory = std::move(Factory);
-    return false;
-  }
-  R.Entries.push_back({std::move(Id), Kind, std::move(Factory)});
-  return true;
+  return registry().insertOrReplace(std::move(Id),
+                                    {Kind, std::move(Factory)});
 }
 
 std::unique_ptr<CoherenceProtocol>
 warden::makeProtocol(ProtocolKind Kind, CoherenceController &Controller) {
   ProtocolFactory Factory;
-  {
-    ProtocolRegistry &R = registry();
-    std::lock_guard<std::mutex> Lock(R.Mutex);
-    // Prefer the entry registered under the kind's canonical id (so
-    // replacing "mesi" swaps the MESI implementation); fall back to any
-    // entry reporting the kind.
-    std::string_view CanonicalId = protocolId(Kind);
-    for (const RegistryEntry &Entry : R.Entries)
-      if (Entry.Id == CanonicalId && Entry.Kind == Kind)
-        Factory = Entry.Factory;
-    if (!Factory)
-      for (const RegistryEntry &Entry : R.Entries)
-        if (Entry.Kind == Kind)
-          Factory = Entry.Factory;
+  // Prefer the entry registered under the kind's canonical id (so
+  // replacing "mesi" swaps the MESI implementation); fall back to any
+  // entry reporting the kind.
+  std::string_view CanonicalId = protocolId(Kind);
+  for (const Registry<ProtocolEntry>::Entry &Entry : registry().snapshot()) {
+    if (Entry.Id == CanonicalId && Entry.Value.Kind == Kind) {
+      Factory = Entry.Value.Factory;
+      break;
+    }
+    if (Entry.Value.Kind == Kind)
+      Factory = Entry.Value.Factory;
   }
   if (!Factory)
     throw std::invalid_argument(
@@ -264,11 +241,5 @@ warden::parseProtocolList(std::string_view List, std::string &Error) {
 }
 
 std::vector<std::string> warden::registeredProtocolIds() {
-  ProtocolRegistry &R = registry();
-  std::lock_guard<std::mutex> Lock(R.Mutex);
-  std::vector<std::string> Ids;
-  Ids.reserve(R.Entries.size());
-  for (const RegistryEntry &Entry : R.Entries)
-    Ids.push_back(Entry.Id);
-  return Ids;
+  return registry().ids();
 }

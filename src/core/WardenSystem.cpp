@@ -38,8 +38,13 @@ RunResult WardenSystem::simulate(const TaskGraph &Graph,
 }
 
 RunResult WardenSystem::simulate(const TaskGraph &Graph,
-                                 const MachineConfig &Config,
+                                 const MachineConfig &BaseConfig,
                                  const RunOptions &Options) {
+  // The replacement override rides on RunOptions so harness matrix loops
+  // can vary the policy per row without copying machine presets around.
+  MachineConfig Config = BaseConfig;
+  if (!Options.Replacement.empty())
+    Config.Replacement = Options.Replacement;
   std::vector<std::string> Errors = Config.validate();
   if (!Errors.empty()) {
     std::string Joined = "invalid machine configuration:";

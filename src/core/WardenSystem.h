@@ -72,6 +72,11 @@ struct RunOptions {
   /// so any value produces byte-identical results — this changes host wall
   /// time only, never simulated output.
   unsigned IntraJobs = 1;
+  /// Replacement-policy override: when non-empty, replaces
+  /// MachineConfig::Replacement for this run (the harness matrix loop sets
+  /// it per row without copying machine presets around). Must name a
+  /// registered policy; validated with the rest of the configuration.
+  std::string Replacement;
 };
 
 /// Complete outcome of one timed simulation.

@@ -6,6 +6,7 @@
 
 #include "src/machine/MachineConfig.h"
 
+#include "src/mem/ReplacementPolicy.h"
 #include "src/mem/SectorMask.h"
 #include "src/support/CoreMask.h"
 #include "src/support/Strings.h"
@@ -130,6 +131,17 @@ std::vector<std::string> MachineConfig::validate() const {
           "disaggregated and multi-node topologies are mutually exclusive: "
           "the node tier models a non-coherent CXL pool, disaggregation a "
           "fully remote memory network");
+  }
+
+  if (!isRegisteredReplacementId(Replacement)) {
+    std::string Ids;
+    for (const std::string &Id : registeredReplacementIds()) {
+      if (!Ids.empty())
+        Ids += ", ";
+      Ids += Id;
+    }
+    Errors.push_back("unknown replacement id '" + Replacement +
+                     "' (registered ids: " + Ids + ")");
   }
 
   return Errors;

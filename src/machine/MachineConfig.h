@@ -123,6 +123,12 @@ struct MachineConfig {
   ProtocolKind Protocol = ProtocolKind::Mesi;
   WardenFeatures Features;
 
+  // --- Replacement ---------------------------------------------------------
+  /// Registered replacement-policy id applied to every cache array (see
+  /// mem/ReplacementPolicy.h). "lru" is byte-identical to the pre-registry
+  /// behaviour; validate() rejects unregistered ids.
+  std::string Replacement = "lru";
+
   // --- Derived -------------------------------------------------------------
   unsigned totalCores() const { return NumSockets * CoresPerSocket; }
   SocketId socketOf(CoreId Core) const { return Core / CoresPerSocket; }

@@ -1,10 +1,12 @@
-//===- mem/CacheArray.cpp - LRU set-associative cache array ---------------===//
+//===- mem/CacheArray.cpp - Set-associative cache array -------------------===//
 //
 // Part of the WARDen reproduction project.
 //
 //===----------------------------------------------------------------------===//
 
 #include "src/mem/CacheArray.h"
+
+#include "src/mem/ReplacementPolicy.h"
 
 #include <cassert>
 
@@ -26,14 +28,20 @@ const char *warden::lineStateName(LineState State) {
   return "?";
 }
 
-CacheArray::CacheArray(const CacheGeometry &Geometry)
+CacheArray::CacheArray(const CacheGeometry &Geometry, std::string_view Policy)
     : Geometry(Geometry),
       // Deliberately uninitialized: sets are placement-constructed on
       // first insert (see touchSet), so construction cost is independent
       // of the array's nominal capacity.
       Storage(new std::byte[static_cast<std::size_t>(Geometry.NumSets) *
                             Geometry.Assoc * sizeof(CacheLine)]),
-      SetLive(Geometry.NumSets, 0), MruWay(Geometry.NumSets, 0) {}
+      SetLive(Geometry.NumSets, 0),
+      Policy(makeReplacementPolicy(Policy, Geometry)),
+      FastLru(this->Policy->asLru()) {}
+
+CacheArray::~CacheArray() = default;
+CacheArray::CacheArray(CacheArray &&) noexcept = default;
+CacheArray &CacheArray::operator=(CacheArray &&) noexcept = default;
 
 CacheLine *CacheArray::touchSet(unsigned SetIndex) {
   CacheLine *Set = rawSet(SetIndex);
@@ -47,8 +55,16 @@ CacheLine *CacheArray::touchSet(unsigned SetIndex) {
 
 CacheLine *CacheArray::lookup(Addr BlockAddress) {
   CacheLine *Line = probe(BlockAddress);
-  if (Line)
-    Line->LruStamp = NextStamp++;
+  if (Line) {
+    if (FastLru) {
+      // Devirtualized default: exactly the pre-registry stamp-on-hit.
+      Line->Repl = FastLru->NextStamp++;
+    } else {
+      unsigned SetIndex = Geometry.setIndex(BlockAddress);
+      CacheLine *Set = liveSet(SetIndex);
+      Policy->touch(Set, SetIndex, static_cast<unsigned>(Line - Set));
+    }
+  }
   return Line;
 }
 
@@ -60,14 +76,18 @@ CacheLine *CacheArray::probe(Addr BlockAddress) {
     return nullptr; // Untouched set: trivially a miss.
   CacheLine *Set = liveSet(SetIndex);
   // Most probes re-find the way hit last time (consecutive accesses to a
-  // hot block); checking it first is a pure host-side search-order
-  // shortcut — the result and replacement behaviour are unchanged.
-  const unsigned First = MruWay[SetIndex];
+  // hot block); checking the policy's hint first is a pure host-side
+  // search-order shortcut — the result and replacement behaviour are
+  // unchanged. The hint is never trusted on its own: a policy may reorder
+  // lines within the set from fill() and leave the hint stale, so both the
+  // validity and the block address are re-checked before returning
+  // (tests/MemTest.cpp ReplacementPolicyHint.* pins this down).
+  const unsigned First = Policy->probeHint(SetIndex);
   if (Set[First].valid() && Set[First].Block == BlockAddress)
     return &Set[First];
   for (unsigned Way = 0; Way < Geometry.Assoc; ++Way)
     if (Way != First && Set[Way].valid() && Set[Way].Block == BlockAddress) {
-      MruWay[SetIndex] = static_cast<std::uint8_t>(Way);
+      Policy->noteProbeHit(SetIndex, Way);
       return &Set[Way];
     }
   return nullptr;
@@ -81,28 +101,47 @@ std::optional<EvictedLine> CacheArray::insert(Addr BlockAddress,
                                               LineState State) {
   assert(State != LineState::Invalid && "cannot insert an invalid line");
   assert(!probe(BlockAddress) && "block already present");
-  CacheLine *Set = touchSet(Geometry.setIndex(BlockAddress));
+  unsigned SetIndex = Geometry.setIndex(BlockAddress);
+  CacheLine *Set = touchSet(SetIndex);
 
-  CacheLine *Victim = &Set[0];
-  for (unsigned Way = 0; Way < Geometry.Assoc; ++Way) {
+  // Invalid ways are filled first regardless of policy (every policy wants
+  // a free way over a victim); only a full set consults the policy.
+  unsigned VictimWay = Geometry.Assoc;
+  for (unsigned Way = 0; Way < Geometry.Assoc; ++Way)
     if (!Set[Way].valid()) {
-      Victim = &Set[Way];
+      VictimWay = Way;
       break;
     }
-    if (Set[Way].LruStamp < Victim->LruStamp)
-      Victim = &Set[Way];
+  if (VictimWay == Geometry.Assoc) {
+    if (FastLru) {
+      // Devirtualized default: strictly-smallest stamp from way 0 —
+      // verbatim the pre-registry scan for an all-valid set.
+      VictimWay = 0;
+      for (unsigned Way = 1; Way < Geometry.Assoc; ++Way)
+        if (Set[Way].Repl < Set[VictimWay].Repl)
+          VictimWay = Way;
+    } else {
+      VictimWay = Policy->victim(Set, SetIndex);
+      assert(VictimWay < Geometry.Assoc && "policy returned an invalid way");
+    }
   }
+  CacheLine *Victim = &Set[VictimWay];
 
   std::optional<EvictedLine> Displaced;
-  if (Victim->valid())
+  if (Victim->valid()) {
     Displaced = EvictedLine{Victim->Block, Victim->State, Victim->Dirty};
+    if (!FastLru)
+      Policy->evicted(Set, SetIndex, VictimWay);
+  }
 
   Victim->Block = BlockAddress;
   Victim->State = State;
   Victim->Dirty.clear();
-  Victim->LruStamp = NextStamp++;
-  MruWay[Geometry.setIndex(BlockAddress)] =
-      static_cast<std::uint8_t>(Victim - Set);
+  Policy->noteProbeHit(SetIndex, VictimWay);
+  if (FastLru)
+    Victim->Repl = FastLru->NextStamp++;
+  else
+    Policy->fill(Set, SetIndex, VictimWay);
   return Displaced;
 }
 
@@ -113,6 +152,11 @@ std::optional<EvictedLine> CacheArray::invalidate(Addr BlockAddress) {
   EvictedLine Old{Line->Block, Line->State, Line->Dirty};
   Line->State = LineState::Invalid;
   Line->Dirty.clear();
+  if (!FastLru) {
+    unsigned SetIndex = Geometry.setIndex(BlockAddress);
+    CacheLine *Set = liveSet(SetIndex);
+    Policy->invalidated(Set, SetIndex, static_cast<unsigned>(Line - Set));
+  }
   return Old;
 }
 

@@ -1,14 +1,16 @@
-//===- mem/CacheArray.h - LRU set-associative cache array -----*- C++ -*-===//
+//===- mem/CacheArray.h - Set-associative cache array ---------*- C++ -*-===//
 //
 // Part of the WARDen reproduction project.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A protocol-agnostic set-associative cache array with LRU replacement.
-/// Each line stores a local coherence state, the WARD flag, and a
-/// byte-granularity dirty sector mask (Section 6.1's sectored caches). The
-/// coherence controller layers MESI/WARDen semantics on top.
+/// A protocol-agnostic set-associative cache array with pluggable
+/// replacement (mem/ReplacementPolicy.h; "lru" by default, byte-identical
+/// to the formerly hard-coded behaviour). Each line stores a local
+/// coherence state, the WARD flag, and a byte-granularity dirty sector
+/// mask (Section 6.1's sectored caches). The coherence controller layers
+/// MESI/WARDen semantics on top.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,10 +26,14 @@
 #include <memory>
 #include <new>
 #include <optional>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
 namespace warden {
+
+class ReplacementPolicy;
+class LruPolicy;
 
 /// Local (per-cache) state of a line. Private caches use the full MESI
 /// vocabulary plus Ward; the LLC data array only uses Invalid/Shared/
@@ -51,7 +57,11 @@ struct CacheLine {
   Addr Block = 0;               ///< Block-aligned address; valid lines only.
   LineState State = LineState::Invalid;
   SectorMask Dirty;             ///< Bytes written while Modified/Ward.
-  std::uint64_t LruStamp = 0;   ///< Monotonic recency stamp.
+  /// Replacement-policy scratch word, owned entirely by the array's
+  /// ReplacementPolicy (the LRU recency stamp under "lru", the RRPV under
+  /// "rrip", the packed feature signature + age under the perceptrons).
+  /// Zeroed when the set is first formatted.
+  std::uint64_t Repl = 0;
 
   bool valid() const { return State != LineState::Invalid; }
   bool dirty() const {
@@ -67,7 +77,7 @@ struct EvictedLine {
   SectorMask Dirty;
 };
 
-/// Set-associative, LRU-replaced cache array.
+/// Set-associative cache array with registry-selected replacement.
 ///
 /// Sets are initialized lazily: construction allocates the backing store
 /// uninitialized and only a first probe-with-intent (insert) formats a
@@ -79,9 +89,21 @@ struct EvictedLine {
 /// order — identical iteration order to the former eager layout.
 class CacheArray {
 public:
-  explicit CacheArray(const CacheGeometry &Geometry);
+  /// \p Policy names a registered replacement policy (see
+  /// mem/ReplacementPolicy.h); unknown ids throw std::invalid_argument.
+  explicit CacheArray(const CacheGeometry &Geometry,
+                      std::string_view Policy = "lru");
+  ~CacheArray();
+  CacheArray(CacheArray &&) noexcept;
+  CacheArray &operator=(CacheArray &&) noexcept;
 
   const CacheGeometry &geometry() const { return Geometry; }
+
+  /// The replacement policy deciding this array's victims. Exposed so the
+  /// controller can install coherence-context probes (perceptron-ward) and
+  /// tests can drive policies directly.
+  ReplacementPolicy &replacementPolicy() { return *Policy; }
+  const ReplacementPolicy &replacementPolicy() const { return *Policy; }
 
   /// Finds the line holding \p BlockAddress, updating recency. Returns
   /// nullptr on miss. \p BlockAddress must be block-aligned.
@@ -92,9 +114,10 @@ public:
   const CacheLine *probe(Addr BlockAddress) const;
 
   /// Allocates a line for \p BlockAddress in state \p State, evicting the
-  /// LRU valid line of the set if necessary. Returns the displaced line's
-  /// data if one was displaced so the caller can write it back / notify the
-  /// directory. \p BlockAddress must not already be present.
+  /// policy's chosen valid line of the set if necessary. Returns the
+  /// displaced line's data if one was displaced so the caller can write it
+  /// back / notify the directory. \p BlockAddress must not already be
+  /// present.
   std::optional<EvictedLine> insert(Addr BlockAddress, LineState State);
 
   /// Invalidates the line holding \p BlockAddress if present; returns its
@@ -151,10 +174,12 @@ private:
   std::unique_ptr<std::byte[]> Storage;
   /// One byte per set: nonzero once the set's lines are constructed.
   std::vector<std::uint8_t> SetLive;
-  /// Per-set hint: the way that served the last hit, checked first by
-  /// probe(). Purely a host-side search-order shortcut.
-  std::vector<std::uint8_t> MruWay;
-  std::uint64_t NextStamp = 1;
+  /// The registry-constructed replacement policy (owns the per-set probe
+  /// hint and any policy state beyond the lines' Repl words).
+  std::unique_ptr<ReplacementPolicy> Policy;
+  /// Non-null when Policy is the built-in LRU: hot paths then stamp
+  /// inline instead of paying a virtual call per hit (see lookup/insert).
+  LruPolicy *FastLru = nullptr;
 };
 
 static_assert(std::is_trivially_destructible_v<CacheLine>,

@@ -1,0 +1,363 @@
+//===- mem/ReplacementPolicy.cpp - Pluggable cache replacement ------------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/mem/ReplacementPolicy.h"
+
+#include "src/mem/CacheArray.h"
+#include "src/support/Registry.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+using namespace warden;
+
+ReplacementPolicy::ReplacementPolicy(const CacheGeometry &Geometry)
+    : Geometry(Geometry), HintWay(Geometry.NumSets, 0) {}
+
+ReplacementPolicy::~ReplacementPolicy() = default;
+
+void ReplacementPolicy::evicted(const CacheLine *Set, unsigned SetIndex,
+                                unsigned Way) {
+  (void)Set;
+  (void)SetIndex;
+  (void)Way;
+}
+
+void ReplacementPolicy::invalidated(CacheLine *Set, unsigned SetIndex,
+                                    unsigned Way) {
+  (void)Set;
+  (void)SetIndex;
+  (void)Way;
+}
+
+void ReplacementPolicy::setRegionProbe(RegionMembershipProbe Probe) {
+  (void)Probe;
+}
+
+LruPolicy *ReplacementPolicy::asLru() { return nullptr; }
+
+//===----------------------------------------------------------------------===//
+// lru — exact LRU, verbatim the pre-registry CacheArray algorithm
+//===----------------------------------------------------------------------===//
+
+LruPolicy::LruPolicy(const CacheGeometry &Geometry)
+    : ReplacementPolicy(Geometry) {}
+
+void LruPolicy::touch(CacheLine *Set, unsigned SetIndex, unsigned Way) {
+  (void)SetIndex;
+  Set[Way].Repl = NextStamp++;
+}
+
+unsigned LruPolicy::victim(CacheLine *Set, unsigned SetIndex) {
+  (void)SetIndex;
+  // Strictly-smallest stamp scanning from way 0 — the exact tie-break the
+  // pre-registry combined scan produced for an all-valid set.
+  unsigned Victim = 0;
+  for (unsigned Way = 1; Way < Geometry.Assoc; ++Way)
+    if (Set[Way].Repl < Set[Victim].Repl)
+      Victim = Way;
+  return Victim;
+}
+
+void LruPolicy::fill(CacheLine *Set, unsigned SetIndex, unsigned Way) {
+  (void)SetIndex;
+  Set[Way].Repl = NextStamp++;
+}
+
+LruPolicy *LruPolicy::asLru() { return this; }
+
+//===----------------------------------------------------------------------===//
+// rrip — 2-bit SRRIP
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Static re-reference interval prediction (Jaleel et al.) with a 2-bit
+/// re-reference prediction value (RRPV) per line, stored in the line's
+/// Repl word. Fills predict a "long" interval (MaxRrpv - 1), hits promote
+/// to "immediate" (0), and victim search ages the whole set until some way
+/// reaches "distant" (MaxRrpv), evicting the lowest such way —
+/// scan-resistant where pure LRU thrashes.
+class RripPolicy final : public ReplacementPolicy {
+public:
+  explicit RripPolicy(const CacheGeometry &Geometry)
+      : ReplacementPolicy(Geometry) {}
+
+  void touch(CacheLine *Set, unsigned, unsigned Way) override {
+    Set[Way].Repl = 0;
+  }
+
+  unsigned victim(CacheLine *Set, unsigned) override {
+    for (;;) {
+      for (unsigned Way = 0; Way < Geometry.Assoc; ++Way)
+        if (Set[Way].Repl >= MaxRrpv)
+          return Way;
+      for (unsigned Way = 0; Way < Geometry.Assoc; ++Way)
+        ++Set[Way].Repl;
+    }
+  }
+
+  void fill(CacheLine *Set, unsigned, unsigned Way) override {
+    Set[Way].Repl = MaxRrpv - 1;
+  }
+
+private:
+  static constexpr std::uint64_t MaxRrpv = 3;
+};
+
+//===----------------------------------------------------------------------===//
+// perceptron / perceptron-ward — hashed-perceptron reuse prediction
+//===----------------------------------------------------------------------===//
+
+/// Hashed-perceptron reuse predictor in the style of Teran, Wang, and
+/// Jimenez ("Perceptron Learning for Reuse Prediction", MICRO 2016),
+/// restricted to deterministic integer arithmetic.
+///
+/// Each fill extracts NumTables 8-bit features from the filled block —
+/// low/mid/high address shards plus a page-granule hash standing in for
+/// the allocation site (recorded traces lay allocation sites out
+/// page-contiguously, so the page hash separates data structures the same
+/// way a PC hash separates them in hardware) — and packs the feature
+/// signature into the line's Repl word together with a fill/touch age
+/// tick. The prediction for a line is the sum of the saturating signed
+/// weights its stored signature indexes; larger sums mean "more
+/// confidently dead".
+///
+/// Training follows the perceptron rule with a confidence threshold Theta:
+/// a hit decrements the line's weights (toward reuse) unless the sum is
+/// already confidently negative; a capacity eviction increments them
+/// (toward death) unless already confidently positive. Victim selection
+/// evicts the way with the largest sum, breaking ties toward the oldest
+/// age tick and then the lowest way index — all integer comparisons, so
+/// the choice is a pure function of the access sequence and reports stay
+/// byte-identical at any --jobs/--intra-jobs.
+///
+/// The "perceptron-ward" variant rededicates the last feature slot to
+/// coherence-layer context sampled at fill time: disjoint-region
+/// membership (from the controller's region table via the installed
+/// probe), WARD state, and write intent. Region-resident lines get their
+/// own weight rows, letting the predictor learn, e.g., that WARD-granted
+/// lines in hot regions are worth keeping until reconciliation.
+class PerceptronPolicy final : public ReplacementPolicy {
+public:
+  PerceptronPolicy(const CacheGeometry &Geometry, bool WardFeatures)
+      : ReplacementPolicy(Geometry), WardFeatures(WardFeatures) {
+    std::fill(&Weights[0][0], &Weights[0][0] + NumTables * TableSize,
+              static_cast<std::int8_t>(0));
+  }
+
+  void touch(CacheLine *Set, unsigned, unsigned Way) override {
+    std::uint64_t Sig = Set[Way].Repl & SigMask;
+    if (predict(Sig) > -Theta)
+      train(Sig, /*TowardDeath=*/false);
+    Set[Way].Repl = Sig | (std::uint64_t(nextAge()) << AgeShift);
+  }
+
+  unsigned victim(CacheLine *Set, unsigned) override {
+    unsigned Best = 0;
+    int BestScore = predict(Set[0].Repl & SigMask);
+    std::uint32_t BestAge = age(Set[0].Repl);
+    for (unsigned Way = 1; Way < Geometry.Assoc; ++Way) {
+      int Score = predict(Set[Way].Repl & SigMask);
+      std::uint32_t WayAge = age(Set[Way].Repl);
+      if (Score > BestScore || (Score == BestScore && WayAge < BestAge)) {
+        Best = Way;
+        BestScore = Score;
+        BestAge = WayAge;
+      }
+    }
+    return Best;
+  }
+
+  void evicted(const CacheLine *Set, unsigned, unsigned Way) override {
+    std::uint64_t Sig = Set[Way].Repl & SigMask;
+    if (predict(Sig) < Theta)
+      train(Sig, /*TowardDeath=*/true);
+  }
+
+  void fill(CacheLine *Set, unsigned, unsigned Way) override {
+    std::uint64_t Sig = signatureFor(Set[Way]);
+    Set[Way].Repl = Sig | (std::uint64_t(nextAge()) << AgeShift);
+  }
+
+  void setRegionProbe(RegionMembershipProbe P) override {
+    Probe = std::move(P);
+  }
+
+private:
+  static constexpr unsigned NumTables = 4;
+  static constexpr unsigned TableBits = 8;
+  static constexpr unsigned TableSize = 1u << TableBits;
+  static constexpr int WeightMax = 31; ///< 6-bit saturating counters.
+  static constexpr int WeightMin = -32;
+  static constexpr int Theta = 16; ///< Training confidence threshold.
+  static constexpr unsigned AgeShift = NumTables * TableBits;
+  static constexpr std::uint64_t SigMask = (std::uint64_t(1) << AgeShift) - 1;
+  static constexpr std::uint32_t AgeMask = 0xfffffff; ///< 28-bit tick.
+
+  std::uint32_t nextAge() { return ++AgeTick & AgeMask; }
+
+  static std::uint32_t age(std::uint64_t Repl) {
+    return static_cast<std::uint32_t>(Repl >> AgeShift) & AgeMask;
+  }
+
+  /// Fill-time feature extraction. Features 0-2 are address shards at
+  /// line, page, and region granularities; feature 3 is either another
+  /// address shard (plain perceptron) or the coherence-context byte
+  /// (perceptron-ward).
+  std::uint64_t signatureFor(const CacheLine &Line) const {
+    Addr B = Line.Block;
+    std::uint64_t F0 = (B >> 6) & 0xff;
+    std::uint64_t F1 = ((B >> 12) * 0x9E3779B1u >> 24) & 0xff;
+    std::uint64_t F2 = ((B >> 8) ^ (B >> 16) ^ (B >> 24)) & 0xff;
+    std::uint64_t F3;
+    if (WardFeatures) {
+      unsigned Ctx = 0;
+      if (Probe && Probe(B))
+        Ctx |= 1; // Inside a tracked disjoint-access region.
+      if (Line.State == LineState::Ward)
+        Ctx |= 2; // Filled under an active WARD grant.
+      if (Line.State == LineState::Modified ||
+          Line.State == LineState::Exclusive || Line.State == LineState::Ward)
+        Ctx |= 4; // Write-intent fill.
+      // Spread the eight context values across the table so they do not
+      // alias each other's weights.
+      F3 = (Ctx * 0x1d) & 0xff;
+    } else {
+      F3 = ((B >> 20) ^ (B >> 27)) & 0xff;
+    }
+    return F0 | (F1 << 8) | (F2 << 16) | (F3 << 24);
+  }
+
+  int predict(std::uint64_t Sig) const {
+    int Sum = 0;
+    for (unsigned T = 0; T < NumTables; ++T)
+      Sum += Weights[T][(Sig >> (T * TableBits)) & (TableSize - 1)];
+    return Sum;
+  }
+
+  void train(std::uint64_t Sig, bool TowardDeath) {
+    for (unsigned T = 0; T < NumTables; ++T) {
+      std::int8_t &W = Weights[T][(Sig >> (T * TableBits)) & (TableSize - 1)];
+      if (TowardDeath) {
+        if (W < WeightMax)
+          ++W;
+      } else {
+        if (W > WeightMin)
+          --W;
+      }
+    }
+  }
+
+  bool WardFeatures;
+  RegionMembershipProbe Probe;
+  std::int8_t Weights[NumTables][TableSize];
+  std::uint32_t AgeTick = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+struct ReplacementEntry {
+  ReplacementFactory Factory;
+};
+
+struct ReplacementRegistry {
+  Registry<ReplacementEntry> Table;
+
+  ReplacementRegistry() {
+    Table.insertOrReplace(
+        std::string(DefaultReplacementId),
+        ReplacementEntry{[](const CacheGeometry &G) {
+          return std::unique_ptr<ReplacementPolicy>(new LruPolicy(G));
+        }});
+    Table.insertOrReplace(
+        "rrip", ReplacementEntry{[](const CacheGeometry &G) {
+          return std::unique_ptr<ReplacementPolicy>(new RripPolicy(G));
+        }});
+    Table.insertOrReplace(
+        "perceptron", ReplacementEntry{[](const CacheGeometry &G) {
+          return std::unique_ptr<ReplacementPolicy>(
+              new PerceptronPolicy(G, /*WardFeatures=*/false));
+        }});
+    Table.insertOrReplace(
+        "perceptron-ward", ReplacementEntry{[](const CacheGeometry &G) {
+          return std::unique_ptr<ReplacementPolicy>(
+              new PerceptronPolicy(G, /*WardFeatures=*/true));
+        }});
+  }
+};
+
+Registry<ReplacementEntry> &replacementRegistry() {
+  static ReplacementRegistry R;
+  return R.Table;
+}
+
+} // namespace
+
+bool warden::registerReplacementPolicy(std::string Id,
+                                       ReplacementFactory Factory) {
+  return replacementRegistry().insertOrReplace(
+      std::move(Id), ReplacementEntry{std::move(Factory)});
+}
+
+std::unique_ptr<ReplacementPolicy>
+warden::makeReplacementPolicy(std::string_view Id,
+                              const CacheGeometry &Geometry) {
+  std::optional<ReplacementEntry> Entry = replacementRegistry().find(Id);
+  if (!Entry)
+    throw std::invalid_argument(
+        "no replacement policy registered under id '" + std::string(Id) +
+        "' (registered ids: " + replacementRegistry().joinedIds() + ")");
+  return Entry->Factory(Geometry);
+}
+
+bool warden::isRegisteredReplacementId(std::string_view Id) {
+  return replacementRegistry().find(Id).has_value();
+}
+
+std::vector<std::string> warden::registeredReplacementIds() {
+  return replacementRegistry().ids();
+}
+
+std::optional<std::vector<std::string>>
+warden::parseReplacementList(std::string_view List, std::string &Error) {
+  if (List.empty()) {
+    Error = "empty replacement list (expected comma-separated ids: " +
+            replacementRegistry().joinedIds() + ")";
+    return std::nullopt;
+  }
+  std::vector<std::string> Ids;
+  std::size_t Pos = 0;
+  while (Pos <= List.size()) {
+    std::size_t Comma = List.find(',', Pos);
+    if (Comma == std::string_view::npos)
+      Comma = List.size();
+    std::string_view Id = List.substr(Pos, Comma - Pos);
+    if (Id.empty()) {
+      Error = "empty replacement id in list '" + std::string(List) +
+              "' (leading, trailing, or doubled comma)";
+      return std::nullopt;
+    }
+    if (!isRegisteredReplacementId(Id)) {
+      Error = "unknown replacement id '" + std::string(Id) +
+              "' (registered ids: " + replacementRegistry().joinedIds() + ")";
+      return std::nullopt;
+    }
+    if (std::find(Ids.begin(), Ids.end(), Id) != Ids.end()) {
+      Error = "duplicate replacement id '" + std::string(Id) + "' in list '" +
+              std::string(List) + "'";
+      return std::nullopt;
+    }
+    Ids.emplace_back(Id);
+    Pos = Comma + 1;
+    if (Comma == List.size())
+      break;
+  }
+  return Ids;
+}

@@ -1,0 +1,208 @@
+//===- mem/ReplacementPolicy.h - Pluggable cache replacement --*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The replacement-policy interface and registry. A CacheArray owns the
+/// physical lines; a ReplacementPolicy owns the *eviction policy*: which
+/// valid way to victimize on a conflicting fill, and what per-line /
+/// per-set bookkeeping to update on hits, fills, and invalidations.
+///
+/// Four policies ship in-tree, registered under string ids:
+///  * "lru"             — exact least-recently-used via a monotonic
+///                        per-array stamp; byte-identical to the formerly
+///                        hard-coded CacheArray behaviour and therefore the
+///                        default everywhere (pinned baselines depend on
+///                        it).
+///  * "rrip"            — 2-bit SRRIP (static re-reference interval
+///                        prediction): fills start "long", hits promote to
+///                        "immediate", victims are aged to "distant".
+///  * "perceptron"      — hashed-perceptron reuse prediction: each fill
+///                        hashes address-shard and allocation-page features
+///                        into small saturating integer weight tables and
+///                        stores the feature signature in the line; hits
+///                        train the signature toward reuse, evictions train
+///                        it toward death; victim selection evicts the
+///                        most-confidently-dead line. Integer-only
+///                        fixed-point arithmetic keeps reports
+///                        byte-identical at any --jobs/--intra-jobs.
+///  * "perceptron-ward" — the perceptron with one feature slot rededicated
+///                        to coherence-layer context (disjoint-region
+///                        membership, WARD state, write intent) supplied by
+///                        the controller through setRegionProbe() — the
+///                        WARDen x learned-replacement cross.
+///
+/// State contract: per-line policy state lives in CacheLine::Repl (a
+/// 64-bit policy-owned scratch word zeroed when a set is first formatted),
+/// so lazily constructed sets need no parallel allocation; per-set state
+/// (the probe-hint way in the base class, anything a custom policy adds)
+/// is sized NumSets at construction. Policies may physically reorder lines
+/// within a set from fill() (stack-ordered policies want way position to
+/// carry meaning); CacheArray::probe therefore never trusts the hint
+/// without re-checking the block address — see the regression test in
+/// tests/MemTest.cpp.
+///
+/// Determinism contract: every hook must be a pure function of the access
+/// sequence (no host time, no host pointers, no floating point). The
+/// epoch-barriered engine replays the same lookup/fill sequence in every
+/// mode, so any policy honouring this contract is byte-identical at any
+/// --jobs/--intra-jobs value — the same argument DESIGN.md makes for lru.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_MEM_REPLACEMENTPOLICY_H
+#define WARDEN_MEM_REPLACEMENTPOLICY_H
+
+#include "src/mem/CacheGeometry.h"
+#include "src/support/Types.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace warden {
+
+struct CacheLine;
+class LruPolicy;
+
+/// The canonical default policy id: exact LRU, byte-identical to the
+/// pre-registry CacheArray behaviour.
+inline constexpr std::string_view DefaultReplacementId = "lru";
+
+/// Coherence-layer context probe handed to region-aware policies: true
+/// when the block is inside a currently tracked disjoint-access region.
+/// Installed by the CoherenceController after construction; only consulted
+/// from fill-time feature extraction (the serial miss path), never from
+/// epoch-worker hit paths.
+using RegionMembershipProbe = std::function<bool(Addr)>;
+
+/// Eviction policy for one CacheArray. Constructed through the registry
+/// (makeReplacementPolicy) with the owning array's geometry; lives exactly
+/// as long as the array.
+class ReplacementPolicy {
+public:
+  explicit ReplacementPolicy(const CacheGeometry &Geometry);
+  virtual ~ReplacementPolicy();
+
+  ReplacementPolicy(const ReplacementPolicy &) = delete;
+  ReplacementPolicy &operator=(const ReplacementPolicy &) = delete;
+
+  /// --- Probe-hint ownership (moved here from CacheArray) ----------------
+  /// The way that served the set's last hit, checked first by
+  /// CacheArray::probe. A pure host-side search-order shortcut: the array
+  /// re-verifies validity and the block address before trusting it, so a
+  /// policy that reorders lines from fill() can leave it stale without
+  /// ever producing a false hit.
+  unsigned probeHint(unsigned SetIndex) const { return HintWay[SetIndex]; }
+  void noteProbeHit(unsigned SetIndex, unsigned Way) {
+    HintWay[SetIndex] = static_cast<std::uint8_t>(Way);
+  }
+
+  /// A lookup hit \p Set[\p Way]: update recency / train toward reuse.
+  virtual void touch(CacheLine *Set, unsigned SetIndex, unsigned Way) = 0;
+
+  /// Chooses the way to displace for a conflicting fill. Called only when
+  /// every way of \p Set is valid (the array fills invalid ways first);
+  /// must return a way index < Assoc. May mutate per-line state (SRRIP
+  /// ages lines while searching).
+  virtual unsigned victim(CacheLine *Set, unsigned SetIndex) = 0;
+
+  /// \p Set[\p Way] (still holding the victim's contents) is about to be
+  /// overwritten by a conflicting fill: train toward death. Not called for
+  /// fills into invalid ways or for coherence invalidations.
+  virtual void evicted(const CacheLine *Set, unsigned SetIndex, unsigned Way);
+
+  /// \p Set[\p Way] now holds a freshly filled line (Block/State already
+  /// written, Repl still carrying the previous tenant's state): initialize
+  /// per-line state. The only hook allowed to reorder lines within the
+  /// set; a policy that does so must keep any state it stores per-way
+  /// consistent itself.
+  virtual void fill(CacheLine *Set, unsigned SetIndex, unsigned Way) = 0;
+
+  /// \p Set[\p Way] was invalidated by the coherence layer (not a capacity
+  /// victim). Default: keep state untouched — an invalidation says nothing
+  /// about reuse, and lru byte-identity depends on the stamp surviving.
+  virtual void invalidated(CacheLine *Set, unsigned SetIndex, unsigned Way);
+
+  /// Installs the coherence-layer region probe. Default: ignored; only
+  /// "perceptron-ward" stores it.
+  virtual void setRegionProbe(RegionMembershipProbe Probe);
+
+  /// Non-null when this policy is the built-in LRU: CacheArray then stamps
+  /// hits inline (the pre-registry hot path) instead of paying a virtual
+  /// call per hit. Registering a custom policy under "lru" returns null
+  /// here and takes the generic virtual path.
+  virtual LruPolicy *asLru();
+
+protected:
+  CacheGeometry Geometry;
+  /// Per-set probe hint, one byte per set (always < Assoc).
+  std::vector<std::uint8_t> HintWay;
+};
+
+/// Exact LRU — the default policy, reproducing the formerly hard-coded
+/// CacheArray algorithm verbatim: one monotonic stamp counter per array
+/// starting at 1, stamp-on-hit and stamp-on-fill, victim = the
+/// strictly-smallest stamp scanning from way 0. Final so CacheArray's
+/// devirtualized fast path (asLru) is sound.
+class LruPolicy final : public ReplacementPolicy {
+public:
+  explicit LruPolicy(const CacheGeometry &Geometry);
+
+  void touch(CacheLine *Set, unsigned SetIndex, unsigned Way) override;
+  unsigned victim(CacheLine *Set, unsigned SetIndex) override;
+  void fill(CacheLine *Set, unsigned SetIndex, unsigned Way) override;
+  LruPolicy *asLru() override;
+
+  /// Monotonic recency stamp source, public so CacheArray's inline fast
+  /// path can stamp without a virtual call. Starts at 1: a formatted but
+  /// never-touched line keeps Repl == 0, strictly older than any stamp.
+  std::uint64_t NextStamp = 1;
+};
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+/// Factory signature for the replacement-policy registry.
+using ReplacementFactory =
+    std::function<std::unique_ptr<ReplacementPolicy>(const CacheGeometry &)>;
+
+/// Registers (or, for an existing id, replaces) a replacement policy under
+/// \p Id. The four built-ins are pre-registered; replacing one swaps the
+/// implementation every subsequent CacheArray construction uses.
+/// Thread-safe. Returns true if \p Id was new.
+bool registerReplacementPolicy(std::string Id, ReplacementFactory Factory);
+
+/// Instantiates the policy registered under \p Id for an array with
+/// \p Geometry. Throws std::invalid_argument (listing the registered ids)
+/// for unknown ids.
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(std::string_view Id, const CacheGeometry &Geometry);
+
+/// True when \p Id names a registered policy — what MachineConfig
+/// validation checks without constructing anything.
+bool isRegisteredReplacementId(std::string_view Id);
+
+/// The currently registered replacement-policy ids, in registration order
+/// — what --replacement= error messages and `warden-verify --list` print.
+std::vector<std::string> registeredReplacementIds();
+
+/// Strictly parses a comma-separated replacement-id list (the harness
+/// --replacement= syntax). Every malformation is rejected with a
+/// descriptive message in \p Error: an empty list, an empty segment
+/// (leading/trailing/doubled comma), an unknown id (the message lists
+/// registeredReplacementIds()), or a duplicate id. Returns std::nullopt on
+/// rejection.
+std::optional<std::vector<std::string>>
+parseReplacementList(std::string_view List, std::string &Error);
+
+} // namespace warden
+
+#endif // WARDEN_MEM_REPLACEMENTPOLICY_H

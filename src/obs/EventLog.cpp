@@ -8,6 +8,7 @@
 
 #include "src/coherence/Protocol.h"
 #include "src/machine/MachineConfig.h"
+#include "src/mem/ReplacementPolicy.h"
 #include "src/trace/TaskGraph.h"
 
 #include <algorithm>
@@ -167,6 +168,8 @@ const char *evKindName(EvKind Kind) {
     return "forced_reconcile";
   case EvKind::Steal:
     return "steal";
+  case EvKind::PrematureMiss:
+    return "premature_miss";
   }
   return "unknown";
 }
@@ -190,6 +193,11 @@ void EventLog::beginRun(const MachineConfig &Config, const MemoryMap *Map) {
   closeShards(/*Remove=*/true);
   ProtocolId = protocolId(Config.Protocol);
   RunPath = Base + "." + ProtocolId + ".evlog";
+  if (Config.Replacement != DefaultReplacementId)
+    // Matrix runs log one file per protocol x replacement cell; the
+    // default policy keeps the historical name so existing tooling and
+    // baselines are untouched.
+    RunPath = Base + "." + ProtocolId + "." + Config.Replacement + ".evlog";
   CoreCount = Config.totalCores();
   BlockSize = Config.BlockSize;
 

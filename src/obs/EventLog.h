@@ -69,6 +69,10 @@ enum class EvKind : std::uint8_t {
   FaultEviction = 17,  ///< Fault-injected private eviction.
   ForcedReconcile = 18, ///< Fault-injected mid-region reconcile.
   Steal = 19,          ///< Successful steal; Payload = victim core.
+  PrematureMiss = 20,  ///< Demand miss re-fetching a block the same core
+                       ///< lost to a capacity eviction (replacement-policy
+                       ///< attribution); Payload = miss latency, Arg =
+                       ///< AccessType. Emitted alongside the DemandMiss.
 };
 
 /// Printable name of \p Kind ("demand_miss", ...); "unknown" for values

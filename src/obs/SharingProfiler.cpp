@@ -196,6 +196,13 @@ void SharingProfiler::onDemandMiss(Addr Block, CoreId Core, Cycles Latency,
     ++R->RemoteHops;
 }
 
+void SharingProfiler::onPrematureMiss(Addr Block, CoreId Core) {
+  if (LineRecord *R = lookup(Block)) {
+    (void)Core;
+    ++R->PrematureMisses;
+  }
+}
+
 SharingClass SharingProfiler::classify(const LineRecord &R) const {
   CoreMask Touched = R.Readers;
   R.Writers.forEach([&](CoreId Core) { Touched.set(Core); });
@@ -228,6 +235,7 @@ void SharingProfiler::fillProfile(Addr Block, const LineRecord &R,
   P.RemoteHops = R.RemoteHops;
   P.DemandMisses = R.DemandMisses;
   P.DemandMissCycles = R.DemandMissCycles;
+  P.PrematureMisses = R.PrematureMisses;
   P.WriterHandoffs = R.WriterHandoffs;
   P.PingPongs = R.PingPongs;
   P.Readers = R.Readers.count();
@@ -248,6 +256,7 @@ ProfileReport SharingProfiler::report(std::size_t TopN) const {
     fillProfile(Block, R, P);
     Rep.TotalInvalidations += P.Invalidations;
     Rep.TotalDowngrades += P.Downgrades;
+    Rep.TotalPrematureMisses += P.PrematureMisses;
 
     SiteProfile &S = Sites[P.Site];
     S.Site = P.Site;
@@ -259,6 +268,7 @@ ProfileReport SharingProfiler::report(std::size_t TopN) const {
     S.WardGrants += P.WardGrants;
     S.DemandMisses += P.DemandMisses;
     S.DemandMissCycles += P.DemandMissCycles;
+    S.PrematureMisses += P.PrematureMisses;
 
     All.push_back(std::move(P));
   }
@@ -300,6 +310,7 @@ void ProfileReport::writeJson(JsonWriter &W) const {
   W.member("dropped_events", DroppedEvents);
   W.member("total_invalidations", TotalInvalidations);
   W.member("total_downgrades", TotalDowngrades);
+  W.member("total_premature_misses", TotalPrematureMisses);
   W.key("lines").beginArray();
   for (const LineProfile &P : Lines) {
     W.beginObject();
@@ -316,6 +327,7 @@ void ProfileReport::writeJson(JsonWriter &W) const {
     W.member("remote_hops", P.RemoteHops);
     W.member("demand_misses", P.DemandMisses);
     W.member("demand_miss_cycles", P.DemandMissCycles);
+    W.member("premature_misses", P.PrematureMisses);
     W.member("writer_handoffs", P.WriterHandoffs);
     W.member("ping_pongs", P.PingPongs);
     W.member("readers", P.Readers);
@@ -334,6 +346,7 @@ void ProfileReport::writeJson(JsonWriter &W) const {
     W.member("ward_grants", S.WardGrants);
     W.member("demand_misses", S.DemandMisses);
     W.member("demand_miss_cycles", S.DemandMissCycles);
+    W.member("premature_misses", S.PrematureMisses);
     W.endObject();
   }
   W.endArray();

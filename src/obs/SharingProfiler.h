@@ -69,6 +69,10 @@ struct LineProfile {
   std::uint64_t RemoteHops = 0;
   std::uint64_t DemandMisses = 0;
   std::uint64_t DemandMissCycles = 0;
+  /// Demand misses re-fetching a block the same core lost to a capacity
+  /// eviction — the replacement policy's direct contribution to this
+  /// line's miss count (fed by the controller's premature-miss tracker).
+  std::uint64_t PrematureMisses = 0;
   std::uint64_t WriterHandoffs = 0;
   std::uint64_t PingPongs = 0; ///< Alternating-writer (A,B,A) transitions.
   unsigned Readers = 0;
@@ -91,6 +95,7 @@ struct SiteProfile {
   std::uint64_t WardGrants = 0;
   std::uint64_t DemandMisses = 0;
   std::uint64_t DemandMissCycles = 0;
+  std::uint64_t PrematureMisses = 0;
 };
 
 /// Snapshot of one run's profile, carried into RunResult. Cheap value
@@ -105,6 +110,7 @@ struct ProfileReport {
   std::uint64_t DroppedEvents = 0; ///< Events that fell on untracked lines.
   std::uint64_t TotalInvalidations = 0;
   std::uint64_t TotalDowngrades = 0;
+  std::uint64_t TotalPrematureMisses = 0;
 
   /// Emits the report as one "warden-prof-v1" JSON object onto \p W.
   void writeJson(JsonWriter &W) const;
@@ -135,6 +141,10 @@ public:
   void onReconcile(Addr Block, unsigned Holders);
   void onWardGrant(Addr Block, CoreId Core);
   void onDemandMiss(Addr Block, CoreId Core, Cycles Latency, bool Remote);
+  /// A demand miss that re-fetched a block \p Core itself lost to a
+  /// capacity eviction. Always follows the onDemandMiss() for the same
+  /// access, so it only bumps the attribution counter.
+  void onPrematureMiss(Addr Block, CoreId Core);
 
   // --- Reporting ------------------------------------------------------------
 
@@ -159,6 +169,7 @@ private:
     std::uint64_t RemoteHops = 0;
     std::uint64_t DemandMisses = 0;
     std::uint64_t DemandMissCycles = 0;
+    std::uint64_t PrematureMisses = 0;
     std::uint64_t WriterHandoffs = 0;
     std::uint64_t PingPongs = 0;
     CoreMask Readers;

@@ -1,0 +1,104 @@
+//===- support/Registry.h - String-keyed factory registry -----*- C++ -*-===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small mutex-protected string-keyed table shared by the pluggable
+/// registries (coherence protocols in coherence/Protocol.h, replacement
+/// policies in mem/ReplacementPolicy.h). Entries keep registration order so
+/// id listings in error messages and --list output are stable; insertion
+/// replaces in place when the id already exists, mirroring the
+/// registerProtocol() contract. Lookups are safe against a concurrent
+/// registration from a test: controllers are constructed from JobPool
+/// worker threads.
+///
+/// The registries themselves remain thin domain-specific wrappers (seeding
+/// built-ins, canonical-kind resolution, error-message wording); this
+/// template only owns the locked table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARDEN_SUPPORT_REGISTRY_H
+#define WARDEN_SUPPORT_REGISTRY_H
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace warden {
+
+/// A locked, ordered map from string id to \p ValueT (typically a factory
+/// closure plus per-entry metadata).
+template <typename ValueT> class Registry {
+public:
+  struct Entry {
+    std::string Id;
+    ValueT Value;
+  };
+
+  /// Registers \p Value under \p Id, replacing an existing entry in place
+  /// (registration order is preserved). Returns true if \p Id was new.
+  bool insertOrReplace(std::string Id, ValueT Value) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (Entry &E : Entries)
+      if (E.Id == Id) {
+        E.Value = std::move(Value);
+        return false;
+      }
+    Entries.push_back(Entry{std::move(Id), std::move(Value)});
+    return true;
+  }
+
+  /// Returns a copy of the value registered under \p Id, or std::nullopt.
+  std::optional<ValueT> find(std::string_view Id) const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (const Entry &E : Entries)
+      if (E.Id == Id)
+        return E.Value;
+    return std::nullopt;
+  }
+
+  /// Returns a copy of every entry, in registration order. Used by lookups
+  /// that need more than an exact-id match (e.g. makeProtocol's
+  /// canonical-id-then-kind resolution).
+  std::vector<Entry> snapshot() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Entries;
+  }
+
+  /// The registered ids, in registration order.
+  std::vector<std::string> ids() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    std::vector<std::string> Ids;
+    Ids.reserve(Entries.size());
+    for (const Entry &E : Entries)
+      Ids.push_back(E.Id);
+    return Ids;
+  }
+
+  /// "a, b, c" — the listing quoted by parse and lookup error messages, so
+  /// every error names exactly the valid ids.
+  std::string joinedIds() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    std::string Out;
+    for (const Entry &E : Entries) {
+      if (!Out.empty())
+        Out += ", ";
+      Out += E.Id;
+    }
+    return Out;
+  }
+
+private:
+  mutable std::mutex Mutex;
+  std::vector<Entry> Entries;
+};
+
+} // namespace warden
+
+#endif // WARDEN_SUPPORT_REGISTRY_H

@@ -1,0 +1,416 @@
+//===- tests/ReplacementTest.cpp - replacement-policy registry tests --------===//
+//
+// Part of the WARDen reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The pluggable replacement-policy layer: registry round-trips, the strict
+// --replacement list parser, behavioural sanity of the shipped policies,
+// the learned policy's training determinism, the probe-hint contract for
+// line-reordering policies, and the end-to-end configuration plumbing
+// (MachineConfig validation, RunOptions override, premature-miss
+// attribution).
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/WardenSystem.h"
+#include "src/mem/CacheArray.h"
+#include "src/mem/ReplacementPolicy.h"
+#include "src/obs/Observability.h"
+#include "src/rt/SimArray.h"
+#include "src/rt/Stdlib.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+
+using namespace warden;
+
+// --- Registry ----------------------------------------------------------------
+
+TEST(ReplacementRegistry, BuiltinsRegisteredInOrder) {
+  std::vector<std::string> Ids = registeredReplacementIds();
+  auto IndexOf = [&Ids](const std::string &Id) {
+    return std::find(Ids.begin(), Ids.end(), Id) - Ids.begin();
+  };
+  ASSERT_NE(IndexOf("lru"), static_cast<std::ptrdiff_t>(Ids.size()));
+  ASSERT_NE(IndexOf("rrip"), static_cast<std::ptrdiff_t>(Ids.size()));
+  ASSERT_NE(IndexOf("perceptron"), static_cast<std::ptrdiff_t>(Ids.size()));
+  ASSERT_NE(IndexOf("perceptron-ward"),
+            static_cast<std::ptrdiff_t>(Ids.size()));
+  // Registration order is the presentation order everywhere (error
+  // messages, warden-verify --list): lru first.
+  EXPECT_LT(IndexOf("lru"), IndexOf("rrip"));
+  EXPECT_LT(IndexOf("rrip"), IndexOf("perceptron"));
+  EXPECT_LT(IndexOf("perceptron"), IndexOf("perceptron-ward"));
+  EXPECT_TRUE(isRegisteredReplacementId("lru"));
+  EXPECT_FALSE(isRegisteredReplacementId("clock"));
+  EXPECT_EQ(DefaultReplacementId, "lru");
+}
+
+TEST(ReplacementRegistry, UnknownIdThrowsListingRegisteredIds) {
+  CacheGeometry G(512, 2, 64);
+  try {
+    makeReplacementPolicy("clock", G);
+    FAIL() << "unknown id must throw";
+  } catch (const std::invalid_argument &E) {
+    std::string What = E.what();
+    EXPECT_NE(What.find("clock"), std::string::npos) << What;
+    EXPECT_NE(What.find("registered ids"), std::string::npos) << What;
+    EXPECT_NE(What.find("lru"), std::string::npos) << What;
+    EXPECT_NE(What.find("perceptron-ward"), std::string::npos) << What;
+  }
+}
+
+TEST(ReplacementRegistry, RegisterRoundTripAndReplace) {
+  // A fresh id registers as new, is constructible, shows in the id list,
+  // and re-registering the same id replaces (returns false).
+  EXPECT_TRUE(registerReplacementPolicy(
+      "test-roundtrip", [](const CacheGeometry &G) {
+        return std::unique_ptr<ReplacementPolicy>(new LruPolicy(G));
+      }));
+  EXPECT_TRUE(isRegisteredReplacementId("test-roundtrip"));
+  std::vector<std::string> Ids = registeredReplacementIds();
+  EXPECT_NE(std::find(Ids.begin(), Ids.end(), "test-roundtrip"), Ids.end());
+
+  CacheGeometry G(512, 2, 64);
+  std::unique_ptr<ReplacementPolicy> P =
+      makeReplacementPolicy("test-roundtrip", G);
+  ASSERT_NE(P, nullptr);
+  EXPECT_NE(P->asLru(), nullptr); // It is an LruPolicy subclass.
+
+  EXPECT_FALSE(registerReplacementPolicy(
+      "test-roundtrip", [](const CacheGeometry &Geo) {
+        return std::unique_ptr<ReplacementPolicy>(new LruPolicy(Geo));
+      }));
+  // Replacing must not duplicate the id.
+  std::vector<std::string> After = registeredReplacementIds();
+  EXPECT_EQ(std::count(After.begin(), After.end(),
+                       std::string("test-roundtrip")),
+            1);
+}
+
+// --- parseReplacementList ----------------------------------------------------
+
+TEST(ParseReplacementList, AcceptsValidLists) {
+  std::string Error;
+  std::optional<std::vector<std::string>> One =
+      parseReplacementList("lru", Error);
+  ASSERT_TRUE(One.has_value()) << Error;
+  EXPECT_EQ(*One, std::vector<std::string>{"lru"});
+
+  std::optional<std::vector<std::string>> Many =
+      parseReplacementList("perceptron,lru,rrip", Error);
+  ASSERT_TRUE(Many.has_value()) << Error;
+  EXPECT_EQ(*Many,
+            (std::vector<std::string>{"perceptron", "lru", "rrip"}));
+}
+
+TEST(ParseReplacementList, RejectsMalformedLists) {
+  struct Case {
+    const char *List;
+    const char *ExpectInError;
+  };
+  const Case Cases[] = {
+      {"", "empty replacement list"},
+      {"lru,", "empty replacement id"},
+      {",lru", "empty replacement id"},
+      {"lru,,rrip", "empty replacement id"},
+      {"clock", "unknown replacement id"},
+      {"lru,clock", "unknown replacement id"},
+      {"lru,lru", "duplicate replacement id"},
+  };
+  for (const Case &C : Cases) {
+    std::string Error;
+    EXPECT_FALSE(parseReplacementList(C.List, Error).has_value()) << C.List;
+    EXPECT_NE(Error.find(C.ExpectInError), std::string::npos)
+        << "list '" << C.List << "' produced error: " << Error;
+  }
+  // Unknown-id errors list the registered ids.
+  std::string Error;
+  parseReplacementList("clock", Error);
+  EXPECT_NE(Error.find("lru"), std::string::npos) << Error;
+}
+
+// --- Policy behaviour --------------------------------------------------------
+
+namespace {
+
+/// Deterministic block-address sequence generator (SplitMix64-shaped, no
+/// host randomness) confined to a small footprint so sets conflict.
+struct AddrStream {
+  std::uint64_t State;
+  explicit AddrStream(std::uint64_t Seed) : State(Seed) {}
+  Addr next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    Z ^= Z >> 31;
+    return (Z % 64) * 64; // 64 distinct blocks over a 512 B, 8-set array.
+  }
+};
+
+/// Drives \p Cache with \p Ops mixed lookups/inserts from \p Seed and
+/// returns the exact displaced-block sequence.
+std::vector<Addr> driveCache(CacheArray &Cache, std::uint64_t Seed,
+                             unsigned Ops) {
+  AddrStream Stream(Seed);
+  std::vector<Addr> Displaced;
+  for (unsigned I = 0; I < Ops; ++I) {
+    Addr Block = Stream.next();
+    if (Cache.lookup(Block))
+      continue;
+    if (std::optional<EvictedLine> V =
+            Cache.insert(Block, I % 3 ? LineState::Shared
+                                      : LineState::Modified))
+      Displaced.push_back(V->Block);
+  }
+  return Displaced;
+}
+
+} // namespace
+
+TEST(ReplacementPolicies, ExplicitLruMatchesDefault) {
+  CacheGeometry G(512, 2, 64);
+  CacheArray Default(G);
+  CacheArray Explicit(G, "lru");
+  EXPECT_EQ(driveCache(Default, 0x1234, 4096),
+            driveCache(Explicit, 0x1234, 4096));
+  EXPECT_EQ(Default.validLineCount(), Explicit.validLineCount());
+}
+
+TEST(ReplacementPolicies, RripPromotesOnHitAndAgesOnVictim) {
+  // 4 sets x 2 ways. Blocks 0 and 256 share set 0; a hit on 0 must
+  // protect it, making 256 the victim when 512 conflicts.
+  CacheArray Cache(CacheGeometry(512, 2, 64), "rrip");
+  Cache.insert(0, LineState::Shared);
+  Cache.insert(256, LineState::Shared);
+  Cache.lookup(0); // RRPV(0) -> 0; RRPV(256) stays at fill value.
+  std::optional<EvictedLine> Victim = Cache.insert(512, LineState::Shared);
+  ASSERT_TRUE(Victim.has_value());
+  EXPECT_EQ(Victim->Block, 256u);
+  EXPECT_NE(Cache.probe(0), nullptr);
+}
+
+TEST(ReplacementPolicies, AllBuiltinsSurviveAChurnSweep) {
+  for (const std::string &Id : registeredReplacementIds()) {
+    CacheArray Cache(CacheGeometry(1024, 4, 64), Id);
+    driveCache(Cache, 0xabcd, 8192);
+    EXPECT_LE(Cache.validLineCount(), 16u) << Id;
+    EXPECT_GT(Cache.validLineCount(), 0u) << Id;
+    // Every resident line still answers a probe by address.
+    Cache.forEachValidLine([&](CacheLine &Line) {
+      CacheLine *Hit = Cache.probe(Line.Block);
+      ASSERT_NE(Hit, nullptr) << Id;
+      EXPECT_EQ(Hit->Block, Line.Block) << Id;
+    });
+  }
+}
+
+TEST(ReplacementPolicies, PerceptronTrainingIsDeterministic) {
+  // Two arrays driven by the identical sequence must make identical
+  // victim choices at every step: training is a pure function of the
+  // access stream (integer weights, no host state).
+  for (const char *Id : {"perceptron", "perceptron-ward"}) {
+    CacheGeometry G(512, 2, 64);
+    CacheArray A(G, Id);
+    CacheArray B(G, Id);
+    EXPECT_EQ(driveCache(A, 0x5eed, 16384), driveCache(B, 0x5eed, 16384))
+        << Id;
+    EXPECT_EQ(A.validLineCount(), B.validLineCount()) << Id;
+  }
+}
+
+TEST(ReplacementPolicies, PerceptronWardConsultsRegionProbe) {
+  // The ward variant's fill-time features read the installed probe; with
+  // the probe answering true for one address range the displaced
+  // sequences may legitimately differ from the probe-less array, but both
+  // must stay internally deterministic.
+  CacheGeometry G(512, 2, 64);
+  CacheArray WithProbe(G, "perceptron-ward");
+  unsigned Consulted = 0;
+  WithProbe.replacementPolicy().setRegionProbe([&Consulted](Addr Block) {
+    ++Consulted;
+    return Block < 2048;
+  });
+  driveCache(WithProbe, 0x5eed, 4096);
+  EXPECT_GT(Consulted, 0u) << "fill-time features never read the probe";
+}
+
+// --- Probe-hint contract for line-reordering policies ------------------------
+
+namespace {
+
+/// A deliberately adversarial policy: every fill swaps the filled line to
+/// way 0 (stack order) and leaves the per-set probe hint stale. Legal per
+/// the fill() contract — the array must re-verify the hint's block
+/// address, never trust it unconditionally.
+class RotatingPolicy final : public ReplacementPolicy {
+public:
+  explicit RotatingPolicy(const CacheGeometry &Geometry)
+      : ReplacementPolicy(Geometry) {}
+  void touch(CacheLine *, unsigned, unsigned) override {}
+  unsigned victim(CacheLine *, unsigned) override {
+    return Geometry.Assoc - 1; // Stack bottom.
+  }
+  void fill(CacheLine *Set, unsigned, unsigned Way) override {
+    for (unsigned W = Way; W > 0; --W)
+      std::swap(Set[W], Set[W - 1]);
+  }
+};
+
+} // namespace
+
+TEST(ReplacementPolicies, ProbeNeverTrustsAStaleHint) {
+  registerReplacementPolicy("test-rotate", [](const CacheGeometry &G) {
+    return std::unique_ptr<ReplacementPolicy>(new RotatingPolicy(G));
+  });
+  CacheArray Cache(CacheGeometry(512, 2, 64), "test-rotate");
+  // Both blocks land in set 0; the second fill rotates itself into way 0
+  // while the array's hint still points at the way it filled (way 1,
+  // which now holds block 0). An unconditionally trusted hint would
+  // return block 0 for a probe of 256.
+  Cache.insert(0, LineState::Shared);
+  Cache.insert(256, LineState::Shared);
+  CacheLine *B = Cache.probe(256);
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(B->Block, 256u);
+  CacheLine *A = Cache.probe(0);
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->Block, 0u);
+  // Same for lookup (the recency-updating path) and after an eviction.
+  EXPECT_EQ(Cache.lookup(0)->Block, 0u);
+  std::optional<EvictedLine> Victim = Cache.insert(512, LineState::Shared);
+  ASSERT_TRUE(Victim.has_value());
+  EXPECT_EQ(Cache.probe(512)->Block, 512u);
+  EXPECT_EQ(Cache.probe(Victim->Block), nullptr);
+}
+
+// --- Configuration plumbing --------------------------------------------------
+
+TEST(ReplacementConfig, ValidateRejectsUnknownId) {
+  MachineConfig Config = MachineConfig::singleSocket();
+  EXPECT_TRUE(Config.validate().empty());
+  Config.Replacement = "clock";
+  std::vector<std::string> Errors = Config.validate();
+  ASSERT_EQ(Errors.size(), 1u);
+  EXPECT_NE(Errors[0].find("unknown replacement id 'clock'"),
+            std::string::npos)
+      << Errors[0];
+  EXPECT_NE(Errors[0].find("lru"), std::string::npos) << Errors[0];
+}
+
+namespace {
+
+TaskGraph recordTinyWorkload() {
+  return WardenSystem::record([](Runtime &Rt) {
+    SimArray<int> Out = stdlib::tabulate<int>(
+        Rt, 2048, [](std::size_t I) { return static_cast<int>(I); }, 64);
+    (void)Out;
+  });
+}
+
+} // namespace
+
+TEST(ReplacementConfig, EveryPolicySimulatesEndToEnd) {
+  TaskGraph Graph = recordTinyWorkload();
+  MachineConfig Config = MachineConfig::singleSocket();
+  for (const std::string &Id :
+       {std::string("lru"), std::string("rrip"), std::string("perceptron"),
+        std::string("perceptron-ward")}) {
+    Config.Replacement = Id;
+    RunResult R = WardenSystem::simulate(Graph, Config);
+    EXPECT_GT(R.Makespan, 0u) << Id;
+    EXPECT_GT(R.Instructions, 0u) << Id;
+  }
+}
+
+TEST(ReplacementConfig, RunOptionsOverrideMatchesConfigField) {
+  TaskGraph Graph = recordTinyWorkload();
+  MachineConfig Lru = MachineConfig::singleSocket();
+
+  MachineConfig Rrip = Lru;
+  Rrip.Replacement = "rrip";
+  RunResult ViaConfig = WardenSystem::simulate(Graph, Rrip);
+
+  RunOptions Options;
+  Options.Replacement = "rrip";
+  RunResult ViaOverride = WardenSystem::simulate(Graph, Lru, Options);
+
+  EXPECT_EQ(ViaConfig.Makespan, ViaOverride.Makespan);
+  EXPECT_EQ(ViaConfig.Coherence.accesses(),
+            ViaOverride.Coherence.accesses());
+  EXPECT_EQ(ViaConfig.Coherence.Invalidations,
+            ViaOverride.Coherence.Invalidations);
+
+  // An unknown override fails validation like the config field does.
+  RunOptions Bad;
+  Bad.Replacement = "clock";
+  EXPECT_THROW(WardenSystem::simulate(Graph, Lru, Bad),
+               std::invalid_argument);
+}
+
+// --- Premature-miss attribution ----------------------------------------------
+
+namespace {
+
+/// Machine with deliberately tiny caches so a modest working set churns
+/// through capacity evictions and re-fetches.
+MachineConfig tinyCacheMachine() {
+  MachineConfig Config = MachineConfig::singleSocket();
+  Config.L1SizeKB = 1;
+  Config.L1Assoc = 2;
+  Config.L2SizeKB = 2;
+  Config.L2Assoc = 2;
+  Config.L3SizePerCoreKB = 1;
+  Config.L3Assoc = 4;
+  return Config;
+}
+
+/// One strand sweeping a >L2 array three times: the second and third
+/// passes re-miss blocks the first pass's capacity evictions displaced.
+TaskGraph recordThrashWorkload() {
+  Runtime Rt;
+  constexpr std::size_t Count = 4096; // 16 KB of ints.
+  Addr Base = Rt.allocate(Count * sizeof(int), 64, "thrash: big array");
+  SimArray<int> Data(&Rt, Base, reinterpret_cast<int *>(Rt.hostPtr(Base)),
+                     Count);
+  for (unsigned Pass = 0; Pass < 3; ++Pass)
+    for (std::size_t I = 0; I < Count; I += 16)
+      Data.set(I, static_cast<int>(I + Pass));
+  return Rt.finish();
+}
+
+} // namespace
+
+TEST(PrematureMiss, AttributedToThrashingLinesAndCycleNeutral) {
+  TaskGraph Graph = recordThrashWorkload();
+  MachineConfig Config = tinyCacheMachine();
+  ASSERT_TRUE(Config.validate().empty());
+
+  RunResult Plain = WardenSystem::simulate(Graph, Config);
+
+  SharingProfiler Prof;
+  Observability Obs;
+  Obs.Profiler = &Prof;
+  RunOptions Options;
+  Options.Obs = &Obs;
+  RunResult Observed = WardenSystem::simulate(Graph, Config, Options);
+
+  // Recording-only: the attribution table must not perturb a single
+  // simulated number.
+  EXPECT_EQ(Plain.Makespan, Observed.Makespan);
+  EXPECT_EQ(Plain.Coherence.accesses(), Observed.Coherence.accesses());
+
+  ASSERT_TRUE(Observed.Profile.Enabled);
+  EXPECT_GT(Observed.Profile.TotalPrematureMisses, 0u)
+      << "three passes over a >L2 array must re-miss evicted blocks";
+  // The rollup reaches the named site.
+  std::uint64_t SitePremature = 0;
+  for (const SiteProfile &S : Observed.Profile.Sites)
+    if (S.SiteName == "thrash: big array")
+      SitePremature += S.PrematureMisses;
+  EXPECT_GT(SitePremature, 0u);
+}

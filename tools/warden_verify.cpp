@@ -31,6 +31,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "src/core/WardenSystem.h"
+#include "src/mem/ReplacementPolicy.h"
 #include "src/obs/EventLog.h"
 #include "src/obs/Observability.h"
 #include "src/pbbs/Pbbs.h"
@@ -74,7 +75,8 @@ void usage(std::FILE *To) {
       "  --evlog=<base>       additionally capture a streaming event log of a\n"
       "                       small deterministic workload per protocol, to\n"
       "                       <base>.<protocol>.evlog (query with warden-stat)\n"
-      "  --list               list protocols, litmus patterns, and mutations\n");
+      "  --list               list protocols, replacement policies, litmus\n"
+      "                       patterns, and mutations\n");
 }
 
 bool parseUnsigned(const std::string &Text, std::uint64_t &Out) {
@@ -275,6 +277,9 @@ int main(int Argc, char **Argv) {
     for (const std::string &Id : registeredProtocolIds())
       std::printf("  %-10s %s\n", Id.c_str(),
                   consistencyModelName(declaredModel(*parseProtocolId(Id))));
+    std::printf("replacement policies:\n");
+    for (const std::string &Id : registeredReplacementIds())
+      std::printf("  %s\n", Id.c_str());
     std::printf("litmus patterns:\n");
     for (const LitmusPattern &P : litmusSuite())
       std::printf("  %-12s %s\n", P.Program.Name.c_str(), P.Note.c_str());
